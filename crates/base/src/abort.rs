@@ -1,0 +1,84 @@
+//! Abort causes shared by the STM and the HTM simulator.
+
+/// Why a transaction attempt failed. Returned as `Err(Abort(..))` from
+/// transactional reads/writes/commits; the runner in `tle-core` maps causes
+/// to retry/backoff/fallback policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortCause {
+    /// STM: a read found the orec locked by another transaction.
+    ReadConflict,
+    /// STM: a write could not acquire the orec.
+    WriteConflict,
+    /// STM: read-set validation failed (at extension or commit).
+    ValidationFailed,
+    /// HTM: this transaction was doomed by a conflicting access (the
+    /// cache-coherence invalidation model).
+    Conflict,
+    /// HTM: the read- or write-set exceeded simulated cache capacity.
+    Capacity,
+    /// HTM: a simulated asynchronous event (interrupt, SMI) flushed the
+    /// transactional state.
+    Event,
+    /// The transaction executed an operation that cannot run transactionally
+    /// (irrevocable I/O, syscall); must be retried in serial mode.
+    Unsafe,
+    /// The program explicitly cancelled the transaction.
+    Explicit,
+}
+
+impl AbortCause {
+    /// Short stable label for statistics tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            AbortCause::ReadConflict => "read-conflict",
+            AbortCause::WriteConflict => "write-conflict",
+            AbortCause::ValidationFailed => "validation",
+            AbortCause::Conflict => "conflict",
+            AbortCause::Capacity => "capacity",
+            AbortCause::Event => "event",
+            AbortCause::Unsafe => "unsafe",
+            AbortCause::Explicit => "explicit",
+        }
+    }
+
+    /// Whether retrying the same transaction concurrently can possibly
+    /// succeed. `Unsafe` deterministically fails until serialized; real RTM
+    /// reports the same through the `XABORT`/retry-bit convention.
+    pub fn retry_may_succeed(self) -> bool {
+        !matches!(self, AbortCause::Unsafe)
+    }
+}
+
+impl std::fmt::Display for AbortCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let all = [
+            AbortCause::ReadConflict,
+            AbortCause::WriteConflict,
+            AbortCause::ValidationFailed,
+            AbortCause::Conflict,
+            AbortCause::Capacity,
+            AbortCause::Event,
+            AbortCause::Unsafe,
+            AbortCause::Explicit,
+        ];
+        let labels: std::collections::HashSet<_> = all.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), all.len());
+    }
+
+    #[test]
+    fn only_unsafe_is_deterministic() {
+        assert!(!AbortCause::Unsafe.retry_may_succeed());
+        assert!(AbortCause::Conflict.retry_may_succeed());
+        assert!(AbortCause::Capacity.retry_may_succeed());
+    }
+}

@@ -1,0 +1,300 @@
+//! Word-coded transactional memory cells.
+//!
+//! Rust has no transactional-memory compiler support (the gap the paper's
+//! C++ TMTS fills with `atomic {}` blocks and automatic instrumentation), so
+//! this reproduction instruments memory accesses explicitly: every datum a
+//! transaction may touch lives in a [`TCell`], and transactional code reads
+//! and writes it through the transaction handle. A `TCell<T>` is backed by a
+//! single `AtomicU64`; [`TxVal`] encodes `T` to and from that word.
+//!
+//! Keeping everything word-sized and atomic mirrors word-based STMs like
+//! TinySTM / GCC's `ml_wt` (which the paper uses) and — crucially for Rust —
+//! makes the "racy" access patterns of such systems well-defined: a doomed
+//! transaction may observe a stale or in-flight word, but that is an atomic
+//! load whose result is discarded once validation fails.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Types that can be stored in a [`TCell`] by encoding to a single `u64`.
+///
+/// The encoding must be lossless (`from_word(to_word(v)) == v`). All integer
+/// primitives up to 64 bits, `bool`, `char`, `f32`/`f64`, `()` and raw
+/// pointers are supported out of the box.
+pub trait TxVal: Copy {
+    /// Encode the value as a word.
+    fn to_word(self) -> u64;
+    /// Decode the value from a word produced by [`TxVal::to_word`].
+    fn from_word(w: u64) -> Self;
+}
+
+macro_rules! impl_txval_int {
+    ($($t:ty),*) => {$(
+        impl TxVal for $t {
+            #[inline]
+            fn to_word(self) -> u64 {
+                self as u64
+            }
+            #[inline]
+            fn from_word(w: u64) -> Self {
+                w as $t
+            }
+        }
+    )*};
+}
+
+impl_txval_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_txval_sint {
+    ($($t:ty => $u:ty),*) => {$(
+        impl TxVal for $t {
+            #[inline]
+            fn to_word(self) -> u64 {
+                (self as $u) as u64
+            }
+            #[inline]
+            fn from_word(w: u64) -> Self {
+                (w as $u) as $t
+            }
+        }
+    )*};
+}
+
+impl_txval_sint!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl TxVal for bool {
+    #[inline]
+    fn to_word(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn from_word(w: u64) -> Self {
+        w != 0
+    }
+}
+
+impl TxVal for char {
+    #[inline]
+    fn to_word(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn from_word(w: u64) -> Self {
+        char::from_u32(w as u32).unwrap_or('\u{FFFD}')
+    }
+}
+
+impl TxVal for f32 {
+    #[inline]
+    fn to_word(self) -> u64 {
+        self.to_bits() as u64
+    }
+    #[inline]
+    fn from_word(w: u64) -> Self {
+        f32::from_bits(w as u32)
+    }
+}
+
+impl TxVal for f64 {
+    #[inline]
+    fn to_word(self) -> u64 {
+        self.to_bits()
+    }
+    #[inline]
+    fn from_word(w: u64) -> Self {
+        f64::from_bits(w)
+    }
+}
+
+impl TxVal for () {
+    #[inline]
+    fn to_word(self) -> u64 {
+        0
+    }
+    #[inline]
+    fn from_word(_: u64) -> Self {}
+}
+
+impl<T> TxVal for *mut T {
+    #[inline]
+    fn to_word(self) -> u64 {
+        self as usize as u64
+    }
+    #[inline]
+    fn from_word(w: u64) -> Self {
+        w as usize as *mut T
+    }
+}
+
+impl<T> TxVal for *const T {
+    #[inline]
+    fn to_word(self) -> u64 {
+        self as usize as u64
+    }
+    #[inline]
+    fn from_word(w: u64) -> Self {
+        w as usize as *const T
+    }
+}
+
+/// Pack two `u32`s into one word; handy for (head, tail)-style pairs that
+/// must change together.
+impl TxVal for (u32, u32) {
+    #[inline]
+    fn to_word(self) -> u64 {
+        ((self.0 as u64) << 32) | self.1 as u64
+    }
+    #[inline]
+    fn from_word(w: u64) -> Self {
+        ((w >> 32) as u32, w as u32)
+    }
+}
+
+/// A transactional memory location holding a word-coded `T`.
+///
+/// `TCell` deliberately exposes *no* plain `get`/`set` in safe positions;
+/// transactional code goes through a transaction handle, and the
+/// `load_direct` / `store_direct` escape hatches exist for initialization,
+/// single-threaded phases, and lock-protected (non-elided) access in the
+/// baseline algorithm.
+#[repr(transparent)]
+pub struct TCell<T: TxVal> {
+    word: AtomicU64,
+    _t: PhantomData<T>,
+}
+
+impl<T: TxVal> TCell<T> {
+    /// Create a cell holding `v`.
+    #[inline]
+    pub fn new(v: T) -> Self {
+        TCell {
+            word: AtomicU64::new(v.to_word()),
+            _t: PhantomData,
+        }
+    }
+
+    /// The backing atomic word. Transaction implementations use this to read
+    /// and write the raw encoding.
+    #[inline]
+    pub fn word(&self) -> &AtomicU64 {
+        &self.word
+    }
+
+    /// The address of the cell, used for orec / cache-line indexing.
+    #[inline]
+    pub fn addr(&self) -> usize {
+        &self.word as *const AtomicU64 as usize
+    }
+
+    /// Non-transactional read (Acquire). Only legal when the cell is not
+    /// concurrently written transactionally — e.g. during initialization or
+    /// while holding the un-elided baseline lock.
+    #[inline]
+    pub fn load_direct(&self) -> T {
+        T::from_word(self.word.load(Ordering::Acquire))
+    }
+
+    /// Non-transactional write (Release). See [`TCell::load_direct`] for the
+    /// legality conditions.
+    #[inline]
+    pub fn store_direct(&self, v: T) {
+        self.word.store(v.to_word(), Ordering::Release);
+    }
+
+    /// Read with full `SeqCst` ordering; the HTM simulator's conflict
+    /// detection protocol relies on sequentially consistent interleavings.
+    #[inline]
+    pub fn load_seqcst(&self) -> T {
+        T::from_word(self.word.load(Ordering::SeqCst))
+    }
+}
+
+impl<T: TxVal + Default> Default for TCell<T> {
+    fn default() -> Self {
+        TCell::new(T::default())
+    }
+}
+
+impl<T: TxVal + std::fmt::Debug> std::fmt::Debug for TCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("TCell").field(&self.load_direct()).finish()
+    }
+}
+
+// A TCell is just an atomic word: always Send + Sync.
+unsafe impl<T: TxVal> Send for TCell<T> {}
+unsafe impl<T: TxVal> Sync for TCell<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: TxVal + PartialEq + std::fmt::Debug>(v: T) {
+        assert_eq!(T::from_word(v.to_word()), v);
+    }
+
+    #[test]
+    fn integer_roundtrips() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(u16::MAX);
+        roundtrip(u32::MAX);
+        roundtrip(u64::MAX);
+        roundtrip(usize::MAX);
+        roundtrip(-1i8);
+        roundtrip(i16::MIN);
+        roundtrip(i32::MIN);
+        roundtrip(i64::MIN);
+        roundtrip(-12345isize);
+    }
+
+    #[test]
+    fn float_bool_char_roundtrips() {
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(3.5f32);
+        roundtrip(-0.0f64);
+        roundtrip(f64::INFINITY);
+        roundtrip('z');
+        roundtrip('\u{1F980}');
+    }
+
+    #[test]
+    fn pointer_roundtrips() {
+        let x = 7u32;
+        let p = &x as *const u32;
+        roundtrip(p);
+        roundtrip(p as *mut u32);
+        roundtrip(std::ptr::null::<u64>());
+    }
+
+    #[test]
+    fn pair_roundtrip() {
+        roundtrip((0u32, 0u32));
+        roundtrip((u32::MAX, 1u32));
+        roundtrip((17u32, 99u32));
+    }
+
+    #[test]
+    fn tcell_direct_access() {
+        let c = TCell::new(41u64);
+        assert_eq!(c.load_direct(), 41);
+        c.store_direct(42);
+        assert_eq!(c.load_direct(), 42);
+        assert_eq!(c.load_seqcst(), 42);
+    }
+
+    #[test]
+    fn tcell_is_word_sized() {
+        assert_eq!(std::mem::size_of::<TCell<u64>>(), 8);
+        assert_eq!(std::mem::size_of::<TCell<bool>>(), 8);
+    }
+
+    #[test]
+    fn negative_signed_values_survive_sign_extension() {
+        let c = TCell::new(-5i32);
+        assert_eq!(c.load_direct(), -5);
+        c.store_direct(i32::MIN);
+        assert_eq!(c.load_direct(), i32::MIN);
+    }
+}

@@ -1,0 +1,206 @@
+//! The serial-irrevocability gate.
+//!
+//! GCC's libitm ensures progress and supports unsafe (irrevocable)
+//! operations by *serializing*: it stops admitting concurrent transactions,
+//! waits for in-flight ones to drain, runs the irrevocable work alone, and
+//! then re-opens the floodgates (paper §II-B). The same mechanism is the
+//! fallback path for hardware transactions that keep aborting (paper §VII:
+//! "HTM results fall back to a serial mode after hardware transactions fail
+//! twice").
+//!
+//! [`Gate`] is that mechanism: a writer-preferring reader/writer gate where
+//! "readers" are concurrent transactions and the single "writer" is serial
+//! mode. The fast path is one CAS; blocked sides spin briefly and then
+//! yield, because serial sections are short but not bounded.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bit set while a serial section runs.
+const SERIAL_HELD: u64 = 1 << 63;
+/// Serial waiter count lives in bits 32..63.
+const WAITER_UNIT: u64 = 1 << 32;
+const WAITER_MASK: u64 = ((1u64 << 31) - 1) << 32;
+/// Active concurrent-transaction count lives in bits 0..32.
+const ACTIVE_MASK: u64 = (1 << 32) - 1;
+
+/// The global concurrency gate. See the module docs.
+#[derive(Debug, Default)]
+pub struct Gate {
+    state: AtomicU64,
+}
+
+/// RAII token for a concurrent-side entry.
+#[must_use = "dropping the token exits the concurrent side"]
+pub struct ConcurrentToken<'g> {
+    gate: &'g Gate,
+}
+
+/// RAII token for the exclusive serial side.
+#[must_use = "dropping the token exits serial mode"]
+pub struct SerialToken<'g> {
+    gate: &'g Gate,
+}
+
+impl Gate {
+    /// A fresh, open gate.
+    pub fn new() -> Self {
+        Gate::default()
+    }
+
+    /// Enter the concurrent side; blocks while a serial section runs or is
+    /// pending (writer preference, so serial requests are not starved).
+    pub fn enter_concurrent(&self) -> ConcurrentToken<'_> {
+        let mut spins = 0u32;
+        loop {
+            let s = self.state.load(Ordering::Acquire);
+            if s & (SERIAL_HELD | WAITER_MASK) == 0 {
+                if self
+                    .state
+                    .compare_exchange_weak(s, s + 1, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    return ConcurrentToken { gate: self };
+                }
+            } else {
+                Self::pause(&mut spins);
+            }
+        }
+    }
+
+    /// Enter the exclusive serial side; drains concurrent transactions first.
+    pub fn enter_serial(&self) -> SerialToken<'_> {
+        self.state.fetch_add(WAITER_UNIT, Ordering::AcqRel);
+        let mut spins = 0u32;
+        loop {
+            let s = self.state.load(Ordering::Acquire);
+            if s & SERIAL_HELD == 0 && s & ACTIVE_MASK == 0 {
+                let target = (s - WAITER_UNIT) | SERIAL_HELD;
+                if self
+                    .state
+                    .compare_exchange_weak(s, target, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    return SerialToken { gate: self };
+                }
+            } else {
+                Self::pause(&mut spins);
+            }
+        }
+    }
+
+    /// Whether a serial section currently holds the gate (diagnostics).
+    pub fn serial_held(&self) -> bool {
+        self.state.load(Ordering::Acquire) & SERIAL_HELD != 0
+    }
+
+    /// Number of transactions currently on the concurrent side.
+    pub fn active_count(&self) -> usize {
+        (self.state.load(Ordering::Acquire) & ACTIVE_MASK) as usize
+    }
+
+    #[inline]
+    fn pause(spins: &mut u32) {
+        *spins += 1;
+        if *spins < 64 {
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+impl Drop for ConcurrentToken<'_> {
+    fn drop(&mut self) {
+        self.gate.state.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl Drop for SerialToken<'_> {
+    fn drop(&mut self) {
+        self.gate.state.fetch_and(!SERIAL_HELD, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn concurrent_entries_coexist() {
+        let g = Gate::new();
+        let a = g.enter_concurrent();
+        let b = g.enter_concurrent();
+        assert_eq!(g.active_count(), 2);
+        drop(a);
+        drop(b);
+        assert_eq!(g.active_count(), 0);
+    }
+
+    #[test]
+    fn serial_excludes_everyone() {
+        let g = Arc::new(Gate::new());
+        let counter = Arc::new(AtomicUsize::new(0));
+        let max_seen = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let g = Arc::clone(&g);
+                let counter = Arc::clone(&counter);
+                let max_seen = Arc::clone(&max_seen);
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        if i % 2 == 0 {
+                            let _t = g.enter_concurrent();
+                            counter.fetch_add(1, Ordering::SeqCst);
+                            counter.fetch_sub(1, Ordering::SeqCst);
+                        } else {
+                            let _t = g.enter_serial();
+                            let inside = counter.load(Ordering::SeqCst);
+                            max_seen.fetch_max(inside, Ordering::SeqCst);
+                            assert_eq!(inside, 0, "serial section saw concurrent activity");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(max_seen.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn serial_sections_are_mutually_exclusive() {
+        let g = Arc::new(Gate::new());
+        let in_serial = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let g = Arc::clone(&g);
+                let in_serial = Arc::clone(&in_serial);
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        let _t = g.enter_serial();
+                        assert_eq!(in_serial.fetch_add(1, Ordering::SeqCst), 0);
+                        in_serial.fetch_sub(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn gate_reopens_after_serial() {
+        let g = Gate::new();
+        {
+            let _s = g.enter_serial();
+            assert!(g.serial_held());
+        }
+        assert!(!g.serial_held());
+        let _c = g.enter_concurrent();
+        assert_eq!(g.active_count(), 1);
+    }
+}

@@ -1,0 +1,217 @@
+//! Sharded statistics counters.
+//!
+//! The paper's evaluation reports commit counts, abort rates (Figure 4,
+//! §VII-A in-text numbers) and serial-fallback percentages; the benches need
+//! these to be cheap enough to leave enabled. [`Counter`] shards its word by
+//! thread to avoid turning statistics into a contention source.
+
+use crate::Padded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const SHARDS: usize = 16;
+
+/// A sharded monotonically increasing counter.
+pub struct Counter {
+    shards: [Padded<AtomicU64>; SHARDS],
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub const fn new() -> Self {
+        // `Padded` has no const constructor for arrays; build by value.
+        Counter {
+            shards: [
+                Padded(AtomicU64::new(0)),
+                Padded(AtomicU64::new(0)),
+                Padded(AtomicU64::new(0)),
+                Padded(AtomicU64::new(0)),
+                Padded(AtomicU64::new(0)),
+                Padded(AtomicU64::new(0)),
+                Padded(AtomicU64::new(0)),
+                Padded(AtomicU64::new(0)),
+                Padded(AtomicU64::new(0)),
+                Padded(AtomicU64::new(0)),
+                Padded(AtomicU64::new(0)),
+                Padded(AtomicU64::new(0)),
+                Padded(AtomicU64::new(0)),
+                Padded(AtomicU64::new(0)),
+                Padded(AtomicU64::new(0)),
+                Padded(AtomicU64::new(0)),
+            ],
+        }
+    }
+
+    /// Add `n`, attributed to `shard_hint` (typically the thread slot index).
+    #[inline]
+    pub fn add(&self, shard_hint: usize, n: u64) {
+        self.shards[shard_hint % SHARDS].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self, shard_hint: usize) {
+        self.add(shard_hint, 1);
+    }
+
+    /// Sum across shards.
+    pub fn get(&self) -> u64 {
+        self.shards.iter().map(|s| s.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Reset all shards to zero (between benchmark trials).
+    pub fn reset(&self) {
+        for s in &self.shards {
+            s.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+/// Statistics common to both TM flavours and the TLE runtime.
+#[derive(Debug, Default)]
+pub struct TxStats {
+    /// Transactions that committed.
+    pub commits: Counter,
+    /// Transactions that aborted at least once (counted per abort event).
+    pub aborts: Counter,
+    /// Transactions that gave up and took the serial fallback.
+    pub serial_fallbacks: Counter,
+    /// Commits that performed a quiescence drain.
+    pub quiesces: Counter,
+    /// Commits that skipped quiescence because of `TM_NoQuiesce`.
+    pub quiesce_skipped: Counter,
+    /// Nanoseconds spent spinning in quiescence drains.
+    pub quiesce_wait_ns: Counter,
+}
+
+impl TxStats {
+    /// A zeroed stats block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reset every counter (between benchmark trials).
+    pub fn reset(&self) {
+        self.commits.reset();
+        self.aborts.reset();
+        self.serial_fallbacks.reset();
+        self.quiesces.reset();
+        self.quiesce_skipped.reset();
+        self.quiesce_wait_ns.reset();
+    }
+
+    /// A point-in-time copy, for printing.
+    pub fn snapshot(&self) -> TxStatsSnapshot {
+        TxStatsSnapshot {
+            commits: self.commits.get(),
+            aborts: self.aborts.get(),
+            serial_fallbacks: self.serial_fallbacks.get(),
+            quiesces: self.quiesces.get(),
+            quiesce_skipped: self.quiesce_skipped.get(),
+            quiesce_wait_ns: self.quiesce_wait_ns.get(),
+        }
+    }
+}
+
+/// Plain-data snapshot of [`TxStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxStatsSnapshot {
+    pub commits: u64,
+    pub aborts: u64,
+    pub serial_fallbacks: u64,
+    pub quiesces: u64,
+    pub quiesce_skipped: u64,
+    pub quiesce_wait_ns: u64,
+}
+
+impl TxStatsSnapshot {
+    /// Aborts per started transaction attempt, in [0, 1].
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.commits + self.aborts;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / attempts as f64
+        }
+    }
+
+    /// Fraction of committed transactions that went through the serial path.
+    pub fn fallback_rate(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.serial_fallbacks as f64 / self.commits as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_accumulates_across_shards() {
+        let c = Counter::new();
+        for i in 0..100 {
+            c.add(i, 2);
+        }
+        assert_eq!(c.get(), 200);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_is_thread_safe() {
+        let c = Arc::new(Counter::new());
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc(i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn rates_are_sane() {
+        let s = TxStats::new();
+        for _ in 0..90 {
+            s.commits.inc(0);
+        }
+        for _ in 0..10 {
+            s.aborts.inc(0);
+        }
+        for _ in 0..9 {
+            s.serial_fallbacks.inc(0);
+        }
+        let snap = s.snapshot();
+        assert!((snap.abort_rate() - 0.1).abs() < 1e-9);
+        assert!((snap.fallback_rate() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_rates_are_zero() {
+        let snap = TxStats::new().snapshot();
+        assert_eq!(snap.abort_rate(), 0.0);
+        assert_eq!(snap.fallback_rate(), 0.0);
+    }
+}

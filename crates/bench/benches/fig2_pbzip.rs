@@ -1,0 +1,82 @@
+//! Figure 2 (a-f): PBZip2 compress/decompress execution time vs. worker
+//! threads, for block sizes 100K / 300K / 900K, under all five algorithms.
+//!
+//! The paper uses a 650 MB file on a 4-core/8-thread i7; we default to a
+//! scaled-down synthetic input (DESIGN.md §3.5-3.6) and compare *shape*:
+//! pthread vs. STM+CondVar crossing at higher thread counts, STM+Spin
+//! worst, HTM close to or above pthread.
+
+use tle_bench::workloads::{pbzip_compress_trial, pbzip_decompress_trial};
+use tle_bench::{fmt_secs, full_sweep, thread_sweep, trials, Table};
+use tle_core::{AlgoMode, ALL_MODES};
+
+fn main() {
+    let input_len = if full_sweep() { 24_000_000 } else { 3_000_000 };
+    let input = tle_pbz::gen_text(0x650, input_len);
+    let block_sizes: &[usize] = &[100_000, 300_000, 900_000];
+    let n_trials = trials(if full_sweep() { 5 } else { 2 });
+    println!(
+        "Figure 2: PBZip2, input {} MB, {} trials per point",
+        input_len / 1_000_000,
+        n_trials
+    );
+
+    for (op_name, decompress) in [("Compress", false), ("Decompress", true)] {
+        for &bs in block_sizes {
+            let panel = format!(
+                "Fig 2 {}: {} block size {}K (seconds)",
+                panel_letter(op_name, bs),
+                op_name,
+                bs / 1000
+            );
+            let mut headers = vec!["threads".to_string()];
+            headers.extend(ALL_MODES.iter().map(|m| m.label().to_string()));
+            let href: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+            let mut table = Table::new(&panel, &href);
+
+            // Pre-compress once for the decompression panels.
+            let compressed = if decompress {
+                let sys = tle_bench::fresh_system(AlgoMode::Baseline);
+                Some(tle_pbz::compress_parallel(
+                    &sys,
+                    &input,
+                    &tle_pbz::PipelineConfig {
+                        workers: 4,
+                        block_size: bs,
+                        fifo_cap: 8,
+                    },
+                ))
+            } else {
+                None
+            };
+
+            for threads in thread_sweep() {
+                let mut row = vec![threads.to_string()];
+                for mode in ALL_MODES {
+                    let mut total = 0.0;
+                    for _ in 0..n_trials {
+                        let (secs, _) = match &compressed {
+                            Some(c) => pbzip_decompress_trial(mode, threads, bs, c),
+                            None => pbzip_compress_trial(mode, threads, bs, &input),
+                        };
+                        total += secs;
+                    }
+                    row.push(fmt_secs(total / n_trials as f64));
+                }
+                table.row(row);
+            }
+            table.print();
+        }
+    }
+}
+
+fn panel_letter(op: &str, bs: usize) -> &'static str {
+    match (op, bs) {
+        ("Compress", 100_000) => "(a)",
+        ("Compress", 300_000) => "(b)",
+        ("Compress", 900_000) => "(c)",
+        ("Decompress", 100_000) => "(d)",
+        ("Decompress", 300_000) => "(e)",
+        _ => "(f)",
+    }
+}

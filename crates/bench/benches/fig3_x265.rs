@@ -1,0 +1,56 @@
+//! Figure 3 (a-c): x265 speedup (vs. single-threaded pthread) against
+//! worker threads for small/medium/large inputs, all five algorithms.
+//!
+//! Paper shape to reproduce: HTM+CondVar outperforms pthread in almost
+//! every case (peak +9.5% at 4 threads); STM+Spin is disastrous; the
+//! STM+CondVar variants track pthread closely.
+
+use tle_bench::workloads::{x265_trial, VideoSize};
+use tle_bench::{fmt_x, full_sweep, thread_sweep, trials, Table};
+use tle_core::{AlgoMode, ALL_MODES};
+
+fn main() {
+    let full = full_sweep();
+    let n_trials = trials(if full { 5 } else { 2 });
+    println!("Figure 3: x265 speedup vs 1-thread pthread, {n_trials} trials per point");
+
+    for (i, size) in [VideoSize::Small, VideoSize::Medium, VideoSize::Large]
+        .into_iter()
+        .enumerate()
+    {
+        let (w, h, n) = size.params(full);
+        let panel = format!(
+            "Fig 3 ({}): {} input ({}x{}, {} frames) — speedup",
+            ["a", "b", "c"][i],
+            size.label(),
+            w,
+            h,
+            n
+        );
+        let mut headers = vec!["threads".to_string()];
+        headers.extend(ALL_MODES.iter().map(|m| m.label().to_string()));
+        let href: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut table = Table::new(&panel, &href);
+
+        // Baseline: single-threaded pthread.
+        let mut base = 0.0;
+        for _ in 0..n_trials {
+            base += x265_trial(AlgoMode::Baseline, 1, size, full).0;
+        }
+        base /= n_trials as f64;
+
+        for threads in thread_sweep() {
+            let mut row = vec![threads.to_string()];
+            for mode in ALL_MODES {
+                let mut total = 0.0;
+                for _ in 0..n_trials {
+                    total += x265_trial(mode, threads, size, full).0;
+                }
+                let mean = total / n_trials as f64;
+                row.push(fmt_x(base / mean));
+            }
+            table.row(row);
+        }
+        table.print();
+    }
+}

@@ -1,0 +1,62 @@
+//! Figure 4: x265 HTM abort and serial-fallback rates vs. worker threads.
+//!
+//! Paper shape: abort rates grow with thread count and remain substantial
+//! (the untuned 2-retry policy sends a significant share of transactions
+//! to the serial path), suggesting headroom from fallback tuning — which
+//! `ablate_htm_retry` explores.
+
+use tle_bench::workloads::{x265_trial_cfg, VideoSize};
+use tle_bench::{fmt_pct, full_sweep, thread_sweep, Table};
+use tle_core::AlgoMode;
+use tle_htm::HtmConfig;
+
+fn main() {
+    let full = full_sweep();
+    println!("Figure 4: x265 HTM abort statistics (HTM+CondVar)");
+    // Two hardware models: the default (calibrated to a quiet machine —
+    // with fewer cores than threads, true conflict windows are rare), and
+    // an interrupt-pressure model whose event-abort probability stands in
+    // for the TLB-miss/interrupt/preemption aborts a busy Haswell shows.
+    let configs = [
+        ("default hardware model", HtmConfig::default()),
+        (
+            "interrupt-pressure model (event_prob=5e-3)",
+            HtmConfig {
+                event_prob: 5e-3,
+                ..HtmConfig::default()
+            },
+        ),
+    ];
+    for (cfg_label, cfg) in configs {
+        for size in [VideoSize::Small, VideoSize::Medium] {
+            let mut table = Table::new(
+                &format!("Fig 4: HTM aborts, {} input — {}", size.label(), cfg_label),
+                &[
+                    "threads",
+                    "commits",
+                    "aborts",
+                    "abort-rate",
+                    "conflicts",
+                    "capacity",
+                    "events",
+                    "fallback-rate",
+                ],
+            );
+            for threads in thread_sweep() {
+                let (_, stats) =
+                    x265_trial_cfg(AlgoMode::HtmCondvar, threads, size, full, cfg.clone());
+                table.row(vec![
+                    threads.to_string(),
+                    stats.htm_commits.to_string(),
+                    stats.htm_aborts.to_string(),
+                    fmt_pct(stats.htm_abort_rate()),
+                    stats.htm_conflicts.to_string(),
+                    stats.htm_capacity.to_string(),
+                    stats.htm_events.to_string(),
+                    fmt_pct(stats.fallback_rate()),
+                ]);
+            }
+            table.print();
+        }
+    }
+}

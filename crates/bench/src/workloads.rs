@@ -1,0 +1,327 @@
+//! Shared workload runners used by the figure benches.
+
+use std::sync::Arc;
+use tle_base::stats::TxStatsSnapshot;
+use tle_core::{AlgoMode, ThreadHandle, TmSystem};
+use tle_pbz::{compress_parallel, decompress_parallel, PipelineConfig};
+use tle_stm::QuiescePolicy;
+use tle_txset::{TxHashSet, TxListSet, TxSet, TxTreeSet};
+use tle_wfe::{encode_video, EncoderConfig, VideoSource};
+
+/// Statistics harvested after a trial.
+#[derive(Debug, Clone, Default)]
+pub struct TrialStats {
+    pub stm: TxStatsSnapshot,
+    pub htm_commits: u64,
+    pub htm_aborts: u64,
+    pub htm_conflicts: u64,
+    pub htm_capacity: u64,
+    pub htm_events: u64,
+    pub serial_fallbacks: u64,
+}
+
+impl TrialStats {
+    /// Capture from a system.
+    pub fn capture(sys: &TmSystem) -> Self {
+        TrialStats {
+            stm: sys.stm.stats.snapshot(),
+            htm_commits: sys.htm.stats.tx.commits.get(),
+            htm_aborts: sys.htm.stats.tx.aborts.get(),
+            htm_conflicts: sys.htm.stats.conflict_aborts.get(),
+            htm_capacity: sys.htm.stats.capacity_aborts.get(),
+            htm_events: sys.htm.stats.event_aborts.get(),
+            serial_fallbacks: sys.stats.serial_fallbacks.get(),
+        }
+    }
+
+    /// HTM abort rate over attempts.
+    pub fn htm_abort_rate(&self) -> f64 {
+        let attempts = self.htm_commits + self.htm_aborts;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.htm_aborts as f64 / attempts as f64
+        }
+    }
+
+    /// Serial-fallback rate over completed critical sections.
+    pub fn fallback_rate(&self) -> f64 {
+        let total = self.htm_commits + self.stm.commits + self.serial_fallbacks;
+        if total == 0 {
+            0.0
+        } else {
+            self.serial_fallbacks as f64 / total as f64
+        }
+    }
+}
+
+/// One PBZip2 trial: compress (and optionally verify-decompress) `input`.
+pub fn pbzip_compress_trial(
+    mode: AlgoMode,
+    workers: usize,
+    block_size: usize,
+    input: &[u8],
+) -> (f64, TrialStats) {
+    let sys = Arc::new(TmSystem::new(mode));
+    let cfg = PipelineConfig {
+        workers,
+        block_size,
+        fifo_cap: 2 * workers.max(2),
+    };
+    let t0 = std::time::Instant::now();
+    let out = compress_parallel(&sys, input, &cfg);
+    let secs = t0.elapsed().as_secs_f64();
+    assert!(!out.is_empty() || input.is_empty());
+    (secs, TrialStats::capture(&sys))
+}
+
+/// One PBZip2 decompression trial.
+pub fn pbzip_decompress_trial(
+    mode: AlgoMode,
+    workers: usize,
+    block_size: usize,
+    compressed: &[u8],
+) -> (f64, TrialStats) {
+    let sys = Arc::new(TmSystem::new(mode));
+    let cfg = PipelineConfig {
+        workers,
+        block_size,
+        fifo_cap: 2 * workers.max(2),
+    };
+    let t0 = std::time::Instant::now();
+    let out = decompress_parallel(&sys, compressed, &cfg).expect("decompress failed");
+    let secs = t0.elapsed().as_secs_f64();
+    std::hint::black_box(&out);
+    (secs, TrialStats::capture(&sys))
+}
+
+/// Video sizes mirroring the paper's small/medium/large inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VideoSize {
+    Small,
+    Medium,
+    Large,
+}
+
+impl VideoSize {
+    /// (width, height, frames), scaled down per DESIGN.md §3.5.
+    pub fn params(self, full: bool) -> (usize, usize, usize) {
+        match (self, full) {
+            (VideoSize::Small, false) => (96, 64, 8),
+            (VideoSize::Medium, false) => (160, 96, 10),
+            (VideoSize::Large, false) => (240, 144, 12),
+            (VideoSize::Small, true) => (160, 96, 24),
+            (VideoSize::Medium, true) => (320, 192, 32),
+            (VideoSize::Large, true) => (480, 288, 48),
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            VideoSize::Small => "small",
+            VideoSize::Medium => "medium",
+            VideoSize::Large => "large",
+        }
+    }
+}
+
+/// One x265 trial: encode the synthetic sequence.
+pub fn x265_trial(mode: AlgoMode, workers: usize, size: VideoSize, full: bool) -> (f64, TrialStats) {
+    x265_trial_cfg(mode, workers, size, full, tle_htm::HtmConfig::default())
+}
+
+/// [`x265_trial`] with an explicit HTM configuration (used by Figure 4's
+/// elevated-event-pressure table).
+pub fn x265_trial_cfg(
+    mode: AlgoMode,
+    workers: usize,
+    size: VideoSize,
+    full: bool,
+    htm_cfg: tle_htm::HtmConfig,
+) -> (f64, TrialStats) {
+    let (w, h, n) = size.params(full);
+    let source = VideoSource::new(w, h, n, 0xFEED);
+    let sys = Arc::new(TmSystem::with_policy(
+        mode,
+        tle_core::TlePolicy::default(),
+        htm_cfg,
+    ));
+    let cfg = EncoderConfig {
+        workers,
+        qp: 12,
+        keyframe_interval: 8,
+        lookahead_depth: 4,
+        target_bits_per_frame: None,
+        frame_threads: 3,
+        slices: 1,
+    };
+    let t0 = std::time::Instant::now();
+    let v = encode_video(&sys, &source, &cfg);
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(v.frames.len(), n);
+    (secs, TrialStats::capture(&sys))
+}
+
+/// The Figure 5 operation mixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mix {
+    /// 50% insert / 50% remove (left column of Figure 5).
+    UpdateOnly,
+    /// 50% lookup, 25% insert, 25% remove (right column).
+    HalfLookup,
+}
+
+impl Mix {
+    pub fn label(self) -> &'static str {
+        match self {
+            Mix::UpdateOnly => "50i/50r",
+            Mix::HalfLookup => "50l/25i/25r",
+        }
+    }
+}
+
+/// Build one of the three set structures by name.
+pub fn make_set(kind: &str) -> Arc<dyn TxSet> {
+    match kind {
+        "list" => Arc::new(TxListSet::new()),
+        "hash" => Arc::new(TxHashSet::new()),
+        "tree" => Arc::new(TxTreeSet::new()),
+        other => panic!("unknown set kind {other}"),
+    }
+}
+
+/// Pre-fill a set to 50% occupancy (the paper's initial condition).
+pub fn prefill(set: &dyn TxSet, th: &ThreadHandle) {
+    let space = set.key_space();
+    for k in (0..space).step_by(2) {
+        set.insert(th, k);
+    }
+}
+
+/// One Figure 5 trial: `threads` workers each run `ops_per_thread`
+/// operations of `mix` against `set` under `policy`. Returns throughput in
+/// operations per second plus stats.
+pub fn micro_trial(
+    kind: &str,
+    policy: QuiescePolicy,
+    threads: usize,
+    mix: Mix,
+    ops_per_thread: u64,
+) -> (f64, TrialStats) {
+    micro_trial_algo(kind, policy, tle_stm::StmAlgo::MlWt, threads, mix, ops_per_thread)
+}
+
+/// [`micro_trial`] with an explicit STM algorithm (the `ablate_stm_algo`
+/// bench).
+pub fn micro_trial_algo(
+    kind: &str,
+    policy: QuiescePolicy,
+    algo: tle_stm::StmAlgo,
+    threads: usize,
+    mix: Mix,
+    ops_per_thread: u64,
+) -> (f64, TrialStats) {
+    // Microbenchmarks always run the STM (the paper's Figure 5 machine has
+    // no HTM); the policy is the independent variable.
+    let sys = Arc::new(TmSystem::new(AlgoMode::StmCondvar));
+    sys.stm.set_policy(policy);
+    sys.set_stm_algo(algo);
+    let set = make_set(kind);
+    {
+        let th = sys.register();
+        prefill(&*set, &th);
+    }
+    sys.reset_stats();
+    let barrier = Arc::new(std::sync::Barrier::new(threads + 1));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let sys = Arc::clone(&sys);
+            let set = Arc::clone(&set);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let th = sys.register();
+                let mut rng = tle_base::rng::XorShift64::new(0xF1F5 ^ t as u64);
+                let space = set.key_space();
+                barrier.wait();
+                for _ in 0..ops_per_thread {
+                    let key = rng.below(space);
+                    let dice = rng.below(100);
+                    match mix {
+                        Mix::UpdateOnly => {
+                            if dice < 50 {
+                                set.insert(&th, key);
+                            } else {
+                                set.remove(&th, key);
+                            }
+                        }
+                        Mix::HalfLookup => {
+                            if dice < 50 {
+                                set.contains(&th, key);
+                            } else if dice < 75 {
+                                set.insert(&th, key);
+                            } else {
+                                set.remove(&th, key);
+                            }
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let t0 = std::time::Instant::now();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let total_ops = threads as f64 * ops_per_thread as f64;
+    (total_ops / secs, TrialStats::capture(&sys))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pbzip_trial_smoke() {
+        let input = tle_pbz::gen_text(1, 64 * 1024);
+        let (secs, stats) = pbzip_compress_trial(AlgoMode::StmCondvar, 2, 16 * 1024, &input);
+        assert!(secs > 0.0);
+        assert!(stats.stm.commits > 0, "no STM commits recorded");
+    }
+
+    #[test]
+    fn x265_trial_smoke() {
+        let (secs, stats) = x265_trial(AlgoMode::HtmCondvar, 2, VideoSize::Small, false);
+        assert!(secs > 0.0);
+        assert!(stats.htm_commits > 0, "no HTM commits recorded");
+    }
+
+    #[test]
+    fn micro_trial_smoke_all_policies() {
+        for policy in [
+            QuiescePolicy::Always,
+            QuiescePolicy::Never,
+            QuiescePolicy::Selective,
+        ] {
+            let (tput, stats) = micro_trial("hash", policy, 2, Mix::HalfLookup, 2_000);
+            assert!(tput > 0.0);
+            assert!(stats.stm.commits > 0);
+            if policy == QuiescePolicy::Selective {
+                assert!(
+                    stats.stm.quiesce_skipped > 0,
+                    "SelectNoQ should skip some drains"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefill_reaches_half_occupancy() {
+        let sys = Arc::new(TmSystem::new(AlgoMode::StmCondvar));
+        let th = sys.register();
+        let set = make_set("list");
+        prefill(&*set, &th);
+        assert_eq!(set.len_direct(), set.key_space() as usize / 2);
+    }
+}

@@ -1,0 +1,241 @@
+//! Transaction-friendly condition variables (Wang et al., paper [37]).
+//!
+//! A classic pthread condvar cannot be used inside a transaction: the wait
+//! would block with speculative state live, and the unlock/sleep pair has no
+//! transactional equivalent. Wang's construction — the one the paper adopts
+//! and extends with timed waits (§VI-d) — makes the *waiter queue itself
+//! transactional state*:
+//!
+//! - a waiting transaction enqueues its waiter handle **transactionally**
+//!   and then, as its last action, commits and blocks on a private channel.
+//!   Enqueue and predicate check are in the same transaction, so a signal
+//!   cannot slip between them: no lost wakeups.
+//! - a signalling transaction dequeues a waiter transactionally and defers
+//!   the actual wakeup to its commit — an aborted signaller wakes no one.
+//! - timed waits (x265's soft real-time requirement) block on the private
+//!   channel with a timeout; on timeout the waiter cancels its queue entry
+//!   in a small follow-up transaction.
+//!
+//! Under the baseline algorithm the same object degrades to a plain
+//! `parking_lot::Condvar` used with the un-elided mutex.
+
+use crate::ctx::TxCtx;
+use parking_lot::{Condvar, Mutex};
+use std::time::Duration;
+use tle_base::{AbortCause, TCell};
+
+/// Ring capacity. Bounded by `MAX_SLOTS` concurrent threads each having at
+/// most one pending wait, plus cancelled (null) residue; 256 gives ample
+/// slack.
+const RING: usize = 256;
+
+/// A waiter's private wakeup channel.
+pub(crate) struct Waiter {
+    state: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Waiter {
+    pub(crate) fn new() -> Self {
+        Waiter {
+            state: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Wake the waiter (idempotent).
+    pub(crate) fn notify(&self) {
+        let mut s = self.state.lock();
+        *s = true;
+        self.cv.notify_one();
+    }
+
+    /// Block until notified; returns `true` if notified, `false` on timeout.
+    pub(crate) fn wait(&self, timeout: Option<Duration>) -> bool {
+        let mut s = self.state.lock();
+        match timeout {
+            None => {
+                while !*s {
+                    self.cv.wait(&mut s);
+                }
+                true
+            }
+            Some(d) => {
+                let deadline = std::time::Instant::now() + d;
+                while !*s {
+                    if self.cv.wait_until(&mut s, deadline).timed_out() {
+                        return *s;
+                    }
+                }
+                true
+            }
+        }
+    }
+}
+
+/// A condition variable usable from elided critical sections under every
+/// [`AlgoMode`](crate::AlgoMode).
+pub struct TxCondvar {
+    head: TCell<u64>,
+    tail: TCell<u64>,
+    ring: Box<[TCell<*const Waiter>]>,
+    native: Condvar,
+}
+
+impl TxCondvar {
+    /// A fresh condition variable.
+    pub fn new() -> Self {
+        TxCondvar {
+            head: TCell::new(0),
+            tail: TCell::new(0),
+            ring: (0..RING)
+                .map(|_| TCell::new(std::ptr::null::<Waiter>()))
+                .collect(),
+            native: Condvar::new(),
+        }
+    }
+
+    /// Number of enqueued entries (including cancelled residue); for
+    /// diagnostics and tests only — racy outside a transaction.
+    pub fn approx_len(&self) -> usize {
+        let h = self.head.load_direct();
+        let t = self.tail.load_direct();
+        t.saturating_sub(h) as usize
+    }
+
+    /// Transactionally append a waiter pointer.
+    pub(crate) fn enqueue(&self, ctx: &mut TxCtx<'_>, raw: *const Waiter) -> Result<(), AbortCause> {
+        let cap = RING as u64;
+        let mut h = ctx.mem_read(&self.head)?;
+        let t = ctx.mem_read(&self.tail)?;
+        let h0 = h;
+        // Compact leading cancelled entries so the ring cannot clog with
+        // timed-out waiters.
+        while h < t {
+            let p = ctx.mem_read(&self.ring[(h % cap) as usize])?;
+            if p.is_null() {
+                h += 1;
+            } else {
+                break;
+            }
+        }
+        if h != h0 {
+            ctx.mem_write(&self.head, h)?;
+        }
+        assert!(t - h < cap, "TxCondvar ring overflow: too many pending waiters");
+        ctx.mem_write(&self.ring[(t % cap) as usize], raw)?;
+        ctx.mem_write(&self.tail, t + 1)?;
+        Ok(())
+    }
+
+    /// Transactionally pop the oldest live waiter, if any.
+    pub(crate) fn dequeue(&self, ctx: &mut TxCtx<'_>) -> Result<Option<*const Waiter>, AbortCause> {
+        let cap = RING as u64;
+        let mut h = ctx.mem_read(&self.head)?;
+        let t = ctx.mem_read(&self.tail)?;
+        let h0 = h;
+        let mut found = None;
+        while h < t {
+            let idx = (h % cap) as usize;
+            let p = ctx.mem_read(&self.ring[idx])?;
+            h += 1;
+            if !p.is_null() {
+                ctx.mem_write(&self.ring[idx], std::ptr::null::<Waiter>())?;
+                found = Some(p);
+                break;
+            }
+        }
+        if h != h0 {
+            ctx.mem_write(&self.head, h)?;
+        }
+        Ok(found)
+    }
+
+    /// Transactionally cancel a specific waiter entry (timed-wait timeout).
+    /// Returns `true` if the entry was found and removed; `false` means a
+    /// signaller already claimed it.
+    pub(crate) fn remove(&self, ctx: &mut TxCtx<'_>, raw: *const Waiter) -> Result<bool, AbortCause> {
+        let cap = RING as u64;
+        let h = ctx.mem_read(&self.head)?;
+        let t = ctx.mem_read(&self.tail)?;
+        let mut i = h;
+        while i < t {
+            let idx = (i % cap) as usize;
+            let p = ctx.mem_read(&self.ring[idx])?;
+            if std::ptr::eq(p, raw) {
+                ctx.mem_write(&self.ring[idx], std::ptr::null::<Waiter>())?;
+                return Ok(true);
+            }
+            i += 1;
+        }
+        Ok(false)
+    }
+
+    /// Baseline-mode wakeups (plain pthread semantics).
+    pub(crate) fn notify_native_one(&self) {
+        self.native.notify_one();
+    }
+
+    pub(crate) fn notify_native_all(&self) {
+        self.native.notify_all();
+    }
+
+    /// Baseline-mode wait: atomically release `guard` and sleep. Returns
+    /// `true` if (possibly spuriously) woken before the timeout.
+    pub(crate) fn native_wait(
+        &self,
+        guard: &mut parking_lot::MutexGuard<'_, ()>,
+        timeout: Option<Duration>,
+    ) -> bool {
+        match timeout {
+            None => {
+                self.native.wait(guard);
+                true
+            }
+            Some(d) => !self.native.wait_for(guard, d).timed_out(),
+        }
+    }
+}
+
+impl Default for TxCondvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn waiter_notify_then_wait_returns_immediately() {
+        let w = Waiter::new();
+        w.notify();
+        assert!(w.wait(None));
+    }
+
+    #[test]
+    fn waiter_timeout_returns_false() {
+        let w = Waiter::new();
+        assert!(!w.wait(Some(Duration::from_millis(10))));
+    }
+
+    #[test]
+    fn waiter_cross_thread_wakeup() {
+        let w = Arc::new(Waiter::new());
+        let w2 = Arc::clone(&w);
+        let h = std::thread::spawn(move || w2.wait(Some(Duration::from_secs(5))));
+        std::thread::sleep(Duration::from_millis(20));
+        w.notify();
+        assert!(h.join().unwrap());
+    }
+
+    #[test]
+    fn notify_is_idempotent() {
+        let w = Waiter::new();
+        w.notify();
+        w.notify();
+        assert!(w.wait(None));
+    }
+}

@@ -1,0 +1,284 @@
+//! [`TxCtx`] — the uniform critical-section handle.
+//!
+//! Application code is written once against this type; the variant behind
+//! it decides whether an access is a plain load/store (baseline lock,
+//! serial-irrevocable mode) or an instrumented transactional access (STM /
+//! simulated HTM). This mirrors how the C++ TMTS lets one source body
+//! compile into lock, STM and HTM flavours.
+
+use crate::condvar::{TxCondvar, Waiter};
+use std::sync::Arc;
+use std::time::Duration;
+use tle_base::{AbortCause, TCell, TxVal};
+use tle_htm::HtmTx;
+use tle_stm::SoftTx;
+
+/// Error type flowing out of transactional closures.
+#[derive(Debug)]
+pub enum TxError {
+    /// The attempt must abort (conflict, capacity, explicit cancel, or an
+    /// unsafe operation that needs serialization). The runner retries or
+    /// falls back per policy.
+    Abort(AbortCause),
+    /// The closure requested a condition wait ([`TxCtx::wait`]): commit the
+    /// transaction, block, and re-run the closure.
+    Wait,
+}
+
+impl From<AbortCause> for TxError {
+    fn from(c: AbortCause) -> Self {
+        TxError::Abort(c)
+    }
+}
+
+pub(crate) enum CtxKind<'a> {
+    /// Baseline: the real mutex is held; direct memory access.
+    Locked {
+        guard: Option<parking_lot::MutexGuard<'a, ()>>,
+    },
+    /// Software transaction (of the domain's selected [`tle_stm::StmAlgo`]).
+    /// `spin_waits` selects the paper's "STM + Spin" degradation where
+    /// waiting becomes polling.
+    Stm { tx: SoftTx<'a>, spin_waits: bool },
+    /// Simulated hardware transaction.
+    Htm { tx: HtmTx<'a> },
+    /// Serial-irrevocable mode: global exclusion is held; direct access.
+    Serial,
+}
+
+/// A recorded wait request, consumed by the runner after the transaction
+/// commits.
+pub(crate) struct PendingWait<'a> {
+    /// Private wakeup channel (None for baseline/spin waits, which do not
+    /// enqueue).
+    pub waiter: Option<Arc<Waiter>>,
+    /// The extra `Arc` reference owned by the condvar queue entry; the
+    /// runner reclaims it if the enqueue transaction fails to commit.
+    pub raw: *const Waiter,
+    pub cv: &'a TxCondvar,
+    pub timeout: Option<Duration>,
+}
+
+/// The critical-section handle passed to closures run by
+/// [`ThreadHandle::critical`](crate::ThreadHandle::critical).
+pub struct TxCtx<'a> {
+    pub(crate) kind: CtxKind<'a>,
+    pub(crate) defers: Vec<Box<dyn FnOnce() + Send + 'static>>,
+    pub(crate) pending_wait: Option<PendingWait<'a>>,
+}
+
+impl<'a> TxCtx<'a> {
+    pub(crate) fn new(kind: CtxKind<'a>) -> Self {
+        TxCtx {
+            kind,
+            defers: Vec::new(),
+            pending_wait: None,
+        }
+    }
+
+    /// Whether the section is running as a transaction (vs. under a real
+    /// lock or global serialization).
+    pub fn is_transactional(&self) -> bool {
+        matches!(self.kind, CtxKind::Stm { .. } | CtxKind::Htm { .. })
+    }
+
+    /// Raw read used by both the public API and the condvar machinery.
+    pub(crate) fn mem_read<T: TxVal>(&mut self, c: &TCell<T>) -> Result<T, AbortCause> {
+        match &mut self.kind {
+            CtxKind::Locked { .. } | CtxKind::Serial => Ok(c.load_direct()),
+            CtxKind::Stm { tx, .. } => tx.read(c),
+            CtxKind::Htm { tx } => tx.read(c),
+        }
+    }
+
+    /// Raw write used by both the public API and the condvar machinery.
+    pub(crate) fn mem_write<T: TxVal>(&mut self, c: &TCell<T>, v: T) -> Result<(), AbortCause> {
+        match &mut self.kind {
+            CtxKind::Locked { .. } | CtxKind::Serial => {
+                c.store_direct(v);
+                Ok(())
+            }
+            CtxKind::Stm { tx, .. } => tx.write(c, v),
+            CtxKind::Htm { tx } => tx.write(c, v),
+        }
+    }
+
+    /// Read a transactional cell.
+    #[inline]
+    pub fn read<T: TxVal>(&mut self, c: &TCell<T>) -> Result<T, TxError> {
+        self.mem_read(c).map_err(TxError::from)
+    }
+
+    /// Write a transactional cell.
+    #[inline]
+    pub fn write<T: TxVal>(&mut self, c: &TCell<T>, v: T) -> Result<(), TxError> {
+        self.mem_write(c, v).map_err(TxError::from)
+    }
+
+    /// Read-modify-write convenience.
+    #[inline]
+    pub fn update<T: TxVal>(
+        &mut self,
+        c: &TCell<T>,
+        f: impl FnOnce(T) -> T,
+    ) -> Result<T, TxError> {
+        let old = self.read(c)?;
+        let new = f(old);
+        self.write(c, new)?;
+        Ok(new)
+    }
+
+    /// Defer an action to run after the critical section completes
+    /// (post-commit for transactions, post-unlock for the baseline). This is
+    /// the mechanism the paper uses for logging-under-lock (§VI-c): the
+    /// effect is irrevocable, so it must not run inside an abortable
+    /// attempt.
+    pub fn defer(&mut self, f: impl FnOnce() + Send + 'static) {
+        self.defers.push(Box::new(f));
+    }
+
+    /// The paper's `TM_NoQuiesce` (§IV-B): assert this transaction does not
+    /// privatize, skipping the post-commit quiescence drain. No-op outside
+    /// STM (HTM never quiesces; baseline/serial have no drain), and ignored
+    /// unless the system's quiescence policy is `Selective`.
+    pub fn no_quiesce(&mut self) {
+        if let CtxKind::Stm { tx, .. } = &mut self.kind {
+            tx.no_quiesce();
+        }
+    }
+
+    /// Declare that this transaction frees memory; forces quiescence even
+    /// under `TM_NoQuiesce` (allocator-mandated drain, paper §IV-B).
+    pub fn will_free_memory(&mut self) {
+        if let CtxKind::Stm { tx, .. } = &mut self.kind {
+            tx.will_free_memory();
+        }
+    }
+
+    /// Mark that the section performs an operation that cannot run
+    /// speculatively (I/O, syscall). Under a real lock or in serial mode
+    /// this is a no-op; in a transaction it aborts with
+    /// [`AbortCause::Unsafe`] and the runner re-executes the section in
+    /// serial-irrevocable mode.
+    pub fn unsafe_op(&mut self) -> Result<(), TxError> {
+        match &mut self.kind {
+            CtxKind::Locked { .. } | CtxKind::Serial => Ok(()),
+            CtxKind::Stm { .. } => Err(TxError::Abort(AbortCause::Unsafe)),
+            CtxKind::Htm { tx } => {
+                tx.unsafe_op()?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Explicitly cancel the transaction (the TMTS "cancel" exception).
+    /// Not available under the baseline or in serial mode (effects cannot
+    /// be undone there) — the runner panics if it receives this outside a
+    /// transaction.
+    pub fn cancel(&mut self) -> TxError {
+        TxError::Abort(AbortCause::Explicit)
+    }
+
+    /// Wait on `cv` until signalled (or until `timeout`, if given).
+    ///
+    /// Always returns `Err(TxError::Wait)`, which the closure must
+    /// propagate; the runner then commits the transaction (making the
+    /// waiter registration visible atomically with the predicate check —
+    /// Wang's construction, no lost wakeups), blocks, and re-runs the
+    /// closure. Under `StmSpin` the registration is skipped and the closure
+    /// is simply re-run — polling.
+    pub fn wait(&mut self, cv: &'a TxCondvar, timeout: Option<Duration>) -> Result<(), TxError> {
+        match &mut self.kind {
+            CtxKind::Locked { .. } => {
+                self.pending_wait = Some(PendingWait {
+                    waiter: None,
+                    raw: std::ptr::null(),
+                    cv,
+                    timeout,
+                });
+                Err(TxError::Wait)
+            }
+            CtxKind::Stm { spin_waits: true, .. } => {
+                self.pending_wait = Some(PendingWait {
+                    waiter: None,
+                    raw: std::ptr::null(),
+                    cv,
+                    timeout,
+                });
+                Err(TxError::Wait)
+            }
+            CtxKind::Stm { .. } | CtxKind::Htm { .. } | CtxKind::Serial => {
+                let waiter = Arc::new(Waiter::new());
+                let raw = Arc::into_raw(Arc::clone(&waiter));
+                if let Err(cause) = cv.enqueue(self, raw) {
+                    // The enqueue writes rolled back with the attempt;
+                    // reclaim the queue's reference here.
+                    // SAFETY: `raw` came from `Arc::into_raw` above and the
+                    // failed enqueue published it nowhere.
+                    unsafe { drop(Arc::from_raw(raw)) };
+                    return Err(TxError::Abort(cause));
+                }
+                self.pending_wait = Some(PendingWait {
+                    waiter: Some(waiter),
+                    raw,
+                    cv,
+                    timeout,
+                });
+                Err(TxError::Wait)
+            }
+        }
+    }
+
+    /// Wake one waiter of `cv`. Under transactions the wakeup is a deferred
+    /// action delivered at commit (so an aborted signaller wakes no one).
+    pub fn signal(&mut self, cv: &TxCondvar) -> Result<(), TxError> {
+        match &mut self.kind {
+            CtxKind::Locked { .. } => {
+                cv.notify_native_one();
+                Ok(())
+            }
+            _ => {
+                if let Some(raw) = cv.dequeue(self)? {
+                    self.defer_notify(raw);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Wake all waiters of `cv`.
+    pub fn broadcast(&mut self, cv: &TxCondvar) -> Result<(), TxError> {
+        match &mut self.kind {
+            CtxKind::Locked { .. } => {
+                cv.notify_native_all();
+                Ok(())
+            }
+            _ => {
+                while let Some(raw) = cv.dequeue(self)? {
+                    self.defer_notify(raw);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn defer_notify(&mut self, raw: *const Waiter) {
+        // Raw pointers are not Send; wrap for the deferred closure. (Edition
+        // 2021 closures capture disjoint fields, so expose the pointer via a
+        // method to keep the whole wrapper captured.)
+        struct SendPtr(*const Waiter);
+        unsafe impl Send for SendPtr {}
+        impl SendPtr {
+            fn get(&self) -> *const Waiter {
+                self.0
+            }
+        }
+        let p = SendPtr(raw);
+        self.defers.push(Box::new(move || {
+            // SAFETY: the pointer is the queue-owned Arc reference produced
+            // by `wait`; dequeue transferred ownership to this action.
+            let w = unsafe { Arc::from_raw(p.get()) };
+            w.notify();
+        }));
+    }
+}

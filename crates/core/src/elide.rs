@@ -1,0 +1,115 @@
+//! The elidable mutex.
+//!
+//! Under [`AlgoMode::Baseline`](crate::AlgoMode::Baseline) an
+//! `ElidableMutex` is a real mutex; under every TM mode the lock identity is
+//! *erased* (paper §IV-A) and the object is only metadata — all elided
+//! critical sections, regardless of which lock they named, become
+//! transactions over the single shared TM domain. The paper points out the
+//! cost of this erasure: quiescence and serialization become global even
+//! when the original program used disjoint locks.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, Ordering};
+use tle_base::TCell;
+
+/// A lock that can be elided by the TLE runtime.
+///
+/// Under [`AlgoMode::AdaptiveHtm`](crate::AlgoMode::AdaptiveHtm) the lock
+/// additionally carries glibc-style elision state: a transactionally
+/// readable **subscription word** (`held`) that elided sections read so a
+/// real acquisition aborts them, and an adaptive **skip counter** that
+/// routes the next few acquisitions straight to the lock after an elision
+/// failure (glibc's `skip_lock_internal_abort`).
+pub struct ElidableMutex {
+    raw: Mutex<()>,
+    name: &'static str,
+    held: TCell<bool>,
+    skip: AtomicU32,
+}
+
+impl ElidableMutex {
+    /// Create a named lock (the name appears in diagnostics only).
+    pub fn new(name: &'static str) -> Self {
+        ElidableMutex {
+            raw: Mutex::new(()),
+            name,
+            held: TCell::new(false),
+            skip: AtomicU32::new(0),
+        }
+    }
+
+    /// The diagnostic name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The underlying mutex (baseline mode only).
+    pub(crate) fn raw(&self) -> &Mutex<()> {
+        &self.raw
+    }
+
+    /// The transactionally subscribed lock word (adaptive elision).
+    pub(crate) fn held_cell(&self) -> &TCell<bool> {
+        &self.held
+    }
+
+    /// Whether the adaptive policy says to skip elision this time; consumes
+    /// one skip credit.
+    pub(crate) fn consume_skip(&self) -> bool {
+        let mut cur = self.skip.load(Ordering::Relaxed);
+        while cur > 0 {
+            match self.skip.compare_exchange_weak(
+                cur,
+                cur - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(c) => cur = c,
+            }
+        }
+        false
+    }
+
+    /// Penalize elision on this lock for the next `n` acquisitions
+    /// (glibc's adaptation after an internal abort).
+    pub(crate) fn set_skip(&self, n: u32) {
+        self.skip.store(n, Ordering::Relaxed);
+    }
+
+    /// Current skip credits (diagnostics/tests).
+    pub fn skip_credits(&self) -> u32 {
+        self.skip.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for ElidableMutex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ElidableMutex")
+            .field("name", &self.name)
+            .field("locked", &self.raw.is_locked())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_and_debug() {
+        let m = ElidableMutex::new("queue");
+        assert_eq!(m.name(), "queue");
+        let s = format!("{m:?}");
+        assert!(s.contains("queue"));
+    }
+
+    #[test]
+    fn raw_mutex_excludes() {
+        let m = ElidableMutex::new("x");
+        let g = m.raw().lock();
+        assert!(m.raw().try_lock().is_none());
+        drop(g);
+        assert!(m.raw().try_lock().is_some());
+    }
+}

@@ -1,0 +1,679 @@
+//! The TLE execution engine: attempt → retry → backoff → serialize.
+//!
+//! One function per algorithm family:
+//! - [`run_locked`]: baseline pthread semantics (no elision);
+//! - [`run_stm`]: software lock elision with bounded retries, randomized
+//!   exponential backoff and an abort-storm escape into serial mode;
+//! - [`run_htm`]: simulated hardware lock elision — the paper's
+//!   configuration retries twice, then takes the GCC-style global serial
+//!   fallback;
+//! - [`run_serial`]: the serial-irrevocable path shared by unsafe
+//!   operations and both fallbacks.
+
+use crate::condvar::{TxCondvar, Waiter};
+use crate::ctx::{CtxKind, PendingWait, TxCtx, TxError};
+use crate::elide::ElidableMutex;
+use crate::system::{AlgoMode, ThreadHandle, TxHints};
+use std::sync::Arc;
+use tle_base::rng::XorShift64;
+use tle_base::AbortCause;
+
+pub(crate) fn run<'a, R, F>(
+    th: &'a ThreadHandle,
+    lock: &'a ElidableMutex,
+    hints: TxHints,
+    mut f: F,
+) -> R
+where
+    F: FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
+{
+    // Nested critical sections are the paper's §V problem in miniature: a
+    // transaction cannot subsume inner critical sections that communicate
+    // with other threads (and naive flattening would release the outer
+    // transaction's orecs at the inner commit). Fail loudly instead of
+    // corrupting; restructure with a ready flag (Listing 4) or merge the
+    // sections (Yoo-style coarsening).
+    assert!(
+        !th.in_critical.replace(true),
+        "nested critical sections are not supported under TLE \
+         (lock {:?}); restructure per paper §V (ready flag) or merge the sections",
+        lock.name()
+    );
+    let _reset = ResetOnDrop(&th.in_critical);
+    match th.sys.mode() {
+        AlgoMode::Baseline => run_locked(th, lock, &mut f),
+        AlgoMode::StmSpin => run_stm(th, hints, &mut f, true),
+        AlgoMode::StmCondvar | AlgoMode::StmCondvarNoQuiesce => run_stm(th, hints, &mut f, false),
+        AlgoMode::HtmCondvar => run_htm(th, hints, &mut f),
+        AlgoMode::AdaptiveHtm => run_adaptive_htm(th, lock, hints, &mut f),
+    }
+}
+
+/// glibc-style adaptive lock elision (extension; see
+/// [`AlgoMode::AdaptiveHtm`]). Differences from the TMTS-style `run_htm`:
+/// the transaction **subscribes to the lock word** as its first read, the
+/// fallback is **the lock itself** (global concurrency is unaffected), and
+/// repeated failures set a per-lock skip counter so hopeless locks stop
+/// being elided for a while.
+fn run_adaptive_htm<'a, R, F>(
+    th: &'a ThreadHandle,
+    lock: &'a ElidableMutex,
+    hints: TxHints,
+    f: &mut F,
+) -> R
+where
+    F: FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
+{
+    /// glibc's skip_lock_internal_abort analogue.
+    const SKIP_AFTER_FAILURE: u32 = 3;
+    let sys = &*th.sys;
+    let htm_retries = hints.htm_retries.unwrap_or(sys.policy().htm_retries);
+    let mut attempts: u32 = 0;
+    loop {
+        if lock.consume_skip() || attempts >= htm_retries {
+            if attempts >= htm_retries {
+                lock.set_skip(SKIP_AFTER_FAILURE);
+                sys.stats.serial_fallbacks.inc(th.stm_slot);
+            }
+            match run_adaptive_lock_path(th, lock, f) {
+                SerialOutcome::Done(r) => return r,
+                SerialOutcome::Retry => {
+                    attempts = 0;
+                    continue;
+                }
+            }
+        }
+        // Don't even start while the lock is held (glibc spins outside the
+        // transaction for the same reason: an immediate subscription abort
+        // is wasted work).
+        let mut spins = 0u32;
+        while lock.held_cell().load_direct() {
+            spins += 1;
+            if spins < 32 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        let mut tx = sys.htm.begin(th.htm_slot);
+        // Subscribe: a real acquisition of the lock invalidates this line
+        // and dooms us.
+        match tx.read(lock.held_cell()) {
+            Ok(false) => {}
+            Ok(true) => {
+                tx.abort(AbortCause::Conflict);
+                attempts += 1;
+                continue;
+            }
+            Err(e) => {
+                tx.abort(e);
+                attempts += 1;
+                backoff(th.htm_slot, attempts, sys.policy().backoff_ceiling);
+                continue;
+            }
+        }
+        let mut ctx = TxCtx::new(CtxKind::Htm { tx });
+        let res = f(&mut ctx);
+        let TxCtx {
+            kind,
+            defers,
+            pending_wait,
+        } = ctx;
+        let tx = match kind {
+            CtxKind::Htm { tx } => tx,
+            _ => unreachable!("context kind changed mid-transaction"),
+        };
+        match res {
+            Ok(r) => {
+                debug_assert!(pending_wait.is_none(), "wait() result must be propagated");
+                match tx.commit() {
+                    Ok(()) => {
+                        for d in defers {
+                            d();
+                        }
+                        return r;
+                    }
+                    Err(_) => {
+                        attempts += 1;
+                        backoff(th.htm_slot, attempts, sys.policy().backoff_ceiling);
+                    }
+                }
+            }
+            Err(TxError::Wait) => {
+                let pw = pending_wait.expect("Wait reported without a wait request");
+                match tx.commit() {
+                    Ok(()) => {
+                        for d in defers {
+                            d();
+                        }
+                        attempts = 0;
+                        block_on_adaptive(th, lock, pw);
+                    }
+                    Err(_) => {
+                        reclaim_enqueue_ref(&pw);
+                        attempts += 1;
+                        backoff(th.htm_slot, attempts, sys.policy().backoff_ceiling);
+                    }
+                }
+            }
+            Err(TxError::Abort(AbortCause::Unsafe)) => {
+                // Irrevocable work runs under the real lock (glibc TLE has
+                // no serial mode to fall back to).
+                tx.abort(AbortCause::Unsafe);
+                sys.stats.serial_fallbacks.inc(th.stm_slot);
+                match run_adaptive_lock_path(th, lock, f) {
+                    SerialOutcome::Done(r) => return r,
+                    SerialOutcome::Retry => attempts = 0,
+                }
+            }
+            Err(TxError::Abort(c)) => {
+                tx.abort(c);
+                if let Some(pw) = pending_wait {
+                    reclaim_enqueue_ref(&pw);
+                }
+                attempts += 1;
+                backoff(th.htm_slot, attempts, sys.policy().backoff_ceiling);
+            }
+        }
+    }
+}
+
+/// Acquire the subscription word as a real lock (CAS + invalidate all
+/// subscribed transactions), run the closure with direct access, release.
+fn run_adaptive_lock_path<'a, R, F>(
+    th: &'a ThreadHandle,
+    lock: &'a ElidableMutex,
+    f: &mut F,
+) -> SerialOutcome<R>
+where
+    F: FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
+{
+    adaptive_acquire(th, lock);
+
+    let mut ctx = TxCtx::new(CtxKind::Serial);
+    let res = f(&mut ctx);
+    let TxCtx {
+        kind: _,
+        defers,
+        pending_wait,
+    } = ctx;
+    lock.held_cell().store_direct(false);
+    match res {
+        Ok(r) => {
+            debug_assert!(pending_wait.is_none(), "wait() result must be propagated");
+            for d in defers {
+                d();
+            }
+            SerialOutcome::Done(r)
+        }
+        Err(TxError::Wait) => {
+            for d in defers {
+                d();
+            }
+            let pw = pending_wait.expect("Wait reported without a wait request");
+            block_on_adaptive(th, lock, pw);
+            SerialOutcome::Retry
+        }
+        Err(TxError::Abort(c)) => {
+            panic!("operation aborted ({c}) while holding the elided lock: effects cannot be undone")
+        }
+    }
+}
+
+/// Clears the nesting flag even if the critical section panics.
+struct ResetOnDrop<'a>(&'a std::cell::Cell<bool>);
+
+impl Drop for ResetOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.set(false);
+    }
+}
+
+fn run_locked<'a, R, F>(_th: &'a ThreadHandle, lock: &'a ElidableMutex, f: &mut F) -> R
+where
+    F: FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
+{
+    let mut guard = Some(lock.raw().lock());
+    loop {
+        let mut ctx = TxCtx::new(CtxKind::Locked {
+            guard: guard.take(),
+        });
+        let res = f(&mut ctx);
+        let TxCtx {
+            kind,
+            defers,
+            pending_wait,
+        } = ctx;
+        let mut g = match kind {
+            CtxKind::Locked { guard: Some(g) } => g,
+            _ => unreachable!("baseline context lost its guard"),
+        };
+        match res {
+            Ok(r) => {
+                debug_assert!(pending_wait.is_none(), "wait() result must be propagated");
+                drop(g);
+                for d in defers {
+                    d();
+                }
+                return r;
+            }
+            Err(TxError::Wait) => {
+                // The "commit point" of a baseline section that waits is
+                // the wait itself; run deferred actions now (still holding
+                // the lock, like the original pthread program would).
+                for d in defers {
+                    d();
+                }
+                let pw = pending_wait.expect("Wait reported without a wait request");
+                pw.cv.native_wait(&mut g, pw.timeout);
+                guard = Some(g);
+            }
+            Err(TxError::Abort(c)) => {
+                panic!("cannot abort ({c}) while holding the baseline lock")
+            }
+        }
+    }
+}
+
+fn run_stm<'a, R, F>(th: &'a ThreadHandle, hints: TxHints, f: &mut F, spin: bool) -> R
+where
+    F: FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
+{
+    let sys = &*th.sys;
+    let stm_retries = hints.stm_retries.unwrap_or(sys.policy().stm_retries);
+    let mut attempts: u32 = 0;
+    loop {
+        if attempts >= stm_retries {
+            match run_serial(th, f) {
+                SerialOutcome::Done(r) => return r,
+                SerialOutcome::Retry => {
+                    attempts = 0;
+                    continue;
+                }
+            }
+        }
+        let token = sys.gate.enter_concurrent();
+        let tx = sys.stm.begin_soft(th.stm_slot);
+        let mut ctx = TxCtx::new(CtxKind::Stm {
+            tx,
+            spin_waits: spin,
+        });
+        let res = f(&mut ctx);
+        let TxCtx {
+            kind,
+            defers,
+            pending_wait,
+        } = ctx;
+        let tx = match kind {
+            CtxKind::Stm { tx, .. } => tx,
+            _ => unreachable!("context kind changed mid-transaction"),
+        };
+        match res {
+            Ok(r) => {
+                debug_assert!(pending_wait.is_none(), "wait() result must be propagated");
+                match tx.commit() {
+                    Ok(_) => {
+                        drop(token);
+                        for d in defers {
+                            d();
+                        }
+                        return r;
+                    }
+                    Err(_) => {
+                        drop(token);
+                        attempts += 1;
+                        backoff(th.stm_slot, attempts, sys.policy().backoff_ceiling);
+                    }
+                }
+            }
+            Err(TxError::Wait) => {
+                let pw = pending_wait.expect("Wait reported without a wait request");
+                match tx.commit() {
+                    Ok(_) => {
+                        drop(token);
+                        for d in defers {
+                            d();
+                        }
+                        attempts = 0;
+                        block_on(th, pw);
+                    }
+                    Err(_) => {
+                        reclaim_enqueue_ref(&pw);
+                        drop(token);
+                        attempts += 1;
+                        backoff(th.stm_slot, attempts, sys.policy().backoff_ceiling);
+                    }
+                }
+            }
+            Err(TxError::Abort(AbortCause::Unsafe)) => {
+                tx.abort(AbortCause::Unsafe);
+                drop(token);
+                match run_serial(th, f) {
+                    SerialOutcome::Done(r) => return r,
+                    SerialOutcome::Retry => attempts = 0,
+                }
+            }
+            Err(TxError::Abort(c)) => {
+                tx.abort(c);
+                if let Some(pw) = pending_wait {
+                    reclaim_enqueue_ref(&pw);
+                }
+                drop(token);
+                attempts += 1;
+                backoff(th.stm_slot, attempts, sys.policy().backoff_ceiling);
+            }
+        }
+    }
+}
+
+fn run_htm<'a, R, F>(th: &'a ThreadHandle, hints: TxHints, f: &mut F) -> R
+where
+    F: FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
+{
+    let sys = &*th.sys;
+    let htm_retries = hints.htm_retries.unwrap_or(sys.policy().htm_retries);
+    let mut attempts: u32 = 0;
+    loop {
+        if attempts >= htm_retries {
+            // Paper §VII: "fall back to a serial mode after hardware
+            // transactions fail twice".
+            match run_serial(th, f) {
+                SerialOutcome::Done(r) => return r,
+                SerialOutcome::Retry => {
+                    attempts = 0;
+                    continue;
+                }
+            }
+        }
+        let token = sys.gate.enter_concurrent();
+        let tx = sys.htm.begin(th.htm_slot);
+        let mut ctx = TxCtx::new(CtxKind::Htm { tx });
+        let res = f(&mut ctx);
+        let TxCtx {
+            kind,
+            defers,
+            pending_wait,
+        } = ctx;
+        let tx = match kind {
+            CtxKind::Htm { tx } => tx,
+            _ => unreachable!("context kind changed mid-transaction"),
+        };
+        match res {
+            Ok(r) => {
+                debug_assert!(pending_wait.is_none(), "wait() result must be propagated");
+                match tx.commit() {
+                    Ok(()) => {
+                        drop(token);
+                        for d in defers {
+                            d();
+                        }
+                        return r;
+                    }
+                    Err(_) => {
+                        drop(token);
+                        attempts += 1;
+                        backoff(th.htm_slot, attempts, sys.policy().backoff_ceiling);
+                    }
+                }
+            }
+            Err(TxError::Wait) => {
+                let pw = pending_wait.expect("Wait reported without a wait request");
+                match tx.commit() {
+                    Ok(()) => {
+                        drop(token);
+                        for d in defers {
+                            d();
+                        }
+                        attempts = 0;
+                        block_on(th, pw);
+                    }
+                    Err(_) => {
+                        reclaim_enqueue_ref(&pw);
+                        drop(token);
+                        attempts += 1;
+                        backoff(th.htm_slot, attempts, sys.policy().backoff_ceiling);
+                    }
+                }
+            }
+            Err(TxError::Abort(AbortCause::Unsafe)) => {
+                tx.abort(AbortCause::Unsafe);
+                drop(token);
+                match run_serial(th, f) {
+                    SerialOutcome::Done(r) => return r,
+                    SerialOutcome::Retry => attempts = 0,
+                }
+            }
+            Err(TxError::Abort(c)) => {
+                tx.abort(c);
+                if let Some(pw) = pending_wait {
+                    reclaim_enqueue_ref(&pw);
+                }
+                drop(token);
+                attempts += 1;
+                backoff(th.htm_slot, attempts, sys.policy().backoff_ceiling);
+            }
+        }
+    }
+}
+
+enum SerialOutcome<R> {
+    Done(R),
+    /// The serial section waited on a condvar; re-run concurrently.
+    Retry,
+}
+
+fn run_serial<'a, R, F>(th: &'a ThreadHandle, f: &mut F) -> SerialOutcome<R>
+where
+    F: FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
+{
+    let sys = &*th.sys;
+    let token = sys.gate.enter_serial();
+    let mut ctx = TxCtx::new(CtxKind::Serial);
+    let res = f(&mut ctx);
+    let TxCtx {
+        kind: _,
+        defers,
+        pending_wait,
+    } = ctx;
+    sys.stats.serial_fallbacks.inc(th.stm_slot);
+    match res {
+        Ok(r) => {
+            debug_assert!(pending_wait.is_none(), "wait() result must be propagated");
+            sys.stats.commits.inc(th.stm_slot);
+            drop(token);
+            for d in defers {
+                d();
+            }
+            SerialOutcome::Done(r)
+        }
+        Err(TxError::Wait) => {
+            sys.stats.commits.inc(th.stm_slot);
+            drop(token);
+            for d in defers {
+                d();
+            }
+            let pw = pending_wait.expect("Wait reported without a wait request");
+            block_on(th, pw);
+            SerialOutcome::Retry
+        }
+        Err(TxError::Abort(c)) => {
+            panic!("operation aborted ({c}) in serial-irrevocable mode: effects cannot be undone")
+        }
+    }
+}
+
+/// Acquire the adaptive lock word: CAS it, then doom every hardware
+/// transaction that subscribed before the CAS (transactions beginning
+/// after it read `true` and abort themselves).
+fn adaptive_acquire(th: &ThreadHandle, lock: &ElidableMutex) {
+    let mut spins = 0u32;
+    loop {
+        if !lock.held_cell().load_direct()
+            && lock
+                .held_cell()
+                .word()
+                .compare_exchange(
+                    0,
+                    1,
+                    std::sync::atomic::Ordering::SeqCst,
+                    std::sync::atomic::Ordering::SeqCst,
+                )
+                .is_ok()
+        {
+            break;
+        }
+        spins += 1;
+        if spins < 64 {
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+    th.sys.htm.invalidate(lock.held_cell());
+}
+
+/// Adaptive-mode parking: like [`block_on`], but a timed-out waiter cancels
+/// its ring entry **under the real lock** — the only context that excludes
+/// both elided transactions (via subscription) and other lock holders. The
+/// generic `cancel_wait` path uses STM/serial-gate transactions, which do
+/// not conflict-detect against adaptive-mode ring users.
+fn block_on_adaptive<'a>(th: &'a ThreadHandle, lock: &'a ElidableMutex, pw: PendingWait<'a>) {
+    match pw.waiter {
+        None => {
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+        Some(w) => {
+            let signaled = w.wait(pw.timeout);
+            if !signaled {
+                adaptive_acquire(th, lock);
+                let mut ctx = TxCtx::new(CtxKind::Serial);
+                let removed = pw
+                    .cv
+                    .remove(&mut ctx, pw.raw)
+                    .expect("direct access cannot abort");
+                lock.held_cell().store_direct(false);
+                if removed {
+                    // SAFETY: removing the entry transfers the queue's Arc
+                    // reference to us (see `cancel_wait`).
+                    unsafe { drop(Arc::from_raw(pw.raw)) };
+                }
+            }
+        }
+    }
+}
+
+/// Park the thread on its committed wait registration (or just yield the
+/// scheduling slot under spin-mode polling).
+fn block_on<'a>(th: &'a ThreadHandle, pw: PendingWait<'a>) {
+    match pw.waiter {
+        None => {
+            // STM+Spin: no registration was made; poll by re-running. The
+            // yield keeps the poll loop finite on oversubscribed machines
+            // (without it, a polling thread can burn its entire quantum
+            // while the thread it waits for is descheduled).
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+        Some(w) => {
+            let signaled = w.wait(pw.timeout);
+            if !signaled {
+                cancel_wait(th, pw.cv, pw.raw);
+            }
+        }
+    }
+}
+
+/// Timed-out waiter: remove our ring entry (a small transaction of its own)
+/// or, if a signaller already claimed it, let the signaller's wakeup fall on
+/// the floor harmlessly. Only reachable from the TM modes (baseline waiters
+/// use the native condvar).
+fn cancel_wait(th: &ThreadHandle, cv: &TxCondvar, raw: *const Waiter) {
+    let sys = &*th.sys;
+    let use_htm = sys.mode() == AlgoMode::HtmCondvar;
+    let mut attempts = 0u32;
+    let removed = loop {
+        if attempts >= sys.policy().stm_retries {
+            // Abort storm: do it under global exclusion.
+            let token = sys.gate.enter_serial();
+            let mut ctx = TxCtx::new(CtxKind::Serial);
+            let r = cv.remove(&mut ctx, raw).expect("direct access cannot abort");
+            drop(token);
+            break r;
+        }
+        let token = sys.gate.enter_concurrent();
+        let outcome = if use_htm {
+            let tx = sys.htm.begin(th.htm_slot);
+            let mut ctx = TxCtx::new(CtxKind::Htm { tx });
+            let r = cv.remove(&mut ctx, raw);
+            let tx = match ctx.kind {
+                CtxKind::Htm { tx } => tx,
+                _ => unreachable!(),
+            };
+            match r {
+                Ok(found) => tx.commit().map(|_| found).map_err(|e| e),
+                Err(e) => {
+                    tx.abort(e);
+                    Err(e)
+                }
+            }
+        } else {
+            let tx = sys.stm.begin_soft(th.stm_slot);
+            let mut ctx = TxCtx::new(CtxKind::Stm {
+                tx,
+                spin_waits: false,
+            });
+            let r = cv.remove(&mut ctx, raw);
+            let tx = match ctx.kind {
+                CtxKind::Stm { tx, .. } => tx,
+                _ => unreachable!(),
+            };
+            match r {
+                Ok(found) => tx.commit().map(|_| found),
+                Err(e) => {
+                    tx.abort(e);
+                    Err(e)
+                }
+            }
+        };
+        drop(token);
+        match outcome {
+            Ok(found) => break found,
+            Err(_) => {
+                attempts += 1;
+                backoff(th.stm_slot, attempts, sys.policy().backoff_ceiling);
+            }
+        }
+    };
+    if removed {
+        // SAFETY: the queue entry held an `Arc` reference produced by
+        // `Arc::into_raw` in `TxCtx::wait`; removing the entry transfers
+        // that reference to us.
+        unsafe { drop(Arc::from_raw(raw)) };
+    }
+}
+
+/// Reclaim the queue-owned `Arc` reference of an enqueue whose transaction
+/// failed to commit (the ring write rolled back, so nothing points at it).
+fn reclaim_enqueue_ref(pw: &PendingWait<'_>) {
+    if !pw.raw.is_null() {
+        // SAFETY: see `cancel_wait`; the rolled-back enqueue published the
+        // pointer nowhere.
+        unsafe { drop(Arc::from_raw(pw.raw)) };
+    }
+}
+
+/// Randomized exponential backoff between attempts. Yields early: the
+/// conflicting transaction may be descheduled (always true on a single-CPU
+/// host), in which case spinning cannot help it finish.
+fn backoff(salt: usize, attempts: u32, ceiling: u32) {
+    let bound = (16u64 << attempts.min(16)).min(ceiling as u64).max(1);
+    let mut rng = XorShift64::new((salt as u64) << 32 | attempts as u64);
+    let spins = rng.below(bound) + 1;
+    for _ in 0..spins {
+        std::hint::spin_loop();
+    }
+    if attempts > 2 {
+        std::thread::yield_now();
+    }
+}

@@ -1,0 +1,337 @@
+//! The top-level TLE system: algorithm mode, policy knobs, thread
+//! registration.
+
+use crate::elide::ElidableMutex;
+use crate::runner;
+use crate::{TxCtx, TxError};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+use tle_base::stats::TxStats;
+use tle_base::Gate;
+use tle_htm::{HtmConfig, HtmGlobal};
+use tle_stm::{QuiescePolicy, StmGlobal};
+
+/// The five synchronization algorithms evaluated in the paper (§VII).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum AlgoMode {
+    /// The original pthread-style locking (no elision).
+    Baseline = 0,
+    /// STM elision; waiting degrades to polling in small transactions.
+    StmSpin = 1,
+    /// STM elision with transaction-friendly condition variables.
+    StmCondvar = 2,
+    /// `StmCondvar` plus selective quiescence disabling (`TM_NoQuiesce`).
+    StmCondvarNoQuiesce = 3,
+    /// Simulated-HTM elision with condition variables and serial fallback.
+    HtmCondvar = 4,
+    /// glibc-style adaptive lock elision (extension, not one of the
+    /// paper's five): hardware transactions **subscribe to the lock word**
+    /// and fall back to **the lock itself** (not global serialization);
+    /// an adaptive skip counter disables elision on locks that keep
+    /// aborting, exactly like glibc's `pthread_mutex_lock` elision.
+    AdaptiveHtm = 5,
+}
+
+impl AlgoMode {
+    /// Label matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            AlgoMode::Baseline => "pthread",
+            AlgoMode::StmSpin => "STM+Spin",
+            AlgoMode::StmCondvar => "STM+CondVar",
+            AlgoMode::StmCondvarNoQuiesce => "STM+CondVar+NoQuiesce",
+            AlgoMode::HtmCondvar => "HTM+CondVar",
+            AlgoMode::AdaptiveHtm => "AdaptiveHTM(glibc)",
+        }
+    }
+
+    /// Decode from the atomic representation.
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            0 => AlgoMode::Baseline,
+            1 => AlgoMode::StmSpin,
+            2 => AlgoMode::StmCondvar,
+            3 => AlgoMode::StmCondvarNoQuiesce,
+            5 => AlgoMode::AdaptiveHtm,
+            _ => AlgoMode::HtmCondvar,
+        }
+    }
+
+    /// The quiescence policy this algorithm implies for its STM domain.
+    pub fn quiesce_policy(self) -> QuiescePolicy {
+        match self {
+            AlgoMode::StmCondvarNoQuiesce => QuiescePolicy::Selective,
+            _ => QuiescePolicy::Always,
+        }
+    }
+
+    /// Whether this mode runs critical sections as transactions.
+    pub fn is_transactional(self) -> bool {
+        !matches!(self, AlgoMode::Baseline)
+    }
+}
+
+/// Retry/fallback policy knobs.
+#[derive(Debug, Clone)]
+pub struct TlePolicy {
+    /// Hardware attempts before serializing. The paper's configuration is
+    /// **2** ("fall back to a serial mode after hardware transactions fail
+    /// twice") and §VII-A calls tuning this knob out as future work — see
+    /// the `ablate_htm_retry` bench.
+    pub htm_retries: u32,
+    /// Software attempts before serializing (GCC uses a similar abort-storm
+    /// escape hatch).
+    pub stm_retries: u32,
+    /// Exponential-backoff ceiling (spins) between software retries.
+    pub backoff_ceiling: u32,
+}
+
+impl Default for TlePolicy {
+    fn default() -> Self {
+        TlePolicy {
+            htm_retries: 2,
+            stm_retries: 64,
+            backoff_ceiling: 1 << 12,
+        }
+    }
+}
+
+/// Per-critical-section overrides of the global [`TlePolicy`] — the
+/// transaction-by-transaction retry tuning the paper's §VII-A asks for.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TxHints {
+    /// Override the hardware-retry budget for this section.
+    pub htm_retries: Option<u32>,
+    /// Override the software-retry budget for this section.
+    pub stm_retries: Option<u32>,
+}
+
+impl TxHints {
+    /// Hint more (or fewer) hardware retries.
+    pub fn htm_retries(n: u32) -> Self {
+        TxHints {
+            htm_retries: Some(n),
+            ..TxHints::default()
+        }
+    }
+
+    /// Hint more (or fewer) software retries.
+    pub fn stm_retries(n: u32) -> Self {
+        TxHints {
+            stm_retries: Some(n),
+            ..TxHints::default()
+        }
+    }
+}
+
+/// The assembled TLE runtime. One instance per process/benchmark-trial;
+/// applications share it via `Arc`.
+pub struct TmSystem {
+    /// The software TM domain.
+    pub stm: StmGlobal,
+    /// The simulated hardware TM domain.
+    pub htm: HtmGlobal,
+    /// The serialization gate (irrevocability + fallback).
+    pub gate: Gate,
+    /// TLE-level statistics (serial fallbacks are counted here).
+    pub stats: TxStats,
+    mode: AtomicU8,
+    policy: TlePolicy,
+}
+
+impl TmSystem {
+    /// Build a system running algorithm `mode` with default policy.
+    pub fn new(mode: AlgoMode) -> Self {
+        Self::with_policy(mode, TlePolicy::default(), HtmConfig::default())
+    }
+
+    /// Build a system with explicit policy and HTM configuration.
+    pub fn with_policy(mode: AlgoMode, policy: TlePolicy, htm_cfg: HtmConfig) -> Self {
+        TmSystem {
+            stm: StmGlobal::new(mode.quiesce_policy()),
+            htm: HtmGlobal::new(htm_cfg),
+            gate: Gate::new(),
+            stats: TxStats::new(),
+            mode: AtomicU8::new(mode as u8),
+            policy,
+        }
+    }
+
+    /// The active algorithm.
+    #[inline]
+    pub fn mode(&self) -> AlgoMode {
+        AlgoMode::from_u8(self.mode.load(Ordering::Relaxed))
+    }
+
+    /// Switch algorithms. Only call between phases (no transactions in
+    /// flight); benchmarks use this to sweep modes over one data set.
+    pub fn set_mode(&self, mode: AlgoMode) {
+        self.mode.store(mode as u8, Ordering::Relaxed);
+        self.stm.set_policy(mode.quiesce_policy());
+    }
+
+    /// The retry/fallback policy.
+    #[inline]
+    pub fn policy(&self) -> &TlePolicy {
+        &self.policy
+    }
+
+    /// Select the software-TM algorithm (`ml_wt`, the paper's; or NOrec,
+    /// the privatization-safe-by-construction ablation). Takes effect for
+    /// subsequently started transactions; switch only between phases.
+    pub fn set_stm_algo(&self, algo: tle_stm::StmAlgo) {
+        self.stm.set_algo(algo);
+    }
+
+    /// Register the calling thread, claiming STM and HTM slots. The handle
+    /// is the capability through which critical sections run.
+    pub fn register(self: &Arc<Self>) -> ThreadHandle {
+        let stm_slot = self
+            .stm
+            .slots
+            .register_raw()
+            .expect("out of STM thread slots");
+        let htm_slot = self
+            .htm
+            .slots
+            .register_raw()
+            .expect("out of HTM thread slots");
+        ThreadHandle {
+            sys: Arc::clone(self),
+            stm_slot,
+            htm_slot,
+            in_critical: std::cell::Cell::new(false),
+        }
+    }
+
+    /// Reset all statistics (between benchmark trials).
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+        self.stm.stats.reset();
+        self.htm.stats.reset();
+    }
+}
+
+/// A registered thread's capability to run elided critical sections.
+pub struct ThreadHandle {
+    pub(crate) sys: Arc<TmSystem>,
+    pub(crate) stm_slot: usize,
+    pub(crate) htm_slot: usize,
+    /// Guards against nested critical sections (see
+    /// [`ThreadHandle::critical`]).
+    pub(crate) in_critical: std::cell::Cell<bool>,
+}
+
+impl ThreadHandle {
+    /// The system this handle belongs to.
+    #[inline]
+    pub fn system(&self) -> &Arc<TmSystem> {
+        &self.sys
+    }
+
+    /// This thread's STM slot index (used as a statistics shard hint).
+    #[inline]
+    pub fn shard(&self) -> usize {
+        self.stm_slot
+    }
+
+    /// Run `body` as the critical section guarded by `lock`.
+    ///
+    /// Under [`AlgoMode::Baseline`] this acquires the real mutex; under the
+    /// TM modes it elides the lock and executes `body` transactionally,
+    /// retrying on conflicts and falling back to global serialization per
+    /// the [`TlePolicy`]. `body` may run many times and must be free of
+    /// non-transactional side effects (use [`TxCtx::defer`] for I/O-style
+    /// effects, or [`TxCtx::unsafe_op`] to force irrevocability).
+    #[inline]
+    pub fn critical<'a, R>(
+        &'a self,
+        lock: &'a ElidableMutex,
+        body: impl FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
+    ) -> R {
+        runner::run(self, lock, TxHints::default(), body)
+    }
+
+    /// Like [`ThreadHandle::critical`], with per-section policy hints.
+    ///
+    /// This implements the tuning interface the paper calls for in §VII-A
+    /// ("it would be beneficial for programmers to be able to suggest retry
+    /// policies on a transaction-by-transaction basis: for queues that are
+    /// expected to be un-contended, more retries before serialization might
+    /// be appropriate") — a capability the C++ TMTS does not offer.
+    #[inline]
+    pub fn critical_hinted<'a, R>(
+        &'a self,
+        lock: &'a ElidableMutex,
+        hints: TxHints,
+        body: impl FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
+    ) -> R {
+        runner::run(self, lock, hints, body)
+    }
+}
+
+impl Drop for ThreadHandle {
+    fn drop(&mut self) {
+        self.sys.stm.slots.unregister_raw(self.stm_slot);
+        self.sys.htm.slots.unregister_raw(self.htm_slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_labels_match_paper() {
+        assert_eq!(AlgoMode::Baseline.label(), "pthread");
+        assert_eq!(AlgoMode::StmSpin.label(), "STM+Spin");
+        assert_eq!(AlgoMode::StmCondvar.label(), "STM+CondVar");
+        assert_eq!(AlgoMode::StmCondvarNoQuiesce.label(), "STM+CondVar+NoQuiesce");
+        assert_eq!(AlgoMode::HtmCondvar.label(), "HTM+CondVar");
+    }
+
+    #[test]
+    fn mode_u8_roundtrip() {
+        for m in crate::ALL_MODES {
+            assert_eq!(AlgoMode::from_u8(m as u8), m);
+        }
+    }
+
+    #[test]
+    fn noquiesce_mode_selects_selective_policy() {
+        assert_eq!(
+            AlgoMode::StmCondvarNoQuiesce.quiesce_policy(),
+            QuiescePolicy::Selective
+        );
+        assert_eq!(AlgoMode::StmCondvar.quiesce_policy(), QuiescePolicy::Always);
+    }
+
+    #[test]
+    fn register_claims_and_releases_slots() {
+        let sys = Arc::new(TmSystem::new(AlgoMode::StmCondvar));
+        {
+            let _a = sys.register();
+            let _b = sys.register();
+            assert_eq!(sys.stm.slots.claimed_count(), 2);
+            assert_eq!(sys.htm.slots.claimed_count(), 2);
+        }
+        assert_eq!(sys.stm.slots.claimed_count(), 0);
+        assert_eq!(sys.htm.slots.claimed_count(), 0);
+    }
+
+    #[test]
+    fn set_mode_updates_quiesce_policy() {
+        let sys = TmSystem::new(AlgoMode::StmCondvar);
+        assert_eq!(sys.stm.policy(), QuiescePolicy::Always);
+        sys.set_mode(AlgoMode::StmCondvarNoQuiesce);
+        assert_eq!(sys.stm.policy(), QuiescePolicy::Selective);
+        assert_eq!(sys.mode(), AlgoMode::StmCondvarNoQuiesce);
+    }
+
+    #[test]
+    fn default_policy_matches_paper_configuration() {
+        let p = TlePolicy::default();
+        assert_eq!(p.htm_retries, 2, "paper: serialize after two HTM failures");
+    }
+}

@@ -1,0 +1,397 @@
+//! The simulated hardware transaction: redo-log buffering, access-time
+//! dooming, capacity accounting, and event-abort injection.
+
+use crate::{state, DoomOutcome, HtmGlobal};
+use std::sync::atomic::{AtomicU64, Ordering};
+use tle_base::rng::XorShift64;
+use tle_base::{AbortCause, TCell, TxVal};
+
+/// A single hardware-transaction attempt.
+///
+/// Ends in exactly one of [`HtmTx::commit`] or [`HtmTx::abort`]; dropping a
+/// live transaction aborts it (cleaning its footprint out of the conflict
+/// table).
+///
+/// # Pointer validity
+///
+/// Like [`tle_stm::StmTx`](https://docs.rs/), the redo log stores raw
+/// pointers to written cells; cells must outlive the transaction, which the
+/// `tle-core` runner guarantees by construction.
+pub struct HtmTx<'g> {
+    g: &'g HtmGlobal,
+    slot: usize,
+    /// Buffered stores `(cell, address, value)`, applied in order at
+    /// commit. Looked up by linear scan: hardware write sets are tiny, so
+    /// this beats any hash table.
+    redo: Vec<(*const AtomicU64, usize, u64)>,
+    /// Distinct table entries read / written (for cleanup + capacity),
+    /// also scanned linearly.
+    read_lines: Vec<u32>,
+    write_lines: Vec<u32>,
+    rng: XorShift64,
+    finished: bool,
+}
+
+impl<'g> HtmTx<'g> {
+    pub(crate) fn begin(g: &'g HtmGlobal, slot: usize) -> Self {
+        g.tx_state[slot].store(state::ACTIVE, Ordering::SeqCst);
+        // Seed differs per (slot, begin) so event aborts are not correlated
+        // across retries, yet the whole run is deterministic.
+        let salt = g.slots.value(slot).wrapping_add(1);
+        let seed = g.config.seed ^ ((slot as u64) << 32) ^ salt;
+        g.slots
+            .publish_raw(slot, g.slots.value(slot).wrapping_add(1));
+        HtmTx {
+            g,
+            slot,
+            redo: Vec::with_capacity(8),
+            read_lines: Vec::with_capacity(16),
+            write_lines: Vec::with_capacity(8),
+            rng: XorShift64::new(seed),
+            finished: false,
+        }
+    }
+
+    /// The slot (hardware context) running this transaction.
+    #[inline]
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// Transactionally read a cell.
+    pub fn read<T: TxVal>(&mut self, cell: &TCell<T>) -> Result<T, AbortCause> {
+        self.access_checks()?;
+        let addr = cell.addr();
+        let li = self.g.table.index_of(addr) as u32;
+        if !self.write_lines.contains(&li) && !self.read_lines.contains(&li) {
+            self.mark_read_line(li)?;
+        }
+        // Read-own-write: return the buffered value.
+        if let Some(&(_, _, w)) = self.redo.iter().find(|&&(_, a, _)| a == addr) {
+            return Ok(T::from_word(w));
+        }
+        let val = cell.load_seqcst();
+        // The load and the line marking are not one atomic step; a writer
+        // that committed in between doomed us — re-check before returning.
+        if self.g.is_doomed(self.slot) {
+            return Err(AbortCause::Conflict);
+        }
+        Ok(val)
+    }
+
+    /// Transactionally write a cell (buffered until commit).
+    pub fn write<T: TxVal>(&mut self, cell: &TCell<T>, v: T) -> Result<(), AbortCause> {
+        self.access_checks()?;
+        let addr = cell.addr();
+        let li = self.g.table.index_of(addr) as u32;
+        if !self.write_lines.contains(&li) {
+            self.mark_write_line(li)?;
+        }
+        let word = v.to_word();
+        if let Some(entry) = self.redo.iter_mut().find(|&&mut (_, a, _)| a == addr) {
+            entry.2 = word;
+        } else {
+            self.redo.push((cell.word() as *const AtomicU64, addr, word));
+        }
+        if self.g.is_doomed(self.slot) {
+            return Err(AbortCause::Conflict);
+        }
+        Ok(())
+    }
+
+    /// Read-modify-write convenience.
+    pub fn update<T: TxVal>(
+        &mut self,
+        cell: &TCell<T>,
+        f: impl FnOnce(T) -> T,
+    ) -> Result<T, AbortCause> {
+        let old = self.read(cell)?;
+        let new = f(old);
+        self.write(cell, new)?;
+        Ok(new)
+    }
+
+    /// An irrevocable operation was attempted inside a hardware transaction
+    /// (I/O, syscall, condition-variable machinery the hardware cannot
+    /// defer). Always aborts with [`AbortCause::Unsafe`]; the TLE layer then
+    /// serializes.
+    pub fn unsafe_op(&mut self) -> Result<(), AbortCause> {
+        Err(AbortCause::Unsafe)
+    }
+
+    fn access_checks(&mut self) -> Result<(), AbortCause> {
+        if self.g.is_doomed(self.slot) {
+            return Err(AbortCause::Conflict);
+        }
+        let p = self.g.config.event_prob;
+        if p > 0.0 && self.rng.chance(p) {
+            return Err(AbortCause::Event);
+        }
+        Ok(())
+    }
+
+    /// Put this transaction in the line's reader set, dooming a conflicting
+    /// writer (requester-wins) or self-aborting if the writer already won
+    /// its commit point.
+    fn mark_read_line(&mut self, li: u32) -> Result<(), AbortCause> {
+        let line = self.g.table.line(li as usize);
+        line.add_reader(self.slot);
+        loop {
+            let w = line.writer();
+            if w == 0 || w as usize == self.slot + 1 {
+                break;
+            }
+            match self.g.doom(w as usize - 1) {
+                DoomOutcome::Committing => {
+                    line.remove_reader(self.slot);
+                    return Err(AbortCause::Conflict);
+                }
+                DoomOutcome::Doomed | DoomOutcome::Gone => {
+                    // Evict the dead writer so later transactions do not
+                    // keep dooming a stale slot; tolerate CAS failure (a
+                    // new writer appeared — loop and contend with it).
+                    let _ = line.cas_writer(w, 0);
+                }
+            }
+        }
+        self.read_lines.push(li);
+        if self.read_lines.len() > self.g.config.read_cap_lines {
+            return Err(AbortCause::Capacity);
+        }
+        Ok(())
+    }
+
+    /// Become the line's writer, dooming all other readers and any writer.
+    fn mark_write_line(&mut self, li: u32) -> Result<(), AbortCause> {
+        let line = self.g.table.line(li as usize);
+        // Acquire the writer word.
+        loop {
+            let w = line.writer();
+            if w as usize == self.slot + 1 {
+                break;
+            }
+            if w == 0 {
+                if line.cas_writer(0, self.slot as u64 + 1) {
+                    break;
+                }
+                continue;
+            }
+            match self.g.doom(w as usize - 1) {
+                DoomOutcome::Committing => return Err(AbortCause::Conflict),
+                DoomOutcome::Doomed | DoomOutcome::Gone => {
+                    let _ = line.cas_writer(w, 0);
+                }
+            }
+        }
+        // Doom every other reader (write invalidation).
+        let readers = line.readers() & !(1u64 << self.slot);
+        let mut bits = readers;
+        while bits != 0 {
+            let victim = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if self.g.doom(victim) == DoomOutcome::Committing {
+                return Err(AbortCause::Conflict);
+            }
+        }
+        self.write_lines.push(li);
+        if self.write_lines.len() > self.g.config.write_cap_lines {
+            return Err(AbortCause::Capacity);
+        }
+        Ok(())
+    }
+
+    /// Attempt to commit: win the commit point, publish the redo log,
+    /// release the footprint.
+    pub fn commit(mut self) -> Result<(), AbortCause> {
+        debug_assert!(!self.finished);
+        if self.g.tx_state[self.slot]
+            .compare_exchange(
+                state::ACTIVE,
+                state::COMMITTED,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_err()
+        {
+            // Doomed before the commit point.
+            self.cleanup();
+            self.finished = true;
+            self.g.stats.count_abort(self.slot, AbortCause::Conflict);
+            return Err(AbortCause::Conflict);
+        }
+        for &(cell, _, val) in &self.redo {
+            // SAFETY: cells outlive the transaction (documented invariant).
+            unsafe { (*cell).store(val, Ordering::SeqCst) };
+        }
+        self.cleanup();
+        self.finished = true;
+        self.g.stats.tx.commits.inc(self.slot);
+        Ok(())
+    }
+
+    /// Abort this attempt, discarding buffered writes.
+    pub fn abort(mut self, cause: AbortCause) {
+        self.cleanup();
+        self.finished = true;
+        self.g.stats.count_abort(self.slot, cause);
+    }
+
+    fn cleanup(&mut self) {
+        for &li in &self.read_lines {
+            self.g.table.line(li as usize).remove_reader(self.slot);
+        }
+        for &li in &self.write_lines {
+            let line = self.g.table.line(li as usize);
+            let _ = line.cas_writer(self.slot as u64 + 1, 0);
+        }
+        self.g.tx_state[self.slot].store(state::IDLE, Ordering::SeqCst);
+    }
+}
+
+impl Drop for HtmTx<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.cleanup();
+            self.g.stats.count_abort(self.slot, AbortCause::Explicit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HtmConfig;
+
+    fn quiet() -> HtmGlobal {
+        HtmGlobal::new(HtmConfig {
+            event_prob: 0.0,
+            ..HtmConfig::default()
+        })
+    }
+
+    #[test]
+    fn drop_cleans_footprint() {
+        let g = quiet();
+        let slot = g.slots.register_raw().unwrap();
+        let a = TCell::new(0u64);
+        let li = g.table.index_of(a.addr());
+        {
+            let mut tx = g.begin(slot);
+            tx.read(&a).unwrap();
+            tx.write(&a, 1u64).unwrap();
+        } // dropped, no commit
+        assert_eq!(g.table.line(li).readers(), 0);
+        assert_eq!(g.table.line(li).writer(), 0);
+        assert_eq!(a.load_direct(), 0);
+        g.slots.unregister_raw(slot);
+    }
+
+    #[test]
+    fn write_coalesces_in_redo_log() {
+        let g = quiet();
+        let slot = g.slots.register_raw().unwrap();
+        let a = TCell::new(0u64);
+        let mut tx = g.begin(slot);
+        for v in 1..100u64 {
+            tx.write(&a, v).unwrap();
+        }
+        assert_eq!(tx.read(&a).unwrap(), 99);
+        tx.commit().unwrap();
+        assert_eq!(a.load_direct(), 99);
+        g.slots.unregister_raw(slot);
+    }
+
+    #[test]
+    fn two_writers_to_same_line_cannot_both_commit() {
+        let g = quiet();
+        let s1 = g.slots.register_raw().unwrap();
+        let s2 = g.slots.register_raw().unwrap();
+        let a = TCell::new(0u64);
+
+        let mut t1 = g.begin(s1);
+        t1.write(&a, 1u64).unwrap();
+
+        let mut t2 = g.begin(s2);
+        // t2's write dooms t1 (requester-wins) or self-aborts.
+        let w2 = t2.write(&a, 2u64);
+
+        let c1 = t1.commit();
+        let c2 = match w2 {
+            Ok(()) => t2.commit(),
+            Err(e) => {
+                t2.abort(e);
+                Err(e)
+            }
+        };
+        assert!(
+            c1.is_ok() != c2.is_ok() || (c1.is_err() && c2.is_err()),
+            "both writers committed: lost update"
+        );
+        let v = a.load_direct();
+        assert!(v == 0 || v == 1 || v == 2);
+        if c1.is_ok() {
+            assert_eq!(v, 1);
+        }
+        if c2.is_ok() {
+            assert_eq!(v, 2);
+        }
+        g.slots.unregister_raw(s1);
+        g.slots.unregister_raw(s2);
+    }
+
+    #[test]
+    fn read_capacity_enforced() {
+        let g = HtmGlobal::new(HtmConfig {
+            event_prob: 0.0,
+            read_cap_lines: 8,
+            ..HtmConfig::default()
+        });
+        let slot = g.slots.register_raw().unwrap();
+        let cells: Vec<Box<TCell<u64>>> = (0..64).map(|i| Box::new(TCell::new(i))).collect();
+        let mut tx = g.begin(slot);
+        let mut err = None;
+        for c in &cells {
+            if let Err(e) = tx.read(c) {
+                err = Some(e);
+                break;
+            }
+        }
+        assert_eq!(err, Some(AbortCause::Capacity));
+        tx.abort(AbortCause::Capacity);
+        g.slots.unregister_raw(slot);
+    }
+
+    #[test]
+    fn update_is_atomic_under_contention() {
+        let g = std::sync::Arc::new(quiet());
+        let cell = std::sync::Arc::new(TCell::new(0i64));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let g = std::sync::Arc::clone(&g);
+                let cell = std::sync::Arc::clone(&cell);
+                std::thread::spawn(move || {
+                    let slot = g.slots.register_raw().unwrap();
+                    let delta: i64 = if t % 2 == 0 { 1 } else { -1 };
+                    for _ in 0..3000 {
+                        loop {
+                            let mut tx = g.begin(slot);
+                            match tx.update(&*cell, |v| v + delta) {
+                                Ok(_) => {
+                                    if tx.commit().is_ok() {
+                                        break;
+                                    }
+                                }
+                                Err(e) => tx.abort(e),
+                            }
+                        }
+                    }
+                    g.slots.unregister_raw(slot);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cell.load_direct(), 0, "equal +1/-1 ops must cancel exactly");
+    }
+}

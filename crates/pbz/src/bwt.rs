@@ -1,0 +1,214 @@
+//! The Burrows-Wheeler transform.
+//!
+//! Forward transform via prefix-doubling suffix sorting (O(n log² n) with
+//! comparison sorts, n ≤ block size) over the input plus a virtual sentinel;
+//! inverse via the standard LF-mapping counting construction. This is the
+//! heart of the per-block compression work that PBZip2 parallelizes — the
+//! compute that happens *outside* the critical sections the paper elides.
+
+/// Forward BWT. Returns the transformed bytes and the primary index (the
+/// row of the sentinel-terminated original string).
+pub fn bwt_encode(data: &[u8]) -> (Vec<u8>, u32) {
+    let n = data.len();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    // Suffix array over data + sentinel (sentinel sorts first and is
+    // represented implicitly by suffix index n).
+    let sa = suffix_array(data);
+    // BWT over the n+1 rotations of data+$, dropping the column entry for
+    // the sentinel itself (we record where it was instead).
+    let mut out = Vec::with_capacity(n);
+    let mut primary = 0u32;
+    for (row, &s) in sa.iter().enumerate() {
+        if s == 0 {
+            // The rotation starting at 0 is preceded by the sentinel; its
+            // BWT char would be '$'. Record the row and emit nothing.
+            primary = row as u32;
+        } else {
+            out.push(data[s - 1]);
+        }
+    }
+    debug_assert_eq!(out.len(), n);
+    (out, primary)
+}
+
+/// Inverse BWT given the output of [`bwt_encode`].
+///
+/// Works on the conceptual (n+1)-row sorted-rotation matrix of `text + $`:
+/// the first column `F` is `$` followed by the sorted bytes of the BWT; the
+/// last column `L` is the BWT with `$` re-inserted at row `primary`. The
+/// classic occurrence-matching property links the i-th occurrence of byte
+/// `c` in `L` (at matrix row `r`) with the i-th occurrence of `c` in `F`
+/// (at row `p`): rotation `p` is rotation `r` shifted one position earlier
+/// in the text. `next[p] = r` therefore walks the text forward.
+pub fn bwt_decode(bwt: &[u8], primary: u32) -> Vec<u8> {
+    let n = bwt.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let primary = primary as usize;
+    let mut count = [0usize; 256];
+    for &b in bwt {
+        count[b as usize] += 1;
+    }
+    // First-column start offsets; the sentinel occupies F row 0.
+    let mut starts = [0usize; 256];
+    let mut acc = 1usize;
+    for b in 0..256 {
+        starts[b] = acc;
+        acc += count[b];
+    }
+    let mut next = vec![0u32; n + 1];
+    let mut fchar = vec![0u8; n + 1];
+    // The sentinel's occurrence pair: F position 0 links to L row `primary`.
+    next[0] = primary as u32;
+    let mut seen = [0usize; 256];
+    for (i, &b) in bwt.iter().enumerate() {
+        // BWT index i maps to matrix row i, bumped past the sentinel row.
+        let row = if i < primary { i } else { i + 1 };
+        let p = starts[b as usize] + seen[b as usize];
+        seen[b as usize] += 1;
+        next[p] = row as u32;
+        fchar[p] = b;
+    }
+    // Walk forward from the sentinel row, emitting first-column characters.
+    let mut out = Vec::with_capacity(n);
+    let mut row = next[0] as usize;
+    for _ in 0..n {
+        out.push(fchar[row]);
+        row = next[row] as usize;
+    }
+    out
+}
+
+/// Suffix array of `data + $` (sentinel smaller than every byte), prefix
+/// doubling with comparison sorts. Returned array has length n+1 and starts
+/// with the sentinel suffix (index n).
+pub fn suffix_array(data: &[u8]) -> Vec<usize> {
+    let n = data.len() + 1; // includes sentinel suffix
+    let mut sa: Vec<usize> = (0..n).collect();
+    // rank[i]: current bucket of suffix i. Sentinel = 0, bytes shifted by 1.
+    let mut rank: Vec<u32> = (0..n)
+        .map(|i| if i == n - 1 { 0 } else { data[i] as u32 + 1 })
+        .collect();
+    let mut tmp = vec![0u32; n];
+    let mut k = 1usize;
+    let key = |rank: &Vec<u32>, i: usize, k: usize| -> (u32, u32) {
+        let second = if i + k < rank.len() { rank[i + k] } else { 0 };
+        (rank[i], second)
+    };
+    while k < n {
+        sa.sort_unstable_by_key(|&i| key(&rank, i, k));
+        tmp[sa[0]] = 0;
+        for w in 1..n {
+            let prev = sa[w - 1];
+            let cur = sa[w];
+            tmp[cur] = tmp[prev] + u32::from(key(&rank, prev, k) != key(&rank, cur, k));
+        }
+        rank.copy_from_slice(&tmp);
+        if rank[sa[n - 1]] as usize == n - 1 {
+            break; // all distinct
+        }
+        k *= 2;
+    }
+    sa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let (bwt, primary) = bwt_encode(data);
+        assert_eq!(bwt.len(), data.len());
+        let dec = bwt_decode(&bwt, primary);
+        assert_eq!(dec, data, "BWT roundtrip failed for {data:?}");
+    }
+
+    #[test]
+    fn classic_banana() {
+        // Known transform of "banana" with sentinel: "annb$aa" minus '$'.
+        let (bwt, _primary) = bwt_encode(b"banana");
+        assert_eq!(&bwt, b"annbaa");
+        roundtrip(b"banana");
+    }
+
+    #[test]
+    fn empty_and_single() {
+        roundtrip(b"");
+        roundtrip(b"x");
+        roundtrip(b"\0");
+        roundtrip(&[255]);
+    }
+
+    #[test]
+    fn repeated_bytes() {
+        roundtrip(b"aaaaaaaaaa");
+        roundtrip(&[0u8; 100]);
+        roundtrip(&[255u8; 37]);
+    }
+
+    #[test]
+    fn alternating_and_periodic() {
+        roundtrip(b"ababababab");
+        roundtrip(b"abcabcabcabc");
+        roundtrip(b"aabbaabbaabb");
+    }
+
+    #[test]
+    fn all_byte_values_present() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        roundtrip(&data);
+        let rev: Vec<u8> = (0..=255u8).rev().collect();
+        roundtrip(&rev);
+    }
+
+    #[test]
+    fn english_text() {
+        roundtrip(b"the quick brown fox jumps over the lazy dog");
+        roundtrip(b"The Burrows-Wheeler transform rearranges a character string into runs of similar characters.");
+    }
+
+    #[test]
+    fn random_blocks() {
+        let mut rng = tle_base::rng::XorShift64::new(2024);
+        for len in [2usize, 3, 7, 64, 1000, 4096] {
+            let data: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            roundtrip(&data);
+        }
+    }
+
+    #[test]
+    fn suffix_array_is_sorted() {
+        let data = b"mississippi";
+        let sa = suffix_array(data);
+        assert_eq!(sa.len(), data.len() + 1);
+        assert_eq!(sa[0], data.len(), "sentinel suffix sorts first");
+        for w in sa.windows(2) {
+            let a = &data[w[0]..];
+            let b = &data[w[1]..];
+            // Compare with implicit sentinel: shorter prefix-equal suffix
+            // sorts first.
+            assert!(
+                a < b || (b.starts_with(a) && a.len() < b.len()),
+                "suffixes out of order: {a:?} !< {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bwt_groups_similar_context() {
+        // For text with repeated contexts, the BWT output should contain
+        // longer runs than the input — the property MTF+RLE exploit.
+        let text = b"she sells sea shells by the sea shore she sells sea shells by the sea shore".repeat(4);
+        let (bwt, _) = bwt_encode(&text);
+        let runs = |s: &[u8]| s.windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(
+            runs(&bwt) > runs(&text) * 2,
+            "BWT did not concentrate runs: {} vs {}",
+            runs(&bwt),
+            runs(&text)
+        );
+    }
+}

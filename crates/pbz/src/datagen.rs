@@ -1,0 +1,82 @@
+//! Deterministic synthetic input generation.
+//!
+//! Stands in for the paper's 650 MB test file (DESIGN.md substitution §3.5):
+//! a seeded mixture of dictionary words, punctuation and digit runs whose
+//! compression ratio (~3-4x) is in the range of real text, so the
+//! compute-per-block of the pipeline is realistic.
+
+use tle_base::rng::XorShift64;
+
+const WORDS: &[&str] = &[
+    "the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog", "lorem", "ipsum", "dolor",
+    "sit", "amet", "consectetur", "adipiscing", "elit", "transaction", "memory", "lock",
+    "elision", "quiescence", "commit", "abort", "serial", "hardware", "software", "thread",
+    "queue", "producer", "consumer", "pipeline", "block", "compress", "encode", "wavefront",
+];
+
+/// Generate `len` bytes of compressible text-like data from `seed`.
+pub fn gen_text(seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = XorShift64::new(seed);
+    let mut out = Vec::with_capacity(len + 16);
+    while out.len() < len {
+        match rng.below(20) {
+            0 => {
+                // A digit run (timestamps, counters).
+                let n = rng.below(8) + 1;
+                for _ in 0..n {
+                    out.push(b'0' + rng.below(10) as u8);
+                }
+                out.push(b' ');
+            }
+            1 => out.extend_from_slice(b".\n"),
+            2 => out.push(b','),
+            _ => {
+                let w = WORDS[rng.below(WORDS.len() as u64) as usize];
+                out.extend_from_slice(w.as_bytes());
+                out.push(b' ');
+            }
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(gen_text(1, 10_000), gen_text(1, 10_000));
+        assert_ne!(gen_text(1, 10_000), gen_text(2, 10_000));
+    }
+
+    #[test]
+    fn exact_length() {
+        for len in [0usize, 1, 100, 12345] {
+            assert_eq!(gen_text(7, len).len(), len);
+        }
+    }
+
+    #[test]
+    fn is_compressible() {
+        let data = gen_text(3, 100_000);
+        let c = crate::compress_block(&data);
+        assert!(
+            c.len() * 2 < data.len(),
+            "synthetic text should compress >2x: {} -> {}",
+            data.len(),
+            c.len()
+        );
+    }
+
+    #[test]
+    fn mostly_printable() {
+        let data = gen_text(9, 10_000);
+        let printable = data
+            .iter()
+            .filter(|&&b| (0x20..0x7F).contains(&b) || b == b'\n')
+            .count();
+        assert!(printable == data.len());
+    }
+}

@@ -1,0 +1,422 @@
+//! Canonical Huffman coding over a small symbol alphabet, plus the
+//! BZip2-style zero-run ("RUNA/RUNB") front end.
+//!
+//! After MTF the stream is mostly zeros; BZip2 replaces zero runs with a
+//! bijective base-2 numeral over two symbols before entropy coding. The
+//! combined alphabet is:
+//!
+//! - `RUNA` (0) and `RUNB` (1): zero-run digits,
+//! - `2..=256`: the MTF byte `b` encoded as `b + 1` (for `b >= 1`),
+//! - `EOB` (257): end of block.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::CodecError;
+
+/// Total alphabet size.
+pub const ALPHA: usize = 258;
+/// Zero-run digit "1".
+pub const RUNA: u16 = 0;
+/// Zero-run digit "2".
+pub const RUNB: u16 = 1;
+/// End of block.
+pub const EOB: u16 = 257;
+/// Maximum code length we will emit (rescaling enforces it).
+pub const MAX_LEN: u32 = 20;
+
+/// Convert an MTF byte stream into the RUNA/RUNB symbol stream (with EOB).
+pub fn to_symbols(mtf: &[u8]) -> Vec<u16> {
+    let mut out = Vec::with_capacity(mtf.len() / 2 + 8);
+    let mut zeros = 0u64;
+    let flush = |zeros: &mut u64, out: &mut Vec<u16>| {
+        // Bijective base-2: n -> digits in {1,2} (RUNA=1, RUNB=2).
+        let mut n = *zeros;
+        while n > 0 {
+            if n & 1 == 1 {
+                out.push(RUNA);
+                n = (n - 1) / 2;
+            } else {
+                out.push(RUNB);
+                n = (n - 2) / 2;
+            }
+        }
+        *zeros = 0;
+    };
+    for &b in mtf {
+        if b == 0 {
+            zeros += 1;
+        } else {
+            flush(&mut zeros, &mut out);
+            out.push(b as u16 + 1);
+        }
+    }
+    flush(&mut zeros, &mut out);
+    out.push(EOB);
+    out
+}
+
+/// Convert a symbol stream (ending in EOB) back to MTF bytes.
+pub fn from_symbols(syms: &[u16]) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::with_capacity(syms.len() * 2);
+    let mut run = 0u64;
+    let mut place = 1u64;
+    let mut in_run = false;
+    let flush = |run: &mut u64, place: &mut u64, in_run: &mut bool, out: &mut Vec<u8>| {
+        for _ in 0..*run {
+            out.push(0);
+        }
+        *run = 0;
+        *place = 1;
+        *in_run = false;
+    };
+    for &s in syms {
+        match s {
+            RUNA => {
+                run += place;
+                place *= 2;
+                in_run = true;
+            }
+            RUNB => {
+                run += 2 * place;
+                place *= 2;
+                in_run = true;
+            }
+            EOB => {
+                flush(&mut run, &mut place, &mut in_run, &mut out);
+                return Ok(out);
+            }
+            b => {
+                flush(&mut run, &mut place, &mut in_run, &mut out);
+                if b as usize >= ALPHA {
+                    return Err(CodecError::Malformed("symbol out of range"));
+                }
+                out.push((b - 1) as u8);
+            }
+        }
+    }
+    Err(CodecError::Malformed("missing EOB"))
+}
+
+/// Compute canonical code lengths for the given symbol frequencies.
+/// Frequencies are rescaled until the deepest code fits in [`MAX_LEN`].
+pub fn code_lengths(freqs: &[u64; ALPHA]) -> [u8; ALPHA] {
+    let mut f: Vec<u64> = freqs.to_vec();
+    loop {
+        let lens = huffman_lengths(&f);
+        if lens.iter().all(|&l| (l as u32) <= MAX_LEN) {
+            let mut out = [0u8; ALPHA];
+            out.copy_from_slice(&lens);
+            return out;
+        }
+        // zlib-style flattening: halve (rounding up) and retry.
+        for x in f.iter_mut() {
+            if *x > 0 {
+                *x = (*x + 1) / 2;
+            }
+        }
+    }
+}
+
+/// Plain Huffman code lengths (unbounded) for non-zero frequencies.
+fn huffman_lengths(freqs: &[u64]) -> Vec<u8> {
+    let n = freqs.len();
+    let present: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
+    let mut lens = vec![0u8; n];
+    match present.len() {
+        0 => return lens,
+        1 => {
+            lens[present[0]] = 1;
+            return lens;
+        }
+        _ => {}
+    }
+    // Heap of (weight, node-id); internal nodes get ids >= n.
+    #[derive(PartialEq, Eq)]
+    struct Item(u64, usize);
+    impl Ord for Item {
+        fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+            // Min-heap via reversed compare; tie-break on id for determinism.
+            (o.0, o.1).cmp(&(self.0, self.1))
+        }
+    }
+    impl PartialOrd for Item {
+        fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(o))
+        }
+    }
+    let mut heap = std::collections::BinaryHeap::new();
+    let mut parent = vec![usize::MAX; n + present.len()];
+    for &i in &present {
+        heap.push(Item(freqs[i], i));
+    }
+    let mut next_id = n;
+    while heap.len() > 1 {
+        let a = heap.pop().unwrap();
+        let b = heap.pop().unwrap();
+        parent[a.1] = next_id;
+        parent[b.1] = next_id;
+        heap.push(Item(a.0 + b.0, next_id));
+        next_id += 1;
+    }
+    let root = heap.pop().unwrap().1;
+    for &i in &present {
+        let mut d = 0u8;
+        let mut x = i;
+        while x != root {
+            x = parent[x];
+            d += 1;
+        }
+        lens[i] = d;
+    }
+    lens
+}
+
+/// Assign canonical codes from lengths: shorter codes first, ties by symbol.
+pub fn canonical_codes(lens: &[u8; ALPHA]) -> [u32; ALPHA] {
+    let mut pairs: Vec<(u8, usize)> = lens
+        .iter()
+        .enumerate()
+        .filter(|(_, &l)| l > 0)
+        .map(|(s, &l)| (l, s))
+        .collect();
+    pairs.sort_unstable();
+    let mut codes = [0u32; ALPHA];
+    let mut code = 0u32;
+    let mut prev_len = 0u8;
+    for (l, s) in pairs {
+        code <<= l - prev_len;
+        codes[s] = code;
+        code += 1;
+        prev_len = l;
+    }
+    codes
+}
+
+/// Encode `syms` with the canonical code described by `lens`.
+pub fn encode_symbols(syms: &[u16], lens: &[u8; ALPHA], w: &mut BitWriter) {
+    let codes = canonical_codes(lens);
+    for &s in syms {
+        let l = lens[s as usize];
+        debug_assert!(l > 0, "symbol {s} has no code");
+        w.put(codes[s as usize], l as u32);
+    }
+}
+
+/// Canonical decoding tables.
+pub struct Decoder {
+    /// For each length `l`: (first code of length l, first canonical index).
+    limits: Vec<(u32, u32, u32)>, // (len, max_code_exclusive, base_index)
+    /// Symbols in canonical order.
+    symbols: Vec<u16>,
+}
+
+impl Decoder {
+    /// Build a decoder from code lengths.
+    pub fn new(lens: &[u8; ALPHA]) -> Result<Self, CodecError> {
+        let mut pairs: Vec<(u8, u16)> = lens
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l > 0)
+            .map(|(s, &l)| (l, s as u16))
+            .collect();
+        pairs.sort_unstable();
+        if pairs.is_empty() {
+            return Err(CodecError::Malformed("empty Huffman table"));
+        }
+        let symbols: Vec<u16> = pairs.iter().map(|&(_, s)| s).collect();
+        let mut limits = Vec::new();
+        let mut code = 0u32;
+        let mut idx = 0u32;
+        let mut prev_len = 0u8;
+        let mut i = 0;
+        while i < pairs.len() {
+            let l = pairs[i].0;
+            code <<= l - prev_len;
+            let start = i;
+            while i < pairs.len() && pairs[i].0 == l {
+                i += 1;
+            }
+            let count = (i - start) as u32;
+            limits.push((l as u32, code + count, idx));
+            code += count;
+            idx += count;
+            prev_len = l;
+        }
+        Ok(Decoder { limits, symbols })
+    }
+
+    /// Decode one symbol.
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u16, CodecError> {
+        let mut code = 0u32;
+        let mut len = 0u32;
+        for &(l, max_code, base) in &self.limits {
+            while len < l {
+                code = (code << 1) | r.bit().ok_or(CodecError::Truncated)?;
+                len += 1;
+            }
+            if code < max_code {
+                // Offset within this length class: count codes before it.
+                let first_code = max_code - (self.count_at(l));
+                let off = code - first_code;
+                return Ok(self.symbols[(base + off) as usize]);
+            }
+        }
+        Err(CodecError::Malformed("invalid Huffman code"))
+    }
+
+    fn count_at(&self, l: u32) -> u32 {
+        // Number of codes with length l.
+        for (i, &(ll, max_code, base)) in self.limits.iter().enumerate() {
+            if ll == l {
+                let next_base = self
+                    .limits
+                    .get(i + 1)
+                    .map(|&(_, _, b)| b)
+                    .unwrap_or(self.symbols.len() as u32);
+                let _ = max_code;
+                return next_base - base;
+            }
+        }
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn freq_of(syms: &[u16]) -> [u64; ALPHA] {
+        let mut f = [0u64; ALPHA];
+        for &s in syms {
+            f[s as usize] += 1;
+        }
+        f
+    }
+
+    fn roundtrip_syms(syms: &[u16]) {
+        let f = freq_of(syms);
+        let lens = code_lengths(&f);
+        let mut w = BitWriter::new();
+        encode_symbols(syms, &lens, &mut w);
+        let bytes = w.finish();
+        let dec = Decoder::new(&lens).unwrap();
+        let mut r = BitReader::new(&bytes);
+        for &s in syms {
+            assert_eq!(dec.decode(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn zero_run_bijective_coding() {
+        for n in 0..200usize {
+            let mtf = vec![0u8; n];
+            let syms = to_symbols(&mtf);
+            let back = from_symbols(&syms).unwrap();
+            assert_eq!(back, mtf, "zero-run of length {n}");
+        }
+    }
+
+    #[test]
+    fn symbols_roundtrip_mixed_content() {
+        let mtf = [0u8, 0, 0, 5, 0, 1, 255, 0, 0, 0, 0, 7];
+        let syms = to_symbols(&mtf);
+        assert_eq!(from_symbols(&syms).unwrap(), mtf);
+        assert_eq!(*syms.last().unwrap(), EOB);
+    }
+
+    #[test]
+    fn missing_eob_is_error() {
+        assert!(from_symbols(&[RUNA, RUNB, 5]).is_err());
+    }
+
+    #[test]
+    fn huffman_single_symbol() {
+        roundtrip_syms(&[EOB]);
+        roundtrip_syms(&[7, 7, 7, 7, EOB].map(|x| x as u16));
+    }
+
+    #[test]
+    fn huffman_two_symbols() {
+        let syms: Vec<u16> = (0..100).map(|i| if i % 3 == 0 { 5 } else { 9 }).collect();
+        roundtrip_syms(&syms);
+    }
+
+    #[test]
+    fn huffman_skewed_distribution() {
+        let mut syms = vec![2u16; 10_000];
+        syms.extend_from_slice(&[3, 4, 5, 6, 7, 8, EOB]);
+        roundtrip_syms(&syms);
+    }
+
+    #[test]
+    fn huffman_full_alphabet() {
+        let syms: Vec<u16> = (0..ALPHA as u16).cycle().take(5000).collect();
+        roundtrip_syms(&syms);
+    }
+
+    #[test]
+    fn code_lengths_respect_limit() {
+        // Fibonacci-ish frequencies force deep trees without rescaling.
+        let mut f = [0u64; ALPHA];
+        let mut a = 1u64;
+        let mut b = 1u64;
+        for i in 0..50 {
+            f[i] = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        let lens = code_lengths(&f);
+        assert!(lens.iter().all(|&l| (l as u32) <= MAX_LEN));
+        // Kraft inequality must hold (valid prefix code).
+        let kraft: f64 = lens
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-9, "Kraft violated: {kraft}");
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let mut f = [0u64; ALPHA];
+        for i in 0..ALPHA {
+            f[i] = (i as u64 % 17) + 1;
+        }
+        let lens = code_lengths(&f);
+        let codes = canonical_codes(&lens);
+        for a in 0..ALPHA {
+            for b in 0..ALPHA {
+                if a == b || lens[a] == 0 || lens[b] == 0 || lens[a] > lens[b] {
+                    continue;
+                }
+                let shifted = codes[b] >> (lens[b] - lens[a]);
+                assert!(
+                    !(shifted == codes[a]),
+                    "code {a} is a prefix of code {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn end_to_end_mtf_to_bits() {
+        let mtf: Vec<u8> = (0..2000u32).map(|i| ((i * i) % 7) as u8).collect();
+        let syms = to_symbols(&mtf);
+        let f = freq_of(&syms);
+        let lens = code_lengths(&f);
+        let mut w = BitWriter::new();
+        encode_symbols(&syms, &lens, &mut w);
+        let bytes = w.finish();
+        let dec = Decoder::new(&lens).unwrap();
+        let mut r = BitReader::new(&bytes);
+        let mut got = Vec::new();
+        loop {
+            let s = dec.decode(&mut r).unwrap();
+            got.push(s);
+            if s == EOB {
+                break;
+            }
+        }
+        assert_eq!(from_symbols(&got).unwrap(), mtf);
+    }
+}

@@ -1,0 +1,70 @@
+//! # tle-pbz — a PBZip2-style parallel block compressor
+//!
+//! The paper's first application is PBZip2: a parallel BZip2 whose
+//! producer/consumer pipeline splits a file into blocks, compresses blocks
+//! on worker threads, and reassembles output in order. Its critical sections
+//! are small (queue metadata only); compression itself runs outside any
+//! lock. This crate rebuilds that whole stack from scratch:
+//!
+//! - a **BZip2-style block codec** ([`block`]): run-length pre-pass
+//!   ([`rle`]), Burrows-Wheeler transform ([`bwt`]), move-to-front
+//!   ([`mtf`]), zero-run coding and canonical Huffman ([`huffman`]) over a
+//!   bit stream ([`bitio`]), with CRC integrity checks ([`crc`]);
+//! - a **serial→parallel→serial pipeline** ([`pipeline`]): producer thread,
+//!   worker pool, and an order-restoring writer stage, synchronized by
+//!   TLE-elidable locks and transactional condition variables ([`fifo`],
+//!   [`sink`]) with the same topology as PBZip2's six locks / six condition
+//!   variables;
+//! - a **deterministic input generator** ([`datagen`]) standing in for the
+//!   paper's 650 MB test file (DESIGN.md substitution §3.5).
+//!
+//! The pipeline applies the paper's `TM_NoQuiesce` discipline (Listing 2):
+//! producers never privatize and skip the drain; consumers quiesce only
+//! when they actually extract an element.
+
+pub mod bitio;
+pub mod block;
+pub mod bwt;
+pub mod crc;
+pub mod datagen;
+pub mod fifo;
+pub mod huffman;
+pub mod mtf;
+pub mod pipeline;
+pub mod rle;
+pub mod sink;
+pub mod stream;
+
+pub use block::{compress_block, decompress_block};
+pub use datagen::gen_text;
+pub use fifo::TleFifo;
+pub use pipeline::{
+    compress_parallel, compress_serial, decompress_parallel, decompress_serial, PipelineConfig,
+};
+pub use sink::OrderedSink;
+pub use stream::{StreamCompressor, StreamDecompressor};
+
+/// Errors from the decompression path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended prematurely or a length field is inconsistent.
+    Truncated,
+    /// A magic number or structural invariant did not match.
+    Malformed(&'static str),
+    /// The decompressed block failed its CRC check.
+    CrcMismatch { expected: u32, actual: u32 },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "truncated compressed stream"),
+            CodecError::Malformed(what) => write!(f, "malformed stream: {what}"),
+            CodecError::CrcMismatch { expected, actual } => {
+                write!(f, "CRC mismatch: expected {expected:#010x}, got {actual:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}

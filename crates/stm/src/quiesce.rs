@@ -1,0 +1,198 @@
+//! Quiescence: the privatization-safety drain (paper §IV).
+//!
+//! When a transaction commits at time `W` and the code after it accesses
+//! data the transaction made thread-private, a concurrent transaction that
+//! started before `W` may still be running — doomed to abort — and in a
+//! write-through STM its *undo writes* can land on the privatized data after
+//! the privatizer has moved on. GCC's `ml_wt` therefore drains: the
+//! committing thread waits until every concurrent transaction with an older
+//! start time has committed, or aborted and finished rolling back.
+//!
+//! The drain is the RCU-style epoch scan in [`drain`]: walk every thread
+//! slot and spin until its published start time is `INACTIVE` or ≥ `upto`.
+//! Doomed transactions are guaranteed to make progress out of the window:
+//! their next read observes the advanced clock, fails validation, and the
+//! abort path deactivates the slot; a transaction that instead keeps running
+//! will extend (republished, larger start) — either way the scan terminates.
+//!
+//! The paper's observations reproduced by this module:
+//! - cost is linear in thread count (one cache miss per active slot);
+//! - a long-running transaction blocks *unrelated* committers (lock erasure
+//!   makes the drain global);
+//! - paradoxically, the drain acts as congestion control under high
+//!   contention (§VII-C) — committers pause instead of immediately starting
+//!   the next conflicting transaction.
+
+use std::time::Instant;
+use tle_base::SlotRegistry;
+#[cfg(test)]
+use tle_base::INACTIVE;
+
+/// Quiescence policy for an STM domain. Maps to the paper's three
+/// configurations in Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum QuiescePolicy {
+    /// Drain after every transaction (GCC ≥ 2016; supports proxy
+    /// privatization). The paper's "STM" baseline.
+    Always = 0,
+    /// Never drain, except for allocator-mandated frees. The paper's "NoQ" —
+    /// fast but *not privatization-safe in general*; safe here only because
+    /// our runtime never dereferences recycled memory non-transactionally
+    /// (type-stable word cells), but application-level invariants mirroring
+    /// C++ would be racy. Provided for the Figure 5 comparison.
+    Never = 1,
+    /// Drain unless the transaction called `TM_NoQuiesce`
+    /// ([`crate::StmTx::no_quiesce`]). The paper's "SelectNoQ" proposal.
+    Selective = 2,
+}
+
+impl QuiescePolicy {
+    /// Decode from the atomic representation.
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            0 => QuiescePolicy::Always,
+            1 => QuiescePolicy::Never,
+            _ => QuiescePolicy::Selective,
+        }
+    }
+
+    /// Stable label for benchmark tables (matches the paper's legend).
+    pub fn label(self) -> &'static str {
+        match self {
+            QuiescePolicy::Always => "STM",
+            QuiescePolicy::Never => "NoQ",
+            QuiescePolicy::Selective => "SelectNoQ",
+        }
+    }
+}
+
+/// Spin until every slot other than `self_idx` is inactive or has a start
+/// time ≥ `upto`. Returns the nanoseconds spent waiting (0 if the scan
+/// passed on the first sweep).
+pub fn drain(slots: &SlotRegistry, self_idx: usize, upto: u64) -> u64 {
+    // Fast path: single sweep with no waiting.
+    let mut blocked = false;
+    for (idx, v) in slots.scan() {
+        if idx != self_idx && v < upto {
+            blocked = true;
+            break;
+        }
+    }
+    if !blocked {
+        return 0;
+    }
+
+    let t0 = Instant::now();
+    for (idx, _) in slots.scan() {
+        if idx == self_idx {
+            continue;
+        }
+        let mut spins = 0u32;
+        while slots.value(idx) < upto {
+            spins += 1;
+            if spins < 16 {
+                std::hint::spin_loop();
+            } else {
+                // The straggler is likely descheduled; give it the CPU.
+                std::thread::yield_now();
+            }
+        }
+    }
+    t0.elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn drain_passes_with_no_active_transactions() {
+        let slots = SlotRegistry::new();
+        let me = slots.register_raw().unwrap();
+        assert_eq!(drain(&slots, me, 100), 0);
+    }
+
+    #[test]
+    fn drain_ignores_own_slot() {
+        let slots = SlotRegistry::new();
+        let me = slots.register_raw().unwrap();
+        slots.publish_raw(me, 1); // "my" stale value must not self-deadlock
+        assert_eq!(drain(&slots, me, 100), 0);
+    }
+
+    #[test]
+    fn drain_ignores_newer_transactions() {
+        let slots = SlotRegistry::new();
+        let me = slots.register_raw().unwrap();
+        let other = slots.register_raw().unwrap();
+        slots.publish_raw(other, 200); // started after our commit time
+        assert_eq!(drain(&slots, me, 100), 0);
+    }
+
+    #[test]
+    fn drain_waits_for_older_transaction() {
+        let slots = Arc::new(SlotRegistry::new());
+        let me = slots.register_raw().unwrap();
+        let other = slots.register_raw().unwrap();
+        slots.publish_raw(other, 50);
+
+        let released = Arc::new(AtomicBool::new(false));
+        let waiter = {
+            let slots = Arc::clone(&slots);
+            let released = Arc::clone(&released);
+            std::thread::spawn(move || {
+                let ns = drain(&slots, me, 100);
+                assert!(
+                    released.load(Ordering::SeqCst),
+                    "drain returned before the older transaction finished"
+                );
+                assert!(ns > 0);
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        released.store(true, Ordering::SeqCst);
+        slots.publish_raw(other, INACTIVE);
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn drain_released_by_extension_not_only_commit() {
+        // A long-running transaction that *extends* past the committer's
+        // timestamp also releases the drain (it validated against the
+        // commit, so it cannot be doomed by it).
+        let slots = Arc::new(SlotRegistry::new());
+        let me = slots.register_raw().unwrap();
+        let other = slots.register_raw().unwrap();
+        slots.publish_raw(other, 50);
+
+        let waiter = {
+            let slots = Arc::clone(&slots);
+            std::thread::spawn(move || drain(&slots, me, 100))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        slots.publish_raw(other, 150); // extension, still active
+        let ns = waiter.join().unwrap();
+        assert!(ns > 0);
+    }
+
+    #[test]
+    fn policy_labels_match_paper_legend() {
+        assert_eq!(QuiescePolicy::Always.label(), "STM");
+        assert_eq!(QuiescePolicy::Never.label(), "NoQ");
+        assert_eq!(QuiescePolicy::Selective.label(), "SelectNoQ");
+    }
+
+    #[test]
+    fn policy_u8_roundtrip() {
+        for p in [
+            QuiescePolicy::Always,
+            QuiescePolicy::Never,
+            QuiescePolicy::Selective,
+        ] {
+            assert_eq!(QuiescePolicy::from_u8(p as u8), p);
+        }
+    }
+}

@@ -1,0 +1,522 @@
+//! The `ml_wt` transaction descriptor: read set, undo log, eager orec
+//! acquisition, timestamp extension, commit-time validation, and the
+//! post-commit quiescence drain.
+
+use crate::quiesce::{drain, QuiescePolicy};
+use crate::StmGlobal;
+use std::sync::atomic::{AtomicU64, Ordering};
+use tle_base::orec::OrecValue;
+use tle_base::{AbortCause, TCell, TxVal};
+
+/// How long to spin on a locked orec before reporting a conflict. Short, as
+/// orec hold times are bounded by the owner's critical-path work.
+const LOCKED_SPIN: u32 = 64;
+
+/// Outcome data of a successful commit, for statistics and benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitInfo {
+    /// Commit timestamp (0 for read-only transactions, which do not advance
+    /// the clock).
+    pub end_time: u64,
+    /// Whether the post-commit quiescence drain ran.
+    pub quiesced: bool,
+    /// Nanoseconds spent in the drain.
+    pub quiesce_wait_ns: u64,
+}
+
+/// A single software-transaction attempt.
+///
+/// Created by [`StmGlobal::begin`]; ends in exactly one of
+/// [`StmTx::commit`] or [`StmTx::abort`]. Dropping a live transaction rolls
+/// it back (so panics inside transactional closures do not leak orec locks).
+///
+/// # Pointer validity
+///
+/// The undo log stores raw pointers to the cells written. Cells passed to
+/// [`StmTx::read`]/[`StmTx::write`] must remain alive until the transaction
+/// ends; the `tle-core` runner enforces this by construction (cells live in
+/// application structures that outlive the atomic block).
+pub struct StmTx<'g> {
+    g: &'g StmGlobal,
+    slot_idx: usize,
+    start: u64,
+    /// (orec index, orec word observed at read time)
+    reads: Vec<(u32, u64)>,
+    /// (cell pointer, old word) — rolled back in reverse order.
+    undo: Vec<(*const AtomicU64, u64)>,
+    /// (orec index, orec word immediately before we locked it)
+    locks: Vec<(u32, u64)>,
+    no_quiesce: bool,
+    must_quiesce: bool,
+    finished: bool,
+}
+
+impl<'g> StmTx<'g> {
+    pub(crate) fn begin(g: &'g StmGlobal, slot_idx: usize) -> Self {
+        let start = g.clock.now();
+        g.slots.publish_raw(slot_idx, start);
+        StmTx {
+            g,
+            slot_idx,
+            start,
+            reads: Vec::with_capacity(16),
+            undo: Vec::with_capacity(8),
+            locks: Vec::with_capacity(8),
+            no_quiesce: false,
+            must_quiesce: false,
+            finished: false,
+        }
+    }
+
+    /// The slot (thread) identity running this transaction.
+    #[inline]
+    pub fn slot(&self) -> usize {
+        self.slot_idx
+    }
+
+    /// The transaction's current start timestamp (grows on extension).
+    #[inline]
+    pub fn start_time(&self) -> u64 {
+        self.start
+    }
+
+    /// Number of recorded reads (diagnostics).
+    #[inline]
+    pub fn read_set_len(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Whether this attempt has written anything yet.
+    #[inline]
+    pub fn is_writer(&self) -> bool {
+        !self.locks.is_empty()
+    }
+
+    /// The paper's `TM_NoQuiesce`: assert that this transaction does not
+    /// privatize data, so it need not drain after committing. Only honoured
+    /// under [`QuiescePolicy::Selective`], and overridden if the transaction
+    /// later frees memory (see [`StmTx::will_free_memory`]).
+    #[inline]
+    pub fn no_quiesce(&mut self) {
+        self.no_quiesce = true;
+    }
+
+    /// Declare that this transaction logically frees memory that will return
+    /// to an allocator. GCC's TM-aware allocator requires such transactions
+    /// to quiesce regardless of `TM_NoQuiesce` (paper §IV-B); this sets that
+    /// override.
+    #[inline]
+    pub fn will_free_memory(&mut self) {
+        self.must_quiesce = true;
+    }
+
+    /// Transactionally read a cell.
+    #[inline]
+    pub fn read<T: TxVal>(&mut self, cell: &TCell<T>) -> Result<T, AbortCause> {
+        self.read_word(cell.word(), cell.addr()).map(T::from_word)
+    }
+
+    /// Transactionally write a cell.
+    #[inline]
+    pub fn write<T: TxVal>(&mut self, cell: &TCell<T>, v: T) -> Result<(), AbortCause> {
+        self.write_word(cell.word(), cell.addr(), v.to_word())
+    }
+
+    /// Read-modify-write convenience.
+    #[inline]
+    pub fn update<T: TxVal>(
+        &mut self,
+        cell: &TCell<T>,
+        f: impl FnOnce(T) -> T,
+    ) -> Result<T, AbortCause> {
+        let old = self.read(cell)?;
+        let new = f(old);
+        self.write(cell, new)?;
+        Ok(new)
+    }
+
+    fn read_word(&mut self, w: &AtomicU64, addr: usize) -> Result<u64, AbortCause> {
+        let oi = self.g.orecs.index_of(addr);
+        let mut spins = 0u32;
+        loop {
+            let v1 = self.g.orecs.load(oi);
+            match OrecValue::decode(v1) {
+                OrecValue::Locked(owner) if owner == self.slot_idx => {
+                    // Read-own-write: value is in place.
+                    return Ok(w.load(Ordering::Acquire));
+                }
+                OrecValue::Locked(_) => {
+                    if spins < LOCKED_SPIN {
+                        spins += 1;
+                        std::hint::spin_loop();
+                        continue;
+                    }
+                    return Err(AbortCause::ReadConflict);
+                }
+                OrecValue::Unlocked(ver) => {
+                    if ver > self.start {
+                        // TinySTM extension rule: revalidate + move start
+                        // forward *before* consuming the value.
+                        self.extend()?;
+                        continue;
+                    }
+                    let val = w.load(Ordering::Acquire);
+                    let v2 = self.g.orecs.load(oi);
+                    if v1 != v2 {
+                        // Concurrent commit between our samples; retry.
+                        continue;
+                    }
+                    self.reads.push((oi as u32, v1));
+                    return Ok(val);
+                }
+            }
+        }
+    }
+
+    fn write_word(&mut self, w: &AtomicU64, addr: usize, val: u64) -> Result<(), AbortCause> {
+        let oi = self.g.orecs.index_of(addr);
+        let mut spins = 0u32;
+        loop {
+            let cur = self.g.orecs.load(oi);
+            match OrecValue::decode(cur) {
+                OrecValue::Locked(owner) if owner == self.slot_idx => {
+                    self.undo.push((w as *const AtomicU64, w.load(Ordering::Relaxed)));
+                    w.store(val, Ordering::Release);
+                    return Ok(());
+                }
+                OrecValue::Locked(_) => {
+                    if spins < LOCKED_SPIN {
+                        spins += 1;
+                        std::hint::spin_loop();
+                        continue;
+                    }
+                    return Err(AbortCause::WriteConflict);
+                }
+                OrecValue::Unlocked(ver) => {
+                    if ver > self.start {
+                        self.extend()?;
+                        continue;
+                    }
+                    if self.g.orecs.try_lock(oi, cur, self.slot_idx) {
+                        self.locks.push((oi as u32, cur));
+                        self.undo.push((w as *const AtomicU64, w.load(Ordering::Relaxed)));
+                        w.store(val, Ordering::Release);
+                        return Ok(());
+                    }
+                    // CAS raced with another transaction; re-examine.
+                }
+            }
+        }
+    }
+
+    /// Timestamp extension: validate every recorded read, then advance the
+    /// start time to "now". Also republishes the epoch slot, which lets
+    /// concurrent quiescence drains stop waiting on us.
+    fn extend(&mut self) -> Result<(), AbortCause> {
+        let now = self.g.clock.now();
+        self.validate()?;
+        self.start = now;
+        self.g.slots.publish_raw(self.slot_idx, now);
+        Ok(())
+    }
+
+    /// Check that every read still observes the orec word it recorded (or
+    /// that we subsequently locked the orec ourselves *at* that word).
+    fn validate(&self) -> Result<(), AbortCause> {
+        for &(oi, seen) in &self.reads {
+            let cur = self.g.orecs.load(oi as usize);
+            if cur == seen {
+                continue;
+            }
+            match OrecValue::decode(cur) {
+                OrecValue::Locked(owner) if owner == self.slot_idx => {
+                    // We locked this orec after reading it; the read is
+                    // valid iff nothing committed in between, i.e. the
+                    // pre-lock word equals what the read saw.
+                    let prev = self
+                        .locks
+                        .iter()
+                        .find(|&&(li, _)| li == oi)
+                        .map(|&(_, p)| p);
+                    if prev != Some(seen) {
+                        return Err(AbortCause::ValidationFailed);
+                    }
+                }
+                _ => return Err(AbortCause::ValidationFailed),
+            }
+        }
+        Ok(())
+    }
+
+    /// Attempt to commit. On success returns drain information; on failure
+    /// the transaction has already rolled back and the caller retries.
+    pub fn commit(mut self) -> Result<CommitInfo, AbortCause> {
+        debug_assert!(!self.finished);
+        let shard = self.slot_idx;
+        if self.locks.is_empty() {
+            // Read-only fast path: reads were validated incrementally, no
+            // clock advance needed (GCC/TinySTM do the same).
+            self.finished = true;
+            self.g.slots.publish_raw(self.slot_idx, tle_base::INACTIVE);
+            let info = self.maybe_quiesce(self.g.clock.now());
+            self.g.stats.commits.inc(shard);
+            return Ok(info);
+        }
+
+        let end = self.g.clock.advance();
+        if end > self.start + 1 {
+            // Someone committed since our (possibly extended) start; the
+            // read set must still hold.
+            if let Err(cause) = self.validate() {
+                self.rollback();
+                self.finished = true;
+                self.g.stats.aborts.inc(shard);
+                return Err(cause);
+            }
+        }
+        for &(oi, _) in &self.locks {
+            self.g.orecs.release(oi as usize, end);
+        }
+        self.finished = true;
+        self.g.slots.publish_raw(self.slot_idx, tle_base::INACTIVE);
+        let info = self.maybe_quiesce(end);
+        self.g.stats.commits.inc(shard);
+        Ok(info)
+    }
+
+    /// Explicitly abort this attempt (conflict, explicit cancel, or a
+    /// surrounding policy decision). Rolls back and releases all orecs.
+    pub fn abort(mut self, _cause: AbortCause) {
+        self.rollback();
+        self.finished = true;
+        self.g.stats.aborts.inc(self.slot_idx);
+        self.g.slots.publish_raw(self.slot_idx, tle_base::INACTIVE);
+    }
+
+    fn rollback(&mut self) {
+        // Undo in reverse so repeated writes restore the oldest value.
+        for (w, old) in self.undo.drain(..).rev() {
+            // SAFETY: cells outlive the transaction (documented invariant).
+            unsafe { (*w).store(old, Ordering::Release) };
+        }
+        if !self.locks.is_empty() {
+            // Release at a *new* version: concurrent readers that sampled
+            // the pre-lock word and then read an in-flight value must fail
+            // their second orec sample.
+            let ver = self.g.clock.advance();
+            for (oi, _) in self.locks.drain(..) {
+                self.g.orecs.release(oi as usize, ver);
+            }
+        }
+        self.reads.clear();
+    }
+
+    fn maybe_quiesce(&self, upto: u64) -> CommitInfo {
+        let end_time = upto;
+        let needed = match self.g.policy() {
+            QuiescePolicy::Always => true,
+            QuiescePolicy::Never => self.must_quiesce,
+            QuiescePolicy::Selective => self.must_quiesce || !self.no_quiesce,
+        };
+        if !needed {
+            self.g.stats.quiesce_skipped.inc(self.slot_idx);
+            if self.no_quiesce && self.g.audit_noquiesce_enabled() {
+                // §IV-C audit: would the skipped drain have waited?
+                let overlapped = self
+                    .g
+                    .slots
+                    .scan()
+                    .any(|(idx, v)| idx != self.slot_idx && v < upto);
+                if overlapped {
+                    self.g.noquiesce_overlaps.inc(self.slot_idx);
+                }
+            }
+            return CommitInfo {
+                end_time,
+                quiesced: false,
+                quiesce_wait_ns: 0,
+            };
+        }
+        let wait_ns = drain(&self.g.slots, self.slot_idx, upto);
+        self.g.stats.quiesces.inc(self.slot_idx);
+        self.g.stats.quiesce_wait_ns.add(self.slot_idx, wait_ns);
+        CommitInfo {
+            end_time,
+            quiesced: true,
+            quiesce_wait_ns: wait_ns,
+        }
+    }
+}
+
+impl Drop for StmTx<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            // A panic (or early return) escaped the transactional closure:
+            // roll back so no orec stays locked.
+            self.rollback();
+            self.g.stats.aborts.inc(self.slot_idx);
+            self.g.slots.publish_raw(self.slot_idx, tle_base::INACTIVE);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StmGlobal;
+    use std::sync::Arc;
+
+    #[test]
+    fn drop_without_commit_rolls_back_and_unlocks() {
+        let g = StmGlobal::default();
+        let slot = g.slots.register_raw().unwrap();
+        let a = TCell::new(3u64);
+        {
+            let mut tx = g.begin(slot);
+            tx.write(&a, 8u64).unwrap();
+            // tx dropped here without commit/abort.
+        }
+        assert_eq!(a.load_direct(), 3);
+        // The orec must be unlocked: a fresh transaction can write it.
+        let mut tx = g.begin(slot);
+        tx.write(&a, 4u64).unwrap();
+        tx.commit().unwrap();
+        assert_eq!(a.load_direct(), 4);
+        g.slots.unregister_raw(slot);
+    }
+
+    #[test]
+    fn repeated_writes_restore_oldest_on_abort() {
+        let g = StmGlobal::default();
+        let slot = g.slots.register_raw().unwrap();
+        let a = TCell::new(1u64);
+        let mut tx = g.begin(slot);
+        for v in 2..10u64 {
+            tx.write(&a, v).unwrap();
+        }
+        tx.abort(AbortCause::Explicit);
+        assert_eq!(a.load_direct(), 1);
+        g.slots.unregister_raw(slot);
+    }
+
+    #[test]
+    fn update_combines_read_and_write() {
+        let g = StmGlobal::default();
+        let slot = g.slots.register_raw().unwrap();
+        let a = TCell::new(10u64);
+        let mut tx = g.begin(slot);
+        let new = tx.update(&a, |v| v * 3).unwrap();
+        assert_eq!(new, 30);
+        tx.commit().unwrap();
+        assert_eq!(a.load_direct(), 30);
+        g.slots.unregister_raw(slot);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_never_lost() {
+        let g = Arc::new(StmGlobal::default());
+        let counter = Arc::new(TCell::new(0u64));
+        const THREADS: usize = 8;
+        const OPS: u64 = 2_000;
+
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let g = Arc::clone(&g);
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    let slot = g.slots.register_raw().unwrap();
+                    for _ in 0..OPS {
+                        loop {
+                            let mut tx = g.begin(slot);
+                            let ok = (|| -> Result<(), AbortCause> {
+                                tx.update(&*counter, |v| v + 1)?;
+                                Ok(())
+                            })();
+                            match ok {
+                                Ok(()) => {
+                                    if tx.commit().is_ok() {
+                                        break;
+                                    }
+                                }
+                                Err(c) => tx.abort(c),
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                    g.slots.unregister_raw(slot);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load_direct(), THREADS as u64 * OPS);
+    }
+
+    #[test]
+    fn disjoint_writers_do_not_conflict() {
+        // Cells engineered to different orecs are extremely likely with
+        // Fibonacci hashing; verify two parallel writers both commit on the
+        // first try for disjoint data most of the time.
+        let g = StmGlobal::new(crate::QuiescePolicy::Never);
+        let s1 = g.slots.register_raw().unwrap();
+        let s2 = g.slots.register_raw().unwrap();
+        let a = TCell::new(0u64);
+        let b = TCell::new(0u64);
+        if g.orecs.index_of(a.addr()) == g.orecs.index_of(b.addr()) {
+            // False sharing in the orec table: skip (possible but rare).
+            return;
+        }
+        let mut t1 = g.begin(s1);
+        let mut t2 = g.begin(s2);
+        t1.write(&a, 1u64).unwrap();
+        t2.write(&b, 2u64).unwrap();
+        t1.commit().unwrap();
+        t2.commit().unwrap();
+        assert_eq!(a.load_direct(), 1);
+        assert_eq!(b.load_direct(), 2);
+        g.slots.unregister_raw(s1);
+        g.slots.unregister_raw(s2);
+    }
+
+    #[test]
+    fn commit_info_reports_quiescence_per_policy() {
+        let g = StmGlobal::new(crate::QuiescePolicy::Selective);
+        let slot = g.slots.register_raw().unwrap();
+        let a = TCell::new(0u64);
+
+        let mut tx = g.begin(slot);
+        tx.write(&a, 1u64).unwrap();
+        let info = tx.commit().unwrap();
+        assert!(info.quiesced, "selective without no_quiesce must drain");
+
+        let mut tx = g.begin(slot);
+        tx.write(&a, 2u64).unwrap();
+        tx.no_quiesce();
+        let info = tx.commit().unwrap();
+        assert!(!info.quiesced, "no_quiesce must skip the drain");
+
+        let mut tx = g.begin(slot);
+        tx.write(&a, 3u64).unwrap();
+        tx.no_quiesce();
+        tx.will_free_memory();
+        let info = tx.commit().unwrap();
+        assert!(info.quiesced, "freeing memory overrides no_quiesce");
+        g.slots.unregister_raw(slot);
+    }
+
+    #[test]
+    fn never_policy_skips_quiesce_unless_freeing() {
+        let g = StmGlobal::new(crate::QuiescePolicy::Never);
+        let slot = g.slots.register_raw().unwrap();
+        let a = TCell::new(0u64);
+        let mut tx = g.begin(slot);
+        tx.write(&a, 1u64).unwrap();
+        assert!(!tx.commit().unwrap().quiesced);
+        let mut tx = g.begin(slot);
+        tx.write(&a, 2u64).unwrap();
+        tx.will_free_memory();
+        assert!(tx.commit().unwrap().quiesced);
+        g.slots.unregister_raw(slot);
+    }
+}

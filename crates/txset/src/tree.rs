@@ -1,0 +1,331 @@
+//! The tree-based set: an internal (unbalanced) binary search tree over
+//! 8-bit keys, one elided lock. Random keys keep the expected depth
+//! logarithmic; conflicts concentrate near the root — the paper's
+//! intermediate-contention microbenchmark (Figure 5 e/f).
+
+use crate::{TxSet, NIL};
+use tle_base::TCell;
+use tle_core::{ElidableMutex, ThreadHandle, TxCtx, TxError};
+
+/// 8-bit keys, per the paper.
+const KEY_SPACE: u64 = 256;
+const POOL: usize = KEY_SPACE as usize + 128;
+
+struct Node {
+    key: TCell<u64>,
+    left: TCell<u32>,
+    right: TCell<u32>,
+}
+
+/// Transactional BST set. See the module docs.
+pub struct TxTreeSet {
+    lock: ElidableMutex,
+    root: TCell<u32>,
+    /// Free list threaded through `left`.
+    free: TCell<u32>,
+    nodes: Box<[Node]>,
+}
+
+impl TxTreeSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        let nodes: Box<[Node]> = (0..POOL)
+            .map(|i| Node {
+                key: TCell::new(0),
+                left: TCell::new(if i + 1 < POOL { i as u32 + 1 } else { NIL }),
+                right: TCell::new(NIL),
+            })
+            .collect();
+        TxTreeSet {
+            lock: ElidableMutex::new("tree-set"),
+            root: TCell::new(NIL),
+            free: TCell::new(0),
+            nodes,
+        }
+    }
+
+    fn alloc(&self, ctx: &mut TxCtx<'_>) -> Result<u32, TxError> {
+        let idx = ctx.read(&self.free)?;
+        assert_ne!(idx, NIL, "tree-set node pool exhausted");
+        let next = ctx.read(&self.nodes[idx as usize].left)?;
+        ctx.write(&self.free, next)?;
+        Ok(idx)
+    }
+
+    fn release(&self, ctx: &mut TxCtx<'_>, idx: u32) -> Result<(), TxError> {
+        let f = ctx.read(&self.free)?;
+        ctx.write(&self.nodes[idx as usize].left, f)?;
+        ctx.write(&self.nodes[idx as usize].right, NIL)?;
+        ctx.write(&self.free, idx)?;
+        Ok(())
+    }
+
+    /// Find `(parent, node)` for `key`; `node == NIL` if absent, in which
+    /// case `parent` is the attachment point (or `NIL` for an empty tree).
+    fn locate(&self, ctx: &mut TxCtx<'_>, key: u64) -> Result<(u32, u32), TxError> {
+        let mut parent = NIL;
+        let mut cur = ctx.read(&self.root)?;
+        while cur != NIL {
+            let k = ctx.read(&self.nodes[cur as usize].key)?;
+            if k == key {
+                break;
+            }
+            parent = cur;
+            cur = if key < k {
+                ctx.read(&self.nodes[cur as usize].left)?
+            } else {
+                ctx.read(&self.nodes[cur as usize].right)?
+            };
+        }
+        Ok((parent, cur))
+    }
+
+    /// Replace `parent`'s child pointer `old` with `new` (or the root).
+    fn replace_child(
+        &self,
+        ctx: &mut TxCtx<'_>,
+        parent: u32,
+        old: u32,
+        new: u32,
+    ) -> Result<(), TxError> {
+        if parent == NIL {
+            ctx.write(&self.root, new)?;
+        } else if ctx.read(&self.nodes[parent as usize].left)? == old {
+            ctx.write(&self.nodes[parent as usize].left, new)?;
+        } else {
+            ctx.write(&self.nodes[parent as usize].right, new)?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for TxTreeSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TxSet for TxTreeSet {
+    fn insert(&self, th: &ThreadHandle, key: u64) -> bool {
+        debug_assert!(key < KEY_SPACE);
+        th.critical(&self.lock, |ctx| {
+            let (parent, cur) = self.locate(ctx, key)?;
+            if cur != NIL {
+                ctx.no_quiesce();
+                return Ok(false);
+            }
+            let n = self.alloc(ctx)?;
+            ctx.write(&self.nodes[n as usize].key, key)?;
+            ctx.write(&self.nodes[n as usize].left, NIL)?;
+            ctx.write(&self.nodes[n as usize].right, NIL)?;
+            if parent == NIL {
+                ctx.write(&self.root, n)?;
+            } else {
+                let pk = ctx.read(&self.nodes[parent as usize].key)?;
+                if key < pk {
+                    ctx.write(&self.nodes[parent as usize].left, n)?;
+                } else {
+                    ctx.write(&self.nodes[parent as usize].right, n)?;
+                }
+            }
+            ctx.no_quiesce();
+            Ok(true)
+        })
+    }
+
+    fn remove(&self, th: &ThreadHandle, key: u64) -> bool {
+        debug_assert!(key < KEY_SPACE);
+        th.critical(&self.lock, |ctx| {
+            let (parent, cur) = self.locate(ctx, key)?;
+            if cur == NIL {
+                ctx.no_quiesce();
+                return Ok(false);
+            }
+            let left = ctx.read(&self.nodes[cur as usize].left)?;
+            let right = ctx.read(&self.nodes[cur as usize].right)?;
+            if left == NIL || right == NIL {
+                // Zero or one child: splice out.
+                let child = if left == NIL { right } else { left };
+                self.replace_child(ctx, parent, cur, child)?;
+                self.release(ctx, cur)?;
+            } else {
+                // Two children: pull up the in-order successor's key, then
+                // splice the successor (which has no left child).
+                let mut sp = cur;
+                let mut s = right;
+                loop {
+                    let sl = ctx.read(&self.nodes[s as usize].left)?;
+                    if sl == NIL {
+                        break;
+                    }
+                    sp = s;
+                    s = sl;
+                }
+                let sk = ctx.read(&self.nodes[s as usize].key)?;
+                ctx.write(&self.nodes[cur as usize].key, sk)?;
+                let sr = ctx.read(&self.nodes[s as usize].right)?;
+                if sp == cur {
+                    ctx.write(&self.nodes[cur as usize].right, sr)?;
+                } else {
+                    ctx.write(&self.nodes[sp as usize].left, sr)?;
+                }
+                self.release(ctx, s)?;
+            }
+            ctx.will_free_memory();
+            Ok(true)
+        })
+    }
+
+    fn contains(&self, th: &ThreadHandle, key: u64) -> bool {
+        debug_assert!(key < KEY_SPACE);
+        th.critical(&self.lock, |ctx| {
+            let (_, cur) = self.locate(ctx, key)?;
+            ctx.no_quiesce();
+            Ok(cur != NIL)
+        })
+    }
+
+    fn len_direct(&self) -> usize {
+        fn walk(nodes: &[Node], idx: u32, lo: i64, hi: i64, seen: &mut usize) {
+            if idx == NIL {
+                return;
+            }
+            *seen += 1;
+            assert!(*seen <= POOL, "cycle detected in tree");
+            let k = nodes[idx as usize].key.load_direct() as i64;
+            assert!(lo < k + 1 && k < hi, "BST order violated: {k} outside ({lo},{hi})");
+            walk(nodes, nodes[idx as usize].left.load_direct(), lo, k, seen);
+            walk(nodes, nodes[idx as usize].right.load_direct(), k, hi, seen);
+        }
+        let mut n = 0;
+        walk(
+            &self.nodes,
+            self.root.load_direct(),
+            i64::MIN,
+            i64::MAX,
+            &mut n,
+        );
+        n
+    }
+
+    fn key_space(&self) -> u64 {
+        KEY_SPACE
+    }
+
+    fn name(&self) -> &'static str {
+        "tree"
+    }
+}
+
+impl TxTreeSet {
+    /// Test helper: in-order keys (asserts BST order via `len_direct`).
+    pub fn collect_direct(&self) -> Vec<u64> {
+        fn walk(nodes: &[Node], idx: u32, out: &mut Vec<u64>) {
+            if idx == NIL {
+                return;
+            }
+            walk(nodes, nodes[idx as usize].left.load_direct(), out);
+            out.push(nodes[idx as usize].key.load_direct());
+            walk(nodes, nodes[idx as usize].right.load_direct(), out);
+        }
+        let _ = self.len_direct();
+        let mut out = Vec::new();
+        walk(&self.nodes, self.root.load_direct(), &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+    use std::sync::Arc;
+    use tle_core::{AlgoMode, TmSystem};
+
+    fn sys_th() -> (Arc<TmSystem>, ThreadHandle) {
+        let sys = Arc::new(TmSystem::new(AlgoMode::StmCondvar));
+        let th = sys.register();
+        (sys, th)
+    }
+
+    #[test]
+    fn insert_builds_ordered_tree() {
+        let (_sys, th) = sys_th();
+        let s = TxTreeSet::new();
+        for k in [50u64, 20, 80, 10, 30, 70, 90, 25, 35] {
+            assert!(s.insert(&th, k));
+        }
+        assert_eq!(s.collect_direct(), vec![10, 20, 25, 30, 35, 50, 70, 80, 90]);
+    }
+
+    #[test]
+    fn remove_leaf_one_child_two_children() {
+        let (_sys, th) = sys_th();
+        let s = TxTreeSet::new();
+        for k in [50u64, 20, 80, 10, 30, 25, 35] {
+            s.insert(&th, k);
+        }
+        // Leaf.
+        assert!(s.remove(&th, 10));
+        assert_eq!(s.collect_direct(), vec![20, 25, 30, 35, 50, 80]);
+        // Two children (20 has 25..35 subtree after 10 is gone? 20's left is
+        // now NIL, right is 30) -> one child case.
+        assert!(s.remove(&th, 20));
+        assert_eq!(s.collect_direct(), vec![25, 30, 35, 50, 80]);
+        // Root with two children.
+        assert!(s.remove(&th, 50));
+        assert_eq!(s.collect_direct(), vec![25, 30, 35, 80]);
+        // Remove everything.
+        for k in [30u64, 25, 80, 35] {
+            assert!(s.remove(&th, k));
+        }
+        assert_eq!(s.len_direct(), 0);
+    }
+
+    #[test]
+    fn remove_root_repeatedly() {
+        let (_sys, th) = sys_th();
+        let s = TxTreeSet::new();
+        for k in 0..32u64 {
+            s.insert(&th, (k * 37) % 256);
+        }
+        let mut expect = s.collect_direct();
+        while let Some(&root_key) = expect.first() {
+            assert!(s.remove(&th, root_key));
+            expect.remove(0);
+            assert_eq!(s.collect_direct(), expect);
+        }
+    }
+
+    #[test]
+    fn successor_key_recycling_is_consistent() {
+        // Regression shape: deleting a node whose successor is its direct
+        // right child.
+        let (_sys, th) = sys_th();
+        let s = TxTreeSet::new();
+        for k in [10u64, 5, 20, 15, 30] {
+            s.insert(&th, k);
+        }
+        assert!(s.remove(&th, 10)); // successor 15 is grandchild
+        assert_eq!(s.collect_direct(), vec![5, 15, 20, 30]);
+        assert!(s.remove(&th, 15)); // successor 20 is direct right child
+        assert_eq!(s.collect_direct(), vec![5, 20, 30]);
+    }
+
+    #[test]
+    fn matches_oracle() {
+        testutil::oracle_check(&TxTreeSet::new(), 99, 8_000);
+    }
+
+    #[test]
+    fn concurrent_all_modes() {
+        for mode in [
+            AlgoMode::Baseline,
+            AlgoMode::StmCondvar,
+            AlgoMode::StmCondvarNoQuiesce,
+            AlgoMode::HtmCondvar,
+        ] {
+            testutil::concurrent_check(|| Arc::new(TxTreeSet::new()), mode);
+        }
+    }
+}

@@ -1,0 +1,673 @@
+//! The top-level encoder: lookahead thread → **frame-parallel**,
+//! wavefront-parallel encode on the worker pool. This is the program
+//! measured in Figure 3 (speedup vs. worker threads) and Figure 4 (HTM
+//! abort rates).
+//!
+//! The paper's x265 parallelism hierarchy (§III) maps onto this module:
+//!
+//! - **frame-level parallelism** ("3 frame threads"): up to
+//!   [`EncoderConfig::frame_threads`] frames encode simultaneously; a
+//!   P-frame's CTU row `r` starts once the reference frame's
+//!   reconstruction watermark ([`RowProgress`]) covers the motion-search
+//!   window (reference rows `0..r+2`);
+//! - **wavefront parallelism** within each frame ([`Wavefront`]);
+//! - the CTU kernel below that ([`crate::ctu`]).
+//!
+//! The paper's lock inventory (§III):
+//!
+//! | x265 lock              | here                                        |
+//! |------------------------|---------------------------------------------|
+//! | lookahead lock         | [`ReadyQueue`] (input/output frame queues)  |
+//! | CTURows lock           | [`Wavefront`]                               |
+//! | EncoderRow lock        | per-frame row dispatch (`rows_issued`)      |
+//! | bonded task group lock | [`BondedGroup`]                             |
+//! | parallel ME lock       | the MV-predictor map (`mv_lock`)            |
+//! | cost lock              | the frame bit counter (`cost_lock`)         |
+//! | (frame threads)        | [`RowProgress`] (recon watermark + condvar) |
+
+use crate::ctu::CodedCtu;
+use crate::frame::{Frame, ReconFrame};
+use crate::lookahead::ReadyQueue;
+use crate::motion::Mv;
+use crate::pool::{BondedGroup, WorkerPool};
+use crate::source::VideoSource;
+use crate::wavefront::{RowProgress, Wavefront};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use tle_base::TCell;
+use tle_core::{ElidableMutex, ThreadHandle, TmSystem};
+use tle_pbz::crc::crc32;
+use tle_pbz::TleFifo;
+
+/// Encoder parameters.
+#[derive(Debug, Clone)]
+pub struct EncoderConfig {
+    /// Worker threads in the pool (the paper sweeps 1-8).
+    pub workers: usize,
+    /// Quantization parameter (0 = lossless with this transform).
+    pub qp: u8,
+    /// Force a keyframe every `keyframe_interval` frames.
+    pub keyframe_interval: usize,
+    /// Lookahead queue depth.
+    pub lookahead_depth: usize,
+    /// Enable ABR rate control aiming at this many cost-bits per frame
+    /// (QP then adapts around [`EncoderConfig::qp`]). Rate control
+    /// serializes frames (QP for frame n depends on frame n-1's bits), so
+    /// it implies `frame_threads = 1`.
+    pub target_bits_per_frame: Option<u64>,
+    /// Frames encoded concurrently (x265's "frame threads"; the paper's
+    /// default configuration uses 3).
+    pub frame_threads: usize,
+    /// Independent slices per frame (§III: "each video frame is also
+    /// divided into slices, which can be independently processed"). Intra
+    /// prediction does not cross slice boundaries, so more slices trade
+    /// compression for parallelism. Output digests are stable for a fixed
+    /// slice count but differ across counts (as in real encoders).
+    pub slices: usize,
+}
+
+impl Default for EncoderConfig {
+    fn default() -> Self {
+        EncoderConfig {
+            workers: 4,
+            qp: 12,
+            keyframe_interval: 8,
+            lookahead_depth: 4,
+            target_bits_per_frame: None,
+            frame_threads: 3,
+            slices: 1,
+        }
+    }
+}
+
+/// Per-frame encode result.
+#[derive(Debug, Clone)]
+pub struct EncodedFrame {
+    /// Display index.
+    pub index: usize,
+    /// Whether the frame was coded without a reference.
+    pub keyframe: bool,
+    /// Cost-proxy bits, accumulated CTU by CTU under the cost lock.
+    pub bits: u64,
+    /// Reconstruction quality vs. the source frame.
+    pub psnr: f64,
+    /// CRC of all coded levels in raster order — equal across algorithms
+    /// and thread counts (determinism check).
+    pub digest: u32,
+}
+
+/// Whole-sequence result.
+#[derive(Debug, Clone)]
+pub struct EncodedVideo {
+    /// Per-frame results, in display order.
+    pub frames: Vec<EncodedFrame>,
+    /// Total cost-proxy bits.
+    pub total_bits: u64,
+    /// Mean PSNR over all frames (dB; capped at 99 for lossless frames).
+    pub mean_psnr: f64,
+}
+
+struct LookaheadItem {
+    index: usize,
+    frame: Frame,
+    keyframe: bool,
+}
+
+/// A frame whose row jobs are on the pool.
+struct InFlightFrame {
+    index: usize,
+    keyframe: bool,
+    frame: Arc<Frame>,
+    recon: Arc<ReconFrame>,
+    group: Arc<BondedGroup>,
+    coded: Arc<Mutex<Vec<Option<Vec<CodedCtu>>>>>,
+    frame_bits: Arc<TCell<u64>>,
+}
+
+/// Encode the whole `source` under the system's active algorithm.
+pub fn encode_video(sys: &Arc<TmSystem>, source: &VideoSource, cfg: &EncoderConfig) -> EncodedVideo {
+    let pool = WorkerPool::new(sys, cfg.workers);
+    let in_q: Arc<TleFifo<(usize, Frame)>> =
+        Arc::new(TleFifo::new("frame-input", cfg.lookahead_depth));
+    let la_q: Arc<ReadyQueue<LookaheadItem>> = Arc::new(ReadyQueue::new(cfg.lookahead_depth));
+
+    // Lookahead thread: scene-cut detection + keyframe decisions. Uses the
+    // paper's Listing 4 protocol (reserve, produce outside the lock,
+    // publish).
+    let lookahead = {
+        let sys = Arc::clone(sys);
+        let in_q = Arc::clone(&in_q);
+        let la_q = Arc::clone(&la_q);
+        let interval = cfg.keyframe_interval.max(1);
+        std::thread::spawn(move || {
+            let th = sys.register();
+            let mut prev: Option<Frame> = None;
+            while let Some(item) = in_q.pop(&th) {
+                let (index, frame) = *item;
+                let Some(res) = la_q.reserve(&th) else { break };
+                // Produce step, outside any lock: complexity estimate.
+                let scene_cut = match &prev {
+                    None => true,
+                    Some(p) => {
+                        let per_px =
+                            frame.sad(p) as f64 / (frame.width() * frame.height()) as f64;
+                        per_px > 25.0
+                    }
+                };
+                let keyframe = scene_cut || index % interval == 0;
+                prev = Some(frame.clone());
+                la_q.publish(
+                    &th,
+                    res,
+                    Box::new(LookaheadItem {
+                        index,
+                        frame,
+                        keyframe,
+                    }),
+                );
+            }
+            la_q.close(&th);
+        })
+    };
+
+    // Frame feeder.
+    let feeder = {
+        let sys = Arc::clone(sys);
+        let in_q = Arc::clone(&in_q);
+        let frames: Vec<(usize, Frame)> = (0..source.len()).map(|t| (t, source.frame(t))).collect();
+        std::thread::spawn(move || {
+            let th = sys.register();
+            for f in frames {
+                if in_q.push(&th, Box::new(f)).is_err() {
+                    break;
+                }
+            }
+            in_q.close(&th);
+        })
+    };
+
+    // Encoder loop: keep up to `frame_threads` frames in flight.
+    let th = sys.register();
+    let mut rate = cfg
+        .target_bits_per_frame
+        .map(|t| crate::rate::RateController::new(t, cfg.qp));
+    let frame_window = if rate.is_some() {
+        1
+    } else {
+        cfg.frame_threads.max(1)
+    };
+    let mut inflight: VecDeque<InFlightFrame> = VecDeque::new();
+    let mut reference: Option<(Arc<ReconFrame>, Arc<RowProgress>)> = None;
+    let mut results = Vec::with_capacity(source.len());
+    while let Some(item) = la_q.pop_ready(&th) {
+        let LookaheadItem {
+            index,
+            frame,
+            keyframe,
+        } = *item;
+        while inflight.len() >= frame_window {
+            let done = inflight.pop_front().unwrap();
+            let encoded = finish_frame(&th, done);
+            if let Some(r) = rate.as_mut() {
+                r.frame_encoded(encoded.bits);
+            }
+            results.push(encoded);
+        }
+        let qp = rate.as_ref().map(|r| r.next_qp()).unwrap_or(cfg.qp);
+        let (started, recon, progress) = start_frame(
+            &th,
+            &pool,
+            frame,
+            if keyframe { None } else { reference.clone() },
+            qp,
+            index,
+            cfg.slices.max(1),
+        );
+        reference = Some((recon, progress));
+        inflight.push_back(started);
+    }
+    while let Some(done) = inflight.pop_front() {
+        let encoded = finish_frame(&th, done);
+        if let Some(r) = rate.as_mut() {
+            r.frame_encoded(encoded.bits);
+        }
+        results.push(encoded);
+    }
+    feeder.join().unwrap();
+    lookahead.join().unwrap();
+    drop(th);
+    pool.shutdown();
+
+    results.sort_by_key(|f| f.index);
+    let total_bits = results.iter().map(|f| f.bits).sum();
+    let mean_psnr = if results.is_empty() {
+        0.0
+    } else {
+        results.iter().map(|f| f.psnr.min(99.0)).sum::<f64>() / results.len() as f64
+    };
+    EncodedVideo {
+        frames: results,
+        total_bits,
+        mean_psnr,
+    }
+}
+
+/// Submit all row jobs of one frame; returns the in-flight handle plus the
+/// recon buffer and progress tracker (the reference for the next frame).
+#[allow(clippy::too_many_arguments)]
+fn start_frame(
+    th: &ThreadHandle,
+    pool: &WorkerPool,
+    frame: Frame,
+    reference: Option<(Arc<ReconFrame>, Arc<RowProgress>)>,
+    qp: u8,
+    index: usize,
+    slices: usize,
+) -> (InFlightFrame, Arc<ReconFrame>, Arc<RowProgress>) {
+    let rows = frame.ctu_rows();
+    let cols = frame.ctu_cols();
+    let slices = slices.min(rows);
+    // Slice s covers CTU rows [bounds[s], bounds[s+1]). Each slice gets an
+    // independent wavefront and MV-predictor map (no cross-slice intra
+    // prediction or MV propagation).
+    let bounds: Vec<usize> = (0..=slices).map(|s| s * rows / slices).collect();
+    let slice_of_row = move |r: usize, bounds: &[usize]| -> usize {
+        bounds.iter().rposition(|&b| b <= r).unwrap().min(bounds.len() - 2)
+    };
+    let wfs: Arc<Vec<Wavefront>> = Arc::new(
+        (0..slices)
+            .map(|s| Wavefront::new(bounds[s + 1] - bounds[s], cols))
+            .collect(),
+    );
+    let recon = Arc::new(ReconFrame::new(frame.width(), frame.height()));
+    let progress = Arc::new(RowProgress::new(rows));
+    let frame = Arc::new(frame);
+    let group = Arc::new(BondedGroup::new(rows as u32));
+    let coded: Arc<Mutex<Vec<Option<Vec<CodedCtu>>>>> = Arc::new(Mutex::new(vec![None; rows]));
+
+    // The "cost lock": per-CTU bit accounting (small, hot critical section).
+    let cost_lock = Arc::new(ElidableMutex::new("cost"));
+    let frame_bits = Arc::new(TCell::new(0u64));
+    // The "parallel ME lock": MV predictor maps, one per slice.
+    let mv_lock = Arc::new(ElidableMutex::new("parallel-me"));
+    let mv_maps: Arc<Vec<Vec<TCell<u64>>>> = Arc::new(
+        (0..slices)
+            .map(|_| (0..cols).map(|_| TCell::new(0)).collect())
+            .collect(),
+    );
+    let bounds = Arc::new(bounds);
+    // The "EncoderRow lock": row dispatch counter.
+    let row_lock = Arc::new(ElidableMutex::new("encoder-row"));
+    let rows_issued = Arc::new(TCell::new(0u32));
+
+    for _ in 0..rows {
+        let wfs = Arc::clone(&wfs);
+        let recon = Arc::clone(&recon);
+        let progress = Arc::clone(&progress);
+        let frame = Arc::clone(&frame);
+        let reference = reference.clone();
+        let group = Arc::clone(&group);
+        let coded = Arc::clone(&coded);
+        let cost_lock = Arc::clone(&cost_lock);
+        let frame_bits = Arc::clone(&frame_bits);
+        let mv_lock = Arc::clone(&mv_lock);
+        let mv_maps = Arc::clone(&mv_maps);
+        let bounds = Arc::clone(&bounds);
+        let row_lock = Arc::clone(&row_lock);
+        let rows_issued = Arc::clone(&rows_issued);
+        pool.submit(th, move |wth| {
+            // Claim a row (EncoderRow lock).
+            let r = wth.critical(&row_lock, |ctx| {
+                let r = ctx.read(&*rows_issued)?;
+                ctx.write(&*rows_issued, r + 1)?;
+                ctx.no_quiesce();
+                Ok(r)
+            }) as usize;
+            // Frame-level parallelism gate: the reference reconstruction
+            // must cover this row's motion-search window (rows 0..r+2).
+            if let Some((_, ref_progress)) = &reference {
+                ref_progress.wait_rows(wth, r as u32 + 2);
+            }
+            let s = slice_of_row(r, &bounds);
+            let wf = &wfs[s];
+            let mv_map = &mv_maps[s];
+            let slice_top = bounds[s];
+            let local_r = r - slice_top;
+            let mut row_out = Vec::with_capacity(cols);
+            for c in 0..cols as u32 {
+                wf.wait_for_deps(wth, local_r, c);
+                // MV predictor: the top neighbour's motion vector
+                // (deterministic — WPP guarantees it is final; reset at
+                // slice boundaries).
+                let pred = if local_r == 0 {
+                    Mv::default()
+                } else {
+                    let w = wth.critical(&mv_lock, |ctx| {
+                        let v = ctx.read(&mv_map[c as usize])?;
+                        ctx.no_quiesce();
+                        Ok(v)
+                    });
+                    Mv::unpack(w)
+                };
+                let coded_ctu = crate::ctu::encode_ctu_sliced(
+                    &frame,
+                    &recon,
+                    reference.as_ref().map(|(r, _)| &**r),
+                    c as usize,
+                    r,
+                    qp,
+                    pred,
+                    slice_top,
+                );
+                // Publish our MV for the row below (parallel ME lock).
+                let own_mv = match coded_ctu.mode {
+                    crate::ctu::PredMode::Inter(mv) => mv,
+                    crate::ctu::PredMode::IntraDc => Mv::default(),
+                };
+                wth.critical(&mv_lock, |ctx| {
+                    ctx.write(&mv_map[c as usize], own_mv.pack())?;
+                    ctx.no_quiesce();
+                    Ok(())
+                });
+                // Accumulate bits (cost lock).
+                let bits = coded_ctu.cost_bits();
+                wth.critical(&cost_lock, |ctx| {
+                    ctx.update(&*frame_bits, |b| b + bits)?;
+                    ctx.no_quiesce();
+                    Ok(())
+                });
+                row_out.push(coded_ctu);
+                wf.mark_done(wth, local_r, c);
+            }
+            coded.lock()[r] = Some(row_out);
+            // Publish reconstruction progress for dependent frames.
+            progress.row_done(wth, r);
+            group.task_done(wth);
+        });
+    }
+    let keyframe = reference.is_none();
+    (
+        InFlightFrame {
+            index,
+            keyframe,
+            frame,
+            recon: Arc::clone(&recon),
+            group,
+            coded,
+            frame_bits,
+        },
+        recon,
+        progress,
+    )
+}
+
+/// Wait for a frame's rows to finish and assemble its result.
+fn finish_frame(th: &ThreadHandle, f: InFlightFrame) -> EncodedFrame {
+    f.group.wait_all(th);
+    let coded = f.coded.lock();
+    let mut bytes = Vec::new();
+    for row in coded.iter() {
+        for ctu in row.as_ref().expect("row missing").iter() {
+            match ctu.mode {
+                crate::ctu::PredMode::IntraDc => bytes.push(0u8),
+                crate::ctu::PredMode::Inter(mv) => {
+                    bytes.push(1);
+                    bytes.extend_from_slice(&mv.pack().to_le_bytes());
+                }
+            }
+            for &l in &ctu.levels {
+                bytes.extend_from_slice(&l.to_le_bytes());
+            }
+        }
+    }
+    EncodedFrame {
+        index: f.index,
+        keyframe: f.keyframe,
+        bits: f.frame_bits.load_direct(),
+        psnr: f.recon.freeze().psnr(&f.frame),
+        digest: crc32(&bytes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tle_core::{AlgoMode, ALL_MODES};
+
+    fn small_source() -> VideoSource {
+        VideoSource::new(64, 48, 6, 42)
+    }
+
+    #[test]
+    fn encode_produces_one_result_per_frame() {
+        let sys = Arc::new(TmSystem::new(AlgoMode::Baseline));
+        let v = encode_video(&sys, &small_source(), &EncoderConfig::default());
+        assert_eq!(v.frames.len(), 6);
+        for (i, f) in v.frames.iter().enumerate() {
+            assert_eq!(f.index, i);
+            assert!(f.bits > 0);
+        }
+        assert!(v.frames[0].keyframe, "first frame must be intra");
+        assert!(v.total_bits > 0);
+    }
+
+    #[test]
+    fn qp0_is_lossless() {
+        let sys = Arc::new(TmSystem::new(AlgoMode::StmCondvar));
+        let cfg = EncoderConfig {
+            qp: 0,
+            ..EncoderConfig::default()
+        };
+        let v = encode_video(&sys, &small_source(), &cfg);
+        for f in &v.frames {
+            assert!(f.psnr.is_infinite(), "frame {} lost data at QP 0", f.index);
+        }
+    }
+
+    #[test]
+    fn inter_frames_cost_fewer_bits_than_keyframes() {
+        let sys = Arc::new(TmSystem::new(AlgoMode::Baseline));
+        let cfg = EncoderConfig {
+            qp: 12,
+            keyframe_interval: 100,
+            ..EncoderConfig::default()
+        };
+        let v = encode_video(&sys, &small_source(), &cfg);
+        let key = &v.frames[0];
+        let inter: Vec<_> = v.frames.iter().filter(|f| !f.keyframe).collect();
+        assert!(!inter.is_empty());
+        let mean_inter = inter.iter().map(|f| f.bits).sum::<u64>() / inter.len() as u64;
+        assert!(
+            mean_inter < key.bits,
+            "motion compensation should beat intra: {} vs {}",
+            mean_inter,
+            key.bits
+        );
+    }
+
+    #[test]
+    fn output_identical_across_modes_workers_and_frame_threads() {
+        let cfg1 = EncoderConfig {
+            workers: 1,
+            frame_threads: 1,
+            ..EncoderConfig::default()
+        };
+        let sys = Arc::new(TmSystem::new(AlgoMode::Baseline));
+        let golden = encode_video(&sys, &small_source(), &cfg1);
+        for mode in ALL_MODES {
+            for (workers, frame_threads) in [(1usize, 3usize), (3, 1), (3, 3)] {
+                let cfg = EncoderConfig {
+                    workers,
+                    frame_threads,
+                    ..EncoderConfig::default()
+                };
+                let sys = Arc::new(TmSystem::new(mode));
+                let v = encode_video(&sys, &small_source(), &cfg);
+                let a: Vec<u32> = golden.frames.iter().map(|f| f.digest).collect();
+                let b: Vec<u32> = v.frames.iter().map(|f| f.digest).collect();
+                assert_eq!(
+                    a, b,
+                    "encoder output varies under {mode:?} with {workers}w/{frame_threads}f"
+                );
+                assert_eq!(golden.total_bits, v.total_bits);
+            }
+        }
+    }
+
+    #[test]
+    fn keyframe_interval_respected() {
+        let sys = Arc::new(TmSystem::new(AlgoMode::Baseline));
+        let cfg = EncoderConfig {
+            keyframe_interval: 3,
+            ..EncoderConfig::default()
+        };
+        let v = encode_video(&sys, &small_source(), &cfg);
+        for f in &v.frames {
+            if f.index % 3 == 0 {
+                assert!(f.keyframe, "frame {} should be a keyframe", f.index);
+            }
+        }
+    }
+
+    #[test]
+    fn rate_control_hits_lower_bitrate_deterministically() {
+        let src = VideoSource::new(64, 48, 10, 42);
+        let free = {
+            let sys = Arc::new(TmSystem::new(AlgoMode::Baseline));
+            encode_video(&sys, &src, &EncoderConfig::default())
+        };
+        let mean_free = free.total_bits / 10;
+        let cfg = EncoderConfig {
+            target_bits_per_frame: Some(mean_free / 3),
+            ..EncoderConfig::default()
+        };
+        let run = |mode: AlgoMode, workers: usize| {
+            let sys = Arc::new(TmSystem::new(mode));
+            encode_video(
+                &sys,
+                &src,
+                &EncoderConfig {
+                    workers,
+                    ..cfg.clone()
+                },
+            )
+        };
+        let controlled = run(AlgoMode::Baseline, 1);
+        assert!(
+            controlled.total_bits < free.total_bits,
+            "rate control must reduce bits: {} vs {}",
+            controlled.total_bits,
+            free.total_bits
+        );
+        // Still deterministic across algorithms and worker counts.
+        for mode in [AlgoMode::StmCondvar, AlgoMode::HtmCondvar] {
+            let v = run(mode, 3);
+            let a: Vec<u32> = controlled.frames.iter().map(|f| f.digest).collect();
+            let b: Vec<u32> = v.frames.iter().map(|f| f.digest).collect();
+            assert_eq!(a, b, "rate-controlled output varies under {mode:?}");
+        }
+    }
+
+    #[test]
+    fn frame_parallel_window_handles_extremes() {
+        // Deep windows, more frame threads than frames, single worker:
+        // all must terminate and agree (equality asserted elsewhere).
+        let sys = Arc::new(TmSystem::new(AlgoMode::HtmCondvar));
+        let cfg = EncoderConfig {
+            workers: 6,
+            frame_threads: 8, // more than the frame count
+            ..EncoderConfig::default()
+        };
+        let v = encode_video(&sys, &small_source(), &cfg);
+        assert_eq!(v.frames.len(), 6);
+
+        let sys = Arc::new(TmSystem::new(AlgoMode::StmCondvar));
+        let cfg = EncoderConfig {
+            workers: 1,
+            frame_threads: 4, // frame window without worker parallelism
+            ..EncoderConfig::default()
+        };
+        let v2 = encode_video(&sys, &small_source(), &cfg);
+        let a: Vec<u32> = v.frames.iter().map(|f| f.digest).collect();
+        let b: Vec<u32> = v2.frames.iter().map(|f| f.digest).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn slices_trade_bits_for_independence() {
+        let src = VideoSource::new(64, 64, 3, 7);
+        let run = |slices: usize| {
+            let sys = Arc::new(TmSystem::new(AlgoMode::Baseline));
+            encode_video(
+                &sys,
+                &src,
+                &EncoderConfig {
+                    slices,
+                    keyframe_interval: 100,
+                    ..EncoderConfig::default()
+                },
+            )
+        };
+        let one = run(1);
+        let four = run(4);
+        assert_eq!(one.frames.len(), four.frames.len());
+        // Slice boundaries cut intra prediction: keyframe bits cannot drop.
+        assert!(
+            four.frames[0].bits >= one.frames[0].bits,
+            "4-slice keyframe cheaper than 1-slice: {} vs {}",
+            four.frames[0].bits,
+            one.frames[0].bits
+        );
+        // Deterministic for a fixed slice count, across modes and workers.
+        for mode in [AlgoMode::StmCondvar, AlgoMode::HtmCondvar] {
+            let sys = Arc::new(TmSystem::new(mode));
+            let v = encode_video(
+                &sys,
+                &src,
+                &EncoderConfig {
+                    slices: 4,
+                    workers: 3,
+                    keyframe_interval: 100,
+                    ..EncoderConfig::default()
+                },
+            );
+            let a: Vec<u32> = four.frames.iter().map(|f| f.digest).collect();
+            let b: Vec<u32> = v.frames.iter().map(|f| f.digest).collect();
+            assert_eq!(a, b, "sliced output varies under {mode:?}");
+        }
+    }
+
+    #[test]
+    fn sliced_qp0_is_still_lossless() {
+        let src = VideoSource::new(64, 64, 2, 9);
+        let sys = Arc::new(TmSystem::new(AlgoMode::StmCondvar));
+        let v = encode_video(
+            &sys,
+            &src,
+            &EncoderConfig {
+                qp: 0,
+                slices: 4,
+                ..EncoderConfig::default()
+            },
+        );
+        for f in &v.frames {
+            assert!(f.psnr.is_infinite(), "slice boundary broke losslessness");
+        }
+    }
+
+    #[test]
+    fn more_slices_than_rows_is_clamped() {
+        let src = VideoSource::new(64, 48, 2, 3); // 3 CTU rows
+        let sys = Arc::new(TmSystem::new(AlgoMode::Baseline));
+        let v = encode_video(
+            &sys,
+            &src,
+            &EncoderConfig {
+                slices: 99,
+                ..EncoderConfig::default()
+            },
+        );
+        assert_eq!(v.frames.len(), 2);
+    }
+}

@@ -1,0 +1,224 @@
+//! Frames: single-plane (luma) images, plus the atomic reconstruction
+//! buffer the wavefront writes into.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// CTU edge length in pixels.
+pub const CTU: usize = 16;
+
+/// An owned 8-bit luma frame. Dimensions are CTU-aligned by construction.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Frame {
+    width: usize,
+    height: usize,
+    data: Vec<u8>,
+}
+
+impl Frame {
+    /// A black frame; `width`/`height` must be multiples of [`CTU`].
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width % CTU == 0 && height % CTU == 0, "dimensions must be CTU-aligned");
+        assert!(width > 0 && height > 0);
+        Frame {
+            width,
+            height,
+            data: vec![0; width * height],
+        }
+    }
+
+    /// Build from raw data (length must equal `width * height`).
+    pub fn from_data(width: usize, height: usize, data: Vec<u8>) -> Self {
+        assert_eq!(data.len(), width * height);
+        assert!(width % CTU == 0 && height % CTU == 0);
+        Frame { width, height, data }
+    }
+
+    /// Frame width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Frame height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// CTU grid columns.
+    pub fn ctu_cols(&self) -> usize {
+        self.width / CTU
+    }
+
+    /// CTU grid rows.
+    pub fn ctu_rows(&self) -> usize {
+        self.height / CTU
+    }
+
+    /// Pixel accessor.
+    #[inline]
+    pub fn px(&self, x: usize, y: usize) -> u8 {
+        self.data[y * self.width + x]
+    }
+
+    /// Mutable pixel accessor.
+    #[inline]
+    pub fn px_mut(&mut self, x: usize, y: usize) -> &mut u8 {
+        &mut self.data[y * self.width + x]
+    }
+
+    /// Raw plane data.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Sum of absolute differences against another frame (quality metric).
+    pub fn sad(&self, other: &Frame) -> u64 {
+        assert_eq!(self.width, other.width);
+        assert_eq!(self.height, other.height);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a as i64 - b as i64).unsigned_abs())
+            .sum()
+    }
+
+    /// Peak signal-to-noise ratio in dB against a reference.
+    pub fn psnr(&self, reference: &Frame) -> f64 {
+        assert_eq!(self.data.len(), reference.data.len());
+        let mse: f64 = self
+            .data
+            .iter()
+            .zip(&reference.data)
+            .map(|(&a, &b)| {
+                let d = a as f64 - b as f64;
+                d * d
+            })
+            .sum::<f64>()
+            / self.data.len() as f64;
+        if mse == 0.0 {
+            f64::INFINITY
+        } else {
+            10.0 * (255.0f64 * 255.0 / mse).log10()
+        }
+    }
+}
+
+impl std::fmt::Debug for Frame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Frame({}x{})", self.width, self.height)
+    }
+}
+
+/// A frame being reconstructed concurrently by wavefront rows. Each pixel
+/// is an `AtomicU8`: rows write their own CTU rows, and readers only look
+/// at pixels whose CTU the wavefront ordered before theirs (the condvar /
+/// transaction commit publishes them).
+pub struct ReconFrame {
+    width: usize,
+    height: usize,
+    data: Vec<AtomicU8>,
+}
+
+impl ReconFrame {
+    /// A zeroed reconstruction buffer.
+    pub fn new(width: usize, height: usize) -> Self {
+        ReconFrame {
+            width,
+            height,
+            data: (0..width * height).map(|_| AtomicU8::new(0)).collect(),
+        }
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel read (Acquire: pairs with the wavefront's publication).
+    #[inline]
+    pub fn px(&self, x: usize, y: usize) -> u8 {
+        self.data[y * self.width + x].load(Ordering::Acquire)
+    }
+
+    /// Pixel write (Release).
+    #[inline]
+    pub fn set_px(&self, x: usize, y: usize, v: u8) {
+        self.data[y * self.width + x].store(v, Ordering::Release);
+    }
+
+    /// Snapshot into an owned [`Frame`] (call after the wavefront joins).
+    pub fn freeze(&self) -> Frame {
+        Frame::from_data(
+            self.width,
+            self.height,
+            self.data.iter().map(|p| p.load(Ordering::Acquire)).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_geometry() {
+        let f = Frame::new(64, 32);
+        assert_eq!(f.ctu_cols(), 4);
+        assert_eq!(f.ctu_rows(), 2);
+        assert_eq!(f.data().len(), 64 * 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "CTU-aligned")]
+    fn unaligned_dimensions_rejected() {
+        let _ = Frame::new(60, 32);
+    }
+
+    #[test]
+    fn pixel_access() {
+        let mut f = Frame::new(32, 16);
+        *f.px_mut(5, 3) = 200;
+        assert_eq!(f.px(5, 3), 200);
+        assert_eq!(f.px(5, 4), 0);
+    }
+
+    #[test]
+    fn psnr_identical_is_infinite() {
+        let f = Frame::new(32, 16);
+        assert!(f.psnr(&f).is_infinite());
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise() {
+        let mut a = Frame::new(32, 32);
+        for y in 0..32 {
+            for x in 0..32 {
+                *a.px_mut(x, y) = ((x + y) * 4) as u8;
+            }
+        }
+        let mut slightly = a.clone();
+        *slightly.px_mut(0, 0) ^= 1;
+        let mut very = a.clone();
+        for y in 0..32 {
+            for x in 0..32 {
+                *very.px_mut(x, y) = very.px(x, y).wrapping_add(40);
+            }
+        }
+        assert!(a.psnr(&slightly) > a.psnr(&very));
+        assert!(a.sad(&slightly) < a.sad(&very));
+    }
+
+    #[test]
+    fn recon_roundtrip() {
+        let r = ReconFrame::new(32, 16);
+        r.set_px(31, 15, 99);
+        assert_eq!(r.px(31, 15), 99);
+        let f = r.freeze();
+        assert_eq!(f.px(31, 15), 99);
+        assert_eq!(f.px(0, 0), 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! # tle-wfe — an x265-style wavefront video encoder
+//!
+//! The paper's second application is x265, the HEVC encoder. Reproducing a
+//! full HEVC codec is out of scope (DESIGN.md substitution §3.4); this
+//! crate rebuilds the *parts the paper's analysis touches*:
+//!
+//! - a real (if small) **encode kernel**: 16×16 CTUs with intra prediction
+//!   from reconstructed neighbours ([`ctu`]), an exactly-invertible integer
+//!   transform + quantization ([`transform`]), and SAD motion search
+//!   against the previous reconstructed frame ([`motion`]);
+//! - **wavefront parallel processing** ([`wavefront`]): CTU (r, c) may
+//!   start once its left neighbour and its top-right neighbour are done —
+//!   the dependency structure of Figure 1 — coordinated through the
+//!   "CTURows" lock and condition variable;
+//! - the **lookahead queues** ([`lookahead`]) including the paper's §V
+//!   story: the original x265 held its output-queue lock across the entire
+//!   produce step (Listing 3, *not two-phase locking*, untransactionalizable)
+//!   — the crate implements the **ready-flag refactoring** (Listing 4) as
+//!   the TLE-compatible design, and keeps a baseline-only nested variant
+//!   for the ablation bench;
+//! - a **thread pool with bonded task groups** ([`pool`]), x265's job
+//!   distribution abstraction;
+//! - the remaining small-but-hot locks: per-frame **cost lock** (rate
+//!   statistics) and **motion-vector predictor lock**, exercised once per
+//!   CTU ([`encoder`]).
+//!
+//! Everything is written against the `tle-core` [`TxCtx`] API, so the whole
+//! encoder runs under any of the paper's five algorithms; the encoded
+//! output is bit-identical across algorithms and thread counts, which the
+//! tests assert.
+//!
+//! [`TxCtx`]: tle_core::TxCtx
+
+pub mod ctu;
+pub mod encoder;
+pub mod frame;
+pub mod lookahead;
+pub mod motion;
+pub mod pool;
+pub mod rate;
+pub mod source;
+pub mod transform;
+pub mod wavefront;
+
+pub use encoder::{encode_video, EncoderConfig, EncodedVideo};
+pub use frame::Frame;
+pub use source::VideoSource;

@@ -1,0 +1,207 @@
+//! Motion estimation: SAD block matching against the reconstructed
+//! reference frame, with a small diamond refinement around a predicted
+//! vector — a miniature of x265's motion search (whose shared predictor
+//! state is what the "parallel motion estimation" lock protects).
+
+use crate::frame::{Frame, ReconFrame, CTU};
+
+/// A motion vector in pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Mv {
+    pub x: i32,
+    pub y: i32,
+}
+
+impl Mv {
+    /// Pack into a word for storage in a `TCell` (see the encoder's MV
+    /// predictor map).
+    pub fn pack(self) -> u64 {
+        ((self.x as u32 as u64) << 32) | self.y as u32 as u64
+    }
+
+    /// Unpack from [`Mv::pack`].
+    pub fn unpack(w: u64) -> Self {
+        Mv {
+            x: (w >> 32) as u32 as i32,
+            y: w as u32 as i32,
+        }
+    }
+}
+
+/// Search window half-width in pixels.
+pub const SEARCH_RANGE: i32 = 8;
+
+/// SAD between a CTU of `cur` at (bx, by) and `reference` displaced by `mv`.
+/// Out-of-frame displacements cost `u64::MAX` (never chosen).
+pub fn block_sad(cur: &Frame, reference: &ReconFrame, bx: usize, by: usize, mv: Mv) -> u64 {
+    let rx = bx as i32 + mv.x;
+    let ry = by as i32 + mv.y;
+    if rx < 0
+        || ry < 0
+        || rx + CTU as i32 > reference.width() as i32
+        || ry + CTU as i32 > reference.height() as i32
+    {
+        return u64::MAX;
+    }
+    let mut sad = 0u64;
+    for dy in 0..CTU {
+        for dx in 0..CTU {
+            let a = cur.px(bx + dx, by + dy) as i64;
+            let b = reference.px((rx as usize) + dx, (ry as usize) + dy) as i64;
+            sad += (a - b).unsigned_abs();
+        }
+    }
+    sad
+}
+
+/// Find the best motion vector for the CTU at (bx, by): evaluate the
+/// predictor and zero vector, then refine with a diamond pattern.
+pub fn search(cur: &Frame, reference: &ReconFrame, bx: usize, by: usize, pred: Mv) -> (Mv, u64) {
+    let mut best = Mv::default();
+    let mut best_cost = block_sad(cur, reference, bx, by, best);
+    let pred_cost = block_sad(cur, reference, bx, by, pred);
+    if pred_cost < best_cost {
+        best = pred;
+        best_cost = pred_cost;
+    }
+    // Coarse grid scan over the window (stride 3), so the refinement
+    // cannot be trapped far from the optimum on rough SAD landscapes.
+    let mut gy = -SEARCH_RANGE;
+    while gy <= SEARCH_RANGE {
+        let mut gx = -SEARCH_RANGE;
+        while gx <= SEARCH_RANGE {
+            let cand = Mv { x: gx, y: gy };
+            let c = block_sad(cur, reference, bx, by, cand);
+            if c < best_cost {
+                best = cand;
+                best_cost = c;
+            }
+            gx += 3;
+        }
+        gy += 3;
+    }
+    // Large-diamond refinement until no improvement, then small diamond.
+    let large = [(2i32, 0i32), (-2, 0), (0, 2), (0, -2), (1, 1), (1, -1), (-1, 1), (-1, -1)];
+    let small = [(1i32, 0i32), (-1, 0), (0, 1), (0, -1)];
+    for pattern in [&large[..], &small[..]] {
+        loop {
+            let mut improved = false;
+            for &(dx, dy) in pattern {
+                let cand = Mv {
+                    x: (best.x + dx).clamp(-SEARCH_RANGE, SEARCH_RANGE),
+                    y: (best.y + dy).clamp(-SEARCH_RANGE, SEARCH_RANGE),
+                };
+                if cand == best {
+                    continue;
+                }
+                let c = block_sad(cur, reference, bx, by, cand);
+                if c < best_cost {
+                    best = cand;
+                    best_cost = c;
+                    improved = true;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+    }
+    (best, best_cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recon_from(f: &Frame) -> ReconFrame {
+        let r = ReconFrame::new(f.width(), f.height());
+        for y in 0..f.height() {
+            for x in 0..f.width() {
+                r.set_px(x, y, f.px(x, y));
+            }
+        }
+        r
+    }
+
+    /// Locally smooth texture (like real video): gradients guide the
+    /// search, unlike white noise whose SAD landscape has no basin.
+    fn textured_frame(w: usize, h: usize) -> Frame {
+        let mut f = Frame::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                let v = 128.0
+                    + 60.0 * (x as f64 * 0.31).sin()
+                    + 40.0 * (y as f64 * 0.23).cos()
+                    + 20.0 * ((x + y) as f64 * 0.11).sin();
+                *f.px_mut(x, y) = v.clamp(0.0, 255.0) as u8;
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn mv_pack_roundtrip() {
+        for mv in [
+            Mv { x: 0, y: 0 },
+            Mv { x: -8, y: 8 },
+            Mv { x: 5, y: -3 },
+            Mv { x: i32::MIN, y: i32::MAX },
+        ] {
+            assert_eq!(Mv::unpack(mv.pack()), mv);
+        }
+    }
+
+    #[test]
+    fn identical_frames_give_zero_mv_zero_cost() {
+        let f = textured_frame(64, 64);
+        let r = recon_from(&f);
+        let (mv, cost) = search(&f, &r, 16, 16, Mv::default());
+        assert_eq!(cost, 0);
+        assert_eq!(mv, Mv::default());
+    }
+
+    #[test]
+    fn finds_known_shift() {
+        // Current frame = reference shifted right by 3 pixels.
+        let base = textured_frame(96, 64);
+        let r = recon_from(&base);
+        let mut cur = Frame::new(96, 64);
+        for y in 0..64 {
+            for x in 0..96 {
+                let sx = (x as i32 - 3).clamp(0, 95) as usize;
+                *cur.px_mut(x, y) = base.px(sx, y);
+            }
+        }
+        // Interior block so the shift is exact within the window.
+        let (mv, cost) = search(&cur, &r, 32, 16, Mv::default());
+        assert_eq!((mv.x, mv.y), (-3, 0), "should find the 3px shift, cost {cost}");
+        assert_eq!(cost, 0);
+    }
+
+    #[test]
+    fn predictor_accelerates_but_never_hurts() {
+        let base = textured_frame(96, 64);
+        let r = recon_from(&base);
+        let mut cur = Frame::new(96, 64);
+        for y in 0..64 {
+            for x in 0..96 {
+                let sx = (x as i32 - 5).rem_euclid(96) as usize;
+                *cur.px_mut(x, y) = base.px(sx, y);
+            }
+        }
+        let (_, cost_no_pred) = search(&cur, &r, 32, 32, Mv::default());
+        let (_, cost_pred) = search(&cur, &r, 32, 32, Mv { x: -5, y: 0 });
+        assert!(cost_pred <= cost_no_pred);
+        assert_eq!(cost_pred, 0);
+    }
+
+    #[test]
+    fn out_of_frame_is_never_chosen() {
+        let f = textured_frame(32, 32);
+        let r = recon_from(&f);
+        // Corner block: many candidate vectors fall outside.
+        let (mv, cost) = search(&f, &r, 0, 0, Mv { x: -8, y: -8 });
+        assert!(cost < u64::MAX);
+        assert!(mv.x >= 0 - 0 && mv.y >= 0 - 0 || cost == 0);
+    }
+}

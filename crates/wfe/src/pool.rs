@@ -1,0 +1,201 @@
+//! The worker pool and bonded task groups — x265's job distribution layer.
+//!
+//! x265 wraps "traditional synchronization objects" in a thread pool and a
+//! *bonded task group*: a batch of tasks bonded to one job whose issuer can
+//! wait for the whole batch. Both are built here on the TLE primitives, so
+//! pool dispatch itself runs under whichever of the paper's algorithms is
+//! active (the "bonded task group lock" of §III).
+
+use std::sync::Arc;
+use tle_base::TCell;
+use tle_core::{ElidableMutex, ThreadHandle, TmSystem, TxCondvar};
+use tle_pbz::TleFifo;
+
+type Job = Box<dyn FnOnce(&ThreadHandle) + Send>;
+
+/// A fixed pool of worker threads fed by a TLE-elidable queue.
+pub struct WorkerPool {
+    queue: Arc<TleFifo<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    sys: Arc<TmSystem>,
+}
+
+impl WorkerPool {
+    /// Spawn `n` workers against `sys`.
+    pub fn new(sys: &Arc<TmSystem>, n: usize) -> Self {
+        let queue: Arc<TleFifo<Job>> = Arc::new(TleFifo::new("pool-jobs", 64));
+        let workers = (0..n.max(1))
+            .map(|_| {
+                let sys = Arc::clone(sys);
+                let queue = Arc::clone(&queue);
+                std::thread::spawn(move || {
+                    let th = sys.register();
+                    while let Some(job) = queue.pop(&th) {
+                        (*job)(&th);
+                    }
+                })
+            })
+            .collect();
+        WorkerPool {
+            queue,
+            workers,
+            sys: Arc::clone(sys),
+        }
+    }
+
+    /// Number of workers.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submit a job.
+    pub fn submit(&self, th: &ThreadHandle, job: impl FnOnce(&ThreadHandle) + Send + 'static) {
+        self.queue
+            .push(th, Box::new(Box::new(job) as Job))
+            .unwrap_or_else(|_| panic!("pool queue closed"));
+    }
+
+    /// Close the queue and join all workers.
+    pub fn shutdown(mut self) {
+        {
+            let th = self.sys.register();
+            self.queue.close(&th);
+        }
+        for w in self.workers.drain(..) {
+            w.join().unwrap();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            let th = self.sys.register();
+            self.queue.close(&th);
+            for w in self.workers.drain(..) {
+                w.join().unwrap();
+            }
+        }
+    }
+}
+
+/// A batch of `total` tasks bonded to one issuer, who can block until all
+/// of them finish (the "bonded task group" lock + condvar).
+pub struct BondedGroup {
+    lock: ElidableMutex,
+    done_cv: TxCondvar,
+    remaining: TCell<u32>,
+}
+
+impl BondedGroup {
+    /// A group expecting `total` completions.
+    pub fn new(total: u32) -> Self {
+        BondedGroup {
+            lock: ElidableMutex::new("bonded-task-group"),
+            done_cv: TxCondvar::new(),
+            remaining: TCell::new(total),
+        }
+    }
+
+    /// Mark one task finished.
+    pub fn task_done(&self, th: &ThreadHandle) {
+        th.critical(&self.lock, |ctx| {
+            let r = ctx.read(&self.remaining)?;
+            debug_assert!(r > 0, "more completions than tasks");
+            ctx.write(&self.remaining, r - 1)?;
+            if r == 1 {
+                ctx.broadcast(&self.done_cv)?;
+            }
+            ctx.no_quiesce();
+            Ok(())
+        });
+    }
+
+    /// Block until every task has finished.
+    pub fn wait_all(&self, th: &ThreadHandle) {
+        th.critical(&self.lock, |ctx| {
+            if ctx.read(&self.remaining)? > 0 {
+                ctx.no_quiesce();
+                return ctx.wait(&self.done_cv, None);
+            }
+            Ok(())
+        });
+    }
+
+    /// Remaining count (diagnostics).
+    pub fn remaining_direct(&self) -> u32 {
+        self.remaining.load_direct()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use tle_core::{AlgoMode, ALL_MODES};
+
+    #[test]
+    fn pool_runs_all_jobs_every_mode() {
+        for mode in ALL_MODES {
+            let sys = Arc::new(TmSystem::new(mode));
+            let pool = WorkerPool::new(&sys, 4);
+            let counter = Arc::new(AtomicUsize::new(0));
+            let group = Arc::new(BondedGroup::new(100));
+            {
+                let th = sys.register();
+                for _ in 0..100 {
+                    let counter = Arc::clone(&counter);
+                    let group = Arc::clone(&group);
+                    pool.submit(&th, move |wth| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        group.task_done(wth);
+                    });
+                }
+                group.wait_all(&th);
+            }
+            assert_eq!(counter.load(Ordering::SeqCst), 100, "jobs lost under {mode:?}");
+            assert_eq!(group.remaining_direct(), 0);
+            pool.shutdown();
+        }
+    }
+
+    #[test]
+    fn wait_all_returns_immediately_when_empty() {
+        let sys = Arc::new(TmSystem::new(AlgoMode::StmCondvar));
+        let th = sys.register();
+        let g = BondedGroup::new(0);
+        g.wait_all(&th); // must not block
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let sys = Arc::new(TmSystem::new(AlgoMode::Baseline));
+        let pool = WorkerPool::new(&sys, 2);
+        assert_eq!(pool.size(), 2);
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn multiple_waiters_all_released() {
+        let sys = Arc::new(TmSystem::new(AlgoMode::StmCondvar));
+        let g = Arc::new(BondedGroup::new(1));
+        let waiters: Vec<_> = (0..3)
+            .map(|_| {
+                let sys = Arc::clone(&sys);
+                let g = Arc::clone(&g);
+                std::thread::spawn(move || {
+                    let th = sys.register();
+                    g.wait_all(&th);
+                })
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        {
+            let th = sys.register();
+            g.task_done(&th);
+        }
+        for w in waiters {
+            w.join().unwrap();
+        }
+    }
+}

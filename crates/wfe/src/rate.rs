@@ -1,0 +1,135 @@
+//! Rate control: adapt QP frame-by-frame to hit a target bitrate.
+//!
+//! A miniature of x265's ABR controller: a virtual bit reservoir drains at
+//! the target rate and fills with actual coded bits; QP steps up when the
+//! reservoir overflows and down when it runs dry. Decisions are integer
+//! and depend only on the (deterministic) coded-bits sequence, so rate-
+//! controlled output remains bit-identical across thread counts and
+//! algorithms — which the tests assert.
+
+/// Deterministic per-frame QP controller.
+#[derive(Debug, Clone)]
+pub struct RateController {
+    target_bits_per_frame: u64,
+    base_qp: u8,
+    qp: u8,
+    /// Signed reservoir: positive = over budget.
+    reservoir: i64,
+}
+
+/// QP bounds (0 is lossless with the WHT; ~50 quantizes everything away).
+const QP_MIN: u8 = 0;
+const QP_MAX: u8 = 48;
+/// Reservoir slack before a QP step, in frames' worth of bits.
+const DEADBAND_FRAMES: i64 = 2;
+
+impl RateController {
+    /// A controller aiming at `target_bits_per_frame`, starting at
+    /// `base_qp`.
+    pub fn new(target_bits_per_frame: u64, base_qp: u8) -> Self {
+        RateController {
+            // Clamp so reservoir arithmetic can never overflow i64.
+            target_bits_per_frame: target_bits_per_frame.clamp(1, 1 << 40),
+            base_qp,
+            qp: base_qp,
+            reservoir: 0,
+        }
+    }
+
+    /// QP to use for the next frame.
+    pub fn next_qp(&self) -> u8 {
+        self.qp
+    }
+
+    /// Account a finished frame and adapt.
+    pub fn frame_encoded(&mut self, bits: u64) {
+        let bits = bits.min(1 << 40) as i64;
+        self.reservoir = self
+            .reservoir
+            .saturating_add(bits - self.target_bits_per_frame as i64);
+        let deadband = DEADBAND_FRAMES * self.target_bits_per_frame as i64;
+        if self.reservoir > deadband {
+            // Persistent overshoot: coarser quantization. QP steps of 6
+            // double the quantization step.
+            self.qp = self.qp.saturating_add(6).min(QP_MAX);
+            self.reservoir = self.reservoir.min(2 * deadband);
+        } else if self.reservoir < -deadband && self.qp > QP_MIN {
+            self.qp = self.qp.saturating_sub(6).max(QP_MIN);
+            self.reservoir = self.reservoir.max(-2 * deadband);
+        }
+    }
+
+    /// The configured starting QP.
+    pub fn base_qp(&self) -> u8 {
+        self.base_qp
+    }
+
+    /// Current reservoir fill (diagnostics).
+    pub fn reservoir(&self) -> i64 {
+        self.reservoir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_at_base_when_on_budget() {
+        let mut rc = RateController::new(10_000, 12);
+        for _ in 0..20 {
+            assert_eq!(rc.next_qp(), 12);
+            rc.frame_encoded(10_000);
+        }
+        assert_eq!(rc.reservoir(), 0);
+    }
+
+    #[test]
+    fn raises_qp_under_sustained_overshoot() {
+        let mut rc = RateController::new(1_000, 12);
+        for _ in 0..10 {
+            rc.frame_encoded(3_000);
+        }
+        assert!(rc.next_qp() > 12, "qp must rise: {}", rc.next_qp());
+        assert!(rc.next_qp() <= QP_MAX);
+    }
+
+    #[test]
+    fn lowers_qp_when_under_budget() {
+        let mut rc = RateController::new(10_000, 24);
+        for _ in 0..10 {
+            rc.frame_encoded(1_000);
+        }
+        assert!(rc.next_qp() < 24, "qp must drop: {}", rc.next_qp());
+    }
+
+    #[test]
+    fn qp_respects_bounds() {
+        let mut hi = RateController::new(1, 46);
+        for _ in 0..100 {
+            hi.frame_encoded(1_000_000);
+        }
+        assert!(hi.next_qp() <= QP_MAX);
+        let mut lo = RateController::new(u64::MAX / 4, 2); // clamped internally
+        for _ in 0..100 {
+            lo.frame_encoded(0);
+        }
+        assert_eq!(lo.next_qp(), QP_MIN);
+    }
+
+    #[test]
+    fn deterministic_for_same_bit_sequence() {
+        let seq = [5_000u64, 9_000, 2_000, 14_000, 7_000, 7_000];
+        let run = || {
+            let mut rc = RateController::new(6_000, 12);
+            seq.iter()
+                .map(|&b| {
+                    let q = rc.next_qp();
+                    rc.frame_encoded(b);
+                    q
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,122 @@
+//! Synthetic video: a deterministic moving scene standing in for the
+//! paper's 38 MB / 735 MB / 3.8 GB inputs (DESIGN.md substitution §3.5).
+//!
+//! Each frame is a diagonal gradient background, a bright disc moving on a
+//! Lissajous path (motion for the inter predictor to find) and low-level
+//! seeded noise (so frames are not trivially compressible).
+
+use crate::frame::Frame;
+
+
+/// A deterministic frame generator.
+pub struct VideoSource {
+    width: usize,
+    height: usize,
+    frames: usize,
+    seed: u64,
+    next: usize,
+}
+
+impl VideoSource {
+    /// A source producing `frames` frames of `width`×`height`.
+    pub fn new(width: usize, height: usize, frames: usize, seed: u64) -> Self {
+        VideoSource {
+            width,
+            height,
+            frames,
+            seed,
+            next: 0,
+        }
+    }
+
+    /// Total frame count.
+    pub fn len(&self) -> usize {
+        self.frames
+    }
+
+    /// Whether the source is exhausted-by-construction (zero frames).
+    pub fn is_empty(&self) -> bool {
+        self.frames == 0
+    }
+
+    /// Generate frame `t` (independent of iteration state).
+    pub fn frame(&self, t: usize) -> Frame {
+        let mut f = Frame::new(self.width, self.height);
+        let w = self.width as f64;
+        let h = self.height as f64;
+        let tt = t as f64;
+        // Disc centre moves on a Lissajous path.
+        let cx = w * 0.5 + w * 0.35 * (tt * 0.21).sin();
+        let cy = h * 0.5 + h * 0.35 * (tt * 0.13).cos();
+        let r = (w.min(h)) * 0.15;
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let base = ((x + 2 * y + t * 3) / 2 % 160) as i32 + 40;
+                let dx = x as f64 - cx;
+                let dy = y as f64 - cy;
+                let disc = if dx * dx + dy * dy < r * r { 70i32 } else { 0 };
+                // Static film-grain texture: a per-pixel hash independent
+                // of t, so motion compensation can cancel it (real grain
+                // is temporally correlated; fully random per-frame noise
+                // would make inter prediction pointless).
+                let mut s = self.seed ^ ((x as u64) << 24) ^ (y as u64);
+                let grain = (tle_base::rng::splitmix64(&mut s) % 7) as i32 - 3;
+                let v = (base + disc + grain).clamp(0, 255) as u8;
+                *f.px_mut(x, y) = v;
+            }
+        }
+        f
+    }
+}
+
+impl Iterator for VideoSource {
+    type Item = Frame;
+    fn next(&mut self) -> Option<Frame> {
+        if self.next >= self.frames {
+            return None;
+        }
+        let f = self.frame(self.next);
+        self.next += 1;
+        Some(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_frames() {
+        let s1 = VideoSource::new(64, 32, 4, 9);
+        let s2 = VideoSource::new(64, 32, 4, 9);
+        for t in 0..4 {
+            assert_eq!(s1.frame(t), s2.frame(t));
+        }
+    }
+
+    #[test]
+    fn iterator_yields_exact_count() {
+        let s = VideoSource::new(32, 32, 7, 1);
+        assert_eq!(s.count(), 7);
+    }
+
+    #[test]
+    fn consecutive_frames_are_similar_but_not_identical() {
+        let s = VideoSource::new(64, 64, 3, 5);
+        let a = s.frame(0);
+        let b = s.frame(1);
+        assert_ne!(a, b);
+        // Motion is small: average per-pixel difference stays modest.
+        let sad = a.sad(&b);
+        let per_px = sad as f64 / (64.0 * 64.0);
+        assert!(per_px < 40.0, "scene jumped too much: {per_px}");
+        assert!(per_px > 0.5, "scene is static: {per_px}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = VideoSource::new(32, 32, 1, 1).frame(0);
+        let b = VideoSource::new(32, 32, 1, 2).frame(0);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,187 @@
+//! The integer transform + quantization stage.
+//!
+//! An 8×8 Walsh-Hadamard transform: integer, orthogonal up to a factor of
+//! 64, and therefore exactly invertible — the same family of integer
+//! transforms HEVC uses (x265 computes SATD with precisely this transform).
+//! Quantization divides coefficients by a QP-derived step; reconstruction
+//! error is bounded by step/2 per coefficient.
+
+/// Transform block edge (CTUs are split into 2×2 of these).
+pub const TB: usize = 8;
+
+/// Forward 8×8 Walsh-Hadamard transform of a residual block.
+pub fn fwht8x8(block: &[i32; TB * TB]) -> [i32; TB * TB] {
+    let mut tmp = *block;
+    for row in 0..TB {
+        wht8(&mut tmp[row * TB..(row + 1) * TB]);
+    }
+    let mut out = [0i32; TB * TB];
+    for col in 0..TB {
+        let mut colv = [0i32; TB];
+        for row in 0..TB {
+            colv[row] = tmp[row * TB + col];
+        }
+        wht8(&mut colv);
+        for row in 0..TB {
+            out[row * TB + col] = colv[row];
+        }
+    }
+    out
+}
+
+/// Inverse of [`fwht8x8`] (WHT is self-inverse up to scaling by 64).
+pub fn iwht8x8(coefs: &[i32; TB * TB]) -> [i32; TB * TB] {
+    let mut out = fwht8x8(coefs);
+    for v in out.iter_mut() {
+        *v >>= 6; // divide by 64 (8 per dimension)
+    }
+    out
+}
+
+fn wht8(v: &mut [i32]) {
+    debug_assert_eq!(v.len(), 8);
+    // Classic in-place fast Walsh-Hadamard butterflies; self-inverse up to
+    // a factor of 8.
+    let mut h = 1usize;
+    while h < 8 {
+        let mut i = 0usize;
+        while i < 8 {
+            for j in i..i + h {
+                let x = v[j];
+                let y = v[j + h];
+                v[j] = x + y;
+                v[j + h] = x - y;
+            }
+            i += h * 2;
+        }
+        h *= 2;
+    }
+}
+
+/// Quantization step for a QP (exponential like HEVC's Qstep ≈ 2^(qp/6)).
+pub fn qstep(qp: u8) -> i32 {
+    1i32 << (qp / 6).min(14)
+}
+
+/// Quantize coefficients in place; returns the number of non-zero levels
+/// (a proxy for coded bits).
+pub fn quantize(coefs: &mut [i32; TB * TB], qp: u8) -> u32 {
+    let q = qstep(qp);
+    let mut nz = 0;
+    for c in coefs.iter_mut() {
+        let sign = if *c < 0 { -1 } else { 1 };
+        let level = (c.abs() + q / 2) / q;
+        *c = sign * level;
+        if level != 0 {
+            nz += 1;
+        }
+    }
+    nz
+}
+
+/// Dequantize levels in place.
+pub fn dequantize(levels: &mut [i32; TB * TB], qp: u8) {
+    let q = qstep(qp);
+    for l in levels.iter_mut() {
+        *l *= q;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tle_base::rng::XorShift64;
+
+    #[test]
+    fn wht_is_exactly_invertible() {
+        let mut rng = XorShift64::new(3);
+        for _ in 0..50 {
+            let mut block = [0i32; 64];
+            for v in block.iter_mut() {
+                *v = (rng.next_u64() % 511) as i32 - 255;
+            }
+            let coefs = fwht8x8(&block);
+            let back = iwht8x8(&coefs);
+            assert_eq!(back, block);
+        }
+    }
+
+    #[test]
+    fn dc_block_transforms_to_single_coefficient() {
+        let block = [7i32; 64];
+        let coefs = fwht8x8(&block);
+        assert_eq!(coefs[0], 7 * 64);
+        assert!(coefs[1..].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn transform_is_linear() {
+        let mut rng = XorShift64::new(8);
+        let mut a = [0i32; 64];
+        let mut b = [0i32; 64];
+        for i in 0..64 {
+            a[i] = (rng.next_u64() % 100) as i32;
+            b[i] = (rng.next_u64() % 100) as i32;
+        }
+        let mut sum = [0i32; 64];
+        for i in 0..64 {
+            sum[i] = a[i] + b[i];
+        }
+        let ta = fwht8x8(&a);
+        let tb = fwht8x8(&b);
+        let tsum = fwht8x8(&sum);
+        for i in 0..64 {
+            assert_eq!(tsum[i], ta[i] + tb[i]);
+        }
+    }
+
+    #[test]
+    fn qp_zero_is_lossless() {
+        let mut rng = XorShift64::new(4);
+        let mut block = [0i32; 64];
+        for v in block.iter_mut() {
+            *v = (rng.next_u64() % 255) as i32 - 127;
+        }
+        let mut coefs = fwht8x8(&block);
+        quantize(&mut coefs, 0);
+        dequantize(&mut coefs, 0);
+        assert_eq!(iwht8x8(&coefs), block);
+    }
+
+    #[test]
+    fn higher_qp_means_fewer_nonzeros_and_bounded_error() {
+        let mut rng = XorShift64::new(6);
+        let mut block = [0i32; 64];
+        for v in block.iter_mut() {
+            *v = (rng.next_u64() % 61) as i32 - 30;
+        }
+        let mut prev_nz = u32::MAX;
+        for qp in [0u8, 12, 24, 36] {
+            let mut coefs = fwht8x8(&block);
+            let nz = quantize(&mut coefs, qp);
+            assert!(nz <= prev_nz, "qp {qp}: nz grew");
+            prev_nz = nz;
+            dequantize(&mut coefs, qp);
+            let rec = iwht8x8(&coefs);
+            let step = qstep(qp);
+            for i in 0..64 {
+                let err = (rec[i] - block[i]).abs();
+                // WHT error bound: step/2 per coefficient, spread by 1/64.
+                assert!(
+                    err <= step,
+                    "qp {qp}: error {err} exceeds bound {step} at {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn qstep_is_monotone() {
+        let mut prev = 0;
+        for qp in (0..60).step_by(6) {
+            let s = qstep(qp);
+            assert!(s >= prev);
+            prev = s;
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Wavefront parallel processing (WPP) — Figure 1 of the paper.
+//!
+//! CTU (r, c) may start once CTU (r, c-1) is done (same worker, implicit)
+//! and CTU (r-1, c+1) is done (cross-thread). Cross-row progress is
+//! tracked in per-row counters guarded by the **CTURows lock** and its
+//! condition variable; in x265 this is exactly the communication path "from
+//! a completed CTU to the CTUs that depend on it".
+
+use tle_base::TCell;
+use tle_core::{ElidableMutex, ThreadHandle, TxCondvar};
+
+/// Per-frame wavefront progress state.
+pub struct Wavefront {
+    /// The "CTURows" lock.
+    rows_lock: ElidableMutex,
+    progress_cv: TxCondvar,
+    /// progress[r] = number of CTUs of row r completed.
+    progress: Vec<TCell<u32>>,
+    cols: u32,
+}
+
+impl Wavefront {
+    /// Fresh progress state for a `rows` × `cols` CTU grid.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Wavefront {
+            rows_lock: ElidableMutex::new("CTURows"),
+            progress_cv: TxCondvar::new(),
+            progress: (0..rows).map(|_| TCell::new(0)).collect(),
+            cols: cols as u32,
+        }
+    }
+
+    /// Grid columns.
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Grid rows.
+    pub fn rows(&self) -> usize {
+        self.progress.len()
+    }
+
+    /// Block until CTU (`row`, `col`) is allowed to start: the top-right
+    /// neighbour (row-1, col+1) — or the end of the upper row — must have
+    /// completed.
+    pub fn wait_for_deps(&self, th: &ThreadHandle, row: usize, col: u32) {
+        if row == 0 {
+            return;
+        }
+        let need = (col + 2).min(self.cols);
+        th.critical(&self.rows_lock, |ctx| {
+            let done = ctx.read(&self.progress[row - 1])?;
+            if done < need {
+                // Pure read: nothing privatized while we wait.
+                ctx.no_quiesce();
+                return ctx.wait(&self.progress_cv, None);
+            }
+            Ok(())
+        });
+    }
+
+    /// Record that CTU (`row`, `col`) has completed and wake dependents.
+    pub fn mark_done(&self, th: &ThreadHandle, row: usize, col: u32) {
+        th.critical(&self.rows_lock, |ctx| {
+            debug_assert_eq!(ctx.read(&self.progress[row])?, col);
+            ctx.write(&self.progress[row], col + 1)?;
+            ctx.broadcast(&self.progress_cv)?;
+            // Progress counters are never privatized.
+            ctx.no_quiesce();
+            Ok(())
+        });
+    }
+
+    /// Direct progress snapshot (diagnostics/tests).
+    pub fn progress_direct(&self, row: usize) -> u32 {
+        self.progress[row].load_direct()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+    use tle_core::{AlgoMode, TmSystem, ALL_MODES};
+
+    /// Drive a full grid with one thread per row; record completion order
+    /// and verify every dependency was respected.
+    fn run_grid(mode: AlgoMode, rows: usize, cols: usize) {
+        let sys = Arc::new(TmSystem::new(mode));
+        let wf = Arc::new(Wavefront::new(rows, cols));
+        let stamp = Arc::new(AtomicU32::new(0));
+        // completion_stamp[r][c]
+        let stamps: Arc<Vec<Vec<AtomicU32>>> = Arc::new(
+            (0..rows)
+                .map(|_| (0..cols).map(|_| AtomicU32::new(0)).collect())
+                .collect(),
+        );
+        let handles: Vec<_> = (0..rows)
+            .map(|r| {
+                let sys = Arc::clone(&sys);
+                let wf = Arc::clone(&wf);
+                let stamp = Arc::clone(&stamp);
+                let stamps = Arc::clone(&stamps);
+                std::thread::spawn(move || {
+                    let th = sys.register();
+                    for c in 0..cols as u32 {
+                        wf.wait_for_deps(&th, r, c);
+                        // "Encode": tiny spin so rows interleave.
+                        for _ in 0..50 {
+                            std::hint::spin_loop();
+                        }
+                        stamps[r][c as usize]
+                            .store(stamp.fetch_add(1, Ordering::SeqCst) + 1, Ordering::SeqCst);
+                        wf.mark_done(&th, r, c);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Dependency check: stamp(r,c) > stamp(r-1, min(c+1, cols-1)).
+        for r in 1..rows {
+            for c in 0..cols {
+                let dep_c = (c + 1).min(cols - 1);
+                let me = stamps[r][c].load(Ordering::SeqCst);
+                let dep = stamps[r - 1][dep_c].load(Ordering::SeqCst);
+                assert!(
+                    me > dep,
+                    "({r},{c}) completed at {me} before its dependency ({},{dep_c}) at {dep} under {mode:?}",
+                    r - 1
+                );
+            }
+        }
+        for r in 0..rows {
+            assert_eq!(wf.progress_direct(r), cols as u32);
+        }
+    }
+
+    #[test]
+    fn wavefront_order_respected_every_mode() {
+        for mode in ALL_MODES {
+            run_grid(mode, 4, 6);
+        }
+    }
+
+    #[test]
+    fn single_row_needs_no_waiting() {
+        let sys = Arc::new(TmSystem::new(AlgoMode::StmCondvar));
+        let th = sys.register();
+        let wf = Wavefront::new(1, 8);
+        for c in 0..8 {
+            wf.wait_for_deps(&th, 0, c); // must not block
+            wf.mark_done(&th, 0, c);
+        }
+        assert_eq!(wf.progress_direct(0), 8);
+    }
+
+    #[test]
+    fn last_column_dependency_clamps() {
+        // CTU (1, cols-1) depends on the *end* of row 0, not (0, cols).
+        let sys = Arc::new(TmSystem::new(AlgoMode::StmCondvar));
+        let wf = Arc::new(Wavefront::new(2, 3));
+        let sys2 = Arc::clone(&sys);
+        let wf2 = Arc::clone(&wf);
+        let t = std::thread::spawn(move || {
+            let th = sys2.register();
+            for c in 0..3 {
+                wf2.wait_for_deps(&th, 1, c);
+                wf2.mark_done(&th, 1, c);
+            }
+        });
+        let th = sys.register();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        for c in 0..3 {
+            if c < 2 {
+                // progress[0] < 2: row 1 cannot have started.
+                assert_eq!(wf.progress_direct(1), 0, "row 1 must still be blocked");
+            }
+            wf.mark_done(&th, 0, c);
+        }
+        t.join().unwrap();
+        assert_eq!(wf.progress_direct(1), 3);
+    }
+}
+
+/// Reconstruction progress of a frame, for **frame-level parallelism**:
+/// a P-frame's wavefront may encode its CTU row `r` once the reference
+/// frame's reconstruction watermark covers every pixel its motion search
+/// can touch (rows `0..=r+1`, given the ±8 px search range).
+///
+/// Rows complete out of order (they belong to a wavefront), so completion
+/// flags feed a contiguous watermark. x265 tracks exactly this per-frame
+/// progress for its "frame threads".
+pub struct RowProgress {
+    lock: ElidableMutex,
+    cv: TxCondvar,
+    done: Vec<TCell<bool>>,
+    /// Contiguous rows complete from the top.
+    watermark: TCell<u32>,
+}
+
+impl RowProgress {
+    /// Progress tracker for a frame of `rows` CTU rows.
+    pub fn new(rows: usize) -> Self {
+        RowProgress {
+            lock: ElidableMutex::new("frame-recon-progress"),
+            cv: TxCondvar::new(),
+            done: (0..rows).map(|_| TCell::new(false)).collect(),
+            watermark: TCell::new(0),
+        }
+    }
+
+    /// Total rows tracked.
+    pub fn rows(&self) -> u32 {
+        self.done.len() as u32
+    }
+
+    /// Mark row `r` reconstructed; advances the watermark over any newly
+    /// contiguous rows and wakes waiters.
+    pub fn row_done(&self, th: &ThreadHandle, r: usize) {
+        th.critical(&self.lock, |ctx| {
+            ctx.write(&self.done[r], true)?;
+            let mut w = ctx.read(&self.watermark)?;
+            let before = w;
+            while (w as usize) < self.done.len() && ctx.read(&self.done[w as usize])? {
+                w += 1;
+            }
+            if w != before {
+                ctx.write(&self.watermark, w)?;
+                ctx.broadcast(&self.cv)?;
+            }
+            ctx.no_quiesce();
+            Ok(())
+        });
+    }
+
+    /// Block until at least `n` rows are reconstructed (clamped to the
+    /// frame height).
+    pub fn wait_rows(&self, th: &ThreadHandle, n: u32) {
+        let need = n.min(self.rows());
+        th.critical(&self.lock, |ctx| {
+            if ctx.read(&self.watermark)? < need {
+                ctx.no_quiesce();
+                return ctx.wait(&self.cv, None);
+            }
+            Ok(())
+        });
+    }
+
+    /// Current watermark (diagnostics).
+    pub fn watermark_direct(&self) -> u32 {
+        self.watermark.load_direct()
+    }
+}
+
+#[cfg(test)]
+mod progress_tests {
+    use super::*;
+    use std::sync::Arc;
+    use tle_core::{AlgoMode, TmSystem, ALL_MODES};
+
+    #[test]
+    fn watermark_advances_contiguously() {
+        let sys = Arc::new(TmSystem::new(AlgoMode::StmCondvar));
+        let th = sys.register();
+        let p = RowProgress::new(4);
+        p.row_done(&th, 2); // out of order: no watermark movement
+        assert_eq!(p.watermark_direct(), 0);
+        p.row_done(&th, 0);
+        assert_eq!(p.watermark_direct(), 1);
+        p.row_done(&th, 1); // unlocks 0..=2
+        assert_eq!(p.watermark_direct(), 3);
+        p.row_done(&th, 3);
+        assert_eq!(p.watermark_direct(), 4);
+    }
+
+    #[test]
+    fn wait_rows_blocks_until_watermark() {
+        for mode in ALL_MODES {
+            let sys = Arc::new(TmSystem::new(mode));
+            let p = Arc::new(RowProgress::new(3));
+            let waiter = {
+                let sys = Arc::clone(&sys);
+                let p = Arc::clone(&p);
+                std::thread::spawn(move || {
+                    let th = sys.register();
+                    let t0 = std::time::Instant::now();
+                    p.wait_rows(&th, 2);
+                    t0.elapsed()
+                })
+            };
+            std::thread::sleep(std::time::Duration::from_millis(25));
+            let th = sys.register();
+            p.row_done(&th, 0);
+            p.row_done(&th, 1);
+            let waited = waiter.join().unwrap();
+            assert!(
+                waited >= std::time::Duration::from_millis(10),
+                "waiter returned early under {mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn wait_rows_clamps_to_frame_height() {
+        let sys = Arc::new(TmSystem::new(AlgoMode::StmCondvar));
+        let th = sys.register();
+        let p = RowProgress::new(2);
+        p.row_done(&th, 0);
+        p.row_done(&th, 1);
+        p.wait_rows(&th, 99); // must not hang: clamped to 2
+    }
+}

@@ -1,0 +1,170 @@
+//! Opacity stress: no transaction — not even one doomed to abort — may
+//! observe an inconsistent snapshot. The C++ TMTS demands this
+//! ("transactional sequential consistency", paper §IV), and zombie
+//! executions are precisely what quiescence + validation protect against.
+//!
+//! The invariant: all cells of an array are always equal (writers increment
+//! every cell in one transaction). Every transactional closure asserts
+//! equality over its *own reads*; a TM that lets a doomed transaction see a
+//! half-applied update fails the assertion inside the closure.
+
+use std::sync::Arc;
+use tle_repro::prelude::*;
+use tle_repro::stm::StmAlgo;
+
+const CELLS: usize = 8;
+const WRITERS: usize = 3;
+const READERS: usize = 3;
+const OPS: u64 = 4_000;
+
+fn run_opacity(mode: AlgoMode, algo: StmAlgo) {
+    let sys = Arc::new(TmSystem::new(mode));
+    sys.set_stm_algo(algo);
+    let lock = Arc::new(ElidableMutex::new("opacity"));
+    let cells: Arc<Vec<TCell<u64>>> = Arc::new((0..CELLS).map(|_| TCell::new(0)).collect());
+
+    let mut handles = Vec::new();
+    for _ in 0..WRITERS {
+        let sys = Arc::clone(&sys);
+        let lock = Arc::clone(&lock);
+        let cells = Arc::clone(&cells);
+        handles.push(std::thread::spawn(move || {
+            let th = sys.register();
+            for _ in 0..OPS {
+                th.critical(&lock, |ctx| {
+                    let first = ctx.read(&cells[0])?;
+                    for c in cells.iter().skip(1) {
+                        let v = ctx.read(c)?;
+                        assert_eq!(
+                            v, first,
+                            "writer observed a torn snapshot under {mode:?}/{algo:?}"
+                        );
+                    }
+                    for c in cells.iter() {
+                        ctx.write(c, first + 1)?;
+                    }
+                    Ok(())
+                });
+            }
+        }));
+    }
+    for _ in 0..READERS {
+        let sys = Arc::clone(&sys);
+        let lock = Arc::clone(&lock);
+        let cells = Arc::clone(&cells);
+        handles.push(std::thread::spawn(move || {
+            let th = sys.register();
+            for _ in 0..OPS {
+                let (lo, hi) = th.critical(&lock, |ctx| {
+                    let mut lo = u64::MAX;
+                    let mut hi = 0;
+                    for c in cells.iter() {
+                        let v = ctx.read(c)?;
+                        lo = lo.min(v);
+                        hi = hi.max(v);
+                    }
+                    Ok((lo, hi))
+                });
+                assert_eq!(
+                    lo, hi,
+                    "reader observed a torn snapshot under {mode:?}/{algo:?}"
+                );
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let expect = WRITERS as u64 * OPS;
+    for c in cells.iter() {
+        assert_eq!(c.load_direct(), expect, "lost increments under {mode:?}/{algo:?}");
+    }
+}
+
+#[test]
+fn opacity_baseline() {
+    run_opacity(AlgoMode::Baseline, StmAlgo::MlWt);
+}
+
+#[test]
+fn opacity_stm_mlwt() {
+    run_opacity(AlgoMode::StmCondvar, StmAlgo::MlWt);
+}
+
+#[test]
+fn opacity_stm_mlwt_noquiesce() {
+    run_opacity(AlgoMode::StmCondvarNoQuiesce, StmAlgo::MlWt);
+}
+
+#[test]
+fn opacity_stm_norec() {
+    run_opacity(AlgoMode::StmCondvar, StmAlgo::Norec);
+}
+
+#[test]
+fn opacity_htm() {
+    run_opacity(AlgoMode::HtmCondvar, StmAlgo::MlWt);
+}
+
+#[test]
+fn opacity_adaptive_htm() {
+    run_opacity(AlgoMode::AdaptiveHtm, StmAlgo::MlWt);
+}
+
+/// Commit-order consistency: transactions tag themselves with a sequence
+/// number drawn transactionally; replaying their writes in tag order must
+/// reproduce the final memory state (serializability witness).
+#[test]
+fn commit_order_replay_matches_final_state() {
+    for algo in [StmAlgo::MlWt, StmAlgo::Norec] {
+        let sys = Arc::new(TmSystem::new(AlgoMode::StmCondvar));
+        sys.set_stm_algo(algo);
+        let lock = Arc::new(ElidableMutex::new("serial-witness"));
+        let seq = Arc::new(TCell::new(0u64));
+        let slots: Arc<Vec<TCell<u64>>> = Arc::new((0..4).map(|_| TCell::new(0)).collect());
+
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let sys = Arc::clone(&sys);
+                let lock = Arc::clone(&lock);
+                let seq = Arc::clone(&seq);
+                let slots = Arc::clone(&slots);
+                std::thread::spawn(move || {
+                    let th = sys.register();
+                    let mut rng = tle_repro::base::rng::XorShift64::new(t as u64);
+                    let mut log = Vec::new();
+                    for _ in 0..2_000 {
+                        let target = rng.below(4) as usize;
+                        let (tag, value) = th.critical(&lock, |ctx| {
+                            let tag = ctx.update(&*seq, |v| v + 1)?;
+                            let value = tag * 31 + target as u64;
+                            ctx.write(&slots[target], value)?;
+                            Ok((tag, value))
+                        });
+                        log.push((tag, target, value));
+                    }
+                    log
+                })
+            })
+            .collect();
+        let mut log: Vec<(u64, usize, u64)> =
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        // Tags must be unique and dense (each transaction got its own).
+        log.sort_unstable();
+        for (i, &(tag, _, _)) in log.iter().enumerate() {
+            assert_eq!(tag, i as u64 + 1, "sequence tags not dense under {algo:?}");
+        }
+        // Replay in commit (tag) order.
+        let mut replay = [0u64; 4];
+        for &(_, target, value) in &log {
+            replay[target] = value;
+        }
+        for (i, c) in slots.iter().enumerate() {
+            assert_eq!(
+                c.load_direct(),
+                replay[i],
+                "slot {i} diverges from commit-order replay under {algo:?}"
+            );
+        }
+    }
+}

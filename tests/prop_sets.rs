@@ -1,0 +1,78 @@
+//! Property-based tests for the transactional sets: arbitrary operation
+//! sequences must agree with a `BTreeSet` oracle, under a transactional
+//! algorithm (so the TM machinery is in the loop, not just the data
+//! structure logic).
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use tle_repro::prelude::*;
+use tle_repro::txset::{TxHashSet, TxListSet, TxSet, TxTreeSet};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64),
+    Remove(u64),
+    Contains(u64),
+}
+
+fn op_strategy(space: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..space).prop_map(Op::Insert),
+        (0..space).prop_map(Op::Remove),
+        (0..space).prop_map(Op::Contains),
+    ]
+}
+
+fn check_against_oracle(set: &dyn TxSet, ops: &[Op], mode: AlgoMode) {
+    let sys = Arc::new(TmSystem::new(mode));
+    let th = sys.register();
+    let mut oracle = BTreeSet::new();
+    for op in ops {
+        match *op {
+            Op::Insert(k) => assert_eq!(set.insert(&th, k), oracle.insert(k), "insert({k})"),
+            Op::Remove(k) => assert_eq!(set.remove(&th, k), oracle.remove(&k), "remove({k})"),
+            Op::Contains(k) => {
+                assert_eq!(set.contains(&th, k), oracle.contains(&k), "contains({k})")
+            }
+        }
+    }
+    assert_eq!(set.len_direct(), oracle.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn list_matches_oracle(ops in proptest::collection::vec(op_strategy(64), 0..400)) {
+        check_against_oracle(&TxListSet::new(), &ops, AlgoMode::StmCondvar);
+    }
+
+    #[test]
+    fn hash_matches_oracle(ops in proptest::collection::vec(op_strategy(256), 0..400)) {
+        check_against_oracle(&TxHashSet::new(), &ops, AlgoMode::StmCondvarNoQuiesce);
+    }
+
+    #[test]
+    fn tree_matches_oracle(ops in proptest::collection::vec(op_strategy(256), 0..400)) {
+        check_against_oracle(&TxTreeSet::new(), &ops, AlgoMode::HtmCondvar);
+    }
+
+    #[test]
+    fn tree_delete_heavy(keys in proptest::collection::vec(0u64..256, 1..120)) {
+        // Insert everything, then delete in the given (arbitrary) order;
+        // stresses all three BST delete cases.
+        let set = TxTreeSet::new();
+        let sys = Arc::new(TmSystem::new(AlgoMode::StmCondvar));
+        let th = sys.register();
+        let mut oracle = BTreeSet::new();
+        for &k in &keys {
+            assert_eq!(set.insert(&th, k), oracle.insert(k));
+        }
+        for &k in keys.iter().rev() {
+            assert_eq!(set.remove(&th, k), oracle.remove(&k));
+            assert_eq!(set.len_direct(), oracle.len());
+        }
+        prop_assert_eq!(set.len_direct(), 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Heavier concurrency stress: many threads, mixed structures, all five
+//! algorithms. These tests look for lost updates, deadlocks, lost wakeups
+//! and leaked transactions under sustained contention.
+
+use std::sync::Arc;
+use tle_repro::pbz::TleFifo;
+use tle_repro::prelude::*;
+use tle_repro::txset::{TxHashSet, TxSet};
+
+/// Multi-queue pipeline: items hop across two queues; totals must balance.
+#[test]
+fn two_stage_queue_relay_all_modes() {
+    for mode in ALL_MODES {
+        let sys = Arc::new(TmSystem::new(mode));
+        let q1: Arc<TleFifo<u64>> = Arc::new(TleFifo::new("stage1", 8));
+        let q2: Arc<TleFifo<u64>> = Arc::new(TleFifo::new("stage2", 8));
+        const N: u64 = 3_000;
+
+        let producer = {
+            let sys = Arc::clone(&sys);
+            let q1 = Arc::clone(&q1);
+            std::thread::spawn(move || {
+                let th = sys.register();
+                for i in 0..N {
+                    q1.push(&th, Box::new(i)).unwrap();
+                }
+                q1.close(&th);
+            })
+        };
+        let relays: Vec<_> = (0..2)
+            .map(|_| {
+                let sys = Arc::clone(&sys);
+                let q1 = Arc::clone(&q1);
+                let q2 = Arc::clone(&q2);
+                std::thread::spawn(move || {
+                    let th = sys.register();
+                    while let Some(v) = q1.pop(&th) {
+                        q2.push(&th, Box::new(*v * 2)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let sink = {
+            let sys = Arc::clone(&sys);
+            let q2 = Arc::clone(&q2);
+            std::thread::spawn(move || {
+                let th = sys.register();
+                let mut sum = 0u64;
+                let mut count = 0u64;
+                while let Some(v) = q2.pop(&th) {
+                    sum += *v;
+                    count += 1;
+                }
+                (sum, count)
+            })
+        };
+        producer.join().unwrap();
+        for r in relays {
+            r.join().unwrap();
+        }
+        {
+            let th = sys.register();
+            q2.close(&th);
+        }
+        let (sum, count) = sink.join().unwrap();
+        assert_eq!(count, N, "items lost in relay under {mode:?}");
+        assert_eq!(sum, N * (N - 1), "values corrupted under {mode:?}");
+    }
+}
+
+/// Mixed structure stress: sets and counters share the TM domain.
+#[test]
+fn mixed_workload_all_modes() {
+    for mode in ALL_MODES {
+        let sys = Arc::new(TmSystem::new(mode));
+        let set: Arc<TxHashSet> = Arc::new(TxHashSet::new());
+        let counter_lock = Arc::new(ElidableMutex::new("counter"));
+        let successes = Arc::new(TCell::new(0u64));
+        let handles: Vec<_> = (0..6)
+            .map(|t| {
+                let sys = Arc::clone(&sys);
+                let set = Arc::clone(&set);
+                let counter_lock = Arc::clone(&counter_lock);
+                let successes = Arc::clone(&successes);
+                std::thread::spawn(move || {
+                    let th = sys.register();
+                    let mut rng = tle_repro::base::rng::XorShift64::new(t);
+                    let mut local = 0u64;
+                    for _ in 0..2_000 {
+                        let k = rng.below(256);
+                        let changed = if rng.below(2) == 0 {
+                            set.insert(&th, k)
+                        } else {
+                            set.remove(&th, k)
+                        };
+                        if changed {
+                            local += 1;
+                            th.critical(&counter_lock, |ctx| {
+                                ctx.update(&*successes, |v| v + 1)?;
+                                ctx.no_quiesce();
+                                Ok(())
+                            });
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(
+            successes.load_direct(),
+            total,
+            "counter diverged from local tallies under {mode:?}"
+        );
+    }
+}
+
+/// Condvar ping-pong: strict alternation between two threads, checking no
+/// lost wakeups over many rounds.
+#[test]
+fn condvar_ping_pong_all_modes() {
+    for mode in ALL_MODES {
+        let sys = Arc::new(TmSystem::new(mode));
+        let lock = Arc::new(ElidableMutex::new("pp"));
+        let cv = Arc::new(TxCondvar::new());
+        let turn = Arc::new(TCell::new(0u64)); // even: ping, odd: pong
+        const ROUNDS: u64 = 500;
+
+        let mk = |who: u64| {
+            let sys = Arc::clone(&sys);
+            let lock = Arc::clone(&lock);
+            let cv = Arc::clone(&cv);
+            let turn = Arc::clone(&turn);
+            std::thread::spawn(move || {
+                let th = sys.register();
+                for _ in 0..ROUNDS {
+                    th.critical(&lock, |ctx| {
+                        let t = ctx.read(&*turn)?;
+                        if t % 2 != who {
+                            return ctx.wait(&cv, None);
+                        }
+                        ctx.write(&*turn, t + 1)?;
+                        ctx.broadcast(&cv)?;
+                        Ok(())
+                    });
+                }
+            })
+        };
+        let ping = mk(0);
+        let pong = mk(1);
+        ping.join().unwrap();
+        pong.join().unwrap();
+        assert_eq!(turn.load_direct(), 2 * ROUNDS, "rounds lost under {mode:?}");
+    }
+}
+
+/// Rapid register/unregister churn while others work: slot recycling must
+/// not corrupt quiescence or conflict detection.
+#[test]
+fn thread_churn_during_activity() {
+    let sys = Arc::new(TmSystem::new(AlgoMode::StmCondvar));
+    let lock = Arc::new(ElidableMutex::new("churn"));
+    let cell = Arc::new(TCell::new(0u64));
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    let steady: Vec<_> = (0..2)
+        .map(|_| {
+            let sys = Arc::clone(&sys);
+            let lock = Arc::clone(&lock);
+            let cell = Arc::clone(&cell);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let th = sys.register();
+                let mut n = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    th.critical(&lock, |ctx| {
+                        ctx.update(&*cell, |v| v + 1)?;
+                        Ok(())
+                    });
+                    n += 1;
+                }
+                n
+            })
+        })
+        .collect();
+
+    let mut churned = 0u64;
+    for _ in 0..50 {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let sys = Arc::clone(&sys);
+                let lock = Arc::clone(&lock);
+                let cell = Arc::clone(&cell);
+                std::thread::spawn(move || {
+                    let th = sys.register();
+                    for _ in 0..20 {
+                        th.critical(&lock, |ctx| {
+                            ctx.update(&*cell, |v| v + 1)?;
+                            Ok(())
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        churned += 4 * 20;
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let steady_total: u64 = steady.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(cell.load_direct(), steady_total + churned);
+}
