@@ -2,37 +2,75 @@
 
 /// Why a transaction attempt failed. Returned as `Err(Abort(..))` from
 /// transactional reads/writes/commits; the runner in `tle-core` maps causes
-/// to retry/backoff/fallback policy.
+/// to retry/backoff/fallback policy, and the statistics layer
+/// ([`crate::stats::TxStats`]) counts every abort under its cause so the
+/// paper's Figure-4-style breakdowns are measured rather than inferred.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
 pub enum AbortCause {
     /// STM: a read found the orec locked by another transaction.
-    ReadConflict,
+    ReadConflict = 0,
     /// STM: a write could not acquire the orec.
-    WriteConflict,
-    /// STM: read-set validation failed (at extension or commit).
-    ValidationFailed,
+    WriteConflict = 1,
+    /// STM: read-set validation failed mid-transaction (at a timestamp
+    /// extension or a NOrec snapshot revalidation).
+    ValidationFailed = 2,
+    /// STM: commit-time validation failed — the read set was consistent
+    /// throughout the body but a concurrent commit invalidated it between
+    /// the last access and the commit point.
+    CommitValidation = 3,
     /// HTM: this transaction was doomed by a conflicting access (the
     /// cache-coherence invalidation model).
-    Conflict,
+    Conflict = 4,
     /// HTM: the read- or write-set exceeded simulated cache capacity.
-    Capacity,
+    Capacity = 5,
     /// HTM: a simulated asynchronous event (interrupt, SMI) flushed the
     /// transactional state.
-    Event,
+    Event = 6,
     /// The transaction executed an operation that cannot run transactionally
     /// (irrevocable I/O, syscall); must be retried in serial mode.
-    Unsafe,
-    /// The program explicitly cancelled the transaction.
-    Explicit,
+    Unsafe = 7,
+    /// The program explicitly cancelled the transaction (includes drops of
+    /// live transactions, e.g. a panic unwinding through the closure).
+    Explicit = 8,
 }
 
 impl AbortCause {
+    /// Number of distinct causes (array-indexing bound for per-cause
+    /// counters).
+    pub const COUNT: usize = 9;
+
+    /// Every cause, in discriminant order (statistics tables iterate this).
+    pub const ALL: [AbortCause; Self::COUNT] = [
+        AbortCause::ReadConflict,
+        AbortCause::WriteConflict,
+        AbortCause::ValidationFailed,
+        AbortCause::CommitValidation,
+        AbortCause::Conflict,
+        AbortCause::Capacity,
+        AbortCause::Event,
+        AbortCause::Unsafe,
+        AbortCause::Explicit,
+    ];
+
+    /// Dense index for per-cause counter arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as u8 as usize
+    }
+
+    /// Decode from the wire/trace representation.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        Self::ALL.get(v as usize).copied()
+    }
+
     /// Short stable label for statistics tables.
     pub fn label(self) -> &'static str {
         match self {
             AbortCause::ReadConflict => "read-conflict",
             AbortCause::WriteConflict => "write-conflict",
             AbortCause::ValidationFailed => "validation",
+            AbortCause::CommitValidation => "commit-validation",
             AbortCause::Conflict => "conflict",
             AbortCause::Capacity => "capacity",
             AbortCause::Event => "event",
@@ -61,18 +99,9 @@ mod tests {
 
     #[test]
     fn labels_are_distinct() {
-        let all = [
-            AbortCause::ReadConflict,
-            AbortCause::WriteConflict,
-            AbortCause::ValidationFailed,
-            AbortCause::Conflict,
-            AbortCause::Capacity,
-            AbortCause::Event,
-            AbortCause::Unsafe,
-            AbortCause::Explicit,
-        ];
-        let labels: std::collections::HashSet<_> = all.iter().map(|c| c.label()).collect();
-        assert_eq!(labels.len(), all.len());
+        let labels: std::collections::HashSet<_> =
+            AbortCause::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), AbortCause::ALL.len());
     }
 
     #[test]
@@ -80,5 +109,16 @@ mod tests {
         assert!(!AbortCause::Unsafe.retry_may_succeed());
         assert!(AbortCause::Conflict.retry_may_succeed());
         assert!(AbortCause::Capacity.retry_may_succeed());
+        assert!(AbortCause::CommitValidation.retry_may_succeed());
+    }
+
+    #[test]
+    fn index_and_u8_roundtrip() {
+        for (i, c) in AbortCause::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(AbortCause::from_u8(i as u8), Some(*c));
+        }
+        assert_eq!(AbortCause::from_u8(AbortCause::COUNT as u8), None);
+        assert_eq!(AbortCause::ALL.len(), AbortCause::COUNT);
     }
 }

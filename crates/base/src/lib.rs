@@ -19,7 +19,10 @@
 //!   the concurrent side, irrevocable/serialized work takes the exclusive
 //!   side (this is the GCC libitm "serial mode" used both for unsafe
 //!   operations and as the abort-storm fallback).
-//! - [`stats`] — cheap sharded statistics counters.
+//! - [`stats`] — cheap sharded statistics counters, per-abort-cause
+//!   breakdowns and latency histograms.
+//! - [`trace`] — feature-gated per-thread event rings for reconstructing
+//!   whole elision episodes (enable with the `trace` cargo feature).
 //! - [`rng`] — tiny deterministic RNGs (splitmix64 / xorshift64*) used for
 //!   seeded workload generation and simulated "event" aborts.
 
@@ -31,6 +34,7 @@ pub mod orec;
 pub mod rng;
 pub mod slots;
 pub mod stats;
+pub mod trace;
 
 pub use abort::AbortCause;
 pub use cell::{TCell, TxVal};

@@ -28,7 +28,11 @@ impl XorShift64 {
         let mut s = seed;
         let expanded = splitmix64(&mut s);
         XorShift64 {
-            state: if expanded == 0 { 0x9E3779B97F4A7C15 } else { expanded },
+            state: if expanded == 0 {
+                0x9E3779B97F4A7C15
+            } else {
+                expanded
+            },
         }
     }
 

@@ -42,9 +42,9 @@ impl SlotRegistry {
     /// registering more than 64 concurrent TM threads is outside the
     /// simulator envelope.
     pub fn register(&self) -> Slot<'_> {
-        let idx = self
-            .register_raw()
-            .unwrap_or_else(|| panic!("SlotRegistry exhausted: more than {MAX_SLOTS} concurrent TM threads"));
+        let idx = self.register_raw().unwrap_or_else(|| {
+            panic!("SlotRegistry exhausted: more than {MAX_SLOTS} concurrent TM threads")
+        });
         Slot { reg: self, idx }
     }
 

@@ -4,7 +4,14 @@
 //! §VII-A in-text numbers) and serial-fallback percentages; the benches need
 //! these to be cheap enough to leave enabled. [`Counter`] shards its word by
 //! thread to avoid turning statistics into a contention source.
+//!
+//! Beyond the coarse totals, [`TxStats`] attributes every abort to its
+//! [`AbortCause`] (the tentpole of the diagnostics layer: Figure 4's
+//! conflict/capacity/event breakdown is *measured* from these counters, not
+//! synthesized) and records quiescence-drain latencies in a log2 histogram
+//! so the §VII-C congestion-control observation can be quantified.
 
+use crate::AbortCause;
 use crate::Padded;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -78,6 +85,113 @@ impl std::fmt::Debug for Counter {
     }
 }
 
+/// Number of buckets in a [`LatencyHist`]: bucket `b` counts samples in
+/// `[2^b, 2^(b+1))` nanoseconds, with the last bucket open-ended. 32 buckets
+/// cover 1 ns .. ~4 s, far beyond any realistic drain.
+pub const HIST_BUCKETS: usize = 32;
+
+/// A log2 latency histogram (unsharded: one sample per drain, so contention
+/// is negligible next to the drain itself).
+#[derive(Debug, Default)]
+pub struct LatencyHist {
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl LatencyHist {
+    /// A zeroed histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn bucket_of(ns: u64) -> usize {
+        if ns == 0 {
+            0
+        } else {
+            (63 - ns.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+        }
+    }
+
+    /// Record one sample of `ns` nanoseconds.
+    #[inline]
+    pub fn record(&self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy.
+    pub fn snapshot(&self) -> LatencyHistSnapshot {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for (b, s) in buckets.iter_mut().zip(&self.buckets) {
+            *b = s.load(Ordering::Relaxed);
+        }
+        LatencyHistSnapshot { buckets }
+    }
+
+    /// Reset all buckets (between benchmark trials).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Plain-data snapshot of a [`LatencyHist`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyHistSnapshot {
+    /// `buckets[b]` counts samples in `[2^b, 2^(b+1))` ns.
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl LatencyHistSnapshot {
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Upper bound (ns) of the bucket containing the `q`-quantile sample
+    /// (`q` in [0, 1]); `None` if empty. Log2 buckets make this an estimate
+    /// within 2x, which is plenty for "is the drain microseconds or
+    /// milliseconds" diagnostics.
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(if b + 1 >= 64 { u64::MAX } else { 2u64 << b });
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Compact one-line rendering: `count p50 p99 max-bucket`.
+    pub fn summary(&self) -> String {
+        match (self.quantile_ns(0.50), self.quantile_ns(0.99)) {
+            (Some(p50), Some(p99)) => {
+                format!("n={} p50<{} p99<{}", self.count(), fmt_ns(p50), fmt_ns(p99))
+            }
+            _ => "n=0".to_string(),
+        }
+    }
+}
+
+/// Render nanoseconds with a readable unit.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
 /// Statistics common to both TM flavours and the TLE runtime.
 #[derive(Debug, Default)]
 pub struct TxStats {
@@ -85,6 +199,10 @@ pub struct TxStats {
     pub commits: Counter,
     /// Transactions that aborted at least once (counted per abort event).
     pub aborts: Counter,
+    /// Per-cause abort counters, indexed by [`AbortCause::index`]. Always
+    /// on (sharded, write-only on the abort path) — unlike the event trace,
+    /// which is feature-gated.
+    pub by_cause: [Counter; AbortCause::COUNT],
     /// Transactions that gave up and took the serial fallback.
     pub serial_fallbacks: Counter,
     /// Commits that performed a quiescence drain.
@@ -93,6 +211,8 @@ pub struct TxStats {
     pub quiesce_skipped: Counter,
     /// Nanoseconds spent spinning in quiescence drains.
     pub quiesce_wait_ns: Counter,
+    /// Distribution of per-drain wait times.
+    pub quiesce_hist: LatencyHist,
 }
 
 impl TxStats {
@@ -101,25 +221,47 @@ impl TxStats {
         Self::default()
     }
 
+    /// Count one abort under its cause.
+    #[inline]
+    pub fn count_abort(&self, shard_hint: usize, cause: AbortCause) {
+        self.aborts.inc(shard_hint);
+        self.by_cause[cause.index()].inc(shard_hint);
+    }
+
+    /// Total aborts recorded for one cause.
+    pub fn cause(&self, cause: AbortCause) -> u64 {
+        self.by_cause[cause.index()].get()
+    }
+
     /// Reset every counter (between benchmark trials).
     pub fn reset(&self) {
         self.commits.reset();
         self.aborts.reset();
+        for c in &self.by_cause {
+            c.reset();
+        }
         self.serial_fallbacks.reset();
         self.quiesces.reset();
         self.quiesce_skipped.reset();
         self.quiesce_wait_ns.reset();
+        self.quiesce_hist.reset();
     }
 
     /// A point-in-time copy, for printing.
     pub fn snapshot(&self) -> TxStatsSnapshot {
+        let mut by_cause = [0u64; AbortCause::COUNT];
+        for (o, c) in by_cause.iter_mut().zip(&self.by_cause) {
+            *o = c.get();
+        }
         TxStatsSnapshot {
             commits: self.commits.get(),
             aborts: self.aborts.get(),
+            by_cause,
             serial_fallbacks: self.serial_fallbacks.get(),
             quiesces: self.quiesces.get(),
             quiesce_skipped: self.quiesce_skipped.get(),
             quiesce_wait_ns: self.quiesce_wait_ns.get(),
+            quiesce_hist: self.quiesce_hist.snapshot(),
         }
     }
 }
@@ -129,13 +271,22 @@ impl TxStats {
 pub struct TxStatsSnapshot {
     pub commits: u64,
     pub aborts: u64,
+    /// Per-cause abort counts, indexed by [`AbortCause::index`].
+    pub by_cause: [u64; AbortCause::COUNT],
     pub serial_fallbacks: u64,
     pub quiesces: u64,
     pub quiesce_skipped: u64,
     pub quiesce_wait_ns: u64,
+    pub quiesce_hist: LatencyHistSnapshot,
 }
 
 impl TxStatsSnapshot {
+    /// Aborts recorded for one cause.
+    #[inline]
+    pub fn cause(&self, cause: AbortCause) -> u64 {
+        self.by_cause[cause.index()]
+    }
+
     /// Aborts per started transaction attempt, in [0, 1].
     pub fn abort_rate(&self) -> f64 {
         let attempts = self.commits + self.aborts;
@@ -213,5 +364,64 @@ mod tests {
         let snap = TxStats::new().snapshot();
         assert_eq!(snap.abort_rate(), 0.0);
         assert_eq!(snap.fallback_rate(), 0.0);
+    }
+
+    #[test]
+    fn count_abort_attributes_every_cause() {
+        let s = TxStats::new();
+        for (i, c) in AbortCause::ALL.iter().enumerate() {
+            for _ in 0..=i {
+                s.count_abort(i, *c);
+            }
+        }
+        let snap = s.snapshot();
+        let mut total = 0u64;
+        for (i, c) in AbortCause::ALL.iter().enumerate() {
+            assert_eq!(snap.cause(*c), i as u64 + 1, "cause {c}");
+            assert_eq!(s.cause(*c), i as u64 + 1);
+            total += i as u64 + 1;
+        }
+        assert_eq!(snap.aborts, total, "aborts must equal the cause sum");
+        s.reset();
+        assert_eq!(s.snapshot().by_cause, [0; AbortCause::COUNT]);
+    }
+
+    #[test]
+    fn latency_hist_buckets_by_log2() {
+        let h = LatencyHist::new();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 0
+        h.record(2); // bucket 1
+        h.record(3); // bucket 1
+        h.record(1024); // bucket 10
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 2);
+        assert_eq!(s.buckets[1], 2);
+        assert_eq!(s.buckets[10], 1);
+        assert_eq!(s.count(), 5);
+        h.reset();
+        assert_eq!(h.snapshot().count(), 0);
+    }
+
+    #[test]
+    fn latency_hist_quantiles() {
+        let h = LatencyHist::new();
+        for _ in 0..99 {
+            h.record(100); // bucket 6, upper bound 128
+        }
+        h.record(1_000_000); // bucket 19
+        let s = h.snapshot();
+        assert_eq!(s.quantile_ns(0.5), Some(128));
+        assert_eq!(s.quantile_ns(1.0), Some(2u64 << 19));
+        assert_eq!(LatencyHistSnapshot::default().quantile_ns(0.5), None);
+        assert!(s.summary().starts_with("n=100"));
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(5), "5ns");
+        assert_eq!(fmt_ns(1_500), "1.5us");
+        assert_eq!(fmt_ns(2_500_000), "2.5ms");
+        assert_eq!(fmt_ns(1_500_000_000), "1.50s");
     }
 }

@@ -38,8 +38,11 @@ fn run(mode: AlgoMode, threads: usize, event_prob: f64) -> (f64, f64) {
             .map(|_| Padded(ElidableMutex::new("disjoint")))
             .collect(),
     );
-    let cells: Arc<Vec<Padded<tle_base::TCell<u64>>>> =
-        Arc::new((0..threads).map(|_| Padded(tle_base::TCell::new(0))).collect());
+    let cells: Arc<Vec<Padded<tle_base::TCell<u64>>>> = Arc::new(
+        (0..threads)
+            .map(|_| Padded(tle_base::TCell::new(0)))
+            .collect(),
+    );
     let barrier = Arc::new(std::sync::Barrier::new(threads + 1));
     let handles: Vec<_> = (0..threads)
         .map(|t| {
@@ -74,9 +77,7 @@ fn run(mode: AlgoMode, threads: usize, event_prob: f64) -> (f64, f64) {
 }
 
 fn main() {
-    println!(
-        "Fallback-model ablation: disjoint per-thread locks, {OPS_PER_THREAD} ops/thread"
-    );
+    println!("Fallback-model ablation: disjoint per-thread locks, {OPS_PER_THREAD} ops/thread");
     for event_prob in [0.0, 0.02] {
         let mut table = Table::new(
             &format!("event_prob = {event_prob}: serial fallback vs lock fallback (seconds)"),

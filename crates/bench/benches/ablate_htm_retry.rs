@@ -61,5 +61,7 @@ fn main() {
         ]);
     }
     table.print();
-    println!("\npaper configuration is 2 retries; more retries trade spin time for fewer serializations");
+    println!(
+        "\npaper configuration is 2 retries; more retries trade spin time for fewer serializations"
+    );
 }

@@ -87,8 +87,10 @@ fn long_tx_blocking() {
     );
     for long_running in [false, true] {
         let mut cells = vec![long_running.to_string()];
-        for (policy, use_noq) in [(QuiescePolicy::Always, false), (QuiescePolicy::Selective, true)]
-        {
+        for (policy, use_noq) in [
+            (QuiescePolicy::Always, false),
+            (QuiescePolicy::Selective, true),
+        ] {
             let sys = Arc::new(TmSystem::new(AlgoMode::StmCondvar));
             sys.stm.set_policy(policy);
             let stop = Arc::new(AtomicBool::new(false));

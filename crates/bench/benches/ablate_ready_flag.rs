@@ -19,7 +19,9 @@ const ITEMS: u64 = 5_000;
 fn produce_work(i: u64) -> u64 {
     let mut acc = i;
     for _ in 0..20_000 {
-        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        acc = acc
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
     }
     acc
 }
@@ -111,7 +113,11 @@ fn main() {
         let nested = run_nested(producers);
         let sys = Arc::new(TmSystem::new(AlgoMode::Baseline));
         let ready = run_ready(&sys, producers);
-        t1.row(vec![producers.to_string(), fmt_secs(nested), fmt_secs(ready)]);
+        t1.row(vec![
+            producers.to_string(),
+            fmt_secs(nested),
+            fmt_secs(ready),
+        ]);
     }
     t1.print();
     println!("\npaper claim: the refactoring does not affect (baseline) performance");

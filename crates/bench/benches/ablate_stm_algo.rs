@@ -18,7 +18,11 @@ fn main() {
     println!("STM algorithm ablation: ml_wt vs NOrec");
 
     // Part 1: set microbenchmarks.
-    for (kind, mix) in [("list", Mix::HalfLookup), ("hash", Mix::HalfLookup), ("tree", Mix::HalfLookup)] {
+    for (kind, mix) in [
+        ("list", Mix::HalfLookup),
+        ("hash", Mix::HalfLookup),
+        ("tree", Mix::HalfLookup),
+    ] {
         let mut table = Table::new(
             &format!("{kind} set, {} — throughput (Mops/s)", mix.label()),
             &["threads", "ml_wt", "ml_wt+SelectNoQ", "NOrec"],
@@ -55,7 +59,10 @@ fn main() {
         let t0 = std::time::Instant::now();
         let out = compress_parallel(&sys, &input, &cfg);
         std::hint::black_box(&out);
-        table.row(vec![algo.label().to_string(), fmt_secs(t0.elapsed().as_secs_f64())]);
+        table.row(vec![
+            algo.label().to_string(),
+            fmt_secs(t0.elapsed().as_secs_f64()),
+        ]);
     }
     table.print();
 }

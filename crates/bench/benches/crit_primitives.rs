@@ -65,7 +65,11 @@ fn bench_stm_tx(c: &mut Criterion) {
 }
 
 fn bench_tle_modes(c: &mut Criterion) {
-    for mode in [AlgoMode::Baseline, AlgoMode::StmCondvar, AlgoMode::HtmCondvar] {
+    for mode in [
+        AlgoMode::Baseline,
+        AlgoMode::StmCondvar,
+        AlgoMode::HtmCondvar,
+    ] {
         let sys = Arc::new(TmSystem::new(mode));
         let th = sys.register();
         let lock = ElidableMutex::new("bench");

@@ -4,7 +4,16 @@
 //! (the untuned 2-retry policy sends a significant share of transactions
 //! to the serial path), suggesting headroom from fallback tuning — which
 //! `ablate_htm_retry` explores.
+//!
+//! The conflict/capacity/event columns come from the per-cause abort
+//! counters the diagnostics layer maintains (`TxStats::by_cause`, always
+//! compiled in); each table also prints the full non-zero breakdown so
+//! rarer causes (`unsafe`, `explicit`) show up when they occur. Building
+//! with `--features trace` additionally dumps a summary of the transaction
+//! event ring — per-event-kind counts over the most recent trial window.
 
+use tle_base::trace;
+use tle_base::AbortCause;
 use tle_bench::workloads::{x265_trial_cfg, VideoSize};
 use tle_bench::{fmt_pct, full_sweep, thread_sweep, Table};
 use tle_core::AlgoMode;
@@ -40,9 +49,11 @@ fn main() {
                     "capacity",
                     "events",
                     "fallback-rate",
+                    "per-cause breakdown",
                 ],
             );
             for threads in thread_sweep() {
+                trace::clear();
                 let (_, stats) =
                     x265_trial_cfg(AlgoMode::HtmCondvar, threads, size, full, cfg.clone());
                 table.row(vec![
@@ -50,13 +61,34 @@ fn main() {
                     stats.htm_commits.to_string(),
                     stats.htm_aborts.to_string(),
                     fmt_pct(stats.htm_abort_rate()),
-                    stats.htm_conflicts.to_string(),
-                    stats.htm_capacity.to_string(),
-                    stats.htm_events.to_string(),
+                    stats.htm.cause(AbortCause::Conflict).to_string(),
+                    stats.htm.cause(AbortCause::Capacity).to_string(),
+                    stats.htm.cause(AbortCause::Event).to_string(),
                     fmt_pct(stats.fallback_rate()),
+                    stats.abort_breakdown(),
                 ]);
             }
             table.print();
+            if trace::compiled() {
+                // Ring summary of the last trial in the sweep (the ring
+                // keeps the most recent RING_CAP events per thread).
+                let summary = trace::TraceSummary::of(&trace::snapshot());
+                print!("event ring (last trial):");
+                for kind in trace::TraceKind::ALL {
+                    let n = summary.kind(kind);
+                    if n > 0 {
+                        print!(" {}={}", kind.label(), n);
+                    }
+                }
+                print!("\n           abort causes:");
+                for cause in AbortCause::ALL {
+                    let n = summary.aborts(cause);
+                    if n > 0 {
+                        print!(" {}={}", cause.label(), n);
+                    }
+                }
+                println!("\n");
+            }
         }
     }
 }

@@ -28,16 +28,13 @@ fn main() {
             "abort-rate",
             "serial-fallbacks",
             "fallback-rate",
+            "per-cause breakdown",
         ],
     );
     for mode in [AlgoMode::StmCondvar, AlgoMode::HtmCondvar] {
         let (_, stats) = pbzip_compress_trial(mode, 4, bs, &input);
         let (commits, aborts, abort_rate) = if mode == AlgoMode::HtmCondvar {
-            (
-                stats.htm_commits,
-                stats.htm_aborts,
-                stats.htm_abort_rate(),
-            )
+            (stats.htm_commits, stats.htm_aborts, stats.htm_abort_rate())
         } else {
             (stats.stm.commits, stats.stm.aborts, stats.stm.abort_rate())
         };
@@ -48,6 +45,9 @@ fn main() {
             fmt_pct(abort_rate),
             stats.serial_fallbacks.to_string(),
             fmt_pct(stats.fallback_rate()),
+            // Measured by the diagnostics layer: which cause each abort
+            // was attributed to, summed over both TM domains.
+            stats.abort_breakdown(),
         ]);
     }
     table.print();

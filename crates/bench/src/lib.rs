@@ -27,7 +27,9 @@ pub mod workloads;
 
 /// Whether the full paper-scale sweep was requested.
 pub fn full_sweep() -> bool {
-    std::env::var("TLE_BENCH_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("TLE_BENCH_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Trials per configuration.

@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 use tle_base::stats::TxStatsSnapshot;
+use tle_base::AbortCause;
 use tle_core::{AlgoMode, ThreadHandle, TmSystem};
 use tle_pbz::{compress_parallel, decompress_parallel, PipelineConfig};
 use tle_stm::QuiescePolicy;
@@ -12,6 +13,9 @@ use tle_wfe::{encode_video, EncoderConfig, VideoSource};
 #[derive(Debug, Clone, Default)]
 pub struct TrialStats {
     pub stm: TxStatsSnapshot,
+    /// Full HTM snapshot, including the per-cause abort counters the
+    /// diagnostics layer maintains (`by_cause`).
+    pub htm: TxStatsSnapshot,
     pub htm_commits: u64,
     pub htm_aborts: u64,
     pub htm_conflicts: u64,
@@ -25,6 +29,7 @@ impl TrialStats {
     pub fn capture(sys: &TmSystem) -> Self {
         TrialStats {
             stm: sys.stm.stats.snapshot(),
+            htm: sys.htm.stats.tx.snapshot(),
             htm_commits: sys.htm.stats.tx.commits.get(),
             htm_aborts: sys.htm.stats.tx.aborts.get(),
             htm_conflicts: sys.htm.stats.conflict_aborts.get(),
@@ -32,6 +37,31 @@ impl TrialStats {
             htm_events: sys.htm.stats.event_aborts.get(),
             serial_fallbacks: sys.stats.serial_fallbacks.get(),
         }
+    }
+
+    /// Aborts attributed to `cause`, summed over both TM domains.
+    pub fn cause(&self, cause: AbortCause) -> u64 {
+        self.stm.cause(cause) + self.htm.cause(cause)
+    }
+
+    /// Render the non-zero per-cause abort counts as a compact one-liner,
+    /// e.g. `conflict=41 capacity=3 event=7`. Returns `"-"` when the trial
+    /// recorded no aborts at all.
+    pub fn abort_breakdown(&self) -> String {
+        let mut out = String::new();
+        for cause in AbortCause::ALL {
+            let n = self.cause(cause);
+            if n > 0 {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(&format!("{}={}", cause.label(), n));
+            }
+        }
+        if out.is_empty() {
+            out.push('-');
+        }
+        out
     }
 
     /// HTM abort rate over attempts.
@@ -126,7 +156,12 @@ impl VideoSize {
 }
 
 /// One x265 trial: encode the synthetic sequence.
-pub fn x265_trial(mode: AlgoMode, workers: usize, size: VideoSize, full: bool) -> (f64, TrialStats) {
+pub fn x265_trial(
+    mode: AlgoMode,
+    workers: usize,
+    size: VideoSize,
+    full: bool,
+) -> (f64, TrialStats) {
     x265_trial_cfg(mode, workers, size, full, tle_htm::HtmConfig::default())
 }
 
@@ -208,7 +243,14 @@ pub fn micro_trial(
     mix: Mix,
     ops_per_thread: u64,
 ) -> (f64, TrialStats) {
-    micro_trial_algo(kind, policy, tle_stm::StmAlgo::MlWt, threads, mix, ops_per_thread)
+    micro_trial_algo(
+        kind,
+        policy,
+        tle_stm::StmAlgo::MlWt,
+        threads,
+        mix,
+        ops_per_thread,
+    )
 }
 
 /// [`micro_trial`] with an explicit STM algorithm (the `ablate_stm_algo`
@@ -314,6 +356,179 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Acceptance test for the diagnostics layer: every [`AbortCause`] in
+    /// the taxonomy is reachable through the real runtime paths, and each
+    /// occurrence lands in the matching `by_cause` counter. The STM causes
+    /// are driven surgically through the raw `ml_wt` API (two transactions
+    /// interleaved on one thread); the HTM causes go through the full
+    /// runner with hardware knobs tuned to force each one.
+    #[test]
+    fn every_abort_cause_is_reachable_and_counted() {
+        use tle_base::{Padded, TCell};
+        use tle_core::ElidableMutex;
+        use tle_htm::HtmConfig;
+
+        // --- STM: ReadConflict, WriteConflict, ValidationFailed,
+        //     CommitValidation, Explicit ---
+        // `Never`: a committing writer must not drain quiescence here — the
+        // interleaved transaction on this same thread still has its epoch
+        // published, so an `Always` drain would wait on it forever.
+        let g = tle_stm::StmGlobal::new(QuiescePolicy::Never);
+        let sa = g.slots.register_raw().unwrap();
+        let sb = g.slots.register_raw().unwrap();
+        // Distinct cache lines so the two cells cannot share an orec.
+        let x = Padded(TCell::new(0u64));
+        let y = Padded(TCell::new(0u64));
+        assert_ne!(
+            g.orecs.index_of(x.addr()),
+            g.orecs.index_of(y.addr()),
+            "test cells alias one orec; pick different addresses"
+        );
+
+        // B locks X's orec; A's read and write spin out against it.
+        {
+            let mut b = g.begin(sb);
+            b.write(&*x, 1u64).unwrap();
+            let mut a = g.begin(sa);
+            let e = a.read(&*x).unwrap_err();
+            assert_eq!(e, AbortCause::ReadConflict);
+            a.abort(e);
+            let mut a = g.begin(sa);
+            let e = a.write(&*x, 2u64).unwrap_err();
+            assert_eq!(e, AbortCause::WriteConflict);
+            a.abort(e);
+            b.abort(AbortCause::Explicit);
+        }
+        // A's timestamp extension finds X changed since A read it.
+        {
+            let mut a = g.begin(sa);
+            a.read(&*x).unwrap();
+            let mut b = g.begin(sb);
+            b.write(&*x, 3u64).unwrap();
+            b.commit().unwrap();
+            let e = a.read(&*x).unwrap_err();
+            assert_eq!(e, AbortCause::ValidationFailed);
+            a.abort(e);
+        }
+        // A is a writer with a read set gone stale: the commit-time
+        // validation fails (distinct from the extension failure above).
+        {
+            let mut a = g.begin(sa);
+            a.read(&*x).unwrap();
+            a.write(&*y, 9u64).unwrap();
+            let mut b = g.begin(sb);
+            b.write(&*x, 4u64).unwrap();
+            b.commit().unwrap();
+            let e = a.commit().unwrap_err();
+            assert_eq!(e, AbortCause::CommitValidation);
+        }
+        let stm = g.stats.snapshot();
+        for cause in [
+            AbortCause::ReadConflict,
+            AbortCause::WriteConflict,
+            AbortCause::ValidationFailed,
+            AbortCause::CommitValidation,
+            AbortCause::Explicit,
+        ] {
+            assert!(
+                stm.cause(cause) >= 1,
+                "STM {cause} reached but not counted: {:?}",
+                stm.by_cause
+            );
+        }
+        g.slots.unregister_raw(sa);
+        g.slots.unregister_raw(sb);
+
+        // --- HTM Conflict: requester-wins dooming, driven directly ---
+        let hg = tle_htm::HtmGlobal::new(HtmConfig {
+            event_prob: 0.0,
+            ..HtmConfig::default()
+        });
+        let h1 = hg.slots.register_raw().unwrap();
+        let h2 = hg.slots.register_raw().unwrap();
+        let c = TCell::new(0u64);
+        let mut t1 = hg.begin(h1);
+        t1.write(&c, 1u64).unwrap();
+        let mut t2 = hg.begin(h2);
+        t2.write(&c, 2u64).unwrap(); // dooms t1 (requester wins)
+        let e = t1.commit().unwrap_err();
+        assert_eq!(e, AbortCause::Conflict);
+        t2.commit().unwrap();
+        assert!(hg.stats.tx.snapshot().cause(AbortCause::Conflict) >= 1);
+        hg.slots.unregister_raw(h1);
+        hg.slots.unregister_raw(h2);
+
+        // --- HTM Capacity / Event / Unsafe through the full runner:
+        //     each forces the serial fallback, which must still succeed ---
+        let runner_cases: [(&str, HtmConfig, AbortCause); 3] = [
+            (
+                "capacity",
+                HtmConfig {
+                    write_cap_lines: 1,
+                    event_prob: 0.0,
+                    ..HtmConfig::default()
+                },
+                AbortCause::Capacity,
+            ),
+            (
+                "event",
+                HtmConfig {
+                    event_prob: 1.0,
+                    ..HtmConfig::default()
+                },
+                AbortCause::Event,
+            ),
+            (
+                "unsafe",
+                HtmConfig {
+                    event_prob: 0.0,
+                    ..HtmConfig::default()
+                },
+                AbortCause::Unsafe,
+            ),
+        ];
+        for (label, cfg, want) in runner_cases {
+            let sys = Arc::new(TmSystem::with_policy(
+                AlgoMode::HtmCondvar,
+                tle_core::TlePolicy::default(),
+                cfg,
+            ));
+            let lock = ElidableMutex::new("causes");
+            let c1 = Padded(TCell::new(0u64));
+            let c2 = Padded(TCell::new(0u64));
+            let th = sys.register();
+            th.critical(&lock, |ctx| {
+                if want == AbortCause::Unsafe {
+                    ctx.unsafe_op()?;
+                }
+                // Two distinct cache lines: overflows write_cap_lines=1.
+                ctx.write(&*c1, 1u64)?;
+                ctx.write(&*c2, 2u64)?;
+                Ok(())
+            });
+            assert_eq!(c1.load_direct(), 1, "{label}: serial fallback lost a write");
+            assert_eq!(c2.load_direct(), 2, "{label}: serial fallback lost a write");
+            let stats = TrialStats::capture(&sys);
+            assert!(
+                stats.cause(want) >= 1,
+                "{label}: cause {want} not counted; breakdown: {}",
+                stats.abort_breakdown()
+            );
+            assert!(stats.serial_fallbacks >= 1, "{label}: no serial fallback");
+        }
+    }
+
+    #[test]
+    fn abort_breakdown_formats_nonzero_causes() {
+        let mut stats = TrialStats::default();
+        assert_eq!(stats.abort_breakdown(), "-");
+        stats.stm.by_cause[AbortCause::ReadConflict.index()] = 2;
+        stats.htm.by_cause[AbortCause::Capacity.index()] = 1;
+        stats.htm.by_cause[AbortCause::ReadConflict.index()] = 1;
+        assert_eq!(stats.abort_breakdown(), "read-conflict=3 capacity=1");
+        assert_eq!(stats.cause(AbortCause::ReadConflict), 3);
     }
 
     #[test]

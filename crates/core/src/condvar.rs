@@ -104,7 +104,11 @@ impl TxCondvar {
     }
 
     /// Transactionally append a waiter pointer.
-    pub(crate) fn enqueue(&self, ctx: &mut TxCtx<'_>, raw: *const Waiter) -> Result<(), AbortCause> {
+    pub(crate) fn enqueue(
+        &self,
+        ctx: &mut TxCtx<'_>,
+        raw: *const Waiter,
+    ) -> Result<(), AbortCause> {
         let cap = RING as u64;
         let mut h = ctx.mem_read(&self.head)?;
         let t = ctx.mem_read(&self.tail)?;
@@ -122,7 +126,10 @@ impl TxCondvar {
         if h != h0 {
             ctx.mem_write(&self.head, h)?;
         }
-        assert!(t - h < cap, "TxCondvar ring overflow: too many pending waiters");
+        assert!(
+            t - h < cap,
+            "TxCondvar ring overflow: too many pending waiters"
+        );
         ctx.mem_write(&self.ring[(t % cap) as usize], raw)?;
         ctx.mem_write(&self.tail, t + 1)?;
         Ok(())
@@ -154,7 +161,11 @@ impl TxCondvar {
     /// Transactionally cancel a specific waiter entry (timed-wait timeout).
     /// Returns `true` if the entry was found and removed; `false` means a
     /// signaller already claimed it.
-    pub(crate) fn remove(&self, ctx: &mut TxCtx<'_>, raw: *const Waiter) -> Result<bool, AbortCause> {
+    pub(crate) fn remove(
+        &self,
+        ctx: &mut TxCtx<'_>,
+        raw: *const Waiter,
+    ) -> Result<bool, AbortCause> {
         let cap = RING as u64;
         let h = ctx.mem_read(&self.head)?;
         let t = ctx.mem_read(&self.tail)?;

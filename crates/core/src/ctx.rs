@@ -117,11 +117,7 @@ impl<'a> TxCtx<'a> {
 
     /// Read-modify-write convenience.
     #[inline]
-    pub fn update<T: TxVal>(
-        &mut self,
-        c: &TCell<T>,
-        f: impl FnOnce(T) -> T,
-    ) -> Result<T, TxError> {
+    pub fn update<T: TxVal>(&mut self, c: &TCell<T>, f: impl FnOnce(T) -> T) -> Result<T, TxError> {
         let old = self.read(c)?;
         let new = f(old);
         self.write(c, new)?;
@@ -198,7 +194,9 @@ impl<'a> TxCtx<'a> {
                 });
                 Err(TxError::Wait)
             }
-            CtxKind::Stm { spin_waits: true, .. } => {
+            CtxKind::Stm {
+                spin_waits: true, ..
+            } => {
                 self.pending_wait = Some(PendingWait {
                     waiter: None,
                     raw: std::ptr::null(),

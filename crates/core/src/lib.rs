@@ -33,7 +33,7 @@ mod system;
 pub use condvar::TxCondvar;
 pub use ctx::{TxCtx, TxError};
 pub use elide::ElidableMutex;
-pub use system::{AlgoMode, ThreadHandle, TlePolicy, TmSystem, TxHints};
+pub use system::{AlgoMode, DomainStats, ThreadHandle, TlePolicy, TmSystem, TxHints};
 
 /// Convenience result type for transactional closures.
 pub type TxResult<T> = Result<T, TxError>;
@@ -169,7 +169,11 @@ mod tests {
                 Ok(v)
             });
             assert_eq!(out, 0);
-            assert_eq!(cell.load_direct(), 1, "unsafe path lost the write under {mode:?}");
+            assert_eq!(
+                cell.load_direct(),
+                1,
+                "unsafe path lost the write under {mode:?}"
+            );
         }
     }
 
@@ -276,7 +280,11 @@ mod tests {
             for h in handles {
                 h.join().unwrap();
             }
-            assert_eq!(cell.load_direct(), 4_000, "lost updates with NOrec under {mode:?}");
+            assert_eq!(
+                cell.load_direct(),
+                4_000,
+                "lost updates with NOrec under {mode:?}"
+            );
         }
     }
 
@@ -337,7 +345,11 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(cell.load_direct(), 8_000, "lost updates under adaptive elision");
+        assert_eq!(
+            cell.load_direct(),
+            8_000,
+            "lost updates under adaptive elision"
+        );
     }
 
     #[test]
@@ -465,7 +477,10 @@ mod tests {
         });
         assert_eq!(cell.load_direct(), 1);
         assert!(sys.stats.serial_fallbacks.get() >= 1);
-        assert!(!sys.gate.serial_held(), "adaptive mode must not use the global gate");
+        assert!(
+            !sys.gate.serial_held(),
+            "adaptive mode must not use the global gate"
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@ use crate::elide::ElidableMutex;
 use crate::system::{AlgoMode, ThreadHandle, TxHints};
 use std::sync::Arc;
 use tle_base::rng::XorShift64;
+use tle_base::trace::{self, TraceKind, TxMode};
 use tle_base::AbortCause;
 
 pub(crate) fn run<'a, R, F>(
@@ -75,6 +76,7 @@ where
                 lock.set_skip(SKIP_AFTER_FAILURE);
                 sys.stats.serial_fallbacks.inc(th.stm_slot);
             }
+            trace::emit(TraceKind::Fallback, TxMode::Locked, None, attempts as u64);
             match run_adaptive_lock_path(th, lock, f) {
                 SerialOutcome::Done(r) => return r,
                 SerialOutcome::Retry => {
@@ -103,11 +105,18 @@ where
             Ok(true) => {
                 tx.abort(AbortCause::Conflict);
                 attempts += 1;
+                trace::emit(
+                    TraceKind::Retry,
+                    TxMode::Htm,
+                    Some(AbortCause::Conflict),
+                    attempts as u64,
+                );
                 continue;
             }
             Err(e) => {
                 tx.abort(e);
                 attempts += 1;
+                trace::emit(TraceKind::Retry, TxMode::Htm, Some(e), attempts as u64);
                 backoff(th.htm_slot, attempts, sys.policy().backoff_ceiling);
                 continue;
             }
@@ -133,8 +142,9 @@ where
                         }
                         return r;
                     }
-                    Err(_) => {
+                    Err(cause) => {
                         attempts += 1;
+                        trace::emit(TraceKind::Retry, TxMode::Htm, Some(cause), attempts as u64);
                         backoff(th.htm_slot, attempts, sys.policy().backoff_ceiling);
                     }
                 }
@@ -149,9 +159,10 @@ where
                         attempts = 0;
                         block_on_adaptive(th, lock, pw);
                     }
-                    Err(_) => {
+                    Err(cause) => {
                         reclaim_enqueue_ref(&pw);
                         attempts += 1;
+                        trace::emit(TraceKind::Retry, TxMode::Htm, Some(cause), attempts as u64);
                         backoff(th.htm_slot, attempts, sys.policy().backoff_ceiling);
                     }
                 }
@@ -161,6 +172,12 @@ where
                 // no serial mode to fall back to).
                 tx.abort(AbortCause::Unsafe);
                 sys.stats.serial_fallbacks.inc(th.stm_slot);
+                trace::emit(
+                    TraceKind::Fallback,
+                    TxMode::Locked,
+                    Some(AbortCause::Unsafe),
+                    attempts as u64,
+                );
                 match run_adaptive_lock_path(th, lock, f) {
                     SerialOutcome::Done(r) => return r,
                     SerialOutcome::Retry => attempts = 0,
@@ -172,6 +189,7 @@ where
                     reclaim_enqueue_ref(&pw);
                 }
                 attempts += 1;
+                trace::emit(TraceKind::Retry, TxMode::Htm, Some(c), attempts as u64);
                 backoff(th.htm_slot, attempts, sys.policy().backoff_ceiling);
             }
         }
@@ -215,7 +233,9 @@ where
             SerialOutcome::Retry
         }
         Err(TxError::Abort(c)) => {
-            panic!("operation aborted ({c}) while holding the elided lock: effects cannot be undone")
+            panic!(
+                "operation aborted ({c}) while holding the elided lock: effects cannot be undone"
+            )
         }
     }
 }
@@ -284,6 +304,7 @@ where
     let mut attempts: u32 = 0;
     loop {
         if attempts >= stm_retries {
+            trace::emit(TraceKind::Fallback, TxMode::Serial, None, attempts as u64);
             match run_serial(th, f) {
                 SerialOutcome::Done(r) => return r,
                 SerialOutcome::Retry => {
@@ -319,9 +340,10 @@ where
                         }
                         return r;
                     }
-                    Err(_) => {
+                    Err(cause) => {
                         drop(token);
                         attempts += 1;
+                        trace::emit(TraceKind::Retry, TxMode::Stm, Some(cause), attempts as u64);
                         backoff(th.stm_slot, attempts, sys.policy().backoff_ceiling);
                     }
                 }
@@ -337,10 +359,11 @@ where
                         attempts = 0;
                         block_on(th, pw);
                     }
-                    Err(_) => {
+                    Err(cause) => {
                         reclaim_enqueue_ref(&pw);
                         drop(token);
                         attempts += 1;
+                        trace::emit(TraceKind::Retry, TxMode::Stm, Some(cause), attempts as u64);
                         backoff(th.stm_slot, attempts, sys.policy().backoff_ceiling);
                     }
                 }
@@ -348,6 +371,12 @@ where
             Err(TxError::Abort(AbortCause::Unsafe)) => {
                 tx.abort(AbortCause::Unsafe);
                 drop(token);
+                trace::emit(
+                    TraceKind::Fallback,
+                    TxMode::Serial,
+                    Some(AbortCause::Unsafe),
+                    attempts as u64,
+                );
                 match run_serial(th, f) {
                     SerialOutcome::Done(r) => return r,
                     SerialOutcome::Retry => attempts = 0,
@@ -360,6 +389,7 @@ where
                 }
                 drop(token);
                 attempts += 1;
+                trace::emit(TraceKind::Retry, TxMode::Stm, Some(c), attempts as u64);
                 backoff(th.stm_slot, attempts, sys.policy().backoff_ceiling);
             }
         }
@@ -377,6 +407,7 @@ where
         if attempts >= htm_retries {
             // Paper §VII: "fall back to a serial mode after hardware
             // transactions fail twice".
+            trace::emit(TraceKind::Fallback, TxMode::Serial, None, attempts as u64);
             match run_serial(th, f) {
                 SerialOutcome::Done(r) => return r,
                 SerialOutcome::Retry => {
@@ -409,9 +440,10 @@ where
                         }
                         return r;
                     }
-                    Err(_) => {
+                    Err(cause) => {
                         drop(token);
                         attempts += 1;
+                        trace::emit(TraceKind::Retry, TxMode::Htm, Some(cause), attempts as u64);
                         backoff(th.htm_slot, attempts, sys.policy().backoff_ceiling);
                     }
                 }
@@ -427,10 +459,11 @@ where
                         attempts = 0;
                         block_on(th, pw);
                     }
-                    Err(_) => {
+                    Err(cause) => {
                         reclaim_enqueue_ref(&pw);
                         drop(token);
                         attempts += 1;
+                        trace::emit(TraceKind::Retry, TxMode::Htm, Some(cause), attempts as u64);
                         backoff(th.htm_slot, attempts, sys.policy().backoff_ceiling);
                     }
                 }
@@ -438,6 +471,12 @@ where
             Err(TxError::Abort(AbortCause::Unsafe)) => {
                 tx.abort(AbortCause::Unsafe);
                 drop(token);
+                trace::emit(
+                    TraceKind::Fallback,
+                    TxMode::Serial,
+                    Some(AbortCause::Unsafe),
+                    attempts as u64,
+                );
                 match run_serial(th, f) {
                     SerialOutcome::Done(r) => return r,
                     SerialOutcome::Retry => attempts = 0,
@@ -450,6 +489,7 @@ where
                 }
                 drop(token);
                 attempts += 1;
+                trace::emit(TraceKind::Retry, TxMode::Htm, Some(c), attempts as u64);
                 backoff(th.htm_slot, attempts, sys.policy().backoff_ceiling);
             }
         }
@@ -480,6 +520,7 @@ where
         Ok(r) => {
             debug_assert!(pending_wait.is_none(), "wait() result must be propagated");
             sys.stats.commits.inc(th.stm_slot);
+            trace::emit(TraceKind::Commit, TxMode::Serial, None, 0);
             drop(token);
             for d in defers {
                 d();
@@ -488,6 +529,7 @@ where
         }
         Err(TxError::Wait) => {
             sys.stats.commits.inc(th.stm_slot);
+            trace::emit(TraceKind::Commit, TxMode::Serial, None, 0);
             drop(token);
             for d in defers {
                 d();
@@ -545,6 +587,7 @@ fn block_on_adaptive<'a>(th: &'a ThreadHandle, lock: &'a ElidableMutex, pw: Pend
         }
         Some(w) => {
             let signaled = w.wait(pw.timeout);
+            trace::emit(TraceKind::WaitPark, TxMode::Locked, None, !signaled as u64);
             if !signaled {
                 adaptive_acquire(th, lock);
                 let mut ctx = TxCtx::new(CtxKind::Serial);
@@ -577,6 +620,7 @@ fn block_on<'a>(th: &'a ThreadHandle, pw: PendingWait<'a>) {
         }
         Some(w) => {
             let signaled = w.wait(pw.timeout);
+            trace::emit(TraceKind::WaitPark, TxMode::Serial, None, !signaled as u64);
             if !signaled {
                 cancel_wait(th, pw.cv, pw.raw);
             }
@@ -597,7 +641,9 @@ fn cancel_wait(th: &ThreadHandle, cv: &TxCondvar, raw: *const Waiter) {
             // Abort storm: do it under global exclusion.
             let token = sys.gate.enter_serial();
             let mut ctx = TxCtx::new(CtxKind::Serial);
-            let r = cv.remove(&mut ctx, raw).expect("direct access cannot abort");
+            let r = cv
+                .remove(&mut ctx, raw)
+                .expect("direct access cannot abort");
             drop(token);
             break r;
         }
@@ -611,7 +657,7 @@ fn cancel_wait(th: &ThreadHandle, cv: &TxCondvar, raw: *const Waiter) {
                 _ => unreachable!(),
             };
             match r {
-                Ok(found) => tx.commit().map(|_| found).map_err(|e| e),
+                Ok(found) => tx.commit().map(|_| found),
                 Err(e) => {
                     tx.abort(e);
                     Err(e)

@@ -4,10 +4,11 @@
 use crate::elide::ElidableMutex;
 use crate::runner;
 use crate::{TxCtx, TxError};
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
-use tle_base::stats::TxStats;
-use tle_base::Gate;
+use tle_base::stats::{fmt_ns, LatencyHistSnapshot, TxStats, TxStatsSnapshot};
+use tle_base::{AbortCause, Gate};
 use tle_htm::{HtmConfig, HtmGlobal};
 use tle_stm::{QuiescePolicy, StmGlobal};
 
@@ -205,11 +206,103 @@ impl TmSystem {
         }
     }
 
-    /// Reset all statistics (between benchmark trials).
+    /// Reset all statistics — and any recorded trace events — between
+    /// benchmark trials.
     pub fn reset_stats(&self) {
         self.stats.reset();
         self.stm.stats.reset();
         self.htm.stats.reset();
+        tle_base::trace::clear();
+    }
+
+    /// Snapshot every domain's counters at once.
+    pub fn domain_stats(&self) -> DomainStats {
+        DomainStats {
+            mode: self.mode(),
+            tle: self.stats.snapshot(),
+            stm: self.stm.stats.snapshot(),
+            htm: self.htm.stats.tx.snapshot(),
+        }
+    }
+
+    /// Render the Figure-4-style abort breakdown for the current counters.
+    pub fn report(&self) -> String {
+        self.domain_stats().report()
+    }
+}
+
+/// A point-in-time view of every domain's statistics.
+///
+/// [`DomainStats::report`] renders the measured equivalent of the paper's
+/// Figure 4: per-domain commit/abort totals and a per-cause abort breakdown,
+/// plus quiescence-drain latency when the STM domain drained.
+#[derive(Debug, Clone, Copy)]
+pub struct DomainStats {
+    /// Algorithm active when the snapshot was taken.
+    pub mode: AlgoMode,
+    /// TLE-runtime counters (serial commits and fallbacks).
+    pub tle: TxStatsSnapshot,
+    /// Software-TM domain counters.
+    pub stm: TxStatsSnapshot,
+    /// Simulated-hardware domain counters.
+    pub htm: TxStatsSnapshot,
+}
+
+impl DomainStats {
+    /// The STM drain-latency distribution (shortcut for plots/tests).
+    pub fn quiesce_hist(&self) -> &LatencyHistSnapshot {
+        &self.stm.quiesce_hist
+    }
+
+    /// Total aborts of `cause` across the STM and HTM domains.
+    pub fn cause(&self, cause: AbortCause) -> u64 {
+        self.stm.cause(cause) + self.htm.cause(cause)
+    }
+
+    /// Render a Figure-4-style table: per-domain totals, then one row per
+    /// abort cause that actually occurred.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "abort breakdown [{}]", self.mode.label());
+        let _ = writeln!(
+            out,
+            "  {:<18} {:>12} {:>12} {:>8}",
+            "domain", "commits", "aborts", "abort%"
+        );
+        for (name, s) in [
+            ("stm", &self.stm),
+            ("htm", &self.htm),
+            ("serial", &self.tle),
+        ] {
+            let _ = writeln!(
+                out,
+                "  {:<18} {:>12} {:>12} {:>7.2}%",
+                name,
+                s.commits,
+                s.aborts,
+                s.abort_rate() * 100.0
+            );
+        }
+        let _ = writeln!(out, "  serial fallbacks: {}", self.tle.serial_fallbacks);
+        let _ = writeln!(out, "  {:<18} {:>12} {:>12}", "cause", "stm", "htm");
+        for c in AbortCause::ALL {
+            let (s, h) = (self.stm.cause(c), self.htm.cause(c));
+            if s == 0 && h == 0 {
+                continue;
+            }
+            let _ = writeln!(out, "  {:<18} {:>12} {:>12}", c.label(), s, h);
+        }
+        if self.stm.quiesces > 0 {
+            let _ = writeln!(
+                out,
+                "  quiesce drains: {} skipped: {} wait: {} ({})",
+                self.stm.quiesces,
+                self.stm.quiesce_skipped,
+                fmt_ns(self.stm.quiesce_wait_ns),
+                self.stm.quiesce_hist.summary()
+            );
+        }
+        out
     }
 }
 
@@ -287,7 +380,10 @@ mod tests {
         assert_eq!(AlgoMode::Baseline.label(), "pthread");
         assert_eq!(AlgoMode::StmSpin.label(), "STM+Spin");
         assert_eq!(AlgoMode::StmCondvar.label(), "STM+CondVar");
-        assert_eq!(AlgoMode::StmCondvarNoQuiesce.label(), "STM+CondVar+NoQuiesce");
+        assert_eq!(
+            AlgoMode::StmCondvarNoQuiesce.label(),
+            "STM+CondVar+NoQuiesce"
+        );
         assert_eq!(AlgoMode::HtmCondvar.label(), "HTM+CondVar");
     }
 

@@ -1,0 +1,261 @@
+//! Cancel-path tests for timed condvar waits (paper §VI-d).
+//!
+//! A timed wait that expires must *cancel* its ring entry in a follow-up
+//! transaction (`cancel_wait`), and a wait registration whose transaction
+//! fails to commit must reclaim the queue-owned `Arc` reference
+//! (`reclaim_enqueue_ref`) — both paths hold a raw pointer produced by
+//! `Arc::into_raw`, so a bug here is a leak or a double-free rather than a
+//! wrong answer. These tests drive each path under both TM flavours
+//! (`StmCondvar` exercises the STM removal transaction, `HtmCondvar` the
+//! hardware one) and then prove the condvar is still *usable*: a stale or
+//! double-claimed ring entry would swallow the subsequent wakeup.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tle_base::TCell;
+use tle_core::{AlgoMode, ElidableMutex, TlePolicy, TmSystem, TxCondvar};
+use tle_htm::HtmConfig;
+
+/// A signal round-trip: one thread waits (untimed) for a flag, the other
+/// sets it and signals. Proves the ring still delivers wakeups — run after
+/// every cancellation scenario to show cancelled entries left no residue
+/// that absorbs signals.
+fn assert_signal_round_trip(sys: &Arc<TmSystem>, lock: &Arc<ElidableMutex>, cv: &Arc<TxCondvar>) {
+    let flag = Arc::new(TCell::new(false));
+    let waiter = {
+        let (sys, lock, cv, flag) = (
+            Arc::clone(sys),
+            Arc::clone(lock),
+            Arc::clone(cv),
+            Arc::clone(&flag),
+        );
+        std::thread::spawn(move || {
+            let th = sys.register();
+            th.critical(&lock, |ctx| {
+                if ctx.read(&*flag)? {
+                    Ok(())
+                } else {
+                    ctx.wait(&cv, None).map(|_| ())
+                }
+            });
+        })
+    };
+    // Give the waiter a moment to park, then signal inside a transaction.
+    std::thread::sleep(Duration::from_millis(20));
+    let th = sys.register();
+    th.critical(lock, |ctx| {
+        ctx.write(&*flag, true)?;
+        ctx.signal(cv)?;
+        Ok(())
+    });
+    waiter
+        .join()
+        .expect("round-trip waiter wedged: signal lost");
+}
+
+/// Timed wait with nobody signalling: the timeout fires, `cancel_wait`
+/// removes the ring entry, and the closure re-runs. Exercised under both TM
+/// flavours so both the STM and the HTM removal transactions run.
+fn timed_wait_expiry(mode: AlgoMode) {
+    let sys = Arc::new(TmSystem::new(mode));
+    let lock = Arc::new(ElidableMutex::new("expiry"));
+    let cv = Arc::new(TxCondvar::new());
+    let never = Arc::new(TCell::new(false));
+
+    let th = sys.register();
+    let mut wakes = 0u32;
+    let t0 = Instant::now();
+    th.critical(&lock, |ctx| {
+        if !ctx.read(&*never)? {
+            wakes += 1;
+            if wakes > 2 {
+                // Two expirations observed; stop polling.
+                return Ok(());
+            }
+            return ctx.wait(&cv, Some(Duration::from_millis(10))).map(|_| ());
+        }
+        Ok(())
+    });
+    assert!(
+        t0.elapsed() >= Duration::from_millis(15),
+        "{mode:?}: returned before both timeouts could expire"
+    );
+    assert!(wakes > 2, "{mode:?}: closure not re-run after timeout");
+    // Each expiry cancelled its own entry; the ring must still work.
+    assert_signal_round_trip(&sys, &lock, &cv);
+}
+
+#[test]
+fn timed_wait_expires_and_cancels_under_stm() {
+    timed_wait_expiry(AlgoMode::StmCondvar);
+}
+
+#[test]
+fn timed_wait_expires_and_cancels_under_htm() {
+    timed_wait_expiry(AlgoMode::HtmCondvar);
+}
+
+/// A signaller firing right as timeouts expire: `cancel_wait`'s remove races
+/// the signaller's dequeue for the same entry. Exactly one side may claim it
+/// (and with it the queue's `Arc` reference) — a double claim double-frees,
+/// a missed claim leaks or deadlocks a later waiter. The waiters use short
+/// timeouts so every iteration re-runs the race.
+fn signal_races_timeout(mode: AlgoMode) {
+    const WAITERS: usize = 3;
+    let sys = Arc::new(TmSystem::new(mode));
+    let lock = Arc::new(ElidableMutex::new("race"));
+    let cv = Arc::new(TxCondvar::new());
+    let flag = Arc::new(TCell::new(false));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let waiters: Vec<_> = (0..WAITERS)
+        .map(|i| {
+            let (sys, lock, cv, flag) = (
+                Arc::clone(&sys),
+                Arc::clone(&lock),
+                Arc::clone(&cv),
+                Arc::clone(&flag),
+            );
+            std::thread::spawn(move || {
+                let th = sys.register();
+                // Staggered timeouts line up differently with the signal
+                // cadence on each iteration, widening race coverage.
+                let timeout = Duration::from_micros(500 + 300 * i as u64);
+                th.critical(&lock, |ctx| {
+                    if ctx.read(&*flag)? {
+                        Ok(())
+                    } else {
+                        ctx.wait(&cv, Some(timeout)).map(|_| ())
+                    }
+                });
+            })
+        })
+        .collect();
+
+    let signaller = {
+        let (sys, lock, cv, stop) = (
+            Arc::clone(&sys),
+            Arc::clone(&lock),
+            Arc::clone(&cv),
+            Arc::clone(&stop),
+        );
+        std::thread::spawn(move || {
+            let th = sys.register();
+            while !stop.load(Ordering::Relaxed) {
+                th.critical(&lock, |ctx| ctx.signal(&cv));
+                std::thread::sleep(Duration::from_micros(400));
+            }
+        })
+    };
+
+    // Let signals and timeouts collide for a while, then release everyone.
+    std::thread::sleep(Duration::from_millis(100));
+    let th = sys.register();
+    th.critical(&lock, |ctx| {
+        ctx.write(&*flag, true)?;
+        ctx.broadcast(&cv)?;
+        Ok(())
+    });
+    for w in waiters {
+        w.join()
+            .expect("waiter lost both the signal and the timeout");
+    }
+    stop.store(true, Ordering::Relaxed);
+    signaller.join().unwrap();
+
+    // Cancelled residue compacts on the next enqueue; a full round-trip
+    // proves neither side of the race left a claimed-but-live entry behind.
+    assert_signal_round_trip(&sys, &lock, &cv);
+}
+
+#[test]
+fn signal_races_timeout_under_stm() {
+    signal_races_timeout(AlgoMode::StmCondvar);
+}
+
+#[test]
+fn signal_races_timeout_under_htm() {
+    signal_races_timeout(AlgoMode::HtmCondvar);
+}
+
+/// Force wait-registration transactions to fail so `reclaim_enqueue_ref`
+/// (runner) and the enqueue-failure reclaim (ctx) run: an aggressive
+/// simulated event-abort rate kills registrations mid-enqueue, and ring
+/// head/tail contention between concurrent waiters dooms others between
+/// enqueue and commit. Every failure must drop exactly the one reference
+/// the rolled-back ring write would have owned.
+#[test]
+fn failed_wait_registration_reclaims_queue_reference() {
+    let cfg = HtmConfig {
+        // ~5% per access: with ~8 transactional accesses per registration,
+        // most waits lose at least one attempt to an event abort.
+        event_prob: 0.05,
+        seed: 0xDECAF,
+        ..HtmConfig::default()
+    };
+    let sys = Arc::new(TmSystem::with_policy(
+        AlgoMode::HtmCondvar,
+        TlePolicy::default(),
+        cfg,
+    ));
+    let lock = Arc::new(ElidableMutex::new("reclaim"));
+    let cv = Arc::new(TxCondvar::new());
+    let flag = Arc::new(TCell::new(0u64));
+    const THREADS: usize = 4;
+    const ROUNDS: u64 = 50;
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let (sys, lock, cv, flag) = (
+                Arc::clone(&sys),
+                Arc::clone(&lock),
+                Arc::clone(&cv),
+                Arc::clone(&flag),
+            );
+            std::thread::spawn(move || {
+                let th = sys.register();
+                for round in 1..=ROUNDS {
+                    // Timed wait: almost always expires (nobody signals on
+                    // this phase), so the registration commits — or fails
+                    // and is retried, reclaiming the queue reference each
+                    // time — and then cancels.
+                    let mut polls = 0u32;
+                    th.critical(&lock, |ctx| {
+                        polls += 1;
+                        if polls > 1 {
+                            return Ok(());
+                        }
+                        ctx.wait(&cv, Some(Duration::from_micros(200))).map(|_| ())
+                    });
+                    // Interleave signals so dequeues contend with enqueues.
+                    th.critical(&lock, |ctx| {
+                        let v = ctx.read(&*flag)?;
+                        ctx.write(&*flag, v + 1)?;
+                        ctx.signal(&cv)?;
+                        Ok(())
+                    });
+                    let _ = round;
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join()
+            .expect("thread died reclaiming a failed registration");
+    }
+
+    // The flag increments are plain transactional updates; losing one would
+    // mean an abort path corrupted state on its way out.
+    assert_eq!(flag.load_direct(), THREADS as u64 * ROUNDS);
+
+    // The event-abort rate guarantees the failure paths actually ran.
+    let stats = sys.domain_stats();
+    assert!(
+        stats.htm.aborts > 0,
+        "event_prob=0.05 produced no aborts: reclaim paths never exercised"
+    );
+
+    assert_signal_round_trip(&sys, &lock, &cv);
+}

@@ -108,7 +108,9 @@ impl HtmStats {
     }
 
     pub(crate) fn count_abort(&self, shard: usize, cause: AbortCause) {
-        self.tx.aborts.inc(shard);
+        // Per-cause attribution lives in tx.by_cause; the coarse legacy
+        // counters below are kept in sync for existing consumers.
+        self.tx.count_abort(shard, cause);
         match cause {
             AbortCause::Capacity => self.capacity_aborts.inc(shard),
             AbortCause::Event => self.event_aborts.inc(shard),
@@ -161,12 +163,19 @@ impl HtmGlobal {
             Ordering::SeqCst,
             Ordering::SeqCst,
         ) {
-            Ok(_) => DoomOutcome::Doomed,
+            Ok(_) => {
+                tle_base::trace::emit(
+                    tle_base::trace::TraceKind::Conflict,
+                    tle_base::trace::TxMode::Htm,
+                    Some(AbortCause::Conflict),
+                    victim_slot as u64,
+                );
+                DoomOutcome::Doomed
+            }
             Err(s) if s == state::COMMITTED => DoomOutcome::Committing,
             Err(_) => DoomOutcome::Gone,
         }
     }
-
 
     /// Invalidate `cell`'s cache line as a non-transactional access would:
     /// every hardware transaction holding the line in its read or write set
@@ -318,7 +327,11 @@ mod tests {
 
         // Requester-wins: the reader invalidates the writer's line.
         let mut reader = g.begin(s2);
-        assert_eq!(reader.read(&a).unwrap(), 0, "must see pre-transactional value");
+        assert_eq!(
+            reader.read(&a).unwrap(),
+            0,
+            "must see pre-transactional value"
+        );
         reader.commit().unwrap();
 
         let r = writer.commit();

@@ -15,6 +15,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use tle_base::line_of;
+use tle_base::trace::{self, TraceKind, TxMode};
+use tle_base::AbortCause;
 
 /// One conflict-table entry.
 #[derive(Debug, Default)]
@@ -54,6 +56,27 @@ impl Line {
         self.writer
             .compare_exchange(cur, new, Ordering::SeqCst, Ordering::SeqCst)
             .is_ok()
+    }
+
+    /// Whether a transaction other than `self_slot` currently holds this
+    /// line (as reader or writer) — i.e. the access about to be marked will
+    /// contend. Emits a [`TraceKind::Conflict`] event tagged with the table
+    /// index when it does, so traces show conflicts at the line where the
+    /// coherence protocol detected them, before the doom protocol picks a
+    /// victim.
+    pub fn trace_contention(&self, idx: usize, self_slot: usize) -> bool {
+        let w = self.writer();
+        let other_readers = self.readers() & !(1u64 << self_slot);
+        let contended = (w != 0 && w as usize != self_slot + 1) || other_readers != 0;
+        if contended {
+            trace::emit(
+                TraceKind::Conflict,
+                TxMode::Htm,
+                Some(AbortCause::Conflict),
+                idx as u64,
+            );
+        }
+        contended
     }
 }
 
@@ -148,7 +171,10 @@ mod tests {
         let l = Line::default();
         assert!(l.cas_writer(0, 5 + 1));
         assert_eq!(l.writer(), 6);
-        assert!(!l.cas_writer(0, 3 + 1), "occupied writer must not be stolen blindly");
+        assert!(
+            !l.cas_writer(0, 3 + 1),
+            "occupied writer must not be stolen blindly"
+        );
         assert!(l.cas_writer(6, 0));
         assert_eq!(l.writer(), 0);
     }

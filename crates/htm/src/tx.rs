@@ -4,6 +4,7 @@
 use crate::{state, DoomOutcome, HtmGlobal};
 use std::sync::atomic::{AtomicU64, Ordering};
 use tle_base::rng::XorShift64;
+use tle_base::trace::{self, TraceKind, TxMode};
 use tle_base::{AbortCause, TCell, TxVal};
 
 /// A single hardware-transaction attempt.
@@ -41,6 +42,7 @@ impl<'g> HtmTx<'g> {
         let seed = g.config.seed ^ ((slot as u64) << 32) ^ salt;
         g.slots
             .publish_raw(slot, g.slots.value(slot).wrapping_add(1));
+        trace::emit(TraceKind::Begin, TxMode::Htm, None, slot as u64);
         HtmTx {
             g,
             slot,
@@ -76,6 +78,7 @@ impl<'g> HtmTx<'g> {
         if self.g.is_doomed(self.slot) {
             return Err(AbortCause::Conflict);
         }
+        trace::emit(TraceKind::Read, TxMode::Htm, None, li as u64);
         Ok(val)
     }
 
@@ -91,11 +94,13 @@ impl<'g> HtmTx<'g> {
         if let Some(entry) = self.redo.iter_mut().find(|&&mut (_, a, _)| a == addr) {
             entry.2 = word;
         } else {
-            self.redo.push((cell.word() as *const AtomicU64, addr, word));
+            self.redo
+                .push((cell.word() as *const AtomicU64, addr, word));
         }
         if self.g.is_doomed(self.slot) {
             return Err(AbortCause::Conflict);
         }
+        trace::emit(TraceKind::Write, TxMode::Htm, None, li as u64);
         Ok(())
     }
 
@@ -125,6 +130,12 @@ impl<'g> HtmTx<'g> {
         }
         let p = self.g.config.event_prob;
         if p > 0.0 && self.rng.chance(p) {
+            trace::emit(
+                TraceKind::Conflict,
+                TxMode::Htm,
+                Some(AbortCause::Event),
+                self.slot as u64,
+            );
             return Err(AbortCause::Event);
         }
         Ok(())
@@ -135,6 +146,7 @@ impl<'g> HtmTx<'g> {
     /// its commit point.
     fn mark_read_line(&mut self, li: u32) -> Result<(), AbortCause> {
         let line = self.g.table.line(li as usize);
+        line.trace_contention(li as usize, self.slot);
         line.add_reader(self.slot);
         loop {
             let w = line.writer();
@@ -156,6 +168,12 @@ impl<'g> HtmTx<'g> {
         }
         self.read_lines.push(li);
         if self.read_lines.len() > self.g.config.read_cap_lines {
+            trace::emit(
+                TraceKind::Conflict,
+                TxMode::Htm,
+                Some(AbortCause::Capacity),
+                li as u64,
+            );
             return Err(AbortCause::Capacity);
         }
         Ok(())
@@ -164,6 +182,7 @@ impl<'g> HtmTx<'g> {
     /// Become the line's writer, dooming all other readers and any writer.
     fn mark_write_line(&mut self, li: u32) -> Result<(), AbortCause> {
         let line = self.g.table.line(li as usize);
+        line.trace_contention(li as usize, self.slot);
         // Acquire the writer word.
         loop {
             let w = line.writer();
@@ -195,6 +214,12 @@ impl<'g> HtmTx<'g> {
         }
         self.write_lines.push(li);
         if self.write_lines.len() > self.g.config.write_cap_lines {
+            trace::emit(
+                TraceKind::Conflict,
+                TxMode::Htm,
+                Some(AbortCause::Capacity),
+                li as u64,
+            );
             return Err(AbortCause::Capacity);
         }
         Ok(())
@@ -217,15 +242,23 @@ impl<'g> HtmTx<'g> {
             self.cleanup();
             self.finished = true;
             self.g.stats.count_abort(self.slot, AbortCause::Conflict);
+            trace::emit(
+                TraceKind::Abort,
+                TxMode::Htm,
+                Some(AbortCause::Conflict),
+                self.slot as u64,
+            );
             return Err(AbortCause::Conflict);
         }
         for &(cell, _, val) in &self.redo {
             // SAFETY: cells outlive the transaction (documented invariant).
             unsafe { (*cell).store(val, Ordering::SeqCst) };
         }
+        let published = self.redo.len() as u64;
         self.cleanup();
         self.finished = true;
         self.g.stats.tx.commits.inc(self.slot);
+        trace::emit(TraceKind::Commit, TxMode::Htm, None, published);
         Ok(())
     }
 
@@ -234,6 +267,7 @@ impl<'g> HtmTx<'g> {
         self.cleanup();
         self.finished = true;
         self.g.stats.count_abort(self.slot, cause);
+        trace::emit(TraceKind::Abort, TxMode::Htm, Some(cause), self.slot as u64);
     }
 
     fn cleanup(&mut self) {
@@ -253,6 +287,12 @@ impl Drop for HtmTx<'_> {
         if !self.finished {
             self.cleanup();
             self.g.stats.count_abort(self.slot, AbortCause::Explicit);
+            trace::emit(
+                TraceKind::Abort,
+                TxMode::Htm,
+                Some(AbortCause::Explicit),
+                self.slot as u64,
+            );
         }
     }
 }

@@ -201,7 +201,8 @@ mod tests {
     fn bwt_groups_similar_context() {
         // For text with repeated contexts, the BWT output should contain
         // longer runs than the input — the property MTF+RLE exploit.
-        let text = b"she sells sea shells by the sea shore she sells sea shells by the sea shore".repeat(4);
+        let text = b"she sells sea shells by the sea shore she sells sea shells by the sea shore"
+            .repeat(4);
         let (bwt, _) = bwt_encode(&text);
         let runs = |s: &[u8]| s.windows(2).filter(|w| w[0] == w[1]).count();
         assert!(

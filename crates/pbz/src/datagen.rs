@@ -8,10 +8,41 @@
 use tle_base::rng::XorShift64;
 
 const WORDS: &[&str] = &[
-    "the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog", "lorem", "ipsum", "dolor",
-    "sit", "amet", "consectetur", "adipiscing", "elit", "transaction", "memory", "lock",
-    "elision", "quiescence", "commit", "abort", "serial", "hardware", "software", "thread",
-    "queue", "producer", "consumer", "pipeline", "block", "compress", "encode", "wavefront",
+    "the",
+    "quick",
+    "brown",
+    "fox",
+    "jumps",
+    "over",
+    "lazy",
+    "dog",
+    "lorem",
+    "ipsum",
+    "dolor",
+    "sit",
+    "amet",
+    "consectetur",
+    "adipiscing",
+    "elit",
+    "transaction",
+    "memory",
+    "lock",
+    "elision",
+    "quiescence",
+    "commit",
+    "abort",
+    "serial",
+    "hardware",
+    "software",
+    "thread",
+    "queue",
+    "producer",
+    "consumer",
+    "pipeline",
+    "block",
+    "compress",
+    "encode",
+    "wavefront",
 ];
 
 /// Generate `len` bytes of compressible text-like data from `seed`.

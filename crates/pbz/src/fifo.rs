@@ -97,7 +97,9 @@ impl<T: Send> TleFifo<T> {
                 // Empty: no data extracted, so no privatization -> skip the
                 // drain and wait (paper Listing 2's consumer fast path).
                 ctx.no_quiesce();
-                return ctx.wait(&self.not_empty, None).map(|_| std::ptr::null_mut());
+                return ctx
+                    .wait(&self.not_empty, None)
+                    .map(|_| std::ptr::null_mut());
             }
             let idx = (h % cap) as usize;
             let p = ctx.read(&self.slots[idx])?;

@@ -110,7 +110,7 @@ pub fn code_lengths(freqs: &[u64; ALPHA]) -> [u8; ALPHA] {
         // zlib-style flattening: halve (rounding up) and retry.
         for x in f.iter_mut() {
             if *x > 0 {
-                *x = (*x + 1) / 2;
+                *x = x.div_ceil(2);
             }
         }
     }
@@ -390,10 +390,7 @@ mod tests {
                     continue;
                 }
                 let shifted = codes[b] >> (lens[b] - lens[a]);
-                assert!(
-                    !(shifted == codes[a]),
-                    "code {a} is a prefix of code {b}"
-                );
+                assert!(!(shifted == codes[a]), "code {a} is a prefix of code {b}");
             }
         }
     }

@@ -61,7 +61,10 @@ impl std::fmt::Display for CodecError {
             CodecError::Truncated => write!(f, "truncated compressed stream"),
             CodecError::Malformed(what) => write!(f, "malformed stream: {what}"),
             CodecError::CrcMismatch { expected, actual } => {
-                write!(f, "CRC mismatch: expected {expected:#010x}, got {actual:#010x}")
+                write!(
+                    f,
+                    "CRC mismatch: expected {expected:#010x}, got {actual:#010x}"
+                )
             }
         }
     }

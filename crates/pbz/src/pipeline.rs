@@ -114,7 +114,13 @@ fn run_pipeline(
         let th = sys.register();
         for (id, data) in blocks.into_iter().enumerate() {
             queue
-                .push(&th, Box::new(WorkItem { id: id as u64, data }))
+                .push(
+                    &th,
+                    Box::new(WorkItem {
+                        id: id as u64,
+                        data,
+                    }),
+                )
                 .unwrap_or_else(|_| panic!("queue closed during production"));
         }
         queue.close(&th);
@@ -218,6 +224,9 @@ mod tests {
         let c_par = compress_parallel(&sys, &data, &cfg(4, 4_000));
         assert_eq!(decompress_serial(&c_par).unwrap(), data);
         let c_ser = compress_serial(&data, 4_000);
-        assert_eq!(decompress_parallel(&sys, &c_ser, &cfg(4, 4_000)).unwrap(), data);
+        assert_eq!(
+            decompress_parallel(&sys, &c_ser, &cfg(4, 4_000)).unwrap(),
+            data
+        );
     }
 }

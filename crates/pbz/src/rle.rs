@@ -107,7 +107,9 @@ mod tests {
 
     #[test]
     fn all_byte_values() {
-        let data: Vec<u8> = (0..=255u8).flat_map(|b| vec![b; (b as usize % 7) + 1]).collect();
+        let data: Vec<u8> = (0..=255u8)
+            .flat_map(|b| vec![b; (b as usize % 7) + 1])
+            .collect();
         roundtrip(&data);
     }
 }

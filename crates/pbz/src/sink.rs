@@ -125,9 +125,7 @@ mod tests {
                     std::thread::spawn(move || {
                         let th = sys.register();
                         // Reverse-ish start order to force waiting.
-                        std::thread::sleep(std::time::Duration::from_micros(
-                            (N - id) * 100,
-                        ));
+                        std::thread::sleep(std::time::Duration::from_micros((N - id) * 100));
                         let payload = vec![id as u8; (id % 5) as usize + 1];
                         sink.submit(&th, id, &payload);
                     })

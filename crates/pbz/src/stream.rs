@@ -270,6 +270,9 @@ mod tests {
         c.write_all(&data).unwrap();
         let streamed = c.finish().unwrap();
         let oneshot = crate::compress_serial(&data, 8_000);
-        assert_eq!(streamed, oneshot, "stream framing must match one-shot output");
+        assert_eq!(
+            streamed, oneshot,
+            "stream framing must match one-shot output"
+        );
     }
 }

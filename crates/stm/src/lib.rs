@@ -82,14 +82,21 @@ impl StmGlobal {
     }
 
     /// The active software-TM algorithm.
+    ///
+    /// Ordering audit: `Acquire`, pairing with the `Release` in
+    /// [`StmGlobal::set_algo`]. The two algorithms do not share conflict
+    /// metadata (orecs vs `norec_seq`), so a thread beginning a transaction
+    /// after an algorithm switch must observe any state the switching thread
+    /// prepared (e.g. a reset clock) — `Relaxed` would let `begin_soft` run
+    /// the new algorithm against stale setup.
     #[inline]
     pub fn algo(&self) -> StmAlgo {
-        StmAlgo::from_u8(self.algo.load(Ordering::Relaxed))
+        StmAlgo::from_u8(self.algo.load(Ordering::Acquire))
     }
 
     /// Select the software-TM algorithm (between runs, like the policy).
     pub fn set_algo(&self, algo: StmAlgo) {
-        self.algo.store(algo as u8, Ordering::Relaxed);
+        self.algo.store(algo as u8, Ordering::Release);
     }
 
     /// Begin a transaction of the domain's selected algorithm.
@@ -113,6 +120,10 @@ impl StmGlobal {
     /// load-bearing and deserves review. Costs one slot scan per skipped
     /// drain (i.e. re-introduces part of the cost it audits), so it is a
     /// debug tool, off by default.
+    /// Ordering audit: `Relaxed` is sufficient. The flag only gates a
+    /// *diagnostic counter* ([`StmGlobal::noquiesce_overlaps`]); no memory
+    /// accessed by the audit is published by the thread flipping the flag,
+    /// and observing the flip late merely delays when counting starts.
     pub fn set_audit_noquiesce(&self, on: bool) {
         self.audit_noquiesce
             .store(on, std::sync::atomic::Ordering::Relaxed);
@@ -124,6 +135,13 @@ impl StmGlobal {
     }
 
     /// Current quiescence policy.
+    ///
+    /// Ordering audit: `Relaxed` is sufficient. The policy only selects
+    /// whether a *post-commit* drain runs; it guards no data, and every
+    /// committer re-reads it after its own commit point. A committer that
+    /// observes a policy flip late at worst performs one extra (safe) or one
+    /// fewer (caller-sanctioned: flipping mid-run means the caller accepts
+    /// the old policy for in-flight commits) drain.
     #[inline]
     pub fn policy(&self) -> QuiescePolicy {
         QuiescePolicy::from_u8(self.policy.load(Ordering::Relaxed))
@@ -186,7 +204,11 @@ mod tests {
         // Write-through: the new value is visible in memory while locked.
         assert_eq!(a.load_direct(), 100);
         tx.abort(tle_base::AbortCause::Explicit);
-        assert_eq!(a.load_direct(), 10, "undo log must restore the oldest value");
+        assert_eq!(
+            a.load_direct(),
+            10,
+            "undo log must restore the oldest value"
+        );
         assert_eq!(g.stats.aborts.get(), 1);
         g.slots.unregister_raw(slot);
     }
@@ -200,7 +222,11 @@ mod tests {
         let mut tx = g.begin(slot);
         assert_eq!(tx.read(&a).unwrap(), 5);
         tx.commit().unwrap();
-        assert_eq!(g.clock.now(), before, "read-only commits must not bump the clock");
+        assert_eq!(
+            g.clock.now(),
+            before,
+            "read-only commits must not bump the clock"
+        );
         g.slots.unregister_raw(slot);
     }
 

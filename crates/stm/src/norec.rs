@@ -23,6 +23,7 @@
 use crate::tx::CommitInfo;
 use crate::StmGlobal;
 use std::sync::atomic::{AtomicU64, Ordering};
+use tle_base::trace::{self, TraceKind, TxMode};
 use tle_base::{AbortCause, TCell, TxVal};
 
 /// A single NOrec transaction attempt.
@@ -43,6 +44,7 @@ impl<'g> NorecTx<'g> {
         let snapshot = wait_even(&g.norec_seq);
         // Publish for the (ml_wt-oriented) drain scans; harmless here.
         g.slots.publish_raw(slot_idx, snapshot);
+        trace::emit(TraceKind::Begin, TxMode::Norec, None, snapshot);
         NorecTx {
             g,
             slot_idx,
@@ -120,11 +122,18 @@ impl<'g> NorecTx<'g> {
                 // invariant shared with `StmTx`).
                 .all(|&(c, v)| unsafe { (*c).load(Ordering::Acquire) } == v);
             if !consistent {
+                trace::emit(
+                    TraceKind::Conflict,
+                    TxMode::Norec,
+                    Some(AbortCause::ValidationFailed),
+                    s,
+                );
                 return Err(AbortCause::ValidationFailed);
             }
             if self.g.norec_seq.load(Ordering::Acquire) == s {
                 self.snapshot = s;
                 self.g.slots.publish_raw(self.slot_idx, s);
+                trace::emit(TraceKind::Extend, TxMode::Norec, None, s);
                 return Ok(());
             }
         }
@@ -138,6 +147,7 @@ impl<'g> NorecTx<'g> {
             self.finished = true;
             self.g.slots.publish_raw(self.slot_idx, tle_base::INACTIVE);
             self.g.stats.commits.inc(shard);
+            trace::emit(TraceKind::Commit, TxMode::Norec, None, self.snapshot);
             return Ok(CommitInfo {
                 end_time: self.snapshot,
                 quiesced: false,
@@ -155,10 +165,14 @@ impl<'g> NorecTx<'g> {
             ) {
                 Ok(_) => break,
                 Err(_) => {
-                    if let Err(cause) = self.revalidate() {
+                    if self.revalidate().is_err() {
+                        // Commit-time abort: the race for the sequence lock
+                        // was lost AND the winner changed a value we read.
+                        let cause = AbortCause::CommitValidation;
                         self.finished = true;
-                        self.g.stats.aborts.inc(shard);
+                        self.g.stats.count_abort(shard, cause);
                         self.g.slots.publish_raw(self.slot_idx, tle_base::INACTIVE);
+                        trace::emit(TraceKind::Abort, TxMode::Norec, Some(cause), self.snapshot);
                         return Err(cause);
                     }
                 }
@@ -173,6 +187,7 @@ impl<'g> NorecTx<'g> {
         self.finished = true;
         self.g.slots.publish_raw(self.slot_idx, tle_base::INACTIVE);
         self.g.stats.commits.inc(shard);
+        trace::emit(TraceKind::Commit, TxMode::Norec, None, end);
         Ok(CommitInfo {
             end_time: end,
             quiesced: false,
@@ -181,18 +196,27 @@ impl<'g> NorecTx<'g> {
     }
 
     /// Abort this attempt (nothing to roll back — lazy versioning).
-    pub fn abort(mut self, _cause: AbortCause) {
+    pub fn abort(mut self, cause: AbortCause) {
         self.finished = true;
-        self.g.stats.aborts.inc(self.slot_idx);
+        self.g.stats.count_abort(self.slot_idx, cause);
         self.g.slots.publish_raw(self.slot_idx, tle_base::INACTIVE);
+        trace::emit(TraceKind::Abort, TxMode::Norec, Some(cause), self.snapshot);
     }
 }
 
 impl Drop for NorecTx<'_> {
     fn drop(&mut self) {
         if !self.finished {
-            self.g.stats.aborts.inc(self.slot_idx);
+            self.g
+                .stats
+                .count_abort(self.slot_idx, AbortCause::Explicit);
             self.g.slots.publish_raw(self.slot_idx, tle_base::INACTIVE);
+            trace::emit(
+                TraceKind::Abort,
+                TxMode::Norec,
+                Some(AbortCause::Explicit),
+                self.snapshot,
+            );
         }
     }
 }

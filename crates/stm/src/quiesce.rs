@@ -24,6 +24,7 @@
 //!   the next conflicting transaction.
 
 use std::time::Instant;
+use tle_base::trace::{self, TraceKind, TxMode};
 use tle_base::SlotRegistry;
 #[cfg(test)]
 use tle_base::INACTIVE;
@@ -83,6 +84,7 @@ pub fn drain(slots: &SlotRegistry, self_idx: usize, upto: u64) -> u64 {
         return 0;
     }
 
+    trace::emit(TraceKind::QuiesceStart, TxMode::Stm, None, upto);
     let t0 = Instant::now();
     for (idx, _) in slots.scan() {
         if idx == self_idx {
@@ -99,7 +101,9 @@ pub fn drain(slots: &SlotRegistry, self_idx: usize, upto: u64) -> u64 {
             }
         }
     }
-    t0.elapsed().as_nanos() as u64
+    let ns = t0.elapsed().as_nanos() as u64;
+    trace::emit(TraceKind::QuiesceEnd, TxMode::Stm, None, ns);
+    ns
 }
 
 #[cfg(test)]

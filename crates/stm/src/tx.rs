@@ -6,6 +6,7 @@ use crate::quiesce::{drain, QuiescePolicy};
 use crate::StmGlobal;
 use std::sync::atomic::{AtomicU64, Ordering};
 use tle_base::orec::OrecValue;
+use tle_base::trace::{self, TraceKind, TxMode};
 use tle_base::{AbortCause, TCell, TxVal};
 
 /// How long to spin on a locked orec before reporting a conflict. Short, as
@@ -55,6 +56,7 @@ impl<'g> StmTx<'g> {
     pub(crate) fn begin(g: &'g StmGlobal, slot_idx: usize) -> Self {
         let start = g.clock.now();
         g.slots.publish_raw(slot_idx, start);
+        trace::emit(TraceKind::Begin, TxMode::Stm, None, start);
         StmTx {
             g,
             slot_idx,
@@ -151,6 +153,12 @@ impl<'g> StmTx<'g> {
                         std::hint::spin_loop();
                         continue;
                     }
+                    trace::emit(
+                        TraceKind::Conflict,
+                        TxMode::Stm,
+                        Some(AbortCause::ReadConflict),
+                        oi as u64,
+                    );
                     return Err(AbortCause::ReadConflict);
                 }
                 OrecValue::Unlocked(ver) => {
@@ -167,6 +175,7 @@ impl<'g> StmTx<'g> {
                         continue;
                     }
                     self.reads.push((oi as u32, v1));
+                    trace::emit(TraceKind::Read, TxMode::Stm, None, oi as u64);
                     return Ok(val);
                 }
             }
@@ -180,7 +189,8 @@ impl<'g> StmTx<'g> {
             let cur = self.g.orecs.load(oi);
             match OrecValue::decode(cur) {
                 OrecValue::Locked(owner) if owner == self.slot_idx => {
-                    self.undo.push((w as *const AtomicU64, w.load(Ordering::Relaxed)));
+                    self.undo
+                        .push((w as *const AtomicU64, w.load(Ordering::Relaxed)));
                     w.store(val, Ordering::Release);
                     return Ok(());
                 }
@@ -190,6 +200,12 @@ impl<'g> StmTx<'g> {
                         std::hint::spin_loop();
                         continue;
                     }
+                    trace::emit(
+                        TraceKind::Conflict,
+                        TxMode::Stm,
+                        Some(AbortCause::WriteConflict),
+                        oi as u64,
+                    );
                     return Err(AbortCause::WriteConflict);
                 }
                 OrecValue::Unlocked(ver) => {
@@ -199,8 +215,10 @@ impl<'g> StmTx<'g> {
                     }
                     if self.g.orecs.try_lock(oi, cur, self.slot_idx) {
                         self.locks.push((oi as u32, cur));
-                        self.undo.push((w as *const AtomicU64, w.load(Ordering::Relaxed)));
+                        self.undo
+                            .push((w as *const AtomicU64, w.load(Ordering::Relaxed)));
                         w.store(val, Ordering::Release);
+                        trace::emit(TraceKind::Write, TxMode::Stm, None, oi as u64);
                         return Ok(());
                     }
                     // CAS raced with another transaction; re-examine.
@@ -214,9 +232,13 @@ impl<'g> StmTx<'g> {
     /// concurrent quiescence drains stop waiting on us.
     fn extend(&mut self) -> Result<(), AbortCause> {
         let now = self.g.clock.now();
-        self.validate()?;
+        if let Err(cause) = self.validate() {
+            trace::emit(TraceKind::Conflict, TxMode::Stm, Some(cause), now);
+            return Err(cause);
+        }
         self.start = now;
         self.g.slots.publish_raw(self.slot_idx, now);
+        trace::emit(TraceKind::Extend, TxMode::Stm, None, now);
         Ok(())
     }
 
@@ -260,17 +282,21 @@ impl<'g> StmTx<'g> {
             self.g.slots.publish_raw(self.slot_idx, tle_base::INACTIVE);
             let info = self.maybe_quiesce(self.g.clock.now());
             self.g.stats.commits.inc(shard);
+            trace::emit(TraceKind::Commit, TxMode::Stm, None, info.end_time);
             return Ok(info);
         }
 
         let end = self.g.clock.advance();
         if end > self.start + 1 {
             // Someone committed since our (possibly extended) start; the
-            // read set must still hold.
-            if let Err(cause) = self.validate() {
+            // read set must still hold. A failure here is a *commit-time*
+            // validation abort, distinct from mid-transaction validation.
+            if self.validate().is_err() {
+                let cause = AbortCause::CommitValidation;
                 self.rollback();
                 self.finished = true;
-                self.g.stats.aborts.inc(shard);
+                self.g.stats.count_abort(shard, cause);
+                trace::emit(TraceKind::Abort, TxMode::Stm, Some(cause), end);
                 return Err(cause);
             }
         }
@@ -281,16 +307,18 @@ impl<'g> StmTx<'g> {
         self.g.slots.publish_raw(self.slot_idx, tle_base::INACTIVE);
         let info = self.maybe_quiesce(end);
         self.g.stats.commits.inc(shard);
+        trace::emit(TraceKind::Commit, TxMode::Stm, None, end);
         Ok(info)
     }
 
     /// Explicitly abort this attempt (conflict, explicit cancel, or a
     /// surrounding policy decision). Rolls back and releases all orecs.
-    pub fn abort(mut self, _cause: AbortCause) {
+    pub fn abort(mut self, cause: AbortCause) {
         self.rollback();
         self.finished = true;
-        self.g.stats.aborts.inc(self.slot_idx);
+        self.g.stats.count_abort(self.slot_idx, cause);
         self.g.slots.publish_raw(self.slot_idx, tle_base::INACTIVE);
+        trace::emit(TraceKind::Abort, TxMode::Stm, Some(cause), self.start);
     }
 
     fn rollback(&mut self) {
@@ -340,6 +368,7 @@ impl<'g> StmTx<'g> {
         let wait_ns = drain(&self.g.slots, self.slot_idx, upto);
         self.g.stats.quiesces.inc(self.slot_idx);
         self.g.stats.quiesce_wait_ns.add(self.slot_idx, wait_ns);
+        self.g.stats.quiesce_hist.record(wait_ns);
         CommitInfo {
             end_time,
             quiesced: true,
@@ -354,8 +383,16 @@ impl Drop for StmTx<'_> {
             // A panic (or early return) escaped the transactional closure:
             // roll back so no orec stays locked.
             self.rollback();
-            self.g.stats.aborts.inc(self.slot_idx);
+            self.g
+                .stats
+                .count_abort(self.slot_idx, AbortCause::Explicit);
             self.g.slots.publish_raw(self.slot_idx, tle_base::INACTIVE);
+            trace::emit(
+                TraceKind::Abort,
+                TxMode::Stm,
+                Some(AbortCause::Explicit),
+                self.start,
+            );
         }
     }
 }

@@ -193,7 +193,10 @@ impl TxSet for TxTreeSet {
             *seen += 1;
             assert!(*seen <= POOL, "cycle detected in tree");
             let k = nodes[idx as usize].key.load_direct() as i64;
-            assert!(lo < k + 1 && k < hi, "BST order violated: {k} outside ({lo},{hi})");
+            assert!(
+                lo < k + 1 && k < hi,
+                "BST order violated: {k} outside ({lo},{hi})"
+            );
             walk(nodes, nodes[idx as usize].left.load_direct(), lo, k, seen);
             walk(nodes, nodes[idx as usize].right.load_direct(), k, hi, seen);
         }

@@ -67,10 +67,9 @@ fn intra_dc(recon: &ReconFrame, bx: usize, by: usize, top_floor_px: usize) -> u8
             n += 1;
         }
     }
-    if n == 0 {
-        128
-    } else {
-        ((sum + n / 2) / n) as u8
+    match (sum + n / 2).checked_div(n) {
+        None => 128,
+        Some(avg) => avg as u8,
     }
 }
 
@@ -140,8 +139,7 @@ pub fn encode_ctu_sliced(
                 for dx in 0..TB {
                     let x = tbx * TB + dx;
                     let y = tby * TB + dy;
-                    block[dy * TB + dx] =
-                        cur.px(bx + x, by + y) as i32 - pred_px(x, y) as i32;
+                    block[dy * TB + dx] = cur.px(bx + x, by + y) as i32 - pred_px(x, y) as i32;
                 }
             }
             let mut coefs = fwht8x8(&block);

@@ -126,7 +126,11 @@ struct InFlightFrame {
 }
 
 /// Encode the whole `source` under the system's active algorithm.
-pub fn encode_video(sys: &Arc<TmSystem>, source: &VideoSource, cfg: &EncoderConfig) -> EncodedVideo {
+pub fn encode_video(
+    sys: &Arc<TmSystem>,
+    source: &VideoSource,
+    cfg: &EncoderConfig,
+) -> EncodedVideo {
     let pool = WorkerPool::new(sys, cfg.workers);
     let in_q: Arc<TleFifo<(usize, Frame)>> =
         Arc::new(TleFifo::new("frame-input", cfg.lookahead_depth));
@@ -150,8 +154,7 @@ pub fn encode_video(sys: &Arc<TmSystem>, source: &VideoSource, cfg: &EncoderConf
                 let scene_cut = match &prev {
                     None => true,
                     Some(p) => {
-                        let per_px =
-                            frame.sad(p) as f64 / (frame.width() * frame.height()) as f64;
+                        let per_px = frame.sad(p) as f64 / (frame.width() * frame.height()) as f64;
                         per_px > 25.0
                     }
                 };
@@ -273,7 +276,11 @@ fn start_frame(
     // prediction or MV propagation).
     let bounds: Vec<usize> = (0..=slices).map(|s| s * rows / slices).collect();
     let slice_of_row = move |r: usize, bounds: &[usize]| -> usize {
-        bounds.iter().rposition(|&b| b <= r).unwrap().min(bounds.len() - 2)
+        bounds
+            .iter()
+            .rposition(|&b| b <= r)
+            .unwrap()
+            .min(bounds.len() - 2)
     };
     let wfs: Arc<Vec<Wavefront>> = Arc::new(
         (0..slices)

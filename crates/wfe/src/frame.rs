@@ -17,7 +17,10 @@ pub struct Frame {
 impl Frame {
     /// A black frame; `width`/`height` must be multiples of [`CTU`].
     pub fn new(width: usize, height: usize) -> Self {
-        assert!(width % CTU == 0 && height % CTU == 0, "dimensions must be CTU-aligned");
+        assert!(
+            width.is_multiple_of(CTU) && height.is_multiple_of(CTU),
+            "dimensions must be CTU-aligned"
+        );
         assert!(width > 0 && height > 0);
         Frame {
             width,
@@ -29,8 +32,12 @@ impl Frame {
     /// Build from raw data (length must equal `width * height`).
     pub fn from_data(width: usize, height: usize, data: Vec<u8>) -> Self {
         assert_eq!(data.len(), width * height);
-        assert!(width % CTU == 0 && height % CTU == 0);
-        Frame { width, height, data }
+        assert!(width.is_multiple_of(CTU) && height.is_multiple_of(CTU));
+        Frame {
+            width,
+            height,
+            data,
+        }
     }
 
     /// Frame width in pixels.
@@ -155,7 +162,10 @@ impl ReconFrame {
         Frame::from_data(
             self.width,
             self.height,
-            self.data.iter().map(|p| p.load(Ordering::Acquire)).collect(),
+            self.data
+                .iter()
+                .map(|p| p.load(Ordering::Acquire))
+                .collect(),
         )
     }
 }

@@ -42,6 +42,6 @@ pub mod source;
 pub mod transform;
 pub mod wavefront;
 
-pub use encoder::{encode_video, EncoderConfig, EncodedVideo};
+pub use encoder::{encode_video, EncodedVideo, EncoderConfig};
 pub use frame::Frame;
 pub use source::VideoSource;

@@ -81,7 +81,16 @@ pub fn search(cur: &Frame, reference: &ReconFrame, bx: usize, by: usize, pred: M
         gy += 3;
     }
     // Large-diamond refinement until no improvement, then small diamond.
-    let large = [(2i32, 0i32), (-2, 0), (0, 2), (0, -2), (1, 1), (1, -1), (-1, 1), (-1, -1)];
+    let large = [
+        (2i32, 0i32),
+        (-2, 0),
+        (0, 2),
+        (0, -2),
+        (1, 1),
+        (1, -1),
+        (-1, 1),
+        (-1, -1),
+    ];
     let small = [(1i32, 0i32), (-1, 0), (0, 1), (0, -1)];
     for pattern in [&large[..], &small[..]] {
         loop {
@@ -145,7 +154,10 @@ mod tests {
             Mv { x: 0, y: 0 },
             Mv { x: -8, y: 8 },
             Mv { x: 5, y: -3 },
-            Mv { x: i32::MIN, y: i32::MAX },
+            Mv {
+                x: i32::MIN,
+                y: i32::MAX,
+            },
         ] {
             assert_eq!(Mv::unpack(mv.pack()), mv);
         }
@@ -174,7 +186,11 @@ mod tests {
         }
         // Interior block so the shift is exact within the window.
         let (mv, cost) = search(&cur, &r, 32, 16, Mv::default());
-        assert_eq!((mv.x, mv.y), (-3, 0), "should find the 3px shift, cost {cost}");
+        assert_eq!(
+            (mv.x, mv.y),
+            (-3, 0),
+            "should find the 3px shift, cost {cost}"
+        );
         assert_eq!(cost, 0);
     }
 

@@ -153,7 +153,11 @@ mod tests {
                 }
                 group.wait_all(&th);
             }
-            assert_eq!(counter.load(Ordering::SeqCst), 100, "jobs lost under {mode:?}");
+            assert_eq!(
+                counter.load(Ordering::SeqCst),
+                100,
+                "jobs lost under {mode:?}"
+            );
             assert_eq!(group.remaining_direct(), 0);
             pool.shutdown();
         }

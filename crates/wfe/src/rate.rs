@@ -54,7 +54,8 @@ impl RateController {
             self.qp = self.qp.saturating_add(6).min(QP_MAX);
             self.reservoir = self.reservoir.min(2 * deadband);
         } else if self.reservoir < -deadband && self.qp > QP_MIN {
-            self.qp = self.qp.saturating_sub(6).max(QP_MIN);
+            // Saturation alone suffices while QP_MIN is 0.
+            self.qp = self.qp.saturating_sub(6);
             self.reservoir = self.reservoir.max(-2 * deadband);
         }
     }

@@ -7,7 +7,6 @@
 
 use crate::frame::Frame;
 
-
 /// A deterministic frame generator.
 pub struct VideoSource {
     width: usize,

@@ -11,7 +11,12 @@ use tle_repro::prelude::*;
 use tle_repro::wfe::{encode_video, EncoderConfig, VideoSource};
 
 fn check(name: &str, detail: String, ok: bool) {
-    println!("  [{}] {:<52} {}", if ok { "ok" } else { "!!" }, name, detail);
+    println!(
+        "  [{}] {:<52} {}",
+        if ok { "ok" } else { "!!" },
+        name,
+        detail
+    );
 }
 
 fn main() {
@@ -32,7 +37,9 @@ fn main() {
         let t0 = Instant::now();
         let c = compress_parallel(&sys, &input, &cfg);
         let secs = t0.elapsed().as_secs_f64();
-        let ok = decompress_parallel(&sys, &c, &cfg).map(|d| d == input).unwrap_or(false);
+        let ok = decompress_parallel(&sys, &c, &cfg)
+            .map(|d| d == input)
+            .unwrap_or(false);
         match &reference_out {
             None => reference_out = Some(c),
             Some(r) => assert_eq!(r, &c, "outputs differ across algorithms"),
@@ -45,10 +52,7 @@ fn main() {
         times.push((mode, secs));
     }
     let base = times[0].1;
-    let worst = times
-        .iter()
-        .map(|(_, s)| s / base)
-        .fold(0.0f64, f64::max);
+    let worst = times.iter().map(|(_, s)| s / base).fold(0.0f64, f64::max);
     check(
         "TM overhead vs pthread bounded",
         format!("worst {:.2}x of baseline", worst),
@@ -134,12 +138,18 @@ fn main() {
     let (without, _) = measure(QuiescePolicy::Selective, true);
     check(
         "long txn stalls unrelated committers (Always)",
-        format!("{with_drain:.2} us/commit, {:.1} ms total drain wait", wait_ns as f64 / 1e6),
+        format!(
+            "{with_drain:.2} us/commit, {:.1} ms total drain wait",
+            wait_ns as f64 / 1e6
+        ),
         wait_ns > 0,
     );
     check(
         "TM_NoQuiesce removes the coupling (Selective)",
-        format!("{without:.2} us/commit ({:.1}x faster)", with_drain / without),
+        format!(
+            "{without:.2} us/commit ({:.1}x faster)",
+            with_drain / without
+        ),
         without <= with_drain,
     );
 

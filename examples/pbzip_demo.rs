@@ -43,7 +43,10 @@ fn main() {
         let t0 = std::time::Instant::now();
         let compressed = compress_parallel(&sys, &input, &cfg);
         let secs = t0.elapsed().as_secs_f64();
-        assert_eq!(compressed, reference, "parallel output must be bit-identical");
+        assert_eq!(
+            compressed, reference,
+            "parallel output must be bit-identical"
+        );
         let roundtrip = decompress_parallel(&sys, &compressed, &cfg).expect("decompress");
         assert_eq!(roundtrip, input, "roundtrip mismatch");
         println!(

@@ -15,7 +15,9 @@ const THREADS: usize = 4;
 const TRANSFERS: u64 = 20_000;
 
 fn main() {
-    println!("TLE quickstart: {THREADS} threads x {TRANSFERS} transfers over {ACCOUNTS} accounts\n");
+    println!(
+        "TLE quickstart: {THREADS} threads x {TRANSFERS} transfers over {ACCOUNTS} accounts\n"
+    );
     for mode in ALL_MODES {
         let sys = Arc::new(TmSystem::new(mode));
         let lock = Arc::new(ElidableMutex::new("bank"));

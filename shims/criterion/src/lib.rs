@@ -1,0 +1,190 @@
+//! Offline shim for `criterion`.
+//!
+//! The build container has no route to crates.io, so the real crate cannot
+//! be vendored. This implements the subset of the Criterion 0.5 API the
+//! workspace's benches use: [`Criterion::bench_function`], a calibrating
+//! [`Bencher::iter`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros (including the `config = ...` form).
+//!
+//! Statistics are intentionally simple — per-iteration mean over a few
+//! measured batches after a warm-up, printed as `name  time: [..]` lines —
+//! because the workspace's own figure benches do their own measurement; this
+//! runner only needs to execute and time, not to do rigorous inference.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        println!("{:<40} time: [{}]", id.as_ref(), fmt_ns(b.mean_ns));
+        self
+    }
+
+    /// Called by `criterion_main!` after all groups run.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Timing context passed to the closure of [`Criterion::bench_function`].
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, calibrating the batch size during warm-up so each
+    /// measured batch is long enough for the clock to resolve.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up, doubling the batch until it fills the warm-up budget.
+        let mut batch: u64 = 1;
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+            if elapsed < self.warm_up_time / 10 {
+                batch = batch.saturating_mul(2);
+            }
+        }
+        // Measurement: `sample_size` batches within the time budget.
+        let mut total_ns: f64 = 0.0;
+        let mut total_iters: u64 = 0;
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total_ns += t0.elapsed().as_nanos() as f64;
+            total_iters += batch;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.mean_ns = if total_iters == 0 {
+            0.0
+        } else {
+            total_ns / total_iters as f64
+        };
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// `criterion_group!`: both the `name/config/targets` form and the short
+/// `group_name, target, ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ( $name:ident, $($target:path),+ $(,)? ) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// `criterion_main!`: expands to `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ( $($group:path),+ $(,)? ) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn fmt_ns_picks_unit() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+    }
+}

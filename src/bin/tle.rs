@@ -150,7 +150,9 @@ fn cmd_compress(args: &[String], decompress: bool) -> i32 {
     let result: Result<Vec<u8>, String> = if decompress {
         let mut d = StreamDecompressor::new(&data[..]);
         let mut out = Vec::new();
-        d.read_to_end(&mut out).map(|_| out).map_err(|e| e.to_string())
+        d.read_to_end(&mut out)
+            .map(|_| out)
+            .map_err(|e| e.to_string())
     } else {
         let mut c = StreamCompressor::new(Arc::clone(&sys), cfg, Vec::new());
         c.write_all(&data)
@@ -171,7 +173,11 @@ fn cmd_compress(args: &[String], decompress: bool) -> i32 {
     }
     println!(
         "{} {} -> {} bytes in {:.3}s ({:.1} MB/s) under {}",
-        if decompress { "decompressed" } else { "compressed" },
+        if decompress {
+            "decompressed"
+        } else {
+            "compressed"
+        },
         data.len(),
         out_bytes.len(),
         secs,
@@ -197,7 +203,7 @@ fn cmd_encode(args: &[String]) -> i32 {
         frame_threads: opt_parse(args, "--frame-threads", 3),
         slices: opt_parse(args, "--slices", 1),
     };
-    if width % 16 != 0 || height % 16 != 0 {
+    if !width.is_multiple_of(16) || !height.is_multiple_of(16) {
         eprintln!("encode: width/height must be multiples of 16");
         return 2;
     }

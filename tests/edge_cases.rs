@@ -103,7 +103,8 @@ fn htm_same_line_false_sharing_conflicts() {
     let s2 = g.slots.register_raw().unwrap();
     // Adjacent cells in one allocation share a 64-byte line.
     let pair = Box::new((TCell::new(0u64), TCell::new(0u64)));
-    let same_line = tle_repro::base::line_of(pair.0.addr()) == tle_repro::base::line_of(pair.1.addr());
+    let same_line =
+        tle_repro::base::line_of(pair.0.addr()) == tle_repro::base::line_of(pair.1.addr());
     if !same_line {
         return; // allocator split them; nothing to assert
     }
@@ -131,7 +132,11 @@ fn htm_same_line_false_sharing_conflicts() {
 /// Pushing into a full FIFO blocks until a pop frees a slot.
 #[test]
 fn fifo_capacity_blocks_producer() {
-    for mode in [AlgoMode::Baseline, AlgoMode::StmCondvar, AlgoMode::HtmCondvar] {
+    for mode in [
+        AlgoMode::Baseline,
+        AlgoMode::StmCondvar,
+        AlgoMode::HtmCondvar,
+    ] {
         let sys = Arc::new(TmSystem::new(mode));
         let q: Arc<TleFifo<u32>> = Arc::new(TleFifo::new("tiny", 2));
         {

@@ -188,7 +188,10 @@ fn timed_wait_expires_under_every_mode() {
             t0.elapsed() >= std::time::Duration::from_millis(25),
             "timeouts did not elapse under {mode:?}"
         );
-        assert_eq!(wakes, 4, "expected 3 timeout wakeups + final give-up under {mode:?}");
+        assert_eq!(
+            wakes, 4,
+            "expected 3 timeout wakeups + final give-up under {mode:?}"
+        );
     }
 }
 
@@ -358,5 +361,5 @@ fn proxy_privatization_listing1() {
     proxy.join().unwrap();
     let consumed = consumed.lock();
     assert_eq!(consumed.len(), MSGS as usize);
-    assert!(consumed.iter().all(|&m| m >= 1 && m <= MSGS));
+    assert!(consumed.iter().all(|&m| (1..=MSGS).contains(&m)));
 }

@@ -77,7 +77,11 @@ fn run_opacity(mode: AlgoMode, algo: StmAlgo) {
     }
     let expect = WRITERS as u64 * OPS;
     for c in cells.iter() {
-        assert_eq!(c.load_direct(), expect, "lost increments under {mode:?}/{algo:?}");
+        assert_eq!(
+            c.load_direct(),
+            expect,
+            "lost increments under {mode:?}/{algo:?}"
+        );
     }
 }
 
@@ -147,8 +151,10 @@ fn commit_order_replay_matches_final_state() {
                 })
             })
             .collect();
-        let mut log: Vec<(u64, usize, u64)> =
-            handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut log: Vec<(u64, usize, u64)> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         // Tags must be unique and dense (each transaction got its own).
         log.sort_unstable();
         for (i, &(tag, _, _)) in log.iter().enumerate() {

@@ -19,7 +19,7 @@ proptest! {
     fn rle1_roundtrip_runny(runs in proptest::collection::vec((any::<u8>(), 0usize..600), 0..20)) {
         let mut data = Vec::new();
         for (b, n) in runs {
-            data.extend(std::iter::repeat(b).take(n));
+            data.extend(std::iter::repeat_n(b, n));
         }
         let enc = rle::rle1_encode(&data);
         prop_assert_eq!(rle::rle1_decode(&enc).unwrap(), data);
