@@ -1,0 +1,680 @@
+//! Deterministic fault injection: a seeded, schedule-scriptable oracle that
+//! every runtime layer consults at its hazard points.
+//!
+//! The diagnostics layer (PR 1) can *see* abort storms, quiescence stalls and
+//! lost wakeups; this module lets the torture harness *provoke* them on
+//! demand and lets tests prove the recovery paths work. Each layer asks the
+//! oracle at a well-defined hazard point ([`Hazard`]) whether an injected
+//! fault should fire right now; the answer is a pure function of the
+//! installed [`FaultPlan`], the calling thread's *lane* and its logical
+//! *tick*, so the same seed always produces the same fault schedule.
+//!
+//! # Determinism model
+//!
+//! - **Lanes.** Each participating thread occupies a lane. Torture workers
+//!   pin their lane explicitly ([`set_lane`]); other threads are auto-lanes
+//!   assigned in first-consult order (fine for chaos, not for byte-exact
+//!   reproduction — pin lanes when you need that).
+//! - **Ticks.** A lane's logical clock advances only when the worker calls
+//!   [`tick`] — once per logical operation, *not* per hazard consult. A rule
+//!   fires when `(tick + phase_eff) % period == 0`, at most
+//!   `fires_per_tick` times per tick, so retry loops converge: the injected
+//!   fault hits the first attempt(s) and the recovery path then runs clean.
+//! - **Seed.** [`FaultPlan::seed`] scrambles each rule's phase per lane
+//!   (splitmix64), so different lanes fault at different ticks and different
+//!   seeds produce different — but reproducible — schedules.
+//! - **Counters.** [`snapshot`] returns two per-hazard tallies: `armed`
+//!   (incremented by tick arithmetic alone — exactly reproducible for a
+//!   given seed and tick count, even under nondeterministic thread
+//!   interleaving) and `fired` (faults actually delivered at a hazard
+//!   point — reproducible when the workload itself is deterministic, e.g.
+//!   single-worker torture).
+//!
+//! # Disabled cost
+//!
+//! With no plan installed every hook reduces to one relaxed load of a static
+//! `AtomicBool` ([`enabled`]) — the `#[inline]` fast path the acceptance
+//! criteria require. There is no cargo feature to flip; injection is a
+//! runtime decision.
+
+use crate::rng::splitmix64;
+use crate::AbortCause;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A hazard point: a place in the runtime where an injected fault can fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Hazard {
+    /// Forced spurious "event" abort at an HTM access (`htm::tx`).
+    HtmEvent = 0,
+    /// Forced capacity abort at an HTM access (`htm::tx`).
+    HtmCapacity = 1,
+    /// Forced conflict/doom abort at an HTM access (`htm::tx`).
+    HtmConflict = 2,
+    /// Stall while holding an orec write lock (`stm::tx`), simulating
+    /// lock-holder preemption.
+    OrecStall = 3,
+    /// Delay inside a validation/extension window (`stm::tx`, `stm::norec`).
+    ValidationDelay = 4,
+    /// Delay inside the quiescence drain loop (`stm::quiesce`).
+    QuiesceDelay = 5,
+    /// Delay between deciding to signal a waiter and delivering the wakeup
+    /// (`core::condvar`).
+    SignalDelay = 6,
+    /// Spurious wakeup attempt delivered to a parked waiter
+    /// (`core::condvar`).
+    SpuriousWake = 7,
+    /// Forced serial-gate entry: the runner skips its concurrent attempts
+    /// and storms the serial gate (`core::runner`).
+    SerialStorm = 8,
+}
+
+impl Hazard {
+    /// Number of hazard classes.
+    pub const COUNT: usize = 9;
+
+    /// Every hazard, in discriminant order.
+    pub const ALL: [Hazard; Hazard::COUNT] = [
+        Hazard::HtmEvent,
+        Hazard::HtmCapacity,
+        Hazard::HtmConflict,
+        Hazard::OrecStall,
+        Hazard::ValidationDelay,
+        Hazard::QuiesceDelay,
+        Hazard::SignalDelay,
+        Hazard::SpuriousWake,
+        Hazard::SerialStorm,
+    ];
+
+    /// Dense index (== discriminant).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Decode from the packed representation.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        Self::ALL.get(v as usize).copied()
+    }
+
+    /// Short stable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Hazard::HtmEvent => "htm-event",
+            Hazard::HtmCapacity => "htm-capacity",
+            Hazard::HtmConflict => "htm-conflict",
+            Hazard::OrecStall => "orec-stall",
+            Hazard::ValidationDelay => "validation-delay",
+            Hazard::QuiesceDelay => "quiesce-delay",
+            Hazard::SignalDelay => "signal-delay",
+            Hazard::SpuriousWake => "spurious-wake",
+            Hazard::SerialStorm => "serial-storm",
+        }
+    }
+
+    /// The abort cause an injected fault of this class surfaces as, if it
+    /// aborts the transaction at all (delay-class hazards only perturb
+    /// timing and map to no cause).
+    pub fn cause(self) -> Option<AbortCause> {
+        match self {
+            Hazard::HtmEvent => Some(AbortCause::Event),
+            Hazard::HtmCapacity => Some(AbortCause::Capacity),
+            Hazard::HtmConflict => Some(AbortCause::Conflict),
+            _ => None,
+        }
+    }
+}
+
+/// One line of a fault schedule: fire `hazard` on ticks where
+/// `(tick + phase_eff) % period == 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRule {
+    /// Which hazard point this rule arms.
+    pub hazard: Hazard,
+    /// Fire every `period` ticks (>= 1).
+    pub period: u64,
+    /// Base phase offset; the plan seed scrambles it per lane.
+    pub phase: u64,
+    /// For HTM access-index hazards: fire only at this per-transaction
+    /// access index. `None` matches any consult.
+    pub at_access: Option<u64>,
+    /// For delay-class hazards: busy-spin iterations to inject.
+    pub stall_spins: u32,
+    /// Deliveries allowed per tick (>= 1). `u32::MAX` ≈ every consult on a
+    /// matching tick — used to force *consecutive* aborts.
+    pub fires_per_tick: u32,
+    /// Total deliveries allowed per lane; 0 = unlimited.
+    pub max_fires: u64,
+}
+
+impl FaultRule {
+    /// A rule firing every `period` ticks with default knobs.
+    pub fn new(hazard: Hazard, period: u64) -> Self {
+        FaultRule {
+            hazard,
+            period: period.max(1),
+            phase: 0,
+            at_access: None,
+            stall_spins: 0,
+            fires_per_tick: 1,
+            max_fires: 0,
+        }
+    }
+
+    /// Set the base phase offset.
+    pub fn phase(mut self, phase: u64) -> Self {
+        self.phase = phase;
+        self
+    }
+
+    /// Restrict to one per-transaction access index (HTM hazards).
+    pub fn at_access(mut self, idx: u64) -> Self {
+        self.at_access = Some(idx);
+        self
+    }
+
+    /// Inject a busy-wait of `spins` iterations (delay hazards).
+    pub fn stall(mut self, spins: u32) -> Self {
+        self.stall_spins = spins;
+        self
+    }
+
+    /// Allow up to `n` deliveries per tick (default 1).
+    pub fn per_tick(mut self, n: u32) -> Self {
+        self.fires_per_tick = n.max(1);
+        self
+    }
+
+    /// Cap total deliveries per lane (0 = unlimited).
+    pub fn limit(mut self, n: u64) -> Self {
+        self.max_fires = n;
+        self
+    }
+}
+
+/// A complete fault schedule: a seed plus the rules it drives.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Scrambles per-lane rule phases; same seed → same schedule.
+    pub seed: u64,
+    /// The rules, consulted in order at each hazard point.
+    pub rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Append a rule (builder style).
+    pub fn rule(mut self, r: FaultRule) -> Self {
+        self.rules.push(r);
+        self
+    }
+}
+
+/// Fast-path switch: one relaxed load answers "is injection off?".
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Bumped on every install/clear so lanes re-sync lazily.
+static EPOCH: AtomicU64 = AtomicU64::new(1);
+/// Auto-lane allocator (reset per install).
+static NEXT_LANE: AtomicU64 = AtomicU64::new(0);
+
+/// Global per-hazard tallies (see module docs for armed vs fired).
+struct Tallies {
+    armed: [AtomicU64; Hazard::COUNT],
+    fired: [AtomicU64; Hazard::COUNT],
+}
+
+fn tallies() -> &'static Tallies {
+    static T: OnceLock<Tallies> = OnceLock::new();
+    T.get_or_init(|| Tallies {
+        armed: std::array::from_fn(|_| AtomicU64::new(0)),
+        fired: std::array::from_fn(|_| AtomicU64::new(0)),
+    })
+}
+
+fn plan_cell() -> &'static Mutex<Arc<FaultPlan>> {
+    static P: OnceLock<Mutex<Arc<FaultPlan>>> = OnceLock::new();
+    P.get_or_init(|| Mutex::new(Arc::new(FaultPlan::default())))
+}
+
+/// Per-lane view of one rule.
+struct RuleState {
+    rule: FaultRule,
+    /// Seed- and lane-scrambled phase, folded into the firing predicate.
+    phase_eff: u64,
+    /// Tick the per-tick delivery counter belongs to.
+    tick_seen: u64,
+    fired_this_tick: u32,
+    total_fires: u64,
+}
+
+/// Thread-local lane state, rebuilt lazily whenever the epoch moves.
+struct Lane {
+    epoch: u64,
+    lane: u64,
+    lane_pinned: bool,
+    tick: u64,
+    rules: Vec<RuleState>,
+}
+
+impl Lane {
+    const fn new() -> Self {
+        Lane {
+            epoch: 0,
+            lane: 0,
+            lane_pinned: false,
+            tick: 0,
+            rules: Vec::new(),
+        }
+    }
+
+    fn refresh(&mut self) {
+        let epoch = EPOCH.load(Ordering::Acquire);
+        if self.epoch == epoch {
+            return;
+        }
+        let plan = Arc::clone(&plan_cell().lock().unwrap());
+        if !self.lane_pinned {
+            self.lane = NEXT_LANE.fetch_add(1, Ordering::Relaxed);
+        }
+        self.rules = plan
+            .rules
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let mut s = plan.seed ^ (self.lane << 16) ^ i as u64;
+                let scramble = splitmix64(&mut s);
+                RuleState {
+                    rule: *r,
+                    phase_eff: (r.phase + scramble) % r.period,
+                    tick_seen: 0,
+                    fired_this_tick: 0,
+                    total_fires: 0,
+                }
+            })
+            .collect();
+        self.tick = 0;
+        self.epoch = epoch;
+    }
+
+    #[inline]
+    fn matches_tick(rs: &RuleState, tick: u64) -> bool {
+        (tick + rs.phase_eff).is_multiple_of(rs.rule.period)
+            && (rs.rule.max_fires == 0 || rs.total_fires < rs.rule.max_fires)
+    }
+
+    fn advance(&mut self) {
+        self.refresh();
+        self.tick += 1;
+        let t = tallies();
+        for rs in &self.rules {
+            if Self::matches_tick(rs, self.tick) {
+                t.armed[rs.rule.hazard.index()].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn consult(&mut self, hazard: Hazard, access: u64) -> Option<u32> {
+        self.refresh();
+        let tick = self.tick;
+        for rs in &mut self.rules {
+            if rs.rule.hazard != hazard {
+                continue;
+            }
+            if let Some(want) = rs.rule.at_access {
+                if want != access {
+                    continue;
+                }
+            }
+            if rs.tick_seen != tick {
+                rs.tick_seen = tick;
+                rs.fired_this_tick = 0;
+            }
+            if rs.fired_this_tick >= rs.rule.fires_per_tick || !Self::matches_tick(rs, tick) {
+                continue;
+            }
+            rs.fired_this_tick += 1;
+            rs.total_fires += 1;
+            tallies().fired[hazard.index()].fetch_add(1, Ordering::Relaxed);
+            return Some(rs.rule.stall_spins);
+        }
+        None
+    }
+}
+
+thread_local! {
+    static LANE: std::cell::RefCell<Lane> = const { std::cell::RefCell::new(Lane::new()) };
+}
+
+/// Whether a fault plan is currently installed. This is the *only* cost a
+/// hazard point pays when injection is off: one relaxed atomic load.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Install a plan and enable injection. Resets all tallies and (lazily)
+/// every lane's tick clock.
+pub fn install(plan: FaultPlan) {
+    let t = tallies();
+    *plan_cell().lock().unwrap() = Arc::new(plan);
+    for i in 0..Hazard::COUNT {
+        t.armed[i].store(0, Ordering::Relaxed);
+        t.fired[i].store(0, Ordering::Relaxed);
+    }
+    NEXT_LANE.store(0, Ordering::Relaxed);
+    EPOCH.fetch_add(1, Ordering::Release);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Disable injection and drop the plan. Hazard points go back to the
+/// single-load fast path.
+pub fn clear() {
+    ENABLED.store(false, Ordering::Release);
+    *plan_cell().lock().unwrap() = Arc::new(FaultPlan::default());
+    EPOCH.fetch_add(1, Ordering::Release);
+}
+
+/// Pin the calling thread to a lane. Torture workers call this once so the
+/// lane → schedule mapping is independent of thread spawn order.
+pub fn set_lane(lane: u64) {
+    LANE.with(|l| {
+        let mut l = l.borrow_mut();
+        l.lane = lane;
+        l.lane_pinned = true;
+        l.epoch = 0; // force a refresh so phase_eff reflects the new lane
+    });
+}
+
+/// Advance the calling lane's logical clock by one operation. Call once per
+/// logical op, *before* executing it.
+#[inline]
+pub fn tick() {
+    if !enabled() {
+        return;
+    }
+    LANE.with(|l| l.borrow_mut().advance());
+}
+
+/// The calling lane's current tick (diagnostics).
+pub fn current_tick() -> u64 {
+    LANE.with(|l| l.borrow().tick)
+}
+
+#[cold]
+fn consult(hazard: Hazard, access: u64) -> Option<u32> {
+    LANE.with(|l| l.borrow_mut().consult(hazard, access))
+}
+
+/// Should an abort-class fault fire at this hazard point now?
+#[inline]
+pub fn fire(hazard: Hazard) -> bool {
+    enabled() && consult(hazard, u64::MAX).is_some()
+}
+
+/// Should an abort-class fault fire at per-transaction access index
+/// `access`? (Rules without `at_access` match any index.)
+#[inline]
+pub fn fire_at(hazard: Hazard, access: u64) -> bool {
+    enabled() && consult(hazard, access).is_some()
+}
+
+/// Consult a delay-class hazard; if a rule fires, busy-wait its configured
+/// stall and return the spin count (0 = nothing fired). The caller only
+/// needs the return value for trace emission.
+#[inline]
+pub fn maybe_stall(hazard: Hazard) -> u32 {
+    if !enabled() {
+        return 0;
+    }
+    match consult(hazard, u64::MAX) {
+        Some(spins) => {
+            stall(spins);
+            spins.max(1)
+        }
+        None => 0,
+    }
+}
+
+/// Busy-wait `spins` iterations, yielding periodically so an injected stall
+/// cannot wedge a single-core scheduler.
+pub fn stall(spins: u32) {
+    for i in 0..spins {
+        if i % 4096 == 4095 {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Point-in-time copy of the per-hazard tallies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultSnapshot {
+    /// Ticks on which each hazard's schedule matched (pure tick arithmetic;
+    /// reproducible for a given seed and tick count).
+    pub armed: [u64; Hazard::COUNT],
+    /// Faults actually delivered at a hazard point.
+    pub fired: [u64; Hazard::COUNT],
+}
+
+impl FaultSnapshot {
+    /// Armed count for one hazard.
+    pub fn armed(&self, h: Hazard) -> u64 {
+        self.armed[h.index()]
+    }
+
+    /// Delivered count for one hazard.
+    pub fn fired(&self, h: Hazard) -> u64 {
+        self.fired[h.index()]
+    }
+
+    /// Total faults delivered.
+    pub fn total_fired(&self) -> u64 {
+        self.fired.iter().sum()
+    }
+
+    /// Delivered counts folded onto abort causes (delay hazards excluded).
+    pub fn fired_by_cause(&self) -> [(AbortCause, u64); 3] {
+        [
+            (AbortCause::Event, self.fired(Hazard::HtmEvent)),
+            (AbortCause::Capacity, self.fired(Hazard::HtmCapacity)),
+            (AbortCause::Conflict, self.fired(Hazard::HtmConflict)),
+        ]
+    }
+
+    /// FNV-1a digest over both tallies — a compact reproducibility token.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for v in self.armed.iter().chain(self.fired.iter()) {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        h
+    }
+}
+
+/// Snapshot the global tallies.
+pub fn snapshot() -> FaultSnapshot {
+    let t = tallies();
+    let mut s = FaultSnapshot::default();
+    for i in 0..Hazard::COUNT {
+        s.armed[i] = t.armed[i].load(Ordering::Relaxed);
+        s.fired[i] = t.fired[i].load(Ordering::Relaxed);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The oracle is process-global; serialize the tests that install plans.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static M: Mutex<()> = Mutex::new(());
+        M.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_is_inert() {
+        let _g = guard();
+        install(FaultPlan::default()); // reset tallies left by other tests
+        clear();
+        assert!(!enabled());
+        assert!(!fire(Hazard::HtmEvent));
+        assert!(!fire_at(Hazard::HtmCapacity, 3));
+        assert_eq!(maybe_stall(Hazard::OrecStall), 0);
+        tick(); // must not panic or arm anything
+        assert_eq!(snapshot().total_fired(), 0);
+    }
+
+    #[test]
+    fn period_one_fires_once_per_tick() {
+        let _g = guard();
+        install(FaultPlan::new(7).rule(FaultRule::new(Hazard::HtmEvent, 1)));
+        set_lane(0);
+        let mut fires = 0;
+        for _ in 0..10 {
+            tick();
+            // Three consults per tick, but fires_per_tick = 1.
+            for _ in 0..3 {
+                if fire(Hazard::HtmEvent) {
+                    fires += 1;
+                }
+            }
+        }
+        assert_eq!(fires, 10);
+        let s = snapshot();
+        assert_eq!(s.fired(Hazard::HtmEvent), 10);
+        assert_eq!(s.armed(Hazard::HtmEvent), 10);
+        clear();
+    }
+
+    #[test]
+    fn period_divides_the_schedule() {
+        let _g = guard();
+        install(FaultPlan::new(11).rule(FaultRule::new(Hazard::SerialStorm, 4)));
+        set_lane(0);
+        let mut fires = 0;
+        for _ in 0..40 {
+            tick();
+            if fire(Hazard::SerialStorm) {
+                fires += 1;
+            }
+        }
+        assert_eq!(fires, 10, "period 4 over 40 ticks fires exactly 10 times");
+        clear();
+    }
+
+    #[test]
+    fn at_access_gates_on_index() {
+        let _g = guard();
+        install(FaultPlan::new(3).rule(FaultRule::new(Hazard::HtmCapacity, 1).at_access(2)));
+        set_lane(0);
+        tick();
+        assert!(!fire_at(Hazard::HtmCapacity, 0));
+        assert!(!fire_at(Hazard::HtmCapacity, 1));
+        assert!(fire_at(Hazard::HtmCapacity, 2));
+        // Budget for this tick is spent.
+        assert!(!fire_at(Hazard::HtmCapacity, 2));
+        clear();
+    }
+
+    #[test]
+    fn per_tick_and_total_limits() {
+        let _g = guard();
+        install(
+            FaultPlan::new(5).rule(
+                FaultRule::new(Hazard::HtmConflict, 1)
+                    .per_tick(u32::MAX)
+                    .limit(7),
+            ),
+        );
+        set_lane(0);
+        let mut fires = 0;
+        for _ in 0..4 {
+            tick();
+            for _ in 0..5 {
+                if fire(Hazard::HtmConflict) {
+                    fires += 1;
+                }
+            }
+        }
+        assert_eq!(fires, 7, "total limit caps unlimited per-tick delivery");
+        clear();
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let _g = guard();
+        let run = |seed: u64| -> (Vec<bool>, FaultSnapshot) {
+            install(
+                FaultPlan::new(seed)
+                    .rule(FaultRule::new(Hazard::HtmEvent, 3))
+                    .rule(FaultRule::new(Hazard::OrecStall, 5).stall(1)),
+            );
+            set_lane(1);
+            let mut pattern = Vec::new();
+            for _ in 0..60 {
+                tick();
+                pattern.push(fire(Hazard::HtmEvent));
+                pattern.push(maybe_stall(Hazard::OrecStall) > 0);
+            }
+            let s = snapshot();
+            clear();
+            (pattern, s)
+        };
+        let (p1, s1) = run(0xABCD);
+        let (p2, s2) = run(0xABCD);
+        assert_eq!(p1, p2, "same seed must reproduce the exact schedule");
+        assert_eq!(s1, s2);
+        assert_eq!(s1.digest(), s2.digest());
+        let (p3, _) = run(0xEF01);
+        assert_ne!(p1, p3, "different seed must shift the schedule");
+    }
+
+    #[test]
+    fn lanes_have_distinct_phases() {
+        let _g = guard();
+        install(FaultPlan::new(42).rule(FaultRule::new(Hazard::ValidationDelay, 7).stall(1)));
+        let pattern = |lane: u64| -> Vec<bool> {
+            set_lane(lane);
+            (0..21)
+                .map(|_| {
+                    tick();
+                    maybe_stall(Hazard::ValidationDelay) > 0
+                })
+                .collect()
+        };
+        let a = pattern(0);
+        let b = pattern(3);
+        assert_eq!(a.iter().filter(|&&x| x).count(), 3);
+        assert_eq!(b.iter().filter(|&&x| x).count(), 3);
+        assert_ne!(a, b, "lane scrambling should decorrelate phases");
+        clear();
+    }
+
+    #[test]
+    fn hazard_meta_is_consistent() {
+        for (i, h) in Hazard::ALL.iter().enumerate() {
+            assert_eq!(h.index(), i);
+            assert_eq!(Hazard::from_u8(i as u8), Some(*h));
+        }
+        assert_eq!(Hazard::from_u8(200), None);
+        let labels: std::collections::HashSet<_> = Hazard::ALL.iter().map(|h| h.label()).collect();
+        assert_eq!(labels.len(), Hazard::COUNT);
+        assert_eq!(Hazard::HtmEvent.cause(), Some(AbortCause::Event));
+        assert_eq!(Hazard::HtmCapacity.cause(), Some(AbortCause::Capacity));
+        assert_eq!(Hazard::HtmConflict.cause(), Some(AbortCause::Conflict));
+        assert_eq!(Hazard::QuiesceDelay.cause(), None);
+    }
+}

@@ -25,10 +25,14 @@
 //!   whole elision episodes (enable with the `trace` cargo feature).
 //! - [`rng`] — tiny deterministic RNGs (splitmix64 / xorshift64*) used for
 //!   seeded workload generation and simulated "event" aborts.
+//! - [`fault`] — the deterministic fault-injection oracle consulted at the
+//!   runtime's hazard points (always compiled; one relaxed flag load when
+//!   no plan is installed).
 
 pub mod abort;
 pub mod cell;
 pub mod clock;
+pub mod fault;
 pub mod gate;
 pub mod orec;
 pub mod rng;

@@ -213,6 +213,12 @@ pub struct TxStats {
     pub quiesce_wait_ns: Counter,
     /// Distribution of per-drain wait times.
     pub quiesce_hist: LatencyHist,
+    /// Starvation-ladder escalations: a thread exceeded its consecutive
+    /// abort bound and was forced straight to serial-irrevocable mode.
+    pub escalations: Counter,
+    /// Quiescence-watchdog trips: a drain exceeded its deadline (the drain
+    /// still completes; this counts the detection events).
+    pub watchdog_trips: Counter,
 }
 
 impl TxStats {
@@ -245,6 +251,8 @@ impl TxStats {
         self.quiesce_skipped.reset();
         self.quiesce_wait_ns.reset();
         self.quiesce_hist.reset();
+        self.escalations.reset();
+        self.watchdog_trips.reset();
     }
 
     /// A point-in-time copy, for printing.
@@ -262,6 +270,8 @@ impl TxStats {
             quiesce_skipped: self.quiesce_skipped.get(),
             quiesce_wait_ns: self.quiesce_wait_ns.get(),
             quiesce_hist: self.quiesce_hist.snapshot(),
+            escalations: self.escalations.get(),
+            watchdog_trips: self.watchdog_trips.get(),
         }
     }
 }
@@ -278,6 +288,8 @@ pub struct TxStatsSnapshot {
     pub quiesce_skipped: u64,
     pub quiesce_wait_ns: u64,
     pub quiesce_hist: LatencyHistSnapshot,
+    pub escalations: u64,
+    pub watchdog_trips: u64,
 }
 
 impl TxStatsSnapshot {

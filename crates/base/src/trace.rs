@@ -109,11 +109,23 @@ pub enum TraceKind {
     /// A committed wait registration parked the thread. detail: 1 if the
     /// wait timed out (and the cancel path ran), 0 if signaled.
     WaitPark = 11,
+    /// The fault-injection oracle delivered a fault at a hazard point
+    /// (cause attached for abort-class faults). detail:
+    /// [`crate::fault::Hazard`] index.
+    FaultInject = 12,
+    /// The starvation ladder escalated a thread to serial-irrevocable
+    /// mode after too many consecutive aborts. detail: the consecutive
+    /// abort count that triggered the escalation.
+    Escalate = 13,
+    /// The quiescence watchdog observed a drain exceeding its deadline
+    /// (the drain keeps waiting; this is the trip, not a failure).
+    /// detail: nanoseconds waited so far.
+    QuiesceStall = 14,
 }
 
 impl TraceKind {
     /// Every kind, in discriminant order.
-    pub const ALL: [TraceKind; 12] = [
+    pub const ALL: [TraceKind; 15] = [
         TraceKind::Begin,
         TraceKind::Read,
         TraceKind::Write,
@@ -126,6 +138,9 @@ impl TraceKind {
         TraceKind::Retry,
         TraceKind::Fallback,
         TraceKind::WaitPark,
+        TraceKind::FaultInject,
+        TraceKind::Escalate,
+        TraceKind::QuiesceStall,
     ];
 
     /// Decode from the packed representation.
@@ -148,6 +163,9 @@ impl TraceKind {
             TraceKind::Retry => "retry",
             TraceKind::Fallback => "fallback",
             TraceKind::WaitPark => "wait-park",
+            TraceKind::FaultInject => "fault-inject",
+            TraceKind::Escalate => "escalate",
+            TraceKind::QuiesceStall => "quiesce-stall",
         }
     }
 }
@@ -356,7 +374,7 @@ pub fn clear() {
 
 /// Per-kind/per-cause tally of an event list — the summarize half of the
 /// `tle-trace` tool, also handy in tests.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct TraceSummary {
     /// Event counts indexed by [`TraceKind`] discriminant.
     pub by_kind: [u64; TraceKind::ALL.len()],

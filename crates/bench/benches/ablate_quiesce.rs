@@ -48,7 +48,7 @@ fn drain_scaling() {
                             // Hold some non-transactional time so drains
                             // actually observe running transactions.
                             spin = spin.wrapping_mul(6364136223846793005).wrapping_add(1);
-                            if spin % 4 == 0 {
+                            if spin.is_multiple_of(4) {
                                 std::hint::spin_loop();
                             }
                         }

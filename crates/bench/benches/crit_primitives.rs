@@ -74,7 +74,7 @@ fn bench_tle_modes(c: &mut Criterion) {
         let th = sys.register();
         let lock = ElidableMutex::new("bench");
         let cell = TCell::new(0u64);
-        c.bench_function(&format!("tle/incr/{}", mode.label()), |b| {
+        c.bench_function(format!("tle/incr/{}", mode.label()), |b| {
             b.iter(|| {
                 th.critical(&lock, |ctx| {
                     ctx.update(&cell, |v| v + 1)?;

@@ -23,6 +23,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use tle_core::{AlgoMode, TmSystem};
 
+pub mod torture;
 pub mod workloads;
 
 /// Whether the full paper-scale sweep was requested.

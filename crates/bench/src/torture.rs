@@ -1,0 +1,412 @@
+//! rcutorture-style torture harness: run the real workloads under a seeded
+//! fault schedule and check invariant oracles.
+//!
+//! The harness exists to answer one question continuously: *after the fault
+//! oracle has forced aborts, stalled lock holders, delayed signals and
+//! stormed the serial gate, is the runtime still correct?* Correctness is
+//! judged by oracles, never by timing:
+//!
+//! - **txset**: single-worker runs mirror every operation against a
+//!   `BTreeSet` (exact sequential oracle); multi-worker runs check that the
+//!   per-thread net insert/remove deltas match final membership.
+//! - **pbzip pipeline**: `decompress(compress(x)) == x`.
+//! - **x265 pipeline**: the encode completes and emits every frame.
+//!
+//! Reproducibility contract: with `workers == 1` and pipelines off, the
+//! whole run is deterministic — same seed ⇒ same fault schedule ⇒ identical
+//! per-cause abort counts and fault tallies ([`TortureReport::repro_key`]).
+//! Multi-worker runs keep the *armed* tallies deterministic (pure tick
+//! arithmetic) and use the oracles alone as pass/fail.
+
+use crate::workloads::{make_set, prefill, TrialStats};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use tle_base::fault::{self, FaultPlan, FaultRule, FaultSnapshot, Hazard};
+use tle_base::rng::XorShift64;
+use tle_base::AbortCause;
+use tle_core::{AlgoMode, TmSystem};
+use tle_pbz::{compress_parallel, decompress_parallel, gen_text, PipelineConfig};
+use tle_wfe::{encode_video, EncoderConfig, VideoSource};
+
+/// One torture run's shape.
+#[derive(Debug, Clone)]
+pub struct TortureConfig {
+    /// Seeds the fault schedule *and* the workload's operation stream.
+    pub seed: u64,
+    /// Algorithm under torture.
+    pub mode: AlgoMode,
+    /// txset worker threads (1 ⇒ exact sequential oracle + full
+    /// reproducibility).
+    pub workers: usize,
+    /// Set operations per worker.
+    pub ops_per_worker: u64,
+    /// Which set structure carries the txset phase.
+    pub structure: String,
+    /// Also run the pbzip and x265 pipeline phases (oracle-checked but not
+    /// bit-reproducible: pipeline threads take auto-assigned fault lanes).
+    pub pipelines: bool,
+}
+
+impl TortureConfig {
+    /// The CI smoke shape: short, multi-worker, all phases.
+    pub fn quick(seed: u64, mode: AlgoMode) -> Self {
+        TortureConfig {
+            seed,
+            mode,
+            workers: 3,
+            ops_per_worker: 1_500,
+            structure: "hash".into(),
+            pipelines: true,
+        }
+    }
+
+    /// The deterministic shape backing `--repro` and the determinism tests.
+    pub fn repro(seed: u64, mode: AlgoMode) -> Self {
+        TortureConfig {
+            seed,
+            mode,
+            workers: 1,
+            ops_per_worker: 2_000,
+            structure: "tree".into(),
+            pipelines: false,
+        }
+    }
+}
+
+/// The standard torture schedule: every hazard class armed, with coprime
+/// periods so the fault mix keeps shifting phase against the workload.
+pub fn torture_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .rule(FaultRule::new(Hazard::HtmEvent, 5))
+        .rule(FaultRule::new(Hazard::HtmCapacity, 9).at_access(1))
+        .rule(FaultRule::new(Hazard::HtmConflict, 7))
+        .rule(FaultRule::new(Hazard::OrecStall, 11).stall(2_000))
+        .rule(FaultRule::new(Hazard::ValidationDelay, 13).stall(1_000))
+        .rule(FaultRule::new(Hazard::QuiesceDelay, 17).stall(1_500))
+        .rule(FaultRule::new(Hazard::SignalDelay, 19).stall(1_000))
+        .rule(FaultRule::new(Hazard::SpuriousWake, 6))
+        .rule(FaultRule::new(Hazard::SerialStorm, 23))
+}
+
+/// Everything a torture run produced.
+#[derive(Debug, Clone)]
+pub struct TortureReport {
+    /// The run's configuration echo.
+    pub seed: u64,
+    pub mode: AlgoMode,
+    pub workers: usize,
+    /// Wall-clock seconds for the whole run.
+    pub secs: f64,
+    /// Oracle violations (empty ⇒ pass).
+    pub violations: Vec<String>,
+    /// Fault-oracle tallies at the end of the run.
+    pub fault: FaultSnapshot,
+    /// Per-domain commit/abort counters.
+    pub stats: TrialStats,
+    /// Starvation-ladder escalations granted.
+    pub escalations: u64,
+    /// Quiescence-watchdog trips observed.
+    pub watchdog_trips: u64,
+}
+
+impl TortureReport {
+    /// Did every oracle hold?
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The reproducibility token: per-cause abort counts (both TM domains)
+    /// plus both fault tallies. Two `--repro` runs with the same seed must
+    /// produce byte-identical keys.
+    pub fn repro_key(&self) -> String {
+        let mut key = String::new();
+        for c in AbortCause::ALL {
+            key.push_str(&format!(
+                "{}:{}/{};",
+                c.label(),
+                self.stats.stm.cause(c),
+                self.stats.htm.cause(c)
+            ));
+        }
+        key.push_str(&format!(
+            "fired:{:?};armed:{:?}",
+            self.fault.fired, self.fault.armed
+        ));
+        key
+    }
+
+    /// Human-readable summary (the binary prints this).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "torture [{}] seed={:#x} workers={} {:.2}s: {}",
+            self.mode.label(),
+            self.seed,
+            self.workers,
+            self.secs,
+            if self.ok() {
+                "PASS".to_string()
+            } else {
+                format!("FAIL ({} violations)", self.violations.len())
+            }
+        );
+        for v in &self.violations {
+            let _ = writeln!(out, "  VIOLATION: {v}");
+        }
+        let _ = writeln!(
+            out,
+            "  commits stm={} htm={} serial={} | aborts: {}",
+            self.stats.stm.commits,
+            self.stats.htm_commits,
+            self.stats.serial_fallbacks,
+            self.stats.abort_breakdown()
+        );
+        let _ = writeln!(
+            out,
+            "  escalations={} watchdog_trips={}",
+            self.escalations, self.watchdog_trips
+        );
+        let _ = write!(out, "  faults fired:");
+        for h in Hazard::ALL {
+            let n = self.fault.fired(h);
+            if n > 0 {
+                let _ = write!(out, " {}={}", h.label(), n);
+            }
+        }
+        let _ = writeln!(out, " (digest {:#x})", self.fault.digest());
+        out
+    }
+}
+
+/// Run one torture configuration end to end. Installs the fault plan,
+/// drives the phases, clears the plan, and returns the report — panics in
+/// worker threads are converted into violations so a wedged oracle still
+/// produces a report.
+pub fn run_torture(cfg: &TortureConfig) -> TortureReport {
+    let sys = Arc::new(TmSystem::new(cfg.mode));
+    let mut violations = Vec::new();
+    fault::install(torture_plan(cfg.seed));
+    let t0 = std::time::Instant::now();
+
+    if cfg.workers <= 1 {
+        torture_set_sequential(&sys, cfg, &mut violations);
+    } else {
+        torture_set_concurrent(&sys, cfg, &mut violations);
+    }
+    if cfg.pipelines {
+        torture_pbzip(&sys, cfg, &mut violations);
+        torture_x265(&sys, cfg, &mut violations);
+    }
+
+    let secs = t0.elapsed().as_secs_f64();
+    let fault_snap = fault::snapshot();
+    fault::clear();
+    TortureReport {
+        seed: cfg.seed,
+        mode: cfg.mode,
+        workers: cfg.workers,
+        secs,
+        violations,
+        fault: fault_snap,
+        stats: TrialStats::capture(&sys),
+        escalations: sys.stats.snapshot().escalations,
+        watchdog_trips: sys.stm.stats.snapshot().watchdog_trips,
+    }
+}
+
+/// Single-worker txset phase: every operation checked against a `BTreeSet`.
+fn torture_set_sequential(sys: &Arc<TmSystem>, cfg: &TortureConfig, violations: &mut Vec<String>) {
+    fault::set_lane(0);
+    let set = make_set(&cfg.structure);
+    let th = sys.register();
+    prefill(&*set, &th);
+    let mut oracle: BTreeSet<u64> = (0..set.key_space()).step_by(2).collect();
+    let mut rng = XorShift64::new(cfg.seed | 1);
+    let space = set.key_space();
+    for i in 0..cfg.ops_per_worker {
+        let key = rng.below(space);
+        let (got, want, op) = match rng.below(3) {
+            0 => (set.insert(&th, key), oracle.insert(key), "insert"),
+            1 => (set.remove(&th, key), oracle.remove(&key), "remove"),
+            _ => (set.contains(&th, key), oracle.contains(&key), "contains"),
+        };
+        if got != want {
+            violations.push(format!(
+                "{}: op {i} {op}({key}) returned {got}, oracle says {want}",
+                set.name()
+            ));
+            return; // the set and oracle have diverged; later ops are noise
+        }
+    }
+    if set.len_direct() != oracle.len() {
+        violations.push(format!(
+            "{}: final size {} != oracle {}",
+            set.name(),
+            set.len_direct(),
+            oracle.len()
+        ));
+    }
+}
+
+/// Multi-worker txset phase: per-thread net insert/remove deltas must match
+/// final membership exactly.
+fn torture_set_concurrent(sys: &Arc<TmSystem>, cfg: &TortureConfig, violations: &mut Vec<String>) {
+    let set = make_set(&cfg.structure);
+    let space = set.key_space();
+    {
+        // Seed the even keys before any worker runs; the membership check
+        // below accounts for them as each key's initial state.
+        let th = sys.register();
+        prefill(&*set, &th);
+    }
+    let handles: Vec<_> = (0..cfg.workers)
+        .map(|w| {
+            let sys = Arc::clone(sys);
+            let set = Arc::clone(&set);
+            let ops = cfg.ops_per_worker;
+            let seed = cfg.seed;
+            std::thread::spawn(move || {
+                fault::set_lane(w as u64);
+                let th = sys.register();
+                let mut rng = XorShift64::new(seed ^ (0x5EED << 8) ^ w as u64);
+                let mut net = vec![0i64; space as usize];
+                for _ in 0..ops {
+                    let key = rng.below(space);
+                    match rng.below(3) {
+                        0 => {
+                            if set.insert(&th, key) {
+                                net[key as usize] += 1;
+                            }
+                        }
+                        1 => {
+                            if set.remove(&th, key) {
+                                net[key as usize] -= 1;
+                            }
+                        }
+                        _ => {
+                            let _ = set.contains(&th, key);
+                        }
+                    }
+                }
+                net
+            })
+        })
+        .collect();
+    let mut net = vec![0i64; space as usize];
+    for h in handles {
+        match h.join() {
+            Ok(worker_net) => {
+                for (k, d) in worker_net.into_iter().enumerate() {
+                    net[k] += d;
+                }
+            }
+            Err(_) => {
+                violations.push(format!("{}: a torture worker panicked", set.name()));
+                return;
+            }
+        }
+    }
+    let th = sys.register();
+    let mut live = 0usize;
+    for key in 0..space {
+        let member = set.contains(&th, key);
+        // Prefill seeded the even keys before any worker ran.
+        let expect = net[key as usize] + i64::from(key % 2 == 0) > 0;
+        if member != expect {
+            violations.push(format!(
+                "{}: key {key} membership {member} but net deltas say {expect}",
+                set.name()
+            ));
+        }
+        live += member as usize;
+    }
+    if set.len_direct() != live {
+        violations.push(format!(
+            "{}: len_direct {} != counted membership {live}",
+            set.name(),
+            set.len_direct()
+        ));
+    }
+}
+
+/// pbzip phase: a compress/decompress round trip must be lossless under
+/// injection (the pipeline's CRC checks run inside `decompress_parallel`).
+fn torture_pbzip(sys: &Arc<TmSystem>, cfg: &TortureConfig, violations: &mut Vec<String>) {
+    let input = gen_text(cfg.seed ^ 0xB21F, 48 * 1024);
+    let pcfg = PipelineConfig {
+        workers: cfg.workers.max(2),
+        block_size: 8 * 1024,
+        fifo_cap: 2 * cfg.workers.max(2),
+    };
+    let compressed = compress_parallel(sys, &input, &pcfg);
+    match decompress_parallel(sys, &compressed, &pcfg) {
+        Ok(rt) => {
+            if rt != input {
+                violations.push(format!(
+                    "pbzip: round trip mismatch ({} in, {} out)",
+                    input.len(),
+                    rt.len()
+                ));
+            }
+        }
+        Err(e) => violations.push(format!("pbzip: decompress failed: {e:?}")),
+    }
+}
+
+/// x265 phase: the wavefront encode must complete and emit every frame.
+fn torture_x265(sys: &Arc<TmSystem>, cfg: &TortureConfig, violations: &mut Vec<String>) {
+    const FRAMES: usize = 4;
+    let source = VideoSource::new(64, 48, FRAMES, cfg.seed ^ 0x265);
+    let ecfg = EncoderConfig {
+        workers: cfg.workers.max(2),
+        qp: 12,
+        keyframe_interval: 4,
+        lookahead_depth: 2,
+        target_bits_per_frame: None,
+        frame_threads: 2,
+        slices: 1,
+    };
+    let v = encode_video(sys, &source, &ecfg);
+    if v.frames.len() != FRAMES {
+        violations.push(format!(
+            "x265: encoded {} of {FRAMES} frames",
+            v.frames.len()
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn torture_plan_arms_every_hazard() {
+        let plan = torture_plan(1);
+        let armed: std::collections::HashSet<_> =
+            plan.rules.iter().map(|r| r.hazard.index()).collect();
+        assert_eq!(armed.len(), Hazard::COUNT, "every hazard class is armed");
+    }
+
+    #[test]
+    fn report_repro_key_reflects_causes() {
+        let report = TortureReport {
+            seed: 1,
+            mode: AlgoMode::StmCondvar,
+            workers: 1,
+            secs: 0.0,
+            violations: Vec::new(),
+            fault: FaultSnapshot::default(),
+            stats: TrialStats::default(),
+            escalations: 0,
+            watchdog_trips: 0,
+        };
+        let key = report.repro_key();
+        for c in AbortCause::ALL {
+            assert!(key.contains(c.label()));
+        }
+        assert!(report.ok());
+        assert!(report.render().contains("PASS"));
+    }
+}

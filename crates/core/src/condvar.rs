@@ -22,6 +22,8 @@
 use crate::ctx::TxCtx;
 use parking_lot::{Condvar, Mutex};
 use std::time::Duration;
+use tle_base::fault::{self, Hazard};
+use tle_base::trace::{self, TraceKind, TxMode};
 use tle_base::{AbortCause, TCell};
 
 /// Ring capacity. Bounded by `MAX_SLOTS` concurrent threads each having at
@@ -45,6 +47,18 @@ impl Waiter {
 
     /// Wake the waiter (idempotent).
     pub(crate) fn notify(&self) {
+        // Fault oracle: widen the window between a committed dequeue and
+        // the wakeup delivery. Lost-wakeup bugs hide exactly here — the
+        // waiter must already be parked on (or headed for) this private
+        // channel, so the delayed notify still lands.
+        if fault::maybe_stall(Hazard::SignalDelay) > 0 {
+            trace::emit(
+                TraceKind::FaultInject,
+                TxMode::Locked,
+                None,
+                Hazard::SignalDelay.index() as u64,
+            );
+        }
         let mut s = self.state.lock();
         *s = true;
         self.cv.notify_one();
@@ -52,10 +66,26 @@ impl Waiter {
 
     /// Block until notified; returns `true` if notified, `false` on timeout.
     pub(crate) fn wait(&self, timeout: Option<Duration>) -> bool {
+        // Fault oracle: deliver one spurious return from the sleep — the
+        // predicate loop below must re-check `state` and park again rather
+        // than report a wakeup that never happened.
+        let mut spurious = fault::enabled() && fault::fire(Hazard::SpuriousWake);
+        if spurious {
+            trace::emit(
+                TraceKind::FaultInject,
+                TxMode::Locked,
+                None,
+                Hazard::SpuriousWake.index() as u64,
+            );
+        }
         let mut s = self.state.lock();
         match timeout {
             None => {
                 while !*s {
+                    if spurious {
+                        spurious = false; // wait() "returned" without a notify
+                        continue;
+                    }
                     self.cv.wait(&mut s);
                 }
                 true
@@ -63,6 +93,10 @@ impl Waiter {
             Some(d) => {
                 let deadline = std::time::Instant::now() + d;
                 while !*s {
+                    if spurious {
+                        spurious = false;
+                        continue;
+                    }
                     if self.cv.wait_until(&mut s, deadline).timed_out() {
                         return *s;
                     }

@@ -9,7 +9,7 @@
 //! when the original program used disjoint locks.
 
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use tle_base::TCell;
 
 /// A lock that can be elided by the TLE runtime.
@@ -25,6 +25,7 @@ pub struct ElidableMutex {
     name: &'static str,
     held: TCell<bool>,
     skip: AtomicU32,
+    poisoned: AtomicBool,
 }
 
 impl ElidableMutex {
@@ -35,6 +36,7 @@ impl ElidableMutex {
             name,
             held: TCell::new(false),
             skip: AtomicU32::new(0),
+            poisoned: AtomicBool::new(false),
         }
     }
 
@@ -81,6 +83,27 @@ impl ElidableMutex {
     pub fn skip_credits(&self) -> u32 {
         self.skip.load(Ordering::Relaxed)
     }
+
+    /// Mark the lock poisoned: a critical section guarded by it panicked.
+    /// The transactional machinery already rolled the panicking attempt
+    /// back (undo log, orecs, gate token are all released by unwinding),
+    /// so memory is consistent — but *application* invariants spanning
+    /// multiple sections may not be. Poisoning is therefore advisory, like
+    /// `parking_lot`'s non-poisoning mutexes plus an inspectable flag:
+    /// other threads keep running, and callers that care can check.
+    pub(crate) fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// Whether a critical section guarded by this lock ever panicked.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Reset the poison flag after the application restored its invariants.
+    pub fn clear_poison(&self) {
+        self.poisoned.store(false, Ordering::Release);
+    }
 }
 
 impl std::fmt::Debug for ElidableMutex {
@@ -88,6 +111,7 @@ impl std::fmt::Debug for ElidableMutex {
         f.debug_struct("ElidableMutex")
             .field("name", &self.name)
             .field("locked", &self.raw.is_locked())
+            .field("poisoned", &self.is_poisoned())
             .finish()
     }
 }
@@ -102,6 +126,16 @@ mod tests {
         assert_eq!(m.name(), "queue");
         let s = format!("{m:?}");
         assert!(s.contains("queue"));
+    }
+
+    #[test]
+    fn poison_flag_roundtrip() {
+        let m = ElidableMutex::new("p");
+        assert!(!m.is_poisoned());
+        m.poison();
+        assert!(m.is_poisoned());
+        m.clear_poison();
+        assert!(!m.is_poisoned());
     }
 
     #[test]

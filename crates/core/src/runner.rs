@@ -15,7 +15,8 @@ use crate::ctx::{CtxKind, PendingWait, TxCtx, TxError};
 use crate::elide::ElidableMutex;
 use crate::system::{AlgoMode, ThreadHandle, TxHints};
 use std::sync::Arc;
-use tle_base::rng::XorShift64;
+use tle_base::fault::{self, Hazard};
+use tle_base::rng::splitmix64;
 use tle_base::trace::{self, TraceKind, TxMode};
 use tle_base::AbortCause;
 
@@ -41,6 +42,15 @@ where
         lock.name()
     );
     let _reset = ResetOnDrop(&th.in_critical);
+    // One critical section = one logical operation on the fault oracle's
+    // lane clock (no-op load when injection is off).
+    fault::tick();
+    // Panic safety: unwinding out of `f` already rolls back speculative
+    // state (the context's transaction drops → undo log replayed, orecs
+    // released; gate tokens drop → serial/concurrent permits returned).
+    // What unwinding cannot restore is *application* invariants spanning
+    // critical sections, so flag the lock for survivors to inspect.
+    let _poison = PoisonOnPanic(lock);
     match th.sys.mode() {
         AlgoMode::Baseline => run_locked(th, lock, &mut f),
         AlgoMode::StmSpin => run_stm(th, hints, &mut f, true),
@@ -249,6 +259,55 @@ impl Drop for ResetOnDrop<'_> {
     }
 }
 
+/// Poisons the guarding lock if the critical section unwinds (see
+/// [`ElidableMutex::is_poisoned`]). A no-op on orderly exit.
+struct PoisonOnPanic<'a>(&'a ElidableMutex);
+
+impl Drop for PoisonOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.poison();
+        }
+    }
+}
+
+/// Starvation-escalation ladder (robustness hardening). `note_abort`
+/// accumulates consecutive concurrent-attempt failures across critical
+/// sections; `escalation_due` answers whether this section should skip
+/// straight to the serial gate, consuming the accumulated count so the
+/// thread returns to concurrent attempts afterwards (the ladder grants a
+/// progress slot, it does not serialize the thread permanently).
+fn note_abort(th: &ThreadHandle) {
+    th.consec_aborts
+        .set(th.consec_aborts.get().saturating_add(1));
+}
+
+fn escalation_due(th: &ThreadHandle) -> bool {
+    let n = th.consec_aborts.get();
+    if n < th.sys.policy().escalation_bound {
+        return false;
+    }
+    th.consec_aborts.set(0);
+    th.sys.stats.escalations.inc(th.stm_slot);
+    trace::emit(TraceKind::Escalate, TxMode::Serial, None, n as u64);
+    true
+}
+
+/// Fault oracle: should this section storm the serial gate instead of
+/// attempting to run concurrently?
+fn serial_storm_due() -> bool {
+    if fault::enabled() && fault::fire(Hazard::SerialStorm) {
+        trace::emit(
+            TraceKind::FaultInject,
+            TxMode::Serial,
+            None,
+            Hazard::SerialStorm.index() as u64,
+        );
+        return true;
+    }
+    false
+}
+
 fn run_locked<'a, R, F>(_th: &'a ThreadHandle, lock: &'a ElidableMutex, f: &mut F) -> R
 where
     F: FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
@@ -303,7 +362,11 @@ where
     let stm_retries = hints.stm_retries.unwrap_or(sys.policy().stm_retries);
     let mut attempts: u32 = 0;
     loop {
-        if attempts >= stm_retries {
+        // Serialize when this section's retry budget is spent, when the
+        // cross-section starvation ladder fires, or when the fault oracle
+        // storms the gate (short-circuit order keeps the ladder and oracle
+        // unconsulted once the budget alone decides).
+        if attempts >= stm_retries || escalation_due(th) || serial_storm_due() {
             trace::emit(TraceKind::Fallback, TxMode::Serial, None, attempts as u64);
             match run_serial(th, f) {
                 SerialOutcome::Done(r) => return r,
@@ -334,6 +397,7 @@ where
                 debug_assert!(pending_wait.is_none(), "wait() result must be propagated");
                 match tx.commit() {
                     Ok(_) => {
+                        th.consec_aborts.set(0);
                         drop(token);
                         for d in defers {
                             d();
@@ -343,6 +407,7 @@ where
                     Err(cause) => {
                         drop(token);
                         attempts += 1;
+                        note_abort(th);
                         trace::emit(TraceKind::Retry, TxMode::Stm, Some(cause), attempts as u64);
                         backoff(th.stm_slot, attempts, sys.policy().backoff_ceiling);
                     }
@@ -352,6 +417,7 @@ where
                 let pw = pending_wait.expect("Wait reported without a wait request");
                 match tx.commit() {
                     Ok(_) => {
+                        th.consec_aborts.set(0);
                         drop(token);
                         for d in defers {
                             d();
@@ -363,6 +429,7 @@ where
                         reclaim_enqueue_ref(&pw);
                         drop(token);
                         attempts += 1;
+                        note_abort(th);
                         trace::emit(TraceKind::Retry, TxMode::Stm, Some(cause), attempts as u64);
                         backoff(th.stm_slot, attempts, sys.policy().backoff_ceiling);
                     }
@@ -389,6 +456,7 @@ where
                 }
                 drop(token);
                 attempts += 1;
+                note_abort(th);
                 trace::emit(TraceKind::Retry, TxMode::Stm, Some(c), attempts as u64);
                 backoff(th.stm_slot, attempts, sys.policy().backoff_ceiling);
             }
@@ -404,9 +472,10 @@ where
     let htm_retries = hints.htm_retries.unwrap_or(sys.policy().htm_retries);
     let mut attempts: u32 = 0;
     loop {
-        if attempts >= htm_retries {
-            // Paper §VII: "fall back to a serial mode after hardware
-            // transactions fail twice".
+        // Paper §VII: "fall back to a serial mode after hardware
+        // transactions fail twice" — plus the starvation ladder and the
+        // fault oracle's serial storms (see `run_stm`).
+        if attempts >= htm_retries || escalation_due(th) || serial_storm_due() {
             trace::emit(TraceKind::Fallback, TxMode::Serial, None, attempts as u64);
             match run_serial(th, f) {
                 SerialOutcome::Done(r) => return r,
@@ -434,6 +503,7 @@ where
                 debug_assert!(pending_wait.is_none(), "wait() result must be propagated");
                 match tx.commit() {
                     Ok(()) => {
+                        th.consec_aborts.set(0);
                         drop(token);
                         for d in defers {
                             d();
@@ -443,6 +513,7 @@ where
                     Err(cause) => {
                         drop(token);
                         attempts += 1;
+                        note_abort(th);
                         trace::emit(TraceKind::Retry, TxMode::Htm, Some(cause), attempts as u64);
                         backoff(th.htm_slot, attempts, sys.policy().backoff_ceiling);
                     }
@@ -452,6 +523,7 @@ where
                 let pw = pending_wait.expect("Wait reported without a wait request");
                 match tx.commit() {
                     Ok(()) => {
+                        th.consec_aborts.set(0);
                         drop(token);
                         for d in defers {
                             d();
@@ -463,6 +535,7 @@ where
                         reclaim_enqueue_ref(&pw);
                         drop(token);
                         attempts += 1;
+                        note_abort(th);
                         trace::emit(TraceKind::Retry, TxMode::Htm, Some(cause), attempts as u64);
                         backoff(th.htm_slot, attempts, sys.policy().backoff_ceiling);
                     }
@@ -489,6 +562,7 @@ where
                 }
                 drop(token);
                 attempts += 1;
+                note_abort(th);
                 trace::emit(TraceKind::Retry, TxMode::Htm, Some(c), attempts as u64);
                 backoff(th.htm_slot, attempts, sys.policy().backoff_ceiling);
             }
@@ -507,6 +581,13 @@ where
     F: FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
 {
     let sys = &*th.sys;
+    // Unwind audit: `SerialToken` releases the gate in its `Drop` impl, so
+    // a panic inside `f` reopens the gate while unwinding — the binding
+    // itself is the unwind guard. Without that, one panicking serial
+    // section would wedge every thread forever (the gate bit would stay
+    // set). The `serial_gate_reopens_after_panic` regression test pins
+    // this. The same audit covers `cancel_wait` below and the concurrent
+    // tokens in `run_stm`/`run_htm`.
     let token = sys.gate.enter_serial();
     let mut ctx = TxCtx::new(CtxKind::Serial);
     let res = f(&mut ctx);
@@ -638,7 +719,9 @@ fn cancel_wait(th: &ThreadHandle, cv: &TxCondvar, raw: *const Waiter) {
     let mut attempts = 0u32;
     let removed = loop {
         if attempts >= sys.policy().stm_retries {
-            // Abort storm: do it under global exclusion.
+            // Abort storm: do it under global exclusion. (Unwind audit: the
+            // token drop reopens the gate even if `remove` panics; see
+            // `run_serial`.)
             let token = sys.gate.enter_serial();
             let mut ctx = TxCtx::new(CtxKind::Serial);
             let r = cv
@@ -712,10 +795,31 @@ fn reclaim_enqueue_ref(pw: &PendingWait<'_>) {
 /// Randomized exponential backoff between attempts. Yields early: the
 /// conflicting transaction may be descheduled (always true on a single-CPU
 /// host), in which case spinning cannot help it finish.
+///
+/// The draw mixes a *persistent* per-thread RNG with the salt and attempt
+/// number. Deriving it from `(salt, attempts)` alone — as an earlier
+/// version did — makes two threads that collide on attempt `n` draw
+/// correlated waits on attempt `n+1` too, re-colliding indefinitely; the
+/// per-thread state breaks that lockstep (each backoff also advances it, so
+/// repeat encounters see fresh draws).
 fn backoff(salt: usize, attempts: u32, ceiling: u32) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    /// Decorrelates the initial states of threads spawned back-to-back.
+    static THREAD_SEED: AtomicU64 = AtomicU64::new(0x9E37_79B9_7F4A_7C15);
+    thread_local! {
+        static BACKOFF_STATE: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    }
     let bound = (16u64 << attempts.min(16)).min(ceiling as u64).max(1);
-    let mut rng = XorShift64::new((salt as u64) << 32 | attempts as u64);
-    let spins = rng.below(bound) + 1;
+    let draw = BACKOFF_STATE.with(|cell| {
+        let mut state = cell.get();
+        if state == 0 {
+            state = THREAD_SEED.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed) | 1;
+        }
+        let raw = splitmix64(&mut state);
+        cell.set(state);
+        raw ^ ((salt as u64) << 32) ^ attempts as u64
+    });
+    let spins = draw % bound + 1;
     for _ in 0..spins {
         std::hint::spin_loop();
     }

@@ -86,6 +86,14 @@ pub struct TlePolicy {
     pub stm_retries: u32,
     /// Exponential-backoff ceiling (spins) between software retries.
     pub backoff_ceiling: u32,
+    /// Starvation-escalation ladder: a thread whose *consecutive* aborts
+    /// (accumulated across critical sections, reset by any concurrent
+    /// commit) reach this bound is granted one serial-irrevocable slot —
+    /// guaranteed progress for a thread the retry/fallback policy alone
+    /// keeps starving. The default (2× `stm_retries`) only fires under
+    /// persistent cross-section abort storms, so the paper-mode fallback
+    /// behaviour is unchanged in ordinary runs.
+    pub escalation_bound: u32,
 }
 
 impl Default for TlePolicy {
@@ -94,6 +102,7 @@ impl Default for TlePolicy {
             htm_retries: 2,
             stm_retries: 64,
             backoff_ceiling: 1 << 12,
+            escalation_bound: 128,
         }
     }
 }
@@ -203,6 +212,7 @@ impl TmSystem {
             stm_slot,
             htm_slot,
             in_critical: std::cell::Cell::new(false),
+            consec_aborts: std::cell::Cell::new(0),
         }
     }
 
@@ -314,6 +324,10 @@ pub struct ThreadHandle {
     /// Guards against nested critical sections (see
     /// [`ThreadHandle::critical`]).
     pub(crate) in_critical: std::cell::Cell<bool>,
+    /// Consecutive concurrent-attempt aborts, across critical sections;
+    /// input to the starvation-escalation ladder
+    /// ([`TlePolicy::escalation_bound`]).
+    pub(crate) consec_aborts: std::cell::Cell<u32>,
 }
 
 impl ThreadHandle {
@@ -327,6 +341,13 @@ impl ThreadHandle {
     #[inline]
     pub fn shard(&self) -> usize {
         self.stm_slot
+    }
+
+    /// Current consecutive-abort count (starvation-ladder diagnostics; see
+    /// [`TlePolicy::escalation_bound`]).
+    #[inline]
+    pub fn consecutive_aborts(&self) -> u32 {
+        self.consec_aborts.get()
     }
 
     /// Run `body` as the critical section guarded by `lock`.
@@ -429,5 +450,9 @@ mod tests {
     fn default_policy_matches_paper_configuration() {
         let p = TlePolicy::default();
         assert_eq!(p.htm_retries, 2, "paper: serialize after two HTM failures");
+        assert!(
+            p.escalation_bound > p.stm_retries,
+            "the starvation ladder must be a backstop, not the primary fallback"
+        );
     }
 }

@@ -3,6 +3,7 @@
 
 use crate::{state, DoomOutcome, HtmGlobal};
 use std::sync::atomic::{AtomicU64, Ordering};
+use tle_base::fault::{self, Hazard};
 use tle_base::rng::XorShift64;
 use tle_base::trace::{self, TraceKind, TxMode};
 use tle_base::{AbortCause, TCell, TxVal};
@@ -30,6 +31,9 @@ pub struct HtmTx<'g> {
     read_lines: Vec<u32>,
     write_lines: Vec<u32>,
     rng: XorShift64,
+    /// Per-attempt access index, the coordinate the fault oracle's
+    /// `at_access` rules key on.
+    accesses: u64,
     finished: bool,
 }
 
@@ -50,6 +54,7 @@ impl<'g> HtmTx<'g> {
             read_lines: Vec::with_capacity(16),
             write_lines: Vec::with_capacity(8),
             rng: XorShift64::new(seed),
+            accesses: 0,
             finished: false,
         }
     }
@@ -128,6 +133,15 @@ impl<'g> HtmTx<'g> {
         if self.g.is_doomed(self.slot) {
             return Err(AbortCause::Conflict);
         }
+        let idx = self.accesses;
+        self.accesses += 1;
+        // Fault oracle: forced spurious/capacity/conflict aborts at chosen
+        // access indices. One relaxed flag load when no plan is installed.
+        if fault::enabled() {
+            if let Some(cause) = Self::injected_abort(idx) {
+                return Err(cause);
+            }
+        }
         let p = self.g.config.event_prob;
         if p > 0.0 && self.rng.chance(p) {
             trace::emit(
@@ -139,6 +153,27 @@ impl<'g> HtmTx<'g> {
             return Err(AbortCause::Event);
         }
         Ok(())
+    }
+
+    /// The slow half of the fault hook: ask the oracle about each HTM
+    /// hazard class at this access index; the winner surfaces as the
+    /// matching abort cause (exactly the causes the retry ladder already
+    /// handles).
+    #[cold]
+    fn injected_abort(idx: u64) -> Option<AbortCause> {
+        for hz in [Hazard::HtmEvent, Hazard::HtmCapacity, Hazard::HtmConflict] {
+            if fault::fire_at(hz, idx) {
+                let cause = hz.cause().expect("HTM hazards map to abort causes");
+                trace::emit(
+                    TraceKind::FaultInject,
+                    TxMode::Htm,
+                    Some(cause),
+                    hz.index() as u64,
+                );
+                return Some(cause);
+            }
+        }
+        None
     }
 
     /// Put this transaction in the line's reader set, dooming a conflicting

@@ -331,7 +331,7 @@ mod tests {
     #[test]
     fn huffman_single_symbol() {
         roundtrip_syms(&[EOB]);
-        roundtrip_syms(&[7, 7, 7, 7, EOB].map(|x| x as u16));
+        roundtrip_syms(&[7, 7, 7, 7, EOB]);
     }
 
     #[test]
@@ -359,8 +359,8 @@ mod tests {
         let mut f = [0u64; ALPHA];
         let mut a = 1u64;
         let mut b = 1u64;
-        for i in 0..50 {
-            f[i] = a;
+        for slot in f.iter_mut().take(50) {
+            *slot = a;
             let c = a + b;
             a = b;
             b = c;
@@ -379,8 +379,8 @@ mod tests {
     #[test]
     fn canonical_codes_are_prefix_free() {
         let mut f = [0u64; ALPHA];
-        for i in 0..ALPHA {
-            f[i] = (i as u64 % 17) + 1;
+        for (i, slot) in f.iter_mut().enumerate() {
+            *slot = (i as u64 % 17) + 1;
         }
         let lens = code_lengths(&f);
         let codes = canonical_codes(&lens);
@@ -390,7 +390,7 @@ mod tests {
                     continue;
                 }
                 let shifted = codes[b] >> (lens[b] - lens[a]);
-                assert!(!(shifted == codes[a]), "code {a} is a prefix of code {b}");
+                assert!(shifted != codes[a], "code {a} is a prefix of code {b}");
             }
         }
     }

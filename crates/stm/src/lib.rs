@@ -33,11 +33,11 @@ mod soft;
 mod tx;
 
 pub use norec::NorecTx;
-pub use quiesce::QuiescePolicy;
+pub use quiesce::{drain, drain_watched, QuiescePolicy, Watchdog};
 pub use soft::{SoftTx, StmAlgo};
 pub use tx::{CommitInfo, StmTx};
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use tle_base::stats::TxStats;
 use tle_base::{Clock, OrecTable, SlotRegistry};
 
@@ -63,7 +63,16 @@ pub struct StmGlobal {
     policy: AtomicU8,
     algo: AtomicU8,
     audit_noquiesce: std::sync::atomic::AtomicBool,
+    /// Quiescence-watchdog deadline (ns); a drain waiting longer trips the
+    /// watchdog (report + counter, see [`Watchdog`]).
+    quiesce_deadline_ns: AtomicU64,
 }
+
+/// Default quiescence-watchdog deadline: 1 s. Natural drains are micro- to
+/// milliseconds, so a second of waiting is pathological (a descheduled or
+/// stalled straggler) and worth a report, while false trips under normal CI
+/// load are effectively impossible.
+pub const DEFAULT_QUIESCE_DEADLINE_NS: u64 = 1_000_000_000;
 
 impl StmGlobal {
     /// A fresh STM domain with the given quiescence policy.
@@ -78,7 +87,24 @@ impl StmGlobal {
             policy: AtomicU8::new(policy as u8),
             algo: AtomicU8::new(StmAlgo::MlWt as u8),
             audit_noquiesce: std::sync::atomic::AtomicBool::new(false),
+            quiesce_deadline_ns: AtomicU64::new(DEFAULT_QUIESCE_DEADLINE_NS),
         }
+    }
+
+    /// The quiescence-watchdog deadline in nanoseconds.
+    ///
+    /// Ordering audit: `Relaxed` is sufficient — the deadline only tunes a
+    /// diagnostic threshold; observing a change late shifts when a report
+    /// prints, nothing more.
+    #[inline]
+    pub fn quiesce_deadline_ns(&self) -> u64 {
+        self.quiesce_deadline_ns.load(Ordering::Relaxed)
+    }
+
+    /// Set the quiescence-watchdog deadline (tests use tiny values to force
+    /// trips; 0 trips on any slow-path drain).
+    pub fn set_quiesce_deadline_ns(&self, ns: u64) {
+        self.quiesce_deadline_ns.store(ns, Ordering::Relaxed);
     }
 
     /// The active software-TM algorithm.

@@ -23,6 +23,7 @@
 use crate::tx::CommitInfo;
 use crate::StmGlobal;
 use std::sync::atomic::{AtomicU64, Ordering};
+use tle_base::fault::{self, Hazard};
 use tle_base::trace::{self, TraceKind, TxMode};
 use tle_base::{AbortCause, TCell, TxVal};
 
@@ -113,6 +114,17 @@ impl<'g> NorecTx<'g> {
     /// Value-based validation: every logged read must still observe its
     /// logged value at a stable (even, unchanged) sequence point.
     fn revalidate(&mut self) -> Result<(), AbortCause> {
+        // Fault oracle: widen the value-validation window so a writer can
+        // commit mid-scan; the trailing sequence re-check must then loop.
+        let stalled = fault::maybe_stall(Hazard::ValidationDelay);
+        if stalled > 0 {
+            trace::emit(
+                TraceKind::FaultInject,
+                TxMode::Norec,
+                None,
+                Hazard::ValidationDelay.index() as u64,
+            );
+        }
         loop {
             let s = wait_even(&self.g.norec_seq);
             let consistent = self

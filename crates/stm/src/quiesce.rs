@@ -24,10 +24,12 @@
 //!   the next conflicting transaction.
 
 use std::time::Instant;
+use tle_base::fault::{self, Hazard};
+use tle_base::stats::{fmt_ns, TxStats};
 use tle_base::trace::{self, TraceKind, TxMode};
-use tle_base::SlotRegistry;
 #[cfg(test)]
 use tle_base::INACTIVE;
+use tle_base::{AbortCause, SlotRegistry};
 
 /// Quiescence policy for an STM domain. Maps to the paper's three
 /// configurations in Figure 5.
@@ -68,10 +70,78 @@ impl QuiescePolicy {
     }
 }
 
+/// Deadline supervision for a quiescence drain.
+///
+/// A drain that waits past `deadline_ns` *trips* the watchdog: the trip is
+/// counted in [`TxStats::watchdog_trips`], a `QuiesceStall` trace event is
+/// emitted, and a per-cause abort report is dumped to stderr — then the
+/// drain keeps waiting. The watchdog turns a silent stall into a diagnosed
+/// one; it never gives up, because abandoning the drain would break
+/// privatization safety.
+pub struct Watchdog<'a> {
+    /// Trip once the drain has waited longer than this.
+    pub deadline_ns: u64,
+    /// Where to count the trip (and the source of the dumped report).
+    pub stats: &'a TxStats,
+    /// Shard hint for the counter (typically the draining slot).
+    pub shard: usize,
+}
+
+impl Watchdog<'_> {
+    /// Record a trip and dump the diagnosis. Called at most once per drain.
+    fn trip(&self, waited_ns: u64, upto: u64) {
+        self.stats.watchdog_trips.inc(self.shard);
+        trace::emit(TraceKind::QuiesceStall, TxMode::Stm, None, waited_ns);
+        let snap = self.stats.snapshot();
+        let mut report = format!(
+            "quiesce watchdog: drain upto={} waited {} (deadline {}); \
+             commits={} aborts={} per-cause:",
+            upto,
+            fmt_ns(waited_ns),
+            fmt_ns(self.deadline_ns),
+            snap.commits,
+            snap.aborts,
+        );
+        for cause in AbortCause::ALL {
+            let n = snap.cause(cause);
+            if n > 0 {
+                report.push_str(&format!(" {}={}", cause.label(), n));
+            }
+        }
+        eprintln!("{report}");
+    }
+}
+
 /// Spin until every slot other than `self_idx` is inactive or has a start
 /// time ≥ `upto`. Returns the nanoseconds spent waiting (0 if the scan
 /// passed on the first sweep).
 pub fn drain(slots: &SlotRegistry, self_idx: usize, upto: u64) -> u64 {
+    drain_watched(slots, self_idx, upto, None)
+}
+
+/// [`drain`] under optional watchdog supervision. The commit path always
+/// supplies a watchdog (deadline configured on `StmGlobal`); the plain
+/// [`drain`] entry point keeps the historical unsupervised signature.
+pub fn drain_watched(
+    slots: &SlotRegistry,
+    self_idx: usize,
+    upto: u64,
+    dog: Option<&Watchdog<'_>>,
+) -> u64 {
+    // Fault oracle: delay the drain itself. The timer starts before the
+    // injected stall so the stall counts as waiting time and can drive the
+    // watchdog past its deadline.
+    let t0 = Instant::now();
+    let injected = fault::maybe_stall(Hazard::QuiesceDelay);
+    if injected > 0 {
+        trace::emit(
+            TraceKind::FaultInject,
+            TxMode::Stm,
+            None,
+            Hazard::QuiesceDelay.index() as u64,
+        );
+    }
+
     // Fast path: single sweep with no waiting.
     let mut blocked = false;
     for (idx, v) in slots.scan() {
@@ -80,12 +150,27 @@ pub fn drain(slots: &SlotRegistry, self_idx: usize, upto: u64) -> u64 {
             break;
         }
     }
-    if !blocked {
+    if !blocked && injected == 0 {
         return 0;
     }
 
     trace::emit(TraceKind::QuiesceStart, TxMode::Stm, None, upto);
-    let t0 = Instant::now();
+    let mut tripped = false;
+    let mut check_deadline = |t0: &Instant| -> u64 {
+        let ns = t0.elapsed().as_nanos() as u64;
+        if !tripped {
+            if let Some(d) = dog {
+                if ns > d.deadline_ns {
+                    tripped = true;
+                    d.trip(ns, upto);
+                }
+            }
+        }
+        ns
+    };
+    if injected > 0 {
+        check_deadline(&t0);
+    }
     for (idx, _) in slots.scan() {
         if idx == self_idx {
             continue;
@@ -98,6 +183,9 @@ pub fn drain(slots: &SlotRegistry, self_idx: usize, upto: u64) -> u64 {
             } else {
                 // The straggler is likely descheduled; give it the CPU.
                 std::thread::yield_now();
+                if spins.is_multiple_of(64) {
+                    check_deadline(&t0);
+                }
             }
         }
     }

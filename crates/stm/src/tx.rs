@@ -2,9 +2,10 @@
 //! acquisition, timestamp extension, commit-time validation, and the
 //! post-commit quiescence drain.
 
-use crate::quiesce::{drain, QuiescePolicy};
+use crate::quiesce::{drain_watched, QuiescePolicy, Watchdog};
 use crate::StmGlobal;
 use std::sync::atomic::{AtomicU64, Ordering};
+use tle_base::fault::{self, Hazard};
 use tle_base::orec::OrecValue;
 use tle_base::trace::{self, TraceKind, TxMode};
 use tle_base::{AbortCause, TCell, TxVal};
@@ -215,6 +216,19 @@ impl<'g> StmTx<'g> {
                     }
                     if self.g.orecs.try_lock(oi, cur, self.slot_idx) {
                         self.locks.push((oi as u32, cur));
+                        // Fault oracle: stall while *holding* the orec lock,
+                        // simulating lock-holder preemption. Concurrent
+                        // readers/writers of this orec must spin out and
+                        // report a conflict, never corrupt state.
+                        let stalled = fault::maybe_stall(Hazard::OrecStall);
+                        if stalled > 0 {
+                            trace::emit(
+                                TraceKind::FaultInject,
+                                TxMode::Stm,
+                                None,
+                                Hazard::OrecStall.index() as u64,
+                            );
+                        }
                         self.undo
                             .push((w as *const AtomicU64, w.load(Ordering::Relaxed)));
                         w.store(val, Ordering::Release);
@@ -245,6 +259,18 @@ impl<'g> StmTx<'g> {
     /// Check that every read still observes the orec word it recorded (or
     /// that we subsequently locked the orec ourselves *at* that word).
     fn validate(&self) -> Result<(), AbortCause> {
+        // Fault oracle: widen the validation window so concurrent commits
+        // can race the revalidation (extension and commit-time paths both
+        // funnel through here).
+        let stalled = fault::maybe_stall(Hazard::ValidationDelay);
+        if stalled > 0 {
+            trace::emit(
+                TraceKind::FaultInject,
+                TxMode::Stm,
+                None,
+                Hazard::ValidationDelay.index() as u64,
+            );
+        }
         for &(oi, seen) in &self.reads {
             let cur = self.g.orecs.load(oi as usize);
             if cur == seen {
@@ -365,7 +391,12 @@ impl<'g> StmTx<'g> {
                 quiesce_wait_ns: 0,
             };
         }
-        let wait_ns = drain(&self.g.slots, self.slot_idx, upto);
+        let dog = Watchdog {
+            deadline_ns: self.g.quiesce_deadline_ns(),
+            stats: &self.g.stats,
+            shard: self.slot_idx,
+        };
+        let wait_ns = drain_watched(&self.g.slots, self.slot_idx, upto, Some(&dog));
         self.g.stats.quiesces.inc(self.slot_idx);
         self.g.stats.quiesce_wait_ns.add(self.slot_idx, wait_ns);
         self.g.stats.quiesce_hist.record(wait_ns);

@@ -218,6 +218,6 @@ mod tests {
         // Corner block: many candidate vectors fall outside.
         let (mv, cost) = search(&f, &r, 0, 0, Mv { x: -8, y: -8 });
         assert!(cost < u64::MAX);
-        assert!(mv.x >= 0 - 0 && mv.y >= 0 - 0 || cost == 0);
+        assert!(mv.x >= 0 && mv.y >= 0 || cost == 0);
     }
 }

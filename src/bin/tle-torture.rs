@@ -1,0 +1,98 @@
+//! `tle-torture` — rcutorture-style stress runs: real workloads under a
+//! seeded fault schedule, judged by invariant oracles.
+//!
+//! ```console
+//! $ cargo run --release --bin tle-torture -- --seed 1 --mode all
+//! $ cargo run --release --bin tle-torture -- --seed 7 --mode htm --repro
+//! ```
+//!
+//! Exit status: 0 when every oracle held (and, under `--repro`, both runs
+//! produced identical per-cause abort counts); 1 otherwise. See
+//! `tle_bench::torture` for what each phase checks.
+
+use tle_bench::torture::{run_torture, TortureConfig};
+use tle_core::{AlgoMode, ALL_MODES};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+        std::process::exit(2);
+    }
+    let seed: u64 = opt_parse(&args, "--seed", 1);
+    let workers: usize = opt_parse(&args, "--workers", 3);
+    let ops: u64 = opt_parse(&args, "--ops", 1_500);
+    let repro = args.iter().any(|a| a == "--repro");
+    let modes: Vec<AlgoMode> = match opt(&args, "--mode").as_deref() {
+        None | Some("all") => ALL_MODES.to_vec(),
+        Some("baseline") => vec![AlgoMode::Baseline],
+        Some("stm-spin") => vec![AlgoMode::StmSpin],
+        Some("stm-condvar") => vec![AlgoMode::StmCondvar],
+        Some("stm-noquiesce") => vec![AlgoMode::StmCondvarNoQuiesce],
+        Some("htm") => vec![AlgoMode::HtmCondvar],
+        Some(other) => {
+            eprintln!("unknown mode {other}");
+            usage();
+            std::process::exit(2);
+        }
+    };
+
+    let mut failed = false;
+    for mode in modes {
+        if repro {
+            // Determinism contract: single worker, txset only — two runs
+            // must agree on every per-cause abort count and fault tally.
+            let cfg = TortureConfig {
+                ops_per_worker: ops,
+                ..TortureConfig::repro(seed, mode)
+            };
+            let a = run_torture(&cfg);
+            let b = run_torture(&cfg);
+            print!("{}", a.render());
+            let (ka, kb) = (a.repro_key(), b.repro_key());
+            if ka != kb {
+                println!("  REPRO MISMATCH:\n    run1 {ka}\n    run2 {kb}");
+                failed = true;
+            } else {
+                println!("  repro: two runs identical ({ka})");
+            }
+            failed |= !a.ok() || !b.ok();
+        } else {
+            let cfg = TortureConfig {
+                workers,
+                ops_per_worker: ops,
+                ..TortureConfig::quick(seed, mode)
+            };
+            let report = run_torture(&cfg);
+            print!("{}", report.render());
+            failed |= !report.ok();
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}
+
+fn usage() {
+    eprintln!(
+        "usage: tle-torture [options]\n\
+         \n\
+         options:\n\
+         \u{20} --seed N     fault-schedule and workload seed (default 1)\n\
+         \u{20} --mode M     all|baseline|stm-spin|stm-condvar|stm-noquiesce|htm (default all)\n\
+         \u{20} --workers N  txset/pipeline worker threads (default 3)\n\
+         \u{20} --ops N      set operations per worker (default 1500)\n\
+         \u{20} --repro      single-worker deterministic run, executed twice;\n\
+         \u{20}              fails unless both runs match per-cause abort counts"
+    );
+}
+
+fn opt(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn opt_parse<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> T {
+    opt(args, key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}

@@ -36,6 +36,11 @@ fn main() {
                  \u{20} --ops N       operations per thread (default 20000)\n\
                  \u{20} --cells N     shared counters, lower = more conflicts (default 4)\n\
                  \u{20} --tail N      dump: only the last N events (default all)\n\
+                 \u{20} --cause C     dump: only events attributed to this abort cause\n\
+                 \u{20}               (e.g. conflict, capacity, event; see `fig4` legend)\n\
+                 \u{20} --faults N    run the probe under the standard torture fault plan\n\
+                 \u{20}               seeded with N (surfaces fault-inject/escalate/\n\
+                 \u{20}               quiesce-stall events)\n\
                  \n\
                  (build with `--features trace` or the ring records nothing)"
             );
@@ -86,6 +91,11 @@ fn run(args: &[String], dump: bool) -> i32 {
         );
     }
 
+    let fault_seed = opt(args, "--faults").and_then(|v| v.parse::<u64>().ok());
+    if let Some(seed) = fault_seed {
+        tle_repro::base::fault::install(tle_bench::torture::torture_plan(seed));
+    }
+
     let sys = Arc::new(TmSystem::new(mode));
     let lock = Arc::new(ElidableMutex::new("probe"));
     let shared: Arc<Vec<TCell<u64>>> = Arc::new((0..cells).map(|_| TCell::new(0)).collect());
@@ -116,12 +126,28 @@ fn run(args: &[String], dump: bool) -> i32 {
 
     let events = trace::snapshot();
     if dump {
-        let tail: usize = opt_parse(args, "--tail", events.len());
-        let skip = events.len().saturating_sub(tail);
+        // `--cause` narrows the dump to events attributed to one abort
+        // cause (Abort/Conflict/Retry/FaultInject events carry one).
+        let filtered: Vec<_> = match opt(args, "--cause").as_deref() {
+            None => events.iter().collect(),
+            Some(label) => {
+                let Some(cause) = AbortCause::ALL.iter().copied().find(|c| c.label() == label)
+                else {
+                    eprintln!(
+                        "unknown cause {label}; valid: {}",
+                        AbortCause::ALL.map(|c| c.label()).join(" ")
+                    );
+                    return 2;
+                };
+                events.iter().filter(|e| e.cause == Some(cause)).collect()
+            }
+        };
+        let tail: usize = opt_parse(args, "--tail", filtered.len());
+        let skip = filtered.len().saturating_sub(tail);
         if skip > 0 {
             println!("... {skip} earlier events elided (--tail {tail}) ...");
         }
-        for ev in &events[skip..] {
+        for ev in &filtered[skip..] {
             println!("{ev}");
         }
         println!();
@@ -158,6 +184,22 @@ fn run(args: &[String], dump: bool) -> i32 {
                 println!("  {:<17} {n}", cause.label());
             }
         }
+    }
+    if fault_seed.is_some() {
+        use tle_repro::base::fault::{self, Hazard};
+        let snap = fault::snapshot();
+        println!("fault plane ({} fired):", snap.total_fired());
+        for h in Hazard::ALL {
+            let fired = snap.fired(h);
+            if fired > 0 {
+                println!(
+                    "  {:<17} fired {fired:>6}  armed {:>6}",
+                    h.label(),
+                    snap.armed(h)
+                );
+            }
+        }
+        fault::clear();
     }
     println!();
     print!("{}", sys.report());
