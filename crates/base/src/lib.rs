@@ -39,6 +39,7 @@ pub mod rng;
 pub mod slots;
 pub mod stats;
 pub mod trace;
+pub mod window;
 
 pub use abort::AbortCause;
 pub use cell::{TCell, TxVal};
@@ -46,6 +47,7 @@ pub use clock::Clock;
 pub use gate::Gate;
 pub use orec::{OrecTable, OrecValue};
 pub use slots::{Slot, SlotRegistry, INACTIVE};
+pub use window::{AbortClass, StatWindow, WindowSnapshot, WINDOW_BUCKETS};
 
 /// Size, in bytes, of the cache lines modelled by the HTM simulator and used
 /// for padding decisions throughout the workspace.

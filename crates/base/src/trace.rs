@@ -121,11 +121,15 @@ pub enum TraceKind {
     /// (the drain keeps waiting; this is the trip, not a failure).
     /// detail: nanoseconds waited so far.
     QuiesceStall = 14,
+    /// The adaptive policy controller switched a lock's algorithm (cause
+    /// attached when an abort class triggered the switch). detail: the old
+    /// mode's discriminant in bits 8.. and the new mode's in bits ..8.
+    ModeSwitch = 15,
 }
 
 impl TraceKind {
     /// Every kind, in discriminant order.
-    pub const ALL: [TraceKind; 15] = [
+    pub const ALL: [TraceKind; 16] = [
         TraceKind::Begin,
         TraceKind::Read,
         TraceKind::Write,
@@ -141,6 +145,7 @@ impl TraceKind {
         TraceKind::FaultInject,
         TraceKind::Escalate,
         TraceKind::QuiesceStall,
+        TraceKind::ModeSwitch,
     ];
 
     /// Decode from the packed representation.
@@ -166,6 +171,7 @@ impl TraceKind {
             TraceKind::FaultInject => "fault-inject",
             TraceKind::Escalate => "escalate",
             TraceKind::QuiesceStall => "quiesce-stall",
+            TraceKind::ModeSwitch => "mode-switch",
         }
     }
 }

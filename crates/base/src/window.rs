@@ -1,0 +1,326 @@
+//! Windowed per-cause statistics: the signal feeding per-lock adaptation.
+//!
+//! The always-on counters in [`crate::stats`] are cumulative — good for
+//! end-of-run tables, useless for a feedback controller that must react to
+//! what a lock did *recently*. A [`StatWindow`] is a small ring of count
+//! buckets: critical sections record into the current bucket, and the
+//! controller advances the ring once per sampling step ([`StatWindow::roll`]),
+//! zeroing the oldest bucket. Summing the ring therefore yields a sliding
+//! window over the last [`WINDOW_BUCKETS`] steps, with the oldest step's
+//! contribution decaying to zero as the ring turns — no floating-point EMA,
+//! no wall-clock, fully deterministic under a deterministic step schedule.
+//!
+//! Abort causes are folded into the three classes the adaptation decision
+//! actually discriminates on (paper §VII: capacity-bound sections want STM,
+//! conflict storms want the lock back, event noise is mode-independent);
+//! see [`AbortClass`].
+
+use crate::AbortCause;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Ring depth: a recorded event fully decays out of the window after this
+/// many [`StatWindow::roll`] steps.
+pub const WINDOW_BUCKETS: usize = 8;
+
+/// The coarse abort classes the adaptation logic discriminates on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortClass {
+    /// Data contention: another thread touched what we touched
+    /// (read/write/validation conflicts in STM, coherence dooms in HTM).
+    Conflict,
+    /// The section's footprint exceeded the (simulated) hardware capacity —
+    /// retrying in hardware cannot help.
+    Capacity,
+    /// Mode-independent noise: asynchronous events, explicit cancels,
+    /// unsafe-operation escapes.
+    Other,
+}
+
+impl AbortClass {
+    /// Fold the nine fine-grained causes into the three decision classes.
+    pub fn of(cause: AbortCause) -> Self {
+        match cause {
+            AbortCause::ReadConflict
+            | AbortCause::WriteConflict
+            | AbortCause::ValidationFailed
+            | AbortCause::CommitValidation
+            | AbortCause::Conflict => AbortClass::Conflict,
+            AbortCause::Capacity => AbortClass::Capacity,
+            AbortCause::Event | AbortCause::Unsafe | AbortCause::Explicit => AbortClass::Other,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Bucket {
+    commits: AtomicU64,
+    conflict_aborts: AtomicU64,
+    capacity_aborts: AtomicU64,
+    other_aborts: AtomicU64,
+    serial: AtomicU64,
+    quiesce_ns: AtomicU64,
+}
+
+impl Bucket {
+    fn zero(&self) {
+        self.commits.store(0, Ordering::Relaxed);
+        self.conflict_aborts.store(0, Ordering::Relaxed);
+        self.capacity_aborts.store(0, Ordering::Relaxed);
+        self.other_aborts.store(0, Ordering::Relaxed);
+        self.serial.store(0, Ordering::Relaxed);
+        self.quiesce_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A sliding window of per-class section outcomes (see module docs).
+///
+/// Recording is a single relaxed `fetch_add` into the current bucket, so it
+/// is cheap enough to stay on the commit/abort paths unconditionally.
+/// Rolling and snapshotting race benignly with recorders: an event landing
+/// in a bucket as it is zeroed is merely forgotten one step early.
+pub struct StatWindow {
+    buckets: [Bucket; WINDOW_BUCKETS],
+    cursor: AtomicUsize,
+}
+
+impl Default for StatWindow {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StatWindow {
+    /// An empty window.
+    pub fn new() -> Self {
+        StatWindow {
+            buckets: Default::default(),
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    #[inline]
+    fn cur(&self) -> &Bucket {
+        &self.buckets[self.cursor.load(Ordering::Relaxed) % WINDOW_BUCKETS]
+    }
+
+    /// A section committed concurrently; `quiesce_ns` is the post-commit
+    /// drain latency (0 when no drain ran).
+    #[inline]
+    pub fn record_commit(&self, quiesce_ns: u64) {
+        let b = self.cur();
+        b.commits.fetch_add(1, Ordering::Relaxed);
+        if quiesce_ns > 0 {
+            b.quiesce_ns.fetch_add(quiesce_ns, Ordering::Relaxed);
+        }
+    }
+
+    /// A concurrent attempt aborted.
+    #[inline]
+    pub fn record_abort(&self, cause: AbortCause) {
+        let b = self.cur();
+        let ctr = match AbortClass::of(cause) {
+            AbortClass::Conflict => &b.conflict_aborts,
+            AbortClass::Capacity => &b.capacity_aborts,
+            AbortClass::Other => &b.other_aborts,
+        };
+        ctr.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A section completed on the serial/lock fallback path.
+    #[inline]
+    pub fn record_serial(&self) {
+        self.cur().serial.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Advance the ring one step, forgetting the oldest bucket. Called by
+    /// the sampling controller, never by recording threads.
+    pub fn roll(&self) {
+        let next = (self.cursor.load(Ordering::Relaxed) + 1) % WINDOW_BUCKETS;
+        self.buckets[next].zero();
+        self.cursor.store(next, Ordering::Relaxed);
+    }
+
+    /// Zero the whole window (after a mode switch: old-mode history must not
+    /// drive the next decision).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.zero();
+        }
+    }
+
+    /// Sum the ring into one point-in-time view.
+    pub fn snapshot(&self) -> WindowSnapshot {
+        let mut s = WindowSnapshot::default();
+        for b in &self.buckets {
+            s.commits += b.commits.load(Ordering::Relaxed);
+            s.conflict_aborts += b.conflict_aborts.load(Ordering::Relaxed);
+            s.capacity_aborts += b.capacity_aborts.load(Ordering::Relaxed);
+            s.other_aborts += b.other_aborts.load(Ordering::Relaxed);
+            s.serial += b.serial.load(Ordering::Relaxed);
+            s.quiesce_ns += b.quiesce_ns.load(Ordering::Relaxed);
+        }
+        s
+    }
+}
+
+/// Summed view of a [`StatWindow`] with the derived rates the adaptation
+/// decision consumes. Plain data — construct one directly to unit-test
+/// decision logic against synthetic windows.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSnapshot {
+    /// Concurrent (elided) commits.
+    pub commits: u64,
+    /// Aborts classed as data conflicts.
+    pub conflict_aborts: u64,
+    /// Aborts classed as capacity overflows.
+    pub capacity_aborts: u64,
+    /// Mode-independent aborts (events, cancels, unsafe escapes).
+    pub other_aborts: u64,
+    /// Sections completed on the serial/lock fallback.
+    pub serial: u64,
+    /// Total post-commit quiescence-drain nanoseconds.
+    pub quiesce_ns: u64,
+}
+
+impl WindowSnapshot {
+    /// Total aborted attempts.
+    pub fn aborts(&self) -> u64 {
+        self.conflict_aborts + self.capacity_aborts + self.other_aborts
+    }
+
+    /// Total attempts: every abort, every concurrent commit, and every
+    /// serial completion count as one.
+    pub fn attempts(&self) -> u64 {
+        self.commits + self.serial + self.aborts()
+    }
+
+    /// Aborted fraction of all attempts (0 when the window is empty).
+    pub fn abort_rate(&self) -> f64 {
+        let a = self.attempts();
+        if a == 0 {
+            0.0
+        } else {
+            self.aborts() as f64 / a as f64
+        }
+    }
+
+    /// Concurrently-committed fraction of all attempts.
+    pub fn commit_rate(&self) -> f64 {
+        let a = self.attempts();
+        if a == 0 {
+            0.0
+        } else {
+            self.commits as f64 / a as f64
+        }
+    }
+
+    /// Serial-fallback fraction of completed sections.
+    pub fn fallback_rate(&self) -> f64 {
+        let done = self.commits + self.serial;
+        if done == 0 {
+            0.0
+        } else {
+            self.serial as f64 / done as f64
+        }
+    }
+
+    /// Capacity share of all aborts (0 when abort-free).
+    pub fn capacity_share(&self) -> f64 {
+        let a = self.aborts();
+        if a == 0 {
+            0.0
+        } else {
+            self.capacity_aborts as f64 / a as f64
+        }
+    }
+
+    /// Conflict share of all aborts (0 when abort-free).
+    pub fn conflict_share(&self) -> f64 {
+        let a = self.aborts();
+        if a == 0 {
+            0.0
+        } else {
+            self.conflict_aborts as f64 / a as f64
+        }
+    }
+
+    /// Mean quiescence-drain nanoseconds per concurrent commit.
+    pub fn avg_quiesce_ns(&self) -> u64 {
+        self.quiesce_ns.checked_div(self.commits).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_partition_all_causes() {
+        let mut conflict = 0;
+        let mut capacity = 0;
+        let mut other = 0;
+        for c in AbortCause::ALL {
+            match AbortClass::of(c) {
+                AbortClass::Conflict => conflict += 1,
+                AbortClass::Capacity => capacity += 1,
+                AbortClass::Other => other += 1,
+            }
+        }
+        assert_eq!(conflict, 5);
+        assert_eq!(capacity, 1);
+        assert_eq!(other, 3);
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let w = StatWindow::new();
+        w.record_commit(100);
+        w.record_commit(0);
+        w.record_abort(AbortCause::Capacity);
+        w.record_abort(AbortCause::ReadConflict);
+        w.record_serial();
+        let s = w.snapshot();
+        assert_eq!(s.commits, 2);
+        assert_eq!(s.capacity_aborts, 1);
+        assert_eq!(s.conflict_aborts, 1);
+        assert_eq!(s.serial, 1);
+        assert_eq!(s.attempts(), 5);
+        assert_eq!(s.quiesce_ns, 100);
+        assert_eq!(s.avg_quiesce_ns(), 50);
+        assert!((s.abort_rate() - 0.4).abs() < 1e-9);
+        assert!((s.capacity_share() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roll_decays_old_events() {
+        let w = StatWindow::new();
+        w.record_commit(0);
+        for _ in 0..WINDOW_BUCKETS - 1 {
+            w.roll();
+            assert_eq!(w.snapshot().commits, 1, "still inside the window");
+        }
+        w.roll(); // the recording bucket is zeroed as the ring returns to it
+        assert_eq!(w.snapshot().commits, 0, "event decayed out");
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let w = StatWindow::new();
+        w.record_commit(7);
+        w.record_abort(AbortCause::Event);
+        w.roll();
+        w.record_serial();
+        w.reset();
+        assert_eq!(w.snapshot(), WindowSnapshot::default());
+    }
+
+    #[test]
+    fn empty_window_rates_are_zero() {
+        let s = WindowSnapshot::default();
+        assert_eq!(s.abort_rate(), 0.0);
+        assert_eq!(s.commit_rate(), 0.0);
+        assert_eq!(s.fallback_rate(), 0.0);
+        assert_eq!(s.capacity_share(), 0.0);
+        assert_eq!(s.avg_quiesce_ns(), 0);
+    }
+}

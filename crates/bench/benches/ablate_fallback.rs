@@ -16,20 +16,21 @@
 use std::sync::Arc;
 use tle_base::Padded;
 use tle_bench::{fmt_pct, fmt_secs, thread_sweep, Table};
-use tle_core::{AlgoMode, ElidableMutex, TlePolicy, TmSystem};
+use tle_core::{AlgoMode, ElidableMutex, TmSystem};
 use tle_htm::HtmConfig;
 
 const OPS_PER_THREAD: u64 = 30_000;
 
 fn run(mode: AlgoMode, threads: usize, event_prob: f64) -> (f64, f64) {
-    let sys = Arc::new(TmSystem::with_policy(
-        mode,
-        TlePolicy::default(),
-        HtmConfig {
-            event_prob,
-            ..HtmConfig::default()
-        },
-    ));
+    let sys = Arc::new(
+        TmSystem::builder()
+            .mode(mode)
+            .htm_config(HtmConfig {
+                event_prob,
+                ..HtmConfig::default()
+            })
+            .build(),
+    );
     // Cache-line padding matters here exactly as on real TSX: adjacent
     // lock words would share a conflict-table line and make "disjoint"
     // locks alias (the classic lock-elision false-sharing gotcha).

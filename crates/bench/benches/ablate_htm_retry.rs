@@ -32,17 +32,19 @@ fn main() {
         // Interrupt-pressure hardware model: on this host true conflict
         // aborts are rare (threads timeshare one CPU), so the retry knob is
         // exercised against event aborts, the other big TSX abort class.
-        let sys = Arc::new(TmSystem::with_policy(
-            AlgoMode::HtmCondvar,
-            TlePolicy {
-                htm_retries: retries,
-                ..TlePolicy::default()
-            },
-            HtmConfig {
-                event_prob: 2e-2,
-                ..HtmConfig::default()
-            },
-        ));
+        let sys = Arc::new(
+            TmSystem::builder()
+                .mode(AlgoMode::HtmCondvar)
+                .policy(TlePolicy {
+                    htm_retries: retries,
+                    ..TlePolicy::default()
+                })
+                .htm_config(HtmConfig {
+                    event_prob: 2e-2,
+                    ..HtmConfig::default()
+                })
+                .build(),
+        );
         let cfg = PipelineConfig {
             workers,
             block_size: bs,

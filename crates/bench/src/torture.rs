@@ -45,6 +45,11 @@ pub struct TortureConfig {
     /// Also run the pbzip and x265 pipeline phases (oracle-checked but not
     /// bit-reproducible: pipeline threads take auto-assigned fault lanes).
     pub pipelines: bool,
+    /// Also run the per-lock mode-flip phase: a counter workload while a
+    /// seed-derived schedule of `set_lock_mode` flips retargets the lock
+    /// through every (non-NoQuiesce) mode. The oracle is the exact counter
+    /// value plus the flip sequence matching the schedule.
+    pub adaptive: bool,
 }
 
 impl TortureConfig {
@@ -57,6 +62,7 @@ impl TortureConfig {
             ops_per_worker: 1_500,
             structure: "hash".into(),
             pipelines: true,
+            adaptive: false,
         }
     }
 
@@ -69,6 +75,7 @@ impl TortureConfig {
             ops_per_worker: 2_000,
             structure: "tree".into(),
             pipelines: false,
+            adaptive: false,
         }
     }
 }
@@ -107,6 +114,10 @@ pub struct TortureReport {
     pub escalations: u64,
     /// Quiescence-watchdog trips observed.
     pub watchdog_trips: u64,
+    /// The mode-flip sequence applied during the adaptive phase (empty
+    /// unless [`TortureConfig::adaptive`] was set). Same seed ⇒ identical
+    /// sequence, by construction.
+    pub switches: Vec<String>,
 }
 
 impl TortureReport {
@@ -132,6 +143,9 @@ impl TortureReport {
             "fired:{:?};armed:{:?}",
             self.fault.fired, self.fault.armed
         ));
+        if !self.switches.is_empty() {
+            key.push_str(&format!(";switches:{}", self.switches.join(",")));
+        }
         key
     }
 
@@ -168,6 +182,14 @@ impl TortureReport {
             "  escalations={} watchdog_trips={}",
             self.escalations, self.watchdog_trips
         );
+        if !self.switches.is_empty() {
+            let _ = writeln!(
+                out,
+                "  mode flips ({}): {}",
+                self.switches.len(),
+                self.switches.join(" ")
+            );
+        }
         let _ = write!(out, "  faults fired:");
         for h in Hazard::ALL {
             let n = self.fault.fired(h);
@@ -185,7 +207,12 @@ impl TortureReport {
 /// worker threads are converted into violations so a wedged oracle still
 /// produces a report.
 pub fn run_torture(cfg: &TortureConfig) -> TortureReport {
-    let sys = Arc::new(TmSystem::new(cfg.mode));
+    let sys = Arc::new(
+        TmSystem::builder()
+            .mode(cfg.mode)
+            .adaptive(cfg.adaptive)
+            .build(),
+    );
     let mut violations = Vec::new();
     fault::install(torture_plan(cfg.seed));
     let t0 = std::time::Instant::now();
@@ -199,6 +226,11 @@ pub fn run_torture(cfg: &TortureConfig) -> TortureReport {
         torture_pbzip(&sys, cfg, &mut violations);
         torture_x265(&sys, cfg, &mut violations);
     }
+    let switches = if cfg.adaptive {
+        torture_flips(&sys, cfg, &mut violations)
+    } else {
+        Vec::new()
+    };
 
     let secs = t0.elapsed().as_secs_f64();
     let fault_snap = fault::snapshot();
@@ -213,7 +245,153 @@ pub fn run_torture(cfg: &TortureConfig) -> TortureReport {
         stats: TrialStats::capture(&sys),
         escalations: sys.stats.snapshot().escalations,
         watchdog_trips: sys.stm.stats.snapshot().watchdog_trips,
+        switches,
     }
+}
+
+/// Mode-flip torture: increment a counter under a lock while a seed-derived
+/// schedule of per-lock mode flips drags that lock through every
+/// non-NoQuiesce mode. Exactness of the final count is the oracle for the
+/// flip protocol's total-exclusion guarantee (a section completing under a
+/// stale mode would race a section under the new one and lose an update).
+///
+/// Determinism: the flip *sequence* is a pure function of the seed and the
+/// base mode (consecutive repeats are excluded, so every scheduled flip
+/// changes the resolved mode and records exactly one event). Single-worker
+/// runs interleave flips at fixed operation boundaries on the worker thread
+/// itself, keeping the whole phase — fault ticks included — reproducible;
+/// multi-worker runs race a dedicated flipper thread against the workers,
+/// which always completes the full schedule.
+fn torture_flips(
+    sys: &Arc<TmSystem>,
+    cfg: &TortureConfig,
+    violations: &mut Vec<String>,
+) -> Vec<String> {
+    use tle_base::TCell;
+    use tle_core::ElidableMutex;
+
+    const FLIPS: usize = 12;
+    /// Flip targets: every mode except `StmCondvarNoQuiesce`, which the
+    /// controller and the torture schedule alike must never select (the
+    /// no-quiesce contract is a per-lock application opt-in only).
+    const TARGETS: [AlgoMode; 5] = [
+        AlgoMode::Baseline,
+        AlgoMode::StmSpin,
+        AlgoMode::StmCondvar,
+        AlgoMode::HtmCondvar,
+        AlgoMode::AdaptiveHtm,
+    ];
+
+    let lock = ElidableMutex::new("torture-flips");
+    sys.adopt_lock(&lock);
+    let mut rng = XorShift64::new(cfg.seed ^ 0xF11F);
+    let mut schedule = Vec::with_capacity(FLIPS);
+    let mut prev = cfg.mode;
+    for _ in 0..FLIPS {
+        let next = loop {
+            let cand = TARGETS[rng.below(TARGETS.len() as u64) as usize];
+            if cand != prev {
+                break cand;
+            }
+        };
+        schedule.push(next);
+        prev = next;
+    }
+
+    let cell = Arc::new(TCell::new(0u64));
+    let workers = cfg.workers.max(1);
+    let ops = cfg.ops_per_worker;
+    if workers == 1 {
+        // Deterministic shape: flips fire at fixed op boundaries from the
+        // one worker thread.
+        fault::set_lane(0);
+        let th = sys.register();
+        let interval = (ops / FLIPS as u64).max(1);
+        let mut flipped = 0usize;
+        for i in 0..ops {
+            if i % interval == 0 && flipped < FLIPS {
+                sys.set_lock_mode(&lock, schedule[flipped]);
+                flipped += 1;
+            }
+            th.critical(&lock, |ctx| {
+                let v = ctx.read(&*cell)?;
+                ctx.write(&*cell, v + 1)?;
+                Ok(())
+            });
+        }
+        for &m in &schedule[flipped..] {
+            sys.set_lock_mode(&lock, m);
+        }
+    } else {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let sys = Arc::clone(sys);
+                let lock = lock.clone();
+                let cell = Arc::clone(&cell);
+                std::thread::spawn(move || {
+                    fault::set_lane(w as u64);
+                    let th = sys.register();
+                    for _ in 0..ops {
+                        th.critical(&lock, |ctx| {
+                            let v = ctx.read(&*cell)?;
+                            ctx.write(&*cell, v + 1)?;
+                            Ok(())
+                        });
+                    }
+                })
+            })
+            .collect();
+        let flipper = {
+            let sys = Arc::clone(sys);
+            let lock = lock.clone();
+            let schedule = schedule.clone();
+            std::thread::spawn(move || {
+                for m in schedule {
+                    sys.set_lock_mode(&lock, m);
+                    std::thread::sleep(std::time::Duration::from_micros(300));
+                }
+            })
+        };
+        let mut panicked = false;
+        for h in handles {
+            panicked |= h.join().is_err();
+        }
+        flipper.join().expect("flipper thread panicked");
+        if panicked {
+            violations.push("flips: a counter worker panicked".into());
+        }
+    }
+
+    let expect = workers as u64 * ops;
+    let got = cell.load_direct();
+    if got != expect {
+        violations.push(format!(
+            "flips: counter {got} != {expect} — a section completed under a stale mode"
+        ));
+    }
+    if lock.is_no_quiesce() {
+        violations.push("flips: lock entered NoQuiesce without an opt-in".into());
+    }
+    let events = sys.mode_switches();
+    let seq: Vec<String> = events
+        .iter()
+        .filter(|e| e.lock == lock.name())
+        .map(|e| format!("{}>{}", e.from.label(), e.to.label()))
+        .collect();
+    let expected_seq: Vec<String> = schedule
+        .iter()
+        .scan(cfg.mode, |from, &to| {
+            let s = format!("{}>{}", from.label(), to.label());
+            *from = to;
+            Some(s)
+        })
+        .collect();
+    if seq != expected_seq {
+        violations.push(format!(
+            "flips: recorded switch sequence {seq:?} != schedule {expected_seq:?}"
+        ));
+    }
+    seq
 }
 
 /// Single-worker txset phase: every operation checked against a `BTreeSet`.
@@ -401,6 +579,7 @@ mod tests {
             stats: TrialStats::default(),
             escalations: 0,
             watchdog_trips: 0,
+            switches: Vec::new(),
         };
         let key = report.repro_key();
         for c in AbortCause::ALL {

@@ -176,11 +176,7 @@ pub fn x265_trial_cfg(
 ) -> (f64, TrialStats) {
     let (w, h, n) = size.params(full);
     let source = VideoSource::new(w, h, n, 0xFEED);
-    let sys = Arc::new(TmSystem::with_policy(
-        mode,
-        tle_core::TlePolicy::default(),
-        htm_cfg,
-    ));
+    let sys = Arc::new(TmSystem::builder().mode(mode).htm_config(htm_cfg).build());
     let cfg = EncoderConfig {
         workers,
         qp: 12,
@@ -490,11 +486,12 @@ mod tests {
             ),
         ];
         for (label, cfg, want) in runner_cases {
-            let sys = Arc::new(TmSystem::with_policy(
-                AlgoMode::HtmCondvar,
-                tle_core::TlePolicy::default(),
-                cfg,
-            ));
+            let sys = Arc::new(
+                TmSystem::builder()
+                    .mode(AlgoMode::HtmCondvar)
+                    .htm_config(cfg)
+                    .build(),
+            );
             let lock = ElidableMutex::new("causes");
             let c1 = Padded(TCell::new(0u64));
             let c2 = Padded(TCell::new(0u64));
@@ -549,14 +546,15 @@ mod tests {
                 .rule(FaultRule::new(Hazard::HtmConflict, 1).limit(1)),
         );
         fault::set_lane(0);
-        let sys = Arc::new(TmSystem::with_policy(
-            AlgoMode::HtmCondvar,
-            tle_core::TlePolicy::default(),
-            HtmConfig {
-                event_prob: 0.0, // injected Events only — keeps counts exact
-                ..HtmConfig::default()
-            },
-        ));
+        let sys = Arc::new(
+            TmSystem::builder()
+                .mode(AlgoMode::HtmCondvar)
+                .htm_config(HtmConfig {
+                    event_prob: 0.0, // injected Events only — keeps counts exact
+                    ..HtmConfig::default()
+                })
+                .build(),
+        );
         let lock = ElidableMutex::new("fault-pins");
         let cell = Padded(TCell::new(0u64));
         let th = sys.register();

@@ -34,4 +34,29 @@ fn same_seed_reproduces_counts_and_traces() {
         let (key3, _) = run(0xBEEF, mode);
         assert_ne!(key1, key3, "[{mode:?}] different seed, different run");
     }
+
+    // Adaptive hazard: the seeded controller flips per-lock modes during
+    // the run, and the switch sequence is part of the repro key — so the
+    // same seed must replay the same mode-flip trajectory too.
+    let run_adaptive = |seed: u64| -> String {
+        trace::clear();
+        let cfg = TortureConfig {
+            adaptive: true,
+            ..TortureConfig::repro(seed, AlgoMode::HtmCondvar)
+        };
+        let report = run_torture(&cfg);
+        assert!(
+            report.ok(),
+            "oracle violations under adaptive seed {seed:#x}: {:?}",
+            report.violations
+        );
+        assert!(
+            !report.switches.is_empty(),
+            "the adaptive hazard should flip at least one lock"
+        );
+        report.repro_key()
+    };
+    let ak1 = run_adaptive(0x7047);
+    let ak2 = run_adaptive(0x7047);
+    assert_eq!(ak1, ak2, "adaptive switch sequence must replay exactly");
 }

@@ -21,6 +21,7 @@
 
 use crate::ctx::TxCtx;
 use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 use tle_base::fault::{self, Hazard};
 use tle_base::trace::{self, TraceKind, TxMode};
@@ -114,6 +115,12 @@ pub struct TxCondvar {
     tail: TCell<u64>,
     ring: Box<[TCell<*const Waiter>]>,
     native: Condvar,
+    /// Threads currently parked in [`native_wait`](Self::native_wait)
+    /// (baseline-mode waiters). Per-lock mode flips mean a TM-mode
+    /// signaller can coexist with waiters parked natively before the flip;
+    /// the signaller consults this counter to know it must also poke the
+    /// native channel.
+    native_waiters: AtomicUsize,
 }
 
 impl TxCondvar {
@@ -126,6 +133,7 @@ impl TxCondvar {
                 .map(|_| TCell::new(std::ptr::null::<Waiter>()))
                 .collect(),
             native: Condvar::new(),
+            native_waiters: AtomicUsize::new(0),
         }
     }
 
@@ -225,6 +233,18 @@ impl TxCondvar {
         self.native.notify_all();
     }
 
+    /// Whether any thread is parked on the native channel. A transactional
+    /// signaller that finds the ring empty (or even non-empty — over-notify
+    /// is harmless, waiters re-check their predicate) must wake these too:
+    /// they may have parked while the lock ran baseline, before a flip.
+    ///
+    /// Visibility: a native waiter increments the counter *while holding
+    /// the raw mutex*, and a flip away from baseline acquires that mutex,
+    /// so any signaller running after the flip observes the increment.
+    pub(crate) fn has_native_waiters(&self) -> bool {
+        self.native_waiters.load(Ordering::SeqCst) > 0
+    }
+
     /// Baseline-mode wait: atomically release `guard` and sleep. Returns
     /// `true` if (possibly spuriously) woken before the timeout.
     pub(crate) fn native_wait(
@@ -232,13 +252,18 @@ impl TxCondvar {
         guard: &mut parking_lot::MutexGuard<'_, ()>,
         timeout: Option<Duration>,
     ) -> bool {
-        match timeout {
+        // Incremented while the mutex is still held — see
+        // `has_native_waiters` for why that ordering matters.
+        self.native_waiters.fetch_add(1, Ordering::SeqCst);
+        let woke = match timeout {
             None => {
                 self.native.wait(guard);
                 true
             }
             Some(d) => !self.native.wait_for(guard, d).timed_out(),
-        }
+        };
+        self.native_waiters.fetch_sub(1, Ordering::SeqCst);
+        woke
     }
 }
 

@@ -229,31 +229,53 @@ impl<'a> TxCtx<'a> {
 
     /// Wake one waiter of `cv`. Under transactions the wakeup is a deferred
     /// action delivered at commit (so an aborted signaller wakes no one).
+    ///
+    /// Per-lock mode flips mean the waiter population can be mixed: threads
+    /// that registered transactionally in the ring before a flip to
+    /// baseline, and threads parked on the native channel before a flip
+    /// away from it. Every arm therefore services both populations; the
+    /// worst case is an extra wakeup, which waiters absorb by re-checking
+    /// their predicate.
     pub fn signal(&mut self, cv: &TxCondvar) -> Result<(), TxError> {
         match &mut self.kind {
             CtxKind::Locked { .. } => {
+                // Direct ring access is safe here: the raw mutex is held,
+                // and the flip that made this lock baseline excluded (and
+                // doomed) all transactional ring users first.
+                if let Some(raw) = cv.dequeue(self)? {
+                    self.defer_notify(raw);
+                }
                 cv.notify_native_one();
                 Ok(())
             }
             _ => {
                 if let Some(raw) = cv.dequeue(self)? {
                     self.defer_notify(raw);
+                } else if cv.has_native_waiters() {
+                    cv.notify_native_all();
                 }
                 Ok(())
             }
         }
     }
 
-    /// Wake all waiters of `cv`.
+    /// Wake all waiters of `cv` (both the transactional ring and any
+    /// natively parked pre-flip waiters; see [`signal`](Self::signal)).
     pub fn broadcast(&mut self, cv: &TxCondvar) -> Result<(), TxError> {
         match &mut self.kind {
             CtxKind::Locked { .. } => {
+                while let Some(raw) = cv.dequeue(self)? {
+                    self.defer_notify(raw);
+                }
                 cv.notify_native_all();
                 Ok(())
             }
             _ => {
                 while let Some(raw) = cv.dequeue(self)? {
                     self.defer_notify(raw);
+                }
+                if cv.has_native_waiters() {
+                    cv.notify_native_all();
                 }
                 Ok(())
             }

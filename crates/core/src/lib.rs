@@ -26,14 +26,19 @@
 
 mod condvar;
 mod ctx;
+mod domain;
 mod elide;
 mod runner;
 mod system;
 
 pub use condvar::TxCondvar;
 pub use ctx::{TxCtx, TxError};
+pub use domain::{decide, AdaptiveConfig, ModeSwitchEvent, SwitchReason};
 pub use elide::ElidableMutex;
-pub use system::{AlgoMode, DomainStats, ThreadHandle, TlePolicy, TmSystem, TxHints};
+pub use system::{
+    AlgoMode, ControllerHandle, DomainStats, InvalidAlgoMode, ParseAlgoModeError, ThreadHandle,
+    TlePolicy, TmSystem, TmSystemBuilder, TxHints,
+};
 
 /// Convenience result type for transactional closures.
 pub type TxResult<T> = Result<T, TxError>;
@@ -221,19 +226,20 @@ mod tests {
         use tle_htm::HtmConfig;
         // Event-abort-heavy HTM: 2 retries serialize often, 64 rarely.
         let run = |hints: TxHints| {
-            let sys = Arc::new(TmSystem::with_policy(
-                AlgoMode::HtmCondvar,
-                TlePolicy::default(),
-                HtmConfig {
-                    event_prob: 0.3,
-                    ..HtmConfig::default()
-                },
-            ));
+            let sys = Arc::new(
+                TmSystem::builder()
+                    .mode(AlgoMode::HtmCondvar)
+                    .htm_config(HtmConfig {
+                        event_prob: 0.3,
+                        ..HtmConfig::default()
+                    })
+                    .build(),
+            );
             let th = sys.register();
             let lock = ElidableMutex::new("hinted");
             let cell = TCell::new(0u64);
             for _ in 0..500 {
-                th.critical_hinted(&lock, hints, |ctx| {
+                th.critical_with(&lock, hints, |ctx| {
                     ctx.update(&cell, |v| v + 1)?;
                     Ok(())
                 });
@@ -242,7 +248,7 @@ mod tests {
             sys.stats.serial_fallbacks.get()
         };
         let default_fallbacks = run(TxHints::default());
-        let hinted_fallbacks = run(TxHints::htm_retries(64));
+        let hinted_fallbacks = run(TxHints::new().with_htm_retries(64));
         assert!(
             hinted_fallbacks < default_fallbacks / 2,
             "hinting more retries should cut fallbacks: {hinted_fallbacks} vs {default_fallbacks}"
@@ -358,14 +364,15 @@ mod tests {
         // Event-heavy hardware: many sections take the lock path, elided
         // and locked sections interleave constantly. The two-cell
         // invariant catches any mutual-exclusion breach.
-        let sys = Arc::new(TmSystem::with_policy(
-            AlgoMode::AdaptiveHtm,
-            TlePolicy::default(),
-            HtmConfig {
-                event_prob: 0.05,
-                ..HtmConfig::default()
-            },
-        ));
+        let sys = Arc::new(
+            TmSystem::builder()
+                .mode(AlgoMode::AdaptiveHtm)
+                .htm_config(HtmConfig {
+                    event_prob: 0.05,
+                    ..HtmConfig::default()
+                })
+                .build(),
+        );
         let lock = Arc::new(ElidableMutex::new("excl"));
         let a = Arc::new(TCell::new(0u64));
         let b = Arc::new(TCell::new(0u64));
@@ -404,14 +411,15 @@ mod tests {
     #[test]
     fn adaptive_htm_sets_skip_credits_after_failures() {
         use tle_htm::HtmConfig;
-        let sys = Arc::new(TmSystem::with_policy(
-            AlgoMode::AdaptiveHtm,
-            TlePolicy::default(),
-            HtmConfig {
-                event_prob: 1.0, // every hardware attempt dies
-                ..HtmConfig::default()
-            },
-        ));
+        let sys = Arc::new(
+            TmSystem::builder()
+                .mode(AlgoMode::AdaptiveHtm)
+                .htm_config(HtmConfig {
+                    event_prob: 1.0, // every hardware attempt dies
+                    ..HtmConfig::default()
+                })
+                .build(),
+        );
         let th = sys.register();
         let lock = ElidableMutex::new("hopeless");
         let cell = TCell::new(0u64);

@@ -9,6 +9,23 @@
 //!   fallback;
 //! - [`run_serial`]: the serial-irrevocable path shared by unsafe
 //!   operations and both fallbacks.
+//!
+//! ## Per-lock modes and the epoch protocol
+//!
+//! Dispatch is on the lock's **resolved** mode (its per-lock override, else
+//! the global mode), and the adaptive controller may flip that mode while
+//! worker threads are anywhere in these loops. The flip itself runs under
+//! total exclusion (serial gate + raw mutex + adaptive lock word — see
+//! `TmSystem::flip_lock`), so correctness reduces to one invariant: *a
+//! section must not complete under a stale mode after the flip finished*.
+//! Each runner therefore captures the lock's flip **epoch** at dispatch and
+//! re-checks it immediately after taking its exclusion foothold — the
+//! concurrent gate token (STM/HTM), the raw mutex (baseline), the serial
+//! token (fallback), or the lock-word subscription/acquisition (adaptive
+//! elision). While the foothold is held a flip cannot complete, so a
+//! matching epoch stays matched; a mismatch unwinds the foothold and
+//! returns [`Outcome::Redispatch`], and the outer loop in [`run`]
+//! re-resolves the mode.
 
 use crate::condvar::{TxCondvar, Waiter};
 use crate::ctx::{CtxKind, PendingWait, TxCtx, TxError};
@@ -19,6 +36,13 @@ use tle_base::fault::{self, Hazard};
 use tle_base::rng::splitmix64;
 use tle_base::trace::{self, TraceKind, TxMode};
 use tle_base::AbortCause;
+
+/// What a per-mode runner produced: a finished section, or a request to
+/// re-resolve the lock's mode because a flip landed mid-attempt.
+enum Outcome<R> {
+    Done(R),
+    Redispatch,
+}
 
 pub(crate) fn run<'a, R, F>(
     th: &'a ThreadHandle,
@@ -51,12 +75,21 @@ where
     // What unwinding cannot restore is *application* invariants spanning
     // critical sections, so flag the lock for survivors to inspect.
     let _poison = PoisonOnPanic(lock);
-    match th.sys.mode() {
-        AlgoMode::Baseline => run_locked(th, lock, &mut f),
-        AlgoMode::StmSpin => run_stm(th, hints, &mut f, true),
-        AlgoMode::StmCondvar | AlgoMode::StmCondvarNoQuiesce => run_stm(th, hints, &mut f, false),
-        AlgoMode::HtmCondvar => run_htm(th, hints, &mut f),
-        AlgoMode::AdaptiveHtm => run_adaptive_htm(th, lock, hints, &mut f),
+    loop {
+        let epoch = lock.domain().epoch();
+        let outcome = match lock.resolved_mode(th.sys.mode()) {
+            AlgoMode::Baseline => run_locked(th, lock, epoch, &mut f),
+            AlgoMode::StmSpin => run_stm(th, lock, epoch, hints, &mut f, true),
+            AlgoMode::StmCondvar | AlgoMode::StmCondvarNoQuiesce => {
+                run_stm(th, lock, epoch, hints, &mut f, false)
+            }
+            AlgoMode::HtmCondvar => run_htm(th, lock, epoch, hints, &mut f),
+            AlgoMode::AdaptiveHtm => run_adaptive_htm(th, lock, epoch, hints, &mut f),
+        };
+        match outcome {
+            Outcome::Done(r) => return r,
+            Outcome::Redispatch => continue,
+        }
     }
 }
 
@@ -69,30 +102,39 @@ where
 fn run_adaptive_htm<'a, R, F>(
     th: &'a ThreadHandle,
     lock: &'a ElidableMutex,
+    epoch: u64,
     hints: TxHints,
     f: &mut F,
-) -> R
+) -> Outcome<R>
 where
     F: FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
 {
     /// glibc's skip_lock_internal_abort analogue.
     const SKIP_AFTER_FAILURE: u32 = 3;
     let sys = &*th.sys;
-    let htm_retries = hints.htm_retries.unwrap_or(sys.policy().htm_retries);
+    let htm_retries = hints
+        .htm_retries
+        .unwrap_or_else(|| lock.domain().htm_retries(sys.policy().htm_retries));
     let mut attempts: u32 = 0;
     loop {
+        // This loop holds no exclusion between iterations, so a flip can
+        // complete anywhere in it; cheap check before each attempt.
+        if lock.domain().epoch() != epoch {
+            return Outcome::Redispatch;
+        }
         if lock.consume_skip() || attempts >= htm_retries {
             if attempts >= htm_retries {
                 lock.set_skip(SKIP_AFTER_FAILURE);
                 sys.stats.serial_fallbacks.inc(th.stm_slot);
             }
             trace::emit(TraceKind::Fallback, TxMode::Locked, None, attempts as u64);
-            match run_adaptive_lock_path(th, lock, f) {
-                SerialOutcome::Done(r) => return r,
+            match run_adaptive_lock_path(th, lock, epoch, f) {
+                SerialOutcome::Done(r) => return Outcome::Done(r),
                 SerialOutcome::Retry => {
                     attempts = 0;
                     continue;
                 }
+                SerialOutcome::Redispatch => return Outcome::Redispatch,
             }
         }
         // Don't even start while the lock is held (glibc spins outside the
@@ -115,6 +157,7 @@ where
             Ok(true) => {
                 tx.abort(AbortCause::Conflict);
                 attempts += 1;
+                lock.domain().window.record_abort(AbortCause::Conflict);
                 trace::emit(
                     TraceKind::Retry,
                     TxMode::Htm,
@@ -126,10 +169,20 @@ where
             Err(e) => {
                 tx.abort(e);
                 attempts += 1;
+                lock.domain().window.record_abort(e);
                 trace::emit(TraceKind::Retry, TxMode::Htm, Some(e), attempts as u64);
                 backoff(th.htm_slot, attempts, sys.policy().backoff_ceiling);
                 continue;
             }
+        }
+        // The subscription is the exclusion foothold: a flip completed
+        // before it shows up as a bumped epoch (abort, re-resolve); a flip
+        // starting after it must acquire the lock word, which dooms this
+        // transaction via the invalidation — either way no commit under a
+        // stale mode.
+        if lock.domain().epoch() != epoch {
+            tx.abort(AbortCause::Explicit);
+            return Outcome::Redispatch;
         }
         let mut ctx = TxCtx::new(CtxKind::Htm { tx });
         let res = f(&mut ctx);
@@ -147,13 +200,15 @@ where
                 debug_assert!(pending_wait.is_none(), "wait() result must be propagated");
                 match tx.commit() {
                     Ok(()) => {
+                        lock.domain().window.record_commit(0);
                         for d in defers {
                             d();
                         }
-                        return r;
+                        return Outcome::Done(r);
                     }
                     Err(cause) => {
                         attempts += 1;
+                        lock.domain().window.record_abort(cause);
                         trace::emit(TraceKind::Retry, TxMode::Htm, Some(cause), attempts as u64);
                         backoff(th.htm_slot, attempts, sys.policy().backoff_ceiling);
                     }
@@ -163,15 +218,17 @@ where
                 let pw = pending_wait.expect("Wait reported without a wait request");
                 match tx.commit() {
                     Ok(()) => {
+                        lock.domain().window.record_commit(0);
                         for d in defers {
                             d();
                         }
                         attempts = 0;
-                        block_on_adaptive(th, lock, pw);
+                        block_on(th, lock, pw);
                     }
                     Err(cause) => {
                         reclaim_enqueue_ref(&pw);
                         attempts += 1;
+                        lock.domain().window.record_abort(cause);
                         trace::emit(TraceKind::Retry, TxMode::Htm, Some(cause), attempts as u64);
                         backoff(th.htm_slot, attempts, sys.policy().backoff_ceiling);
                     }
@@ -188,9 +245,10 @@ where
                     Some(AbortCause::Unsafe),
                     attempts as u64,
                 );
-                match run_adaptive_lock_path(th, lock, f) {
-                    SerialOutcome::Done(r) => return r,
+                match run_adaptive_lock_path(th, lock, epoch, f) {
+                    SerialOutcome::Done(r) => return Outcome::Done(r),
                     SerialOutcome::Retry => attempts = 0,
+                    SerialOutcome::Redispatch => return Outcome::Redispatch,
                 }
             }
             Err(TxError::Abort(c)) => {
@@ -199,6 +257,7 @@ where
                     reclaim_enqueue_ref(&pw);
                 }
                 attempts += 1;
+                lock.domain().window.record_abort(c);
                 trace::emit(TraceKind::Retry, TxMode::Htm, Some(c), attempts as u64);
                 backoff(th.htm_slot, attempts, sys.policy().backoff_ceiling);
             }
@@ -211,12 +270,19 @@ where
 fn run_adaptive_lock_path<'a, R, F>(
     th: &'a ThreadHandle,
     lock: &'a ElidableMutex,
+    epoch: u64,
     f: &mut F,
 ) -> SerialOutcome<R>
 where
     F: FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
 {
     adaptive_acquire(th, lock);
+    // Holding the lock word blocks a flip's word acquisition, so the epoch
+    // is stable from here until release.
+    if lock.domain().epoch() != epoch {
+        lock.held_cell().store_direct(false);
+        return SerialOutcome::Redispatch;
+    }
 
     let mut ctx = TxCtx::new(CtxKind::Serial);
     let res = f(&mut ctx);
@@ -229,17 +295,19 @@ where
     match res {
         Ok(r) => {
             debug_assert!(pending_wait.is_none(), "wait() result must be propagated");
+            lock.domain().window.record_serial();
             for d in defers {
                 d();
             }
             SerialOutcome::Done(r)
         }
         Err(TxError::Wait) => {
+            lock.domain().window.record_serial();
             for d in defers {
                 d();
             }
             let pw = pending_wait.expect("Wait reported without a wait request");
-            block_on_adaptive(th, lock, pw);
+            block_on(th, lock, pw);
             SerialOutcome::Retry
         }
         Err(TxError::Abort(c)) => {
@@ -308,11 +376,22 @@ fn serial_storm_due() -> bool {
     false
 }
 
-fn run_locked<'a, R, F>(_th: &'a ThreadHandle, lock: &'a ElidableMutex, f: &mut F) -> R
+fn run_locked<'a, R, F>(
+    th: &'a ThreadHandle,
+    lock: &'a ElidableMutex,
+    epoch: u64,
+    f: &mut F,
+) -> Outcome<R>
 where
     F: FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
 {
+    let _ = th;
     let mut guard = Some(lock.raw().lock());
+    // The raw mutex is the foothold: a flip acquires it too, so a matching
+    // epoch here cannot change until we release.
+    if lock.domain().epoch() != epoch {
+        return Outcome::Redispatch;
+    }
     loop {
         let mut ctx = TxCtx::new(CtxKind::Locked {
             guard: guard.take(),
@@ -330,11 +409,12 @@ where
         match res {
             Ok(r) => {
                 debug_assert!(pending_wait.is_none(), "wait() result must be propagated");
+                lock.domain().window.record_serial();
                 drop(g);
                 for d in defers {
                     d();
                 }
-                return r;
+                return Outcome::Done(r);
             }
             Err(TxError::Wait) => {
                 // The "commit point" of a baseline section that waits is
@@ -345,6 +425,12 @@ where
                 }
                 let pw = pending_wait.expect("Wait reported without a wait request");
                 pw.cv.native_wait(&mut g, pw.timeout);
+                // The wait released the mutex while parked; a flip may have
+                // completed in between.
+                if lock.domain().epoch() != epoch {
+                    drop(g);
+                    return Outcome::Redispatch;
+                }
                 guard = Some(g);
             }
             Err(TxError::Abort(c)) => {
@@ -354,12 +440,21 @@ where
     }
 }
 
-fn run_stm<'a, R, F>(th: &'a ThreadHandle, hints: TxHints, f: &mut F, spin: bool) -> R
+fn run_stm<'a, R, F>(
+    th: &'a ThreadHandle,
+    lock: &'a ElidableMutex,
+    epoch: u64,
+    hints: TxHints,
+    f: &mut F,
+    spin: bool,
+) -> Outcome<R>
 where
     F: FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
 {
     let sys = &*th.sys;
-    let stm_retries = hints.stm_retries.unwrap_or(sys.policy().stm_retries);
+    let stm_retries = hints
+        .stm_retries
+        .unwrap_or_else(|| lock.domain().stm_retries(sys.policy().stm_retries));
     let mut attempts: u32 = 0;
     loop {
         // Serialize when this section's retry budget is spent, when the
@@ -368,16 +463,28 @@ where
         // unconsulted once the budget alone decides).
         if attempts >= stm_retries || escalation_due(th) || serial_storm_due() {
             trace::emit(TraceKind::Fallback, TxMode::Serial, None, attempts as u64);
-            match run_serial(th, f) {
-                SerialOutcome::Done(r) => return r,
+            match run_serial(th, lock, epoch, f) {
+                SerialOutcome::Done(r) => return Outcome::Done(r),
                 SerialOutcome::Retry => {
                     attempts = 0;
                     continue;
                 }
+                SerialOutcome::Redispatch => return Outcome::Redispatch,
             }
         }
         let token = sys.gate.enter_concurrent();
-        let tx = sys.stm.begin_soft(th.stm_slot);
+        // The concurrent token is the foothold: a flip's serial entry
+        // drains it, so a matching epoch holds until the token drops.
+        if lock.domain().epoch() != epoch {
+            drop(token);
+            return Outcome::Redispatch;
+        }
+        let mut tx = sys.stm.begin_soft(th.stm_slot);
+        // Per-lock TM_NoQuiesce opt-in (strictly an application contract;
+        // see TmSystem::set_lock_no_quiesce).
+        if lock.is_no_quiesce() {
+            tx.no_quiesce();
+        }
         let mut ctx = TxCtx::new(CtxKind::Stm {
             tx,
             spin_waits: spin,
@@ -396,18 +503,20 @@ where
             Ok(r) => {
                 debug_assert!(pending_wait.is_none(), "wait() result must be propagated");
                 match tx.commit() {
-                    Ok(_) => {
+                    Ok(info) => {
                         th.consec_aborts.set(0);
+                        lock.domain().window.record_commit(info.quiesce_wait_ns);
                         drop(token);
                         for d in defers {
                             d();
                         }
-                        return r;
+                        return Outcome::Done(r);
                     }
                     Err(cause) => {
                         drop(token);
                         attempts += 1;
                         note_abort(th);
+                        lock.domain().window.record_abort(cause);
                         trace::emit(TraceKind::Retry, TxMode::Stm, Some(cause), attempts as u64);
                         backoff(th.stm_slot, attempts, sys.policy().backoff_ceiling);
                     }
@@ -416,20 +525,22 @@ where
             Err(TxError::Wait) => {
                 let pw = pending_wait.expect("Wait reported without a wait request");
                 match tx.commit() {
-                    Ok(_) => {
+                    Ok(info) => {
                         th.consec_aborts.set(0);
+                        lock.domain().window.record_commit(info.quiesce_wait_ns);
                         drop(token);
                         for d in defers {
                             d();
                         }
                         attempts = 0;
-                        block_on(th, pw);
+                        block_on(th, lock, pw);
                     }
                     Err(cause) => {
                         reclaim_enqueue_ref(&pw);
                         drop(token);
                         attempts += 1;
                         note_abort(th);
+                        lock.domain().window.record_abort(cause);
                         trace::emit(TraceKind::Retry, TxMode::Stm, Some(cause), attempts as u64);
                         backoff(th.stm_slot, attempts, sys.policy().backoff_ceiling);
                     }
@@ -444,9 +555,10 @@ where
                     Some(AbortCause::Unsafe),
                     attempts as u64,
                 );
-                match run_serial(th, f) {
-                    SerialOutcome::Done(r) => return r,
+                match run_serial(th, lock, epoch, f) {
+                    SerialOutcome::Done(r) => return Outcome::Done(r),
                     SerialOutcome::Retry => attempts = 0,
+                    SerialOutcome::Redispatch => return Outcome::Redispatch,
                 }
             }
             Err(TxError::Abort(c)) => {
@@ -457,6 +569,7 @@ where
                 drop(token);
                 attempts += 1;
                 note_abort(th);
+                lock.domain().window.record_abort(c);
                 trace::emit(TraceKind::Retry, TxMode::Stm, Some(c), attempts as u64);
                 backoff(th.stm_slot, attempts, sys.policy().backoff_ceiling);
             }
@@ -464,12 +577,20 @@ where
     }
 }
 
-fn run_htm<'a, R, F>(th: &'a ThreadHandle, hints: TxHints, f: &mut F) -> R
+fn run_htm<'a, R, F>(
+    th: &'a ThreadHandle,
+    lock: &'a ElidableMutex,
+    epoch: u64,
+    hints: TxHints,
+    f: &mut F,
+) -> Outcome<R>
 where
     F: FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
 {
     let sys = &*th.sys;
-    let htm_retries = hints.htm_retries.unwrap_or(sys.policy().htm_retries);
+    let htm_retries = hints
+        .htm_retries
+        .unwrap_or_else(|| lock.domain().htm_retries(sys.policy().htm_retries));
     let mut attempts: u32 = 0;
     loop {
         // Paper §VII: "fall back to a serial mode after hardware
@@ -477,15 +598,20 @@ where
         // fault oracle's serial storms (see `run_stm`).
         if attempts >= htm_retries || escalation_due(th) || serial_storm_due() {
             trace::emit(TraceKind::Fallback, TxMode::Serial, None, attempts as u64);
-            match run_serial(th, f) {
-                SerialOutcome::Done(r) => return r,
+            match run_serial(th, lock, epoch, f) {
+                SerialOutcome::Done(r) => return Outcome::Done(r),
                 SerialOutcome::Retry => {
                     attempts = 0;
                     continue;
                 }
+                SerialOutcome::Redispatch => return Outcome::Redispatch,
             }
         }
         let token = sys.gate.enter_concurrent();
+        if lock.domain().epoch() != epoch {
+            drop(token);
+            return Outcome::Redispatch;
+        }
         let tx = sys.htm.begin(th.htm_slot);
         let mut ctx = TxCtx::new(CtxKind::Htm { tx });
         let res = f(&mut ctx);
@@ -504,16 +630,18 @@ where
                 match tx.commit() {
                     Ok(()) => {
                         th.consec_aborts.set(0);
+                        lock.domain().window.record_commit(0);
                         drop(token);
                         for d in defers {
                             d();
                         }
-                        return r;
+                        return Outcome::Done(r);
                     }
                     Err(cause) => {
                         drop(token);
                         attempts += 1;
                         note_abort(th);
+                        lock.domain().window.record_abort(cause);
                         trace::emit(TraceKind::Retry, TxMode::Htm, Some(cause), attempts as u64);
                         backoff(th.htm_slot, attempts, sys.policy().backoff_ceiling);
                     }
@@ -524,18 +652,20 @@ where
                 match tx.commit() {
                     Ok(()) => {
                         th.consec_aborts.set(0);
+                        lock.domain().window.record_commit(0);
                         drop(token);
                         for d in defers {
                             d();
                         }
                         attempts = 0;
-                        block_on(th, pw);
+                        block_on(th, lock, pw);
                     }
                     Err(cause) => {
                         reclaim_enqueue_ref(&pw);
                         drop(token);
                         attempts += 1;
                         note_abort(th);
+                        lock.domain().window.record_abort(cause);
                         trace::emit(TraceKind::Retry, TxMode::Htm, Some(cause), attempts as u64);
                         backoff(th.htm_slot, attempts, sys.policy().backoff_ceiling);
                     }
@@ -550,9 +680,10 @@ where
                     Some(AbortCause::Unsafe),
                     attempts as u64,
                 );
-                match run_serial(th, f) {
-                    SerialOutcome::Done(r) => return r,
+                match run_serial(th, lock, epoch, f) {
+                    SerialOutcome::Done(r) => return Outcome::Done(r),
                     SerialOutcome::Retry => attempts = 0,
+                    SerialOutcome::Redispatch => return Outcome::Redispatch,
                 }
             }
             Err(TxError::Abort(c)) => {
@@ -563,6 +694,7 @@ where
                 drop(token);
                 attempts += 1;
                 note_abort(th);
+                lock.domain().window.record_abort(c);
                 trace::emit(TraceKind::Retry, TxMode::Htm, Some(c), attempts as u64);
                 backoff(th.htm_slot, attempts, sys.policy().backoff_ceiling);
             }
@@ -574,9 +706,16 @@ enum SerialOutcome<R> {
     Done(R),
     /// The serial section waited on a condvar; re-run concurrently.
     Retry,
+    /// A mode flip landed before the exclusion foothold; re-resolve.
+    Redispatch,
 }
 
-fn run_serial<'a, R, F>(th: &'a ThreadHandle, f: &mut F) -> SerialOutcome<R>
+fn run_serial<'a, R, F>(
+    th: &'a ThreadHandle,
+    lock: &'a ElidableMutex,
+    epoch: u64,
+    f: &mut F,
+) -> SerialOutcome<R>
 where
     F: FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
 {
@@ -589,6 +728,11 @@ where
     // this. The same audit covers `cancel_wait` below and the concurrent
     // tokens in `run_stm`/`run_htm`.
     let token = sys.gate.enter_serial();
+    // The serial token is the foothold: a flip needs the gate too.
+    if lock.domain().epoch() != epoch {
+        drop(token);
+        return SerialOutcome::Redispatch;
+    }
     let mut ctx = TxCtx::new(CtxKind::Serial);
     let res = f(&mut ctx);
     let TxCtx {
@@ -597,6 +741,7 @@ where
         pending_wait,
     } = ctx;
     sys.stats.serial_fallbacks.inc(th.stm_slot);
+    lock.domain().window.record_serial();
     match res {
         Ok(r) => {
             debug_assert!(pending_wait.is_none(), "wait() result must be propagated");
@@ -616,7 +761,7 @@ where
                 d();
             }
             let pw = pending_wait.expect("Wait reported without a wait request");
-            block_on(th, pw);
+            block_on(th, lock, pw);
             SerialOutcome::Retry
         }
         Err(TxError::Abort(c)) => {
@@ -655,41 +800,9 @@ fn adaptive_acquire(th: &ThreadHandle, lock: &ElidableMutex) {
     th.sys.htm.invalidate(lock.held_cell());
 }
 
-/// Adaptive-mode parking: like [`block_on`], but a timed-out waiter cancels
-/// its ring entry **under the real lock** — the only context that excludes
-/// both elided transactions (via subscription) and other lock holders. The
-/// generic `cancel_wait` path uses STM/serial-gate transactions, which do
-/// not conflict-detect against adaptive-mode ring users.
-fn block_on_adaptive<'a>(th: &'a ThreadHandle, lock: &'a ElidableMutex, pw: PendingWait<'a>) {
-    match pw.waiter {
-        None => {
-            std::hint::spin_loop();
-            std::thread::yield_now();
-        }
-        Some(w) => {
-            let signaled = w.wait(pw.timeout);
-            trace::emit(TraceKind::WaitPark, TxMode::Locked, None, !signaled as u64);
-            if !signaled {
-                adaptive_acquire(th, lock);
-                let mut ctx = TxCtx::new(CtxKind::Serial);
-                let removed = pw
-                    .cv
-                    .remove(&mut ctx, pw.raw)
-                    .expect("direct access cannot abort");
-                lock.held_cell().store_direct(false);
-                if removed {
-                    // SAFETY: removing the entry transfers the queue's Arc
-                    // reference to us (see `cancel_wait`).
-                    unsafe { drop(Arc::from_raw(pw.raw)) };
-                }
-            }
-        }
-    }
-}
-
 /// Park the thread on its committed wait registration (or just yield the
 /// scheduling slot under spin-mode polling).
-fn block_on<'a>(th: &'a ThreadHandle, pw: PendingWait<'a>) {
+fn block_on<'a>(th: &'a ThreadHandle, lock: &'a ElidableMutex, pw: PendingWait<'a>) {
     match pw.waiter {
         None => {
             // STM+Spin: no registration was made; poll by re-running. The
@@ -703,7 +816,7 @@ fn block_on<'a>(th: &'a ThreadHandle, pw: PendingWait<'a>) {
             let signaled = w.wait(pw.timeout);
             trace::emit(TraceKind::WaitPark, TxMode::Serial, None, !signaled as u64);
             if !signaled {
-                cancel_wait(th, pw.cv, pw.raw);
+                cancel_wait(th, lock, pw.cv, pw.raw);
             }
         }
     }
@@ -712,56 +825,60 @@ fn block_on<'a>(th: &'a ThreadHandle, pw: PendingWait<'a>) {
 /// Timed-out waiter: remove our ring entry (a small transaction of its own)
 /// or, if a signaller already claimed it, let the signaller's wakeup fall on
 /// the floor harmlessly. Only reachable from the TM modes (baseline waiters
-/// use the native condvar).
-fn cancel_wait(th: &ThreadHandle, cv: &TxCondvar, raw: *const Waiter) {
+/// use the native condvar) — but by the time the timeout fires the *lock*
+/// may have been flipped to any mode, so the removal algorithm is chosen
+/// per attempt from the lock's current resolved mode, read under a
+/// concurrent token (mode flips need the serial gate, so the token pins
+/// it). Modes whose ring users access the ring outside gate-supervised
+/// transactions (baseline's direct access under the raw mutex, adaptive
+/// elision's lock path) fall through to [`remove_waiter_excluded`].
+fn cancel_wait(th: &ThreadHandle, lock: &ElidableMutex, cv: &TxCondvar, raw: *const Waiter) {
     let sys = &*th.sys;
-    let use_htm = sys.mode() == AlgoMode::HtmCondvar;
     let mut attempts = 0u32;
     let removed = loop {
         if attempts >= sys.policy().stm_retries {
-            // Abort storm: do it under global exclusion. (Unwind audit: the
-            // token drop reopens the gate even if `remove` panics; see
-            // `run_serial`.)
-            let token = sys.gate.enter_serial();
-            let mut ctx = TxCtx::new(CtxKind::Serial);
-            let r = cv
-                .remove(&mut ctx, raw)
-                .expect("direct access cannot abort");
-            drop(token);
-            break r;
+            // Abort storm: do it under total exclusion.
+            break remove_waiter_excluded(th, lock, cv, raw);
         }
         let token = sys.gate.enter_concurrent();
-        let outcome = if use_htm {
-            let tx = sys.htm.begin(th.htm_slot);
-            let mut ctx = TxCtx::new(CtxKind::Htm { tx });
-            let r = cv.remove(&mut ctx, raw);
-            let tx = match ctx.kind {
-                CtxKind::Htm { tx } => tx,
-                _ => unreachable!(),
-            };
-            match r {
-                Ok(found) => tx.commit().map(|_| found),
-                Err(e) => {
-                    tx.abort(e);
-                    Err(e)
+        let outcome = match lock.resolved_mode(sys.mode()) {
+            AlgoMode::Baseline | AlgoMode::AdaptiveHtm => {
+                drop(token);
+                break remove_waiter_excluded(th, lock, cv, raw);
+            }
+            AlgoMode::HtmCondvar => {
+                let tx = sys.htm.begin(th.htm_slot);
+                let mut ctx = TxCtx::new(CtxKind::Htm { tx });
+                let r = cv.remove(&mut ctx, raw);
+                let tx = match ctx.kind {
+                    CtxKind::Htm { tx } => tx,
+                    _ => unreachable!(),
+                };
+                match r {
+                    Ok(found) => tx.commit().map(|_| found),
+                    Err(e) => {
+                        tx.abort(e);
+                        Err(e)
+                    }
                 }
             }
-        } else {
-            let tx = sys.stm.begin_soft(th.stm_slot);
-            let mut ctx = TxCtx::new(CtxKind::Stm {
-                tx,
-                spin_waits: false,
-            });
-            let r = cv.remove(&mut ctx, raw);
-            let tx = match ctx.kind {
-                CtxKind::Stm { tx, .. } => tx,
-                _ => unreachable!(),
-            };
-            match r {
-                Ok(found) => tx.commit().map(|_| found),
-                Err(e) => {
-                    tx.abort(e);
-                    Err(e)
+            _ => {
+                let tx = sys.stm.begin_soft(th.stm_slot);
+                let mut ctx = TxCtx::new(CtxKind::Stm {
+                    tx,
+                    spin_waits: false,
+                });
+                let r = cv.remove(&mut ctx, raw);
+                let tx = match ctx.kind {
+                    CtxKind::Stm { tx, .. } => tx,
+                    _ => unreachable!(),
+                };
+                match r {
+                    Ok(found) => tx.commit().map(|_| found),
+                    Err(e) => {
+                        tx.abort(e);
+                        Err(e)
+                    }
                 }
             }
         };
@@ -780,6 +897,31 @@ fn cancel_wait(th: &ThreadHandle, cv: &TxCondvar, raw: *const Waiter) {
         // that reference to us.
         unsafe { drop(Arc::from_raw(raw)) };
     }
+}
+
+/// Remove a waiter entry under **total exclusion** (serial gate, raw mutex,
+/// and adaptive lock word — the same protocol as a mode flip): direct ring
+/// access is then safe regardless of which mode the lock's other users run
+/// under. Returns whether the entry was still present.
+fn remove_waiter_excluded(
+    th: &ThreadHandle,
+    lock: &ElidableMutex,
+    cv: &TxCondvar,
+    raw: *const Waiter,
+) -> bool {
+    let sys = &*th.sys;
+    // Unwind audit: token and guard both release in Drop; see `run_serial`.
+    let token = sys.gate.enter_serial();
+    let guard = lock.raw_lock();
+    adaptive_acquire(th, lock);
+    let mut ctx = TxCtx::new(CtxKind::Serial);
+    let removed = cv
+        .remove(&mut ctx, raw)
+        .expect("direct access cannot abort");
+    lock.held_cell().store_direct(false);
+    drop(guard);
+    drop(token);
+    removed
 }
 
 /// Reclaim the queue-owned `Arc` reference of an enqueue whose transaction

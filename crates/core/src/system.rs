@@ -1,13 +1,16 @@
 //! The top-level TLE system: algorithm mode, policy knobs, thread
-//! registration.
+//! registration, and the per-lock adaptive policy controller.
 
-use crate::elide::ElidableMutex;
+use crate::domain::{AdaptiveConfig, ModeSwitchEvent, SwitchReason};
+use crate::elide::{ElidableMutex, LockInner};
 use crate::runner;
 use crate::{TxCtx, TxError};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
 use tle_base::stats::{fmt_ns, LatencyHistSnapshot, TxStats, TxStatsSnapshot};
+use tle_base::trace::{self, TraceKind, TxMode};
 use tle_base::{AbortCause, Gate};
 use tle_htm::{HtmConfig, HtmGlobal};
 use tle_stm::{QuiescePolicy, StmGlobal};
@@ -34,6 +37,72 @@ pub enum AlgoMode {
     AdaptiveHtm = 5,
 }
 
+/// Error returned when a byte is not a valid [`AlgoMode`] discriminant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidAlgoMode(pub u8);
+
+impl std::fmt::Display for InvalidAlgoMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid AlgoMode discriminant {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidAlgoMode {}
+
+impl TryFrom<u8> for AlgoMode {
+    type Error = InvalidAlgoMode;
+
+    fn try_from(v: u8) -> Result<Self, InvalidAlgoMode> {
+        match v {
+            0 => Ok(AlgoMode::Baseline),
+            1 => Ok(AlgoMode::StmSpin),
+            2 => Ok(AlgoMode::StmCondvar),
+            3 => Ok(AlgoMode::StmCondvarNoQuiesce),
+            4 => Ok(AlgoMode::HtmCondvar),
+            5 => Ok(AlgoMode::AdaptiveHtm),
+            other => Err(InvalidAlgoMode(other)),
+        }
+    }
+}
+
+/// Error returned when a string names no [`AlgoMode`]; carries the
+/// offending input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAlgoModeError(pub String);
+
+impl std::fmt::Display for ParseAlgoModeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown algorithm mode {:?} (expected one of: baseline, stm-spin, \
+             stm-condvar, stm-noquiesce, htm, adaptive-htm)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseAlgoModeError {}
+
+impl std::str::FromStr for AlgoMode {
+    type Err = ParseAlgoModeError;
+
+    /// Parse the CLI spellings used by the `tle-torture`/`tle-trace`
+    /// binaries (aliases included).
+    fn from_str(s: &str) -> Result<Self, ParseAlgoModeError> {
+        match s {
+            "baseline" | "pthread" => Ok(AlgoMode::Baseline),
+            "stm-spin" | "spin" => Ok(AlgoMode::StmSpin),
+            "stm" | "stm-condvar" => Ok(AlgoMode::StmCondvar),
+            "stm-noquiesce" | "stm-condvar-noquiesce" | "noquiesce" => {
+                Ok(AlgoMode::StmCondvarNoQuiesce)
+            }
+            "htm" | "htm-condvar" => Ok(AlgoMode::HtmCondvar),
+            "adaptive-htm" | "adaptive" | "glibc" => Ok(AlgoMode::AdaptiveHtm),
+            other => Err(ParseAlgoModeError(other.to_string())),
+        }
+    }
+}
+
 impl AlgoMode {
     /// Label matching the paper's figure legends.
     pub fn label(self) -> &'static str {
@@ -44,18 +113,6 @@ impl AlgoMode {
             AlgoMode::StmCondvarNoQuiesce => "STM+CondVar+NoQuiesce",
             AlgoMode::HtmCondvar => "HTM+CondVar",
             AlgoMode::AdaptiveHtm => "AdaptiveHTM(glibc)",
-        }
-    }
-
-    /// Decode from the atomic representation.
-    pub fn from_u8(v: u8) -> Self {
-        match v {
-            0 => AlgoMode::Baseline,
-            1 => AlgoMode::StmSpin,
-            2 => AlgoMode::StmCondvar,
-            3 => AlgoMode::StmCondvarNoQuiesce,
-            5 => AlgoMode::AdaptiveHtm,
-            _ => AlgoMode::HtmCondvar,
         }
     }
 
@@ -74,7 +131,7 @@ impl AlgoMode {
 }
 
 /// Retry/fallback policy knobs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TlePolicy {
     /// Hardware attempts before serializing. The paper's configuration is
     /// **2** ("fall back to a serial mode after hardware transactions fail
@@ -109,7 +166,16 @@ impl Default for TlePolicy {
 
 /// Per-critical-section overrides of the global [`TlePolicy`] — the
 /// transaction-by-transaction retry tuning the paper's §VII-A asks for.
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// Build fluently from the default:
+///
+/// ```
+/// use tle_core::TxHints;
+/// let hints = TxHints::new().with_htm_retries(8).with_stm_retries(128);
+/// assert_eq!(hints.htm_retries, Some(8));
+/// assert_eq!(hints.stm_retries, Some(128));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TxHints {
     /// Override the hardware-retry budget for this section.
     pub htm_retries: Option<u32>,
@@ -118,19 +184,108 @@ pub struct TxHints {
 }
 
 impl TxHints {
+    /// No overrides (same as `TxHints::default()`); starting point for the
+    /// fluent setters.
+    pub fn new() -> Self {
+        TxHints::default()
+    }
+
+    /// Override the hardware-retry budget for this section.
+    pub fn with_htm_retries(mut self, n: u32) -> Self {
+        self.htm_retries = Some(n);
+        self
+    }
+
+    /// Override the software-retry budget for this section.
+    pub fn with_stm_retries(mut self, n: u32) -> Self {
+        self.stm_retries = Some(n);
+        self
+    }
+
     /// Hint more (or fewer) hardware retries.
+    #[deprecated(since = "0.4.0", note = "use TxHints::new().with_htm_retries(n)")]
     pub fn htm_retries(n: u32) -> Self {
-        TxHints {
-            htm_retries: Some(n),
-            ..TxHints::default()
-        }
+        TxHints::new().with_htm_retries(n)
     }
 
     /// Hint more (or fewer) software retries.
+    #[deprecated(since = "0.4.0", note = "use TxHints::new().with_stm_retries(n)")]
     pub fn stm_retries(n: u32) -> Self {
-        TxHints {
-            stm_retries: Some(n),
-            ..TxHints::default()
+        TxHints::new().with_stm_retries(n)
+    }
+}
+
+/// `(htm_retries, stm_retries)` shorthand for
+/// [`ThreadHandle::critical_with`].
+impl From<(u32, u32)> for TxHints {
+    fn from((htm, stm): (u32, u32)) -> Self {
+        TxHints::new().with_htm_retries(htm).with_stm_retries(stm)
+    }
+}
+
+/// Staged configuration for a [`TmSystem`] (see [`TmSystem::builder`]).
+///
+/// Defaults reproduce `TmSystem::new(AlgoMode::HtmCondvar)`: default
+/// [`TlePolicy`], default [`HtmConfig`], adaptation off.
+#[derive(Debug, Clone, Default)]
+pub struct TmSystemBuilder {
+    mode: Option<AlgoMode>,
+    policy: TlePolicy,
+    htm_cfg: HtmConfig,
+    adaptive: Option<AdaptiveConfig>,
+}
+
+impl TmSystemBuilder {
+    /// The algorithm every lock inherits (default:
+    /// [`AlgoMode::HtmCondvar`]).
+    pub fn mode(mut self, mode: AlgoMode) -> Self {
+        self.mode = Some(mode);
+        self
+    }
+
+    /// Retry/fallback policy knobs.
+    pub fn policy(mut self, policy: TlePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Simulated-hardware configuration.
+    pub fn htm_config(mut self, cfg: HtmConfig) -> Self {
+        self.htm_cfg = cfg;
+        self
+    }
+
+    /// Enable (with default thresholds) or disable the per-lock adaptive
+    /// controller.
+    pub fn adaptive(mut self, on: bool) -> Self {
+        self.adaptive = if on {
+            Some(AdaptiveConfig::default())
+        } else {
+            None
+        };
+        self
+    }
+
+    /// Enable the per-lock adaptive controller with explicit thresholds.
+    pub fn adaptive_config(mut self, cfg: AdaptiveConfig) -> Self {
+        self.adaptive = Some(cfg);
+        self
+    }
+
+    /// Assemble the runtime.
+    pub fn build(self) -> TmSystem {
+        let mode = self.mode.unwrap_or(AlgoMode::HtmCondvar);
+        TmSystem {
+            stm: StmGlobal::new(mode.quiesce_policy()),
+            htm: HtmGlobal::new(self.htm_cfg),
+            gate: Gate::new(),
+            stats: TxStats::new(),
+            mode: AtomicU8::new(mode as u8),
+            policy: self.policy,
+            adaptive: self.adaptive,
+            locks: parking_lot::Mutex::new(Vec::new()),
+            switch_log: parking_lot::Mutex::new(Vec::new()),
+            ctrl_steps: AtomicU64::new(0),
         }
     }
 }
@@ -148,34 +303,52 @@ pub struct TmSystem {
     pub stats: TxStats,
     mode: AtomicU8,
     policy: TlePolicy,
+    /// Controller thresholds; `None` when adaptation is off.
+    adaptive: Option<AdaptiveConfig>,
+    /// Locks adopted into the controller (weak: the application owns them).
+    locks: parking_lot::Mutex<Vec<Weak<LockInner>>>,
+    /// Every per-lock mode switch, in application order.
+    switch_log: parking_lot::Mutex<Vec<ModeSwitchEvent>>,
+    /// Controller step counter (timestamps switch events).
+    ctrl_steps: AtomicU64,
 }
 
 impl TmSystem {
-    /// Build a system running algorithm `mode` with default policy.
+    /// Start configuring a system (see [`TmSystemBuilder`]).
+    pub fn builder() -> TmSystemBuilder {
+        TmSystemBuilder::default()
+    }
+
+    /// Build a system running algorithm `mode` with default policy
+    /// (sugar for `TmSystem::builder().mode(mode).build()`).
     pub fn new(mode: AlgoMode) -> Self {
-        Self::with_policy(mode, TlePolicy::default(), HtmConfig::default())
+        Self::builder().mode(mode).build()
     }
 
     /// Build a system with explicit policy and HTM configuration.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use TmSystem::builder().mode(..).policy(..).htm_config(..).build()"
+    )]
     pub fn with_policy(mode: AlgoMode, policy: TlePolicy, htm_cfg: HtmConfig) -> Self {
-        TmSystem {
-            stm: StmGlobal::new(mode.quiesce_policy()),
-            htm: HtmGlobal::new(htm_cfg),
-            gate: Gate::new(),
-            stats: TxStats::new(),
-            mode: AtomicU8::new(mode as u8),
-            policy,
-        }
+        Self::builder()
+            .mode(mode)
+            .policy(policy)
+            .htm_config(htm_cfg)
+            .build()
     }
 
-    /// The active algorithm.
+    /// The global algorithm (locks may carry per-lock overrides; see
+    /// [`ElidableMutex::resolved_mode`]).
     #[inline]
     pub fn mode(&self) -> AlgoMode {
-        AlgoMode::from_u8(self.mode.load(Ordering::Relaxed))
+        AlgoMode::try_from(self.mode.load(Ordering::Relaxed)).expect("corrupt mode byte")
     }
 
-    /// Switch algorithms. Only call between phases (no transactions in
-    /// flight); benchmarks use this to sweep modes over one data set.
+    /// Switch the global algorithm. Only call between phases (no
+    /// transactions in flight); benchmarks use this to sweep modes over one
+    /// data set. Per-lock overrides installed by the controller or
+    /// [`TmSystem::set_lock_mode`] are unaffected.
     pub fn set_mode(&self, mode: AlgoMode) {
         self.mode.store(mode as u8, Ordering::Relaxed);
         self.stm.set_policy(mode.quiesce_policy());
@@ -187,11 +360,210 @@ impl TmSystem {
         &self.policy
     }
 
+    /// Whether the per-lock adaptive controller is configured.
+    #[inline]
+    pub fn adaptive_enabled(&self) -> bool {
+        self.adaptive.is_some()
+    }
+
+    /// The controller thresholds, when adaptation is on.
+    pub fn adaptive_config(&self) -> Option<&AdaptiveConfig> {
+        self.adaptive.as_ref()
+    }
+
     /// Select the software-TM algorithm (`ml_wt`, the paper's; or NOrec,
     /// the privatization-safe-by-construction ablation). Takes effect for
     /// subsequently started transactions; switch only between phases.
     pub fn set_stm_algo(&self, algo: tle_stm::StmAlgo) {
         self.stm.set_algo(algo);
+    }
+
+    /// Adopt `lock` into the adaptive controller: subsequent
+    /// [`controller_step`](TmSystem::controller_step) calls sample its
+    /// outcome window and may switch its mode. Idempotent; a no-op when the
+    /// system was built without [`TmSystemBuilder::adaptive`].
+    pub fn adopt_lock(&self, lock: &ElidableMutex) {
+        if !self.adaptive_enabled() {
+            return;
+        }
+        let inner = lock.inner();
+        let mut locks = self.locks.lock();
+        if locks.iter().any(|w| w.as_ptr() == Arc::as_ptr(inner)) {
+            return;
+        }
+        inner.domain().set_adopted();
+        locks.push(Arc::downgrade(inner));
+    }
+
+    /// Manually pin `lock` to `mode`, overriding the global algorithm (and
+    /// suspending the controller's opinion until its next decision). Uses
+    /// the full mode-flip exclusion protocol, so it is safe while worker
+    /// threads are running — but must not be called from inside a critical
+    /// section (it would self-deadlock on the serialization gate).
+    ///
+    /// Pinning [`AlgoMode::StmCondvarNoQuiesce`] counts as the per-lock
+    /// `TM_NoQuiesce` opt-in (it is an explicit application assertion).
+    pub fn set_lock_mode(&self, lock: &ElidableMutex, mode: AlgoMode) {
+        if mode == AlgoMode::StmCondvarNoQuiesce {
+            self.opt_in_no_quiesce(lock);
+        }
+        self.flip_lock(lock.inner(), Some(mode), SwitchReason::Manual);
+    }
+
+    /// Remove `lock`'s per-lock override so it inherits the global
+    /// algorithm again. Same exclusion protocol as
+    /// [`set_lock_mode`](TmSystem::set_lock_mode).
+    pub fn clear_lock_mode(&self, lock: &ElidableMutex) {
+        self.flip_lock(lock.inner(), None, SwitchReason::Manual);
+    }
+
+    /// Per-lock `TM_NoQuiesce` opt-in: every software transaction under
+    /// `lock` asserts it does not privatize, skipping the post-commit
+    /// quiescence drain. This is a **correctness contract** the application
+    /// makes (paper §IV-B); the adaptive controller never infers it.
+    pub fn set_lock_no_quiesce(&self, lock: &ElidableMutex, on: bool) {
+        if on {
+            self.opt_in_no_quiesce(lock);
+        } else {
+            lock.domain().set_no_quiesce(false);
+        }
+    }
+
+    fn opt_in_no_quiesce(&self, lock: &ElidableMutex) {
+        lock.domain().set_no_quiesce(true);
+        // The per-transaction assertion only matters under the Selective
+        // policy; upgrade a default Always domain so the opt-in takes
+        // effect (Never is left alone — it already skips every drain).
+        if self.stm.policy() == QuiescePolicy::Always {
+            self.stm.set_policy(QuiescePolicy::Selective);
+        }
+    }
+
+    /// Install (or clear) a per-lock mode override under **total
+    /// exclusion**: serial gate (drains and blocks every concurrent and
+    /// serial transactional section), the raw mutex (blocks baseline
+    /// sections), and the adaptive lock word (blocks glibc-style lock-path
+    /// holders and dooms subscribed hardware transactions). The domain
+    /// epoch is bumped inside the exclusion; runners re-check it after
+    /// taking their own foothold and re-dispatch on mismatch.
+    fn flip_lock(&self, inner: &Arc<LockInner>, to: Option<AlgoMode>, reason: SwitchReason) {
+        let serial = self.gate.enter_serial();
+        let guard = inner.raw().lock();
+        // Adaptive word: same acquisition as the glibc lock path.
+        let word = inner.held_cell().word();
+        let mut spins = 0u32;
+        while word
+            .compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        self.htm.invalidate(inner.held_cell());
+
+        let domain = inner.domain();
+        let from = domain.resolved(self.mode());
+        domain.set_override(to);
+        let to_mode = domain.resolved(self.mode());
+        domain.bump_epoch();
+        domain.window.reset();
+        domain.reset_dwell();
+        domain.set_last_reason(reason);
+
+        if from != to_mode {
+            domain.note_switch();
+            let step = self.ctrl_steps.load(Ordering::SeqCst);
+            let cause = match reason {
+                SwitchReason::Capacity => Some(AbortCause::Capacity),
+                SwitchReason::ConflictStorm => Some(AbortCause::Conflict),
+                _ => None,
+            };
+            trace::emit(
+                TraceKind::ModeSwitch,
+                TxMode::Serial,
+                cause,
+                ((from as u64) << 8) | to_mode as u64,
+            );
+            self.switch_log.lock().push(ModeSwitchEvent {
+                step,
+                lock: inner.name().to_string(),
+                from,
+                to: to_mode,
+                reason,
+            });
+        }
+
+        inner.held_cell().store_direct(false);
+        drop(guard);
+        drop(serial);
+    }
+
+    /// One controller sampling step over every adopted lock: bump dwell,
+    /// snapshot the window, apply [`crate::decide`], and either flip the
+    /// lock (which resets its window) or advance its window ring. Returns
+    /// the number of locks switched this step. Call from a management
+    /// thread (never from inside a critical section), or let
+    /// [`start_controller`](TmSystem::start_controller) drive it.
+    pub fn controller_step(&self) -> usize {
+        let Some(cfg) = self.adaptive.as_ref() else {
+            return 0;
+        };
+        self.ctrl_steps.fetch_add(1, Ordering::SeqCst);
+        let live: Vec<Arc<LockInner>> = {
+            let mut locks = self.locks.lock();
+            locks.retain(|w| w.strong_count() > 0);
+            locks.iter().filter_map(|w| w.upgrade()).collect()
+        };
+        let mut switched = 0;
+        for inner in live {
+            let domain = inner.domain();
+            let mode = domain.resolved(self.mode());
+            let dwelled = domain.bump_dwell();
+            let snap = domain.window.snapshot();
+            match crate::domain::decide(mode, &snap, dwelled, domain.last_reason(), cfg) {
+                Some((to, reason)) => {
+                    self.flip_lock(&inner, Some(to), reason);
+                    switched += 1;
+                }
+                None => domain.window.roll(),
+            }
+        }
+        switched
+    }
+
+    /// Spawn a background thread calling
+    /// [`controller_step`](TmSystem::controller_step) every `interval`.
+    /// The returned handle stops and joins the thread when dropped.
+    pub fn start_controller(self: &Arc<Self>, interval: Duration) -> ControllerHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let sys = Arc::clone(self);
+        let flag = Arc::clone(&stop);
+        let join = std::thread::Builder::new()
+            .name("tle-adapt".into())
+            .spawn(move || {
+                while !flag.load(Ordering::SeqCst) {
+                    std::thread::sleep(interval);
+                    if flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    sys.controller_step();
+                }
+            })
+            .expect("spawn adaptive controller thread");
+        ControllerHandle {
+            stop,
+            join: Some(join),
+        }
+    }
+
+    /// Every per-lock mode switch so far, in application order
+    /// (controller decisions and manual pins alike).
+    pub fn mode_switches(&self) -> Vec<ModeSwitchEvent> {
+        self.switch_log.lock().clone()
     }
 
     /// Register the calling thread, claiming STM and HTM slots. The handle
@@ -216,12 +588,13 @@ impl TmSystem {
         }
     }
 
-    /// Reset all statistics — and any recorded trace events — between
-    /// benchmark trials.
+    /// Reset all statistics — any recorded trace events and the mode-switch
+    /// log included — between benchmark trials.
     pub fn reset_stats(&self) {
         self.stats.reset();
         self.stm.stats.reset();
         self.htm.stats.reset();
+        self.switch_log.lock().clear();
         tle_base::trace::clear();
     }
 
@@ -235,9 +608,73 @@ impl TmSystem {
         }
     }
 
-    /// Render the Figure-4-style abort breakdown for the current counters.
+    /// Render the Figure-4-style abort breakdown for the current counters,
+    /// plus a per-lock section for adopted locks (resolved mode, window
+    /// contents, switch count).
     pub fn report(&self) -> String {
-        self.domain_stats().report()
+        let mut out = self.domain_stats().report();
+        let live: Vec<Arc<LockInner>> = self
+            .locks
+            .lock()
+            .iter()
+            .filter_map(|w| w.upgrade())
+            .collect();
+        if !live.is_empty() {
+            let _ = writeln!(
+                out,
+                "  {:<18} {:>22} {:>8} {:>8} {:>8} {:>8}",
+                "lock", "mode", "commits", "aborts", "serial", "switches"
+            );
+            for inner in live {
+                let d = inner.domain();
+                let s = d.window.snapshot();
+                let _ = writeln!(
+                    out,
+                    "  {:<18} {:>22} {:>8} {:>8} {:>8} {:>8}",
+                    inner.name(),
+                    d.resolved(self.mode()).label(),
+                    s.commits,
+                    s.aborts(),
+                    s.serial,
+                    d.switch_count()
+                );
+            }
+        }
+        let switches = self.switch_log.lock();
+        if !switches.is_empty() {
+            let _ = writeln!(out, "  mode switches: {}", switches.len());
+            for ev in switches.iter() {
+                let _ = writeln!(out, "    {ev}");
+            }
+        }
+        out
+    }
+}
+
+/// Owner of the background adaptive-controller thread (see
+/// [`TmSystem::start_controller`]); stops and joins it on drop.
+pub struct ControllerHandle {
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ControllerHandle {
+    /// Stop the controller thread and wait for it to exit.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for ControllerHandle {
+    fn drop(&mut self) {
+        self.halt();
     }
 }
 
@@ -355,9 +792,12 @@ impl ThreadHandle {
     /// Under [`AlgoMode::Baseline`] this acquires the real mutex; under the
     /// TM modes it elides the lock and executes `body` transactionally,
     /// retrying on conflicts and falling back to global serialization per
-    /// the [`TlePolicy`]. `body` may run many times and must be free of
-    /// non-transactional side effects (use [`TxCtx::defer`] for I/O-style
-    /// effects, or [`TxCtx::unsafe_op`] to force irrevocability).
+    /// the [`TlePolicy`]. The algorithm is the lock's *resolved* mode: its
+    /// per-lock override when the adaptive controller (or
+    /// [`TmSystem::set_lock_mode`]) installed one, else the global mode.
+    /// `body` may run many times and must be free of non-transactional side
+    /// effects (use [`TxCtx::defer`] for I/O-style effects, or
+    /// [`TxCtx::unsafe_op`] to force irrevocability).
     #[inline]
     pub fn critical<'a, R>(
         &'a self,
@@ -367,7 +807,9 @@ impl ThreadHandle {
         runner::run(self, lock, TxHints::default(), body)
     }
 
-    /// Like [`ThreadHandle::critical`], with per-section policy hints.
+    /// Like [`ThreadHandle::critical`], with per-section policy hints
+    /// (anything [`Into<TxHints>`], e.g. a `TxHints` value or an
+    /// `(htm_retries, stm_retries)` pair).
     ///
     /// This implements the tuning interface the paper calls for in §VII-A
     /// ("it would be beneficial for programmers to be able to suggest retry
@@ -375,6 +817,17 @@ impl ThreadHandle {
     /// expected to be un-contended, more retries before serialization might
     /// be appropriate") — a capability the C++ TMTS does not offer.
     #[inline]
+    pub fn critical_with<'a, R>(
+        &'a self,
+        lock: &'a ElidableMutex,
+        hints: impl Into<TxHints>,
+        body: impl FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
+    ) -> R {
+        runner::run(self, lock, hints.into(), body)
+    }
+
+    /// Like [`ThreadHandle::critical`], with per-section policy hints.
+    #[deprecated(since = "0.4.0", note = "use critical_with")]
     pub fn critical_hinted<'a, R>(
         &'a self,
         lock: &'a ElidableMutex,
@@ -411,8 +864,39 @@ mod tests {
     #[test]
     fn mode_u8_roundtrip() {
         for m in crate::ALL_MODES {
-            assert_eq!(AlgoMode::from_u8(m as u8), m);
+            assert_eq!(AlgoMode::try_from(m as u8), Ok(m));
         }
+        assert_eq!(AlgoMode::try_from(5), Ok(AlgoMode::AdaptiveHtm));
+    }
+
+    #[test]
+    fn invalid_mode_bytes_are_rejected() {
+        for v in [6u8, 7, 100, u8::MAX] {
+            assert_eq!(AlgoMode::try_from(v), Err(InvalidAlgoMode(v)));
+        }
+        let msg = InvalidAlgoMode(9).to_string();
+        assert!(msg.contains('9'));
+    }
+
+    #[test]
+    fn mode_from_str_accepts_cli_spellings() {
+        for (s, m) in [
+            ("baseline", AlgoMode::Baseline),
+            ("pthread", AlgoMode::Baseline),
+            ("stm-spin", AlgoMode::StmSpin),
+            ("stm", AlgoMode::StmCondvar),
+            ("stm-condvar", AlgoMode::StmCondvar),
+            ("stm-noquiesce", AlgoMode::StmCondvarNoQuiesce),
+            ("htm", AlgoMode::HtmCondvar),
+            ("htm-condvar", AlgoMode::HtmCondvar),
+            ("adaptive-htm", AlgoMode::AdaptiveHtm),
+            ("adaptive", AlgoMode::AdaptiveHtm),
+        ] {
+            assert_eq!(s.parse::<AlgoMode>(), Ok(m), "{s}");
+        }
+        let err = "xtm".parse::<AlgoMode>().unwrap_err();
+        assert_eq!(err, ParseAlgoModeError("xtm".into()));
+        assert!(err.to_string().contains("xtm"));
     }
 
     #[test]
@@ -454,5 +938,116 @@ mod tests {
             p.escalation_bound > p.stm_retries,
             "the starvation ladder must be a backstop, not the primary fallback"
         );
+    }
+
+    #[test]
+    fn builder_defaults_match_new() {
+        let a = TmSystem::builder().build();
+        assert_eq!(a.mode(), AlgoMode::HtmCondvar);
+        assert!(!a.adaptive_enabled());
+        let b = TmSystem::builder().mode(AlgoMode::StmCondvar).build();
+        let c = TmSystem::new(AlgoMode::StmCondvar);
+        assert_eq!(b.mode(), c.mode());
+        assert_eq!(b.policy().htm_retries, c.policy().htm_retries);
+        assert_eq!(b.stm.policy(), c.stm.policy());
+    }
+
+    #[test]
+    fn builder_adaptive_toggle() {
+        let sys = TmSystem::builder().adaptive(true).build();
+        assert!(sys.adaptive_enabled());
+        assert_eq!(sys.adaptive_config().unwrap().min_dwell_steps, 4);
+        let off = TmSystem::builder().adaptive(true).adaptive(false).build();
+        assert!(!off.adaptive_enabled());
+    }
+
+    #[test]
+    fn tx_hints_fluent_and_tuple() {
+        let h = TxHints::new().with_htm_retries(3).with_stm_retries(9);
+        assert_eq!(h.htm_retries, Some(3));
+        assert_eq!(h.stm_retries, Some(9));
+        let t: TxHints = (4u32, 8u32).into();
+        assert_eq!(t, TxHints::new().with_htm_retries(4).with_stm_retries(8));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_hint_constructors_delegate() {
+        assert_eq!(TxHints::htm_retries(7), TxHints::new().with_htm_retries(7));
+        assert_eq!(
+            TxHints::stm_retries(11),
+            TxHints::new().with_stm_retries(11)
+        );
+    }
+
+    #[test]
+    fn set_lock_mode_overrides_and_clears() {
+        let sys = Arc::new(TmSystem::new(AlgoMode::HtmCondvar));
+        let lock = ElidableMutex::new("pin");
+        assert_eq!(lock.resolved_mode(sys.mode()), AlgoMode::HtmCondvar);
+        sys.set_lock_mode(&lock, AlgoMode::Baseline);
+        assert_eq!(lock.mode_override(), Some(AlgoMode::Baseline));
+        assert_eq!(lock.switches(), 1);
+        sys.clear_lock_mode(&lock);
+        assert_eq!(lock.mode_override(), None);
+        assert_eq!(lock.resolved_mode(sys.mode()), AlgoMode::HtmCondvar);
+        let log = sys.mode_switches();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].to, AlgoMode::Baseline);
+        assert_eq!(log[0].reason, SwitchReason::Manual);
+    }
+
+    #[test]
+    fn no_quiesce_opt_in_upgrades_policy() {
+        let sys = Arc::new(TmSystem::new(AlgoMode::StmCondvar));
+        let lock = ElidableMutex::new("nq");
+        assert_eq!(sys.stm.policy(), QuiescePolicy::Always);
+        sys.set_lock_no_quiesce(&lock, true);
+        assert!(lock.is_no_quiesce());
+        assert_eq!(sys.stm.policy(), QuiescePolicy::Selective);
+        sys.set_lock_no_quiesce(&lock, false);
+        assert!(!lock.is_no_quiesce());
+    }
+
+    #[test]
+    fn controller_step_without_adaptive_is_inert() {
+        let sys = Arc::new(TmSystem::new(AlgoMode::HtmCondvar));
+        let lock = ElidableMutex::new("inert");
+        sys.adopt_lock(&lock); // no-op: adaptation off
+        assert_eq!(sys.controller_step(), 0);
+        assert!(!lock.domain().adopted());
+    }
+
+    #[test]
+    fn adopt_is_idempotent_and_prunes_dead_locks() {
+        let sys = Arc::new(TmSystem::builder().adaptive(true).build());
+        let lock = ElidableMutex::new("adopt");
+        sys.adopt_lock(&lock);
+        sys.adopt_lock(&lock);
+        assert_eq!(sys.locks.lock().len(), 1);
+        drop(lock);
+        sys.controller_step();
+        assert!(sys.locks.lock().is_empty());
+    }
+
+    #[test]
+    fn controller_demotes_capacity_dominated_htm_lock() {
+        let cfg = AdaptiveConfig::default();
+        let sys = Arc::new(TmSystem::builder().adaptive(true).build());
+        let lock = ElidableMutex::new("cap");
+        sys.adopt_lock(&lock);
+        // Synthesize a capacity-heavy window, then step past the dwell
+        // floor: the controller must demote to STM exactly once.
+        for _ in 0..cfg.min_dwell_steps {
+            lock.synthesize_window(60, 10, 30, 0);
+            sys.controller_step();
+        }
+        assert_eq!(lock.mode_override(), Some(AlgoMode::StmCondvar));
+        let log = sys.mode_switches();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].reason, SwitchReason::Capacity);
+        assert_eq!(log[0].from, AlgoMode::HtmCondvar);
+        // The flip reset the window: stale capacity evidence is gone.
+        assert_eq!(lock.window_snapshot().attempts(), 0);
     }
 }

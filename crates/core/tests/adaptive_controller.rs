@@ -1,0 +1,259 @@
+//! Controller-level integration tests for the per-lock adaptive policy:
+//! hysteresis (no flapping), decision determinism, the `*NoQuiesce`
+//! opt-in contract, and counter exactness under continuous mode flips.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use tle_base::TCell;
+use tle_core::{decide, AdaptiveConfig, AlgoMode, ElidableMutex, SwitchReason, TmSystem};
+
+fn adaptive_sys(cfg: AdaptiveConfig) -> Arc<TmSystem> {
+    Arc::new(
+        TmSystem::builder()
+            .mode(AlgoMode::HtmCondvar)
+            .adaptive(true)
+            .adaptive_config(cfg)
+            .build(),
+    )
+}
+
+/// An oscillating synthetic window (storm evidence one step, clean the
+/// next) must not flap the lock: every pair of consecutive switches is
+/// separated by at least `min_dwell_steps` controller steps.
+#[test]
+fn oscillating_window_does_not_flap() {
+    let cfg = AdaptiveConfig {
+        min_dwell_steps: 4,
+        min_window_samples: 8,
+        ..AdaptiveConfig::default()
+    };
+    let sys = adaptive_sys(cfg);
+    let lock = ElidableMutex::new("flapper");
+    sys.adopt_lock(&lock);
+
+    for step in 0..64 {
+        if step % 2 == 0 {
+            // Pure conflict storm: would demote immediately if trusted.
+            lock.synthesize_window(1, 40, 0, 10);
+        } else {
+            // Spotless: would promote immediately if trusted.
+            lock.synthesize_window(50, 0, 0, 0);
+        }
+        sys.controller_step();
+    }
+
+    let switches = sys.mode_switches();
+    assert!(
+        !switches.is_empty(),
+        "the storm evidence should move the lock at least once"
+    );
+    for pair in switches.windows(2) {
+        let gap = pair[1].step - pair[0].step;
+        assert!(
+            gap >= 4,
+            "flap: switches {} and {} only {gap} steps apart",
+            pair[0],
+            pair[1]
+        );
+    }
+}
+
+/// Identical step/window schedules produce identical switch sequences —
+/// the decision path contains no hidden nondeterminism (no wall clock, no
+/// RNG).
+#[test]
+fn identical_schedules_decide_identically() {
+    let run = || {
+        let cfg = AdaptiveConfig {
+            min_dwell_steps: 2,
+            min_window_samples: 8,
+            baseline_probe_steps: 6,
+            ..AdaptiveConfig::default()
+        };
+        let sys = adaptive_sys(cfg);
+        let lock = ElidableMutex::new("replay");
+        sys.adopt_lock(&lock);
+        // Capacity storm, then conflict storm, then quiet: walks the lock
+        // HTM -> STM -> Baseline -> (probe) HTM.
+        for step in 0..40 {
+            match step {
+                0..=9 => lock.synthesize_window(2, 1, 30, 4),
+                10..=19 => lock.synthesize_window(2, 30, 0, 6),
+                _ => lock.synthesize_window(40, 0, 0, 0),
+            }
+            sys.controller_step();
+        }
+        sys.mode_switches()
+            .into_iter()
+            .map(|e| format!("{e}"))
+            .collect::<Vec<_>>()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+    assert!(!a.is_empty());
+}
+
+/// `decide` never targets a `*NoQuiesce` (or `AdaptiveHtm`) mode, for any
+/// mode/window combination: skipping the privatization drain is an
+/// application contract, not a performance inference.
+#[test]
+fn decide_never_targets_no_quiesce() {
+    let cfg = AdaptiveConfig {
+        min_dwell_steps: 0,
+        min_window_samples: 0,
+        ..AdaptiveConfig::default()
+    };
+    let mut grid = Vec::new();
+    for commits in [0u64, 1, 10, 100] {
+        for conflict in [0u64, 1, 50] {
+            for capacity in [0u64, 1, 50] {
+                for serial in [0u64, 1, 50] {
+                    grid.push(tle_base::WindowSnapshot {
+                        commits,
+                        conflict_aborts: conflict,
+                        capacity_aborts: capacity,
+                        other_aborts: 0,
+                        serial,
+                        quiesce_ns: 0,
+                    });
+                }
+            }
+        }
+    }
+    let reasons = [
+        None,
+        Some(SwitchReason::Capacity),
+        Some(SwitchReason::ConflictStorm),
+        Some(SwitchReason::Promotion),
+        Some(SwitchReason::Probe),
+        Some(SwitchReason::Manual),
+    ];
+    for mode in tle_core::ALL_MODES {
+        for snap in &grid {
+            for dwell in [0u32, 10, 1000] {
+                for last in reasons {
+                    if let Some((to, _)) = decide(mode, snap, dwell, last, &cfg) {
+                        assert_ne!(to, AlgoMode::StmCondvarNoQuiesce, "from {mode:?} {snap:?}");
+                        assert_ne!(to, AlgoMode::AdaptiveHtm, "from {mode:?} {snap:?}");
+                    }
+                }
+            }
+        }
+    }
+    // And the controller never *leaves* an opted-in NoQuiesce lock: the
+    // opt-in is a correctness contract in both directions.
+    for snap in &grid {
+        assert_eq!(
+            decide(AlgoMode::StmCondvarNoQuiesce, snap, 1000, None, &cfg),
+            None
+        );
+    }
+}
+
+/// A lock is never observed in NoQuiesce mode unless the application
+/// opted it in, even while the controller is actively flipping it.
+#[test]
+fn no_quiesce_requires_per_lock_opt_in() {
+    let sys = adaptive_sys(AdaptiveConfig {
+        min_dwell_steps: 1,
+        min_window_samples: 1,
+        baseline_probe_steps: 1,
+        ..AdaptiveConfig::default()
+    });
+    let lock = ElidableMutex::new("contract");
+    sys.adopt_lock(&lock);
+    assert!(!lock.is_no_quiesce());
+    for step in 0..50 {
+        lock.synthesize_window(
+            if step % 3 == 0 { 50 } else { 1 },
+            if step % 3 == 1 { 50 } else { 0 },
+            if step % 3 == 2 { 50 } else { 0 },
+            3,
+        );
+        sys.controller_step();
+        assert!(!lock.is_no_quiesce(), "controller set NoQuiesce at {step}");
+        assert_ne!(
+            lock.resolved_mode(sys.mode()),
+            AlgoMode::StmCondvarNoQuiesce
+        );
+    }
+    for ev in sys.mode_switches() {
+        assert_ne!(ev.to, AlgoMode::StmCondvarNoQuiesce, "{ev}");
+    }
+    // Opt-in (and only opt-in) turns it on; clearing turns it off.
+    sys.set_lock_no_quiesce(&lock, true);
+    assert!(lock.is_no_quiesce());
+    sys.set_lock_no_quiesce(&lock, false);
+    assert!(!lock.is_no_quiesce());
+}
+
+/// Worker threads hammer one counter while the main thread flips the
+/// lock's mode through every controller-eligible target; the count must
+/// come out exact (the mode-flip total-exclusion protocol loses nothing).
+#[test]
+fn counter_exact_under_continuous_flips() {
+    const WORKERS: usize = 3;
+    const OPS: u64 = 2_000;
+    let sys = Arc::new(
+        TmSystem::builder()
+            .mode(AlgoMode::HtmCondvar)
+            .adaptive(true)
+            .build(),
+    );
+    let lock = ElidableMutex::new("flip-counter");
+    sys.adopt_lock(&lock);
+    let counter = Arc::new(TCell::new(0u64));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let flipper = {
+        let sys = Arc::clone(&sys);
+        let lock = lock.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let targets = [
+                AlgoMode::Baseline,
+                AlgoMode::StmSpin,
+                AlgoMode::StmCondvar,
+                AlgoMode::HtmCondvar,
+                AlgoMode::AdaptiveHtm,
+            ];
+            let mut i = 0;
+            while !stop.load(Ordering::SeqCst) {
+                sys.set_lock_mode(&lock, targets[i % targets.len()]);
+                i += 1;
+                std::thread::yield_now();
+            }
+            sys.clear_lock_mode(&lock);
+        })
+    };
+
+    let workers: Vec<_> = (0..WORKERS)
+        .map(|_| {
+            let sys = Arc::clone(&sys);
+            let lock = lock.clone();
+            let counter = Arc::clone(&counter);
+            std::thread::spawn(move || {
+                let th = sys.register();
+                for _ in 0..OPS {
+                    th.critical(&lock, |ctx| {
+                        let v = ctx.read(&*counter)?;
+                        ctx.write(&*counter, v + 1)?;
+                        Ok(())
+                    });
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    stop.store(true, Ordering::SeqCst);
+    flipper.join().unwrap();
+
+    assert_eq!(counter.load_direct(), WORKERS as u64 * OPS);
+    assert!(
+        lock.switches() > 0,
+        "the flipper should have actually flipped"
+    );
+}

@@ -1,0 +1,190 @@
+//! API-surface and equivalence tests for the rebuilt construction API:
+//! the `TmSystem` builder must exactly reproduce the legacy constructors,
+//! the deprecated shims must delegate, and the fallible conversions must
+//! reject what the old `from_u8` silently clamped.
+
+use std::sync::Arc;
+use tle_core::{AlgoMode, ElidableMutex, InvalidAlgoMode, TlePolicy, TmSystem, TxHints, ALL_MODES};
+use tle_htm::HtmConfig;
+
+/// `TmSystem::new(mode)` and the bare builder agree on every observable
+/// configuration default.
+#[test]
+fn builder_defaults_reproduce_new() {
+    for mode in ALL_MODES {
+        let legacy = TmSystem::new(mode);
+        let built = TmSystem::builder().mode(mode).build();
+        assert_eq!(legacy.mode(), built.mode());
+        assert_eq!(legacy.policy(), built.policy());
+        assert!(!legacy.adaptive_enabled());
+        assert!(!built.adaptive_enabled());
+        assert!(built.adaptive_config().is_none());
+    }
+    // The builder's default mode is HtmCondvar, like the README quickstart.
+    assert_eq!(TmSystem::builder().build().mode(), AlgoMode::HtmCondvar);
+}
+
+/// The deprecated positional constructor and the builder produce the same
+/// system for the same inputs.
+#[test]
+fn with_policy_shim_delegates_to_builder() {
+    let policy = TlePolicy {
+        htm_retries: 7,
+        stm_retries: 11,
+        ..TlePolicy::default()
+    };
+    let htm_cfg = HtmConfig {
+        write_cap_lines: 32,
+        ..HtmConfig::default()
+    };
+    #[allow(deprecated)]
+    let legacy = TmSystem::with_policy(AlgoMode::HtmCondvar, policy.clone(), htm_cfg.clone());
+    let built = TmSystem::builder()
+        .mode(AlgoMode::HtmCondvar)
+        .policy(policy)
+        .htm_config(htm_cfg)
+        .build();
+    assert_eq!(legacy.mode(), built.mode());
+    assert_eq!(legacy.policy(), built.policy());
+    assert_eq!(legacy.policy().htm_retries, 7);
+    assert_eq!(built.policy().stm_retries, 11);
+}
+
+/// Both systems behave identically on a real critical section.
+#[test]
+fn legacy_and_builder_systems_run_identically() {
+    let run = |sys: Arc<TmSystem>| {
+        let th = sys.register();
+        let lock = ElidableMutex::new("equiv");
+        let cell = tle_base::TCell::new(0u64);
+        for _ in 0..100 {
+            th.critical(&lock, |ctx| {
+                let v = ctx.read(&cell)?;
+                ctx.write(&cell, v + 1)?;
+                Ok(())
+            });
+        }
+        cell.load_direct()
+    };
+    assert_eq!(run(Arc::new(TmSystem::new(AlgoMode::StmCondvar))), 100);
+    assert_eq!(
+        run(Arc::new(
+            TmSystem::builder().mode(AlgoMode::StmCondvar).build()
+        )),
+        100
+    );
+}
+
+/// `critical_hinted` (deprecated) delegates to `critical_with`.
+#[test]
+fn critical_hinted_shim_delegates() {
+    let sys = Arc::new(TmSystem::new(AlgoMode::HtmCondvar));
+    let th = sys.register();
+    let lock = ElidableMutex::new("hinted");
+    let cell = tle_base::TCell::new(5u64);
+    #[allow(deprecated)]
+    let a = th.critical_hinted(&lock, TxHints::new().with_htm_retries(4), |ctx| {
+        ctx.read(&cell)
+    });
+    let b = th.critical_with(&lock, TxHints::new().with_htm_retries(4), |ctx| {
+        ctx.read(&cell)
+    });
+    assert_eq!(a, b);
+    assert_eq!(a, 5);
+}
+
+/// The fluent hint type can set both budgets at once; the tuple shorthand
+/// converts; the deprecated one-shot constructors still produce the same
+/// values they used to.
+#[test]
+fn tx_hints_fluent_and_conversions() {
+    let both = TxHints::new().with_htm_retries(3).with_stm_retries(9);
+    assert_eq!(both.htm_retries, Some(3));
+    assert_eq!(both.stm_retries, Some(9));
+
+    let from_tuple: TxHints = (3u32, 9u32).into();
+    assert_eq!(from_tuple, both);
+
+    assert_eq!(TxHints::new(), TxHints::default());
+    assert_eq!(TxHints::default().htm_retries, None);
+
+    #[allow(deprecated)]
+    {
+        assert_eq!(TxHints::htm_retries(3), TxHints::new().with_htm_retries(3));
+        assert_eq!(TxHints::stm_retries(9), TxHints::new().with_stm_retries(9));
+    }
+
+    // `critical_with` accepts anything Into<TxHints>.
+    let sys = Arc::new(TmSystem::new(AlgoMode::HtmCondvar));
+    let th = sys.register();
+    let lock = ElidableMutex::new("into-hints");
+    let got = th.critical_with(&lock, (2u32, 2u32), |_ctx| Ok(42u64));
+    assert_eq!(got, 42);
+}
+
+/// `TryFrom<u8>` round-trips every real discriminant and errors (instead
+/// of clamping) on everything else.
+#[test]
+fn algo_mode_tryfrom_rejects_unknown_discriminants() {
+    for mode in ALL_MODES {
+        assert_eq!(AlgoMode::try_from(mode as u8), Ok(mode));
+    }
+    assert_eq!(
+        AlgoMode::try_from(AlgoMode::AdaptiveHtm as u8),
+        Ok(AlgoMode::AdaptiveHtm)
+    );
+    for bad in [6u8, 7, 100, u8::MAX] {
+        assert_eq!(AlgoMode::try_from(bad), Err(InvalidAlgoMode(bad)));
+    }
+}
+
+/// `FromStr` accepts the CLI spellings and reports unknown ones with the
+/// full list of valid spellings (what `--mode` prints on bad input).
+#[test]
+fn algo_mode_fromstr_spellings_and_errors() {
+    let cases = [
+        ("baseline", AlgoMode::Baseline),
+        ("pthread", AlgoMode::Baseline),
+        ("stm-spin", AlgoMode::StmSpin),
+        ("spin", AlgoMode::StmSpin),
+        ("stm", AlgoMode::StmCondvar),
+        ("stm-condvar", AlgoMode::StmCondvar),
+        ("stm-noquiesce", AlgoMode::StmCondvarNoQuiesce),
+        ("noquiesce", AlgoMode::StmCondvarNoQuiesce),
+        ("htm", AlgoMode::HtmCondvar),
+        ("htm-condvar", AlgoMode::HtmCondvar),
+        ("adaptive-htm", AlgoMode::AdaptiveHtm),
+        ("adaptive", AlgoMode::AdaptiveHtm),
+        ("glibc", AlgoMode::AdaptiveHtm),
+    ];
+    for (spelling, want) in cases {
+        assert_eq!(spelling.parse::<AlgoMode>(), Ok(want), "{spelling}");
+    }
+    let err = "quantum".parse::<AlgoMode>().unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("unknown algorithm mode \"quantum\""), "{msg}");
+    assert!(msg.contains("baseline"), "{msg}");
+    assert!(msg.contains("adaptive-htm"), "{msg}");
+}
+
+/// Locks accept static and owned (dynamically generated) names — the
+/// sharded-lock-table case the `&'static str` signature blocked.
+#[test]
+fn lock_names_static_and_dynamic() {
+    let fixed = ElidableMutex::new("fixed-name");
+    assert_eq!(fixed.name(), "fixed-name");
+
+    let table: Vec<ElidableMutex> = (0..4)
+        .map(|i| ElidableMutex::new(format!("shard-{i}")))
+        .collect();
+    for (i, lock) in table.iter().enumerate() {
+        assert_eq!(lock.name(), format!("shard-{i}"));
+    }
+
+    // Dynamically-named locks work as locks, not just as labels.
+    let sys = Arc::new(TmSystem::new(AlgoMode::StmCondvar));
+    let th = sys.register();
+    let cell = tle_base::TCell::new(0u64);
+    th.critical(&table[2], |ctx| ctx.write(&cell, 1));
+    assert_eq!(cell.load_direct(), 1);
+}

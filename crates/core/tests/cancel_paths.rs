@@ -15,7 +15,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use tle_base::TCell;
-use tle_core::{AlgoMode, ElidableMutex, TlePolicy, TmSystem, TxCondvar};
+use tle_core::{AlgoMode, ElidableMutex, TmSystem, TxCondvar};
 use tle_htm::HtmConfig;
 
 /// A signal round-trip: one thread waits (untimed) for a flag, the other
@@ -195,11 +195,12 @@ fn failed_wait_registration_reclaims_queue_reference() {
         seed: 0xDECAF,
         ..HtmConfig::default()
     };
-    let sys = Arc::new(TmSystem::with_policy(
-        AlgoMode::HtmCondvar,
-        TlePolicy::default(),
-        cfg,
-    ));
+    let sys = Arc::new(
+        TmSystem::builder()
+            .mode(AlgoMode::HtmCondvar)
+            .htm_config(cfg)
+            .build(),
+    );
     let lock = Arc::new(ElidableMutex::new("reclaim"));
     let cv = Arc::new(TxCondvar::new());
     let flag = Arc::new(TCell::new(0u64));

@@ -9,7 +9,6 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use tle_base::fault::{self, FaultPlan, FaultRule, Hazard};
 use tle_base::TCell;
 use tle_core::{AlgoMode, ElidableMutex, TlePolicy, TmSystem, TxError, TxHints};
-use tle_htm::HtmConfig;
 
 fn guard() -> MutexGuard<'static, ()> {
     static M: Mutex<()> = Mutex::new(());
@@ -30,11 +29,12 @@ fn escalation_ladder_grants_serial_slot_under_forced_abort_storm() {
         escalation_bound: 4,
         ..TlePolicy::default()
     };
-    let sys = Arc::new(TmSystem::with_policy(
-        AlgoMode::HtmCondvar,
-        policy,
-        HtmConfig::default(),
-    ));
+    let sys = Arc::new(
+        TmSystem::builder()
+            .mode(AlgoMode::HtmCondvar)
+            .policy(policy)
+            .build(),
+    );
     let lock = ElidableMutex::new("storm");
     let cell = TCell::new(0u64);
     let th = sys.register();
@@ -157,9 +157,9 @@ fn serial_gate_reopens_after_panic() {
             let th = sys.register();
             // A zero retry budget goes straight to the serial gate; the
             // panic then unwinds while the gate token is live.
-            th.critical_hinted(
+            th.critical_with(
                 &lock,
-                TxHints::stm_retries(0),
+                TxHints::new().with_stm_retries(0),
                 |_ctx| -> Result<(), TxError> {
                     panic!("injected panic in serial-irrevocable mode");
                 },
@@ -170,7 +170,7 @@ fn serial_gate_reopens_after_panic() {
     // If the token leaked the gate bit, both of these would deadlock.
     let cell = TCell::new(0u64);
     let th = sys.register();
-    th.critical_hinted(&lock, TxHints::stm_retries(0), |ctx| {
+    th.critical_with(&lock, TxHints::new().with_stm_retries(0), |ctx| {
         let v = ctx.read(&cell)?;
         ctx.write(&cell, v + 1)?;
         Ok(())

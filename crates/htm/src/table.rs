@@ -80,7 +80,7 @@ impl Line {
     }
 }
 
-/// The striped table of [`Line`] entries.
+/// The striped table of per-cache-line `Line` entries.
 pub struct LineTable {
     lines: Box<[Line]>,
     mask: usize,

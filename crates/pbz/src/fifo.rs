@@ -49,6 +49,15 @@ impl<T: Send> TleFifo<T> {
         }
     }
 
+    /// The queue's elidable lock, so owners can enroll it in a system's
+    /// per-lock adaptive policy ([`TmSystem::adopt_lock`]) or tune its
+    /// retry budgets.
+    ///
+    /// [`TmSystem::adopt_lock`]: tle_core::TmSystem::adopt_lock
+    pub fn lock(&self) -> &ElidableMutex {
+        &self.lock
+    }
+
     /// Push an item, blocking while the queue is full. Returns the item
     /// back if the queue was closed.
     pub fn push(&self, th: &ThreadHandle, item: Box<T>) -> Result<(), Box<T>> {

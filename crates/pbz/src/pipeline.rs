@@ -88,6 +88,10 @@ fn run_pipeline(
 ) -> Vec<u8> {
     let queue: Arc<TleFifo<WorkItem>> = Arc::new(TleFifo::new("pbz-input", cfg.fifo_cap));
     let sink = Arc::new(OrderedSink::new());
+    // Enroll the pipeline's locks in the per-lock adaptive controller
+    // (no-ops unless the system was built with `.adaptive(true)`).
+    sys.adopt_lock(queue.lock());
+    sys.adopt_lock(sink.lock());
     let work = Arc::new(work);
 
     let consumers: Vec<_> = (0..cfg.workers.max(1))
@@ -204,6 +208,26 @@ mod tests {
             let d = decompress_parallel(&sys, &c, &cfg(3, 5_000)).unwrap();
             assert_eq!(d, data, "pipeline corrupted data under {mode:?}");
         }
+    }
+
+    #[test]
+    fn roundtrip_under_adaptive_controller() {
+        // The pipeline adopts its queue/sink locks; with an aggressive
+        // controller interval the run may flip lock modes mid-stream, and
+        // the output must still be byte-identical to the serial codec.
+        let data = gen_text(33, 40_000);
+        let sys = Arc::new(
+            TmSystem::builder()
+                .mode(AlgoMode::HtmCondvar)
+                .adaptive(true)
+                .build(),
+        );
+        let ctrl = sys.start_controller(std::time::Duration::from_micros(100));
+        let c = compress_parallel(&sys, &data, &cfg(3, 5_000));
+        let d = decompress_parallel(&sys, &c, &cfg(3, 5_000)).unwrap();
+        ctrl.stop();
+        assert_eq!(d, data, "pipeline corrupted data under adaptation");
+        assert_eq!(c, compress_serial(&data, 5_000));
     }
 
     #[test]

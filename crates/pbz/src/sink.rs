@@ -29,6 +29,14 @@ impl OrderedSink {
         }
     }
 
+    /// The sink's elidable lock, so owners can enroll it in a system's
+    /// per-lock adaptive policy ([`TmSystem::adopt_lock`]).
+    ///
+    /// [`TmSystem::adopt_lock`]: tle_core::TmSystem::adopt_lock
+    pub fn lock(&self) -> &ElidableMutex {
+        &self.lock
+    }
+
     /// Submit chunk `id`; blocks until all earlier ids have been written.
     pub fn submit(&self, th: &ThreadHandle, id: u64, data: &[u8]) {
         // Wait for our turn.

@@ -135,6 +135,10 @@ pub fn encode_video(
     let in_q: Arc<TleFifo<(usize, Frame)>> =
         Arc::new(TleFifo::new("frame-input", cfg.lookahead_depth));
     let la_q: Arc<ReadyQueue<LookaheadItem>> = Arc::new(ReadyQueue::new(cfg.lookahead_depth));
+    // Enroll the encoder's long-lived queue locks in the per-lock adaptive
+    // controller (no-ops unless the system was built with `.adaptive(true)`).
+    sys.adopt_lock(in_q.lock());
+    sys.adopt_lock(la_q.lock());
 
     // Lookahead thread: scene-cut detection + keyframe decisions. Uses the
     // paper's Listing 4 protocol (reserve, produce outside the lock,
@@ -293,11 +297,23 @@ fn start_frame(
     let group = Arc::new(BondedGroup::new(rows as u32));
     let coded: Arc<Mutex<Vec<Option<Vec<CodedCtu>>>>> = Arc::new(Mutex::new(vec![None; rows]));
 
+    // Per-frame locks join the adaptive controller too: frames are long
+    // enough for the window to accumulate a useful abort mix (no-ops when
+    // adaptation is off).
+    let sys = th.system();
+    for wf in wfs.iter() {
+        sys.adopt_lock(wf.lock());
+    }
+    sys.adopt_lock(progress.lock());
+    sys.adopt_lock(group.lock());
+
     // The "cost lock": per-CTU bit accounting (small, hot critical section).
     let cost_lock = Arc::new(ElidableMutex::new("cost"));
+    sys.adopt_lock(&cost_lock);
     let frame_bits = Arc::new(TCell::new(0u64));
     // The "parallel ME lock": MV predictor maps, one per slice.
     let mv_lock = Arc::new(ElidableMutex::new("parallel-me"));
+    sys.adopt_lock(&mv_lock);
     let mv_maps: Arc<Vec<Vec<TCell<u64>>>> = Arc::new(
         (0..slices)
             .map(|_| (0..cols).map(|_| TCell::new(0)).collect())
@@ -306,6 +322,7 @@ fn start_frame(
     let bounds = Arc::new(bounds);
     // The "EncoderRow lock": row dispatch counter.
     let row_lock = Arc::new(ElidableMutex::new("encoder-row"));
+    sys.adopt_lock(&row_lock);
     let rows_issued = Arc::new(TCell::new(0u32));
 
     for _ in 0..rows {
@@ -520,6 +537,38 @@ mod tests {
                 assert_eq!(golden.total_bits, v.total_bits);
             }
         }
+    }
+
+    #[test]
+    fn output_identical_under_adaptive_controller() {
+        // The encoder adopts its queue/wavefront/cost locks; run with an
+        // aggressive controller so modes flip mid-encode and check the
+        // bitstream digests against the single-threaded baseline.
+        let cfg1 = EncoderConfig {
+            workers: 1,
+            frame_threads: 1,
+            ..EncoderConfig::default()
+        };
+        let sys = Arc::new(TmSystem::new(AlgoMode::Baseline));
+        let golden = encode_video(&sys, &small_source(), &cfg1);
+        let sys = Arc::new(
+            TmSystem::builder()
+                .mode(AlgoMode::HtmCondvar)
+                .adaptive(true)
+                .build(),
+        );
+        let ctrl = sys.start_controller(std::time::Duration::from_micros(100));
+        let cfg = EncoderConfig {
+            workers: 3,
+            frame_threads: 2,
+            ..EncoderConfig::default()
+        };
+        let v = encode_video(&sys, &small_source(), &cfg);
+        ctrl.stop();
+        let a: Vec<u32> = golden.frames.iter().map(|f| f.digest).collect();
+        let b: Vec<u32> = v.frames.iter().map(|f| f.digest).collect();
+        assert_eq!(a, b, "encoder output varies under the adaptive controller");
+        assert_eq!(golden.total_bits, v.total_bits);
     }
 
     #[test]

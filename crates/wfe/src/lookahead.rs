@@ -13,9 +13,8 @@
 //! node in one short critical section, produce *outside* any lock, then
 //! mark the node ready in a second short critical section. The consumer
 //! dequeues only ready nodes. [`ReadyQueue`] implements that protocol;
-//! [`nested_produce_baseline`] keeps the original Listing 3 shape (real
-//! locks only) for the ablation bench that verifies the refactoring did not
-//! change performance.
+//! the `ablate_ready_flag` bench keeps the original Listing 3 shape (real
+//! locks only) to verify the refactoring did not change performance.
 
 use tle_base::TCell;
 use tle_core::{ElidableMutex, ThreadHandle, TxCondvar};
@@ -64,6 +63,14 @@ impl<T: Send> ReadyQueue<T> {
             ready: (0..cap).map(|_| TCell::new(false)).collect(),
             _t: std::marker::PhantomData,
         }
+    }
+
+    /// The queue's elidable lock, for per-lock policy adoption
+    /// ([`TmSystem::adopt_lock`]).
+    ///
+    /// [`TmSystem::adopt_lock`]: tle_core::TmSystem::adopt_lock
+    pub fn lock(&self) -> &ElidableMutex {
+        &self.lock
     }
 
     /// Reserve the next slot (Listing 4 lines 1-5). Blocks while full;

@@ -97,6 +97,12 @@ impl BondedGroup {
         }
     }
 
+    /// The group's elidable lock, for per-lock policy adoption
+    /// ([`TmSystem::adopt_lock`]).
+    pub fn lock(&self) -> &ElidableMutex {
+        &self.lock
+    }
+
     /// Mark one task finished.
     pub fn task_done(&self, th: &ThreadHandle) {
         th.critical(&self.lock, |ctx| {

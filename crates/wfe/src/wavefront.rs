@@ -30,6 +30,14 @@ impl Wavefront {
         }
     }
 
+    /// The "CTURows" elidable lock, for per-lock policy adoption
+    /// ([`TmSystem::adopt_lock`]).
+    ///
+    /// [`TmSystem::adopt_lock`]: tle_core::TmSystem::adopt_lock
+    pub fn lock(&self) -> &ElidableMutex {
+        &self.rows_lock
+    }
+
     /// Grid columns.
     pub fn cols(&self) -> u32 {
         self.cols
@@ -210,6 +218,14 @@ impl RowProgress {
             done: (0..rows).map(|_| TCell::new(false)).collect(),
             watermark: TCell::new(0),
         }
+    }
+
+    /// The progress tracker's elidable lock, for per-lock policy adoption
+    /// ([`TmSystem::adopt_lock`]).
+    ///
+    /// [`TmSystem::adopt_lock`]: tle_core::TmSystem::adopt_lock
+    pub fn lock(&self) -> &ElidableMutex {
+        &self.lock
     }
 
     /// Total rows tracked.

@@ -289,7 +289,7 @@ fn parse_class_pattern(pat: &str) -> (Vec<char>, usize, usize) {
 }
 
 pub mod collection {
-    //! `proptest::collection` subset: [`vec`].
+    //! `proptest::collection` subset: [`vec`](fn@vec).
     use super::{Strategy, TestRng};
     use std::ops::Range;
 

@@ -23,27 +23,29 @@ fn main() {
     let workers: usize = opt_parse(&args, "--workers", 3);
     let ops: u64 = opt_parse(&args, "--ops", 1_500);
     let repro = args.iter().any(|a| a == "--repro");
+    let adaptive = args.iter().any(|a| a == "--adaptive");
     let modes: Vec<AlgoMode> = match opt(&args, "--mode").as_deref() {
         None | Some("all") => ALL_MODES.to_vec(),
-        Some("baseline") => vec![AlgoMode::Baseline],
-        Some("stm-spin") => vec![AlgoMode::StmSpin],
-        Some("stm-condvar") => vec![AlgoMode::StmCondvar],
-        Some("stm-noquiesce") => vec![AlgoMode::StmCondvarNoQuiesce],
-        Some("htm") => vec![AlgoMode::HtmCondvar],
-        Some(other) => {
-            eprintln!("unknown mode {other}");
-            usage();
-            std::process::exit(2);
-        }
+        Some(spec) => match spec.parse::<AlgoMode>() {
+            Ok(mode) => vec![mode],
+            Err(e) => {
+                eprintln!("{e}");
+                usage();
+                std::process::exit(2);
+            }
+        },
     };
 
     let mut failed = false;
     for mode in modes {
         if repro {
-            // Determinism contract: single worker, txset only — two runs
-            // must agree on every per-cause abort count and fault tally.
+            // Determinism contract: single worker, txset only (plus the
+            // single-threaded flip phase under --adaptive) — two runs must
+            // agree on every per-cause abort count, fault tally and mode
+            // flip.
             let cfg = TortureConfig {
                 ops_per_worker: ops,
+                adaptive,
                 ..TortureConfig::repro(seed, mode)
             };
             let a = run_torture(&cfg);
@@ -61,6 +63,7 @@ fn main() {
             let cfg = TortureConfig {
                 workers,
                 ops_per_worker: ops,
+                adaptive,
                 ..TortureConfig::quick(seed, mode)
             };
             let report = run_torture(&cfg);
@@ -77,11 +80,16 @@ fn usage() {
          \n\
          options:\n\
          \u{20} --seed N     fault-schedule and workload seed (default 1)\n\
-         \u{20} --mode M     all|baseline|stm-spin|stm-condvar|stm-noquiesce|htm (default all)\n\
+         \u{20} --mode M     all|baseline|stm-spin|stm-condvar|stm-noquiesce|htm|\n\
+         \u{20}              adaptive-htm (default all)\n\
          \u{20} --workers N  txset/pipeline worker threads (default 3)\n\
          \u{20} --ops N      set operations per worker (default 1500)\n\
+         \u{20} --adaptive   also torture per-lock mode flips: a counter runs\n\
+         \u{20}              while a seeded schedule retargets its lock's mode;\n\
+         \u{20}              exact count + flip sequence are the oracles\n\
          \u{20} --repro      single-worker deterministic run, executed twice;\n\
-         \u{20}              fails unless both runs match per-cause abort counts"
+         \u{20}              fails unless both runs match per-cause abort counts\n\
+         \u{20}              (and, with --adaptive, the mode-flip sequence)"
     );
 }
 

@@ -31,7 +31,8 @@ fn main() {
                  dump       print the recorded events themselves\n\
                  \n\
                  options:\n\
-                 \u{20} --mode M      baseline|stm-spin|stm-condvar|stm-noquiesce|htm (default htm)\n\
+                 \u{20} --mode M      baseline|stm-spin|stm-condvar|stm-noquiesce|htm|\n\
+                 \u{20}               adaptive-htm (default htm)\n\
                  \u{20} --threads N   worker threads for the probe workload (default 4)\n\
                  \u{20} --ops N       operations per thread (default 20000)\n\
                  \u{20} --cells N     shared counters, lower = more conflicts (default 4)\n\
@@ -62,17 +63,13 @@ fn opt_parse<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> T 
         .unwrap_or(default)
 }
 
-fn parse_mode(args: &[String]) -> AlgoMode {
-    match opt(args, "--mode").as_deref() {
-        Some("baseline") => AlgoMode::Baseline,
-        Some("stm-spin") => AlgoMode::StmSpin,
-        Some("stm-condvar") => AlgoMode::StmCondvar,
-        Some("stm-noquiesce") => AlgoMode::StmCondvarNoQuiesce,
-        Some("htm") | None => AlgoMode::HtmCondvar,
-        Some(other) => {
-            eprintln!("unknown mode {other}, using htm");
-            AlgoMode::HtmCondvar
-        }
+fn parse_mode(args: &[String]) -> Result<AlgoMode, i32> {
+    match opt(args, "--mode") {
+        None => Ok(AlgoMode::HtmCondvar),
+        Some(spec) => spec.parse::<AlgoMode>().map_err(|e| {
+            eprintln!("{e}");
+            2
+        }),
     }
 }
 
@@ -80,7 +77,10 @@ fn parse_mode(args: &[String]) -> AlgoMode {
 /// shared counters under one elided lock. Small `--cells` values produce
 /// conflict aborts; the trace shows how the runtime resolved them.
 fn run(args: &[String], dump: bool) -> i32 {
-    let mode = parse_mode(args);
+    let mode = match parse_mode(args) {
+        Ok(m) => m,
+        Err(code) => return code,
+    };
     let threads: usize = opt_parse(args, "--threads", 4);
     let ops: u64 = opt_parse(args, "--ops", 20_000);
     let cells: usize = opt_parse(args, "--cells", 4).max(1);

@@ -37,7 +37,7 @@ fn main() {
                  micro      [--set list|hash|tree] [--policy stm|noq|selectnoq]\n\
                  \u{20}          [--threads N] [--ops N]\n\
                  \n\
-                 modes: baseline | stm-spin | stm-condvar | stm-noquiesce | htm"
+                 modes: baseline | stm-spin | stm-condvar | stm-noquiesce | htm | adaptive-htm"
             );
             2
         }
@@ -78,15 +78,11 @@ fn positionals(args: &[String]) -> Vec<&String> {
 
 fn parse_mode(args: &[String]) -> AlgoMode {
     match opt(args, "--mode").as_deref() {
-        Some("baseline") => AlgoMode::Baseline,
-        Some("stm-spin") => AlgoMode::StmSpin,
-        Some("stm-condvar") | None => AlgoMode::StmCondvar,
-        Some("stm-noquiesce") => AlgoMode::StmCondvarNoQuiesce,
-        Some("htm") => AlgoMode::HtmCondvar,
-        Some(other) => {
-            eprintln!("unknown mode '{other}', using stm-condvar");
-            AlgoMode::StmCondvar
-        }
+        None => AlgoMode::StmCondvar,
+        Some(spelling) => spelling.parse().unwrap_or_else(|err| {
+            eprintln!("{err}");
+            std::process::exit(2);
+        }),
     }
 }
 

@@ -101,17 +101,19 @@ fn lock_erasure_keeps_disjoint_locks_coherent() {
 fn abort_storm_escapes_to_serial() {
     use tle_repro::htm::HtmConfig;
     // An HTM configured to abort nearly always.
-    let sys = Arc::new(TmSystem::with_policy(
-        AlgoMode::HtmCondvar,
-        TlePolicy {
-            htm_retries: 2,
-            ..TlePolicy::default()
-        },
-        HtmConfig {
-            event_prob: 0.9,
-            ..HtmConfig::default()
-        },
-    ));
+    let sys = Arc::new(
+        TmSystem::builder()
+            .mode(AlgoMode::HtmCondvar)
+            .policy(TlePolicy {
+                htm_retries: 2,
+                ..TlePolicy::default()
+            })
+            .htm_config(HtmConfig {
+                event_prob: 0.9,
+                ..HtmConfig::default()
+            })
+            .build(),
+    );
     let th = sys.register();
     let lock = ElidableMutex::new("stormy");
     let cell = TCell::new(0u64);
