@@ -13,6 +13,7 @@
 //! mode. The fast path is one CAS; blocked sides spin briefly and then
 //! yield, because serial sections are short but not bounded.
 
+use crate::sched::{self, YieldPoint};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Bit set while a serial section runs.
@@ -50,6 +51,7 @@ impl Gate {
     /// Enter the concurrent side; blocks while a serial section runs or is
     /// pending (writer preference, so serial requests are not starved).
     pub fn enter_concurrent(&self) -> ConcurrentToken<'_> {
+        sched::yield_point(YieldPoint::SerialGate);
         let mut spins = 0u32;
         loop {
             let s = self.state.load(Ordering::Acquire);
@@ -69,6 +71,7 @@ impl Gate {
 
     /// Enter the exclusive serial side; drains concurrent transactions first.
     pub fn enter_serial(&self) -> SerialToken<'_> {
+        sched::yield_point(YieldPoint::SerialGate);
         self.state.fetch_add(WAITER_UNIT, Ordering::AcqRel);
         let mut spins = 0u32;
         loop {
@@ -101,6 +104,7 @@ impl Gate {
     #[inline]
     fn pause(spins: &mut u32) {
         *spins += 1;
+        sched::spin_hint(YieldPoint::SerialGate);
         if *spins < 64 {
             std::hint::spin_loop();
         } else {

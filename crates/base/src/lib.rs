@@ -28,14 +28,23 @@
 //! - [`fault`] — the deterministic fault-injection oracle consulted at the
 //!   runtime's hazard points (always compiled; one relaxed flag load when
 //!   no plan is installed).
+//! - [`sched`] — feature-gated (`check-sched`) yield points for the
+//!   deterministic model-checking scheduler in `tle-check`.
+//! - [`history`] — feature-gated (`check-history`) transactional history
+//!   recorder feeding the offline opacity checker.
+//! - [`mutant`] — feature-gated (`check-mutants`) seeded-bug switches used
+//!   to validate that the checker actually catches bugs.
 
 pub mod abort;
 pub mod cell;
 pub mod clock;
 pub mod fault;
 pub mod gate;
+pub mod history;
+pub mod mutant;
 pub mod orec;
 pub mod rng;
+pub mod sched;
 pub mod slots;
 pub mod stats;
 pub mod trace;

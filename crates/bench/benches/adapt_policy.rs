@@ -94,7 +94,7 @@ fn run_phase(sys: &Arc<TmSystem>, lock: &ElidableMutex, w: &Arc<Workload>, phase
         .map(|t| {
             let sys = Arc::clone(sys);
             let lock = lock.clone();
-            let w = Arc::clone(&w);
+            let w = Arc::clone(w);
             let barrier = Arc::clone(&barrier);
             std::thread::spawn(move || {
                 let th = sys.register();

@@ -11,11 +11,18 @@ use tle_base::trace::{self, TraceSummary};
 use tle_bench::torture::{run_torture, TortureConfig};
 use tle_core::AlgoMode;
 
+// Determinism does not need the full torture length to be meaningful, and
+// debug kernels are slow; CI's release run keeps the full weight.
+const OPS_PER_WORKER: u64 = if cfg!(debug_assertions) { 500 } else { 2_000 };
+
 #[test]
 fn same_seed_reproduces_counts_and_traces() {
     let run = |seed: u64, mode: AlgoMode| -> (String, TraceSummary) {
         trace::clear();
-        let report = run_torture(&TortureConfig::repro(seed, mode));
+        let report = run_torture(&TortureConfig {
+            ops_per_worker: OPS_PER_WORKER,
+            ..TortureConfig::repro(seed, mode)
+        });
         assert!(
             report.ok(),
             "oracle violations under seed {seed:#x} {mode:?}: {:?}",
@@ -42,6 +49,7 @@ fn same_seed_reproduces_counts_and_traces() {
         trace::clear();
         let cfg = TortureConfig {
             adaptive: true,
+            ops_per_worker: OPS_PER_WORKER,
             ..TortureConfig::repro(seed, AlgoMode::HtmCondvar)
         };
         let report = run_torture(&cfg);

@@ -1,0 +1,240 @@
+//! Replayable schedule descriptions.
+//!
+//! Every yield point where more than one thread is runnable asks the cursor
+//! for a **rank**: 0 means "stay on the current thread", `k > 0` means
+//! "preempt to the k-th other runnable thread" (in the deterministic order
+//! built by the virtual-thread core). A run is therefore fully described by
+//! its rank sequence, and a rank sequence is what failure reports print:
+//!
+//! - `d:0.2.0.1` — an explicit rank list (DFS paths and replays);
+//! - `r:42` — the rank sequence drawn from a seeded RNG.
+//!
+//! [`Cursor::Dfs`] both replays its recorded prefix and *extends* it lazily:
+//! decisions past the prefix default to rank 0 and are recorded, and
+//! [`Cursor::advance`] backtracks depth-first (increment the deepest
+//! decision that has siblings left, truncate the rest). Preemptions
+//! (rank > 0) are charged against a budget; once spent, later decisions
+//! are forced to rank 0 and not recorded, which bounds the tree
+//! (bounded-preemption search — most TM bugs need only 1–2 preemptions).
+
+use tle_base::rng::splitmix64;
+
+/// Maximum recorded decisions per schedule; past this, rank 0 is forced.
+/// Bounds DFS memory on long scenarios (the interesting preemptions in a
+/// small scenario happen long before this).
+pub const MAX_DECISIONS: usize = 4_096;
+
+/// A replayable schedule. See the module docs.
+#[derive(Debug, Clone)]
+pub enum Cursor {
+    /// Replay `path` (rank, arity) pairs, then extend with rank 0,
+    /// recording arities for backtracking.
+    Dfs {
+        /// Decision history: (chosen rank, number of choices offered).
+        path: Vec<(u16, u16)>,
+        /// Next decision index.
+        pos: usize,
+        /// Preemptions still allowed when extending.
+        budget: u32,
+    },
+    /// Draw ranks from a seeded splitmix stream: with probability 1/3
+    /// preempt to a uniformly chosen other thread.
+    Random {
+        /// RNG state (the seed before the run starts).
+        state: u64,
+    },
+    /// Replay a fixed rank list (parsed from a printed token); rank 0 past
+    /// the end. Out-of-range ranks clamp to the arity offered.
+    Fixed {
+        /// The rank list.
+        ranks: Vec<u16>,
+        /// Next decision index.
+        pos: usize,
+    },
+}
+
+impl Cursor {
+    /// A fresh DFS cursor with the given preemption budget.
+    pub fn dfs(budget: u32) -> Self {
+        Cursor::Dfs {
+            path: Vec::new(),
+            pos: 0,
+            budget,
+        }
+    }
+
+    /// A seeded random cursor.
+    pub fn random(seed: u64) -> Self {
+        Cursor::Random { state: seed }
+    }
+
+    /// Decide the next rank given `arity` choices (arity ≥ 2).
+    pub(crate) fn choose(&mut self, arity: usize) -> usize {
+        match self {
+            Cursor::Dfs { path, pos, budget } => {
+                if *pos < path.len() {
+                    let (rank, _) = path[*pos];
+                    *pos += 1;
+                    if rank > 0 {
+                        *budget = budget.saturating_sub(1);
+                    }
+                    (rank as usize).min(arity - 1)
+                } else if *budget == 0 || path.len() >= MAX_DECISIONS {
+                    0
+                } else {
+                    path.push((0, arity as u16));
+                    *pos += 1;
+                    0
+                }
+            }
+            Cursor::Random { state } => {
+                let draw = splitmix64(state);
+                if draw.is_multiple_of(3) {
+                    1 + ((draw >> 32) as usize % (arity - 1))
+                } else {
+                    0
+                }
+            }
+            Cursor::Fixed { ranks, pos } => {
+                let rank = ranks.get(*pos).copied().unwrap_or(0);
+                *pos += 1;
+                (rank as usize).min(arity - 1)
+            }
+        }
+    }
+
+    /// Backtrack to the next unexplored DFS schedule: increment the deepest
+    /// decision with siblings left, drop everything below it. Returns
+    /// `false` when the (budget-bounded) tree is exhausted. Panics on
+    /// non-DFS cursors.
+    pub fn advance(&mut self) -> bool {
+        match self {
+            Cursor::Dfs { path, pos, .. } => {
+                while let Some((rank, arity)) = path.pop() {
+                    if rank + 1 < arity {
+                        path.push((rank + 1, arity));
+                        *pos = 0;
+                        return true;
+                    }
+                }
+                *pos = 0;
+                false
+            }
+            _ => panic!("advance() is only meaningful for DFS cursors"),
+        }
+    }
+
+    /// Reset the replay position (for re-running the same schedule) and
+    /// restore the DFS budget to `budget`.
+    pub fn rewind(&mut self, budget: u32) {
+        match self {
+            Cursor::Dfs { pos, budget: b, .. } => {
+                *pos = 0;
+                *b = budget;
+            }
+            Cursor::Fixed { pos, .. } => *pos = 0,
+            Cursor::Random { .. } => {}
+        }
+    }
+
+    /// The printable, replayable token for this schedule.
+    pub fn token(&self) -> String {
+        match self {
+            Cursor::Dfs { path, .. } => {
+                let ranks: Vec<String> = path.iter().map(|(r, _)| r.to_string()).collect();
+                format!("d:{}", ranks.join("."))
+            }
+            Cursor::Random { state } => format!("r:{state}"),
+            Cursor::Fixed { ranks, .. } => {
+                let ranks: Vec<String> = ranks.iter().map(|r| r.to_string()).collect();
+                format!("d:{}", ranks.join("."))
+            }
+        }
+    }
+
+    /// Parse a token printed by [`Cursor::token`].
+    pub fn parse(token: &str) -> Result<Self, String> {
+        if let Some(list) = token.strip_prefix("d:") {
+            let ranks = if list.is_empty() {
+                Vec::new()
+            } else {
+                list.split('.')
+                    .map(|s| s.parse::<u16>().map_err(|e| format!("bad rank {s:?}: {e}")))
+                    .collect::<Result<Vec<_>, _>>()?
+            };
+            Ok(Cursor::Fixed { ranks, pos: 0 })
+        } else if let Some(seed) = token.strip_prefix("r:") {
+            let state = seed
+                .parse::<u64>()
+                .map_err(|e| format!("bad seed {seed:?}: {e}"))?;
+            Ok(Cursor::Random { state })
+        } else {
+            Err(format!("unknown schedule token {token:?}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dfs_extends_with_rank_zero_and_backtracks() {
+        let mut c = Cursor::dfs(2);
+        assert_eq!(c.choose(2), 0);
+        assert_eq!(c.choose(3), 0);
+        assert!(c.advance());
+        // Deepest decision advanced: second choice now rank 1.
+        c.rewind(2);
+        assert_eq!(c.choose(2), 0);
+        assert_eq!(c.choose(3), 1);
+        // Exhaust: 0.2, then 1.*, ...
+        assert!(c.advance());
+        c.rewind(2);
+        assert_eq!(c.choose(2), 0);
+        assert_eq!(c.choose(3), 2);
+        assert!(c.advance());
+        c.rewind(2);
+        assert_eq!(c.choose(2), 1);
+    }
+
+    #[test]
+    fn dfs_budget_limits_preemptions() {
+        let mut c = Cursor::dfs(0);
+        // Budget 0: every extension is forced rank 0 and unrecorded.
+        assert_eq!(c.choose(4), 0);
+        assert_eq!(c.choose(4), 0);
+        assert!(!c.advance(), "no recorded decisions to backtrack");
+    }
+
+    #[test]
+    fn token_roundtrip() {
+        let mut c = Cursor::dfs(3);
+        c.choose(2);
+        c.choose(3);
+        c.advance();
+        let tok = c.token();
+        assert_eq!(tok, "d:0.1");
+        let mut replay = Cursor::parse(&tok).unwrap();
+        assert_eq!(replay.choose(2), 0);
+        assert_eq!(replay.choose(3), 1);
+        assert_eq!(replay.choose(5), 0, "past the token: rank 0");
+
+        let r = Cursor::parse("r:42").unwrap();
+        assert_eq!(r.token(), "r:42");
+        assert!(Cursor::parse("x:1").is_err());
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let mut a = Cursor::random(7);
+        let mut b = Cursor::random(7);
+        let da: Vec<usize> = (0..64).map(|_| a.choose(3)).collect();
+        let db: Vec<usize> = (0..64).map(|_| b.choose(3)).collect();
+        assert_eq!(da, db);
+        assert!(
+            da.iter().any(|&r| r > 0),
+            "seed 7 never preempts in 64 draws"
+        );
+    }
+}

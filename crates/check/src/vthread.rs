@@ -1,0 +1,337 @@
+//! The cooperative virtual-thread core.
+//!
+//! Real OS threads run the scenario closures, but a token serializes them:
+//! exactly one *virtual thread* executes at any moment, and every
+//! TM-relevant atomic (announced through [`tle_base::sched`] hooks) is a
+//! place where the token may move. Which thread the token moves to is
+//! decided by a [`Cursor`] — a replayable schedule description — so a run is
+//! a pure function of its cursor and the harness can enumerate or replay
+//! interleavings at will.
+//!
+//! Hook semantics (the contract with `tle_base::sched`):
+//!
+//! - `yield_point` is a **preemption candidate**: the cursor picks which
+//!   runnable thread continues (rank 0 = stay on the current thread).
+//! - `spin_hint` is a **forced rotation**: the spinning thread cannot make
+//!   progress until someone else acts, so the token moves round-robin to the
+//!   next runnable thread without consuming a cursor decision. A streak of
+//!   rotations with no intervening yield point trips the livelock bound.
+//! - `block_enter`/`block_exit` bracket a real OS block (condvar park, raw
+//!   mutex). The thread leaves the runnable set, hands the token over, and
+//!   re-joins when the OS wakes it.
+//!
+//! Deadlocks are detected positionally: when the step counter freezes with
+//! no runnable thread for [`Config::stall_timeout`](crate::explore::Config),
+//! the run is declared dead and the parked threads are abandoned (the run
+//! already failed; leaking a few parked threads is harmless in a test
+//! process).
+
+use crate::cursor::Cursor;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+use tle_base::sched::{self, Scheduler, YieldPoint};
+
+/// Sentinel: no thread holds the token.
+const NOBODY: usize = usize::MAX;
+
+/// Rotations allowed without an intervening yield point before the run is
+/// declared livelocked. TM spin loops resolve in a handful of rotations;
+/// a six-digit streak means no thread can make progress.
+const LIVELOCK_BOUND: u64 = 200_000;
+
+/// Lifecycle of one virtual thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VState {
+    /// May be handed the token.
+    Runnable,
+    /// Between `block_enter` and `block_exit` (parked or about to park).
+    Blocked,
+    /// Returned (or unwound) from its closure.
+    Done,
+}
+
+/// Why a schedule run failed.
+#[derive(Debug, Clone)]
+pub enum Failure {
+    /// A virtual thread panicked (assertion inside a closure, kernel
+    /// invariant, or the livelock bound).
+    Panic(String),
+    /// Every live thread was blocked and the step counter froze: a lost
+    /// wakeup or a real deadlock.
+    Deadlock(String),
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Failure::Panic(m) => write!(f, "panic: {m}"),
+            Failure::Deadlock(m) => write!(f, "deadlock: {m}"),
+        }
+    }
+}
+
+/// Outcome of running one schedule to completion (or to failure).
+#[derive(Debug)]
+pub struct RunResult {
+    /// First failure observed, if any.
+    pub failure: Option<Failure>,
+    /// Cursor state after the run (replay prefix + extensions), for DFS
+    /// backtracking and failure-token printing.
+    pub cursor: Cursor,
+    /// Scheduling steps executed (yields + rotations + block events).
+    pub steps: u64,
+}
+
+struct State {
+    states: Vec<VState>,
+    current: usize,
+    ready: usize,
+    cursor: Cursor,
+    /// Consecutive spin rotations since the last yield point.
+    spin_streak: u64,
+    failures: Vec<Failure>,
+}
+
+struct Core {
+    m: Mutex<State>,
+    cv: Condvar,
+    /// Progress counter read lock-free by the supervising thread.
+    steps: AtomicU64,
+}
+
+impl Core {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        // A panicking virtual thread poisons nothing interesting: the state
+        // is just the token bookkeeping, kept consistent before any panic.
+        self.m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn tick(&self) {
+        self.steps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Move the token to `next` (or give it up) and wake everyone waiting.
+    fn handoff(&self, st: &mut State, next: usize) {
+        st.current = next;
+        self.cv.notify_all();
+    }
+
+    /// Runnable threads, current thread first, then the rest ascending —
+    /// the rank order the cursor chooses from.
+    fn rank_order(st: &State, me: usize) -> Vec<usize> {
+        let mut order = vec![me];
+        order.extend((0..st.states.len()).filter(|&i| i != me && st.states[i] == VState::Runnable));
+        order
+    }
+
+    /// Next runnable thread cyclically after `me`, excluding `me`.
+    fn next_runnable_after(st: &State, me: usize) -> Option<usize> {
+        let n = st.states.len();
+        (1..=n)
+            .map(|k| (me + k) % n)
+            .find(|&i| i != me && st.states[i] == VState::Runnable)
+    }
+
+    fn wait_for_token(&self, mut st: MutexGuard<'_, State>, me: usize) {
+        while st.current != me {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// The per-thread driver installed via [`tle_base::sched::register`].
+struct Driver {
+    core: Arc<Core>,
+    id: usize,
+}
+
+impl Scheduler for Driver {
+    fn yield_point(&self, _p: YieldPoint) {
+        let core = &*self.core;
+        let mut st = core.lock();
+        debug_assert_eq!(st.current, self.id, "yield from a thread without the token");
+        core.tick();
+        st.spin_streak = 0;
+        let order = Core::rank_order(&st, self.id);
+        if order.len() > 1 {
+            let rank = st.cursor.choose(order.len());
+            let next = order[rank];
+            if next != self.id {
+                core.handoff(&mut st, next);
+                core.wait_for_token(st, self.id);
+            }
+        }
+    }
+
+    fn spin_hint(&self, p: YieldPoint) {
+        let core = &*self.core;
+        let mut st = core.lock();
+        debug_assert_eq!(st.current, self.id, "spin from a thread without the token");
+        core.tick();
+        st.spin_streak += 1;
+        if st.spin_streak > LIVELOCK_BOUND {
+            let msg = format!(
+                "livelock suspected at {p:?}: {LIVELOCK_BOUND} spin rotations \
+                 with no yield point (states {:?})",
+                st.states
+            );
+            drop(st);
+            panic!("{msg}");
+        }
+        if let Some(next) = Core::next_runnable_after(&st, self.id) {
+            core.handoff(&mut st, next);
+            core.wait_for_token(st, self.id);
+        }
+        // Nobody else runnable: keep spinning — the thread we wait for is
+        // blocked in the OS and will rejoin via block_exit.
+    }
+
+    fn block_enter(&self) {
+        let core = &*self.core;
+        let mut st = core.lock();
+        core.tick();
+        st.spin_streak = 0;
+        st.states[self.id] = VState::Blocked;
+        let next = Core::next_runnable_after(&st, self.id).unwrap_or(NOBODY);
+        core.handoff(&mut st, next);
+        // Fall through *without* the token: the caller is about to park in
+        // the OS, concurrently with whoever got the token.
+    }
+
+    fn block_exit(&self) {
+        let core = &*self.core;
+        let mut st = core.lock();
+        core.tick();
+        st.states[self.id] = VState::Runnable;
+        if st.current == NOBODY {
+            st.current = self.id;
+        }
+        core.wait_for_token(st, self.id);
+    }
+}
+
+/// Run `threads` under the schedule described by `cursor`. Returns once all
+/// threads finished or the run was declared dead (`stall_timeout` with no
+/// progress). Deterministic for a fixed cursor as long as the closures are.
+pub fn run_schedule(
+    cursor: Cursor,
+    threads: Vec<Box<dyn FnOnce() + Send>>,
+    stall_timeout: Duration,
+) -> RunResult {
+    let n = threads.len();
+    assert!(n > 0, "a schedule needs at least one thread");
+    let core = Arc::new(Core {
+        m: Mutex::new(State {
+            states: vec![VState::Runnable; n],
+            current: NOBODY,
+            ready: 0,
+            cursor,
+            spin_streak: 0,
+            failures: Vec::new(),
+        }),
+        cv: Condvar::new(),
+        steps: AtomicU64::new(0),
+    });
+
+    let handles: Vec<_> = threads
+        .into_iter()
+        .enumerate()
+        .map(|(id, f)| {
+            let core = Arc::clone(&core);
+            std::thread::spawn(move || vthread_main(core, id, f))
+        })
+        .collect();
+
+    // Start gate: wait until everyone registered, then give thread 0 the
+    // token (the cursor's rank order makes the first decision from there).
+    {
+        let mut st = core.lock();
+        while st.ready < n {
+            st = core.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        core.handoff(&mut st, 0);
+    }
+
+    // Supervise: join on completion, declare the run dead on a frozen step
+    // counter. The counter moves on every hook, so freezing means every
+    // live thread is parked in the OS waiting for a wakeup that can only
+    // come from another parked thread — a deadlock.
+    let mut last_steps = core.steps.load(Ordering::Relaxed);
+    let mut last_change = Instant::now();
+    let deadlocked = loop {
+        std::thread::sleep(Duration::from_millis(2));
+        let st = core.lock();
+        if st.states.iter().all(|&s| s == VState::Done) {
+            break false;
+        }
+        drop(st);
+        let steps = core.steps.load(Ordering::Relaxed);
+        if steps != last_steps {
+            last_steps = steps;
+            last_change = Instant::now();
+        } else if last_change.elapsed() >= stall_timeout {
+            break true;
+        }
+    };
+
+    let mut st = core.lock();
+    if deadlocked {
+        let msg = format!(
+            "no progress for {stall_timeout:?}; thread states {:?}",
+            st.states
+        );
+        st.failures.push(Failure::Deadlock(msg));
+        // Unpark any thread still waiting for a token it will never get
+        // (none should be, but don't risk hanging the supervisor).
+        st.current = NOBODY;
+    }
+    let failure = st.failures.first().cloned();
+    let cursor = st.cursor.clone();
+    drop(st);
+    if !deadlocked {
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+    // On deadlock the handles are dropped: the parked threads are leaked
+    // deliberately (the process is a test binary; the run already failed).
+    RunResult {
+        failure,
+        cursor,
+        steps: core.steps.load(Ordering::Relaxed),
+    }
+}
+
+fn vthread_main(core: Arc<Core>, id: usize, f: Box<dyn FnOnce() + Send>) {
+    sched::register(Arc::new(Driver {
+        core: Arc::clone(&core),
+        id,
+    }));
+    // Ready barrier, then wait for the token.
+    {
+        let mut st = core.lock();
+        st.ready += 1;
+        core.cv.notify_all();
+        core.wait_for_token(st, id);
+    }
+
+    let result = catch_unwind(AssertUnwindSafe(f));
+    sched::unregister();
+
+    let mut st = core.lock();
+    core.tick();
+    st.states[id] = VState::Done;
+    if let Err(payload) = result {
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        st.failures
+            .push(Failure::Panic(format!("vthread {id}: {msg}")));
+    }
+    let next = Core::next_runnable_after(&st, id).unwrap_or(NOBODY);
+    core.handoff(&mut st, next);
+}

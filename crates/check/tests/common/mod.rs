@@ -1,0 +1,147 @@
+//! Scenario builders shared by the `tle-check` integration suites.
+//!
+//! Each builder returns a *fresh* [`Scenario`] — new `TmSystem`, new lock,
+//! new cells — so the explorer can run it once per schedule. The closures
+//! use the same public API as the stress tests (`ThreadHandle::critical`
+//! over `TCell`s), which is exactly what makes the harness meaningful: the
+//! kernels under deterministic exploration are the production kernels.
+
+// Each integration-test binary includes this module but uses a different
+// subset of the builders.
+#![allow(dead_code)]
+
+use std::sync::Arc;
+use tle_base::TCell;
+use tle_check::Scenario;
+use tle_core::{AlgoMode, ElidableMutex, TmSystem, TxCondvar};
+use tle_stm::StmAlgo;
+
+/// The all-cells-equal snapshot invariant from `tests/opacity.rs`, shrunk
+/// to model-checking size: every thread repeatedly asserts all cells equal
+/// (inside the transaction — a torn read panics the vthread) and increments
+/// them all. The post-condition pins the final counter value, the recorded
+/// history goes to the opacity oracle, and `init` closes the oracle's
+/// first-read binding blind spot.
+pub fn snapshot_scenario(
+    mode: AlgoMode,
+    algo: StmAlgo,
+    threads: usize,
+    ops: u64,
+    n_cells: usize,
+) -> Scenario {
+    let sys = Arc::new(TmSystem::new(mode));
+    sys.set_stm_algo(algo);
+    let lock = Arc::new(ElidableMutex::new("check-snapshot"));
+    let cells: Arc<Vec<TCell<u64>>> = Arc::new((0..n_cells).map(|_| TCell::new(0)).collect());
+    let init: Vec<(usize, u64)> = cells.iter().map(|c| (c.addr(), 0)).collect();
+
+    let mut tvec: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+    for _ in 0..threads {
+        let sys = Arc::clone(&sys);
+        let lock = Arc::clone(&lock);
+        let cells = Arc::clone(&cells);
+        tvec.push(Box::new(move || {
+            let th = sys.register();
+            for _ in 0..ops {
+                th.critical(&lock, |ctx| {
+                    let first = ctx.read(&cells[0])?;
+                    for c in cells.iter().skip(1) {
+                        let v = ctx.read(c)?;
+                        assert_eq!(v, first, "torn snapshot under {mode:?}/{algo:?}");
+                    }
+                    for c in cells.iter() {
+                        ctx.write(c, first + 1)?;
+                    }
+                    Ok(())
+                });
+            }
+        }));
+    }
+
+    let expect = threads as u64 * ops;
+    let post_cells = Arc::clone(&cells);
+    Scenario {
+        threads: tvec,
+        init,
+        post: Box::new(move |_| {
+            for (i, c) in post_cells.iter().enumerate() {
+                let v = c.load_direct();
+                if v != expect {
+                    return Err(format!(
+                        "cell {i} = {v}, expected {expect} under {mode:?}/{algo:?}"
+                    ));
+                }
+            }
+            Ok(())
+        }),
+    }
+}
+
+/// One producer, one consumer over a Wang-style condvar: the consumer
+/// checks the flag and waits in the same transaction (commit-then-block);
+/// the producer sets the flag and signals. Any interleaving must end with
+/// the consumer observing the flagged value — a lost wakeup shows up as a
+/// deadlock, a torn handoff as an opacity violation.
+pub fn handoff_scenario(mode: AlgoMode, algo: StmAlgo) -> Scenario {
+    let sys = Arc::new(TmSystem::new(mode));
+    sys.set_stm_algo(algo);
+    let lock = Arc::new(ElidableMutex::new("check-handoff"));
+    let cv = Arc::new(TxCondvar::new());
+    let flag = Arc::new(TCell::new(0u64));
+    let value = Arc::new(TCell::new(0u64));
+    let seen = Arc::new(TCell::new(0u64));
+    let init = vec![(flag.addr(), 0), (value.addr(), 0), (seen.addr(), 0)];
+
+    let consumer: Box<dyn FnOnce() + Send> = {
+        let sys = Arc::clone(&sys);
+        let lock = Arc::clone(&lock);
+        let cv = Arc::clone(&cv);
+        let flag = Arc::clone(&flag);
+        let value = Arc::clone(&value);
+        let seen = Arc::clone(&seen);
+        Box::new(move || {
+            let th = sys.register();
+            let got = th.critical(&lock, |ctx| {
+                if ctx.read(&*flag)? == 0 {
+                    return ctx.wait(&cv, None).map(|_| 0);
+                }
+                let v = ctx.read(&*value)?;
+                ctx.write(&*seen, v)?;
+                Ok(v)
+            });
+            assert_eq!(got, 55, "consumer woke before the handoff under {mode:?}");
+        })
+    };
+    let producer: Box<dyn FnOnce() + Send> = {
+        let sys = Arc::clone(&sys);
+        let lock = Arc::clone(&lock);
+        let cv = Arc::clone(&cv);
+        let flag = Arc::clone(&flag);
+        let value = Arc::clone(&value);
+        Box::new(move || {
+            let th = sys.register();
+            th.critical(&lock, |ctx| {
+                ctx.write(&*value, 55u64)?;
+                ctx.write(&*flag, 1u64)?;
+                ctx.signal(&cv)?;
+                Ok(())
+            });
+        })
+    };
+
+    let post_seen = Arc::clone(&seen);
+    Scenario {
+        // Consumer first: the default (rank-0) schedule parks it before the
+        // producer runs, exercising the commit-then-block path on the very
+        // first schedule.
+        threads: vec![consumer, producer],
+        init,
+        post: Box::new(move |_| {
+            let v = post_seen.load_direct();
+            if v != 55 {
+                return Err(format!("consumer recorded {v}, expected 55"));
+            }
+            Ok(())
+        }),
+    }
+}

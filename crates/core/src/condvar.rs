@@ -24,6 +24,8 @@ use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 use tle_base::fault::{self, Hazard};
+use tle_base::mutant::{self, Mutant};
+use tle_base::sched::{self, YieldPoint};
 use tle_base::trace::{self, TraceKind, TxMode};
 use tle_base::{AbortCause, TCell};
 
@@ -60,6 +62,13 @@ impl Waiter {
                 Hazard::SignalDelay.index() as u64,
             );
         }
+        sched::yield_point(YieldPoint::Notify);
+        // Seeded bug: the committed dequeue happened, but the wakeup is
+        // dropped on the floor — the waiter sleeps forever (or until its
+        // timeout, turning a signal into a spurious-looking timeout).
+        if mutant::armed(Mutant::LostSignal) {
+            return;
+        }
         let mut s = self.state.lock();
         *s = true;
         self.cv.notify_one();
@@ -79,32 +88,43 @@ impl Waiter {
                 Hazard::SpuriousWake.index() as u64,
             );
         }
-        let mut s = self.state.lock();
-        match timeout {
-            None => {
-                while !*s {
-                    if spurious {
-                        spurious = false; // wait() "returned" without a notify
-                        continue;
+        // The whole park is bracketed for the cooperative scheduler: the
+        // thread leaves the token ring while it sleeps on the OS channel and
+        // rejoins once (and if) the wakeup lands.
+        sched::yield_point(YieldPoint::Park);
+        sched::block_enter();
+        let woke = {
+            let mut s = self.state.lock();
+            match timeout {
+                None => {
+                    while !*s {
+                        if spurious {
+                            spurious = false; // wait() "returned" without a notify
+                            continue;
+                        }
+                        self.cv.wait(&mut s);
                     }
-                    self.cv.wait(&mut s);
+                    true
                 }
-                true
-            }
-            Some(d) => {
-                let deadline = std::time::Instant::now() + d;
-                while !*s {
-                    if spurious {
-                        spurious = false;
-                        continue;
+                Some(d) => {
+                    let deadline = std::time::Instant::now() + d;
+                    let mut woke = true;
+                    while !*s {
+                        if spurious {
+                            spurious = false;
+                            continue;
+                        }
+                        if self.cv.wait_until(&mut s, deadline).timed_out() {
+                            woke = *s;
+                            break;
+                        }
                     }
-                    if self.cv.wait_until(&mut s, deadline).timed_out() {
-                        return *s;
-                    }
+                    woke
                 }
-                true
             }
-        }
+        };
+        sched::block_exit();
+        woke
     }
 }
 

@@ -9,6 +9,7 @@
 use crate::condvar::{TxCondvar, Waiter};
 use std::sync::Arc;
 use std::time::Duration;
+use tle_base::history;
 use tle_base::{AbortCause, TCell, TxVal};
 use tle_htm::HtmTx;
 use tle_stm::SoftTx;
@@ -85,7 +86,11 @@ impl<'a> TxCtx<'a> {
     /// Raw read used by both the public API and the condvar machinery.
     pub(crate) fn mem_read<T: TxVal>(&mut self, c: &TCell<T>) -> Result<T, AbortCause> {
         match &mut self.kind {
-            CtxKind::Locked { .. } | CtxKind::Serial => Ok(c.load_direct()),
+            CtxKind::Locked { .. } | CtxKind::Serial => {
+                let v = c.load_direct();
+                history::read(c.addr(), v.to_word());
+                Ok(v)
+            }
             CtxKind::Stm { tx, .. } => tx.read(c),
             CtxKind::Htm { tx } => tx.read(c),
         }
@@ -96,6 +101,7 @@ impl<'a> TxCtx<'a> {
         match &mut self.kind {
             CtxKind::Locked { .. } | CtxKind::Serial => {
                 c.store_direct(v);
+                history::write(c.addr(), v.to_word());
                 Ok(())
             }
             CtxKind::Stm { tx, .. } => tx.write(c, v),

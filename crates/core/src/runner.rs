@@ -33,7 +33,9 @@ use crate::elide::ElidableMutex;
 use crate::system::{AlgoMode, ThreadHandle, TxHints};
 use std::sync::Arc;
 use tle_base::fault::{self, Hazard};
+use tle_base::history;
 use tle_base::rng::splitmix64;
+use tle_base::sched::{self, YieldPoint};
 use tle_base::trace::{self, TraceKind, TxMode};
 use tle_base::AbortCause;
 
@@ -143,6 +145,7 @@ where
         let mut spins = 0u32;
         while lock.held_cell().load_direct() {
             spins += 1;
+            sched::spin_hint(YieldPoint::LockWord);
             if spins < 32 {
                 std::hint::spin_loop();
             } else {
@@ -284,6 +287,7 @@ where
         return SerialOutcome::Redispatch;
     }
 
+    history::begin(TxMode::Locked);
     let mut ctx = TxCtx::new(CtxKind::Serial);
     let res = f(&mut ctx);
     let TxCtx {
@@ -291,6 +295,11 @@ where
         defers,
         pending_wait,
     } = ctx;
+    // Commit event while the lock word is still held — the hold window is
+    // the section's serialization interval (aborts panic below, unrecorded).
+    if !matches!(res, Err(TxError::Abort(_))) {
+        history::commit();
+    }
     lock.held_cell().store_direct(false);
     match res {
         Ok(r) => {
@@ -386,13 +395,19 @@ where
     F: FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
 {
     let _ = th;
+    sched::yield_point(YieldPoint::LockWord);
+    // Bracket the raw-mutex acquisition for the cooperative scheduler: the
+    // thread may park in the OS here, and the holder needs to run.
+    sched::block_enter();
     let mut guard = Some(lock.raw().lock());
+    sched::block_exit();
     // The raw mutex is the foothold: a flip acquires it too, so a matching
     // epoch here cannot change until we release.
     if lock.domain().epoch() != epoch {
         return Outcome::Redispatch;
     }
     loop {
+        history::begin(TxMode::Locked);
         let mut ctx = TxCtx::new(CtxKind::Locked {
             guard: guard.take(),
         });
@@ -410,6 +425,9 @@ where
             Ok(r) => {
                 debug_assert!(pending_wait.is_none(), "wait() result must be propagated");
                 lock.domain().window.record_serial();
+                // Commit event while the mutex is still held: the section's
+                // serialization point is the whole hold window.
+                history::commit();
                 drop(g);
                 for d in defers {
                     d();
@@ -420,11 +438,14 @@ where
                 // The "commit point" of a baseline section that waits is
                 // the wait itself; run deferred actions now (still holding
                 // the lock, like the original pthread program would).
+                history::commit();
                 for d in defers {
                     d();
                 }
                 let pw = pending_wait.expect("Wait reported without a wait request");
+                sched::block_enter();
                 pw.cv.native_wait(&mut g, pw.timeout);
+                sched::block_exit();
                 // The wait released the mutex while parked; a flip may have
                 // completed in between.
                 if lock.domain().epoch() != epoch {
@@ -733,6 +754,7 @@ where
         drop(token);
         return SerialOutcome::Redispatch;
     }
+    history::begin(TxMode::Serial);
     let mut ctx = TxCtx::new(CtxKind::Serial);
     let res = f(&mut ctx);
     let TxCtx {
@@ -747,6 +769,9 @@ where
             debug_assert!(pending_wait.is_none(), "wait() result must be propagated");
             sys.stats.commits.inc(th.stm_slot);
             trace::emit(TraceKind::Commit, TxMode::Serial, None, 0);
+            // Recorded before the serial token drops: nothing else runs
+            // inside the hold window.
+            history::commit();
             drop(token);
             for d in defers {
                 d();
@@ -756,6 +781,7 @@ where
         Err(TxError::Wait) => {
             sys.stats.commits.inc(th.stm_slot);
             trace::emit(TraceKind::Commit, TxMode::Serial, None, 0);
+            history::commit();
             drop(token);
             for d in defers {
                 d();
@@ -774,6 +800,7 @@ where
 /// transaction that subscribed before the CAS (transactions beginning
 /// after it read `true` and abort themselves).
 fn adaptive_acquire(th: &ThreadHandle, lock: &ElidableMutex) {
+    sched::yield_point(YieldPoint::LockWord);
     let mut spins = 0u32;
     loop {
         if !lock.held_cell().load_direct()
@@ -791,6 +818,7 @@ fn adaptive_acquire(th: &ThreadHandle, lock: &ElidableMutex) {
             break;
         }
         spins += 1;
+        sched::spin_hint(YieldPoint::LockWord);
         if spins < 64 {
             std::hint::spin_loop();
         } else {
@@ -809,6 +837,7 @@ fn block_on<'a>(th: &'a ThreadHandle, lock: &'a ElidableMutex, pw: PendingWait<'
             // yield keeps the poll loop finite on oversubscribed machines
             // (without it, a polling thread can burn its entire quantum
             // while the thread it waits for is descheduled).
+            sched::spin_hint(YieldPoint::Park);
             std::hint::spin_loop();
             std::thread::yield_now();
         }
@@ -912,7 +941,9 @@ fn remove_waiter_excluded(
     let sys = &*th.sys;
     // Unwind audit: token and guard both release in Drop; see `run_serial`.
     let token = sys.gate.enter_serial();
+    sched::block_enter();
     let guard = lock.raw_lock();
+    sched::block_exit();
     adaptive_acquire(th, lock);
     let mut ctx = TxCtx::new(CtxKind::Serial);
     let removed = cv

@@ -219,6 +219,8 @@ impl HtmGlobal {
         let mut spins = 0u32;
         while self.tx_state[slot].load(Ordering::SeqCst) == state::COMMITTED {
             spins += 1;
+            // The committing slot needs to run for this wait to end.
+            tle_base::sched::spin_hint(tle_base::sched::YieldPoint::TxState);
             if spins < 32 {
                 std::hint::spin_loop();
             } else {

@@ -15,6 +15,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use tle_base::line_of;
+use tle_base::sched::{self, YieldPoint};
 use tle_base::trace::{self, TraceKind, TxMode};
 use tle_base::AbortCause;
 
@@ -41,6 +42,7 @@ impl Line {
     /// Add `slot` to the reader bitmap.
     #[inline]
     pub fn add_reader(&self, slot: usize) {
+        sched::yield_point(YieldPoint::LineMark);
         self.readers.fetch_or(1u64 << slot, Ordering::SeqCst);
     }
 
@@ -53,6 +55,12 @@ impl Line {
     /// CAS the writer word.
     #[inline]
     pub fn cas_writer(&self, cur: u64, new: u64) -> bool {
+        // Claiming the writer word is the HTM's conflict-visibility edge;
+        // clearing it (new == 0) happens on cleanup paths that are already
+        // bracketed by state-word hooks.
+        if new != 0 {
+            sched::yield_point(YieldPoint::LineMark);
+        }
         self.writer
             .compare_exchange(cur, new, Ordering::SeqCst, Ordering::SeqCst)
             .is_ok()

@@ -4,7 +4,10 @@
 use crate::{state, DoomOutcome, HtmGlobal};
 use std::sync::atomic::{AtomicU64, Ordering};
 use tle_base::fault::{self, Hazard};
+use tle_base::history;
+use tle_base::mutant::{self, Mutant};
 use tle_base::rng::XorShift64;
+use tle_base::sched::{self, YieldPoint};
 use tle_base::trace::{self, TraceKind, TxMode};
 use tle_base::{AbortCause, TCell, TxVal};
 
@@ -39,6 +42,7 @@ pub struct HtmTx<'g> {
 
 impl<'g> HtmTx<'g> {
     pub(crate) fn begin(g: &'g HtmGlobal, slot: usize) -> Self {
+        sched::yield_point(YieldPoint::TxState);
         g.tx_state[slot].store(state::ACTIVE, Ordering::SeqCst);
         // Seed differs per (slot, begin) so event aborts are not correlated
         // across retries, yet the whole run is deterministic.
@@ -47,6 +51,7 @@ impl<'g> HtmTx<'g> {
         g.slots
             .publish_raw(slot, g.slots.value(slot).wrapping_add(1));
         trace::emit(TraceKind::Begin, TxMode::Htm, None, slot as u64);
+        history::begin(TxMode::Htm);
         HtmTx {
             g,
             slot,
@@ -67,7 +72,11 @@ impl<'g> HtmTx<'g> {
 
     /// Transactionally read a cell.
     pub fn read<T: TxVal>(&mut self, cell: &TCell<T>) -> Result<T, AbortCause> {
-        self.access_checks()?;
+        // Seeded bug (`SkipDoomCheck`): pretend the read path forgot both of
+        // its doom checks, so a transaction invalidated by a committing
+        // writer keeps consuming values.
+        let skip_doom = mutant::armed(Mutant::SkipDoomCheck);
+        self.access_checks(skip_doom)?;
         let addr = cell.addr();
         let li = self.g.table.index_of(addr) as u32;
         if !self.write_lines.contains(&li) && !self.read_lines.contains(&li) {
@@ -75,21 +84,23 @@ impl<'g> HtmTx<'g> {
         }
         // Read-own-write: return the buffered value.
         if let Some(&(_, _, w)) = self.redo.iter().find(|&&(_, a, _)| a == addr) {
+            history::read(addr, w);
             return Ok(T::from_word(w));
         }
-        let val = cell.load_seqcst();
+        let word = cell.word().load(Ordering::SeqCst);
         // The load and the line marking are not one atomic step; a writer
         // that committed in between doomed us — re-check before returning.
-        if self.g.is_doomed(self.slot) {
+        if !skip_doom && self.g.is_doomed(self.slot) {
             return Err(AbortCause::Conflict);
         }
         trace::emit(TraceKind::Read, TxMode::Htm, None, li as u64);
-        Ok(val)
+        history::read(addr, word);
+        Ok(T::from_word(word))
     }
 
     /// Transactionally write a cell (buffered until commit).
     pub fn write<T: TxVal>(&mut self, cell: &TCell<T>, v: T) -> Result<(), AbortCause> {
-        self.access_checks()?;
+        self.access_checks(false)?;
         let addr = cell.addr();
         let li = self.g.table.index_of(addr) as u32;
         if !self.write_lines.contains(&li) {
@@ -106,6 +117,7 @@ impl<'g> HtmTx<'g> {
             return Err(AbortCause::Conflict);
         }
         trace::emit(TraceKind::Write, TxMode::Htm, None, li as u64);
+        history::write(addr, word);
         Ok(())
     }
 
@@ -129,8 +141,8 @@ impl<'g> HtmTx<'g> {
         Err(AbortCause::Unsafe)
     }
 
-    fn access_checks(&mut self) -> Result<(), AbortCause> {
-        if self.g.is_doomed(self.slot) {
+    fn access_checks(&mut self, skip_doom: bool) -> Result<(), AbortCause> {
+        if !skip_doom && self.g.is_doomed(self.slot) {
             return Err(AbortCause::Conflict);
         }
         let idx = self.accesses;
@@ -264,6 +276,7 @@ impl<'g> HtmTx<'g> {
     /// release the footprint.
     pub fn commit(mut self) -> Result<(), AbortCause> {
         debug_assert!(!self.finished);
+        sched::yield_point(YieldPoint::TxState);
         if self.g.tx_state[self.slot]
             .compare_exchange(
                 state::ACTIVE,
@@ -283,11 +296,19 @@ impl<'g> HtmTx<'g> {
                 Some(AbortCause::Conflict),
                 self.slot as u64,
             );
+            history::abort();
             return Err(AbortCause::Conflict);
         }
+        // The CAS above is the linearization point: every line we touched is
+        // still ours, so readers of our yet-unpublished values are doomed and
+        // will abort before recording anything. Record the commit *here*,
+        // before publishing, so log order matches visibility order.
+        history::commit();
         for &(cell, _, val) in &self.redo {
             // SAFETY: cells outlive the transaction (documented invariant).
             unsafe { (*cell).store(val, Ordering::SeqCst) };
+            // Half-published redo log: only doomed transactions can see it.
+            sched::yield_point(YieldPoint::MemStore);
         }
         let published = self.redo.len() as u64;
         self.cleanup();
@@ -303,6 +324,7 @@ impl<'g> HtmTx<'g> {
         self.finished = true;
         self.g.stats.count_abort(self.slot, cause);
         trace::emit(TraceKind::Abort, TxMode::Htm, Some(cause), self.slot as u64);
+        history::abort();
     }
 
     fn cleanup(&mut self) {
@@ -328,6 +350,7 @@ impl Drop for HtmTx<'_> {
                 Some(AbortCause::Explicit),
                 self.slot as u64,
             );
+            history::abort();
         }
     }
 }

@@ -24,6 +24,8 @@ use crate::tx::CommitInfo;
 use crate::StmGlobal;
 use std::sync::atomic::{AtomicU64, Ordering};
 use tle_base::fault::{self, Hazard};
+use tle_base::history;
+use tle_base::sched::{self, YieldPoint};
 use tle_base::trace::{self, TraceKind, TxMode};
 use tle_base::{AbortCause, TCell, TxVal};
 
@@ -42,10 +44,12 @@ pub struct NorecTx<'g> {
 
 impl<'g> NorecTx<'g> {
     pub(crate) fn begin(g: &'g StmGlobal, slot_idx: usize) -> Self {
+        sched::yield_point(YieldPoint::SeqLock);
         let snapshot = wait_even(&g.norec_seq);
         // Publish for the (ml_wt-oriented) drain scans; harmless here.
         g.slots.publish_raw(slot_idx, snapshot);
         trace::emit(TraceKind::Begin, TxMode::Norec, None, snapshot);
+        history::begin(TxMode::Norec);
         NorecTx {
             g,
             slot_idx,
@@ -70,14 +74,17 @@ impl<'g> NorecTx<'g> {
 
     /// Transactionally read a cell.
     pub fn read<T: TxVal>(&mut self, cell: &TCell<T>) -> Result<T, AbortCause> {
+        sched::yield_point(YieldPoint::SeqLock);
         let addr = cell.addr();
         if let Some(&(_, _, w)) = self.writes.iter().find(|&&(_, a, _)| a == addr) {
+            history::read(addr, w);
             return Ok(T::from_word(w));
         }
         loop {
             let v = cell.word().load(Ordering::Acquire);
             if self.g.norec_seq.load(Ordering::Acquire) == self.snapshot {
                 self.reads.push((cell.word() as *const AtomicU64, v));
+                history::read(addr, v);
                 return Ok(T::from_word(v));
             }
             // The world moved: value-validate and adopt the newer snapshot,
@@ -96,6 +103,7 @@ impl<'g> NorecTx<'g> {
             self.writes
                 .push((cell.word() as *const AtomicU64, addr, word));
         }
+        history::write(addr, word);
         Ok(())
     }
 
@@ -114,6 +122,7 @@ impl<'g> NorecTx<'g> {
     /// Value-based validation: every logged read must still observe its
     /// logged value at a stable (even, unchanged) sequence point.
     fn revalidate(&mut self) -> Result<(), AbortCause> {
+        sched::yield_point(YieldPoint::Validate);
         // Fault oracle: widen the value-validation window so a writer can
         // commit mid-scan; the trailing sequence re-check must then loop.
         let stalled = fault::maybe_stall(Hazard::ValidationDelay);
@@ -157,6 +166,7 @@ impl<'g> NorecTx<'g> {
         let shard = self.slot_idx;
         if self.writes.is_empty() {
             self.finished = true;
+            history::commit();
             self.g.slots.publish_raw(self.slot_idx, tle_base::INACTIVE);
             self.g.stats.commits.inc(shard);
             trace::emit(TraceKind::Commit, TxMode::Norec, None, self.snapshot);
@@ -168,6 +178,7 @@ impl<'g> NorecTx<'g> {
         }
         // Acquire the sequence lock at our snapshot; on contention,
         // value-validate against the newer state and retry.
+        sched::yield_point(YieldPoint::SeqLock);
         loop {
             match self.g.norec_seq.compare_exchange(
                 self.snapshot,
@@ -185,11 +196,17 @@ impl<'g> NorecTx<'g> {
                         self.g.stats.count_abort(shard, cause);
                         self.g.slots.publish_raw(self.slot_idx, tle_base::INACTIVE);
                         trace::emit(TraceKind::Abort, TxMode::Norec, Some(cause), self.snapshot);
+                        history::abort();
                         return Err(cause);
                     }
                 }
             }
         }
+        // Commit event recorded while the sequence lock is still held (odd):
+        // no reader records a value we publish below until the lock goes
+        // even, so the log's `Commit` order serializes NOrec writers.
+        history::commit();
+        sched::yield_point(YieldPoint::MemStore);
         for &(c, _, v) in &self.writes {
             // SAFETY: cells outlive the transaction.
             unsafe { (*c).store(v, Ordering::Release) };
@@ -213,6 +230,7 @@ impl<'g> NorecTx<'g> {
         self.g.stats.count_abort(self.slot_idx, cause);
         self.g.slots.publish_raw(self.slot_idx, tle_base::INACTIVE);
         trace::emit(TraceKind::Abort, TxMode::Norec, Some(cause), self.snapshot);
+        history::abort();
     }
 }
 
@@ -229,6 +247,7 @@ impl Drop for NorecTx<'_> {
                 Some(AbortCause::Explicit),
                 self.snapshot,
             );
+            history::abort();
         }
     }
 }
@@ -242,6 +261,7 @@ fn wait_even(seq: &AtomicU64) -> u64 {
             return s;
         }
         spins += 1;
+        sched::spin_hint(YieldPoint::SeqLock);
         if spins < 32 {
             std::hint::spin_loop();
         } else {

@@ -25,6 +25,7 @@
 
 use std::time::Instant;
 use tle_base::fault::{self, Hazard};
+use tle_base::sched::{self, YieldPoint};
 use tle_base::stats::{fmt_ns, TxStats};
 use tle_base::trace::{self, TraceKind, TxMode};
 #[cfg(test)]
@@ -131,6 +132,7 @@ pub fn drain_watched(
     // Fault oracle: delay the drain itself. The timer starts before the
     // injected stall so the stall counts as waiting time and can drive the
     // watchdog past its deadline.
+    sched::yield_point(YieldPoint::QuiesceScan);
     let t0 = Instant::now();
     let injected = fault::maybe_stall(Hazard::QuiesceDelay);
     if injected > 0 {
@@ -178,6 +180,7 @@ pub fn drain_watched(
         let mut spins = 0u32;
         while slots.value(idx) < upto {
             spins += 1;
+            sched::spin_hint(YieldPoint::QuiesceScan);
             if spins < 16 {
                 std::hint::spin_loop();
             } else {

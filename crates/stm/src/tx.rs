@@ -6,7 +6,10 @@ use crate::quiesce::{drain_watched, QuiescePolicy, Watchdog};
 use crate::StmGlobal;
 use std::sync::atomic::{AtomicU64, Ordering};
 use tle_base::fault::{self, Hazard};
+use tle_base::history;
+use tle_base::mutant::{self, Mutant};
 use tle_base::orec::OrecValue;
+use tle_base::sched::{self, YieldPoint};
 use tle_base::trace::{self, TraceKind, TxMode};
 use tle_base::{AbortCause, TCell, TxVal};
 
@@ -55,9 +58,11 @@ pub struct StmTx<'g> {
 
 impl<'g> StmTx<'g> {
     pub(crate) fn begin(g: &'g StmGlobal, slot_idx: usize) -> Self {
+        sched::yield_point(YieldPoint::ClockRead);
         let start = g.clock.now();
         g.slots.publish_raw(slot_idx, start);
         trace::emit(TraceKind::Begin, TxMode::Stm, None, start);
+        history::begin(TxMode::Stm);
         StmTx {
             g,
             slot_idx,
@@ -139,6 +144,7 @@ impl<'g> StmTx<'g> {
     }
 
     fn read_word(&mut self, w: &AtomicU64, addr: usize) -> Result<u64, AbortCause> {
+        sched::yield_point(YieldPoint::OrecLoad);
         let oi = self.g.orecs.index_of(addr);
         let mut spins = 0u32;
         loop {
@@ -146,12 +152,15 @@ impl<'g> StmTx<'g> {
             match OrecValue::decode(v1) {
                 OrecValue::Locked(owner) if owner == self.slot_idx => {
                     // Read-own-write: value is in place.
-                    return Ok(w.load(Ordering::Acquire));
+                    let val = w.load(Ordering::Acquire);
+                    history::read(addr, val);
+                    return Ok(val);
                 }
                 OrecValue::Locked(_) => {
                     if spins < LOCKED_SPIN {
                         spins += 1;
                         std::hint::spin_loop();
+                        sched::spin_hint(YieldPoint::OrecLoad);
                         continue;
                     }
                     trace::emit(
@@ -177,6 +186,7 @@ impl<'g> StmTx<'g> {
                     }
                     self.reads.push((oi as u32, v1));
                     trace::emit(TraceKind::Read, TxMode::Stm, None, oi as u64);
+                    history::read(addr, val);
                     return Ok(val);
                 }
             }
@@ -184,6 +194,7 @@ impl<'g> StmTx<'g> {
     }
 
     fn write_word(&mut self, w: &AtomicU64, addr: usize, val: u64) -> Result<(), AbortCause> {
+        sched::yield_point(YieldPoint::OrecAcquire);
         let oi = self.g.orecs.index_of(addr);
         let mut spins = 0u32;
         loop {
@@ -193,12 +204,14 @@ impl<'g> StmTx<'g> {
                     self.undo
                         .push((w as *const AtomicU64, w.load(Ordering::Relaxed)));
                     w.store(val, Ordering::Release);
+                    history::write(addr, val);
                     return Ok(());
                 }
                 OrecValue::Locked(_) => {
                     if spins < LOCKED_SPIN {
                         spins += 1;
                         std::hint::spin_loop();
+                        sched::spin_hint(YieldPoint::OrecAcquire);
                         continue;
                     }
                     trace::emit(
@@ -216,6 +229,9 @@ impl<'g> StmTx<'g> {
                     }
                     if self.g.orecs.try_lock(oi, cur, self.slot_idx) {
                         self.locks.push((oi as u32, cur));
+                        // In-flight window: the orec is held but the new value
+                        // is not yet stored; the explorer probes it here.
+                        sched::yield_point(YieldPoint::MemStore);
                         // Fault oracle: stall while *holding* the orec lock,
                         // simulating lock-holder preemption. Concurrent
                         // readers/writers of this orec must spin out and
@@ -233,6 +249,7 @@ impl<'g> StmTx<'g> {
                             .push((w as *const AtomicU64, w.load(Ordering::Relaxed)));
                         w.store(val, Ordering::Release);
                         trace::emit(TraceKind::Write, TxMode::Stm, None, oi as u64);
+                        history::write(addr, val);
                         return Ok(());
                     }
                     // CAS raced with another transaction; re-examine.
@@ -245,6 +262,7 @@ impl<'g> StmTx<'g> {
     /// start time to "now". Also republishes the epoch slot, which lets
     /// concurrent quiescence drains stop waiting on us.
     fn extend(&mut self) -> Result<(), AbortCause> {
+        sched::yield_point(YieldPoint::ClockRead);
         let now = self.g.clock.now();
         if let Err(cause) = self.validate() {
             trace::emit(TraceKind::Conflict, TxMode::Stm, Some(cause), now);
@@ -259,6 +277,7 @@ impl<'g> StmTx<'g> {
     /// Check that every read still observes the orec word it recorded (or
     /// that we subsequently locked the orec ourselves *at* that word).
     fn validate(&self) -> Result<(), AbortCause> {
+        sched::yield_point(YieldPoint::Validate);
         // Fault oracle: widen the validation window so concurrent commits
         // can race the revalidation (extension and commit-time paths both
         // funnel through here).
@@ -305,6 +324,7 @@ impl<'g> StmTx<'g> {
             // Read-only fast path: reads were validated incrementally, no
             // clock advance needed (GCC/TinySTM do the same).
             self.finished = true;
+            history::commit();
             self.g.slots.publish_raw(self.slot_idx, tle_base::INACTIVE);
             let info = self.maybe_quiesce(self.g.clock.now());
             self.g.stats.commits.inc(shard);
@@ -312,8 +332,9 @@ impl<'g> StmTx<'g> {
             return Ok(info);
         }
 
+        sched::yield_point(YieldPoint::ClockAdvance);
         let end = self.g.clock.advance();
-        if end > self.start + 1 {
+        if end > self.start + 1 && !mutant::armed(Mutant::SkipCommitValidation) {
             // Someone committed since our (possibly extended) start; the
             // read set must still hold. A failure here is a *commit-time*
             // validation abort, distinct from mid-transaction validation.
@@ -323,9 +344,16 @@ impl<'g> StmTx<'g> {
                 self.finished = true;
                 self.g.stats.count_abort(shard, cause);
                 trace::emit(TraceKind::Abort, TxMode::Stm, Some(cause), end);
+                history::abort();
                 return Err(cause);
             }
         }
+        // The commit event is recorded *before* the orecs are released: no
+        // other thread can read our writes until release, so log order of
+        // `Commit` events is a valid serialization order (see
+        // `tle_base::history` module docs).
+        history::commit();
+        sched::yield_point(YieldPoint::OrecRelease);
         for &(oi, _) in &self.locks {
             self.g.orecs.release(oi as usize, end);
         }
@@ -345,9 +373,19 @@ impl<'g> StmTx<'g> {
         self.g.stats.count_abort(self.slot_idx, cause);
         self.g.slots.publish_raw(self.slot_idx, tle_base::INACTIVE);
         trace::emit(TraceKind::Abort, TxMode::Stm, Some(cause), self.start);
+        history::abort();
     }
 
     fn rollback(&mut self) {
+        if mutant::armed(Mutant::EarlyOrecRelease) && !self.locks.is_empty() {
+            // Seeded bug: hand the orecs back while the undo log is still
+            // unapplied — readers sample a clean orec over dirty data.
+            let ver = self.g.clock.advance();
+            for (oi, _) in self.locks.drain(..) {
+                self.g.orecs.release(oi as usize, ver);
+            }
+            sched::yield_point(YieldPoint::OrecRelease);
+        }
         // Undo in reverse so repeated writes restore the oldest value.
         for (w, old) in self.undo.drain(..).rev() {
             // SAFETY: cells outlive the transaction (documented invariant).
@@ -371,7 +409,7 @@ impl<'g> StmTx<'g> {
             QuiescePolicy::Always => true,
             QuiescePolicy::Never => self.must_quiesce,
             QuiescePolicy::Selective => self.must_quiesce || !self.no_quiesce,
-        };
+        } && !mutant::armed(Mutant::DropQuiesce);
         if !needed {
             self.g.stats.quiesce_skipped.inc(self.slot_idx);
             if self.no_quiesce && self.g.audit_noquiesce_enabled() {
@@ -424,6 +462,7 @@ impl Drop for StmTx<'_> {
                 Some(AbortCause::Explicit),
                 self.start,
             );
+            history::abort();
         }
     }
 }

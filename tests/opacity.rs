@@ -15,7 +15,11 @@ use tle_repro::stm::StmAlgo;
 const CELLS: usize = 8;
 const WRITERS: usize = 3;
 const READERS: usize = 3;
-const OPS: u64 = 4_000;
+// Full stress weight only where the kernels are compiled for speed
+// (release / CI); debug builds exist to iterate, and the deterministic
+// sibling `tests/opacity_check.rs` carries the interleaving coverage there.
+const OPS: u64 = if cfg!(debug_assertions) { 400 } else { 4_000 };
+const ORDER_OPS: u64 = if cfg!(debug_assertions) { 300 } else { 2_000 };
 
 fn run_opacity(mode: AlgoMode, algo: StmAlgo) {
     let sys = Arc::new(TmSystem::new(mode));
@@ -137,7 +141,7 @@ fn commit_order_replay_matches_final_state() {
                     let th = sys.register();
                     let mut rng = tle_repro::base::rng::XorShift64::new(t as u64);
                     let mut log = Vec::new();
-                    for _ in 0..2_000 {
+                    for _ in 0..ORDER_OPS {
                         let target = rng.below(4) as usize;
                         let (tag, value) = th.critical(&lock, |ctx| {
                             let tag = ctx.update(&*seq, |v| v + 1)?;
