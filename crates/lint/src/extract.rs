@@ -1,0 +1,217 @@
+//! Locating atomic blocks: every `.critical(...)` / `.critical_with(...)`
+//! call site, with its closure body flattened for rule scanning.
+//!
+//! Call sites are recognized by shape — a `.` followed by one of the
+//! critical-section method names followed by a parenthesized argument
+//! group. Definitions (`pub fn critical<'a, R>(...)`) never match because
+//! they are not preceded by `.`. The search descends into *every* group,
+//! so call sites inside `macro_rules!` bodies, nested modules, closures and
+//! test functions are all found; nested `critical` calls surface both as
+//! their own site and as an R2 finding in the enclosing body.
+
+use crate::lexer::{Delim, Span, TokKind};
+use crate::tree::{Group, Tree};
+
+/// Method names that open an atomic block.
+pub const CRITICAL_METHODS: [&str; 3] = ["critical", "critical_with", "critical_hinted"];
+
+/// A flattened token inside a closure body. Group boundaries are kept as
+/// `Open`/`Close` entries so rules can reason about argument lists.
+#[derive(Debug, Clone)]
+pub struct Flat {
+    pub kind: TokKind,
+    pub span: Span,
+    /// True when the token sits inside the argument group of a
+    /// `.defer(...)` call: deferred actions run post-commit/post-unlock,
+    /// outside the abortable attempt, so the transaction-safety rules do
+    /// not apply to them (the paper's §VI logging-under-lock mechanism).
+    pub in_defer: bool,
+}
+
+impl Flat {
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// One located atomic block.
+#[derive(Debug)]
+pub struct Site {
+    /// `critical`, `critical_with` or `critical_hinted`.
+    pub method: String,
+    /// Span of the method-name token.
+    pub span: Span,
+    /// The closure's context parameter name (`ctx` in `|ctx| ...`), when
+    /// the closure binds one.
+    pub ctx: Option<String>,
+    /// The closure body, flattened.
+    pub body: Vec<Flat>,
+}
+
+/// Find every critical-section call site in the forest.
+pub fn find_sites(trees: &[Tree]) -> Vec<Site> {
+    let mut out = Vec::new();
+    walk(trees, &mut out);
+    out
+}
+
+fn walk(kids: &[Tree], out: &mut Vec<Site>) {
+    for (i, t) in kids.iter().enumerate() {
+        if let Tree::Group(g) = t {
+            if g.delim == Delim::Paren && i >= 2 && kids[i - 2].is_punct('.') {
+                if let Some(m) = kids[i - 1].ident() {
+                    if CRITICAL_METHODS.contains(&m) {
+                        out.push(extract_site(m, kids[i - 1].span(), g));
+                    }
+                }
+            }
+            walk(&g.kids, out);
+        }
+    }
+}
+
+/// Pull the trailing closure out of a critical call's argument group.
+fn extract_site(method: &str, span: Span, args: &Group) -> Site {
+    let kids = &args.kids;
+    // First top-level `|` opens the closure parameter list (the preceding
+    // arguments — lock reference, hints — never contain a bare `|`).
+    let Some(p0) = kids.iter().position(|t| t.is_punct('|')) else {
+        // No closure literal (e.g. a function path was passed); nothing to
+        // scan structurally.
+        return Site {
+            method: method.to_owned(),
+            span,
+            ctx: None,
+            body: Vec::new(),
+        };
+    };
+    let (ctx, body_start) = if kids.get(p0 + 1).is_some_and(|t| t.is_punct('|')) {
+        // `||` — parameterless closure.
+        (None, p0 + 2)
+    } else {
+        let p1 = kids[p0 + 1..]
+            .iter()
+            .position(|t| t.is_punct('|'))
+            .map(|off| p0 + 1 + off);
+        match p1 {
+            Some(p1) => {
+                let ctx = kids[p0 + 1..p1]
+                    .iter()
+                    .find_map(|t| t.ident().map(str::to_owned));
+                (ctx, p1 + 1)
+            }
+            None => (None, kids.len()),
+        }
+    };
+    let mut body = Vec::new();
+    flatten(&kids[body_start.min(kids.len())..], false, &mut body);
+    Site {
+        method: method.to_owned(),
+        span,
+        ctx,
+        body,
+    }
+}
+
+/// Flatten trees into the linear scan form, marking `.defer(...)` argument
+/// ranges.
+fn flatten(kids: &[Tree], in_defer: bool, out: &mut Vec<Flat>) {
+    for (i, t) in kids.iter().enumerate() {
+        match t {
+            Tree::Leaf(tok) => out.push(Flat {
+                kind: tok.kind.clone(),
+                span: tok.span,
+                in_defer,
+            }),
+            Tree::Group(g) => {
+                let deferred = in_defer
+                    || (g.delim == Delim::Paren
+                        && i >= 2
+                        && kids[i - 2].is_punct('.')
+                        && kids[i - 1].ident() == Some("defer"));
+                out.push(Flat {
+                    kind: TokKind::Open(g.delim),
+                    span: g.open,
+                    in_defer,
+                });
+                flatten(&g.kids, deferred, out);
+                out.push(Flat {
+                    kind: TokKind::Close(g.delim),
+                    span: g.close,
+                    in_defer,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::tree::parse;
+
+    fn sites(src: &str) -> Vec<Site> {
+        find_sites(&parse(lex(src).unwrap().0).unwrap())
+    }
+
+    #[test]
+    fn finds_simple_site_and_ctx_name() {
+        let s = sites("fn f() { th.critical(&lock, |ctx| { ctx.read(&c) }); }");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].method, "critical");
+        assert_eq!(s[0].ctx.as_deref(), Some("ctx"));
+        assert!(s[0].body.iter().any(|f| f.ident() == Some("read")));
+    }
+
+    #[test]
+    fn definitions_are_not_sites() {
+        let s = sites("pub fn critical(&self, body: F) -> R { run(body) }");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn critical_with_skips_hint_args() {
+        let s = sites("th.critical_with(&lock, (2, 8), move |tx| { tx.write(&c, 1) });");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].ctx.as_deref(), Some("tx"));
+    }
+
+    #[test]
+    fn nested_sites_are_both_found() {
+        let s = sites("th.critical(&a, |ctx| { th.critical(&b, |c2| { Ok(()) }) });");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn defer_args_are_marked() {
+        let s = sites("th.critical(&a, |ctx| { ctx.defer(move || println!(\"x\")); Ok(()) });");
+        let println_tok = s[0]
+            .body
+            .iter()
+            .find(|f| f.ident() == Some("println"))
+            .expect("println token present");
+        assert!(println_tok.in_defer);
+        let defer_tok = s[0]
+            .body
+            .iter()
+            .find(|f| f.ident() == Some("defer"))
+            .expect("defer token present");
+        assert!(!defer_tok.in_defer);
+    }
+
+    #[test]
+    fn macro_body_sites_are_found() {
+        let s = sites(
+            "macro_rules! m { ($th:ident, $l:expr) => { $th.critical($l, |ctx| { Ok(()) }) }; }",
+        );
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,550 @@
+//! A minimal Rust lexer — just enough fidelity for transaction-safety
+//! analysis.
+//!
+//! The analyzer does not need a full grammar: rules fire on token shapes
+//! (`.lock(`, `println!`, `Condvar`), so the lexer's only hard obligations
+//! are the ones that would otherwise *corrupt* the token stream — string
+//! and raw-string literals (so `"println!"` inside a test never looks like
+//! a macro call), char-vs-lifetime disambiguation, nested block comments,
+//! and exact line:column spans for every token (findings must point at the
+//! innermost offending token).
+//!
+//! Comments are not discarded: they are returned alongside the tokens
+//! because the suppression layer ([`crate::suppress`]) reads lint
+//! directives out of them.
+
+use std::fmt;
+
+/// A 1-based source position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Bracket family of a delimiter token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Delim {
+    Paren,
+    Bracket,
+    Brace,
+}
+
+/// What a token is. Multi-character operators are left as single-character
+/// puncts (`::` is two `Punct(':')`s); rule patterns match short sequences,
+/// which keeps the lexer trivial and the patterns explicit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (raw identifiers arrive without the `r#`).
+    Ident(String),
+    /// `'a`, `'static`, ...
+    Lifetime,
+    /// Any literal: numbers, strings, raw strings, chars, byte variants.
+    Literal,
+    /// A single punctuation character.
+    Punct(char),
+    Open(Delim),
+    Close(Delim),
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub span: Span,
+}
+
+impl Tok {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// A comment, kept for the suppression layer.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Interior text with the `//`, `///`, `//!` or `/* */` markers
+    /// stripped (leading doc markers removed, not trimmed further).
+    pub text: String,
+    /// Position of the first delimiter character.
+    pub span: Span,
+    /// True when no code token precedes the comment on its line — an
+    /// own-line comment suppresses the *next* code line, a trailing one its
+    /// own line.
+    pub own_line: bool,
+}
+
+/// A lexing failure (unterminated literal/comment, stray delimiter at tree
+/// stage). The analyzer reports it as a finding rather than crashing.
+#[derive(Debug)]
+pub struct LexError {
+    pub span: Span,
+    pub msg: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.msg)
+    }
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn span(&self) -> Span {
+        Span {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize `src`, returning code tokens and comments separately.
+pub fn lex(src: &str) -> Result<(Vec<Tok>, Vec<Comment>), LexError> {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut toks: Vec<Tok> = Vec::new();
+    let mut comments: Vec<Comment> = Vec::new();
+    // Line of the most recent code token, to classify comments as
+    // trailing vs own-line.
+    let mut last_tok_line: u32 = 0;
+
+    while let Some(c) = cur.peek(0) {
+        let span = cur.span();
+        match c {
+            _ if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' if cur.peek(1) == Some('/') => {
+                let own_line = last_tok_line != span.line;
+                cur.bump();
+                cur.bump();
+                // Strip one doc marker (`///` or `//!`) if present.
+                if matches!(cur.peek(0), Some('/') | Some('!')) {
+                    cur.bump();
+                }
+                let mut text = String::new();
+                while let Some(ch) = cur.peek(0) {
+                    if ch == '\n' {
+                        break;
+                    }
+                    text.push(ch);
+                    cur.bump();
+                }
+                comments.push(Comment {
+                    text,
+                    span,
+                    own_line,
+                });
+            }
+            '/' if cur.peek(1) == Some('*') => {
+                let own_line = last_tok_line != span.line;
+                cur.bump();
+                cur.bump();
+                if matches!(cur.peek(0), Some('*') | Some('!')) && cur.peek(1) != Some('/') {
+                    cur.bump();
+                }
+                let mut depth = 1u32;
+                let mut text = String::new();
+                loop {
+                    match (cur.peek(0), cur.peek(1)) {
+                        (Some('/'), Some('*')) => {
+                            depth += 1;
+                            text.push('/');
+                            text.push('*');
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some('*'), Some('/')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                            text.push('*');
+                            text.push('/');
+                        }
+                        (Some(ch), _) => {
+                            text.push(ch);
+                            cur.bump();
+                        }
+                        (None, _) => {
+                            return Err(LexError {
+                                span,
+                                msg: "unterminated block comment".into(),
+                            })
+                        }
+                    }
+                }
+                comments.push(Comment {
+                    text,
+                    span,
+                    own_line,
+                });
+            }
+            // Raw strings / raw identifiers / byte strings share prefixes
+            // with plain identifiers; disambiguate before the ident arm.
+            'r' | 'b' if starts_raw_or_byte(&cur) => {
+                let kind = match lex_raw_or_byte(&mut cur, span)? {
+                    Some(raw_ident) => TokKind::Ident(raw_ident),
+                    None => TokKind::Literal,
+                };
+                toks.push(Tok { kind, span });
+                last_tok_line = span.line;
+            }
+            _ if is_ident_start(c) => {
+                let mut text = String::new();
+                while let Some(ch) = cur.peek(0) {
+                    if !is_ident_continue(ch) {
+                        break;
+                    }
+                    text.push(ch);
+                    cur.bump();
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident(text),
+                    span,
+                });
+                last_tok_line = span.line;
+            }
+            _ if c.is_ascii_digit() => {
+                lex_number(&mut cur);
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    span,
+                });
+                last_tok_line = span.line;
+            }
+            '"' => {
+                lex_string(&mut cur, span)?;
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    span,
+                });
+                last_tok_line = span.line;
+            }
+            '\'' => {
+                let kind = lex_quote(&mut cur, span)?;
+                toks.push(Tok { kind, span });
+                last_tok_line = span.line;
+            }
+            '(' | '[' | '{' | ')' | ']' | '}' => {
+                cur.bump();
+                let kind = match c {
+                    '(' => TokKind::Open(Delim::Paren),
+                    '[' => TokKind::Open(Delim::Bracket),
+                    '{' => TokKind::Open(Delim::Brace),
+                    ')' => TokKind::Close(Delim::Paren),
+                    ']' => TokKind::Close(Delim::Bracket),
+                    _ => TokKind::Close(Delim::Brace),
+                };
+                toks.push(Tok { kind, span });
+                last_tok_line = span.line;
+            }
+            _ => {
+                cur.bump();
+                toks.push(Tok {
+                    kind: TokKind::Punct(c),
+                    span,
+                });
+                last_tok_line = span.line;
+            }
+        }
+    }
+    Ok((toks, comments))
+}
+
+/// Does the cursor sit on `r"`, `r#"`, `r#ident`, `b"`, `b'`, `br"` or
+/// `br#"`? (Plain identifiers starting with r/b fall through to the ident
+/// arm.)
+fn starts_raw_or_byte(cur: &Cursor) -> bool {
+    match (cur.peek(0), cur.peek(1)) {
+        (Some('r'), Some('"')) | (Some('r'), Some('#')) => true,
+        (Some('b'), Some('"')) | (Some('b'), Some('\'')) => true,
+        (Some('b'), Some('r')) => matches!(cur.peek(2), Some('"') | Some('#')),
+        _ => false,
+    }
+}
+
+/// Consume a raw string, byte literal or raw identifier. Returns
+/// `Some(text)` when the construct was a raw identifier (`r#match`), else
+/// `None` for literals.
+fn lex_raw_or_byte(cur: &mut Cursor, span: Span) -> Result<Option<String>, LexError> {
+    let first = cur.bump().expect("caller checked");
+    if first == 'b' {
+        match cur.peek(0) {
+            Some('\'') => {
+                // Byte char b'x'.
+                cur.bump();
+                lex_char_body(cur, span)?;
+                return Ok(None);
+            }
+            Some('"') => {
+                cur.bump();
+                lex_string_body(cur, span)?;
+                return Ok(None);
+            }
+            Some('r') => {
+                cur.bump();
+            }
+            _ => unreachable!("caller checked byte-literal shape"),
+        }
+    }
+    // Here: past `r` or `br`. Either a raw string (`#`* `"`) or a raw
+    // identifier (`r#ident`).
+    if first == 'r' && cur.peek(0) == Some('#') && cur.peek(1).is_some_and(is_ident_start) {
+        cur.bump(); // the '#'
+        let mut text = String::new();
+        while let Some(ch) = cur.peek(0) {
+            if !is_ident_continue(ch) {
+                break;
+            }
+            text.push(ch);
+            cur.bump();
+        }
+        return Ok(Some(text));
+    }
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some('#') {
+        hashes += 1;
+        cur.bump();
+    }
+    if cur.peek(0) != Some('"') {
+        return Err(LexError {
+            span,
+            msg: "malformed raw literal".into(),
+        });
+    }
+    cur.bump(); // opening quote
+    loop {
+        match cur.bump() {
+            Some('"') => {
+                let mut seen = 0usize;
+                while seen < hashes && cur.peek(0) == Some('#') {
+                    cur.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return Ok(None);
+                }
+            }
+            Some(_) => {}
+            None => {
+                return Err(LexError {
+                    span,
+                    msg: "unterminated raw string".into(),
+                })
+            }
+        }
+    }
+}
+
+fn lex_string(cur: &mut Cursor, span: Span) -> Result<(), LexError> {
+    cur.bump(); // opening quote
+    lex_string_body(cur, span)
+}
+
+fn lex_string_body(cur: &mut Cursor, span: Span) -> Result<(), LexError> {
+    loop {
+        match cur.bump() {
+            Some('\\') => {
+                cur.bump();
+            }
+            Some('"') => return Ok(()),
+            Some(_) => {}
+            None => {
+                return Err(LexError {
+                    span,
+                    msg: "unterminated string literal".into(),
+                })
+            }
+        }
+    }
+}
+
+/// Past the opening `'`: either a char literal or a lifetime.
+fn lex_quote(cur: &mut Cursor, span: Span) -> Result<TokKind, LexError> {
+    cur.bump(); // the '\''
+    match (cur.peek(0), cur.peek(1)) {
+        (Some('\\'), _) => {
+            lex_char_body(cur, span)?;
+            Ok(TokKind::Literal)
+        }
+        (Some(c0), Some('\'')) if c0 != '\'' => {
+            // 'x' — single-char literal.
+            cur.bump();
+            cur.bump();
+            Ok(TokKind::Literal)
+        }
+        (Some(c0), _) if is_ident_start(c0) => {
+            // 'lifetime (no closing quote).
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            Ok(TokKind::Lifetime)
+        }
+        (Some(_), _) => {
+            lex_char_body(cur, span)?;
+            Ok(TokKind::Literal)
+        }
+        (None, _) => Err(LexError {
+            span,
+            msg: "unterminated char literal".into(),
+        }),
+    }
+}
+
+/// Past the opening quote of a (byte-)char literal: consume through the
+/// closing `'`.
+fn lex_char_body(cur: &mut Cursor, span: Span) -> Result<(), LexError> {
+    loop {
+        match cur.bump() {
+            Some('\\') => {
+                cur.bump();
+            }
+            Some('\'') => return Ok(()),
+            Some(_) => {}
+            None => {
+                return Err(LexError {
+                    span,
+                    msg: "unterminated char literal".into(),
+                })
+            }
+        }
+    }
+}
+
+fn lex_number(cur: &mut Cursor) {
+    // Integer part plus any suffix: `0xFF`, `1_000u64`, `2e3`.
+    while cur.peek(0).is_some_and(is_ident_continue) {
+        cur.bump();
+    }
+    // Fractional part — but not a `..` range and not a method call `1.pow`.
+    if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        cur.bump();
+        while cur.peek(0).is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        let (toks, _) = lex(src).unwrap();
+        toks.iter()
+            .filter_map(|t| t.ident().map(str::to_owned))
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        // The `println!` inside the string must not surface as an ident.
+        assert_eq!(idents(r#"let x = "println!{}";"#), vec!["let", "x"]);
+        assert_eq!(idents(r##"let y = r#"critical("a")"#;"##), vec!["let", "y"]);
+        assert_eq!(idents(r#"let z = b"lock()";"#), vec!["let", "z"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let (toks, _) = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }").unwrap();
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let lits = toks.iter().filter(|t| t.kind == TokKind::Literal).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(lits, 2);
+    }
+
+    #[test]
+    fn comments_are_collected_with_placement() {
+        let src = "let a = 1; // trailing\n// own line\nlet b = 2;\n/* block */ let c = 3;";
+        let (_, comments) = lex(src).unwrap();
+        assert_eq!(comments.len(), 3);
+        assert!(!comments[0].own_line);
+        assert_eq!(comments[0].text, " trailing");
+        assert!(comments[1].own_line);
+        assert!(comments[2].own_line);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let (toks, comments) = lex("/* a /* b */ c */ x").unwrap();
+        assert_eq!(comments.len(), 1);
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].ident(), Some("x"));
+    }
+
+    #[test]
+    fn spans_are_one_based_and_exact() {
+        let (toks, _) = lex("ab cd\n  ef").unwrap();
+        assert_eq!(toks[0].span, Span { line: 1, col: 1 });
+        assert_eq!(toks[1].span, Span { line: 1, col: 4 });
+        assert_eq!(toks[2].span, Span { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let (toks, _) = lex("for i in 0..10 { }").unwrap();
+        let puncts = toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(puncts, 2);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(idents("let r#fn = 1;"), vec!["let", "fn"]);
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(lex("let s = \"oops").is_err());
+    }
+}

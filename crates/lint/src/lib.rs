@@ -1,0 +1,41 @@
+//! `tle-lint`: a transaction-safety static analyzer for TLE atomic blocks.
+//!
+//! The paper's porting war stories (condition variables under elision,
+//! the x265 two-phase-locking violation, TM-unsafe I/O, `TM_NoQuiesce`
+//! privatization races) are all *source-visible* misuse patterns. This
+//! crate finds them before the torture harness has to: it lexes the
+//! workspace's Rust sources with an in-tree lexer (no `syn` — the
+//! workspace builds offline), matches delimiters into token trees, locates
+//! every `critical`/`critical_with` call site, and runs five token-shape
+//! rules over each closure body.
+//!
+//! | id | slug | paper hazard |
+//! |----|------|--------------|
+//! | R1 | `irrevocable-effect` | §VI: I/O or sleep inside the speculative body |
+//! | R2 | `nested-lock` | §V: second lock / re-entrant `critical` (x265 bug) |
+//! | R3 | `escape-hazard` | direct atomics / raw pointers bypassing the ctx |
+//! | R4 | `noquiesce-privatization` | §IV-B: no-quiesce + privatizing body |
+//! | R5 | `condvar-misuse` | §III: OS condvar/park instead of `TxCondvar` |
+//!
+//! Findings are suppressed with a reviewed, reasoned directive:
+//!
+//! ```text
+//! // tle-lint: allow(R2, "deliberate nested-section panic test")
+//! ```
+//!
+//! A directive without a reason is itself an error (`A1`); a directive
+//! that no longer matches anything is stale (`A2`, enforced under
+//! `--deny-stale`). The `tle-lint` binary (`src/bin/tle-lint.rs` at the
+//! workspace root) wires this into CI with `--deny --format json`.
+
+pub mod extract;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scan;
+pub mod suppress;
+pub mod tree;
+
+pub use report::{render_human, render_json};
+pub use rules::{Finding, Rule, LINT_RULES};
+pub use scan::{collect_rs_files, lint_paths, lint_source, FileReport, Report};

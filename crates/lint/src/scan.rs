@@ -1,0 +1,161 @@
+//! File orchestration: lex → tree → sites → rules → suppressions, plus the
+//! workspace walker.
+
+use crate::extract::find_sites;
+use crate::lexer::{lex, Span};
+use crate::rules::{scan_set_lock_no_quiesce, scan_site, Finding, Rule};
+use crate::suppress::{apply, parse_directives};
+use crate::tree::parse;
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+/// Analysis result for one source file.
+#[derive(Debug)]
+pub struct FileReport {
+    pub path: PathBuf,
+    /// Violations that survived suppression (plus `A1 bad-allow` errors).
+    pub findings: Vec<Finding>,
+    /// Violations silenced by a reasoned `allow`.
+    pub suppressed: Vec<Finding>,
+    /// `A2 stale-allow`: suppressions that matched nothing.
+    pub stale: Vec<Finding>,
+    /// Number of atomic blocks located.
+    pub sites: usize,
+}
+
+/// Aggregated analysis over many files.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub files: Vec<FileReport>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    pub fn total_findings(&self) -> usize {
+        self.files.iter().map(|f| f.findings.len()).sum()
+    }
+
+    pub fn total_suppressed(&self) -> usize {
+        self.files.iter().map(|f| f.suppressed.len()).sum()
+    }
+
+    pub fn total_stale(&self) -> usize {
+        self.files.iter().map(|f| f.stale.len()).sum()
+    }
+
+    pub fn total_sites(&self) -> usize {
+        self.files.iter().map(|f| f.sites).sum()
+    }
+}
+
+/// Analyze one source text.
+pub fn lint_source(path: impl Into<PathBuf>, src: &str) -> FileReport {
+    let path = path.into();
+    let (toks, comments) = match lex(src) {
+        Ok(v) => v,
+        Err(e) => {
+            return FileReport {
+                path,
+                findings: vec![Finding {
+                    rule: Rule::ParseError,
+                    span: e.span,
+                    message: e.msg,
+                }],
+                suppressed: Vec::new(),
+                stale: Vec::new(),
+                sites: 0,
+            }
+        }
+    };
+    let forest = match parse(toks.clone()) {
+        Ok(f) => f,
+        Err(e) => {
+            return FileReport {
+                path,
+                findings: vec![Finding {
+                    rule: Rule::ParseError,
+                    span: e.span,
+                    message: e.msg,
+                }],
+                suppressed: Vec::new(),
+                stale: Vec::new(),
+                sites: 0,
+            }
+        }
+    };
+    let sites = find_sites(&forest);
+    let mut findings: Vec<Finding> = sites.iter().flat_map(scan_site).collect();
+    findings.extend(scan_set_lock_no_quiesce(&toks, &sites));
+
+    // Nested sites are scanned both standalone and as part of the enclosing
+    // body; dedup by position+rule.
+    let mut seen: HashSet<(Rule, Span)> = HashSet::new();
+    findings.retain(|f| seen.insert((f.rule, f.span)));
+    findings.sort_by_key(|f| (f.span, f.rule));
+
+    let (allows, mut bad) = parse_directives(&comments, &toks);
+    let (mut active, suppressed, stale) = apply(findings, &allows);
+    active.append(&mut bad);
+    active.sort_by_key(|f| (f.span, f.rule));
+
+    FileReport {
+        path,
+        findings: active,
+        suppressed,
+        stale,
+        sites: sites.len(),
+    }
+}
+
+/// Directory names never descended into. `fixtures` holds the
+/// seeded-violation corpus — it is linted by the fixture harness, where the
+/// violations are the point, not by workspace scans that must come up
+/// clean.
+const SKIP_DIRS: [&str; 3] = ["target", ".git", "fixtures"];
+
+/// Collect `.rs` files under `roots` (files are accepted as-is),
+/// deterministically ordered.
+pub fn collect_rs_files(roots: &[PathBuf]) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for root in roots {
+        if root.is_file() {
+            out.push(root.clone());
+        } else {
+            descend(root, &mut out)?;
+        }
+    }
+    out.sort();
+    out.dedup();
+    Ok(out)
+}
+
+fn descend(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                descend(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Analyze every `.rs` file under `roots`.
+pub fn lint_paths(roots: &[PathBuf]) -> std::io::Result<Report> {
+    let files = collect_rs_files(roots)?;
+    let mut report = Report {
+        files: Vec::new(),
+        files_scanned: files.len(),
+    };
+    for path in files {
+        let src = std::fs::read_to_string(&path)?;
+        report.files.push(lint_source(&path, &src));
+    }
+    Ok(report)
+}

@@ -1,0 +1,193 @@
+//! Suppression directives: `// tle-lint: allow(<rule>, "<reason>")`.
+//!
+//! A directive written on its own line suppresses matching findings on the
+//! *next* code line; written after code, it suppresses its own line. The
+//! reason is mandatory — a suppression is a reviewed exception, and the
+//! review has to be written down. Directives that are malformed, name an
+//! unknown rule, or omit the reason are themselves findings (`A1
+//! bad-allow`); valid directives that no longer match anything are stale
+//! (`A2 stale-allow`, enforced under `--deny-stale`).
+
+use crate::lexer::{Comment, Span, Tok};
+use crate::rules::{Finding, Rule};
+
+/// One parsed `allow(rule, "reason")` clause.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub rule: Rule,
+    pub reason: String,
+    /// Span of the comment carrying the clause.
+    pub span: Span,
+    /// The code line this clause suppresses (None when the directive
+    /// dangles at end of file).
+    pub target: Option<u32>,
+}
+
+/// Parse every directive in `comments`. `toks` supplies code-line positions
+/// for own-line directives. Returns the valid allows plus `A1` findings for
+/// the malformed ones.
+pub fn parse_directives(comments: &[Comment], toks: &[Tok]) -> (Vec<Allow>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut errors = Vec::new();
+    for c in comments {
+        let text = c.text.trim_start();
+        let Some(rest) = text.strip_prefix("tle-lint:") else {
+            continue;
+        };
+        let target = if c.own_line {
+            next_code_line(toks, c.span.line)
+        } else {
+            Some(c.span.line)
+        };
+        parse_clauses(rest, c.span, target, &mut allows, &mut errors);
+    }
+    (allows, errors)
+}
+
+/// The first code line strictly after `line`.
+fn next_code_line(toks: &[Tok], line: u32) -> Option<u32> {
+    toks.iter().map(|t| t.span.line).filter(|&l| l > line).min()
+}
+
+fn parse_clauses(
+    rest: &str,
+    span: Span,
+    target: Option<u32>,
+    allows: &mut Vec<Allow>,
+    errors: &mut Vec<Finding>,
+) {
+    let mut s = rest.trim();
+    if s.is_empty() {
+        errors.push(bad(
+            span,
+            "empty tle-lint directive; expected allow(<rule>, \"<reason>\")",
+        ));
+        return;
+    }
+    while !s.is_empty() {
+        let Some(after_kw) = s.strip_prefix("allow") else {
+            errors.push(bad(
+                span,
+                &format!(
+                    "unknown tle-lint directive `{}`; only allow(..) is supported",
+                    s
+                ),
+            ));
+            return;
+        };
+        let Some(after_paren) = after_kw.trim_start().strip_prefix('(') else {
+            errors.push(bad(span, "allow directive missing `(`"));
+            return;
+        };
+        let Some(close) = find_clause_end(after_paren) else {
+            errors.push(bad(span, "allow directive missing closing `)`"));
+            return;
+        };
+        let clause = &after_paren[..close];
+        match parse_one(clause, span, target) {
+            Ok(a) => allows.push(a),
+            Err(e) => errors.push(e),
+        }
+        s = after_paren[close + 1..].trim();
+    }
+}
+
+/// Index of the `)` closing the clause, respecting a quoted reason.
+fn find_clause_end(s: &str) -> Option<usize> {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, ch) in s.char_indices() {
+        match ch {
+            _ if escaped => escaped = false,
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            ')' if !in_str => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn parse_one(clause: &str, span: Span, target: Option<u32>) -> Result<Allow, Finding> {
+    let (rule_txt, reason_txt) = match clause.split_once(',') {
+        Some((r, rest)) => (r.trim(), rest.trim()),
+        None => (clause.trim(), ""),
+    };
+    let Some(rule) = Rule::parse_suppressible(rule_txt) else {
+        return Err(bad(
+            span,
+            &format!(
+                "unknown rule `{rule_txt}` in allow(..); expected R1-R5 or a rule slug \
+                 like irrevocable-effect"
+            ),
+        ));
+    };
+    let reason = reason_txt
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .map(str::trim)
+        .unwrap_or("");
+    if reason.is_empty() {
+        return Err(bad(
+            span,
+            &format!(
+                "allow({}) requires a reason: tle-lint: allow({}, \"why this is safe\")",
+                rule.id(),
+                rule.id()
+            ),
+        ));
+    }
+    Ok(Allow {
+        rule,
+        reason: reason.to_owned(),
+        span,
+        target,
+    })
+}
+
+fn bad(span: Span, msg: &str) -> Finding {
+    Finding {
+        rule: Rule::BadAllow,
+        span,
+        message: msg.to_owned(),
+    }
+}
+
+/// Split `findings` into (active, suppressed) and report stale allows.
+pub fn apply(
+    findings: Vec<Finding>,
+    allows: &[Allow],
+) -> (Vec<Finding>, Vec<Finding>, Vec<Finding>) {
+    let mut used = vec![false; allows.len()];
+    let mut active = Vec::new();
+    let mut suppressed = Vec::new();
+    for f in findings {
+        let slot = allows
+            .iter()
+            .enumerate()
+            .find(|(_, a)| a.rule == f.rule && a.target == Some(f.span.line));
+        match slot {
+            Some((i, _)) => {
+                used[i] = true;
+                suppressed.push(f);
+            }
+            None => active.push(f),
+        }
+    }
+    let stale = allows
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| !u)
+        .map(|(a, _)| Finding {
+            rule: Rule::StaleAllow,
+            span: a.span,
+            message: format!(
+                "stale suppression: allow({}, \"{}\") matches no finding on line {}",
+                a.rule.id(),
+                a.reason,
+                a.target.map_or_else(|| "<eof>".into(), |l| l.to_string()),
+            ),
+        })
+        .collect();
+    (active, suppressed, stale)
+}

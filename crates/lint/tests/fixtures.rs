@@ -1,0 +1,189 @@
+//! Fixture-corpus harness: every seeded violation is caught by exactly its
+//! rule, negatives come up clean, and spans land on the innermost
+//! offending token.
+//!
+//! Expectation grammar, in the fixture sources themselves:
+//!
+//! ```text
+//! println!("x"); //~ R1          finding of rule R1 on this line
+//! $side.lock();  //~ R2 @31      ... and its column is exactly 31
+//! ```
+//!
+//! Files without any `//~` marker are negative fixtures and must produce
+//! zero findings.
+
+use std::path::PathBuf;
+use tle_lint::{lint_source, Rule, LINT_RULES};
+
+struct Marker {
+    rule: &'static str,
+    line: u32,
+    col: Option<u32>,
+}
+
+fn parse_markers(src: &str) -> Vec<Marker> {
+    let mut out = Vec::new();
+    for (i, text) in src.lines().enumerate() {
+        let Some(pos) = text.find("//~") else {
+            continue;
+        };
+        let mut words = text[pos + 3..].split_whitespace();
+        let id = words.next().expect("//~ marker names a rule");
+        let rule = LINT_RULES
+            .iter()
+            .map(|r| r.id())
+            .find(|r| *r == id)
+            .unwrap_or_else(|| panic!("unknown rule `{id}` in marker on line {}", i + 1));
+        let col = words.next().map(|w| {
+            w.strip_prefix('@')
+                .and_then(|c| c.parse().ok())
+                .unwrap_or_else(|| panic!("bad column marker `{w}` on line {}", i + 1))
+        });
+        out.push(Marker {
+            rule,
+            line: i as u32 + 1,
+            col,
+        });
+    }
+    out
+}
+
+fn fixture_files() -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("fixtures directory exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "fixture corpus is missing");
+    files
+}
+
+/// Positives: every finding matches a marker (same rule, same line) and
+/// every marker is hit; where a marker pins a column, some finding of that
+/// rule sits exactly there. Negatives (no markers): zero findings.
+#[test]
+fn corpus_findings_match_expectations_exactly() {
+    for path in fixture_files() {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let markers = parse_markers(&src);
+        let report = lint_source(&path, &src);
+        assert!(
+            report.suppressed.is_empty() && report.stale.is_empty(),
+            "{}: fixtures must not carry suppressions",
+            path.display()
+        );
+        if markers.is_empty() {
+            assert!(
+                report.findings.is_empty(),
+                "{}: negative fixture produced findings: {:?}",
+                path.display(),
+                report.findings
+            );
+            continue;
+        }
+        for f in &report.findings {
+            assert!(
+                markers
+                    .iter()
+                    .any(|m| m.rule == f.rule.id() && m.line == f.span.line),
+                "{}: unexpected finding {} {} at {}",
+                path.display(),
+                f.rule.id(),
+                f.message,
+                f.span
+            );
+        }
+        for m in &markers {
+            let hits: Vec<_> = report
+                .findings
+                .iter()
+                .filter(|f| f.rule.id() == m.rule && f.span.line == m.line)
+                .collect();
+            assert!(
+                !hits.is_empty(),
+                "{}: marker {} on line {} was not caught",
+                path.display(),
+                m.rule,
+                m.line
+            );
+            if let Some(col) = m.col {
+                assert!(
+                    hits.iter().any(|f| f.span.col == col),
+                    "{}: {} on line {} expected at column {col}, got {:?}",
+                    path.display(),
+                    m.rule,
+                    m.line,
+                    hits.iter().map(|f| f.span.col).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+}
+
+/// The corpus demonstrates every rule: at least two positive files and at
+/// least one negative file per rule.
+#[test]
+fn corpus_covers_every_rule() {
+    let mut positives = vec![0usize; LINT_RULES.len()];
+    let mut negatives = vec![0usize; LINT_RULES.len()];
+    for path in fixture_files() {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let markers = parse_markers(&src);
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        for (i, rule) in LINT_RULES.iter().enumerate() {
+            if markers.iter().any(|m| m.rule == rule.id()) {
+                positives[i] += 1;
+            }
+            let prefix = format!("r{}_neg", i + 1);
+            if name.starts_with(&prefix) && markers.is_empty() {
+                negatives[i] += 1;
+            }
+        }
+    }
+    for (i, rule) in LINT_RULES.iter().enumerate() {
+        assert!(
+            positives[i] >= 2,
+            "rule {} needs >= 2 positive fixtures, found {}",
+            rule.id(),
+            positives[i]
+        );
+        assert!(
+            negatives[i] >= 1,
+            "rule {} needs >= 1 negative fixture, found {}",
+            rule.id(),
+            negatives[i]
+        );
+    }
+}
+
+/// Span quality (macro bodies and multi-line closures) is pinned by the
+/// `@<col>` markers — make sure those fixtures actually carry them.
+#[test]
+fn span_fixtures_pin_columns() {
+    let mut pinned = 0;
+    for path in fixture_files() {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        if !name.starts_with("span_") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).unwrap();
+        let markers = parse_markers(&src);
+        assert!(
+            markers.iter().all(|m| m.col.is_some()),
+            "{name}: span fixtures must pin columns"
+        );
+        pinned += markers.len();
+    }
+    assert!(pinned >= 3, "expected at least 3 column-pinned markers");
+}
+
+/// A file the lexer rejects surfaces as a P1 parse-error finding, not a
+/// silent skip.
+#[test]
+fn unparseable_source_is_reported() {
+    let report = lint_source("broken.rs", "fn f() { let s = \"unterminated; }");
+    assert_eq!(report.findings.len(), 1);
+    assert_eq!(report.findings[0].rule, Rule::ParseError);
+}

@@ -1,0 +1,25 @@
+// R2 positive: the x265 bug class (paper §V) — re-entering the TLE runtime
+// while an atomic block is already open. The inner commit releases
+// transactional metadata the outer section still depends on.
+
+fn transfer(th: &ThreadHandle, a: &ElidableMutex, b: &ElidableMutex, c: &TCell<u64>) {
+    th.critical(a, |ctx| {
+        let v = ctx.read(c)?;
+        th.critical(b, |inner| { //~ R2
+            inner.write(c, v + 1)?;
+            Ok(())
+        });
+        Ok(())
+    });
+}
+
+fn reserve_then_fill(th: &ThreadHandle, q: &ElidableMutex, c: &TCell<u64>) {
+    th.critical(q, |ctx| {
+        ctx.write(c, 1)?;
+        th.critical_with(q, (2, 8), |inner| { //~ R2
+            inner.write(c, 2)?;
+            Ok(())
+        });
+        Ok(())
+    });
+}

@@ -1,0 +1,59 @@
+//! The self-scan gate: the whole workspace (crates/, examples/, src/,
+//! tests/) must come up clean — every real finding fixed or carrying a
+//! reviewed, reasoned suppression, and no suppression left stale. This is
+//! the same scan CI runs via `tle-lint --deny --deny-stale`.
+
+use std::path::PathBuf;
+use tle_lint::lint_paths;
+
+fn workspace_roots() -> Vec<PathBuf> {
+    let ws = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint sits two levels under the workspace root")
+        .to_path_buf();
+    ["crates", "examples", "src", "tests"]
+        .iter()
+        .map(|d| ws.join(d))
+        .filter(|p| p.exists())
+        .collect()
+}
+
+#[test]
+fn workspace_self_scan_is_clean() {
+    let report = lint_paths(&workspace_roots()).expect("workspace readable");
+    let mut complaints = String::new();
+    for file in &report.files {
+        for f in file.findings.iter().chain(&file.stale) {
+            complaints.push_str(&format!(
+                "\n  {}:{}: [{}] {}",
+                file.path.display(),
+                f.span,
+                f.rule.id(),
+                f.message
+            ));
+        }
+    }
+    assert!(
+        complaints.is_empty(),
+        "workspace self-scan must be clean:{complaints}"
+    );
+    // The scan actually saw the codebase: ~115 files, ~133 atomic blocks at
+    // the time of writing — use generous floors so growth never trips this.
+    assert!(
+        report.files_scanned >= 80,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+    assert!(
+        report.total_sites() >= 100,
+        "suspiciously few atomic blocks found: {}",
+        report.total_sites()
+    );
+    // The one deliberate hazard (the nested-section panic test) stays
+    // suppressed-with-reason rather than deleted.
+    assert!(
+        report.total_suppressed() >= 1,
+        "expected the documented nested-critical suppression to be live"
+    );
+}

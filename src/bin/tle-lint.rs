@@ -1,0 +1,106 @@
+//! `tle-lint` — transaction-safety static analysis over the workspace.
+//!
+//! ```text
+//! cargo run --bin tle-lint -- --deny --format json
+//! cargo run --bin tle-lint -- crates/pbz examples
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings under `--deny` (or stale suppressions
+//! under `--deny-stale`), 2 usage error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tle_lint::{lint_paths, render_human, render_json, LINT_RULES};
+
+const USAGE: &str = "\
+tle-lint: transaction-safety static analysis for TLE atomic blocks
+
+USAGE: tle-lint [OPTIONS] [PATHS...]
+
+PATHS default to: crates examples src tests
+
+OPTIONS:
+  --format <human|json>  output format (default human)
+  --deny                 exit 1 when any finding is active
+  --deny-stale           also exit 1 on stale suppressions (A2)
+  --list-rules           print the rule table and exit
+  -h, --help             this help
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut format_json = false;
+    let mut deny = false;
+    let mut deny_stale = false;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("human") => format_json = false,
+                Some("json") => format_json = true,
+                other => {
+                    eprintln!(
+                        "tle-lint: --format expects `human` or `json`, got `{}`",
+                        other.unwrap_or("<nothing>")
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            "--deny" => deny = true,
+            "--deny-stale" => deny_stale = true,
+            "--list-rules" => {
+                for r in LINT_RULES {
+                    println!("{}  {:<24} {}", r.id(), r.slug(), r.hazard());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("tle-lint: unknown flag `{flag}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+
+    if paths.is_empty() {
+        paths = ["crates", "examples", "src", "tests"]
+            .iter()
+            .map(PathBuf::from)
+            .filter(|p| p.exists())
+            .collect();
+    }
+    for p in &paths {
+        if !p.exists() {
+            eprintln!("tle-lint: path `{}` does not exist", p.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let report = match lint_paths(&paths) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tle-lint: io error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if format_json {
+        println!("{}", render_json(&report));
+    } else {
+        print!("{}", render_human(&report, deny_stale));
+    }
+
+    let failed = (deny && report.total_findings() > 0)
+        || (deny_stale && (report.total_findings() > 0 || report.total_stale() > 0));
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

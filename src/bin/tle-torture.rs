@@ -19,6 +19,7 @@ fn main() {
         usage();
         std::process::exit(2);
     }
+    reject_unknown_flags(&args);
     let seed: u64 = opt_parse(&args, "--seed", 1);
     let workers: usize = opt_parse(&args, "--workers", 3);
     let ops: u64 = opt_parse(&args, "--ops", 1_500);
@@ -91,6 +92,27 @@ fn usage() {
          \u{20}              fails unless both runs match per-cause abort counts\n\
          \u{20}              (and, with --adaptive, the mode-flip sequence)"
     );
+}
+
+/// Diagnosable CLI failures: an unrecognized flag names itself on stderr
+/// and exits 2 instead of being silently ignored.
+fn reject_unknown_flags(args: &[String]) {
+    const VALUE_FLAGS: [&str; 4] = ["--seed", "--workers", "--ops", "--mode"];
+    const BOOL_FLAGS: [&str; 2] = ["--repro", "--adaptive"];
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if VALUE_FLAGS.contains(&a) {
+            i += 2; // skip the flag's value
+            continue;
+        }
+        if !BOOL_FLAGS.contains(&a) {
+            eprintln!("tle-torture: unknown argument `{a}`\n");
+            usage();
+            std::process::exit(2);
+        }
+        i += 1;
+    }
 }
 
 fn opt(args: &[String], key: &str) -> Option<String> {

@@ -51,6 +51,35 @@ fn main() {
     std::process::exit(code);
 }
 
+/// Diagnosable CLI failures: an unrecognized flag names itself on stderr
+/// and exits 2 instead of being silently ignored. Returns the usage exit
+/// code as an error so `run` can propagate it.
+fn reject_unknown_flags(args: &[String]) -> Result<(), i32> {
+    const VALUE_FLAGS: [&str; 7] = [
+        "--mode",
+        "--threads",
+        "--ops",
+        "--cells",
+        "--tail",
+        "--cause",
+        "--faults",
+    ];
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if VALUE_FLAGS.contains(&a) {
+            i += 2; // skip the flag's value
+            continue;
+        }
+        eprintln!(
+            "tle-trace: unknown argument `{a}` (valid: {})",
+            VALUE_FLAGS.join(" ")
+        );
+        return Err(2);
+    }
+    Ok(())
+}
+
 fn opt(args: &[String], key: &str) -> Option<String> {
     args.iter()
         .position(|a| a == key)
@@ -77,6 +106,9 @@ fn parse_mode(args: &[String]) -> Result<AlgoMode, i32> {
 /// shared counters under one elided lock. Small `--cells` values produce
 /// conflict aborts; the trace shows how the runtime resolved them.
 fn run(args: &[String], dump: bool) -> i32 {
+    if let Err(code) = reject_unknown_flags(args) {
+        return code;
+    }
     let mode = match parse_mode(args) {
         Ok(m) => m,
         Err(code) => return code,

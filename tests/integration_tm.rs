@@ -276,6 +276,7 @@ fn nested_critical_sections_panic() {
     let inner = ElidableMutex::new("inner");
     let cell = TCell::new(0u64);
     th.critical(&outer, |_| {
+        // tle-lint: allow(R2, "deliberate x265-class nesting: this test pins the runtime's loud rejection of nested sections")
         th.critical(&inner, |ctx| {
             ctx.update(&cell, |v| v + 1)?;
             Ok(())
