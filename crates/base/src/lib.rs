@@ -54,7 +54,7 @@ pub use abort::AbortCause;
 pub use cell::{TCell, TxVal};
 pub use clock::Clock;
 pub use gate::Gate;
-pub use orec::{OrecTable, OrecValue};
+pub use orec::{OrecLayout, OrecTable, OrecValue};
 pub use slots::{Slot, SlotRegistry, INACTIVE};
 pub use window::{AbortClass, StatWindow, WindowSnapshot, WINDOW_BUCKETS};
 

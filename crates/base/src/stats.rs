@@ -60,9 +60,13 @@ impl Counter {
         self.add(shard_hint, 1);
     }
 
-    /// Sum across shards.
+    /// Sum across shards. Saturates instead of wrapping: these totals flow
+    /// into committed `BENCH_<n>.json` files, where a silently wrapped
+    /// counter would read as a plausible small number.
     pub fn get(&self) -> u64 {
-        self.shards.iter().map(|s| s.load(Ordering::Relaxed)).sum()
+        self.shards
+            .iter()
+            .fold(0u64, |acc, s| acc.saturating_add(s.load(Ordering::Relaxed)))
     }
 
     /// Reset all shards to zero (between benchmark trials).
@@ -143,9 +147,12 @@ pub struct LatencyHistSnapshot {
 }
 
 impl LatencyHistSnapshot {
-    /// Total number of samples.
+    /// Total number of samples. Saturating, for the same reason as
+    /// [`Counter::get`]: snapshot sums end up in committed JSON.
     pub fn count(&self) -> u64 {
-        self.buckets.iter().sum()
+        self.buckets
+            .iter()
+            .fold(0u64, |acc, &n| acc.saturating_add(n))
     }
 
     /// Upper bound (ns) of the bucket containing the `q`-quantile sample
@@ -160,9 +167,15 @@ impl LatencyHistSnapshot {
         let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (b, &n) in self.buckets.iter().enumerate() {
-            seen += n;
+            seen = seen.saturating_add(n);
             if seen >= rank {
-                return Some(if b + 1 >= 64 { u64::MAX } else { 2u64 << b });
+                // The last bucket is open-ended: it has no finite upper
+                // bound, so report the sentinel rather than `2^(b+1)`.
+                return Some(if b + 1 >= HIST_BUCKETS {
+                    u64::MAX
+                } else {
+                    2u64 << b
+                });
             }
         }
         Some(u64::MAX)
@@ -207,7 +220,8 @@ pub struct TxStats {
     pub serial_fallbacks: Counter,
     /// Commits that performed a quiescence drain.
     pub quiesces: Counter,
-    /// Commits that skipped quiescence because of `TM_NoQuiesce`.
+    /// Commits that skipped quiescence (`TM_NoQuiesce`, a skipping policy,
+    /// or the read-only commit fast path).
     pub quiesce_skipped: Counter,
     /// Nanoseconds spent spinning in quiescence drains.
     pub quiesce_wait_ns: Counter,
@@ -301,7 +315,7 @@ impl TxStatsSnapshot {
 
     /// Aborts per started transaction attempt, in [0, 1].
     pub fn abort_rate(&self) -> f64 {
-        let attempts = self.commits + self.aborts;
+        let attempts = self.commits.saturating_add(self.aborts);
         if attempts == 0 {
             0.0
         } else {
@@ -427,6 +441,69 @@ mod tests {
         assert_eq!(s.quantile_ns(1.0), Some(2u64 << 19));
         assert_eq!(LatencyHistSnapshot::default().quantile_ns(0.5), None);
         assert!(s.summary().starts_with("n=100"));
+    }
+
+    #[test]
+    fn bucket_of_boundary_values() {
+        // 0 ns must not underflow the leading_zeros math; it lands in
+        // bucket 0 together with 1 ns.
+        assert_eq!(LatencyHist::bucket_of(0), 0);
+        assert_eq!(LatencyHist::bucket_of(1), 0);
+        assert_eq!(LatencyHist::bucket_of(2), 1);
+        assert_eq!(LatencyHist::bucket_of(3), 1);
+        // Exact powers of two open their own bucket; one less stays below.
+        for b in 1..HIST_BUCKETS - 1 {
+            let p = 1u64 << b;
+            assert_eq!(LatencyHist::bucket_of(p), b, "2^{b}");
+            assert_eq!(LatencyHist::bucket_of(p - 1), b - 1, "2^{b}-1");
+        }
+        // Everything at or beyond 2^31 ns (~2.1 s) clamps into the last
+        // open-ended bucket, including u64::MAX.
+        assert_eq!(LatencyHist::bucket_of(1u64 << 31), HIST_BUCKETS - 1);
+        assert_eq!(LatencyHist::bucket_of(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn hist_extreme_samples_round_trip_through_snapshot() {
+        let h = LatencyHist::new();
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[HIST_BUCKETS - 1], 1);
+        assert_eq!(s.count(), 2);
+        // The max-bucket quantile reports the open-ended sentinel, not a
+        // wrapped `2 << 63`.
+        assert_eq!(s.quantile_ns(1.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn counter_sum_saturates_instead_of_wrapping() {
+        let c = Counter::new();
+        c.add(0, u64::MAX);
+        c.add(1, 5);
+        assert_eq!(c.get(), u64::MAX, "shard sum must saturate");
+    }
+
+    #[test]
+    fn snapshot_sums_saturate_instead_of_wrapping() {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        buckets[0] = u64::MAX;
+        buckets[1] = 7;
+        let s = LatencyHistSnapshot { buckets };
+        assert_eq!(s.count(), u64::MAX, "bucket sum must saturate");
+        // quantile_ns must terminate and stay in range even when saturated.
+        assert_eq!(s.quantile_ns(0.0), Some(2));
+        assert!(s.quantile_ns(1.0).is_some());
+
+        let snap = TxStatsSnapshot {
+            commits: u64::MAX,
+            aborts: 10,
+            ..Default::default()
+        };
+        // attempts saturates; the rate stays finite and in [0, 1].
+        let r = snap.abort_rate();
+        assert!(r.is_finite() && (0.0..=1.0).contains(&r));
     }
 
     #[test]

@@ -23,6 +23,8 @@ use std::sync::Arc;
 use std::time::Instant;
 use tle_core::{AlgoMode, TmSystem};
 
+pub mod json;
+pub mod perf;
 pub mod torture;
 pub mod workloads;
 

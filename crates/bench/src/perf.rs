@@ -1,0 +1,819 @@
+//! The perf-trajectory subsystem behind `BENCH_<n>.json`.
+//!
+//! Each PR that claims a performance effect commits one machine-readable
+//! trajectory file: per-figure/per-workload throughput, the per-cause abort
+//! breakdown, the quiescence-latency histogram, and a `baseline` /
+//! `optimized` pair for every optimization it lands. CI re-emits a quick
+//! report and runs [`compare`] against the committed artifact, so a later
+//! change that silently costs >10% throughput on any recorded run fails the
+//! build (schema drift — a run disappearing — fails even harder).
+//!
+//! Everything here is dependency-free: the document is a [`Json`] tree with
+//! a fixed key order, and [`stable_view`] strips every `"measured"` subtree
+//! so two runs of the same emitter on the same machine produce identical
+//! stable views (determinism modulo timing).
+
+use crate::json::Json;
+use crate::workloads::{
+    micro_trial_opts, pbzip_compress_trial, pbzip_decompress_trial, x265_trial, MicroOpts, Mix,
+    TrialStats, VideoSize,
+};
+use std::sync::Arc;
+use tle_base::stats::HIST_BUCKETS;
+use tle_base::{AbortCause, OrecLayout};
+use tle_core::{AlgoMode, TmSystem};
+use tle_pbz::{compress_parallel, gen_text, PipelineConfig};
+use tle_stm::QuiescePolicy;
+
+/// Document type tag.
+pub const SCHEMA: &str = "tle-bench-trajectory";
+/// Bumped on any incompatible schema change.
+pub const SCHEMA_VERSION: u64 = 1;
+/// The PR that committed this artifact generation.
+pub const PR: u64 = 6;
+/// Throughput regressions beyond this fraction fail [`compare`].
+pub const TOLERANCE: f64 = 0.10;
+
+/// Emission knobs. `quick` and `full` deliberately share `threads` so their
+/// run keys match: CI's quick emit compares cleanly against a committed
+/// full-size artifact (only `ops`/input sizes differ, and those are not
+/// part of the match key).
+#[derive(Debug, Clone, Copy)]
+pub struct EmitConfig {
+    /// Human tag recorded in the document (`quick`, `full`, ...).
+    pub label: &'static str,
+    /// Worker threads for every run.
+    pub threads: usize,
+    /// Measured ops per thread for the fig5 microbenchmarks.
+    pub micro_ops: u64,
+    /// PBZip2 input size in KiB.
+    pub pbzip_kib: usize,
+    /// Trials per configuration (best-of, to damp scheduler noise).
+    pub trials: usize,
+    /// Include the application figures (fig2 PBZip2, fig3 x265). The
+    /// microbenchmarks and optimization A/Bs always run.
+    pub apps: bool,
+}
+
+impl EmitConfig {
+    /// CI smoke sizing: seconds, not minutes.
+    pub fn quick() -> Self {
+        EmitConfig {
+            label: "quick",
+            threads: 4,
+            micro_ops: 4_000,
+            pbzip_kib: 64,
+            trials: 2,
+            apps: true,
+        }
+    }
+
+    /// Artifact sizing for the committed `BENCH_<n>.json`.
+    pub fn full() -> Self {
+        EmitConfig {
+            label: "full",
+            threads: 4,
+            micro_ops: 40_000,
+            pbzip_kib: 256,
+            trials: 3,
+            apps: true,
+        }
+    }
+}
+
+/// Schema-key metadata for one run (everything except the measurements).
+struct RunSpec {
+    figure: &'static str,
+    workload: String,
+    mix: String,
+    mode: String,
+    policy: String,
+    threads: usize,
+    ops: u64,
+    warmup: u64,
+    unit: &'static str,
+}
+
+fn measured_json(secs: f64, tput: f64, stats: &TrialStats) -> Json {
+    let commits = stats.stm.commits.saturating_add(stats.htm_commits);
+    let aborts = stats.stm.aborts.saturating_add(stats.htm_aborts);
+    let attempts = commits.saturating_add(aborts);
+    let abort_rate = if attempts == 0 {
+        0.0
+    } else {
+        aborts as f64 / attempts as f64
+    };
+    let by_cause = Json::Obj(
+        AbortCause::ALL
+            .iter()
+            .map(|&c| (c.label().to_string(), Json::u64(stats.cause(c))))
+            .collect(),
+    );
+    let hist = Json::Arr(
+        stats
+            .stm
+            .quiesce_hist
+            .buckets
+            .iter()
+            .map(|&b| Json::u64(b))
+            .collect(),
+    );
+    Json::Obj(vec![
+        ("secs".into(), Json::f64(secs)),
+        ("ops_per_sec".into(), Json::f64(tput)),
+        ("commits".into(), Json::u64(commits)),
+        ("aborts".into(), Json::u64(aborts)),
+        ("abort_rate".into(), Json::f64(abort_rate)),
+        ("serial_fallbacks".into(), Json::u64(stats.serial_fallbacks)),
+        ("by_cause".into(), by_cause),
+        (
+            "quiesce".into(),
+            // The drain machinery lives in the STM domain only.
+            Json::Obj(vec![
+                ("drains".into(), Json::u64(stats.stm.quiesces)),
+                ("skipped".into(), Json::u64(stats.stm.quiesce_skipped)),
+                ("wait_ns".into(), Json::u64(stats.stm.quiesce_wait_ns)),
+                ("hist".into(), hist),
+            ]),
+        ),
+    ])
+}
+
+fn run_json(spec: &RunSpec, secs: f64, tput: f64, stats: &TrialStats) -> Json {
+    Json::Obj(vec![
+        ("figure".into(), Json::str(spec.figure)),
+        ("workload".into(), Json::str(&*spec.workload)),
+        ("mix".into(), Json::str(&*spec.mix)),
+        ("mode".into(), Json::str(&*spec.mode)),
+        ("policy".into(), Json::str(&*spec.policy)),
+        ("threads".into(), Json::u64(spec.threads as u64)),
+        ("ops".into(), Json::u64(spec.ops)),
+        ("warmup".into(), Json::u64(spec.warmup)),
+        ("unit".into(), Json::str(spec.unit)),
+        ("measured".into(), measured_json(secs, tput, stats)),
+    ])
+}
+
+/// Best-of-`trials` micro run (max throughput, with that run's stats).
+fn best_micro(
+    trials: usize,
+    kind: &str,
+    policy: QuiescePolicy,
+    threads: usize,
+    mix: Mix,
+    ops: u64,
+    opts: MicroOpts,
+) -> (f64, TrialStats) {
+    let mut best: Option<(f64, TrialStats)> = None;
+    for _ in 0..trials.max(1) {
+        let (t, s) = micro_trial_opts(kind, policy, threads, mix, ops, opts);
+        if best.as_ref().is_none_or(|(bt, _)| t > *bt) {
+            best = Some((t, s));
+        }
+    }
+    best.expect("at least one trial")
+}
+
+fn ab_side(config: &str, tput: f64, extra: Vec<(String, Json)>) -> Json {
+    let mut measured = vec![("ops_per_sec".to_string(), Json::f64(tput))];
+    measured.extend(extra);
+    Json::Obj(vec![
+        ("config".into(), Json::str(config)),
+        ("measured".into(), Json::Obj(measured)),
+    ])
+}
+
+/// Identity of one optimization A/B (everything but the two sides).
+struct AbSpec {
+    name: &'static str,
+    workload: &'static str,
+    mix: Mix,
+    policy: QuiescePolicy,
+    threads: usize,
+}
+
+fn ab_entry(spec: &AbSpec, baseline: Json, optimized: Json, speedup: f64) -> Json {
+    Json::Obj(vec![
+        ("name".into(), Json::str(spec.name)),
+        ("figure".into(), Json::str("fig5")),
+        ("workload".into(), Json::str(spec.workload)),
+        ("mix".into(), Json::str(spec.mix.label())),
+        ("policy".into(), Json::str(spec.policy.label())),
+        ("threads".into(), Json::u64(spec.threads as u64)),
+        ("baseline".into(), baseline),
+        ("optimized".into(), optimized),
+        (
+            "measured".into(),
+            Json::Obj(vec![("speedup".into(), Json::f64(speedup))]),
+        ),
+    ])
+}
+
+/// Run the trajectory suite and build the document.
+pub fn emit_report(cfg: &EmitConfig) -> Json {
+    let mut runs = Vec::new();
+    let warm = cfg.micro_ops / 10;
+
+    if cfg.apps {
+        // fig2: PBZip2 pipeline, bytes/sec.
+        let block = 16 * 1024;
+        let input = gen_text(42, cfg.pbzip_kib * 1024);
+        for mode in [AlgoMode::StmCondvar, AlgoMode::HtmCondvar] {
+            let (secs, stats) = pbzip_compress_trial(mode, cfg.threads, block, &input);
+            runs.push(run_json(
+                &RunSpec {
+                    figure: "fig2",
+                    workload: "pbzip-compress".into(),
+                    mix: "-".into(),
+                    mode: mode.label().into(),
+                    policy: "-".into(),
+                    threads: cfg.threads,
+                    ops: input.len() as u64,
+                    warmup: input.len().min(block) as u64,
+                    unit: "bytes/sec",
+                },
+                secs,
+                input.len() as f64 / secs,
+                &stats,
+            ));
+        }
+        let sys = Arc::new(TmSystem::new(AlgoMode::HtmCondvar));
+        let ccfg = PipelineConfig {
+            workers: cfg.threads,
+            block_size: block,
+            fifo_cap: 2 * cfg.threads.max(2),
+        };
+        let compressed = compress_parallel(&sys, &input, &ccfg);
+        let (secs, stats) =
+            pbzip_decompress_trial(AlgoMode::HtmCondvar, cfg.threads, block, &compressed);
+        runs.push(run_json(
+            &RunSpec {
+                figure: "fig2",
+                workload: "pbzip-decompress".into(),
+                mix: "-".into(),
+                mode: AlgoMode::HtmCondvar.label().into(),
+                policy: "-".into(),
+                threads: cfg.threads,
+                ops: compressed.len() as u64,
+                warmup: 4096,
+                unit: "bytes/sec",
+            },
+            secs,
+            compressed.len() as f64 / secs,
+            &stats,
+        ));
+
+        // fig3: x265 encoder, frames/sec.
+        let frames = VideoSize::Small.params(false).2 as u64;
+        let (secs, stats) = x265_trial(AlgoMode::HtmCondvar, cfg.threads, VideoSize::Small, false);
+        runs.push(run_json(
+            &RunSpec {
+                figure: "fig3",
+                workload: "x265-small".into(),
+                mix: "-".into(),
+                mode: AlgoMode::HtmCondvar.label().into(),
+                policy: "-".into(),
+                threads: cfg.threads,
+                ops: frames,
+                warmup: 2,
+                unit: "frames/sec",
+            },
+            secs,
+            frames as f64 / secs,
+            &stats,
+        ));
+    }
+
+    // fig5: set microbenchmarks, ops/sec.
+    let micro_cases: [(&str, QuiescePolicy, Mix); 5] = [
+        ("hash", QuiescePolicy::Selective, Mix::HalfLookup),
+        ("tree", QuiescePolicy::Selective, Mix::HalfLookup),
+        ("list", QuiescePolicy::Selective, Mix::HalfLookup),
+        ("hash", QuiescePolicy::Selective, Mix::ReadMostly),
+        ("hash", QuiescePolicy::Always, Mix::UpdateOnly),
+    ];
+    for (kind, policy, mix) in micro_cases {
+        let (tput, stats) = best_micro(
+            cfg.trials,
+            kind,
+            policy,
+            cfg.threads,
+            mix,
+            cfg.micro_ops,
+            MicroOpts::warmed(cfg.micro_ops),
+        );
+        let total = cfg.threads as u64 * cfg.micro_ops;
+        runs.push(run_json(
+            &RunSpec {
+                figure: "fig5",
+                workload: kind.into(),
+                mix: mix.label().into(),
+                mode: AlgoMode::StmCondvar.label().into(),
+                policy: policy.label().into(),
+                threads: cfg.threads,
+                ops: total,
+                warmup: cfg.threads as u64 * warm,
+                unit: "ops/sec",
+            },
+            total as f64 / tput,
+            tput,
+            &stats,
+        ));
+    }
+
+    // Optimization A/Bs: one knob flipped per entry, both sides measured in
+    // this same process so the numbers are an honest pair.
+    let mut optimizations = Vec::new();
+    let warmed = MicroOpts::warmed(cfg.micro_ops);
+
+    // Orec-table padding vs the compact (false-sharing) layout.
+    let (compact_t, _) = best_micro(
+        cfg.trials,
+        "hash",
+        QuiescePolicy::Selective,
+        cfg.threads,
+        Mix::ReadMostly,
+        cfg.micro_ops,
+        MicroOpts {
+            orec_layout: OrecLayout::Compact,
+            ..warmed
+        },
+    );
+    let (padded_t, _) = best_micro(
+        cfg.trials,
+        "hash",
+        QuiescePolicy::Selective,
+        cfg.threads,
+        Mix::ReadMostly,
+        cfg.micro_ops,
+        warmed,
+    );
+    optimizations.push(ab_entry(
+        &AbSpec {
+            name: "orec-padding",
+            workload: "hash",
+            mix: Mix::ReadMostly,
+            policy: QuiescePolicy::Selective,
+            threads: cfg.threads,
+        },
+        ab_side("orec-layout=compact", compact_t, vec![]),
+        ab_side("orec-layout=padded", padded_t, vec![]),
+        padded_t / compact_t,
+    ));
+
+    // Read-only commit fast path, measured where it bites: read-mostly mix
+    // under the drain-everything (`Always`) policy.
+    let (slow_t, _) = best_micro(
+        cfg.trials,
+        "hash",
+        QuiescePolicy::Always,
+        cfg.threads,
+        Mix::ReadMostly,
+        cfg.micro_ops,
+        MicroOpts {
+            ro_fast_path: false,
+            ..warmed
+        },
+    );
+    let (fast_t, _) = best_micro(
+        cfg.trials,
+        "hash",
+        QuiescePolicy::Always,
+        cfg.threads,
+        Mix::ReadMostly,
+        cfg.micro_ops,
+        warmed,
+    );
+    optimizations.push(ab_entry(
+        &AbSpec {
+            name: "ro-fast-path",
+            workload: "hash",
+            mix: Mix::ReadMostly,
+            policy: QuiescePolicy::Always,
+            threads: cfg.threads,
+        },
+        ab_side("ro-fast-path=off", slow_t, vec![]),
+        ab_side("ro-fast-path=on", fast_t, vec![]),
+        fast_t / slow_t,
+    ));
+
+    // Transaction-buffer reuse across retries: throughput plus the
+    // allocation counters that prove the churn is gone.
+    let alloc_fields = |s: tle_stm::BufAllocStats| {
+        vec![
+            ("fresh_allocs".to_string(), Json::u64(s.fresh_allocs)),
+            ("reuse_hits".to_string(), Json::u64(s.reused)),
+            ("spills".to_string(), Json::u64(s.spills)),
+        ]
+    };
+    tle_stm::reset_buf_alloc_stats();
+    let (churn_t, _) = best_micro(
+        cfg.trials,
+        "hash",
+        QuiescePolicy::Selective,
+        cfg.threads,
+        Mix::HalfLookup,
+        cfg.micro_ops,
+        MicroOpts {
+            buf_reuse: false,
+            ..warmed
+        },
+    );
+    let churn_alloc = tle_stm::buf_alloc_stats();
+    tle_stm::reset_buf_alloc_stats();
+    let (reuse_t, _) = best_micro(
+        cfg.trials,
+        "hash",
+        QuiescePolicy::Selective,
+        cfg.threads,
+        Mix::HalfLookup,
+        cfg.micro_ops,
+        warmed,
+    );
+    let reuse_alloc = tle_stm::buf_alloc_stats();
+    optimizations.push(ab_entry(
+        &AbSpec {
+            name: "txbuf-reuse",
+            workload: "hash",
+            mix: Mix::HalfLookup,
+            policy: QuiescePolicy::Selective,
+            threads: cfg.threads,
+        },
+        ab_side("buf-reuse=off", churn_t, alloc_fields(churn_alloc)),
+        ab_side("buf-reuse=on", reuse_t, alloc_fields(reuse_alloc)),
+        reuse_t / churn_t,
+    ));
+
+    Json::Obj(vec![
+        ("schema".into(), Json::str(SCHEMA)),
+        ("schema_version".into(), Json::u64(SCHEMA_VERSION)),
+        ("pr".into(), Json::u64(PR)),
+        (
+            "config".into(),
+            Json::Obj(vec![
+                ("label".into(), Json::str(cfg.label)),
+                ("threads".into(), Json::u64(cfg.threads as u64)),
+                ("micro_ops".into(), Json::u64(cfg.micro_ops)),
+                ("warmup_ops".into(), Json::u64(warm)),
+                ("pbzip_kib".into(), Json::u64(cfg.pbzip_kib as u64)),
+                ("trials".into(), Json::u64(cfg.trials as u64)),
+                ("apps".into(), Json::Bool(cfg.apps)),
+            ]),
+        ),
+        ("runs".into(), Json::Arr(runs)),
+        ("optimizations".into(), Json::Arr(optimizations)),
+    ])
+}
+
+/// The document with every `"measured"` subtree removed: what must be
+/// identical between two emits of the same configuration.
+pub fn stable_view(doc: &Json) -> Json {
+    match doc {
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .iter()
+                .filter(|(k, _)| k != "measured")
+                .map(|(k, v)| (k.clone(), stable_view(v)))
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.iter().map(stable_view).collect()),
+        other => other.clone(),
+    }
+}
+
+fn req<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
+    v.get(key).ok_or_else(|| format!("missing key '{key}'"))
+}
+
+fn req_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, String> {
+    req(v, key)?
+        .as_str()
+        .ok_or_else(|| format!("key '{key}' is not a string"))
+}
+
+fn req_u64(v: &Json, key: &str) -> Result<u64, String> {
+    req(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("key '{key}' is not an unsigned integer"))
+}
+
+fn req_f64(v: &Json, key: &str) -> Result<f64, String> {
+    req(v, key)?
+        .as_f64()
+        .ok_or_else(|| format!("key '{key}' is not a number"))
+}
+
+/// Check a document against the `tle-bench-trajectory` schema.
+pub fn validate(doc: &Json) -> Result<(), String> {
+    let schema = req_str(doc, "schema")?;
+    if schema != SCHEMA {
+        return Err(format!("schema is '{schema}', expected '{SCHEMA}'"));
+    }
+    let version = req_u64(doc, "schema_version")?;
+    if version != SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version is {version}, expected {SCHEMA_VERSION}"
+        ));
+    }
+    req_u64(doc, "pr")?;
+    req(doc, "config")?
+        .as_obj()
+        .ok_or("'config' is not an object")?;
+    let runs = req(doc, "runs")?.as_arr().ok_or("'runs' is not an array")?;
+    if runs.is_empty() {
+        return Err("'runs' is empty".into());
+    }
+    for (i, run) in runs.iter().enumerate() {
+        validate_run(run).map_err(|e| format!("runs[{i}]: {e}"))?;
+    }
+    let opts = req(doc, "optimizations")?
+        .as_arr()
+        .ok_or("'optimizations' is not an array")?;
+    for (i, o) in opts.iter().enumerate() {
+        validate_opt(o).map_err(|e| format!("optimizations[{i}]: {e}"))?;
+    }
+    Ok(())
+}
+
+fn validate_measured(m: &Json) -> Result<(), String> {
+    m.as_obj().ok_or("'measured' is not an object")?;
+    req_f64(m, "secs")?;
+    req_f64(m, "ops_per_sec")?;
+    req_u64(m, "commits")?;
+    req_u64(m, "aborts")?;
+    req_f64(m, "abort_rate")?;
+    req_u64(m, "serial_fallbacks")?;
+    let by_cause = req(m, "by_cause")?;
+    for cause in AbortCause::ALL {
+        req_u64(by_cause, cause.label()).map_err(|e| format!("by_cause: {e}"))?;
+    }
+    let quiesce = req(m, "quiesce")?;
+    req_u64(quiesce, "drains")?;
+    req_u64(quiesce, "skipped")?;
+    req_u64(quiesce, "wait_ns")?;
+    let hist = req(quiesce, "hist")?
+        .as_arr()
+        .ok_or("'quiesce.hist' is not an array")?;
+    if hist.len() != HIST_BUCKETS {
+        return Err(format!(
+            "quiesce.hist has {} buckets, expected {HIST_BUCKETS}",
+            hist.len()
+        ));
+    }
+    for b in hist {
+        b.as_u64().ok_or("non-integer histogram bucket")?;
+    }
+    Ok(())
+}
+
+fn validate_run(run: &Json) -> Result<(), String> {
+    for key in ["figure", "workload", "mix", "mode", "policy", "unit"] {
+        req_str(run, key)?;
+    }
+    for key in ["threads", "ops", "warmup"] {
+        req_u64(run, key)?;
+    }
+    validate_measured(req(run, "measured")?)
+}
+
+fn validate_opt(o: &Json) -> Result<(), String> {
+    req_str(o, "name")?;
+    req_str(o, "workload")?;
+    req_u64(o, "threads")?;
+    for side in ["baseline", "optimized"] {
+        let s = req(o, side)?;
+        req_str(s, "config").map_err(|e| format!("{side}: {e}"))?;
+        let m = req(s, "measured").map_err(|e| format!("{side}: {e}"))?;
+        req_f64(m, "ops_per_sec").map_err(|e| format!("{side}: {e}"))?;
+    }
+    req_f64(req(o, "measured")?, "speedup").map_err(|e| format!("measured: {e}"))?;
+    Ok(())
+}
+
+/// The identity of one run: everything that must match for an old/new
+/// throughput comparison to be meaningful.
+fn run_key(run: &Json) -> Result<String, String> {
+    Ok(format!(
+        "{}/{} mix={} mode={} policy={} threads={}",
+        req_str(run, "figure")?,
+        req_str(run, "workload")?,
+        req_str(run, "mix")?,
+        req_str(run, "mode")?,
+        req_str(run, "policy")?,
+        req_u64(run, "threads")?,
+    ))
+}
+
+/// Outcome of [`compare`]. `regressions` non-empty means the new report
+/// lost more than [`TOLERANCE`] throughput on at least one recorded run.
+#[derive(Debug, Default)]
+pub struct CompareOutcome {
+    /// Runs matched and compared.
+    pub compared: usize,
+    /// Human-readable lines, one per regressed run.
+    pub regressions: Vec<String>,
+    /// Runs that got more than [`TOLERANCE`] faster (informational).
+    pub improvements: Vec<String>,
+}
+
+/// Compare two trajectory documents. Every run recorded in `old` must
+/// still exist in `new` (a vanished run is schema drift and a hard error,
+/// regardless of any warn flag at the CLI layer); new runs may appear
+/// freely. Returns the per-run throughput verdicts.
+pub fn compare(old: &Json, new: &Json) -> Result<CompareOutcome, String> {
+    validate(old).map_err(|e| format!("old report: {e}"))?;
+    validate(new).map_err(|e| format!("new report: {e}"))?;
+    let old_runs = old.get("runs").and_then(Json::as_arr).expect("validated");
+    let new_runs = new.get("runs").and_then(Json::as_arr).expect("validated");
+    let mut out = CompareOutcome::default();
+    for run in old_runs {
+        let key = run_key(run)?;
+        let Some(newer) = new_runs.iter().find(|r| run_key(r).as_ref() == Ok(&key)) else {
+            return Err(format!("run '{key}' is missing from the new report"));
+        };
+        let old_t = req_f64(req(run, "measured")?, "ops_per_sec")?;
+        let new_t = req_f64(req(newer, "measured")?, "ops_per_sec")?;
+        out.compared += 1;
+        if old_t <= 0.0 {
+            continue;
+        }
+        let delta = new_t / old_t - 1.0;
+        let line = format!(
+            "{key}: {old_t:.0} -> {new_t:.0} ops/sec ({:+.1}%)",
+            delta * 100.0
+        );
+        if new_t < old_t * (1.0 - TOLERANCE) {
+            out.regressions.push(line);
+        } else if new_t > old_t * (1.0 + TOLERANCE) {
+            out.improvements.push(line);
+        }
+    }
+    Ok(out)
+}
+
+/// A minimal schema-valid document with the given `(workload, ops_per_sec)`
+/// fig5 runs — for comparator tests, which must not depend on timing.
+#[doc(hidden)]
+pub fn synthetic_report(workloads: &[(&str, f64)]) -> Json {
+    let runs = workloads
+        .iter()
+        .map(|&(w, tput)| {
+            run_json(
+                &RunSpec {
+                    figure: "fig5",
+                    workload: w.into(),
+                    mix: Mix::HalfLookup.label().into(),
+                    mode: AlgoMode::StmCondvar.label().into(),
+                    policy: QuiescePolicy::Selective.label().into(),
+                    threads: 2,
+                    ops: 1_000,
+                    warmup: 100,
+                    unit: "ops/sec",
+                },
+                1.0,
+                tput,
+                &TrialStats::default(),
+            )
+        })
+        .collect();
+    Json::Obj(vec![
+        ("schema".into(), Json::str(SCHEMA)),
+        ("schema_version".into(), Json::u64(SCHEMA_VERSION)),
+        ("pr".into(), Json::u64(PR)),
+        (
+            "config".into(),
+            Json::Obj(vec![("label".into(), Json::str("synthetic"))]),
+        ),
+        ("runs".into(), Json::Arr(runs)),
+        ("optimizations".into(), Json::Arr(Vec::new())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_report_passes_validation() {
+        let doc = synthetic_report(&[("hash", 1000.0), ("tree", 500.0)]);
+        validate(&doc).unwrap();
+        // And survives a byte-identical round trip through the parser.
+        let rendered = doc.render();
+        assert_eq!(Json::parse(&rendered).unwrap().render(), rendered);
+    }
+
+    #[test]
+    fn validate_rejects_schema_drift() {
+        let doc = synthetic_report(&[("hash", 1000.0)]);
+        let mutate = |f: &dyn Fn(&mut Vec<(String, Json)>)| {
+            let mut d = doc.clone();
+            if let Json::Obj(fields) = &mut d {
+                f(fields);
+            }
+            d
+        };
+        let bad_schema = mutate(&|f| f[0].1 = Json::str("something-else"));
+        assert!(validate(&bad_schema).unwrap_err().contains("schema"));
+        let bad_version = mutate(&|f| f[1].1 = Json::u64(99));
+        assert!(validate(&bad_version)
+            .unwrap_err()
+            .contains("schema_version"));
+        let no_runs = mutate(&|f| f.retain(|(k, _)| k != "runs"));
+        assert!(validate(&no_runs).unwrap_err().contains("runs"));
+        let empty_runs = mutate(&|f| {
+            if let Some((_, v)) = f.iter_mut().find(|(k, _)| k == "runs") {
+                *v = Json::Arr(Vec::new());
+            }
+        });
+        assert!(validate(&empty_runs).unwrap_err().contains("empty"));
+    }
+
+    /// Replace the value at key `target` anywhere in the tree.
+    fn replace_key(v: &mut Json, target: &str, with: &Json) {
+        match v {
+            Json::Obj(fields) => {
+                for (k, val) in fields.iter_mut() {
+                    if k == target {
+                        *val = with.clone();
+                    } else {
+                        replace_key(val, target, with);
+                    }
+                }
+            }
+            Json::Arr(items) => {
+                for item in items.iter_mut() {
+                    replace_key(item, target, with);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn validate_checks_histogram_width_and_causes() {
+        let mut doc = synthetic_report(&[("hash", 1000.0)]);
+        replace_key(&mut doc, "hist", &Json::Arr(vec![Json::u64(0); 4]));
+        let err = validate(&doc).unwrap_err();
+        assert!(err.contains("hist"), "unexpected error: {err}");
+
+        let mut doc = synthetic_report(&[("hash", 1000.0)]);
+        replace_key(&mut doc, "by_cause", &Json::Obj(Vec::new()));
+        let err = validate(&doc).unwrap_err();
+        assert!(err.contains("by_cause"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn compare_flags_regression_beyond_tolerance() {
+        let old = synthetic_report(&[("hash", 1000.0), ("tree", 500.0)]);
+        let new = synthetic_report(&[("hash", 850.0), ("tree", 495.0)]);
+        let out = compare(&old, &new).unwrap();
+        assert_eq!(out.compared, 2);
+        assert_eq!(out.regressions.len(), 1, "{:?}", out.regressions);
+        assert!(out.regressions[0].contains("hash"));
+    }
+
+    #[test]
+    fn compare_passes_within_tolerance() {
+        let old = synthetic_report(&[("hash", 1000.0)]);
+        let new = synthetic_report(&[("hash", 905.0)]);
+        let out = compare(&old, &new).unwrap();
+        assert!(out.regressions.is_empty(), "{:?}", out.regressions);
+        assert!(out.improvements.is_empty());
+    }
+
+    #[test]
+    fn compare_reports_improvements() {
+        let old = synthetic_report(&[("hash", 1000.0)]);
+        let new = synthetic_report(&[("hash", 1500.0)]);
+        let out = compare(&old, &new).unwrap();
+        assert_eq!(out.improvements.len(), 1);
+        assert!(out.regressions.is_empty());
+    }
+
+    #[test]
+    fn compare_hard_fails_on_missing_run() {
+        let old = synthetic_report(&[("hash", 1000.0), ("tree", 500.0)]);
+        let new = synthetic_report(&[("hash", 1000.0)]);
+        let err = compare(&old, &new).unwrap_err();
+        assert!(err.contains("missing"), "unexpected error: {err}");
+        // New runs appearing is NOT an error (additions are fine).
+        compare(&new, &old).unwrap();
+    }
+
+    #[test]
+    fn stable_view_strips_every_measured_subtree() {
+        let a = synthetic_report(&[("hash", 1000.0)]);
+        let b = synthetic_report(&[("hash", 123.0)]);
+        assert_ne!(a, b);
+        assert_eq!(stable_view(&a), stable_view(&b));
+        fn has_measured(v: &Json) -> bool {
+            match v {
+                Json::Obj(f) => f.iter().any(|(k, v)| k == "measured" || has_measured(v)),
+                Json::Arr(items) => items.iter().any(has_measured),
+                _ => false,
+            }
+        }
+        assert!(has_measured(&a));
+        assert!(!has_measured(&stable_view(&a)));
+    }
+}

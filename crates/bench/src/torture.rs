@@ -214,6 +214,10 @@ pub fn run_torture(cfg: &TortureConfig) -> TortureReport {
             .build(),
     );
     let mut violations = Vec::new();
+    // Single-worker (repro) phases run transactions on *this* thread; a
+    // buffer block parked by a previous run would shift this run's heap
+    // layout and break the same-seed trace contract.
+    tle_stm::drain_buf_pool();
     fault::install(torture_plan(cfg.seed));
     let t0 = std::time::Instant::now();
 

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 use tle_base::stats::TxStatsSnapshot;
-use tle_base::AbortCause;
+use tle_base::{AbortCause, OrecLayout};
 use tle_core::{AlgoMode, ThreadHandle, TmSystem};
 use tle_pbz::{compress_parallel, decompress_parallel, PipelineConfig};
 use tle_stm::QuiescePolicy;
@@ -86,6 +86,11 @@ impl TrialStats {
 }
 
 /// One PBZip2 trial: compress (and optionally verify-decompress) `input`.
+///
+/// Like every trial runner, this warms the system first (one pipeline pass
+/// over a small prefix, so thread handles, FIFO slots, and transaction
+/// buffers are all allocated) and then measures a steady-state window with
+/// freshly reset stats.
 pub fn pbzip_compress_trial(
     mode: AlgoMode,
     workers: usize,
@@ -98,6 +103,9 @@ pub fn pbzip_compress_trial(
         block_size,
         fifo_cap: 2 * workers.max(2),
     };
+    let warm = &input[..input.len().min(block_size)];
+    std::hint::black_box(compress_parallel(&sys, warm, &cfg));
+    sys.reset_stats();
     let t0 = std::time::Instant::now();
     let out = compress_parallel(&sys, input, &cfg);
     let secs = t0.elapsed().as_secs_f64();
@@ -105,7 +113,8 @@ pub fn pbzip_compress_trial(
     (secs, TrialStats::capture(&sys))
 }
 
-/// One PBZip2 decompression trial.
+/// One PBZip2 decompression trial (warmed up on a small synthetic blob,
+/// then measured steady-state).
 pub fn pbzip_decompress_trial(
     mode: AlgoMode,
     workers: usize,
@@ -118,6 +127,9 @@ pub fn pbzip_decompress_trial(
         block_size,
         fifo_cap: 2 * workers.max(2),
     };
+    let warm = compress_parallel(&sys, &tle_pbz::gen_text(7, 4096), &cfg);
+    std::hint::black_box(decompress_parallel(&sys, &warm, &cfg).expect("warmup decompress"));
+    sys.reset_stats();
     let t0 = std::time::Instant::now();
     let out = decompress_parallel(&sys, compressed, &cfg).expect("decompress failed");
     let secs = t0.elapsed().as_secs_f64();
@@ -186,6 +198,12 @@ pub fn x265_trial_cfg(
         frame_threads: 3,
         slices: 1,
     };
+    // Warmup: a two-frame encode spins up the worker pool and touches the
+    // hot allocation paths; the measured window then starts from reset
+    // stats (steady state).
+    let warm_src = VideoSource::new(w, h, 2, 0xFEED);
+    std::hint::black_box(encode_video(&sys, &warm_src, &cfg));
+    sys.reset_stats();
     let t0 = std::time::Instant::now();
     let v = encode_video(&sys, &source, &cfg);
     let secs = t0.elapsed().as_secs_f64();
@@ -200,6 +218,9 @@ pub enum Mix {
     UpdateOnly,
     /// 50% lookup, 25% insert, 25% remove (right column).
     HalfLookup,
+    /// 90% lookup, 5% insert, 5% remove — the read-mostly mix the
+    /// read-only commit fast path targets (`BENCH_<n>.json` A/B runs).
+    ReadMostly,
 }
 
 impl Mix {
@@ -207,6 +228,48 @@ impl Mix {
         match self {
             Mix::UpdateOnly => "50i/50r",
             Mix::HalfLookup => "50l/25i/25r",
+            Mix::ReadMostly => "90l/5i/5r",
+        }
+    }
+}
+
+/// One operation of `mix` against `set` — the shared inner loop of the
+/// warmup and measured windows of [`micro_trial_opts`].
+#[inline]
+fn mix_op(
+    set: &dyn TxSet,
+    th: &ThreadHandle,
+    mix: Mix,
+    rng: &mut tle_base::rng::XorShift64,
+    space: u64,
+) {
+    let key = rng.below(space);
+    let dice = rng.below(100);
+    match mix {
+        Mix::UpdateOnly => {
+            if dice < 50 {
+                set.insert(th, key);
+            } else {
+                set.remove(th, key);
+            }
+        }
+        Mix::HalfLookup => {
+            if dice < 50 {
+                set.contains(th, key);
+            } else if dice < 75 {
+                set.insert(th, key);
+            } else {
+                set.remove(th, key);
+            }
+        }
+        Mix::ReadMostly => {
+            if dice < 90 {
+                set.contains(th, key);
+            } else if dice < 95 {
+                set.insert(th, key);
+            } else {
+                set.remove(th, key);
+            }
         }
     }
 }
@@ -259,18 +322,93 @@ pub fn micro_trial_algo(
     mix: Mix,
     ops_per_thread: u64,
 ) -> (f64, TrialStats) {
+    micro_trial_opts(
+        kind,
+        policy,
+        threads,
+        mix,
+        ops_per_thread,
+        MicroOpts {
+            algo,
+            ..MicroOpts::warmed(ops_per_thread)
+        },
+    )
+}
+
+/// Runtime knobs for [`micro_trial_opts`] beyond the classic figure
+/// parameters. Every `BENCH_<n>.json` optimization A/B run is expressed as
+/// a pair of these with exactly one field flipped.
+#[derive(Debug, Clone, Copy)]
+pub struct MicroOpts {
+    /// STM algorithm (paper default: `ml_wt`).
+    pub algo: tle_stm::StmAlgo,
+    /// Orec-table layout (padded vs compact, for the false-sharing A/B).
+    pub orec_layout: OrecLayout,
+    /// Read-only commit fast path on/off.
+    pub ro_fast_path: bool,
+    /// Transaction-buffer reuse across retries on/off.
+    pub buf_reuse: bool,
+    /// Per-thread warmup operations executed before the measured window;
+    /// stats reset at the steady-state boundary.
+    pub warmup_ops: u64,
+}
+
+impl Default for MicroOpts {
+    fn default() -> Self {
+        MicroOpts {
+            algo: tle_stm::StmAlgo::MlWt,
+            orec_layout: OrecLayout::default(),
+            ro_fast_path: true,
+            buf_reuse: true,
+            warmup_ops: 0,
+        }
+    }
+}
+
+impl MicroOpts {
+    /// Defaults plus the standard warmup: 10% of the measured per-thread
+    /// op count.
+    pub fn warmed(ops_per_thread: u64) -> Self {
+        MicroOpts {
+            warmup_ops: ops_per_thread / 10,
+            ..Self::default()
+        }
+    }
+}
+
+/// [`micro_trial`] with the full knob set. The trial runs in three barrier
+/// phases: *sync0* (all workers registered) → warmup ops on a dedicated
+/// rng stream → *sync1* (stats reset, clock armed) → *sync2* (measured
+/// window opens). The measured window replays the same operation sequence
+/// regardless of how much warmup preceded it.
+pub fn micro_trial_opts(
+    kind: &str,
+    policy: QuiescePolicy,
+    threads: usize,
+    mix: Mix,
+    ops_per_thread: u64,
+    opts: MicroOpts,
+) -> (f64, TrialStats) {
     // Microbenchmarks always run the STM (the paper's Figure 5 machine has
     // no HTM); the policy is the independent variable.
-    let sys = Arc::new(TmSystem::new(AlgoMode::StmCondvar));
+    let sys = Arc::new(
+        TmSystem::builder()
+            .mode(AlgoMode::StmCondvar)
+            .orec_layout(opts.orec_layout)
+            .ro_commit_fast_path(opts.ro_fast_path)
+            .build(),
+    );
     sys.stm.set_policy(policy);
-    sys.set_stm_algo(algo);
+    sys.set_stm_algo(opts.algo);
+    let reuse_before = tle_stm::buf_reuse_enabled();
+    tle_stm::set_buf_reuse(opts.buf_reuse);
     let set = make_set(kind);
     {
         let th = sys.register();
         prefill(&*set, &th);
     }
-    sys.reset_stats();
     let barrier = Arc::new(std::sync::Barrier::new(threads + 1));
+    let warmup_ops = opts.warmup_ops;
     let handles: Vec<_> = (0..threads)
         .map(|t| {
             let sys = Arc::clone(&sys);
@@ -278,42 +416,34 @@ pub fn micro_trial_algo(
             let barrier = Arc::clone(&barrier);
             std::thread::spawn(move || {
                 let th = sys.register();
-                let mut rng = tle_base::rng::XorShift64::new(0xF1F5 ^ t as u64);
                 let space = set.key_space();
-                barrier.wait();
+                let mut wrng = tle_base::rng::XorShift64::new(0xAB ^ t as u64);
+                barrier.wait(); // sync0: everyone registered
+                for _ in 0..warmup_ops {
+                    mix_op(&*set, &th, mix, &mut wrng, space);
+                }
+                barrier.wait(); // sync1: warmup drained everywhere
+                let mut rng = tle_base::rng::XorShift64::new(0xF1F5 ^ t as u64);
+                barrier.wait(); // sync2: measured window opens
                 for _ in 0..ops_per_thread {
-                    let key = rng.below(space);
-                    let dice = rng.below(100);
-                    match mix {
-                        Mix::UpdateOnly => {
-                            if dice < 50 {
-                                set.insert(&th, key);
-                            } else {
-                                set.remove(&th, key);
-                            }
-                        }
-                        Mix::HalfLookup => {
-                            if dice < 50 {
-                                set.contains(&th, key);
-                            } else if dice < 75 {
-                                set.insert(&th, key);
-                            } else {
-                                set.remove(&th, key);
-                            }
-                        }
-                    }
+                    mix_op(&*set, &th, mix, &mut rng, space);
                 }
             })
         })
         .collect();
-    barrier.wait();
+    barrier.wait(); // sync0
+    barrier.wait(); // sync1
+    sys.reset_stats();
     let t0 = std::time::Instant::now();
+    barrier.wait(); // sync2
     for h in handles {
         h.join().unwrap();
     }
     let secs = t0.elapsed().as_secs_f64();
+    let stats = TrialStats::capture(&sys);
+    tle_stm::set_buf_reuse(reuse_before);
     let total_ops = threads as f64 * ops_per_thread as f64;
-    (total_ops / secs, TrialStats::capture(&sys))
+    (total_ops / secs, stats)
 }
 
 #[cfg(test)]
@@ -580,6 +710,97 @@ mod tests {
                 "injected {hazard:?} not counted as {cause}; breakdown: {}",
                 stats.abort_breakdown()
             );
+        }
+    }
+
+    /// Satellite (a): the steady-state window excludes warmup work. Every
+    /// set op is exactly one committed transaction, so measured commits
+    /// must equal `threads * ops_per_thread` — warmup transactions (10%
+    /// more) must have been wiped by the reset at the sync1 boundary.
+    #[test]
+    fn warmup_ops_are_excluded_from_the_measured_window() {
+        let threads = 2;
+        let ops = 2_000u64;
+        let opts = MicroOpts::warmed(ops);
+        assert_eq!(opts.warmup_ops, ops / 10);
+        let (tput, stats) = micro_trial_opts(
+            "hash",
+            QuiescePolicy::Selective,
+            threads,
+            Mix::HalfLookup,
+            ops,
+            opts,
+        );
+        assert!(tput > 0.0);
+        let total = threads as u64 * ops;
+        // A contended section may complete as a serial fallback instead of
+        // an STM commit, so bound from both sides rather than demanding
+        // exact equality.
+        assert!(
+            stats.stm.commits <= total,
+            "warmup leaked into the window: {} commits > {} measured ops",
+            stats.stm.commits,
+            total
+        );
+        assert!(
+            stats.stm.commits + stats.serial_fallbacks >= total,
+            "measured ops unaccounted for: {} commits + {} fallbacks < {}",
+            stats.stm.commits,
+            stats.serial_fallbacks,
+            total
+        );
+    }
+
+    /// The read-mostly mix drives the read-only commit fast path: under the
+    /// `Always` drain policy, skipped drains can only come from the fast
+    /// path, and disabling it for an A/B run restores drain-everything.
+    #[test]
+    fn read_mostly_mix_exercises_the_ro_fast_path() {
+        assert_eq!(Mix::ReadMostly.label(), "90l/5i/5r");
+        let (_, on) = micro_trial_opts(
+            "hash",
+            QuiescePolicy::Always,
+            2,
+            Mix::ReadMostly,
+            2_000,
+            MicroOpts::warmed(2_000),
+        );
+        assert!(on.stm.quiesce_skipped > 0, "fast path never taken");
+        let (_, off) = micro_trial_opts(
+            "hash",
+            QuiescePolicy::Always,
+            2,
+            Mix::ReadMostly,
+            2_000,
+            MicroOpts {
+                ro_fast_path: false,
+                ..MicroOpts::warmed(2_000)
+            },
+        );
+        assert_eq!(
+            off.stm.quiesce_skipped, 0,
+            "disabled fast path still skipped"
+        );
+    }
+
+    /// Both orec layouts produce working trials (the A/B pair behind the
+    /// `orec-padding` optimization entry).
+    #[test]
+    fn micro_trial_runs_under_both_orec_layouts() {
+        for layout in [OrecLayout::Padded, OrecLayout::Compact] {
+            let (tput, stats) = micro_trial_opts(
+                "tree",
+                QuiescePolicy::Selective,
+                2,
+                Mix::UpdateOnly,
+                1_000,
+                MicroOpts {
+                    orec_layout: layout,
+                    ..MicroOpts::warmed(1_000)
+                },
+            );
+            assert!(tput > 0.0, "{}: no throughput", layout.label());
+            assert!(stats.stm.commits > 0, "{}: no commits", layout.label());
         }
     }
 

@@ -1,0 +1,130 @@
+//! Satellite tests for the perf-trajectory subsystem: the comparator's
+//! regression verdicts, byte-identical round-trips, and determinism of the
+//! report's stable view across repeated emits.
+
+use tle_bench::json::Json;
+use tle_bench::perf::{
+    compare, emit_report, stable_view, synthetic_report, validate, EmitConfig, TOLERANCE,
+};
+
+/// Emits toggle process-global knobs (buffer reuse, its alloc counters)
+/// for the A/B entries, so tests that emit must not overlap.
+static EMIT_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn emit_serialized(cfg: &EmitConfig) -> Json {
+    let _guard = EMIT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    emit_report(cfg)
+}
+
+/// A tiny real-emit configuration: microbenchmarks only, small op counts,
+/// so the full pipeline (workload -> stats -> JSON) runs in test time.
+fn tiny() -> EmitConfig {
+    EmitConfig {
+        label: "test",
+        threads: 2,
+        micro_ops: 400,
+        pbzip_kib: 8,
+        trials: 1,
+        apps: false,
+    }
+}
+
+#[test]
+fn injected_regression_is_flagged_and_tolerance_respected() {
+    let old = synthetic_report(&[("hash", 1000.0), ("tree", 2000.0)]);
+
+    // Just inside the tolerance band: not a regression.
+    let edge = synthetic_report(&[("hash", 1000.0 * (1.0 - TOLERANCE) + 1.0), ("tree", 2000.0)]);
+    let out = compare(&old, &edge).unwrap();
+    assert!(out.regressions.is_empty(), "{:?}", out.regressions);
+
+    let beyond = synthetic_report(&[("hash", 880.0), ("tree", 2000.0)]);
+    let out = compare(&old, &beyond).unwrap();
+    assert_eq!(out.regressions.len(), 1);
+    assert!(out.regressions[0].contains("hash"), "{:?}", out.regressions);
+    assert!(
+        out.regressions[0].contains("-12.0%"),
+        "{:?}",
+        out.regressions
+    );
+}
+
+#[test]
+fn real_emit_validates_and_round_trips_byte_identically() {
+    let report = emit_serialized(&tiny());
+    validate(&report).expect("real emit must satisfy its own schema");
+    let rendered = report.render();
+    let reparsed = Json::parse(&rendered).expect("emitted JSON must parse");
+    assert_eq!(
+        reparsed.render(),
+        rendered,
+        "emit -> parse -> emit must be byte-identical"
+    );
+}
+
+#[test]
+fn repeated_emits_are_deterministic_modulo_timing() {
+    let a = emit_serialized(&tiny());
+    let b = emit_serialized(&tiny());
+    assert_eq!(
+        stable_view(&a).render(),
+        stable_view(&b).render(),
+        "two emits of the same config must differ only in measured subtrees"
+    );
+    // And a report always compares clean against itself.
+    let self_cmp = compare(&a, &a).unwrap();
+    assert!(self_cmp.regressions.is_empty());
+    assert!(self_cmp.improvements.is_empty());
+    assert!(self_cmp.compared >= 5, "expected all fig5 runs compared");
+}
+
+#[test]
+fn emitted_optimization_entries_carry_before_and_after_numbers() {
+    let report = emit_serialized(&tiny());
+    let opts = report.get("optimizations").and_then(Json::as_arr).unwrap();
+    let names: Vec<&str> = opts
+        .iter()
+        .map(|o| o.get("name").and_then(Json::as_str).unwrap())
+        .collect();
+    assert_eq!(names, ["orec-padding", "ro-fast-path", "txbuf-reuse"]);
+    for o in opts {
+        for side in ["baseline", "optimized"] {
+            let t = o
+                .get(side)
+                .and_then(|s| s.get("measured"))
+                .and_then(|m| m.get("ops_per_sec"))
+                .and_then(Json::as_f64)
+                .unwrap();
+            assert!(t > 0.0, "{side} throughput must be measured");
+        }
+        assert!(
+            o.get("measured")
+                .and_then(|m| m.get("speedup"))
+                .and_then(Json::as_f64)
+                .unwrap()
+                > 0.0
+        );
+    }
+    // txbuf-reuse must prove the allocation churn went away: with reuse
+    // off every transaction leases a fresh block, with reuse on the pool
+    // hits dominate.
+    let reuse = &opts[2];
+    let alloc = |side: &str, key: &str| {
+        reuse
+            .get(side)
+            .and_then(|s| s.get("measured"))
+            .and_then(|m| m.get(key))
+            .and_then(Json::as_u64)
+            .unwrap()
+    };
+    assert!(
+        alloc("baseline", "fresh_allocs") > alloc("optimized", "fresh_allocs"),
+        "buf reuse must cut fresh allocations ({} -> {})",
+        alloc("baseline", "fresh_allocs"),
+        alloc("optimized", "fresh_allocs"),
+    );
+    assert!(
+        alloc("optimized", "reuse_hits") > 0,
+        "buf reuse must record pool hits"
+    );
+}

@@ -174,7 +174,7 @@ where
                 attempts += 1;
                 lock.domain().window.record_abort(e);
                 trace::emit(TraceKind::Retry, TxMode::Htm, Some(e), attempts as u64);
-                backoff(th.htm_slot, attempts, sys.policy().backoff_ceiling);
+                backoff(th.htm_slot, attempts, 0, sys.policy().backoff_ceiling);
                 continue;
             }
         }
@@ -213,7 +213,7 @@ where
                         attempts += 1;
                         lock.domain().window.record_abort(cause);
                         trace::emit(TraceKind::Retry, TxMode::Htm, Some(cause), attempts as u64);
-                        backoff(th.htm_slot, attempts, sys.policy().backoff_ceiling);
+                        backoff(th.htm_slot, attempts, 0, sys.policy().backoff_ceiling);
                     }
                 }
             }
@@ -233,7 +233,7 @@ where
                         attempts += 1;
                         lock.domain().window.record_abort(cause);
                         trace::emit(TraceKind::Retry, TxMode::Htm, Some(cause), attempts as u64);
-                        backoff(th.htm_slot, attempts, sys.policy().backoff_ceiling);
+                        backoff(th.htm_slot, attempts, 0, sys.policy().backoff_ceiling);
                     }
                 }
             }
@@ -262,7 +262,7 @@ where
                 attempts += 1;
                 lock.domain().window.record_abort(c);
                 trace::emit(TraceKind::Retry, TxMode::Htm, Some(c), attempts as u64);
-                backoff(th.htm_slot, attempts, sys.policy().backoff_ceiling);
+                backoff(th.htm_slot, attempts, 0, sys.policy().backoff_ceiling);
             }
         }
     }
@@ -539,7 +539,12 @@ where
                         note_abort(th);
                         lock.domain().window.record_abort(cause);
                         trace::emit(TraceKind::Retry, TxMode::Stm, Some(cause), attempts as u64);
-                        backoff(th.stm_slot, attempts, sys.policy().backoff_ceiling);
+                        backoff(
+                            th.stm_slot,
+                            attempts,
+                            th.consec_aborts.get(),
+                            sys.policy().backoff_ceiling,
+                        );
                     }
                 }
             }
@@ -563,7 +568,12 @@ where
                         note_abort(th);
                         lock.domain().window.record_abort(cause);
                         trace::emit(TraceKind::Retry, TxMode::Stm, Some(cause), attempts as u64);
-                        backoff(th.stm_slot, attempts, sys.policy().backoff_ceiling);
+                        backoff(
+                            th.stm_slot,
+                            attempts,
+                            th.consec_aborts.get(),
+                            sys.policy().backoff_ceiling,
+                        );
                     }
                 }
             }
@@ -592,7 +602,12 @@ where
                 note_abort(th);
                 lock.domain().window.record_abort(c);
                 trace::emit(TraceKind::Retry, TxMode::Stm, Some(c), attempts as u64);
-                backoff(th.stm_slot, attempts, sys.policy().backoff_ceiling);
+                backoff(
+                    th.stm_slot,
+                    attempts,
+                    th.consec_aborts.get(),
+                    sys.policy().backoff_ceiling,
+                );
             }
         }
     }
@@ -664,7 +679,12 @@ where
                         note_abort(th);
                         lock.domain().window.record_abort(cause);
                         trace::emit(TraceKind::Retry, TxMode::Htm, Some(cause), attempts as u64);
-                        backoff(th.htm_slot, attempts, sys.policy().backoff_ceiling);
+                        backoff(
+                            th.htm_slot,
+                            attempts,
+                            th.consec_aborts.get(),
+                            sys.policy().backoff_ceiling,
+                        );
                     }
                 }
             }
@@ -688,7 +708,12 @@ where
                         note_abort(th);
                         lock.domain().window.record_abort(cause);
                         trace::emit(TraceKind::Retry, TxMode::Htm, Some(cause), attempts as u64);
-                        backoff(th.htm_slot, attempts, sys.policy().backoff_ceiling);
+                        backoff(
+                            th.htm_slot,
+                            attempts,
+                            th.consec_aborts.get(),
+                            sys.policy().backoff_ceiling,
+                        );
                     }
                 }
             }
@@ -717,7 +742,12 @@ where
                 note_abort(th);
                 lock.domain().window.record_abort(c);
                 trace::emit(TraceKind::Retry, TxMode::Htm, Some(c), attempts as u64);
-                backoff(th.htm_slot, attempts, sys.policy().backoff_ceiling);
+                backoff(
+                    th.htm_slot,
+                    attempts,
+                    th.consec_aborts.get(),
+                    sys.policy().backoff_ceiling,
+                );
             }
         }
     }
@@ -916,7 +946,7 @@ fn cancel_wait(th: &ThreadHandle, lock: &ElidableMutex, cv: &TxCondvar, raw: *co
             Ok(found) => break found,
             Err(_) => {
                 attempts += 1;
-                backoff(th.stm_slot, attempts, sys.policy().backoff_ceiling);
+                backoff(th.stm_slot, attempts, 0, sys.policy().backoff_ceiling);
             }
         }
     };
@@ -975,14 +1005,36 @@ fn reclaim_enqueue_ref(pw: &PendingWait<'_>) {
 /// correlated waits on attempt `n+1` too, re-colliding indefinitely; the
 /// per-thread state breaks that lockstep (each backoff also advances it, so
 /// repeat encounters see fresh draws).
-fn backoff(salt: usize, attempts: u32, ceiling: u32) {
+///
+/// Two refinements over plain truncated-exponential:
+///
+/// - **Tiering by consecutive-abort depth**: `consec` is the starvation
+///   ladder's cross-section abort streak ([`note_abort`]). A thread that
+///   keeps losing across *sections* is in a congestion episode the
+///   per-section `attempts` counter cannot see (it resets every section);
+///   the tier widens its window up front, `log2`-ish in the streak, capped
+///   at 4 extra doublings.
+/// - **Decorrelated jitter** (the AWS "decorrelated jitter" shape): the
+///   wait is drawn from `[16, 3*prev]` rather than `[0, bound)`, where
+///   `prev` is this thread's previous wait. Consecutive draws random-walk
+///   instead of re-sampling one fixed window, which both desynchronizes
+///   repeat colliders faster and keeps a lucky short draw from snapping the
+///   window back to zero. The exponential `bound` still caps the walk.
+fn backoff(salt: usize, attempts: u32, consec: u32, ceiling: u32) {
     use std::sync::atomic::{AtomicU64, Ordering};
     /// Decorrelates the initial states of threads spawned back-to-back.
     static THREAD_SEED: AtomicU64 = AtomicU64::new(0x9E37_79B9_7F4A_7C15);
     thread_local! {
         static BACKOFF_STATE: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+        /// Previous wait drawn on this thread (decorrelated-jitter state).
+        static BACKOFF_PREV: std::cell::Cell<u64> = const { std::cell::Cell::new(16) };
     }
-    let bound = (16u64 << attempts.min(16)).min(ceiling as u64).max(1);
+    // Tier 0 for a clean slate, then one extra doubling per log2 of the
+    // streak: 1 -> 1, 2..3 -> 2, 4..7 -> 3, >= 8 -> 4.
+    let tier = (32 - consec.leading_zeros()).min(4);
+    let bound = (16u64 << attempts.saturating_add(tier).min(16))
+        .min(ceiling as u64)
+        .max(1);
     let draw = BACKOFF_STATE.with(|cell| {
         let mut state = cell.get();
         if state == 0 {
@@ -992,7 +1044,9 @@ fn backoff(salt: usize, attempts: u32, ceiling: u32) {
         cell.set(state);
         raw ^ ((salt as u64) << 32) ^ attempts as u64
     });
-    let spins = draw % bound + 1;
+    let prev = BACKOFF_PREV.with(|p| p.get()).max(16);
+    let spins = (16 + draw % prev.saturating_mul(3)).min(bound).max(1);
+    BACKOFF_PREV.with(|p| p.set(spins));
     for _ in 0..spins {
         std::hint::spin_loop();
     }

@@ -11,7 +11,7 @@ use std::sync::{Arc, Weak};
 use std::time::Duration;
 use tle_base::stats::{fmt_ns, LatencyHistSnapshot, TxStats, TxStatsSnapshot};
 use tle_base::trace::{self, TraceKind, TxMode};
-use tle_base::{AbortCause, Gate};
+use tle_base::{AbortCause, Gate, OrecLayout};
 use tle_htm::{HtmConfig, HtmGlobal};
 use tle_stm::{QuiescePolicy, StmGlobal};
 
@@ -233,6 +233,10 @@ pub struct TmSystemBuilder {
     policy: TlePolicy,
     htm_cfg: HtmConfig,
     adaptive: Option<AdaptiveConfig>,
+    orec_layout: OrecLayout,
+    /// `None` keeps the STM default (on); benches set `Some(false)` for
+    /// before/after runs.
+    ro_fast_path: Option<bool>,
 }
 
 impl TmSystemBuilder {
@@ -272,11 +276,29 @@ impl TmSystemBuilder {
         self
     }
 
+    /// Physical layout of the STM orec table (default: padded, one orec per
+    /// cache line). The compact layout exists so benches can measure the
+    /// false-sharing cost it removes.
+    pub fn orec_layout(mut self, layout: OrecLayout) -> Self {
+        self.orec_layout = layout;
+        self
+    }
+
+    /// Enable/disable the read-only STM commit fast path (default: on).
+    pub fn ro_commit_fast_path(mut self, on: bool) -> Self {
+        self.ro_fast_path = Some(on);
+        self
+    }
+
     /// Assemble the runtime.
     pub fn build(self) -> TmSystem {
         let mode = self.mode.unwrap_or(AlgoMode::HtmCondvar);
+        let stm = StmGlobal::with_layout(mode.quiesce_policy(), self.orec_layout);
+        if let Some(on) = self.ro_fast_path {
+            stm.set_ro_commit_fast_path(on);
+        }
         TmSystem {
-            stm: StmGlobal::new(mode.quiesce_policy()),
+            stm,
             htm: HtmGlobal::new(self.htm_cfg),
             gate: Gate::new(),
             stats: TxStats::new(),

@@ -20,6 +20,7 @@
 //! ablation against `ml_wt` (`ablate_stm_algo` bench): the drain the paper
 //! optimizes is an artifact of *in-place* STMs.
 
+use crate::sets::{self, BufLease};
 use crate::tx::CommitInfo;
 use crate::StmGlobal;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -35,10 +36,10 @@ pub struct NorecTx<'g> {
     slot_idx: usize,
     /// Even sequence value this transaction is consistent with.
     snapshot: u64,
-    /// Value log: `(cell, observed value)`.
-    reads: Vec<(*const AtomicU64, u64)>,
-    /// Redo log: `(cell, address, value)`, linear-scanned (small sets).
-    writes: Vec<(*const AtomicU64, usize, u64)>,
+    /// Pooled value log (`nreads`: cell, observed value) and redo log
+    /// (`nwrites`: cell, address, value; linear-scanned — small sets). The
+    /// same per-thread block `ml_wt` uses, leased for this attempt.
+    bufs: BufLease,
     finished: bool,
 }
 
@@ -54,8 +55,7 @@ impl<'g> NorecTx<'g> {
             g,
             slot_idx,
             snapshot,
-            reads: Vec::with_capacity(16),
-            writes: Vec::with_capacity(8),
+            bufs: sets::lease(slot_idx),
             finished: false,
         }
     }
@@ -69,21 +69,21 @@ impl<'g> NorecTx<'g> {
     /// Whether this attempt has buffered any writes.
     #[inline]
     pub fn is_writer(&self) -> bool {
-        !self.writes.is_empty()
+        !self.bufs.nwrites.is_empty()
     }
 
     /// Transactionally read a cell.
     pub fn read<T: TxVal>(&mut self, cell: &TCell<T>) -> Result<T, AbortCause> {
         sched::yield_point(YieldPoint::SeqLock);
         let addr = cell.addr();
-        if let Some(&(_, _, w)) = self.writes.iter().find(|&&(_, a, _)| a == addr) {
+        if let Some(&(_, _, w)) = self.bufs.nwrites.iter().find(|&&(_, a, _)| a == addr) {
             history::read(addr, w);
             return Ok(T::from_word(w));
         }
         loop {
             let v = cell.word().load(Ordering::Acquire);
             if self.g.norec_seq.load(Ordering::Acquire) == self.snapshot {
-                self.reads.push((cell.word() as *const AtomicU64, v));
+                self.bufs.nreads.push((cell.word() as *const AtomicU64, v));
                 history::read(addr, v);
                 return Ok(T::from_word(v));
             }
@@ -97,10 +97,11 @@ impl<'g> NorecTx<'g> {
     pub fn write<T: TxVal>(&mut self, cell: &TCell<T>, v: T) -> Result<(), AbortCause> {
         let addr = cell.addr();
         let word = v.to_word();
-        if let Some(entry) = self.writes.iter_mut().find(|&&mut (_, a, _)| a == addr) {
+        if let Some(entry) = self.bufs.nwrites.iter_mut().find(|e| e.1 == addr) {
             entry.2 = word;
         } else {
-            self.writes
+            self.bufs
+                .nwrites
                 .push((cell.word() as *const AtomicU64, addr, word));
         }
         history::write(addr, word);
@@ -137,7 +138,8 @@ impl<'g> NorecTx<'g> {
         loop {
             let s = wait_even(&self.g.norec_seq);
             let consistent = self
-                .reads
+                .bufs
+                .nreads
                 .iter()
                 // SAFETY: cells outlive the transaction (documented
                 // invariant shared with `StmTx`).
@@ -164,7 +166,7 @@ impl<'g> NorecTx<'g> {
     pub fn commit(mut self) -> Result<CommitInfo, AbortCause> {
         debug_assert!(!self.finished);
         let shard = self.slot_idx;
-        if self.writes.is_empty() {
+        if self.bufs.nwrites.is_empty() {
             self.finished = true;
             history::commit();
             self.g.slots.publish_raw(self.slot_idx, tle_base::INACTIVE);
@@ -207,7 +209,7 @@ impl<'g> NorecTx<'g> {
         // even, so the log's `Commit` order serializes NOrec writers.
         history::commit();
         sched::yield_point(YieldPoint::MemStore);
-        for &(c, _, v) in &self.writes {
+        for &(c, _, v) in self.bufs.nwrites.iter() {
             // SAFETY: cells outlive the transaction.
             unsafe { (*c).store(v, Ordering::Release) };
         }

@@ -3,6 +3,7 @@
 //! post-commit quiescence drain.
 
 use crate::quiesce::{drain_watched, QuiescePolicy, Watchdog};
+use crate::sets::{self, BufLease};
 use crate::StmGlobal;
 use std::sync::atomic::{AtomicU64, Ordering};
 use tle_base::fault::{self, Hazard};
@@ -45,12 +46,10 @@ pub struct StmTx<'g> {
     g: &'g StmGlobal,
     slot_idx: usize,
     start: u64,
-    /// (orec index, orec word observed at read time)
-    reads: Vec<(u32, u64)>,
-    /// (cell pointer, old word) — rolled back in reverse order.
-    undo: Vec<(*const AtomicU64, u64)>,
-    /// (orec index, orec word immediately before we locked it)
-    locks: Vec<(u32, u64)>,
+    /// Pooled read set / undo log / lock set (see [`crate::sets`]): leased
+    /// at begin, returned cleared-but-capacity-intact at drop, so retries
+    /// stop paying allocator round-trips.
+    bufs: BufLease,
     no_quiesce: bool,
     must_quiesce: bool,
     finished: bool,
@@ -67,9 +66,7 @@ impl<'g> StmTx<'g> {
             g,
             slot_idx,
             start,
-            reads: Vec::with_capacity(16),
-            undo: Vec::with_capacity(8),
-            locks: Vec::with_capacity(8),
+            bufs: sets::lease(slot_idx),
             no_quiesce: false,
             must_quiesce: false,
             finished: false,
@@ -91,13 +88,20 @@ impl<'g> StmTx<'g> {
     /// Number of recorded reads (diagnostics).
     #[inline]
     pub fn read_set_len(&self) -> usize {
-        self.reads.len()
+        self.bufs.reads.len()
     }
 
     /// Whether this attempt has written anything yet.
     #[inline]
     pub fn is_writer(&self) -> bool {
-        !self.locks.is_empty()
+        !self.bufs.locks.is_empty()
+    }
+
+    /// Heap capacity currently retained by the read set's spill tier
+    /// (test introspection for the buffer-reuse pin).
+    #[doc(hidden)]
+    pub fn read_spill_capacity(&self) -> usize {
+        self.bufs.reads.spill_capacity()
     }
 
     /// The paper's `TM_NoQuiesce`: assert that this transaction does not
@@ -184,7 +188,7 @@ impl<'g> StmTx<'g> {
                         // Concurrent commit between our samples; retry.
                         continue;
                     }
-                    self.reads.push((oi as u32, v1));
+                    self.bufs.reads.push((oi as u32, v1));
                     trace::emit(TraceKind::Read, TxMode::Stm, None, oi as u64);
                     history::read(addr, val);
                     return Ok(val);
@@ -201,7 +205,8 @@ impl<'g> StmTx<'g> {
             let cur = self.g.orecs.load(oi);
             match OrecValue::decode(cur) {
                 OrecValue::Locked(owner) if owner == self.slot_idx => {
-                    self.undo
+                    self.bufs
+                        .undo
                         .push((w as *const AtomicU64, w.load(Ordering::Relaxed)));
                     w.store(val, Ordering::Release);
                     history::write(addr, val);
@@ -228,7 +233,7 @@ impl<'g> StmTx<'g> {
                         continue;
                     }
                     if self.g.orecs.try_lock(oi, cur, self.slot_idx) {
-                        self.locks.push((oi as u32, cur));
+                        self.bufs.locks.push((oi as u32, cur));
                         // In-flight window: the orec is held but the new value
                         // is not yet stored; the explorer probes it here.
                         sched::yield_point(YieldPoint::MemStore);
@@ -245,7 +250,8 @@ impl<'g> StmTx<'g> {
                                 Hazard::OrecStall.index() as u64,
                             );
                         }
-                        self.undo
+                        self.bufs
+                            .undo
                             .push((w as *const AtomicU64, w.load(Ordering::Relaxed)));
                         w.store(val, Ordering::Release);
                         trace::emit(TraceKind::Write, TxMode::Stm, None, oi as u64);
@@ -290,7 +296,7 @@ impl<'g> StmTx<'g> {
                 Hazard::ValidationDelay.index() as u64,
             );
         }
-        for &(oi, seen) in &self.reads {
+        for &(oi, seen) in self.bufs.reads.iter() {
             let cur = self.g.orecs.load(oi as usize);
             if cur == seen {
                 continue;
@@ -301,6 +307,7 @@ impl<'g> StmTx<'g> {
                     // valid iff nothing committed in between, i.e. the
                     // pre-lock word equals what the read saw.
                     let prev = self
+                        .bufs
                         .locks
                         .iter()
                         .find(|&&(li, _)| li == oi)
@@ -320,12 +327,36 @@ impl<'g> StmTx<'g> {
     pub fn commit(mut self) -> Result<CommitInfo, AbortCause> {
         debug_assert!(!self.finished);
         let shard = self.slot_idx;
-        if self.locks.is_empty() {
-            // Read-only fast path: reads were validated incrementally, no
+        if self.bufs.locks.is_empty() {
+            // Read-only commit: reads were validated incrementally, no
             // clock advance needed (GCC/TinySTM do the same).
             self.finished = true;
             history::commit();
             self.g.slots.publish_raw(self.slot_idx, tle_base::INACTIVE);
+            if self.g.ro_commit_fast_path()
+                && !self.must_quiesce
+                && !(self.no_quiesce && self.g.audit_noquiesce_enabled())
+            {
+                // Fast path: return before the quiescence machinery. Sound
+                // because only a *writer* commit can transfer data into
+                // private use: a privatizing reader observes the transfer
+                // only after the transferring writer committed, and that
+                // writer's own post-commit drain (policy permitting)
+                // already waited out every transaction older than the
+                // transfer — a read-only commit has nobody to wait for.
+                // Exceptions stay on the slow path: `will_free_memory`
+                // (allocator contract, §IV-B) and — when the §IV-C
+                // no-quiesce audit is on — `TM_NoQuiesce` transactions, so
+                // the audit's overlap scan stays complete.
+                self.g.stats.quiesce_skipped.inc(shard);
+                self.g.stats.commits.inc(shard);
+                trace::emit(TraceKind::Commit, TxMode::Stm, None, 0);
+                return Ok(CommitInfo {
+                    end_time: 0,
+                    quiesced: false,
+                    quiesce_wait_ns: 0,
+                });
+            }
             let info = self.maybe_quiesce(self.g.clock.now());
             self.g.stats.commits.inc(shard);
             trace::emit(TraceKind::Commit, TxMode::Stm, None, info.end_time);
@@ -354,7 +385,7 @@ impl<'g> StmTx<'g> {
         // `tle_base::history` module docs).
         history::commit();
         sched::yield_point(YieldPoint::OrecRelease);
-        for &(oi, _) in &self.locks {
+        for &(oi, _) in self.bufs.locks.iter() {
             self.g.orecs.release(oi as usize, end);
         }
         self.finished = true;
@@ -377,30 +408,31 @@ impl<'g> StmTx<'g> {
     }
 
     fn rollback(&mut self) {
-        if mutant::armed(Mutant::EarlyOrecRelease) && !self.locks.is_empty() {
+        if mutant::armed(Mutant::EarlyOrecRelease) && !self.bufs.locks.is_empty() {
             // Seeded bug: hand the orecs back while the undo log is still
             // unapplied — readers sample a clean orec over dirty data.
             let ver = self.g.clock.advance();
-            for (oi, _) in self.locks.drain(..) {
+            while let Some((oi, _)) = self.bufs.locks.pop() {
                 self.g.orecs.release(oi as usize, ver);
             }
             sched::yield_point(YieldPoint::OrecRelease);
         }
-        // Undo in reverse so repeated writes restore the oldest value.
-        for (w, old) in self.undo.drain(..).rev() {
+        // Undo in pop (reverse-insertion) order so repeated writes restore
+        // the oldest value.
+        while let Some((w, old)) = self.bufs.undo.pop() {
             // SAFETY: cells outlive the transaction (documented invariant).
             unsafe { (*w).store(old, Ordering::Release) };
         }
-        if !self.locks.is_empty() {
+        if !self.bufs.locks.is_empty() {
             // Release at a *new* version: concurrent readers that sampled
             // the pre-lock word and then read an in-flight value must fail
             // their second orec sample.
             let ver = self.g.clock.advance();
-            for (oi, _) in self.locks.drain(..) {
+            while let Some((oi, _)) = self.bufs.locks.pop() {
                 self.g.orecs.release(oi as usize, ver);
             }
         }
-        self.reads.clear();
+        self.bufs.reads.clear();
     }
 
     fn maybe_quiesce(&self, upto: u64) -> CommitInfo {
@@ -609,6 +641,69 @@ mod tests {
         tx.will_free_memory();
         let info = tx.commit().unwrap();
         assert!(info.quiesced, "freeing memory overrides no_quiesce");
+        g.slots.unregister_raw(slot);
+    }
+
+    #[test]
+    fn read_set_capacity_survives_abort_retry() {
+        let g = StmGlobal::new(crate::QuiescePolicy::Never);
+        let slot = g.slots.register_raw().unwrap();
+        let cells: Vec<TCell<u64>> = (0..200u64).map(TCell::new).collect();
+        let cap = {
+            let mut tx = g.begin(slot);
+            for c in &cells {
+                tx.read(c).unwrap();
+            }
+            let cap = tx.read_spill_capacity();
+            tx.abort(AbortCause::Explicit);
+            cap
+        };
+        assert!(cap > 0, "200 reads must spill past the inline tier");
+        // The retry attempt must lease the same block back, capacity intact.
+        let tx = g.begin(slot);
+        assert_eq!(tx.read_set_len(), 0, "reused buffers must arrive empty");
+        assert!(
+            tx.read_spill_capacity() >= cap,
+            "retry lost capacity: {} < {cap}",
+            tx.read_spill_capacity()
+        );
+        drop(tx);
+        g.slots.unregister_raw(slot);
+    }
+
+    #[test]
+    fn ro_fast_path_skips_the_drain_but_freeing_still_drains() {
+        let g = StmGlobal::new(crate::QuiescePolicy::Always);
+        let slot = g.slots.register_raw().unwrap();
+        let a = TCell::new(1u64);
+        assert!(g.ro_commit_fast_path(), "fast path must default on");
+
+        let mut tx = g.begin(slot);
+        tx.read(&a).unwrap();
+        let info = tx.commit().unwrap();
+        assert!(!info.quiesced, "read-only commit must skip the drain");
+        assert_eq!(info.end_time, 0);
+        assert_eq!(g.stats.quiesce_skipped.get(), 1);
+
+        // The allocator contract (§IV-B) still forces a drain.
+        let mut tx = g.begin(slot);
+        tx.read(&a).unwrap();
+        tx.will_free_memory();
+        assert!(tx.commit().unwrap().quiesced);
+        g.slots.unregister_raw(slot);
+    }
+
+    #[test]
+    fn ro_fast_path_can_be_disabled_for_ab_runs() {
+        let g = StmGlobal::new(crate::QuiescePolicy::Always);
+        g.set_ro_commit_fast_path(false);
+        let slot = g.slots.register_raw().unwrap();
+        let a = TCell::new(1u64);
+        let mut tx = g.begin(slot);
+        tx.read(&a).unwrap();
+        let info = tx.commit().unwrap();
+        assert!(info.quiesced, "with the flag off, Always must drain");
+        assert_eq!(g.stats.quiesces.get(), 1);
         g.slots.unregister_raw(slot);
     }
 

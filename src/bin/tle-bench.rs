@@ -1,0 +1,178 @@
+//! `tle-bench` — the machine-readable perf trajectory (`BENCH_<n>.json`).
+//!
+//! ```text
+//! cargo run --release --bin tle-bench -- emit --out BENCH_6.json
+//! cargo run --release --bin tle-bench -- emit --quick --out /tmp/new.json
+//! cargo run --release --bin tle-bench -- validate BENCH_6.json
+//! cargo run --release --bin tle-bench -- compare BENCH_6.json /tmp/new.json
+//! ```
+//!
+//! Exit codes: 0 clean, 1 regression or schema error (`--warn` downgrades
+//! *timing* regressions only — schema errors always fail), 2 usage error.
+
+use std::process::ExitCode;
+use tle_bench::json::Json;
+use tle_bench::perf::{compare, emit_report, stable_view, validate, EmitConfig, TOLERANCE};
+
+const USAGE: &str = "\
+tle-bench: emit, validate, and compare BENCH_<n>.json perf trajectories
+
+USAGE: tle-bench <COMMAND> [OPTIONS]
+
+COMMANDS:
+  emit                    run the bench suite and print the JSON report
+    --quick               CI smoke sizing (default: full artifact sizing)
+    --out <file>          write to <file> instead of stdout
+  validate <file>         check a report against the schema
+  compare <old> <new>     fail on >10% throughput loss on any recorded run
+    --warn                report timing regressions without failing
+    --stable              also require identical stable views (schema bytes)
+  -h, --help              this help
+";
+
+fn read_report(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("tle-bench: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Accept both `emit` and `--emit` spellings for the subcommand.
+    let cmd = match args.first().map(|s| s.trim_start_matches("--")) {
+        Some("emit") => "emit",
+        Some("validate") => "validate",
+        Some("compare") => "compare",
+        Some("help") | Some("h") => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => return usage_error(&format!("unknown command `{other}`")),
+        None => return usage_error("missing command"),
+    };
+    let rest = &args[1..];
+
+    match cmd {
+        "emit" => {
+            let mut cfg = EmitConfig::full();
+            let mut out_path: Option<String> = None;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--quick" => cfg = EmitConfig::quick(),
+                    "--out" => match it.next() {
+                        Some(p) => out_path = Some(p.clone()),
+                        None => return usage_error("--out expects a file path"),
+                    },
+                    other => return usage_error(&format!("unknown emit option `{other}`")),
+                }
+            }
+            eprintln!(
+                "tle-bench: emitting {} report ({} threads, {} micro ops/thread)...",
+                cfg.label, cfg.threads, cfg.micro_ops
+            );
+            let report = emit_report(&cfg);
+            if let Err(e) = validate(&report) {
+                eprintln!("tle-bench: emitted report failed self-validation: {e}");
+                return ExitCode::FAILURE;
+            }
+            let text = report.render();
+            match out_path {
+                Some(p) => {
+                    if let Err(e) = std::fs::write(&p, &text) {
+                        eprintln!("tle-bench: cannot write {p}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("tle-bench: wrote {p}");
+                }
+                None => print!("{text}"),
+            }
+            ExitCode::SUCCESS
+        }
+        "validate" => {
+            let [path] = rest else {
+                return usage_error("validate expects exactly one file");
+            };
+            let report = match read_report(path) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("tle-bench: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match validate(&report) {
+                Ok(()) => {
+                    println!("{path}: valid tle-bench-trajectory document");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("tle-bench: {path}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "compare" => {
+            let mut warn = false;
+            let mut stable = false;
+            let mut files: Vec<&String> = Vec::new();
+            for a in rest {
+                match a.as_str() {
+                    "--warn" => warn = true,
+                    "--stable" => stable = true,
+                    f if !f.starts_with('-') => files.push(a),
+                    other => return usage_error(&format!("unknown compare option `{other}`")),
+                }
+            }
+            let [old_path, new_path] = files[..] else {
+                return usage_error("compare expects exactly two files: <old> <new>");
+            };
+            let (old, new) = match (read_report(old_path), read_report(new_path)) {
+                (Ok(o), Ok(n)) => (o, n),
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("tle-bench: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            // Schema errors (including a run vanishing) are hard failures
+            // regardless of --warn; only timing verdicts are downgradable.
+            let outcome = match compare(&old, &new) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("tle-bench: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if stable && stable_view(&old) != stable_view(&new) {
+                eprintln!("tle-bench: stable views differ (schema drift between reports)");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "compared {} run(s): {} regression(s), {} improvement(s) \
+                 (tolerance {:.0}%)",
+                outcome.compared,
+                outcome.regressions.len(),
+                outcome.improvements.len(),
+                TOLERANCE * 100.0
+            );
+            for line in &outcome.improvements {
+                println!("  faster: {line}");
+            }
+            for line in &outcome.regressions {
+                println!("  REGRESSION: {line}");
+            }
+            if outcome.regressions.is_empty() {
+                ExitCode::SUCCESS
+            } else if warn {
+                println!("(--warn: regressions reported as warnings only)");
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        _ => unreachable!(),
+    }
+}
