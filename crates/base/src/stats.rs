@@ -233,6 +233,12 @@ pub struct TxStats {
     /// Quiescence-watchdog trips: a drain exceeded its deadline (the drain
     /// still completes; this counts the detection events).
     pub watchdog_trips: Counter,
+    /// Sections abandoned because their per-transaction retry-time budget
+    /// expired before a commit (`TxError::DeadlineExceeded`).
+    pub deadline_exceeded: Counter,
+    /// Sections shed at dispatch by the admission controller's degradation
+    /// ladder (`TxError::Overloaded`).
+    pub sheds: Counter,
 }
 
 impl TxStats {
@@ -267,6 +273,8 @@ impl TxStats {
         self.quiesce_hist.reset();
         self.escalations.reset();
         self.watchdog_trips.reset();
+        self.deadline_exceeded.reset();
+        self.sheds.reset();
     }
 
     /// A point-in-time copy, for printing.
@@ -286,6 +294,8 @@ impl TxStats {
             quiesce_hist: self.quiesce_hist.snapshot(),
             escalations: self.escalations.get(),
             watchdog_trips: self.watchdog_trips.get(),
+            deadline_exceeded: self.deadline_exceeded.get(),
+            sheds: self.sheds.get(),
         }
     }
 }
@@ -304,6 +314,10 @@ pub struct TxStatsSnapshot {
     pub quiesce_hist: LatencyHistSnapshot,
     pub escalations: u64,
     pub watchdog_trips: u64,
+    /// Sections whose retry-time budget expired (`TxError::DeadlineExceeded`).
+    pub deadline_exceeded: u64,
+    /// Sections shed at dispatch (`TxError::Overloaded`).
+    pub sheds: u64,
 }
 
 impl TxStatsSnapshot {

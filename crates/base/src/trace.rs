@@ -125,11 +125,20 @@ pub enum TraceKind {
     /// attached when an abort class triggered the switch). detail: the old
     /// mode's discriminant in bits 8.. and the new mode's in bits ..8.
     ModeSwitch = 15,
+    /// A transaction's retry-time budget expired before it could commit;
+    /// the runner gave up instead of retrying or serializing. detail:
+    /// attempts consumed before the deadline fired.
+    DeadlineExceeded = 16,
+    /// The admission controller shed a request at dispatch: the lock's
+    /// degradation ladder is in its shed step, so the section failed fast
+    /// instead of joining the storm. detail: queue depth observed at the
+    /// shed decision.
+    Shed = 17,
 }
 
 impl TraceKind {
     /// Every kind, in discriminant order.
-    pub const ALL: [TraceKind; 16] = [
+    pub const ALL: [TraceKind; 18] = [
         TraceKind::Begin,
         TraceKind::Read,
         TraceKind::Write,
@@ -146,6 +155,8 @@ impl TraceKind {
         TraceKind::Escalate,
         TraceKind::QuiesceStall,
         TraceKind::ModeSwitch,
+        TraceKind::DeadlineExceeded,
+        TraceKind::Shed,
     ];
 
     /// Decode from the packed representation.
@@ -172,6 +183,8 @@ impl TraceKind {
             TraceKind::Escalate => "escalate",
             TraceKind::QuiesceStall => "quiesce-stall",
             TraceKind::ModeSwitch => "mode-switch",
+            TraceKind::DeadlineExceeded => "deadline-exceeded",
+            TraceKind::Shed => "shed",
         }
     }
 }

@@ -19,18 +19,25 @@ use crate::workloads::{
     TrialStats, VideoSize,
 };
 use std::sync::Arc;
+use std::time::Duration;
 use tle_base::stats::HIST_BUCKETS;
 use tle_base::{AbortCause, OrecLayout};
 use tle_core::{AlgoMode, TmSystem};
+use tle_kv::{build_system, run_driver_on, KvConfig, KvReport};
 use tle_pbz::{compress_parallel, gen_text, PipelineConfig};
 use tle_stm::QuiescePolicy;
 
 /// Document type tag.
 pub const SCHEMA: &str = "tle-bench-trajectory";
-/// Bumped on any incompatible schema change.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Bumped on any incompatible schema change. Version 2 adds the `kv`
+/// serving-workload runs, whose `measured` subtree carries `latency` and
+/// `requests` objects on top of the version-1 fields.
+pub const SCHEMA_VERSION: u64 = 2;
+/// Oldest schema version [`validate`] still accepts: version-1 artifacts
+/// (`BENCH_6.json` and earlier) remain parseable and comparable.
+pub const MIN_SCHEMA_VERSION: u64 = 1;
 /// The PR that committed this artifact generation.
-pub const PR: u64 = 6;
+pub const PR: u64 = 7;
 /// Throughput regressions beyond this fraction fail [`compare`].
 pub const TOLERANCE: f64 = 0.10;
 
@@ -136,6 +143,52 @@ fn measured_json(secs: f64, tput: f64, stats: &TrialStats) -> Json {
                 ("hist".into(), hist),
             ]),
         ),
+    ])
+}
+
+/// `measured` for a kv serving run: the version-1 fields (goodput stands in
+/// for `ops_per_sec`, so [`compare`] guards it like any throughput), plus
+/// the latency and request-outcome objects version 2 adds.
+fn kv_measured_json(r: &KvReport, stats: &TrialStats) -> Json {
+    let Json::Obj(mut fields) = measured_json(r.secs, r.goodput_per_sec, stats) else {
+        unreachable!("measured_json returns an object")
+    };
+    fields.push((
+        "latency".into(),
+        Json::Obj(vec![
+            ("p50_ns".into(), Json::u64(r.p50_ns)),
+            ("p99_ns".into(), Json::u64(r.p99_ns)),
+            ("p999_ns".into(), Json::u64(r.p999_ns)),
+        ]),
+    ));
+    fields.push((
+        "requests".into(),
+        Json::Obj(vec![
+            ("offered".into(), Json::u64(r.offered)),
+            ("completed".into(), Json::u64(r.completed)),
+            ("shed".into(), Json::u64(r.shed)),
+            ("deadline_miss".into(), Json::u64(r.deadline_miss)),
+            (
+                "max_admission_step".into(),
+                Json::u64(r.max_admission_step as u64),
+            ),
+        ]),
+    ));
+    Json::Obj(fields)
+}
+
+fn kv_run_json(mix: &str, policy: &str, kv: &KvConfig, r: &KvReport, stats: &TrialStats) -> Json {
+    Json::Obj(vec![
+        ("figure".into(), Json::str("kv")),
+        ("workload".into(), Json::str("kv-zipf")),
+        ("mix".into(), Json::str(mix)),
+        ("mode".into(), Json::str(kv.mode.label())),
+        ("policy".into(), Json::str(policy)),
+        ("threads".into(), Json::u64(kv.threads as u64)),
+        ("ops".into(), Json::u64(r.offered)),
+        ("warmup".into(), Json::u64(0)),
+        ("unit".into(), Json::str("reqs/sec")),
+        ("measured".into(), kv_measured_json(r, stats)),
     ])
 }
 
@@ -319,6 +372,35 @@ pub fn emit_report(cfg: &EmitConfig) -> Json {
             tput,
             &stats,
         ));
+    }
+
+    // kv: the sharded serving workload — the deadline/admission plane A/B.
+    // Three runs: the quiet baseline, the hot-key storm with the plane
+    // containing it, and the same storm with the plane off so the damage
+    // the plane prevents stays on record.
+    // Not scaled by `micro_ops`: the driver is rate-driven (~40ms/run) and
+    // the storm window must outlast the admission ladder's dwell floors
+    // (min_dwell_steps × controller period per step) or the plane never
+    // engages and the A/B measures nothing.
+    let kv_base = KvConfig {
+        threads: cfg.threads,
+        requests: 10_000,
+        ..KvConfig::quick()
+    };
+    let kv_cases: [(&str, &str, KvConfig); 3] = [
+        ("no-storm", "plane-off", kv_base),
+        (
+            "storm",
+            "plane-on",
+            kv_base.with_storm().with_plane(Duration::from_millis(1)),
+        ),
+        ("storm", "plane-off", kv_base.with_storm()),
+    ];
+    for (mix, policy, kv) in kv_cases {
+        let sys = build_system(&kv);
+        let report = run_driver_on(&sys, &kv);
+        let stats = TrialStats::capture(&sys);
+        runs.push(kv_run_json(mix, policy, &kv, &report, &stats));
     }
 
     // Optimization A/Bs: one knob flipped per entry, both sides measured in
@@ -510,9 +592,9 @@ pub fn validate(doc: &Json) -> Result<(), String> {
         return Err(format!("schema is '{schema}', expected '{SCHEMA}'"));
     }
     let version = req_u64(doc, "schema_version")?;
-    if version != SCHEMA_VERSION {
+    if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&version) {
         return Err(format!(
-            "schema_version is {version}, expected {SCHEMA_VERSION}"
+            "schema_version is {version}, expected {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION}"
         ));
     }
     req_u64(doc, "pr")?;
@@ -573,7 +655,32 @@ fn validate_run(run: &Json) -> Result<(), String> {
     for key in ["threads", "ops", "warmup"] {
         req_u64(run, key)?;
     }
-    validate_measured(req(run, "measured")?)
+    let m = req(run, "measured")?;
+    validate_measured(m)?;
+    if req_str(run, "figure")? == "kv" {
+        validate_kv_measured(m)?;
+    }
+    Ok(())
+}
+
+/// The version-2 serving-run extensions: every `figure == "kv"` run must
+/// carry the latency quantiles and the request-outcome ledger.
+fn validate_kv_measured(m: &Json) -> Result<(), String> {
+    let lat = req(m, "latency")?;
+    for key in ["p50_ns", "p99_ns", "p999_ns"] {
+        req_u64(lat, key).map_err(|e| format!("latency: {e}"))?;
+    }
+    let reqs = req(m, "requests")?;
+    for key in [
+        "offered",
+        "completed",
+        "shed",
+        "deadline_miss",
+        "max_admission_step",
+    ] {
+        req_u64(reqs, key).map_err(|e| format!("requests: {e}"))?;
+    }
+    Ok(())
 }
 
 fn validate_opt(o: &Json) -> Result<(), String> {
@@ -700,6 +807,56 @@ mod tests {
         // And survives a byte-identical round trip through the parser.
         let rendered = doc.render();
         assert_eq!(Json::parse(&rendered).unwrap().render(), rendered);
+    }
+
+    #[test]
+    fn accepts_version_1_documents() {
+        // BENCH_6.json and earlier carry schema_version 1 with no kv runs;
+        // they must keep validating (and comparing) under the v2 code.
+        let mut doc = synthetic_report(&[("hash", 1000.0)]);
+        if let Json::Obj(fields) = &mut doc {
+            assert_eq!(fields[1].0, "schema_version");
+            fields[1].1 = Json::u64(MIN_SCHEMA_VERSION);
+        }
+        validate(&doc).unwrap();
+        let old_v1 = doc;
+        let new_v2 = synthetic_report(&[("hash", 1000.0)]);
+        compare(&old_v1, &new_v2).unwrap();
+    }
+
+    #[test]
+    fn kv_runs_require_latency_and_requests() {
+        let report = KvReport {
+            offered: 100,
+            completed: 90,
+            shed: 6,
+            deadline_miss: 4,
+            secs: 1.0,
+            goodput_per_sec: 90.0,
+            p50_ns: 10,
+            p99_ns: 20,
+            p999_ns: 30,
+            hist: tle_base::stats::LatencyHist::new().snapshot(),
+            max_admission_step: 2,
+        };
+        let kv = KvConfig::quick();
+        let run = kv_run_json("storm", "plane-on", &kv, &report, &TrialStats::default());
+        validate_run(&run).unwrap();
+
+        // A kv run without the quantiles is rejected...
+        let mut broken = run.clone();
+        replace_key(&mut broken, "latency", &Json::u64(0));
+        let err = validate_run(&broken).unwrap_err();
+        assert!(err.contains("latency"), "unexpected error: {err}");
+        // ...but the same gap on a non-kv figure is fine (v1 shape).
+        let mut non_kv = broken;
+        replace_key(&mut non_kv, "figure", &Json::str("fig5"));
+        validate_run(&non_kv).unwrap();
+
+        let mut broken = run;
+        replace_key(&mut broken, "requests", &Json::u64(0));
+        let err = validate_run(&broken).unwrap_err();
+        assert!(err.contains("requests"), "unexpected error: {err}");
     }
 
     #[test]

@@ -50,6 +50,13 @@ pub struct TortureConfig {
     /// through every (non-NoQuiesce) mode. The oracle is the exact counter
     /// value plus the flip sequence matching the schedule.
     pub adaptive: bool,
+    /// Also run the deadline-hazard phase: a counter workload where a
+    /// seed-derived subset of requests carries a zero retry-time budget.
+    /// A zero budget is already spent at the dispatch gate, so those
+    /// requests are *guaranteed* to be refused with `DeadlineExceeded` —
+    /// the expiry tally is a pure function of the seed even with racing
+    /// workers, and is folded into [`TortureReport::repro_key`].
+    pub deadline: bool,
 }
 
 impl TortureConfig {
@@ -63,6 +70,7 @@ impl TortureConfig {
             structure: "hash".into(),
             pipelines: true,
             adaptive: false,
+            deadline: false,
         }
     }
 
@@ -76,6 +84,7 @@ impl TortureConfig {
             structure: "tree".into(),
             pipelines: false,
             adaptive: false,
+            deadline: false,
         }
     }
 }
@@ -118,6 +127,10 @@ pub struct TortureReport {
     /// unless [`TortureConfig::adaptive`] was set). Same seed ⇒ identical
     /// sequence, by construction.
     pub switches: Vec<String>,
+    /// Requests refused by the deadline dispatch gate during the deadline
+    /// phase (0 unless [`TortureConfig::deadline`] was set). Same seed ⇒
+    /// identical count, by construction.
+    pub deadline_expiries: u64,
 }
 
 impl TortureReport {
@@ -145,6 +158,9 @@ impl TortureReport {
         ));
         if !self.switches.is_empty() {
             key.push_str(&format!(";switches:{}", self.switches.join(",")));
+        }
+        if self.deadline_expiries > 0 {
+            key.push_str(&format!(";deadline:{}", self.deadline_expiries));
         }
         key
     }
@@ -179,8 +195,8 @@ impl TortureReport {
         );
         let _ = writeln!(
             out,
-            "  escalations={} watchdog_trips={}",
-            self.escalations, self.watchdog_trips
+            "  escalations={} watchdog_trips={} deadline_expiries={}",
+            self.escalations, self.watchdog_trips, self.deadline_expiries
         );
         if !self.switches.is_empty() {
             let _ = writeln!(
@@ -235,6 +251,11 @@ pub fn run_torture(cfg: &TortureConfig) -> TortureReport {
     } else {
         Vec::new()
     };
+    let deadline_expiries = if cfg.deadline {
+        torture_deadline(&sys, cfg, &mut violations)
+    } else {
+        0
+    };
 
     let secs = t0.elapsed().as_secs_f64();
     let fault_snap = fault::snapshot();
@@ -250,7 +271,114 @@ pub fn run_torture(cfg: &TortureConfig) -> TortureReport {
         escalations: sys.stats.snapshot().escalations,
         watchdog_trips: sys.stm.stats.snapshot().watchdog_trips,
         switches,
+        deadline_expiries,
     }
+}
+
+/// Deadline torture: increment a counter under a lock while a seed-derived
+/// subset of the requests carries a zero retry-time budget. The runner's
+/// dispatch gate checks the budget *before* any speculation, and a zero
+/// budget is already expired when the gate first looks at it, so every
+/// budgeted request must come back `Err(DeadlineExceeded)` — anything else
+/// (a commit, a different error) is an oracle violation. Because refusal
+/// happens before the transaction touches shared state, the expiry tally is
+/// a pure function of the seed even with racing workers, which is what lets
+/// `repro_key` fold it in.
+///
+/// Oracles: the counter equals total ops minus expiries (refused requests
+/// must have no effect), and the system-wide `deadline_exceeded` stat equals
+/// the tally (every refusal is counted exactly once).
+fn torture_deadline(sys: &Arc<TmSystem>, cfg: &TortureConfig, violations: &mut Vec<String>) -> u64 {
+    use std::time::Duration;
+    use tle_base::TCell;
+    use tle_core::{ElidableMutex, TxError, TxHints};
+
+    fn worker(
+        sys: &Arc<TmSystem>,
+        lock: &ElidableMutex,
+        cell: &TCell<u64>,
+        seed: u64,
+        w: usize,
+        ops: u64,
+    ) -> (u64, Vec<String>) {
+        fault::set_lane(w as u64);
+        let th = sys.register();
+        let mut rng = XorShift64::new(seed ^ 0xDEAD ^ ((w as u64) << 17));
+        let mut expired = 0u64;
+        let mut vs = Vec::new();
+        for i in 0..ops {
+            if rng.below(4) == 0 {
+                let hints = TxHints::new().with_deadline(Duration::ZERO);
+                match th.try_critical_with(lock, hints, |ctx| {
+                    let v = ctx.read(cell)?;
+                    ctx.write(cell, v + 1)?;
+                    Ok(())
+                }) {
+                    Err(TxError::DeadlineExceeded) => expired += 1,
+                    Ok(()) => vs.push(format!(
+                        "deadline: worker {w} op {i}: zero budget committed anyway"
+                    )),
+                    Err(e) => vs.push(format!(
+                        "deadline: worker {w} op {i}: expected DeadlineExceeded, got {e:?}"
+                    )),
+                }
+            } else {
+                th.critical(lock, |ctx| {
+                    let v = ctx.read(cell)?;
+                    ctx.write(cell, v + 1)?;
+                    Ok(())
+                });
+            }
+        }
+        (expired, vs)
+    }
+
+    let lock = ElidableMutex::new("torture-deadline");
+    let cell = Arc::new(TCell::new(0u64));
+    let workers = cfg.workers.max(1);
+    let ops = cfg.ops_per_worker;
+    let before = sys.stats.snapshot().deadline_exceeded;
+
+    let mut expired_total = 0u64;
+    if workers == 1 {
+        let (expired, vs) = worker(sys, &lock, &cell, cfg.seed, 0, ops);
+        expired_total += expired;
+        violations.extend(vs);
+    } else {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let sys = Arc::clone(sys);
+                let lock = lock.clone();
+                let cell = Arc::clone(&cell);
+                let seed = cfg.seed;
+                std::thread::spawn(move || worker(&sys, &lock, &cell, seed, w, ops))
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok((expired, vs)) => {
+                    expired_total += expired;
+                    violations.extend(vs);
+                }
+                Err(_) => violations.push("deadline: a torture worker panicked".into()),
+            }
+        }
+    }
+
+    let expect = workers as u64 * ops - expired_total;
+    let got = cell.load_direct();
+    if got != expect {
+        violations.push(format!(
+            "deadline: counter {got} != {expect} — a refused request had effects"
+        ));
+    }
+    let counted = sys.stats.snapshot().deadline_exceeded - before;
+    if counted != expired_total {
+        violations.push(format!(
+            "deadline: stats counted {counted} expiries but workers observed {expired_total}"
+        ));
+    }
+    expired_total
 }
 
 /// Mode-flip torture: increment a counter under a lock while a seed-derived
@@ -584,6 +712,7 @@ mod tests {
             escalations: 0,
             watchdog_trips: 0,
             switches: Vec::new(),
+            deadline_expiries: 0,
         };
         let key = report.repro_key();
         for c in AbortCause::ALL {

@@ -67,4 +67,36 @@ fn same_seed_reproduces_counts_and_traces() {
     let ak1 = run_adaptive(0x7047);
     let ak2 = run_adaptive(0x7047);
     assert_eq!(ak1, ak2, "adaptive switch sequence must replay exactly");
+
+    // Deadline hazard: a seeded subset of requests carries a zero budget
+    // and is refused at the dispatch gate before any speculation, so the
+    // expiry tally — folded into the repro key — is a pure function of
+    // the seed. Two same-seed runs must agree byte-for-byte, and the key
+    // must actually carry the tally.
+    let run_deadline = |seed: u64| -> String {
+        trace::clear();
+        let cfg = TortureConfig {
+            deadline: true,
+            ops_per_worker: OPS_PER_WORKER,
+            ..TortureConfig::repro(seed, AlgoMode::StmCondvar)
+        };
+        let report = run_torture(&cfg);
+        assert!(
+            report.ok(),
+            "oracle violations under deadline seed {seed:#x}: {:?}",
+            report.violations
+        );
+        assert!(
+            report.deadline_expiries > 0,
+            "the deadline hazard should refuse at least one request"
+        );
+        report.repro_key()
+    };
+    let dk1 = run_deadline(0x7047);
+    let dk2 = run_deadline(0x7047);
+    assert_eq!(dk1, dk2, "deadline expiry tally must replay exactly");
+    assert!(
+        dk1.contains(";deadline:"),
+        "repro key must fold the expiry tally in: {dk1}"
+    );
 }

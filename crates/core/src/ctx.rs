@@ -8,7 +8,7 @@
 
 use crate::condvar::{TxCondvar, Waiter};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tle_base::history;
 use tle_base::{AbortCause, TCell, TxVal};
 use tle_htm::HtmTx;
@@ -24,6 +24,18 @@ pub enum TxError {
     /// The closure requested a condition wait ([`TxCtx::wait`]): commit the
     /// transaction, block, and re-run the closure.
     Wait,
+    /// The section's retry-time budget ([`crate::TxHints::with_deadline`])
+    /// expired before a commit. Raised by the runner at retry-ladder
+    /// decision points (never mid-attempt, and never once the section has
+    /// entered serial or locked mode, whose effects cannot be undone);
+    /// surfaces to callers through
+    /// [`ThreadHandle::try_critical`](crate::ThreadHandle::try_critical).
+    DeadlineExceeded,
+    /// The lock's admission controller is in its shed step: the section was
+    /// refused at dispatch so a hot lock fails fast instead of collapsing
+    /// every caller. Surfaces through
+    /// [`ThreadHandle::try_critical`](crate::ThreadHandle::try_critical).
+    Overloaded,
 }
 
 impl From<AbortCause> for TxError {
@@ -66,6 +78,9 @@ pub struct TxCtx<'a> {
     pub(crate) kind: CtxKind<'a>,
     pub(crate) defers: Vec<Box<dyn FnOnce() + Send + 'static>>,
     pub(crate) pending_wait: Option<PendingWait<'a>>,
+    /// Absolute expiry of the section's retry-time budget
+    /// ([`crate::TxHints::with_deadline`]); `None` when unbounded.
+    pub(crate) deadline: Option<Instant>,
 }
 
 impl<'a> TxCtx<'a> {
@@ -74,6 +89,24 @@ impl<'a> TxCtx<'a> {
             kind,
             defers: Vec::new(),
             pending_wait: None,
+            deadline: None,
+        }
+    }
+
+    /// Time left in the section's retry budget; `None` when unbounded,
+    /// `Some(ZERO)` once expired.
+    pub fn remaining_budget(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Clamp a requested wait timeout to the remaining retry budget, so a
+    /// parked waiter cannot outsleep its transaction's deadline.
+    fn clamp_to_deadline(&self, timeout: Option<Duration>) -> Option<Duration> {
+        match (timeout, self.remaining_budget()) {
+            (t, None) => t,
+            (None, Some(rem)) => Some(rem),
+            (Some(t), Some(rem)) => Some(t.min(rem)),
         }
     }
 
@@ -189,7 +222,11 @@ impl<'a> TxCtx<'a> {
     /// Wang's construction, no lost wakeups), blocks, and re-runs the
     /// closure. Under `StmSpin` the registration is skipped and the closure
     /// is simply re-run — polling.
+    /// When the section carries a deadline hint the effective timeout is
+    /// clamped to the remaining retry budget, whichever is sooner — a wait
+    /// can never sleep past its transaction's deadline.
     pub fn wait(&mut self, cv: &'a TxCondvar, timeout: Option<Duration>) -> Result<(), TxError> {
+        let timeout = self.clamp_to_deadline(timeout);
         match &mut self.kind {
             CtxKind::Locked { .. } => {
                 self.pending_wait = Some(PendingWait {

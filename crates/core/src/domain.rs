@@ -230,6 +230,152 @@ pub fn decide(
     }
 }
 
+/// One step of the admission controller's degradation ladder. Ordered:
+/// overload walks the lock down one step at a time
+/// (elide → serialize → shed) and recovery walks it back up the same way —
+/// [`admission_decide`] never returns a two-step jump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum AdmissionStep {
+    /// Normal operation: sections run under the lock's resolved mode.
+    Elide = 0,
+    /// Overload suspected: speculation is wasted work, so sections are
+    /// routed straight to the serial path (no retry ladder to burn).
+    Serialize = 1,
+    /// Overload confirmed: fallible sections are refused at dispatch with
+    /// [`TxError::Overloaded`](crate::TxError::Overloaded) so the hot lock
+    /// fails fast instead of collapsing every caller. Infallible sections
+    /// (plain [`critical`](crate::ThreadHandle::critical)) cannot observe
+    /// errors and are serialized instead.
+    Shed = 2,
+}
+
+impl AdmissionStep {
+    /// Every step, in ladder order.
+    pub const ALL: [AdmissionStep; 3] = [
+        AdmissionStep::Elide,
+        AdmissionStep::Serialize,
+        AdmissionStep::Shed,
+    ];
+
+    /// Short stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            AdmissionStep::Elide => "elide",
+            AdmissionStep::Serialize => "serialize",
+            AdmissionStep::Shed => "shed",
+        }
+    }
+
+    pub(crate) fn from_u8(v: u8) -> Option<Self> {
+        Self::ALL.get(v as usize).copied()
+    }
+}
+
+/// Thresholds for the admission controller ([`admission_decide`]). Rates
+/// are fractions in `[0, 1]`; step counts are in controller-step units;
+/// queue depths count sections concurrently dispatched on the lock.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Steps the ladder must dwell on a step before moving again
+    /// (hysteresis floor, like [`AdaptiveConfig::min_dwell_steps`]).
+    pub min_dwell_steps: u32,
+    /// Attempts the window must contain before its rates are trusted for
+    /// the elide → serialize decision.
+    pub min_window_samples: u64,
+    /// Abort rate at which an eliding lock degrades to Serialize.
+    /// Deliberately above [`AdaptiveConfig::storm_abort_rate`]: the mode
+    /// controller gets first shot at fixing a storm; admission is the
+    /// last resort.
+    pub serialize_abort_rate: f64,
+    /// Serial-fallback rate at which an eliding lock degrades to Serialize.
+    pub serialize_fallback_rate: f64,
+    /// Queue depth at which a serialized lock degrades to Shed: even with
+    /// speculation off, arrivals outpace the serial path.
+    pub shed_queue_depth: u64,
+    /// Queue depth at or below which a degraded lock recovers one step.
+    /// The wide gap to [`shed_queue_depth`](Self::shed_queue_depth) is the
+    /// no-flap hysteresis band.
+    pub recover_queue_depth: u64,
+    /// Steps a Serialize lock dwells (with a shallow queue) before probing
+    /// elision again.
+    pub recover_probe_steps: u32,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            min_dwell_steps: 4,
+            min_window_samples: 64,
+            serialize_abort_rate: 0.75,
+            serialize_fallback_rate: 0.50,
+            shed_queue_depth: 16,
+            recover_queue_depth: 2,
+            recover_probe_steps: 8,
+        }
+    }
+}
+
+/// The admission decision function — **pure**, like [`decide`], so the
+/// ladder's hysteresis is testable against synthetic windows.
+///
+/// Inputs: the lock's current ladder `step`, its summed stat `window`, the
+/// instantaneous `queue_depth` (sections concurrently dispatched on the
+/// lock), and the number of controller steps the ladder has `dwelled` on
+/// this step.
+///
+/// Returns `Some(next)` to move exactly one ladder step, `None` to stay
+/// put. Degradation is driven by outcome rates and queue depth
+/// (elide → serialize) then queue depth alone (serialize → shed); recovery
+/// is queue-depth- and timer-driven, one step at a time. The queue signal
+/// matters at Elide because overload does not always abort: long
+/// write-lock waits serialize a hot lock while every attempt still
+/// commits, leaving the outcome rates clean.
+pub fn admission_decide(
+    step: AdmissionStep,
+    window: &WindowSnapshot,
+    queue_depth: u64,
+    dwelled: u32,
+    cfg: &AdmissionConfig,
+) -> Option<AdmissionStep> {
+    if dwelled < cfg.min_dwell_steps {
+        return None;
+    }
+    match step {
+        AdmissionStep::Elide => {
+            // The queue signal needs no sample floor: the gauge counts
+            // sections dispatched right now, not a windowed estimate.
+            if queue_depth >= cfg.shed_queue_depth {
+                return Some(AdmissionStep::Serialize);
+            }
+            if window.attempts() < cfg.min_window_samples {
+                return None;
+            }
+            if window.abort_rate() >= cfg.serialize_abort_rate
+                || window.fallback_rate() >= cfg.serialize_fallback_rate
+            {
+                return Some(AdmissionStep::Serialize);
+            }
+            None
+        }
+        AdmissionStep::Serialize => {
+            if queue_depth >= cfg.shed_queue_depth {
+                return Some(AdmissionStep::Shed);
+            }
+            if queue_depth <= cfg.recover_queue_depth && dwelled >= cfg.recover_probe_steps {
+                return Some(AdmissionStep::Elide);
+            }
+            None
+        }
+        AdmissionStep::Shed => {
+            if queue_depth <= cfg.recover_queue_depth {
+                return Some(AdmissionStep::Serialize);
+            }
+            None
+        }
+    }
+}
+
 /// Per-lock policy state. One lives inside every
 /// [`ElidableMutex`](crate::ElidableMutex); the runner consults it on every
 /// dispatch, the controller mutates it under the mode-flip exclusion
@@ -258,6 +404,20 @@ pub(crate) struct LockDomain {
     last_reason: AtomicU8,
     /// Lifetime switch count (diagnostics).
     switches: AtomicU64,
+    /// Current admission-ladder step ([`AdmissionStep`] discriminant).
+    admission: AtomicU8,
+    /// Controller steps since the ladder last moved.
+    adm_dwell: AtomicU32,
+    /// Sections currently dispatched on this lock (inc at dispatch, dec at
+    /// completion) — the admission controller's queue-depth signal.
+    queue: AtomicU64,
+    /// Deepest `queue` seen since the controller last looked. A controller
+    /// tick sampling the instantaneous gauge would miss overload whose
+    /// sections drain between ticks; the peak cannot be gamed by timing.
+    queue_peak: AtomicU64,
+    /// Highest admission step the ladder ever reached (diagnostics; the
+    /// ladder may have recovered long before anyone asks).
+    adm_high: AtomicU8,
 }
 
 impl LockDomain {
@@ -273,6 +433,11 @@ impl LockDomain {
             dwell: AtomicU32::new(0),
             last_reason: AtomicU8::new(0),
             switches: AtomicU64::new(0),
+            admission: AtomicU8::new(AdmissionStep::Elide as u8),
+            adm_dwell: AtomicU32::new(0),
+            queue: AtomicU64::new(0),
+            queue_peak: AtomicU64::new(0),
+            adm_high: AtomicU8::new(AdmissionStep::Elide as u8),
         }
     }
 
@@ -375,6 +540,58 @@ impl LockDomain {
 
     pub(crate) fn switch_count(&self) -> u64 {
         self.switches.load(Ordering::Relaxed)
+    }
+
+    /// The lock's current admission-ladder step.
+    pub(crate) fn admission_step(&self) -> AdmissionStep {
+        AdmissionStep::from_u8(self.admission.load(Ordering::Relaxed))
+            .expect("corrupt admission byte")
+    }
+
+    /// Move the ladder (controller only); resets the ladder dwell.
+    pub(crate) fn set_admission_step(&self, step: AdmissionStep) {
+        self.admission.store(step as u8, Ordering::Relaxed);
+        self.adm_high.fetch_max(step as u8, Ordering::Relaxed);
+        self.adm_dwell.store(0, Ordering::Relaxed);
+    }
+
+    /// Highest step the ladder ever reached on this lock.
+    pub(crate) fn admission_high_water(&self) -> AdmissionStep {
+        AdmissionStep::from_u8(self.adm_high.load(Ordering::Relaxed))
+            .expect("corrupt admission high-water byte")
+    }
+
+    /// One controller step elapsed on the ladder; returns the new dwell.
+    pub(crate) fn bump_adm_dwell(&self) -> u32 {
+        self.adm_dwell
+            .fetch_add(1, Ordering::Relaxed)
+            .saturating_add(1)
+    }
+
+    /// A section was dispatched on this lock; returns the new depth.
+    #[inline]
+    pub(crate) fn enter_queue(&self) -> u64 {
+        let depth = self.queue.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_peak.fetch_max(depth, Ordering::Relaxed);
+        depth
+    }
+
+    /// A dispatched section completed (committed, shed, or expired).
+    #[inline]
+    pub(crate) fn exit_queue(&self) {
+        self.queue.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Sections currently dispatched on this lock.
+    pub(crate) fn queue_depth(&self) -> u64 {
+        self.queue.load(Ordering::Relaxed)
+    }
+
+    /// Deepest queue since the previous call (controller only): the peak
+    /// drains into the current depth so each tick sees a fresh window.
+    pub(crate) fn take_queue_peak(&self) -> u64 {
+        let now = self.queue.load(Ordering::Relaxed);
+        self.queue_peak.swap(now, Ordering::Relaxed).max(now)
     }
 }
 

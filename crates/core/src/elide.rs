@@ -16,7 +16,7 @@
 //! lock can be adopted, dropped by the application, and pruned by the
 //! controller without lifetime gymnastics.
 
-use crate::domain::LockDomain;
+use crate::domain::{AdmissionStep, LockDomain};
 use crate::system::AlgoMode;
 use parking_lot::{Mutex, MutexGuard};
 use std::borrow::Cow;
@@ -148,6 +148,28 @@ impl ElidableMutex {
     /// Lifetime count of mode switches applied to this lock.
     pub fn switches(&self) -> u64 {
         self.domain().switch_count()
+    }
+
+    /// Where this lock currently sits on the admission controller's
+    /// degradation ladder (elide → serialize → shed). Always
+    /// [`AdmissionStep::Elide`] unless a
+    /// [`TmSystem`](crate::TmSystem) built with admission control adopted
+    /// the lock and stepped it down.
+    pub fn admission_step(&self) -> AdmissionStep {
+        self.domain().admission_step()
+    }
+
+    /// Highest admission step this lock ever reached (the ladder may have
+    /// recovered since; this records that it was there).
+    pub fn admission_high_water(&self) -> AdmissionStep {
+        self.domain().admission_high_water()
+    }
+
+    /// Sections currently dispatched under this lock (queued plus
+    /// executing) — the overload signal the admission controller's
+    /// shed/recover thresholds compare against.
+    pub fn queue_depth(&self) -> u64 {
+        self.domain().queue_depth()
     }
 
     /// Whether any [`TmSystem`](crate::TmSystem) adopted this lock into its

@@ -33,7 +33,10 @@ mod system;
 
 pub use condvar::TxCondvar;
 pub use ctx::{TxCtx, TxError};
-pub use domain::{decide, AdaptiveConfig, ModeSwitchEvent, SwitchReason};
+pub use domain::{
+    admission_decide, decide, AdaptiveConfig, AdmissionConfig, AdmissionStep, ModeSwitchEvent,
+    SwitchReason,
+};
 pub use elide::ElidableMutex;
 pub use system::{
     AlgoMode, ControllerHandle, DomainStats, InvalidAlgoMode, ParseAlgoModeError, ThreadHandle,

@@ -29,9 +29,11 @@
 
 use crate::condvar::{TxCondvar, Waiter};
 use crate::ctx::{CtxKind, PendingWait, TxCtx, TxError};
+use crate::domain::AdmissionStep;
 use crate::elide::ElidableMutex;
 use crate::system::{AlgoMode, ThreadHandle, TxHints};
 use std::sync::Arc;
+use std::time::Instant;
 use tle_base::fault::{self, Hazard};
 use tle_base::history;
 use tle_base::rng::splitmix64;
@@ -39,11 +41,33 @@ use tle_base::sched::{self, YieldPoint};
 use tle_base::trace::{self, TraceKind, TxMode};
 use tle_base::AbortCause;
 
-/// What a per-mode runner produced: a finished section, or a request to
-/// re-resolve the lock's mode because a flip landed mid-attempt.
+/// What a per-mode runner produced: a finished section, a request to
+/// re-resolve the lock's mode because a flip landed mid-attempt, or an
+/// abandoned section (deadline expiry / shed; fallible entry points only).
 enum Outcome<R> {
     Done(R),
     Redispatch,
+    Expired(TxError),
+}
+
+/// The section's time budget and whether the caller can observe errors.
+///
+/// `deadline` is the absolute expiry computed once at section entry from
+/// [`TxHints::with_deadline`]. `fallible` is true under
+/// [`try_run`]: expiry (and admission shedding) then surface as `Err`;
+/// under the infallible [`run`] they instead force the serial path, which
+/// bounds retry time without inventing an error the caller cannot see.
+#[derive(Clone, Copy)]
+struct Budget {
+    deadline: Option<Instant>,
+    fallible: bool,
+}
+
+impl Budget {
+    #[inline]
+    fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
 }
 
 pub(crate) fn run<'a, R, F>(
@@ -52,6 +76,36 @@ pub(crate) fn run<'a, R, F>(
     hints: TxHints,
     mut f: F,
 ) -> R
+where
+    F: FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
+{
+    match run_inner(th, lock, hints, &mut f, false) {
+        Ok(r) => r,
+        // Infallible entry: deadline expiry serializes instead of erroring
+        // and shed degrades to serialize, so neither error escapes.
+        Err(e) => unreachable!("infallible run produced {e:?}"),
+    }
+}
+
+pub(crate) fn try_run<'a, R, F>(
+    th: &'a ThreadHandle,
+    lock: &'a ElidableMutex,
+    hints: TxHints,
+    mut f: F,
+) -> Result<R, TxError>
+where
+    F: FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
+{
+    run_inner(th, lock, hints, &mut f, true)
+}
+
+fn run_inner<'a, R, F>(
+    th: &'a ThreadHandle,
+    lock: &'a ElidableMutex,
+    hints: TxHints,
+    f: &mut F,
+    fallible: bool,
+) -> Result<R, TxError>
 where
     F: FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
 {
@@ -77,20 +131,59 @@ where
     // What unwinding cannot restore is *application* invariants spanning
     // critical sections, so flag the lock for survivors to inspect.
     let _poison = PoisonOnPanic(lock);
+    // The queue-depth gauge brackets the whole dispatch (shed decisions
+    // included — a shed request spent time in the queue too).
+    lock.domain().enter_queue();
+    let _dequeue = QueueExitOnDrop(lock);
+    let budget = Budget {
+        deadline: hints.deadline.map(|d| Instant::now() + d),
+        fallible,
+    };
     loop {
         let epoch = lock.domain().epoch();
-        let outcome = match lock.resolved_mode(th.sys.mode()) {
-            AlgoMode::Baseline => run_locked(th, lock, epoch, &mut f),
-            AlgoMode::StmSpin => run_stm(th, lock, epoch, hints, &mut f, true),
-            AlgoMode::StmCondvar | AlgoMode::StmCondvarNoQuiesce => {
-                run_stm(th, lock, epoch, hints, &mut f, false)
+        let mode = lock.resolved_mode(th.sys.mode());
+        // Admission ladder (only meaningful for transactional modes: the
+        // lock-based modes already serialize through a real mutex, and the
+        // serial path below would not exclude them). Serialize routes the
+        // section straight to the serial gate — speculation is known-wasted
+        // work; Shed refuses fallible sections outright and serializes
+        // infallible ones (which cannot observe `Overloaded`).
+        if mode.is_transactional() && mode != AlgoMode::AdaptiveHtm && th.sys.admission_enabled() {
+            let step = lock.domain().admission_step();
+            if step != AdmissionStep::Elide {
+                if fallible && step == AdmissionStep::Shed {
+                    let depth = lock.domain().queue_depth();
+                    th.sys.stats.sheds.inc(th.stm_slot);
+                    trace::emit(TraceKind::Shed, TxMode::Serial, None, depth);
+                    return Err(TxError::Overloaded);
+                }
+                trace::emit(TraceKind::Fallback, TxMode::Serial, None, 0);
+                match run_serial(th, lock, epoch, budget.deadline, f) {
+                    SerialOutcome::Done(r) => return Ok(r),
+                    SerialOutcome::Retry | SerialOutcome::Redispatch => continue,
+                }
             }
-            AlgoMode::HtmCondvar => run_htm(th, lock, epoch, hints, &mut f),
-            AlgoMode::AdaptiveHtm => run_adaptive_htm(th, lock, epoch, hints, &mut f),
+        }
+        // Deadline gate at dispatch: a fallible section whose budget is
+        // already spent fails fast before any speculation.
+        if budget.fallible && budget.expired() {
+            th.sys.stats.deadline_exceeded.inc(th.stm_slot);
+            trace::emit(TraceKind::DeadlineExceeded, TxMode::Serial, None, 0);
+            return Err(TxError::DeadlineExceeded);
+        }
+        let outcome = match mode {
+            AlgoMode::Baseline => run_locked(th, lock, epoch, budget.deadline, f),
+            AlgoMode::StmSpin => run_stm(th, lock, epoch, hints, budget, f, true),
+            AlgoMode::StmCondvar | AlgoMode::StmCondvarNoQuiesce => {
+                run_stm(th, lock, epoch, hints, budget, f, false)
+            }
+            AlgoMode::HtmCondvar => run_htm(th, lock, epoch, hints, budget, f),
+            AlgoMode::AdaptiveHtm => run_adaptive_htm(th, lock, epoch, hints, budget, f),
         };
         match outcome {
-            Outcome::Done(r) => return r,
+            Outcome::Done(r) => return Ok(r),
             Outcome::Redispatch => continue,
+            Outcome::Expired(e) => return Err(e),
         }
     }
 }
@@ -106,6 +199,7 @@ fn run_adaptive_htm<'a, R, F>(
     lock: &'a ElidableMutex,
     epoch: u64,
     hints: TxHints,
+    budget: Budget,
     f: &mut F,
 ) -> Outcome<R>
 where
@@ -124,13 +218,27 @@ where
         if lock.domain().epoch() != epoch {
             return Outcome::Redispatch;
         }
-        if lock.consume_skip() || attempts >= htm_retries {
+        // Deadline gate before every retry tier: a spent budget either
+        // surfaces (fallible) or stops speculating and takes the lock path
+        // (glibc elision's analogue of the serial fallback).
+        let deadline_up = budget.expired();
+        if deadline_up && budget.fallible {
+            sys.stats.deadline_exceeded.inc(th.stm_slot);
+            trace::emit(
+                TraceKind::DeadlineExceeded,
+                TxMode::Htm,
+                None,
+                attempts as u64,
+            );
+            return Outcome::Expired(TxError::DeadlineExceeded);
+        }
+        if lock.consume_skip() || attempts >= htm_retries || deadline_up {
             if attempts >= htm_retries {
                 lock.set_skip(SKIP_AFTER_FAILURE);
                 sys.stats.serial_fallbacks.inc(th.stm_slot);
             }
             trace::emit(TraceKind::Fallback, TxMode::Locked, None, attempts as u64);
-            match run_adaptive_lock_path(th, lock, epoch, f) {
+            match run_adaptive_lock_path(th, lock, epoch, budget.deadline, f) {
                 SerialOutcome::Done(r) => return Outcome::Done(r),
                 SerialOutcome::Retry => {
                     attempts = 0;
@@ -188,11 +296,13 @@ where
             return Outcome::Redispatch;
         }
         let mut ctx = TxCtx::new(CtxKind::Htm { tx });
+        ctx.deadline = budget.deadline;
         let res = f(&mut ctx);
         let TxCtx {
             kind,
             defers,
             pending_wait,
+            deadline: _,
         } = ctx;
         let tx = match kind {
             CtxKind::Htm { tx } => tx,
@@ -248,7 +358,7 @@ where
                     Some(AbortCause::Unsafe),
                     attempts as u64,
                 );
-                match run_adaptive_lock_path(th, lock, epoch, f) {
+                match run_adaptive_lock_path(th, lock, epoch, budget.deadline, f) {
                     SerialOutcome::Done(r) => return Outcome::Done(r),
                     SerialOutcome::Retry => attempts = 0,
                     SerialOutcome::Redispatch => return Outcome::Redispatch,
@@ -264,7 +374,31 @@ where
                 trace::emit(TraceKind::Retry, TxMode::Htm, Some(c), attempts as u64);
                 backoff(th.htm_slot, attempts, 0, sys.policy().backoff_ceiling);
             }
+            Err(e @ (TxError::DeadlineExceeded | TxError::Overloaded)) => {
+                // The closure manufactured a runner-level error; roll the
+                // attempt back and propagate (fallible) or refuse (the
+                // infallible API has no error channel).
+                tx.abort(AbortCause::Explicit);
+                if let Some(pw) = pending_wait {
+                    reclaim_enqueue_ref(&pw);
+                }
+                return propagate_runner_error(budget, e);
+            }
         }
+    }
+}
+
+/// Propagate a closure-raised `DeadlineExceeded`/`Overloaded` out of a
+/// concurrent attempt: fallible entries surface it, the infallible API has
+/// no error channel and must refuse loudly.
+fn propagate_runner_error<R>(budget: Budget, e: TxError) -> Outcome<R> {
+    if budget.fallible {
+        Outcome::Expired(e)
+    } else {
+        panic!(
+            "{e:?} returned from a closure run via critical(); \
+             use try_critical to observe deadline/shed errors"
+        )
     }
 }
 
@@ -274,6 +408,7 @@ fn run_adaptive_lock_path<'a, R, F>(
     th: &'a ThreadHandle,
     lock: &'a ElidableMutex,
     epoch: u64,
+    deadline: Option<Instant>,
     f: &mut F,
 ) -> SerialOutcome<R>
 where
@@ -289,15 +424,17 @@ where
 
     history::begin(TxMode::Locked);
     let mut ctx = TxCtx::new(CtxKind::Serial);
+    ctx.deadline = deadline;
     let res = f(&mut ctx);
     let TxCtx {
         kind: _,
         defers,
         pending_wait,
+        deadline: _,
     } = ctx;
     // Commit event while the lock word is still held — the hold window is
     // the section's serialization interval (aborts panic below, unrecorded).
-    if !matches!(res, Err(TxError::Abort(_))) {
+    if matches!(res, Ok(_) | Err(TxError::Wait)) {
         history::commit();
     }
     lock.held_cell().store_direct(false);
@@ -324,6 +461,9 @@ where
                 "operation aborted ({c}) while holding the elided lock: effects cannot be undone"
             )
         }
+        Err(e @ (TxError::DeadlineExceeded | TxError::Overloaded)) => {
+            panic!("{e:?} raised while holding the elided lock: effects cannot be undone")
+        }
     }
 }
 
@@ -333,6 +473,16 @@ struct ResetOnDrop<'a>(&'a std::cell::Cell<bool>);
 impl Drop for ResetOnDrop<'_> {
     fn drop(&mut self) {
         self.0.set(false);
+    }
+}
+
+/// Decrements the lock's queue-depth gauge on every exit path (commit,
+/// shed, deadline expiry, panic).
+struct QueueExitOnDrop<'a>(&'a ElidableMutex);
+
+impl Drop for QueueExitOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.domain().exit_queue();
     }
 }
 
@@ -389,6 +539,7 @@ fn run_locked<'a, R, F>(
     th: &'a ThreadHandle,
     lock: &'a ElidableMutex,
     epoch: u64,
+    deadline: Option<Instant>,
     f: &mut F,
 ) -> Outcome<R>
 where
@@ -411,11 +562,13 @@ where
         let mut ctx = TxCtx::new(CtxKind::Locked {
             guard: guard.take(),
         });
+        ctx.deadline = deadline;
         let res = f(&mut ctx);
         let TxCtx {
             kind,
             defers,
             pending_wait,
+            deadline: _,
         } = ctx;
         let mut g = match kind {
             CtxKind::Locked { guard: Some(g) } => g,
@@ -457,6 +610,9 @@ where
             Err(TxError::Abort(c)) => {
                 panic!("cannot abort ({c}) while holding the baseline lock")
             }
+            Err(e @ (TxError::DeadlineExceeded | TxError::Overloaded)) => {
+                panic!("{e:?} raised while holding the baseline lock: effects cannot be undone")
+            }
         }
     }
 }
@@ -466,6 +622,7 @@ fn run_stm<'a, R, F>(
     lock: &'a ElidableMutex,
     epoch: u64,
     hints: TxHints,
+    budget: Budget,
     f: &mut F,
     spin: bool,
 ) -> Outcome<R>
@@ -478,13 +635,27 @@ where
         .unwrap_or_else(|| lock.domain().stm_retries(sys.policy().stm_retries));
     let mut attempts: u32 = 0;
     loop {
+        // Deadline gate before every retry tier and before serial-gate
+        // entry: a fallible section surfaces the expiry; an infallible one
+        // stops retrying and serializes (bounded retry time either way).
+        let deadline_up = budget.expired();
+        if deadline_up && budget.fallible {
+            sys.stats.deadline_exceeded.inc(th.stm_slot);
+            trace::emit(
+                TraceKind::DeadlineExceeded,
+                TxMode::Stm,
+                None,
+                attempts as u64,
+            );
+            return Outcome::Expired(TxError::DeadlineExceeded);
+        }
         // Serialize when this section's retry budget is spent, when the
         // cross-section starvation ladder fires, or when the fault oracle
         // storms the gate (short-circuit order keeps the ladder and oracle
         // unconsulted once the budget alone decides).
-        if attempts >= stm_retries || escalation_due(th) || serial_storm_due() {
+        if attempts >= stm_retries || deadline_up || escalation_due(th) || serial_storm_due() {
             trace::emit(TraceKind::Fallback, TxMode::Serial, None, attempts as u64);
-            match run_serial(th, lock, epoch, f) {
+            match run_serial(th, lock, epoch, budget.deadline, f) {
                 SerialOutcome::Done(r) => return Outcome::Done(r),
                 SerialOutcome::Retry => {
                     attempts = 0;
@@ -506,15 +677,18 @@ where
         if lock.is_no_quiesce() {
             tx.no_quiesce();
         }
+        tx.set_deadline(budget.deadline);
         let mut ctx = TxCtx::new(CtxKind::Stm {
             tx,
             spin_waits: spin,
         });
+        ctx.deadline = budget.deadline;
         let res = f(&mut ctx);
         let TxCtx {
             kind,
             defers,
             pending_wait,
+            deadline: _,
         } = ctx;
         let tx = match kind {
             CtxKind::Stm { tx, .. } => tx,
@@ -586,7 +760,7 @@ where
                     Some(AbortCause::Unsafe),
                     attempts as u64,
                 );
-                match run_serial(th, lock, epoch, f) {
+                match run_serial(th, lock, epoch, budget.deadline, f) {
                     SerialOutcome::Done(r) => return Outcome::Done(r),
                     SerialOutcome::Retry => attempts = 0,
                     SerialOutcome::Redispatch => return Outcome::Redispatch,
@@ -609,6 +783,14 @@ where
                     sys.policy().backoff_ceiling,
                 );
             }
+            Err(e @ (TxError::DeadlineExceeded | TxError::Overloaded)) => {
+                tx.abort(AbortCause::Explicit);
+                if let Some(pw) = pending_wait {
+                    reclaim_enqueue_ref(&pw);
+                }
+                drop(token);
+                return propagate_runner_error(budget, e);
+            }
         }
     }
 }
@@ -618,6 +800,7 @@ fn run_htm<'a, R, F>(
     lock: &'a ElidableMutex,
     epoch: u64,
     hints: TxHints,
+    budget: Budget,
     f: &mut F,
 ) -> Outcome<R>
 where
@@ -629,12 +812,25 @@ where
         .unwrap_or_else(|| lock.domain().htm_retries(sys.policy().htm_retries));
     let mut attempts: u32 = 0;
     loop {
+        // Deadline gate before every retry tier and before serial-gate
+        // entry (see `run_stm`).
+        let deadline_up = budget.expired();
+        if deadline_up && budget.fallible {
+            sys.stats.deadline_exceeded.inc(th.stm_slot);
+            trace::emit(
+                TraceKind::DeadlineExceeded,
+                TxMode::Htm,
+                None,
+                attempts as u64,
+            );
+            return Outcome::Expired(TxError::DeadlineExceeded);
+        }
         // Paper §VII: "fall back to a serial mode after hardware
         // transactions fail twice" — plus the starvation ladder and the
         // fault oracle's serial storms (see `run_stm`).
-        if attempts >= htm_retries || escalation_due(th) || serial_storm_due() {
+        if attempts >= htm_retries || deadline_up || escalation_due(th) || serial_storm_due() {
             trace::emit(TraceKind::Fallback, TxMode::Serial, None, attempts as u64);
-            match run_serial(th, lock, epoch, f) {
+            match run_serial(th, lock, epoch, budget.deadline, f) {
                 SerialOutcome::Done(r) => return Outcome::Done(r),
                 SerialOutcome::Retry => {
                     attempts = 0;
@@ -650,11 +846,13 @@ where
         }
         let tx = sys.htm.begin(th.htm_slot);
         let mut ctx = TxCtx::new(CtxKind::Htm { tx });
+        ctx.deadline = budget.deadline;
         let res = f(&mut ctx);
         let TxCtx {
             kind,
             defers,
             pending_wait,
+            deadline: _,
         } = ctx;
         let tx = match kind {
             CtxKind::Htm { tx } => tx,
@@ -726,7 +924,7 @@ where
                     Some(AbortCause::Unsafe),
                     attempts as u64,
                 );
-                match run_serial(th, lock, epoch, f) {
+                match run_serial(th, lock, epoch, budget.deadline, f) {
                     SerialOutcome::Done(r) => return Outcome::Done(r),
                     SerialOutcome::Retry => attempts = 0,
                     SerialOutcome::Redispatch => return Outcome::Redispatch,
@@ -749,6 +947,14 @@ where
                     sys.policy().backoff_ceiling,
                 );
             }
+            Err(e @ (TxError::DeadlineExceeded | TxError::Overloaded)) => {
+                tx.abort(AbortCause::Explicit);
+                if let Some(pw) = pending_wait {
+                    reclaim_enqueue_ref(&pw);
+                }
+                drop(token);
+                return propagate_runner_error(budget, e);
+            }
         }
     }
 }
@@ -765,6 +971,7 @@ fn run_serial<'a, R, F>(
     th: &'a ThreadHandle,
     lock: &'a ElidableMutex,
     epoch: u64,
+    deadline: Option<Instant>,
     f: &mut F,
 ) -> SerialOutcome<R>
 where
@@ -786,11 +993,15 @@ where
     }
     history::begin(TxMode::Serial);
     let mut ctx = TxCtx::new(CtxKind::Serial);
+    // The budget still clamps condvar waits here, but cannot abort the
+    // section: serial effects are irrevocable.
+    ctx.deadline = deadline;
     let res = f(&mut ctx);
     let TxCtx {
         kind: _,
         defers,
         pending_wait,
+        deadline: _,
     } = ctx;
     sys.stats.serial_fallbacks.inc(th.stm_slot);
     lock.domain().window.record_serial();
@@ -822,6 +1033,9 @@ where
         }
         Err(TxError::Abort(c)) => {
             panic!("operation aborted ({c}) in serial-irrevocable mode: effects cannot be undone")
+        }
+        Err(e @ (TxError::DeadlineExceeded | TxError::Overloaded)) => {
+            panic!("{e:?} raised in serial-irrevocable mode: effects cannot be undone")
         }
     }
 }

@@ -1,7 +1,9 @@
 //! The top-level TLE system: algorithm mode, policy knobs, thread
 //! registration, and the per-lock adaptive policy controller.
 
-use crate::domain::{AdaptiveConfig, ModeSwitchEvent, SwitchReason};
+use crate::domain::{
+    admission_decide, AdaptiveConfig, AdmissionConfig, ModeSwitchEvent, SwitchReason,
+};
 use crate::elide::{ElidableMutex, LockInner};
 use crate::runner;
 use crate::{TxCtx, TxError};
@@ -181,6 +183,14 @@ pub struct TxHints {
     pub htm_retries: Option<u32>,
     /// Override the software-retry budget for this section.
     pub stm_retries: Option<u32>,
+    /// Retry-time budget for this section, measured from dispatch. The
+    /// runner checks it before every retry tier and serial-gate entry and
+    /// clamps condvar waits to the remainder. Under
+    /// [`ThreadHandle::try_critical_with`] expiry surfaces as
+    /// [`TxError::DeadlineExceeded`]; under the infallible
+    /// [`ThreadHandle::critical_with`] it forces the serial path instead
+    /// (bounded retry time, no error channel needed).
+    pub deadline: Option<Duration>,
 }
 
 impl TxHints {
@@ -199,6 +209,13 @@ impl TxHints {
     /// Override the software-retry budget for this section.
     pub fn with_stm_retries(mut self, n: u32) -> Self {
         self.stm_retries = Some(n);
+        self
+    }
+
+    /// Give this section a retry-time budget (see
+    /// [`TxHints::deadline`]).
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
         self
     }
 
@@ -233,6 +250,7 @@ pub struct TmSystemBuilder {
     policy: TlePolicy,
     htm_cfg: HtmConfig,
     adaptive: Option<AdaptiveConfig>,
+    admission: Option<AdmissionConfig>,
     orec_layout: OrecLayout,
     /// `None` keeps the STM default (on); benches set `Some(false)` for
     /// before/after runs.
@@ -276,6 +294,25 @@ impl TmSystemBuilder {
         self
     }
 
+    /// Enable (with default thresholds) or disable the per-lock admission
+    /// controller — the elide → serialize → shed degradation ladder (see
+    /// [`crate::admission_decide`]). Adopted locks are stepped by
+    /// [`TmSystem::controller_step`].
+    pub fn admission(mut self, on: bool) -> Self {
+        self.admission = if on {
+            Some(AdmissionConfig::default())
+        } else {
+            None
+        };
+        self
+    }
+
+    /// Enable the per-lock admission controller with explicit thresholds.
+    pub fn admission_config(mut self, cfg: AdmissionConfig) -> Self {
+        self.admission = Some(cfg);
+        self
+    }
+
     /// Physical layout of the STM orec table (default: padded, one orec per
     /// cache line). The compact layout exists so benches can measure the
     /// false-sharing cost it removes.
@@ -305,6 +342,7 @@ impl TmSystemBuilder {
             mode: AtomicU8::new(mode as u8),
             policy: self.policy,
             adaptive: self.adaptive,
+            admission: self.admission,
             locks: parking_lot::Mutex::new(Vec::new()),
             switch_log: parking_lot::Mutex::new(Vec::new()),
             ctrl_steps: AtomicU64::new(0),
@@ -327,6 +365,8 @@ pub struct TmSystem {
     policy: TlePolicy,
     /// Controller thresholds; `None` when adaptation is off.
     adaptive: Option<AdaptiveConfig>,
+    /// Admission-ladder thresholds; `None` when admission control is off.
+    admission: Option<AdmissionConfig>,
     /// Locks adopted into the controller (weak: the application owns them).
     locks: parking_lot::Mutex<Vec<Weak<LockInner>>>,
     /// Every per-lock mode switch, in application order.
@@ -393,6 +433,17 @@ impl TmSystem {
         self.adaptive.as_ref()
     }
 
+    /// Whether the per-lock admission controller is configured.
+    #[inline]
+    pub fn admission_enabled(&self) -> bool {
+        self.admission.is_some()
+    }
+
+    /// The admission-ladder thresholds, when admission control is on.
+    pub fn admission_config(&self) -> Option<&AdmissionConfig> {
+        self.admission.as_ref()
+    }
+
     /// Select the software-TM algorithm (`ml_wt`, the paper's; or NOrec,
     /// the privatization-safe-by-construction ablation). Takes effect for
     /// subsequently started transactions; switch only between phases.
@@ -400,12 +451,14 @@ impl TmSystem {
         self.stm.set_algo(algo);
     }
 
-    /// Adopt `lock` into the adaptive controller: subsequent
+    /// Adopt `lock` into the adaptive/admission controllers: subsequent
     /// [`controller_step`](TmSystem::controller_step) calls sample its
-    /// outcome window and may switch its mode. Idempotent; a no-op when the
-    /// system was built without [`TmSystemBuilder::adaptive`].
+    /// outcome window and may switch its mode (adaptive) or move it along
+    /// the elide → serialize → shed ladder (admission). Idempotent; a no-op
+    /// when the system was built without [`TmSystemBuilder::adaptive`] or
+    /// [`TmSystemBuilder::admission`].
     pub fn adopt_lock(&self, lock: &ElidableMutex) {
-        if !self.adaptive_enabled() {
+        if !self.adaptive_enabled() && !self.admission_enabled() {
             return;
         }
         let inner = lock.inner();
@@ -525,15 +578,16 @@ impl TmSystem {
     }
 
     /// One controller sampling step over every adopted lock: bump dwell,
-    /// snapshot the window, apply [`crate::decide`], and either flip the
+    /// snapshot the window, apply [`crate::decide`] (mode adaptation) and
+    /// [`crate::admission_decide`] (degradation ladder), and either flip the
     /// lock (which resets its window) or advance its window ring. Returns
-    /// the number of locks switched this step. Call from a management
-    /// thread (never from inside a critical section), or let
+    /// the number of locks switched or re-stepped this step. Call from a
+    /// management thread (never from inside a critical section), or let
     /// [`start_controller`](TmSystem::start_controller) drive it.
     pub fn controller_step(&self) -> usize {
-        let Some(cfg) = self.adaptive.as_ref() else {
+        if self.adaptive.is_none() && self.admission.is_none() {
             return 0;
-        };
+        }
         self.ctrl_steps.fetch_add(1, Ordering::SeqCst);
         let live: Vec<Arc<LockInner>> = {
             let mut locks = self.locks.lock();
@@ -543,15 +597,32 @@ impl TmSystem {
         let mut switched = 0;
         for inner in live {
             let domain = inner.domain();
-            let mode = domain.resolved(self.mode());
-            let dwelled = domain.bump_dwell();
             let snap = domain.window.snapshot();
-            match crate::domain::decide(mode, &snap, dwelled, domain.last_reason(), cfg) {
-                Some((to, reason)) => {
+            let mut flipped = false;
+            if let Some(cfg) = self.adaptive.as_ref() {
+                let mode = domain.resolved(self.mode());
+                let dwelled = domain.bump_dwell();
+                if let Some((to, reason)) =
+                    crate::domain::decide(mode, &snap, dwelled, domain.last_reason(), cfg)
+                {
                     self.flip_lock(&inner, Some(to), reason);
                     switched += 1;
+                    flipped = true;
                 }
-                None => domain.window.roll(),
+            }
+            if let Some(cfg) = self.admission.as_ref() {
+                let step = domain.admission_step();
+                let dwelled = domain.bump_adm_dwell();
+                let peak = domain.take_queue_peak();
+                if let Some(next) = admission_decide(step, &snap, peak, dwelled, cfg) {
+                    domain.set_admission_step(next);
+                    switched += 1;
+                }
+            }
+            // A mode flip already reset the window inside its exclusion
+            // section; rolling here would discard a fresh (empty) slice.
+            if !flipped {
+                domain.window.roll();
             }
         }
         switched
@@ -846,6 +917,51 @@ impl ThreadHandle {
         body: impl FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
     ) -> R {
         runner::run(self, lock, hints.into(), body)
+    }
+
+    /// Like [`ThreadHandle::critical`], but fallible: deadline expiry
+    /// ([`TxHints::with_deadline`]) surfaces as
+    /// [`TxError::DeadlineExceeded`] and an admission-controller shed as
+    /// [`TxError::Overloaded`], instead of forcing the serial path. The
+    /// section's own `Err` returns (other than [`TxError::Abort`] /
+    /// [`TxError::Wait`], which drive retry) are not passed through — this
+    /// is about *runner*-raised errors; on success the closure's `Ok` value
+    /// is returned unchanged.
+    ///
+    /// Failure is all-or-nothing: a deadline or shed rejection happens at a
+    /// retry-ladder decision point, never mid-attempt, so no section
+    /// effects have been published when `Err` comes back.
+    #[inline]
+    pub fn try_critical<'a, R>(
+        &'a self,
+        lock: &'a ElidableMutex,
+        body: impl FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
+    ) -> Result<R, TxError> {
+        runner::try_run(self, lock, TxHints::default(), body)
+    }
+
+    /// Like [`ThreadHandle::try_critical`], with per-section policy hints —
+    /// the usual way to attach a deadline:
+    ///
+    /// ```
+    /// # use std::sync::Arc;
+    /// # use std::time::Duration;
+    /// use tle_core::{AlgoMode, ElidableMutex, TmSystem, TxHints};
+    /// let sys = Arc::new(TmSystem::new(AlgoMode::HtmCondvar));
+    /// let th = sys.register();
+    /// let lock = ElidableMutex::new("doc");
+    /// let hints = TxHints::new().with_deadline(Duration::from_millis(5));
+    /// let r = th.try_critical_with(&lock, hints, |_ctx| Ok(42));
+    /// assert_eq!(r.unwrap(), 42);
+    /// ```
+    #[inline]
+    pub fn try_critical_with<'a, R>(
+        &'a self,
+        lock: &'a ElidableMutex,
+        hints: impl Into<TxHints>,
+        body: impl FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
+    ) -> Result<R, TxError> {
+        runner::try_run(self, lock, hints.into(), body)
     }
 
     /// Like [`ThreadHandle::critical`], with per-section policy hints.

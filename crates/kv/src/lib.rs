@@ -1,0 +1,759 @@
+//! # tle-kv — sharded transactional KV serving workload
+//!
+//! The proving ground for the deadline/admission plane: a key-value store
+//! sharded over N named [`ElidableMutex`]es (each shard a pooled hash map in
+//! the `tle-txset` idiom), plus an open-loop request driver with zipfian key
+//! skew, hot-key storms and bursty arrivals.
+//!
+//! The store inherits the paper's central hazard: under the TM modes the
+//! shard locks are *erased* (§IV-A), so a serial fallback provoked by one
+//! overloaded shard drains and blocks every other shard too. A hot-key
+//! storm therefore degrades the whole service, not just the hot shard —
+//! exactly the scenario the deadline budget ([`TxHints::with_deadline`])
+//! and the admission ladder ([`TmSystemBuilder::admission`]) exist to
+//! contain. The driver measures both configurations: requests that fail
+//! fast with [`TxError::DeadlineExceeded`] / [`TxError::Overloaded`] versus
+//! requests that retry and serialize until they succeed.
+//!
+//! [`TmSystemBuilder::admission`]: tle_core::TmSystemBuilder::admission
+//! [`TxHints::with_deadline`]: tle_core::TxHints::with_deadline
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tle_base::rng::XorShift64;
+use tle_base::stats::{LatencyHist, LatencyHistSnapshot};
+use tle_base::TCell;
+use tle_core::{
+    AdmissionConfig, AlgoMode, ElidableMutex, ThreadHandle, TmSystem, TxCtx, TxError, TxHints,
+};
+
+/// Chain-end sentinel in the node pool.
+const NIL: u32 = u32::MAX;
+
+struct Node {
+    key: TCell<u64>,
+    val: TCell<u64>,
+    next: TCell<u32>,
+}
+
+/// One shard: a pooled, chained hash map (the `tle-txset` hash-set idiom
+/// carrying a value word) behind its own named elidable lock.
+pub struct KvShard {
+    lock: ElidableMutex,
+    buckets: Box<[TCell<u32>]>,
+    free: TCell<u32>,
+    nodes: Box<[Node]>,
+}
+
+impl KvShard {
+    fn new(index: usize, key_space: u64) -> Self {
+        // Slack beyond the key space so concurrent remove/insert churn
+        // cannot exhaust the pool mid-transaction.
+        let pool = key_space as usize + 64;
+        let buckets = (key_space as usize / 4).next_power_of_two().max(16);
+        let nodes: Box<[Node]> = (0..pool)
+            .map(|i| Node {
+                key: TCell::new(0),
+                val: TCell::new(0),
+                next: TCell::new(if i + 1 < pool { i as u32 + 1 } else { NIL }),
+            })
+            .collect();
+        KvShard {
+            lock: ElidableMutex::new(format!("kv-shard-{index}")),
+            buckets: (0..buckets).map(|_| TCell::new(NIL)).collect(),
+            free: TCell::new(0),
+            nodes,
+        }
+    }
+
+    /// The shard's lock (adopt it, pin it, or inspect its admission step).
+    pub fn lock(&self) -> &ElidableMutex {
+        &self.lock
+    }
+
+    #[inline]
+    fn bucket_of(&self, key: u64) -> usize {
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & (self.buckets.len() - 1)
+    }
+
+    /// `(prev, cur)` within `key`'s chain, first node with `cur.key >= key`.
+    fn locate(&self, ctx: &mut TxCtx<'_>, key: u64) -> Result<(u32, u32), TxError> {
+        let b = &self.buckets[self.bucket_of(key)];
+        let mut prev = NIL;
+        let mut cur = ctx.read(b)?;
+        while cur != NIL {
+            let k = ctx.read(&self.nodes[cur as usize].key)?;
+            if k >= key {
+                break;
+            }
+            prev = cur;
+            cur = ctx.read(&self.nodes[cur as usize].next)?;
+        }
+        Ok((prev, cur))
+    }
+
+    /// Transactional lookup; the value when `key` is present.
+    pub fn get(&self, ctx: &mut TxCtx<'_>, key: u64) -> Result<Option<u64>, TxError> {
+        let (_, cur) = self.locate(ctx, key)?;
+        if cur != NIL && ctx.read(&self.nodes[cur as usize].key)? == key {
+            let v = ctx.read(&self.nodes[cur as usize].val)?;
+            ctx.no_quiesce();
+            Ok(Some(v))
+        } else {
+            ctx.no_quiesce();
+            Ok(None)
+        }
+    }
+
+    /// Transactional insert-or-update; the previous value, if any.
+    pub fn put(&self, ctx: &mut TxCtx<'_>, key: u64, val: u64) -> Result<Option<u64>, TxError> {
+        let (prev, cur) = self.locate(ctx, key)?;
+        if cur != NIL && ctx.read(&self.nodes[cur as usize].key)? == key {
+            let old = ctx.read(&self.nodes[cur as usize].val)?;
+            ctx.write(&self.nodes[cur as usize].val, val)?;
+            ctx.no_quiesce();
+            return Ok(Some(old));
+        }
+        let n = ctx.read(&self.free)?;
+        assert_ne!(n, NIL, "kv shard node pool exhausted");
+        let free_next = ctx.read(&self.nodes[n as usize].next)?;
+        ctx.write(&self.free, free_next)?;
+        ctx.write(&self.nodes[n as usize].key, key)?;
+        ctx.write(&self.nodes[n as usize].val, val)?;
+        ctx.write(&self.nodes[n as usize].next, cur)?;
+        if prev == NIL {
+            ctx.write(&self.buckets[self.bucket_of(key)], n)?;
+        } else {
+            ctx.write(&self.nodes[prev as usize].next, n)?;
+        }
+        ctx.no_quiesce();
+        Ok(None)
+    }
+
+    /// Transactional removal; the removed value, if any.
+    pub fn remove(&self, ctx: &mut TxCtx<'_>, key: u64) -> Result<Option<u64>, TxError> {
+        let (prev, cur) = self.locate(ctx, key)?;
+        if cur == NIL || ctx.read(&self.nodes[cur as usize].key)? != key {
+            ctx.no_quiesce();
+            return Ok(None);
+        }
+        let old = ctx.read(&self.nodes[cur as usize].val)?;
+        let next = ctx.read(&self.nodes[cur as usize].next)?;
+        if prev == NIL {
+            ctx.write(&self.buckets[self.bucket_of(key)], next)?;
+        } else {
+            ctx.write(&self.nodes[prev as usize].next, next)?;
+        }
+        let f = ctx.read(&self.free)?;
+        ctx.write(&self.nodes[cur as usize].next, f)?;
+        ctx.write(&self.free, cur)?;
+        ctx.will_free_memory();
+        Ok(Some(old))
+    }
+
+    /// Non-transactional key count (quiescent diagnostics).
+    pub fn len_direct(&self) -> usize {
+        let mut n = 0;
+        for b in self.buckets.iter() {
+            let mut cur = b.load_direct();
+            while cur != NIL {
+                n += 1;
+                cur = self.nodes[cur as usize].next.load_direct();
+                assert!(n <= self.nodes.len(), "cycle in kv chain");
+            }
+        }
+        n
+    }
+}
+
+/// The sharded store: global key `k` lives in shard `k / key_space` under
+/// shard-local key `k % key_space`.
+pub struct ShardedKv {
+    shards: Vec<KvShard>,
+    key_space: u64,
+}
+
+impl ShardedKv {
+    /// `shards` maps, each over `key_space` shard-local keys.
+    pub fn new(shards: usize, key_space: u64) -> Self {
+        assert!(shards > 0 && key_space > 0);
+        ShardedKv {
+            shards: (0..shards).map(|i| KvShard::new(i, key_space)).collect(),
+            key_space,
+        }
+    }
+
+    /// The shards (adoption, diagnostics).
+    pub fn shards(&self) -> &[KvShard] {
+        &self.shards
+    }
+
+    /// Shard-local keys per shard.
+    pub fn key_space(&self) -> u64 {
+        self.key_space
+    }
+
+    /// Total keys across all shards.
+    pub fn total_keys(&self) -> u64 {
+        self.key_space * self.shards.len() as u64
+    }
+
+    #[inline]
+    fn split(&self, key: u64) -> (&KvShard, u64) {
+        let shard = (key / self.key_space) as usize % self.shards.len();
+        (&self.shards[shard], key % self.key_space)
+    }
+
+    /// Infallible GET (retries/serializes until it commits).
+    pub fn get(&self, th: &ThreadHandle, key: u64) -> Option<u64> {
+        let (shard, k) = self.split(key);
+        th.critical(&shard.lock, |ctx| shard.get(ctx, k))
+    }
+
+    /// Infallible PUT.
+    pub fn put(&self, th: &ThreadHandle, key: u64, val: u64) -> Option<u64> {
+        let (shard, k) = self.split(key);
+        th.critical(&shard.lock, |ctx| shard.put(ctx, k, val))
+    }
+
+    /// Infallible DELETE.
+    pub fn remove(&self, th: &ThreadHandle, key: u64) -> Option<u64> {
+        let (shard, k) = self.split(key);
+        th.critical(&shard.lock, |ctx| shard.remove(ctx, k))
+    }
+
+    /// Deadline-budgeted GET: `Err(DeadlineExceeded)`/`Err(Overloaded)`
+    /// when the plane refuses the request.
+    pub fn try_get(
+        &self,
+        th: &ThreadHandle,
+        hints: TxHints,
+        key: u64,
+    ) -> Result<Option<u64>, TxError> {
+        let (shard, k) = self.split(key);
+        th.try_critical_with(&shard.lock, hints, |ctx| shard.get(ctx, k))
+    }
+
+    /// Deadline-budgeted PUT.
+    pub fn try_put(
+        &self,
+        th: &ThreadHandle,
+        hints: TxHints,
+        key: u64,
+        val: u64,
+    ) -> Result<Option<u64>, TxError> {
+        let (shard, k) = self.split(key);
+        th.try_critical_with(&shard.lock, hints, |ctx| shard.put(ctx, k, val))
+    }
+}
+
+/// Zipfian sampler over `[0, n)` by inverse-CDF table lookup — deterministic
+/// given the caller's RNG, and cheap enough to share one table per run.
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Skew `theta` (0 = uniform; 0.99 = the YCSB default).
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0);
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw one rank (0 = hottest).
+    pub fn sample(&self, rng: &mut XorShift64) -> u64 {
+        let r = rng.next_f64();
+        self.cdf.partition_point(|&c| c < r) as u64
+    }
+}
+
+/// Hot-key storm shape: for the middle `[start_frac, end_frac)` slice of
+/// each thread's schedule, `hot_pct` percent of requests become multi-key
+/// writes against the first `hot_keys` keys of shard 0.
+#[derive(Debug, Clone, Copy)]
+pub struct StormConfig {
+    /// Storm window start, as a fraction of each thread's request count.
+    pub start_frac: f64,
+    /// Storm window end fraction.
+    pub end_frac: f64,
+    /// Percent of in-window requests redirected at the hot keys.
+    pub hot_pct: u32,
+    /// Number of distinct hot keys (all in shard 0).
+    pub hot_keys: u64,
+    /// Keys touched per storm write (larger = longer transactions, more
+    /// conflict surface).
+    pub touch: u64,
+}
+
+impl Default for StormConfig {
+    fn default() -> Self {
+        StormConfig {
+            start_frac: 0.33,
+            end_frac: 0.67,
+            hot_pct: 60,
+            hot_keys: 4,
+            touch: 48,
+        }
+    }
+}
+
+/// One driver run's configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct KvConfig {
+    /// Synchronization algorithm for the shard locks.
+    pub mode: AlgoMode,
+    /// Shard (lock) count.
+    pub shards: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Requests per thread.
+    pub requests: u64,
+    /// Shard-local keys per shard.
+    pub key_space: u64,
+    /// Zipfian skew over the global key space.
+    pub zipf_theta: f64,
+    /// Percent of (non-storm) requests that are writes.
+    pub write_pct: u32,
+    /// Open-loop arrivals: requests arrive in bursts of this many...
+    pub burst: u64,
+    /// ...every `burst * gap_ns` nanoseconds per thread (0 = closed loop).
+    pub gap_ns: u64,
+    /// The hot-key storm, when enabled.
+    pub storm: Option<StormConfig>,
+    /// Per-request retry-time budget (the deadline half of the plane).
+    pub deadline: Option<Duration>,
+    /// Enable the admission controller (the shedding half of the plane).
+    pub admission: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl KvConfig {
+    /// A small smoke-sized run (plane off, no storm).
+    pub fn quick() -> Self {
+        KvConfig {
+            mode: AlgoMode::StmCondvar,
+            shards: 8,
+            threads: 4,
+            requests: 2_000,
+            key_space: 256,
+            zipf_theta: 0.99,
+            write_pct: 30,
+            burst: 16,
+            gap_ns: 4_000,
+            storm: None,
+            deadline: None,
+            admission: false,
+            seed: 42,
+        }
+    }
+
+    /// Attach the full degradation plane (deadline + admission).
+    pub fn with_plane(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self.admission = true;
+        self
+    }
+
+    /// Attach the default hot-key storm.
+    pub fn with_storm(mut self) -> Self {
+        self.storm = Some(StormConfig::default());
+        self
+    }
+}
+
+/// Aggregated outcome of one driver run.
+#[derive(Debug, Clone)]
+pub struct KvReport {
+    /// Requests offered by the schedule.
+    pub offered: u64,
+    /// Requests that committed.
+    pub completed: u64,
+    /// Requests refused by the admission controller (`Overloaded`).
+    pub shed: u64,
+    /// Requests that ran out of retry-time budget (`DeadlineExceeded`).
+    pub deadline_miss: u64,
+    /// Wall-clock seconds for the measured phase.
+    pub secs: f64,
+    /// Committed requests per second.
+    pub goodput_per_sec: f64,
+    /// Completed-request sojourn latency (scheduled arrival → commit).
+    pub p50_ns: u64,
+    /// 99th percentile sojourn latency.
+    pub p99_ns: u64,
+    /// 99.9th percentile sojourn latency.
+    pub p999_ns: u64,
+    /// The full latency histogram.
+    pub hist: LatencyHistSnapshot,
+    /// Highest admission step any shard reached (0 elide, 1 serialize,
+    /// 2 shed) — proof the ladder actually engaged.
+    pub max_admission_step: u8,
+}
+
+impl KvReport {
+    /// One-line rendering for CLI output.
+    pub fn summary(&self) -> String {
+        format!(
+            "offered={} completed={} shed={} deadline_miss={} goodput={:.0}/s \
+             p50={} p99={} p999={} max_step={}",
+            self.offered,
+            self.completed,
+            self.shed,
+            self.deadline_miss,
+            self.goodput_per_sec,
+            tle_base::stats::fmt_ns(self.p50_ns),
+            tle_base::stats::fmt_ns(self.p99_ns),
+            tle_base::stats::fmt_ns(self.p999_ns),
+            self.max_admission_step,
+        )
+    }
+}
+
+struct DriverShared {
+    sys: Arc<TmSystem>,
+    store: ShardedKv,
+    zipf: Zipf,
+    hist: LatencyHist,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    deadline_miss: AtomicU64,
+}
+
+/// Build the system a driver run needs (mode + admission from `cfg`).
+/// Exposed so harnesses can capture the system's statistics after
+/// [`run_driver_on`].
+pub fn build_system(cfg: &KvConfig) -> Arc<TmSystem> {
+    let mut b = TmSystem::builder().mode(cfg.mode);
+    if cfg.admission {
+        // The stock shed threshold assumes a deep service pool; a serving
+        // shard is overloaded as soon as every worker is piled up on it.
+        b = b.admission_config(AdmissionConfig {
+            shed_queue_depth: (cfg.threads as u64).max(3),
+            recover_queue_depth: 1,
+            ..AdmissionConfig::default()
+        });
+    }
+    Arc::new(b.build())
+}
+
+/// Run one driver configuration to completion and report.
+pub fn run_driver(cfg: &KvConfig) -> KvReport {
+    run_driver_on(&build_system(cfg), cfg)
+}
+
+/// [`run_driver`] against a caller-built system (see [`build_system`]; the
+/// system's mode/admission configuration must match `cfg`).
+pub fn run_driver_on(sys: &Arc<TmSystem>, cfg: &KvConfig) -> KvReport {
+    assert!(cfg.threads > 0 && cfg.shards > 0 && cfg.requests > 0);
+    let sys = Arc::clone(sys);
+    let store = ShardedKv::new(cfg.shards, cfg.key_space);
+    for shard in store.shards() {
+        sys.adopt_lock(shard.lock());
+    }
+    // Preload the full key space so GETs hit and PUTs are updates.
+    {
+        let th = sys.register();
+        for k in 0..store.total_keys() {
+            store.put(&th, k, k);
+        }
+    }
+    let ctrl = cfg
+        .admission
+        .then(|| sys.start_controller(Duration::from_micros(500)));
+
+    let shared = Arc::new(DriverShared {
+        sys: Arc::clone(&sys),
+        store,
+        zipf: Zipf::new(cfg.shards as u64 * cfg.key_space, cfg.zipf_theta),
+        hist: LatencyHist::new(),
+        completed: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
+        deadline_miss: AtomicU64::new(0),
+    });
+
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..cfg.threads)
+        .map(|tid| {
+            let shared = Arc::clone(&shared);
+            let cfg = *cfg;
+            std::thread::spawn(move || worker(&shared, &cfg, tid, t0))
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("kv worker panicked");
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    drop(ctrl);
+
+    let max_admission_step = shared
+        .store
+        .shards()
+        .iter()
+        .map(|s| s.lock().admission_high_water() as u8)
+        .max()
+        .unwrap_or(0);
+
+    let hist = shared.hist.snapshot();
+    let completed = shared.completed.load(Ordering::Relaxed);
+    KvReport {
+        offered: cfg.threads as u64 * cfg.requests,
+        completed,
+        shed: shared.shed.load(Ordering::Relaxed),
+        deadline_miss: shared.deadline_miss.load(Ordering::Relaxed),
+        secs,
+        goodput_per_sec: completed as f64 / secs,
+        p50_ns: hist.quantile_ns(0.50).unwrap_or(0),
+        p99_ns: hist.quantile_ns(0.99).unwrap_or(0),
+        p999_ns: hist.quantile_ns(0.999).unwrap_or(0),
+        hist,
+        max_admission_step,
+    }
+}
+
+fn worker(shared: &DriverShared, cfg: &KvConfig, tid: usize, t0: Instant) {
+    let th = shared.sys.register();
+    let mut rng = XorShift64::new(cfg.seed ^ (tid as u64).wrapping_mul(0x9E37_79B9));
+    let hints = cfg.deadline.map(|d| TxHints::new().with_deadline(d));
+    let storm_range = cfg.storm.map(|s| {
+        let lo = (s.start_frac * cfg.requests as f64) as u64;
+        let hi = (s.end_frac * cfg.requests as f64) as u64;
+        (lo, hi, s)
+    });
+    for i in 0..cfg.requests {
+        // Open-loop schedule: bursts of `burst` simultaneous arrivals,
+        // spaced so the long-run offered rate is one request per `gap_ns`.
+        // Sojourn latency is measured from the *scheduled* arrival, so a
+        // service that falls behind accrues the backlog in its tail — no
+        // coordinated omission.
+        let arrival_ns = if cfg.gap_ns == 0 || cfg.burst == 0 {
+            0
+        } else {
+            (i / cfg.burst) * cfg.burst * cfg.gap_ns
+        };
+        let arrival = t0 + Duration::from_nanos(arrival_ns);
+        let now = Instant::now();
+        if arrival > now {
+            std::thread::sleep(arrival - now);
+        }
+
+        let storm_req = storm_range
+            .as_ref()
+            .map(|&(lo, hi, s)| i >= lo && i < hi && rng.below(100) < s.hot_pct as u64)
+            .unwrap_or(false);
+
+        let outcome = if storm_req {
+            let s = storm_range.as_ref().expect("storm_req implies range").2;
+            let base = rng.below(s.hot_keys.max(1));
+            storm_write(shared, &th, hints, s, base, i)
+        } else {
+            let key = shared.zipf.sample(&mut rng);
+            if rng.below(100) < cfg.write_pct as u64 {
+                plain_put(shared, &th, hints, key, i)
+            } else {
+                plain_get(shared, &th, hints, key)
+            }
+        };
+
+        match outcome {
+            Ok(()) => {
+                shared.completed.fetch_add(1, Ordering::Relaxed);
+                let lat = Instant::now().saturating_duration_since(arrival);
+                shared.hist.record(lat.as_nanos() as u64);
+            }
+            Err(TxError::Overloaded) => {
+                shared.shed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(TxError::DeadlineExceeded) => {
+                shared.deadline_miss.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => unreachable!("runner surfaced unexpected error {e:?}"),
+        }
+    }
+}
+
+fn plain_get(
+    shared: &DriverShared,
+    th: &ThreadHandle,
+    hints: Option<TxHints>,
+    key: u64,
+) -> Result<(), TxError> {
+    match hints {
+        Some(h) => shared.store.try_get(th, h, key).map(|_| ()),
+        None => {
+            shared.store.get(th, key);
+            Ok(())
+        }
+    }
+}
+
+fn plain_put(
+    shared: &DriverShared,
+    th: &ThreadHandle,
+    hints: Option<TxHints>,
+    key: u64,
+    val: u64,
+) -> Result<(), TxError> {
+    match hints {
+        Some(h) => shared.store.try_put(th, h, key, val).map(|_| ()),
+        None => {
+            shared.store.put(th, key, val);
+            Ok(())
+        }
+    }
+}
+
+/// A storm request: read-modify-write `touch` consecutive hot keys in shard
+/// 0 inside one transaction. The wide write set maximizes conflict overlap
+/// between concurrent storm requests.
+fn storm_write(
+    shared: &DriverShared,
+    th: &ThreadHandle,
+    hints: Option<TxHints>,
+    s: StormConfig,
+    base: u64,
+    val: u64,
+) -> Result<(), TxError> {
+    let shard = &shared.store.shards()[0];
+    let span = shared.store.key_space();
+    let body = |ctx: &mut TxCtx<'_>| {
+        for j in 0..s.touch {
+            let k = (base + j) % span;
+            let old = shard.get(ctx, k)?.unwrap_or(0);
+            shard.put(ctx, k, old.wrapping_add(val))?;
+        }
+        Ok(())
+    };
+    match hints {
+        Some(h) => th.try_critical_with(shard.lock(), h, body),
+        None => {
+            th.critical(shard.lock(), body);
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_map_roundtrip() {
+        let sys = Arc::new(TmSystem::new(AlgoMode::StmCondvar));
+        let th = sys.register();
+        let kv = ShardedKv::new(4, 64);
+        for k in 0..kv.total_keys() {
+            assert_eq!(kv.put(&th, k, k * 3), None);
+        }
+        for k in 0..kv.total_keys() {
+            assert_eq!(kv.get(&th, k), Some(k * 3));
+        }
+        assert_eq!(kv.put(&th, 7, 99), Some(21));
+        assert_eq!(kv.remove(&th, 7), Some(99));
+        assert_eq!(kv.get(&th, 7), None);
+        assert_eq!(kv.remove(&th, 7), None);
+        let n: usize = kv.shards().iter().map(|s| s.len_direct()).sum();
+        assert_eq!(n, kv.total_keys() as usize - 1);
+    }
+
+    #[test]
+    fn concurrent_increments_are_exact() {
+        let sys = Arc::new(TmSystem::new(AlgoMode::StmCondvar));
+        let kv = Arc::new(ShardedKv::new(2, 32));
+        {
+            let th = sys.register();
+            kv.put(&th, 0, 0);
+        }
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let sys = Arc::clone(&sys);
+                let kv = Arc::clone(&kv);
+                std::thread::spawn(move || {
+                    let th = sys.register();
+                    let (shard, k) = kv.split(0);
+                    for _ in 0..1_000 {
+                        th.critical(shard.lock(), |ctx| {
+                            let v = shard.get(ctx, k)?.expect("preloaded");
+                            shard.put(ctx, k, v + 1)?;
+                            Ok(())
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let th = sys.register();
+        assert_eq!(kv.get(&th, 0), Some(4_000));
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let z = Zipf::new(100, 0.99);
+        let mut rng = XorShift64::new(7);
+        let mut counts = [0u64; 100];
+        for _ in 0..10_000 {
+            let k = z.sample(&mut rng);
+            assert!(k < 100);
+            counts[k as usize] += 1;
+        }
+        assert!(
+            counts[0] > counts[50].max(1) * 5,
+            "rank 0 not hot: {} vs {}",
+            counts[0],
+            counts[50]
+        );
+        // Uniform (theta 0) spreads.
+        let u = Zipf::new(100, 0.0);
+        let mut hit = 0;
+        for _ in 0..1_000 {
+            if u.sample(&mut rng) >= 50 {
+                hit += 1;
+            }
+        }
+        assert!(hit > 300, "theta=0 should be near-uniform, got {hit}/1000");
+    }
+
+    #[test]
+    fn driver_smoke_no_plane() {
+        let cfg = KvConfig {
+            requests: 300,
+            threads: 2,
+            gap_ns: 0,
+            ..KvConfig::quick()
+        };
+        let r = run_driver(&cfg);
+        assert_eq!(r.offered, 600);
+        assert_eq!(r.completed, 600);
+        assert_eq!(r.shed + r.deadline_miss, 0);
+        assert!(r.p50_ns > 0);
+    }
+
+    #[test]
+    fn driver_smoke_with_plane_and_storm() {
+        let cfg = KvConfig {
+            requests: 400,
+            threads: 4,
+            gap_ns: 0,
+            ..KvConfig::quick()
+        }
+        .with_plane(Duration::from_millis(5))
+        .with_storm();
+        let r = run_driver(&cfg);
+        assert_eq!(r.offered, 1_600);
+        assert_eq!(r.completed + r.shed + r.deadline_miss, r.offered);
+        // Every outcome is accounted for; the plane may or may not have
+        // fired at this size, so no assertion on shed counts here.
+    }
+}

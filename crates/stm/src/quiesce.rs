@@ -86,6 +86,13 @@ pub struct Watchdog<'a> {
     pub stats: &'a TxStats,
     /// Shard hint for the counter (typically the draining slot).
     pub shard: usize,
+    /// The committing *transaction's* retry-time budget, when it has one
+    /// (`TxHints::with_deadline` upstream). A drain that outlives it emits
+    /// one `DeadlineExceeded` trace event — observation only: the commit
+    /// has already happened and abandoning the drain would break
+    /// privatization safety, so the drain still runs to completion and the
+    /// budget overrun surfaces to the *next* retry-ladder decision point.
+    pub tx_deadline: Option<Instant>,
 }
 
 impl Watchdog<'_> {
@@ -158,14 +165,17 @@ pub fn drain_watched(
 
     trace::emit(TraceKind::QuiesceStart, TxMode::Stm, None, upto);
     let mut tripped = false;
+    let mut budget_noted = false;
     let mut check_deadline = |t0: &Instant| -> u64 {
         let ns = t0.elapsed().as_nanos() as u64;
-        if !tripped {
-            if let Some(d) = dog {
-                if ns > d.deadline_ns {
-                    tripped = true;
-                    d.trip(ns, upto);
-                }
+        if let Some(d) = dog {
+            if !tripped && ns > d.deadline_ns {
+                tripped = true;
+                d.trip(ns, upto);
+            }
+            if !budget_noted && d.tx_deadline.is_some_and(|t| Instant::now() >= t) {
+                budget_noted = true;
+                trace::emit(TraceKind::DeadlineExceeded, TxMode::Stm, None, ns);
             }
         }
         ns

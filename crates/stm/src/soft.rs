@@ -93,6 +93,15 @@ impl<'g> SoftTx<'g> {
         }
     }
 
+    /// Attach the transaction's retry-time budget so the post-commit drain
+    /// can observe an overrun (no-op under NOrec, which never drains).
+    #[inline]
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        if let SoftTx::MlWt(tx) = self {
+            tx.set_deadline(deadline);
+        }
+    }
+
     /// Whether this attempt wrote anything.
     #[inline]
     pub fn is_writer(&self) -> bool {

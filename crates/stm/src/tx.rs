@@ -53,6 +53,7 @@ pub struct StmTx<'g> {
     no_quiesce: bool,
     must_quiesce: bool,
     finished: bool,
+    deadline: Option<std::time::Instant>,
 }
 
 impl<'g> StmTx<'g> {
@@ -70,6 +71,7 @@ impl<'g> StmTx<'g> {
             no_quiesce: false,
             must_quiesce: false,
             finished: false,
+            deadline: None,
         }
     }
 
@@ -120,6 +122,14 @@ impl<'g> StmTx<'g> {
     #[inline]
     pub fn will_free_memory(&mut self) {
         self.must_quiesce = true;
+    }
+
+    /// Attach the transaction's retry-time budget so the post-commit
+    /// quiescence drain can observe an overrun (see
+    /// [`Watchdog::tx_deadline`]).
+    #[inline]
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.deadline = deadline;
     }
 
     /// Transactionally read a cell.
@@ -465,6 +475,7 @@ impl<'g> StmTx<'g> {
             deadline_ns: self.g.quiesce_deadline_ns(),
             stats: &self.g.stats,
             shard: self.slot_idx,
+            tx_deadline: self.deadline,
         };
         let wait_ns = drain_watched(&self.g.slots, self.slot_idx, upto, Some(&dog));
         self.g.stats.quiesces.inc(self.slot_idx);

@@ -11,8 +11,11 @@
 //! *timing* regressions only — schema errors always fail), 2 usage error.
 
 use std::process::ExitCode;
+use std::time::Duration;
 use tle_bench::json::Json;
 use tle_bench::perf::{compare, emit_report, stable_view, validate, EmitConfig, TOLERANCE};
+use tle_bench::workloads::TrialStats;
+use tle_kv::{build_system, run_driver_on, KvConfig};
 
 const USAGE: &str = "\
 tle-bench: emit, validate, and compare BENCH_<n>.json perf trajectories
@@ -27,8 +30,85 @@ COMMANDS:
   compare <old> <new>     fail on >10% throughput loss on any recorded run
     --warn                report timing regressions without failing
     --stable              also require identical stable views (schema bytes)
+  kv                      run the sharded KV serving-workload driver once
+    --threads <n>         worker threads (default 4)
+    --shards <n>          shard locks (default 8)
+    --requests <n>        requests per thread (default 20000)
+    --mode <m>            algorithm mode (default stm-condvar)
+    --gap-ns <n>          open-loop arrival gap per thread; 0 = closed loop
+    --storm               inject the hot-key storm
+    --plane               enable the deadline/admission plane (1ms budget)
+    --deadline-us <n>     per-request budget in microseconds (implies plane)
+    --seed <n>            driver RNG seed (default 42)
   -h, --help              this help
 ";
+
+/// The `kv` subcommand body; `Err` is a usage error (exit 2 at the caller).
+fn kv_cmd(rest: &[String]) -> Result<ExitCode, String> {
+    fn num<T: std::str::FromStr>(flag: &str, v: Option<&String>) -> Result<T, String> {
+        let v = v.ok_or_else(|| format!("{flag} expects a value"))?;
+        v.parse()
+            .map_err(|_| format!("{flag}: `{v}` is not a valid value"))
+    }
+    let mut kv = KvConfig {
+        requests: 20_000,
+        ..KvConfig::quick()
+    };
+    let mut plane_deadline: Option<Duration> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => kv.threads = num(a, it.next())?,
+            "--shards" => kv.shards = num(a, it.next())?,
+            "--requests" => kv.requests = num(a, it.next())?,
+            "--gap-ns" => kv.gap_ns = num(a, it.next())?,
+            "--seed" => kv.seed = num(a, it.next())?,
+            "--mode" => {
+                let v = it.next().ok_or("--mode expects a value")?;
+                kv.mode = v.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--storm" => kv = kv.with_storm(),
+            "--plane" => {
+                plane_deadline.get_or_insert(Duration::from_millis(1));
+            }
+            "--deadline-us" => {
+                let us: u64 = num(a, it.next())?;
+                plane_deadline = Some(Duration::from_micros(us));
+            }
+            other => return Err(format!("unknown kv option `{other}`")),
+        }
+    }
+    if kv.threads == 0 || kv.shards == 0 || kv.requests == 0 {
+        return Err("kv --threads/--shards/--requests must be non-zero".into());
+    }
+    if let Some(d) = plane_deadline {
+        kv = kv.with_plane(d);
+    }
+    eprintln!(
+        "tle-bench: kv driver: mode={} threads={} shards={} requests/thread={} \
+         storm={} plane={}",
+        kv.mode.label(),
+        kv.threads,
+        kv.shards,
+        kv.requests,
+        kv.storm.is_some(),
+        kv.admission,
+    );
+    let sys = build_system(&kv);
+    let report = run_driver_on(&sys, &kv);
+    let stats = TrialStats::capture(&sys);
+    println!("{}", report.summary());
+    println!(
+        "tm: commits={} aborts={} serial_fallbacks={} sheds={} deadline_exceeded={} [{}]",
+        stats.stm.commits + stats.htm_commits,
+        stats.stm.aborts + stats.htm_aborts,
+        stats.serial_fallbacks,
+        sys.stats.sheds.get(),
+        sys.stats.deadline_exceeded.get(),
+        stats.abort_breakdown(),
+    );
+    Ok(ExitCode::SUCCESS)
+}
 
 fn read_report(path: &str) -> Result<Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -47,6 +127,7 @@ fn main() -> ExitCode {
         Some("emit") => "emit",
         Some("validate") => "validate",
         Some("compare") => "compare",
+        Some("kv") => "kv",
         Some("help") | Some("h") => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -115,6 +196,10 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "kv" => match kv_cmd(rest) {
+            Ok(code) => code,
+            Err(msg) => usage_error(&msg),
+        },
         "compare" => {
             let mut warn = false;
             let mut stable = false;

@@ -25,6 +25,7 @@ fn main() {
     let ops: u64 = opt_parse(&args, "--ops", 1_500);
     let repro = args.iter().any(|a| a == "--repro");
     let adaptive = args.iter().any(|a| a == "--adaptive");
+    let deadline = args.iter().any(|a| a == "--deadline");
     let modes: Vec<AlgoMode> = match opt(&args, "--mode").as_deref() {
         None | Some("all") => ALL_MODES.to_vec(),
         Some(spec) => match spec.parse::<AlgoMode>() {
@@ -47,6 +48,7 @@ fn main() {
             let cfg = TortureConfig {
                 ops_per_worker: ops,
                 adaptive,
+                deadline,
                 ..TortureConfig::repro(seed, mode)
             };
             let a = run_torture(&cfg);
@@ -65,6 +67,7 @@ fn main() {
                 workers,
                 ops_per_worker: ops,
                 adaptive,
+                deadline,
                 ..TortureConfig::quick(seed, mode)
             };
             let report = run_torture(&cfg);
@@ -88,9 +91,13 @@ fn usage() {
          \u{20} --adaptive   also torture per-lock mode flips: a counter runs\n\
          \u{20}              while a seeded schedule retargets its lock's mode;\n\
          \u{20}              exact count + flip sequence are the oracles\n\
+         \u{20} --deadline   also torture the deadline gate: a seeded subset of\n\
+         \u{20}              requests carries a zero retry-time budget and must\n\
+         \u{20}              be refused with DeadlineExceeded, effect-free\n\
          \u{20} --repro      single-worker deterministic run, executed twice;\n\
          \u{20}              fails unless both runs match per-cause abort counts\n\
-         \u{20}              (and, with --adaptive, the mode-flip sequence)"
+         \u{20}              (and, with --adaptive, the mode-flip sequence;\n\
+         \u{20}              with --deadline, the expiry tally)"
     );
 }
 
@@ -98,7 +105,7 @@ fn usage() {
 /// and exits 2 instead of being silently ignored.
 fn reject_unknown_flags(args: &[String]) {
     const VALUE_FLAGS: [&str; 4] = ["--seed", "--workers", "--ops", "--mode"];
-    const BOOL_FLAGS: [&str; 2] = ["--repro", "--adaptive"];
+    const BOOL_FLAGS: [&str; 3] = ["--repro", "--adaptive", "--deadline"];
     let mut i = 0;
     while i < args.len() {
         let a = args[i].as_str();

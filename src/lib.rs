@@ -51,9 +51,9 @@ pub use tle_wfe as wfe;
 pub mod prelude {
     pub use tle_base::{AbortCause, TCell, TxVal};
     pub use tle_core::{
-        AdaptiveConfig, AlgoMode, ControllerHandle, ElidableMutex, InvalidAlgoMode,
-        ModeSwitchEvent, ParseAlgoModeError, SwitchReason, ThreadHandle, TlePolicy, TmSystem,
-        TmSystemBuilder, TxCondvar, TxCtx, TxError, TxHints, ALL_MODES,
+        AdaptiveConfig, AdmissionConfig, AdmissionStep, AlgoMode, ControllerHandle, ElidableMutex,
+        InvalidAlgoMode, ModeSwitchEvent, ParseAlgoModeError, SwitchReason, ThreadHandle,
+        TlePolicy, TmSystem, TmSystemBuilder, TxCondvar, TxCtx, TxError, TxHints, ALL_MODES,
     };
     pub use tle_stm::QuiescePolicy;
 }

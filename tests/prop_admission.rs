@@ -1,0 +1,201 @@
+//! Property tests for the admission controller's degradation ladder: the
+//! pure [`admission_decide`] function that turns a stat-window snapshot
+//! plus a queue-depth signal into an elide → serialize → shed step. Like
+//! `prop_adaptive`, the function is deliberately thread-free, so a property
+//! test can pin its documented invariants completely: the hysteresis dwell
+//! floor, the rate sample floor (and the queue signal's exemption from it),
+//! the shed enter/exit thresholds, the no-flap band between them, and the
+//! one-step-at-a-time transition discipline.
+
+use proptest::prelude::*;
+use tle_repro::base::window::WindowSnapshot;
+use tle_repro::core::admission_decide;
+use tle_repro::prelude::{AdmissionConfig, AdmissionStep};
+
+/// An arbitrary-but-legal config: the recover depth sits strictly below the
+/// shed depth (the documented hysteresis band) and rates are fractions.
+fn cfg_strategy() -> impl Strategy<Value = AdmissionConfig> {
+    (
+        (0u32..8, 0u64..128, 2u64..64, 0u64..64),
+        (0u32..101, 0u32..101, 0u32..16),
+    )
+        .prop_map(
+            |((dwell, samples, shed, recover_raw), (abort_pct, fallback_pct, probe))| {
+                AdmissionConfig {
+                    min_dwell_steps: dwell,
+                    min_window_samples: samples,
+                    serialize_abort_rate: f64::from(abort_pct) / 100.0,
+                    serialize_fallback_rate: f64::from(fallback_pct) / 100.0,
+                    shed_queue_depth: shed,
+                    recover_queue_depth: recover_raw % shed,
+                    recover_probe_steps: probe,
+                }
+            },
+        )
+}
+
+fn window_strategy() -> impl Strategy<Value = WindowSnapshot> {
+    (
+        (0u64..10_000, 0u64..10_000),
+        (0u64..10_000, 0u64..10_000, 0u64..10_000),
+    )
+        .prop_map(
+            |((commits, serial), (conflict, capacity, other))| WindowSnapshot {
+                commits,
+                conflict_aborts: conflict,
+                capacity_aborts: capacity,
+                other_aborts: other,
+                serial,
+                quiesce_ns: 0,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Hysteresis floor: below `min_dwell_steps`, no evidence — however
+    /// alarming the window or deep the queue — moves the ladder anywhere.
+    #[test]
+    fn no_decision_below_dwell(
+        cfg in cfg_strategy(),
+        window in window_strategy(),
+        step_i in 0usize..AdmissionStep::ALL.len(),
+        queue in 0u64..1_000,
+    ) {
+        let step = AdmissionStep::ALL[step_i];
+        for dwelled in 0..cfg.min_dwell_steps {
+            prop_assert_eq!(admission_decide(step, &window, queue, dwelled, &cfg), None);
+        }
+    }
+
+    /// Transition discipline: whatever the inputs, a decision moves exactly
+    /// one ladder step — never a stand-still `Some`, never a two-step jump
+    /// (elide ↔ shed directly is unreachable by construction).
+    #[test]
+    fn transitions_are_one_step(
+        cfg in cfg_strategy(),
+        window in window_strategy(),
+        step_i in 0usize..AdmissionStep::ALL.len(),
+        (queue, dwelled) in (0u64..1_000, 0u32..64),
+    ) {
+        let step = AdmissionStep::ALL[step_i];
+        if let Some(next) = admission_decide(step, &window, queue, dwelled, &cfg) {
+            prop_assert_ne!(next, step, "decision re-selected the current step");
+            let diff = (next as i8 - step as i8).abs();
+            prop_assert_eq!(diff, 1, "two-step jump {:?} -> {:?}", step, next);
+        }
+    }
+
+    /// The queue signal is exempt from the sample floor: a queue peak at or
+    /// past `shed_queue_depth` degrades an eliding lock even on an *empty*
+    /// window — overload that serializes on lock waits never aborts, so
+    /// waiting for abort samples would mean never reacting (and a
+    /// serialized lock keeps degrading to shed on the same signal).
+    #[test]
+    fn deep_queue_degrades_without_samples(
+        cfg in cfg_strategy(),
+        extra_dwell in 0u32..64,
+        excess in 0u64..100,
+    ) {
+        let dwelled = cfg.min_dwell_steps + extra_dwell;
+        let empty = WindowSnapshot::default();
+        let queue = cfg.shed_queue_depth + excess;
+        prop_assert_eq!(
+            admission_decide(AdmissionStep::Elide, &empty, queue, dwelled, &cfg),
+            Some(AdmissionStep::Serialize)
+        );
+        prop_assert_eq!(
+            admission_decide(AdmissionStep::Serialize, &empty, queue, dwelled, &cfg),
+            Some(AdmissionStep::Shed)
+        );
+    }
+
+    /// Rate sample floor: with the queue shallow, an eliding lock never
+    /// serializes on a window with fewer than `min_window_samples`
+    /// attempts — thin evidence is not evidence (the floor is pinned just
+    /// above whatever the window holds).
+    #[test]
+    fn no_rate_decision_without_samples(
+        cfg in cfg_strategy(),
+        window in window_strategy(),
+        (dwelled, slack) in (0u32..64, 1u64..100),
+    ) {
+        let cfg = AdmissionConfig {
+            min_window_samples: window.attempts() + slack,
+            ..cfg
+        };
+        let queue = cfg.shed_queue_depth - 1;
+        prop_assert_eq!(
+            admission_decide(AdmissionStep::Elide, &window, queue, dwelled, &cfg),
+            None
+        );
+    }
+
+    /// Shed exit threshold: a shed lock recovers exactly when the queue
+    /// drains to `recover_queue_depth` — one step, back to Serialize, never
+    /// straight to Elide — and holds otherwise.
+    #[test]
+    fn shed_recovers_on_drain_only(
+        cfg in cfg_strategy(),
+        window in window_strategy(),
+        (queue, extra_dwell) in (0u64..1_000, 0u32..64),
+    ) {
+        let dwelled = cfg.min_dwell_steps + extra_dwell;
+        let d = admission_decide(AdmissionStep::Shed, &window, queue, dwelled, &cfg);
+        if queue <= cfg.recover_queue_depth {
+            prop_assert_eq!(d, Some(AdmissionStep::Serialize));
+        } else {
+            prop_assert_eq!(d, None);
+        }
+    }
+
+    /// Recovery probe timer: a serialized lock with a drained queue still
+    /// dwells `recover_probe_steps` before re-probing elision, so a brief
+    /// lull inside a storm does not bounce the ladder.
+    #[test]
+    fn serialize_probes_elide_on_timer(
+        cfg in cfg_strategy(),
+        window in window_strategy(),
+        extra_dwell in 0u32..64,
+    ) {
+        let dwelled = cfg.min_dwell_steps + extra_dwell;
+        let d = admission_decide(
+            AdmissionStep::Serialize, &window, cfg.recover_queue_depth, dwelled, &cfg,
+        );
+        if dwelled >= cfg.recover_probe_steps {
+            prop_assert_eq!(d, Some(AdmissionStep::Elide));
+        } else {
+            prop_assert_eq!(d, None);
+        }
+    }
+
+    /// No-flap hysteresis: with the queue held anywhere in the open band
+    /// between the recover and shed thresholds, a degraded ladder never
+    /// moves again — not on any dwell, not on any window. Simulated as a
+    /// trajectory (dwell accumulating step by step) to mirror how the real
+    /// controller drives the function.
+    #[test]
+    fn queue_in_band_never_flaps(
+        cfg in cfg_strategy(),
+        window in window_strategy(),
+        (start_i, gap, offset) in (1usize..AdmissionStep::ALL.len(), 0u64..32, 0u64..32),
+        steps in 1u32..64,
+    ) {
+        // Force a non-empty open band, then pick a queue strictly inside it.
+        let cfg = AdmissionConfig {
+            shed_queue_depth: cfg.recover_queue_depth + 2 + gap,
+            ..cfg
+        };
+        let band = cfg.shed_queue_depth - cfg.recover_queue_depth - 1;
+        let queue = cfg.recover_queue_depth + 1 + offset % band;
+        let start = AdmissionStep::ALL[start_i];
+        let mut step = start;
+        for dwelled in 1..=steps {
+            if let Some(next) = admission_decide(step, &window, queue, dwelled, &cfg) {
+                step = next;
+            }
+        }
+        prop_assert_eq!(step, start, "in-band queue moved the ladder");
+    }
+}
