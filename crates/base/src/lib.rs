@@ -34,15 +34,22 @@
 //!   recorder feeding the offline opacity checker.
 //! - [`mutant`] — feature-gated (`check-mutants`) seeded-bug switches used
 //!   to validate that the checker actually catches bugs.
+//! - [`park`] — the park-abstraction trait separating OS-thread waits from
+//!   waker-driven (`Poll::Pending`) waits, with a debug audit that executor
+//!   workers never reach a real OS park.
+//! - [`exec`] — the in-tree, dependency-free async executor that the
+//!   `critical_async` entry points in `tle-core` run on.
 
 pub mod abort;
 pub mod cell;
 pub mod clock;
+pub mod exec;
 pub mod fault;
 pub mod gate;
 pub mod history;
 pub mod mutant;
 pub mod orec;
+pub mod park;
 pub mod rng;
 pub mod sched;
 pub mod slots;
@@ -53,8 +60,10 @@ pub mod window;
 pub use abort::AbortCause;
 pub use cell::{TCell, TxVal};
 pub use clock::Clock;
+pub use exec::Exec;
 pub use gate::Gate;
 pub use orec::{OrecLayout, OrecTable, OrecValue};
+pub use park::{OsPark, ParkMode, Parker, WakerPark};
 pub use slots::{Slot, SlotRegistry, INACTIVE};
 pub use window::{AbortClass, StatWindow, WindowSnapshot, WINDOW_BUCKETS};
 

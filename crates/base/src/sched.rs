@@ -189,8 +189,15 @@ pub fn spin_hint(p: YieldPoint) {
 }
 
 /// The current thread is about to park in the OS.
+///
+/// Also the blocking-wait audit point: every real OS park in the kernels is
+/// bracketed by this call, so routing it through
+/// [`crate::park::enter_os_park`] verifies (in debug builds) that an async
+/// executor worker — which installs the waker park backend — never reaches
+/// one.
 #[inline(always)]
 pub fn block_enter() {
+    crate::park::enter_os_park();
     imp::block_enter();
 }
 

@@ -55,7 +55,7 @@ fn run(mode: AlgoMode, threads: usize, event_prob: f64) -> (f64, f64) {
                 let th = sys.register();
                 barrier.wait();
                 for _ in 0..OPS_PER_THREAD {
-                    th.critical(&locks[t], |ctx| {
+                    th.tx(&locks[t]).run(|ctx| {
                         ctx.update(&cells[t], |v| v + 1)?;
                         Ok(())
                     });

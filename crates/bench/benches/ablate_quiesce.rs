@@ -41,7 +41,7 @@ fn drain_scaling() {
                         let cell = TCell::new(0u64);
                         let mut spin = i as u64;
                         while !stop.load(Ordering::Relaxed) {
-                            th.critical(&lock, |ctx| {
+                            th.tx(&lock).run(|ctx| {
                                 ctx.update(&cell, |v| v + 1)?;
                                 Ok(())
                             });
@@ -62,7 +62,7 @@ fn drain_scaling() {
             const OPS: u64 = 50_000;
             let t0 = std::time::Instant::now();
             for _ in 0..OPS {
-                th.critical(&lock, |ctx| {
+                th.tx(&lock).run(|ctx| {
                     ctx.update(&cell, |v| v + 1)?;
                     Ok(())
                 });
@@ -103,7 +103,7 @@ fn long_tx_blocking() {
                     let cells: Vec<TCell<u64>> = (0..512).map(TCell::new).collect();
                     while !stop.load(Ordering::Relaxed) {
                         // A transaction that reads a lot and dawdles.
-                        th.critical(&lock, |ctx| {
+                        th.tx(&lock).run(|ctx| {
                             let mut acc = 0u64;
                             for c in &cells {
                                 acc = acc.wrapping_add(ctx.read(c)?);
@@ -125,7 +125,7 @@ fn long_tx_blocking() {
             const OPS: u64 = 20_000;
             let t0 = std::time::Instant::now();
             for _ in 0..OPS {
-                th.critical(&lock, |ctx| {
+                th.tx(&lock).run(|ctx| {
                     ctx.update(&cell, |v| v + 1)?;
                     if use_noq {
                         ctx.no_quiesce();

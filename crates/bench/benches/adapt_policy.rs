@@ -103,7 +103,7 @@ fn run_phase(sys: &Arc<TmSystem>, lock: &ElidableMutex, w: &Arc<Workload>, phase
                 match phase {
                     0 => {
                         for _ in 0..CAP_OPS {
-                            th.critical(&lock, |ctx| {
+                            th.tx(&lock).run(|ctx| {
                                 for c in &w.regions[t] {
                                     let v = ctx.read(&**c)?;
                                     ctx.write(&**c, churn(v, CAP_BALLAST).wrapping_add(1))?;
@@ -114,7 +114,7 @@ fn run_phase(sys: &Arc<TmSystem>, lock: &ElidableMutex, w: &Arc<Workload>, phase
                     }
                     1 => {
                         for _ in 0..STORM_OPS {
-                            th.critical(&lock, |ctx| {
+                            th.tx(&lock).run(|ctx| {
                                 let a = ctx.read(&*w.hot[0])?;
                                 let b = ctx.read(&*w.hot[1])?;
                                 // Mid-section yield: on one CPU this hands
@@ -130,7 +130,7 @@ fn run_phase(sys: &Arc<TmSystem>, lock: &ElidableMutex, w: &Arc<Workload>, phase
                     }
                     _ => {
                         for i in 0..READ_OPS {
-                            acc ^= th.critical(&lock, |ctx| {
+                            acc ^= th.tx(&lock).run(|ctx| {
                                 let mut sum = 0u64;
                                 for c in &w.cold {
                                     sum ^= churn(ctx.read(c)?, READ_BALLAST);

@@ -76,7 +76,7 @@ fn bench_tle_modes(c: &mut Criterion) {
         let cell = TCell::new(0u64);
         c.bench_function(format!("tle/incr/{}", mode.label()), |b| {
             b.iter(|| {
-                th.critical(&lock, |ctx| {
+                th.tx(&lock).run(|ctx| {
                     ctx.update(&cell, |v| v + 1)?;
                     Ok(())
                 })

@@ -23,7 +23,10 @@ use std::time::Duration;
 use tle_base::stats::HIST_BUCKETS;
 use tle_base::{AbortCause, OrecLayout};
 use tle_core::{AlgoMode, TmSystem};
-use tle_kv::{build_system, run_driver_on, KvConfig, KvReport};
+use tle_kv::{
+    build_system, run_driver_on, run_session_driver_async_on, run_session_driver_threads_on,
+    KvConfig, KvReport, SessionConfig,
+};
 use tle_pbz::{compress_parallel, gen_text, PipelineConfig};
 use tle_stm::QuiescePolicy;
 
@@ -31,15 +34,20 @@ use tle_stm::QuiescePolicy;
 pub const SCHEMA: &str = "tle-bench-trajectory";
 /// Bumped on any incompatible schema change. Version 2 adds the `kv`
 /// serving-workload runs, whose `measured` subtree carries `latency` and
-/// `requests` objects on top of the version-1 fields.
-pub const SCHEMA_VERSION: u64 = 2;
+/// `requests` objects on top of the version-1 fields. Version 3 adds the
+/// `kv-sessions` figure: the async session-multiplexing curve, same
+/// `measured` shape as the `kv` runs.
+pub const SCHEMA_VERSION: u64 = 3;
 /// Oldest schema version [`validate`] still accepts: version-1 artifacts
 /// (`BENCH_6.json` and earlier) remain parseable and comparable.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
 /// The PR that committed this artifact generation.
-pub const PR: u64 = 7;
+pub const PR: u64 = 8;
 /// Throughput regressions beyond this fraction fail [`compare`].
 pub const TOLERANCE: f64 = 0.10;
+/// Executor workers for every `kv-sessions` async run (the acceptance bar
+/// is "≥ 1000 sessions on ≤ 8 workers").
+pub const SESSION_WORKERS: usize = 8;
 
 /// Emission knobs. `quick` and `full` deliberately share `threads` so their
 /// run keys match: CI's quick emit compares cleanly against a committed
@@ -60,6 +68,16 @@ pub struct EmitConfig {
     /// Include the application figures (fig2 PBZip2, fig3 x265). The
     /// microbenchmarks and optimization A/Bs always run.
     pub apps: bool,
+    /// Session counts for the `kv-sessions` curve. Part of each run's
+    /// match key, so quick and full share the same curve (a quick CI emit
+    /// must produce every run the committed artifact records).
+    pub sessions_curve: &'static [usize],
+    /// Requests each logical session issues (not part of the match key).
+    pub session_requests: u64,
+    /// Per-request think time. With a closed loop this bounds goodput at
+    /// `sessions / (think + service)`, so quick and full keep it equal and
+    /// their goodputs stay comparable.
+    pub session_think_ns: u64,
 }
 
 impl EmitConfig {
@@ -72,6 +90,9 @@ impl EmitConfig {
             pbzip_kib: 64,
             trials: 2,
             apps: true,
+            sessions_curve: &[64, 256, 1000],
+            session_requests: 6,
+            session_think_ns: 2_000_000,
         }
     }
 
@@ -84,6 +105,9 @@ impl EmitConfig {
             pbzip_kib: 256,
             trials: 3,
             apps: true,
+            sessions_curve: &[64, 256, 1000],
+            session_requests: 25,
+            session_think_ns: 2_000_000,
         }
     }
 }
@@ -185,6 +209,31 @@ fn kv_run_json(mix: &str, policy: &str, kv: &KvConfig, r: &KvReport, stats: &Tri
         ("mode".into(), Json::str(kv.mode.label())),
         ("policy".into(), Json::str(policy)),
         ("threads".into(), Json::u64(kv.threads as u64)),
+        ("ops".into(), Json::u64(r.offered)),
+        ("warmup".into(), Json::u64(0)),
+        ("unit".into(), Json::str("reqs/sec")),
+        ("measured".into(), kv_measured_json(r, stats)),
+    ])
+}
+
+/// One `kv-sessions` curve point. `policy` names the execution model
+/// (`async-w8` / `threads`); `threads` records the OS threads actually
+/// running sessions — the executor worker count for the async driver, one
+/// per session for the baseline.
+fn session_run_json(
+    scfg: &SessionConfig,
+    policy: &str,
+    threads: usize,
+    r: &KvReport,
+    stats: &TrialStats,
+) -> Json {
+    Json::Obj(vec![
+        ("figure".into(), Json::str("kv-sessions")),
+        ("workload".into(), Json::str("kv-sessions")),
+        ("mix".into(), Json::str(format!("s{}", scfg.sessions))),
+        ("mode".into(), Json::str(scfg.base.mode.label())),
+        ("policy".into(), Json::str(policy)),
+        ("threads".into(), Json::u64(threads as u64)),
         ("ops".into(), Json::u64(r.offered)),
         ("warmup".into(), Json::u64(0)),
         ("unit".into(), Json::str("reqs/sec")),
@@ -403,6 +452,41 @@ pub fn emit_report(cfg: &EmitConfig) -> Json {
         runs.push(kv_run_json(mix, policy, &kv, &report, &stats));
     }
 
+    // kv-sessions: the async multiplexing curve. Each point pairs N paced
+    // logical sessions on SESSION_WORKERS executor threads (sessions as
+    // tasks, waits suspend via wakers) against the thread-per-session
+    // baseline (one OS thread each, handles checked out of a pool). The
+    // closed loop's think time bounds per-session rate, so goodput should
+    // scale with the session count in both columns — the async column just
+    // gets there on 8 OS threads.
+    for &sessions in cfg.sessions_curve {
+        let scfg = SessionConfig {
+            base: KvConfig::quick(),
+            sessions,
+            workers: SESSION_WORKERS,
+            requests_per_session: cfg.session_requests,
+            think_ns: cfg.session_think_ns,
+        };
+        let async_policy = format!("async-w{SESSION_WORKERS}");
+        let sys = build_system(&scfg.base);
+        let report = run_session_driver_async_on(&sys, &scfg);
+        let stats = TrialStats::capture(&sys);
+        runs.push(session_run_json(
+            &scfg,
+            &async_policy,
+            SESSION_WORKERS,
+            &report,
+            &stats,
+        ));
+
+        let sys = build_system(&scfg.base);
+        let report = run_session_driver_threads_on(&sys, &scfg);
+        let stats = TrialStats::capture(&sys);
+        runs.push(session_run_json(
+            &scfg, "threads", sessions, &report, &stats,
+        ));
+    }
+
     // Optimization A/Bs: one knob flipped per entry, both sides measured in
     // this same process so the numbers are an honest pair.
     let mut optimizations = Vec::new();
@@ -540,6 +624,17 @@ pub fn emit_report(cfg: &EmitConfig) -> Json {
                 ("pbzip_kib".into(), Json::u64(cfg.pbzip_kib as u64)),
                 ("trials".into(), Json::u64(cfg.trials as u64)),
                 ("apps".into(), Json::Bool(cfg.apps)),
+                (
+                    "sessions_curve".into(),
+                    Json::Arr(
+                        cfg.sessions_curve
+                            .iter()
+                            .map(|&s| Json::u64(s as u64))
+                            .collect(),
+                    ),
+                ),
+                ("session_requests".into(), Json::u64(cfg.session_requests)),
+                ("session_think_ns".into(), Json::u64(cfg.session_think_ns)),
             ]),
         ),
         ("runs".into(), Json::Arr(runs)),
@@ -657,14 +752,15 @@ fn validate_run(run: &Json) -> Result<(), String> {
     }
     let m = req(run, "measured")?;
     validate_measured(m)?;
-    if req_str(run, "figure")? == "kv" {
+    if matches!(req_str(run, "figure")?, "kv" | "kv-sessions") {
         validate_kv_measured(m)?;
     }
     Ok(())
 }
 
-/// The version-2 serving-run extensions: every `figure == "kv"` run must
-/// carry the latency quantiles and the request-outcome ledger.
+/// The version-2 serving-run extensions: every `figure == "kv"` (and,
+/// from version 3, `"kv-sessions"`) run must carry the latency quantiles
+/// and the request-outcome ledger.
 fn validate_kv_measured(m: &Json) -> Result<(), String> {
     let lat = req(m, "latency")?;
     for key in ["p50_ns", "p99_ns", "p999_ns"] {

@@ -57,6 +57,15 @@ pub struct TortureConfig {
     /// the expiry tally is a pure function of the seed even with racing
     /// workers, and is folded into [`TortureReport::repro_key`].
     pub deadline: bool,
+    /// Also run the async-executor phase: the same fault schedule driven
+    /// through the waker path (`run_async` attempts, suspended condvar
+    /// waits, executor-yield backoff). Disjoint write sets and commutative
+    /// increments make the final state a pure function of the
+    /// configuration, so the phase's checksum joins
+    /// [`TortureReport::repro_key`]; with `workers == 1` the single
+    /// executor worker serializes every attempt and the whole phase
+    /// replays exactly.
+    pub async_exec: bool,
 }
 
 impl TortureConfig {
@@ -71,6 +80,7 @@ impl TortureConfig {
             pipelines: true,
             adaptive: false,
             deadline: false,
+            async_exec: false,
         }
     }
 
@@ -85,6 +95,7 @@ impl TortureConfig {
             pipelines: false,
             adaptive: false,
             deadline: false,
+            async_exec: false,
         }
     }
 }
@@ -131,6 +142,11 @@ pub struct TortureReport {
     /// phase (0 unless [`TortureConfig::deadline`] was set). Same seed ⇒
     /// identical count, by construction.
     pub deadline_expiries: u64,
+    /// Checksum over the async phase's final counters and ping-pong rounds
+    /// (0 unless [`TortureConfig::async_exec`] was set). A pure function of
+    /// the configuration when the oracles hold, so it folds into
+    /// [`repro_key`](Self::repro_key).
+    pub async_checksum: u64,
 }
 
 impl TortureReport {
@@ -161,6 +177,9 @@ impl TortureReport {
         }
         if self.deadline_expiries > 0 {
             key.push_str(&format!(";deadline:{}", self.deadline_expiries));
+        }
+        if self.async_checksum != 0 {
+            key.push_str(&format!(";async:{:#x}", self.async_checksum));
         }
         key
     }
@@ -198,6 +217,9 @@ impl TortureReport {
             "  escalations={} watchdog_trips={} deadline_expiries={}",
             self.escalations, self.watchdog_trips, self.deadline_expiries
         );
+        if self.async_checksum != 0 {
+            let _ = writeln!(out, "  async phase checksum {:#x}", self.async_checksum);
+        }
         if !self.switches.is_empty() {
             let _ = writeln!(
                 out,
@@ -256,6 +278,11 @@ pub fn run_torture(cfg: &TortureConfig) -> TortureReport {
     } else {
         0
     };
+    let async_checksum = if cfg.async_exec {
+        torture_async(&sys, cfg, &mut violations)
+    } else {
+        0
+    };
 
     let secs = t0.elapsed().as_secs_f64();
     let fault_snap = fault::snapshot();
@@ -272,7 +299,108 @@ pub fn run_torture(cfg: &TortureConfig) -> TortureReport {
         watchdog_trips: sys.stm.stats.snapshot().watchdog_trips,
         switches,
         deadline_expiries,
+        async_checksum,
     }
+}
+
+/// Async-executor torture: the seeded fault schedule driven through the
+/// waker path. Six tasks multiplex onto the executor, each incrementing its
+/// own counter cell under one shared elidable lock (disjoint write sets,
+/// commutative ops — the final state is a pure function of the
+/// configuration), while a waiter/signaller pair ping-pongs through a
+/// transactional condvar so signal-delay and spurious-wake faults land on
+/// suspended-task wakeups instead of parked threads.
+///
+/// Oracles: every counter exact, every ping-pong round completed. The
+/// returned checksum folds the final cells and round count with the seed;
+/// with `workers == 1` the single executor worker serializes every attempt
+/// (backoff and slot waits only yield — no timers), so same seed ⇒ same
+/// fault ticks ⇒ same checksum *and* same per-cause abort counts.
+fn torture_async(sys: &Arc<TmSystem>, cfg: &TortureConfig, violations: &mut Vec<String>) -> u64 {
+    use tle_base::exec::Exec;
+    use tle_base::TCell;
+    use tle_core::{ElidableMutex, TxCondvar};
+
+    const TASKS: usize = 6;
+    const ROUNDS: u64 = 40;
+    let ops = (cfg.ops_per_worker / 4).max(1);
+
+    let exec = Exec::new(cfg.workers.max(1));
+    let lock = ElidableMutex::new("torture-async");
+    let th = Arc::new(sys.register());
+    let cells: Arc<Vec<TCell<u64>>> = Arc::new((0..TASKS).map(|_| TCell::new(0)).collect());
+
+    let mut joins = Vec::new();
+    for t in 0..TASKS {
+        let th = Arc::clone(&th);
+        let lock = lock.clone();
+        let cells = Arc::clone(&cells);
+        joins.push(exec.spawn(async move {
+            for _ in 0..ops {
+                th.tx(&lock)
+                    .run_async(|ctx| {
+                        let v = ctx.read(&cells[t])?;
+                        ctx.write(&cells[t], v + 1)?;
+                        Ok(())
+                    })
+                    .await;
+            }
+        }));
+    }
+
+    // The ping-pong pair: `turn` alternates 0/1 through the condvar, each
+    // side flipping it ROUNDS times.
+    let cv = Arc::new(TxCondvar::new());
+    let turn = Arc::new(TCell::new(0u64));
+    let rounds = Arc::new(TCell::new(0u64));
+    for role in 0..2u64 {
+        let th = Arc::clone(&th);
+        let lock = lock.clone();
+        let cv = Arc::clone(&cv);
+        let turn = Arc::clone(&turn);
+        let rounds = Arc::clone(&rounds);
+        joins.push(exec.spawn(async move {
+            for _ in 0..ROUNDS {
+                th.tx(&lock)
+                    .run_async(|ctx| {
+                        if ctx.read(&*turn)? != role {
+                            return ctx.wait(&cv, None);
+                        }
+                        ctx.write(&*turn, 1 - role)?;
+                        let r = ctx.read(&*rounds)?;
+                        ctx.write(&*rounds, r + 1)?;
+                        ctx.broadcast(&cv)?;
+                        Ok(())
+                    })
+                    .await;
+            }
+        }));
+    }
+
+    exec.block_on(async move {
+        for j in joins {
+            j.await;
+        }
+    });
+
+    let mut checksum = cfg.seed ^ 0xA57C;
+    for (t, cell) in cells.iter().enumerate() {
+        let v = cell.load_direct();
+        if v != ops {
+            violations.push(format!(
+                "async: task {t} counter {v} != {ops} — an async attempt lost an update"
+            ));
+        }
+        checksum = checksum.rotate_left(7) ^ v;
+    }
+    let r = rounds.load_direct();
+    if r != 2 * ROUNDS {
+        violations.push(format!(
+            "async: ping-pong completed {r} of {} rounds",
+            2 * ROUNDS
+        ));
+    }
+    checksum.rotate_left(7) ^ r
 }
 
 /// Deadline torture: increment a counter under a lock while a seed-derived
@@ -309,7 +437,7 @@ fn torture_deadline(sys: &Arc<TmSystem>, cfg: &TortureConfig, violations: &mut V
         for i in 0..ops {
             if rng.below(4) == 0 {
                 let hints = TxHints::new().with_deadline(Duration::ZERO);
-                match th.try_critical_with(lock, hints, |ctx| {
+                match th.tx(lock).hints(hints).try_run(|ctx| {
                     let v = ctx.read(cell)?;
                     ctx.write(cell, v + 1)?;
                     Ok(())
@@ -323,7 +451,7 @@ fn torture_deadline(sys: &Arc<TmSystem>, cfg: &TortureConfig, violations: &mut V
                     )),
                 }
             } else {
-                th.critical(lock, |ctx| {
+                th.tx(lock).run(|ctx| {
                     let v = ctx.read(cell)?;
                     ctx.write(cell, v + 1)?;
                     Ok(())
@@ -445,7 +573,7 @@ fn torture_flips(
                 sys.set_lock_mode(&lock, schedule[flipped]);
                 flipped += 1;
             }
-            th.critical(&lock, |ctx| {
+            th.tx(&lock).run(|ctx| {
                 let v = ctx.read(&*cell)?;
                 ctx.write(&*cell, v + 1)?;
                 Ok(())
@@ -464,7 +592,7 @@ fn torture_flips(
                     fault::set_lane(w as u64);
                     let th = sys.register();
                     for _ in 0..ops {
-                        th.critical(&lock, |ctx| {
+                        th.tx(&lock).run(|ctx| {
                             let v = ctx.read(&*cell)?;
                             ctx.write(&*cell, v + 1)?;
                             Ok(())
@@ -713,6 +841,7 @@ mod tests {
             watchdog_trips: 0,
             switches: Vec::new(),
             deadline_expiries: 0,
+            async_checksum: 0,
         };
         let key = report.repro_key();
         for c in AbortCause::ALL {

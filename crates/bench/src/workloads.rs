@@ -626,7 +626,7 @@ mod tests {
             let c1 = Padded(TCell::new(0u64));
             let c2 = Padded(TCell::new(0u64));
             let th = sys.register();
-            th.critical(&lock, |ctx| {
+            th.tx(&lock).run(|ctx| {
                 if want == AbortCause::Unsafe {
                     ctx.unsafe_op()?;
                 }
@@ -689,7 +689,7 @@ mod tests {
         let cell = Padded(TCell::new(0u64));
         let th = sys.register();
         for _ in 0..4 {
-            th.critical(&lock, |ctx| {
+            th.tx(&lock).run(|ctx| {
                 let v = ctx.read(&*cell)?;
                 ctx.write(&*cell, v + 1)?;
                 Ok(())

@@ -26,6 +26,9 @@ fn tiny() -> EmitConfig {
         pbzip_kib: 8,
         trials: 1,
         apps: false,
+        sessions_curve: &[16, 48],
+        session_requests: 4,
+        session_think_ns: 50_000,
     }
 }
 
@@ -76,6 +79,30 @@ fn repeated_emits_are_deterministic_modulo_timing() {
     assert!(self_cmp.regressions.is_empty());
     assert!(self_cmp.improvements.is_empty());
     assert!(self_cmp.compared >= 5, "expected all fig5 runs compared");
+}
+
+#[test]
+fn emitted_session_curve_pairs_async_against_threads() {
+    let report = emit_serialized(&tiny());
+    let runs = report.get("runs").and_then(Json::as_arr).unwrap();
+    let session_runs: Vec<&Json> = runs
+        .iter()
+        .filter(|r| r.get("figure").and_then(Json::as_str) == Some("kv-sessions"))
+        .collect();
+    // One async + one thread-per-session run per curve point.
+    assert_eq!(session_runs.len(), 2 * tiny().sessions_curve.len());
+    for (i, &sessions) in tiny().sessions_curve.iter().enumerate() {
+        let pair = &session_runs[2 * i..2 * i + 2];
+        let mix = format!("s{sessions}");
+        let offered = sessions as u64 * tiny().session_requests;
+        for (run, policy) in pair.iter().zip(["async-w8", "threads"]) {
+            assert_eq!(run.get("mix").and_then(Json::as_str), Some(mix.as_str()));
+            assert_eq!(run.get("policy").and_then(Json::as_str), Some(policy));
+            let reqs = run.get("measured").and_then(|m| m.get("requests")).unwrap();
+            assert_eq!(reqs.get("offered").and_then(Json::as_u64), Some(offered));
+            assert_eq!(reqs.get("completed").and_then(Json::as_u64), Some(offered));
+        }
+    }
 }
 
 #[test]

@@ -99,4 +99,39 @@ fn same_seed_reproduces_counts_and_traces() {
         dk1.contains(";deadline:"),
         "repro key must fold the expiry tally in: {dk1}"
     );
+
+    // Async hazard: the same fault schedule driven through the waker path
+    // (run_async attempts, suspended condvar waits, yield-based backoff).
+    // With one executor worker every attempt serializes and the phase is
+    // timer-free, so the whole run — per-cause aborts under HTM fault
+    // injection included — must replay byte-for-byte, and the key must
+    // carry the phase checksum.
+    let run_async_phase = |seed: u64, mode: AlgoMode| -> String {
+        trace::clear();
+        let cfg = TortureConfig {
+            async_exec: true,
+            ops_per_worker: OPS_PER_WORKER,
+            ..TortureConfig::repro(seed, mode)
+        };
+        let report = run_torture(&cfg);
+        assert!(
+            report.ok(),
+            "oracle violations under async seed {seed:#x} {mode:?}: {:?}",
+            report.violations
+        );
+        assert_ne!(
+            report.async_checksum, 0,
+            "async phase must record a checksum"
+        );
+        report.repro_key()
+    };
+    for mode in [AlgoMode::HtmCondvar, AlgoMode::StmCondvar] {
+        let yk1 = run_async_phase(0x7047, mode);
+        let yk2 = run_async_phase(0x7047, mode);
+        assert_eq!(yk1, yk2, "[{mode:?}] async phase must replay exactly");
+        assert!(
+            yk1.contains(";async:"),
+            "repro key must fold the async checksum in: {yk1}"
+        );
+    }
 }

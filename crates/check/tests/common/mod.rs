@@ -10,11 +10,79 @@
 // subset of the builders.
 #![allow(dead_code)]
 
-use std::sync::Arc;
+use std::future::Future;
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+use tle_base::sched::{self, YieldPoint};
 use tle_base::TCell;
 use tle_check::Scenario;
 use tle_core::{AlgoMode, ElidableMutex, TmSystem, TxCondvar};
 use tle_stm::StmAlgo;
+
+/// The waker behind [`block_on_manual`]: a woken flag plus a condvar so the
+/// polling vthread can park (OS-level) between true suspensions.
+struct FlagSignal {
+    woken: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Wake for FlagSignal {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        let mut woken = self.woken.lock().unwrap_or_else(|e| e.into_inner());
+        *woken = true;
+        self.cv.notify_one();
+    }
+}
+
+/// Drive an async critical section to completion *inside a vthread*, with
+/// no executor: the scenario thread polls the future itself, so every
+/// suspension and every waker delivery happens under the explorer's
+/// schedule control.
+///
+/// Two kinds of `Pending` are distinguished through the flag waker:
+///
+/// - **hot re-polls** (the waker already fired — `yield_now` backoff,
+///   degraded no-executor timer sleeps) rotate the token with
+///   `spin_hint(Park)` so co-scheduled vthreads run between polls, and an
+///   OS yield bounds the hot-loop rate well under the livelock bound;
+/// - **true suspensions** (a parked condvar waiter armed its waker and
+///   nobody has signalled yet) leave the runnable set through
+///   `block_enter`/`block_exit`, exactly like a kernel OS park — so a lost
+///   wakeup freezes the step counter and the explorer declares the
+///   schedule dead.
+pub fn block_on_manual<F: Future>(fut: F) -> F::Output {
+    let signal = Arc::new(FlagSignal {
+        woken: Mutex::new(false),
+        cv: Condvar::new(),
+    });
+    let waker = Waker::from(Arc::clone(&signal));
+    let mut cx = Context::from_waker(&waker);
+    let mut fut = std::pin::pin!(fut);
+    loop {
+        if let Poll::Ready(v) = fut.as_mut().poll(&mut cx) {
+            return v;
+        }
+        let mut woken = signal.woken.lock().unwrap_or_else(|e| e.into_inner());
+        if *woken {
+            *woken = false;
+            drop(woken);
+            sched::spin_hint(YieldPoint::Park);
+            std::thread::yield_now();
+        } else {
+            sched::block_enter();
+            while !*woken {
+                woken = signal.cv.wait(woken).unwrap_or_else(|e| e.into_inner());
+            }
+            *woken = false;
+            drop(woken);
+            sched::block_exit();
+        }
+    }
+}
 
 /// The all-cells-equal snapshot invariant from `tests/opacity.rs`, shrunk
 /// to model-checking size: every thread repeatedly asserts all cells equal
@@ -43,7 +111,7 @@ pub fn snapshot_scenario(
         tvec.push(Box::new(move || {
             let th = sys.register();
             for _ in 0..ops {
-                th.critical(&lock, |ctx| {
+                th.tx(&lock).run(|ctx| {
                     let first = ctx.read(&cells[0])?;
                     for c in cells.iter().skip(1) {
                         let v = ctx.read(c)?;
@@ -101,7 +169,7 @@ pub fn handoff_scenario(mode: AlgoMode, algo: StmAlgo) -> Scenario {
         let seen = Arc::clone(&seen);
         Box::new(move || {
             let th = sys.register();
-            let got = th.critical(&lock, |ctx| {
+            let got = th.tx(&lock).run(|ctx| {
                 if ctx.read(&*flag)? == 0 {
                     return ctx.wait(&cv, None).map(|_| 0);
                 }
@@ -120,7 +188,7 @@ pub fn handoff_scenario(mode: AlgoMode, algo: StmAlgo) -> Scenario {
         let value = Arc::clone(&value);
         Box::new(move || {
             let th = sys.register();
-            th.critical(&lock, |ctx| {
+            th.tx(&lock).run(|ctx| {
                 ctx.write(&*value, 55u64)?;
                 ctx.write(&*flag, 1u64)?;
                 ctx.signal(&cv)?;
@@ -134,6 +202,98 @@ pub fn handoff_scenario(mode: AlgoMode, algo: StmAlgo) -> Scenario {
         // Consumer first: the default (rank-0) schedule parks it before the
         // producer runs, exercising the commit-then-block path on the very
         // first schedule.
+        threads: vec![consumer, producer],
+        init,
+        post: Box::new(move |_| {
+            let v = post_seen.load_direct();
+            if v != 55 {
+                return Err(format!("consumer recorded {v}, expected 55"));
+            }
+            Ok(())
+        }),
+    }
+}
+
+/// The handoff scenario with either side (or both) driven through the async
+/// waker path under [`block_on_manual`]. A sync producer signalling an async
+/// consumer exercises waker delivery from the condvar-notify path; an async
+/// producer waking a sync waiter exercises the reverse; both-async covers
+/// the executor-shaped end-to-end flow. A lost or misdelivered waker shows
+/// up as a deadlock, a torn handoff as an opacity violation.
+pub fn handoff_scenario_async(
+    mode: AlgoMode,
+    algo: StmAlgo,
+    async_consumer: bool,
+    async_producer: bool,
+) -> Scenario {
+    let sys = Arc::new(TmSystem::new(mode));
+    sys.set_stm_algo(algo);
+    let lock = Arc::new(ElidableMutex::new("check-handoff-async"));
+    let cv = Arc::new(TxCondvar::new());
+    let flag = Arc::new(TCell::new(0u64));
+    let value = Arc::new(TCell::new(0u64));
+    let seen = Arc::new(TCell::new(0u64));
+    let init = vec![(flag.addr(), 0), (value.addr(), 0), (seen.addr(), 0)];
+
+    let consumer: Box<dyn FnOnce() + Send> = {
+        let sys = Arc::clone(&sys);
+        let lock = Arc::clone(&lock);
+        let cv = Arc::clone(&cv);
+        let flag = Arc::clone(&flag);
+        let value = Arc::clone(&value);
+        let seen = Arc::clone(&seen);
+        Box::new(move || {
+            let th = sys.register();
+            let got = if async_consumer {
+                block_on_manual(th.tx(&lock).run_async(|ctx| {
+                    if ctx.read(&*flag)? == 0 {
+                        return ctx.wait(&cv, None).map(|_| 0);
+                    }
+                    let v = ctx.read(&*value)?;
+                    ctx.write(&*seen, v)?;
+                    Ok(v)
+                }))
+            } else {
+                th.tx(&lock).run(|ctx| {
+                    if ctx.read(&*flag)? == 0 {
+                        return ctx.wait(&cv, None).map(|_| 0);
+                    }
+                    let v = ctx.read(&*value)?;
+                    ctx.write(&*seen, v)?;
+                    Ok(v)
+                })
+            };
+            assert_eq!(got, 55, "consumer woke before the handoff under {mode:?}");
+        })
+    };
+    let producer: Box<dyn FnOnce() + Send> = {
+        let sys = Arc::clone(&sys);
+        let lock = Arc::clone(&lock);
+        let cv = Arc::clone(&cv);
+        let flag = Arc::clone(&flag);
+        let value = Arc::clone(&value);
+        Box::new(move || {
+            let th = sys.register();
+            if async_producer {
+                block_on_manual(th.tx(&lock).run_async(|ctx| {
+                    ctx.write(&*value, 55u64)?;
+                    ctx.write(&*flag, 1u64)?;
+                    ctx.signal(&cv)?;
+                    Ok(())
+                }));
+            } else {
+                th.tx(&lock).run(|ctx| {
+                    ctx.write(&*value, 55u64)?;
+                    ctx.write(&*flag, 1u64)?;
+                    ctx.signal(&cv)?;
+                    Ok(())
+                });
+            }
+        })
+    };
+
+    let post_seen = Arc::clone(&seen);
+    Scenario {
         threads: vec![consumer, producer],
         init,
         post: Box::new(move |_| {

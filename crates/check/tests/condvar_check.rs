@@ -85,7 +85,7 @@ fn timed_handoff(mode: AlgoMode, signal: bool) -> Scenario {
         let seen = Arc::clone(&seen);
         Box::new(move || {
             let th = sys.register();
-            let got = th.critical(&lock, |ctx| {
+            let got = th.tx(&lock).run(|ctx| {
                 if ctx.read(&*flag)? == 0 {
                     // Short timeout: the producer runs while we are parked,
                     // so a timed-out retry re-reads the flag as set.
@@ -106,7 +106,7 @@ fn timed_handoff(mode: AlgoMode, signal: bool) -> Scenario {
         let value = Arc::clone(&value);
         Box::new(move || {
             let th = sys.register();
-            th.critical(&lock, |ctx| {
+            th.tx(&lock).run(|ctx| {
                 ctx.write(&*value, 55u64)?;
                 ctx.write(&*flag, 1u64)?;
                 if signal {
@@ -182,7 +182,7 @@ fn aborted_signaller(mode: AlgoMode) -> Scenario {
         let seen = Arc::clone(&seen);
         Box::new(move || {
             let th = sys.register();
-            let got = th.critical(&lock, |ctx| {
+            let got = th.tx(&lock).run(|ctx| {
                 if ctx.read(&*flag)? == 0 {
                     return ctx.wait(&cv, None).map(|_| 0);
                 }
@@ -202,7 +202,7 @@ fn aborted_signaller(mode: AlgoMode) -> Scenario {
         Box::new(move || {
             let th = sys.register();
             let mut cancelled = false;
-            th.critical(&lock, |ctx| {
+            th.tx(&lock).run(|ctx| {
                 ctx.write(&*value, 55u64)?;
                 ctx.write(&*flag, 1u64)?;
                 ctx.signal(&cv)?;

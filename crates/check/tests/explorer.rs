@@ -123,8 +123,8 @@ fn racy_two_step() -> Scenario {
         let cell = Arc::clone(&cell);
         threads.push(Box::new(move || {
             let th = sys.register();
-            let v = th.critical(&lock, |ctx| ctx.read(&*cell));
-            th.critical(&lock, |ctx| ctx.write(&*cell, v + 1));
+            let v = th.tx(&lock).run(|ctx| ctx.read(&*cell));
+            th.tx(&lock).run(|ctx| ctx.write(&*cell, v + 1));
         }));
     }
     let post_cell = Arc::clone(&cell);

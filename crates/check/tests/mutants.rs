@@ -55,7 +55,7 @@ fn stale_read_scenario() -> Scenario {
         let (a, c) = (Arc::clone(&a), Arc::clone(&c));
         Box::new(move || {
             let th = sys.register();
-            th.critical(&lock, |ctx| {
+            th.tx(&lock).run(|ctx| {
                 let va = ctx.read(&*a)?;
                 ctx.write(&*c, va + 1)?;
                 Ok(())
@@ -67,7 +67,7 @@ fn stale_read_scenario() -> Scenario {
         let a = Arc::clone(&a);
         Box::new(move || {
             let th = sys.register();
-            th.critical(&lock, |ctx| ctx.write(&*a, 1u64));
+            th.tx(&lock).run(|ctx| ctx.write(&*a, 1u64));
         })
     };
     Scenario {
@@ -95,7 +95,7 @@ fn privatization_scenario() -> Scenario {
         let (flag, x) = (Arc::clone(&flag), Arc::clone(&x));
         Box::new(move || {
             let th = sys.register();
-            th.critical(&lock, |ctx| {
+            th.tx(&lock).run(|ctx| {
                 if ctx.read(&*flag)? == 0 {
                     ctx.write(&*x, 42u64)?;
                 }
@@ -108,7 +108,7 @@ fn privatization_scenario() -> Scenario {
         let (flag, x) = (Arc::clone(&flag), Arc::clone(&x));
         Box::new(move || {
             let th = sys.register();
-            th.critical(&lock, |ctx| ctx.write(&*flag, 1u64));
+            th.tx(&lock).run(|ctx| ctx.write(&*flag, 1u64));
             // Privatized: the committed flag write plus the quiescence
             // drain make X ours alone; no transaction needed.
             x.store_direct(7);
@@ -149,7 +149,7 @@ fn dirty_read_scenario() -> Scenario {
         Box::new(move || {
             let th = sys.register();
             let mut cancelled = false;
-            th.critical(&lock, |ctx| {
+            th.tx(&lock).run(|ctx| {
                 ctx.write(&*x, 42u64)?;
                 if !cancelled {
                     cancelled = true;
@@ -164,7 +164,7 @@ fn dirty_read_scenario() -> Scenario {
         let x = Arc::clone(&x);
         Box::new(move || {
             let th = sys.register();
-            let _ = th.critical(&lock, |ctx| ctx.read(&*x));
+            let _ = th.tx(&lock).run(|ctx| ctx.read(&*x));
         })
     };
     Scenario {
@@ -190,7 +190,7 @@ fn htm_torn_pair_scenario() -> Scenario {
         let (a, b) = (Arc::clone(&a), Arc::clone(&b));
         Box::new(move || {
             let th = sys.register();
-            th.critical(&lock, |ctx| {
+            th.tx(&lock).run(|ctx| {
                 let va = ctx.read(&*a)?;
                 let vb = ctx.read(&*b)?;
                 assert_eq!(va, vb, "torn snapshot: doomed reader kept going");
@@ -203,7 +203,7 @@ fn htm_torn_pair_scenario() -> Scenario {
         let (a, b) = (Arc::clone(&a), Arc::clone(&b));
         Box::new(move || {
             let th = sys.register();
-            th.critical(&lock, |ctx| {
+            th.tx(&lock).run(|ctx| {
                 ctx.write(&*a, 1u64)?;
                 ctx.write(&*b, 1u64)?;
                 Ok(())
@@ -289,6 +289,43 @@ fn catches_early_orec_release() {
 #[test]
 fn catches_lost_signal() {
     detects(Mutant::LostSignal);
+}
+
+/// The same lost-wakeup bug hunted through the *waker path*: the mutant
+/// suppresses the task-waker delivery along with the condvar notify, so an
+/// async consumer suspended under `block_on_manual` never re-polls and the
+/// explorer's step counter freezes — proving the async suites would catch
+/// a real lost waker, not just the sync park variant.
+#[test]
+fn catches_lost_signal_async() {
+    let factory =
+        || common::handoff_scenario_async(AlgoMode::StmCondvar, StmAlgo::MlWt, true, true);
+    let mut cfg = Config::dfs(2, 60);
+    cfg.stall_timeout = Duration::from_millis(800);
+
+    let (token, kind) = {
+        let _armed = Armed::new(Mutant::LostSignal);
+        let report = explore(&cfg, factory);
+        let (token, kind) = report.expect_failure();
+        println!(
+            "mutant LostSignal (async): caught by schedule {token} after {} schedules: {kind}",
+            report.schedules
+        );
+        let replayed = replay(&token, factory(), cfg.stall_timeout);
+        assert!(
+            replayed.is_some(),
+            "mutant LostSignal (async): schedule {token} did not reproduce on replay"
+        );
+        (token, kind)
+    }; // disarmed here, even if the asserts above panic
+
+    let clean = explore(&cfg, factory);
+    if let Some((clean_token, clean_kind)) = &clean.failure {
+        panic!(
+            "unmutated async waker path failed at {clean_token}: {clean_kind} \
+             (mutant run failed at {token}: {kind})"
+        );
+    }
 }
 
 #[test]

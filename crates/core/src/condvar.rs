@@ -34,16 +34,30 @@ use tle_base::{AbortCause, TCell};
 /// slack.
 const RING: usize = 256;
 
-/// A waiter's private wakeup channel.
+/// The state behind a waiter's private channel: the signalled flag plus an
+/// optional task waker armed by the async wait path. Both live under one
+/// mutex so a notify can never slip between an async waiter checking the
+/// flag and parking its waker.
+struct WaitState {
+    signaled: bool,
+    waker: Option<std::task::Waker>,
+}
+
+/// A waiter's private wakeup channel. Sync waits park on the condvar
+/// ([`Waiter::wait`]); async waits poll the flag and re-arm a waker
+/// ([`Waiter::poll_signaled`]). A single notify serves both.
 pub(crate) struct Waiter {
-    state: Mutex<bool>,
+    state: Mutex<WaitState>,
     cv: Condvar,
 }
 
 impl Waiter {
     pub(crate) fn new() -> Self {
         Waiter {
-            state: Mutex::new(false),
+            state: Mutex::new(WaitState {
+                signaled: false,
+                waker: None,
+            }),
             cv: Condvar::new(),
         }
     }
@@ -65,13 +79,41 @@ impl Waiter {
         sched::yield_point(YieldPoint::Notify);
         // Seeded bug: the committed dequeue happened, but the wakeup is
         // dropped on the floor — the waiter sleeps forever (or until its
-        // timeout, turning a signal into a spurious-looking timeout).
+        // timeout, turning a signal into a spurious-looking timeout). The
+        // waker delivery is suppressed along with the condvar notify so the
+        // async path sees the same bug.
         if mutant::armed(Mutant::LostSignal) {
             return;
         }
+        let waker = {
+            let mut s = self.state.lock();
+            s.signaled = true;
+            self.cv.notify_one();
+            s.waker.take()
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+
+    /// Async wait step: `Ready(())` once notified, else park the task waker
+    /// under the same lock that guards the flag (so a concurrent
+    /// [`notify`](Self::notify) either sees the waker or has already set the
+    /// flag for the recheck).
+    pub(crate) fn poll_signaled(&self, cx: &mut std::task::Context<'_>) -> std::task::Poll<()> {
         let mut s = self.state.lock();
-        *s = true;
-        self.cv.notify_one();
+        if s.signaled {
+            std::task::Poll::Ready(())
+        } else {
+            s.waker = Some(cx.waker().clone());
+            std::task::Poll::Pending
+        }
+    }
+
+    /// Non-blocking check (async timeout path: distinguishes "signalled
+    /// while cancelling" from a clean timeout).
+    pub(crate) fn is_signaled(&self) -> bool {
+        self.state.lock().signaled
     }
 
     /// Block until notified; returns `true` if notified, `false` on timeout.
@@ -97,7 +139,7 @@ impl Waiter {
             let mut s = self.state.lock();
             match timeout {
                 None => {
-                    while !*s {
+                    while !s.signaled {
                         if spurious {
                             spurious = false; // wait() "returned" without a notify
                             continue;
@@ -109,13 +151,13 @@ impl Waiter {
                 Some(d) => {
                     let deadline = std::time::Instant::now() + d;
                     let mut woke = true;
-                    while !*s {
+                    while !s.signaled {
                         if spurious {
                             spurious = false;
                             continue;
                         }
                         if self.cv.wait_until(&mut s, deadline).timed_out() {
-                            woke = *s;
+                            woke = s.signaled;
                             break;
                         }
                     }
@@ -327,5 +369,32 @@ mod tests {
         w.notify();
         w.notify();
         assert!(w.wait(None));
+    }
+
+    #[test]
+    fn poll_signaled_arms_waker_and_wakes_on_notify() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::task::{Context, Poll, Wake, Waker};
+
+        struct CountWake(AtomicUsize);
+        impl Wake for CountWake {
+            fn wake(self: Arc<Self>) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let w = Waiter::new();
+        let counter = Arc::new(CountWake(AtomicUsize::new(0)));
+        let waker = Waker::from(Arc::clone(&counter));
+        let mut cx = Context::from_waker(&waker);
+        assert_eq!(w.poll_signaled(&mut cx), Poll::Pending);
+        assert!(!w.is_signaled());
+        w.notify();
+        assert_eq!(counter.0.load(Ordering::SeqCst), 1, "waker must fire");
+        assert!(w.is_signaled());
+        assert_eq!(w.poll_signaled(&mut cx), Poll::Ready(()));
+        // Notify after the waker was consumed stays idempotent.
+        w.notify();
+        assert_eq!(counter.0.load(Ordering::SeqCst), 1);
     }
 }

@@ -81,6 +81,11 @@ pub struct TxCtx<'a> {
     /// Absolute expiry of the section's retry-time budget
     /// ([`crate::TxHints::with_deadline`]); `None` when unbounded.
     pub(crate) deadline: Option<Instant>,
+    /// Set by the async runner: waits must produce a pollable registration
+    /// instead of relying on OS parking. Only the baseline path behaves
+    /// differently (it enqueues into the transactional ring — safe under
+    /// the held mutex — rather than using the native condvar channel).
+    pub(crate) async_waits: bool,
 }
 
 impl<'a> TxCtx<'a> {
@@ -90,6 +95,7 @@ impl<'a> TxCtx<'a> {
             defers: Vec::new(),
             pending_wait: None,
             deadline: None,
+            async_waits: false,
         }
     }
 
@@ -227,19 +233,20 @@ impl<'a> TxCtx<'a> {
     /// can never sleep past its transaction's deadline.
     pub fn wait(&mut self, cv: &'a TxCondvar, timeout: Option<Duration>) -> Result<(), TxError> {
         let timeout = self.clamp_to_deadline(timeout);
-        match &mut self.kind {
-            CtxKind::Locked { .. } => {
-                self.pending_wait = Some(PendingWait {
-                    waiter: None,
-                    raw: std::ptr::null(),
-                    cv,
-                    timeout,
-                });
-                Err(TxError::Wait)
-            }
+        // Async baseline sections cannot use the native condvar channel
+        // (parking would stall an executor worker); they enqueue into the
+        // transactional ring instead — direct ring access is safe under the
+        // held mutex, exactly as in [`signal`](Self::signal) — and the
+        // runner awaits the waiter's waker.
+        let ring_wait = match &self.kind {
+            CtxKind::Locked { .. } => self.async_waits,
             CtxKind::Stm {
                 spin_waits: true, ..
-            } => {
+            } => false,
+            CtxKind::Stm { .. } | CtxKind::Htm { .. } | CtxKind::Serial => true,
+        };
+        match &mut self.kind {
+            _ if !ring_wait => {
                 self.pending_wait = Some(PendingWait {
                     waiter: None,
                     raw: std::ptr::null(),
@@ -248,7 +255,10 @@ impl<'a> TxCtx<'a> {
                 });
                 Err(TxError::Wait)
             }
-            CtxKind::Stm { .. } | CtxKind::Htm { .. } | CtxKind::Serial => {
+            CtxKind::Locked { .. }
+            | CtxKind::Stm { .. }
+            | CtxKind::Htm { .. }
+            | CtxKind::Serial => {
                 let waiter = Arc::new(Waiter::new());
                 let raw = Arc::into_raw(Arc::clone(&waiter));
                 if let Err(cause) = cv.enqueue(self, raw) {

@@ -29,6 +29,7 @@ mod ctx;
 mod domain;
 mod elide;
 mod runner;
+mod runner_async;
 mod system;
 
 pub use condvar::TxCondvar;
@@ -40,7 +41,7 @@ pub use domain::{
 pub use elide::ElidableMutex;
 pub use system::{
     AlgoMode, ControllerHandle, DomainStats, InvalidAlgoMode, ParseAlgoModeError, ThreadHandle,
-    TlePolicy, TmSystem, TmSystemBuilder, TxHints,
+    TlePolicy, TmSystem, TmSystemBuilder, TxHints, TxRequest,
 };
 
 /// Convenience result type for transactional closures.
@@ -77,7 +78,7 @@ mod tests {
                     std::thread::spawn(move || {
                         let th = sys.register();
                         for _ in 0..OPS {
-                            th.critical(&lock, |ctx| {
+                            th.tx(&lock).run(|ctx| {
                                 let v = ctx.read(&*cell)?;
                                 ctx.write(&*cell, v + 1)?;
                                 Ok(())
@@ -117,7 +118,7 @@ mod tests {
                             let from = rng.below(16) as usize;
                             let to = rng.below(16) as usize;
                             let amt = rng.below(10) as i64;
-                            th.critical(&lock, |ctx| {
+                            th.tx(&lock).run(|ctx| {
                                 let f = ctx.read(&accounts[from])?;
                                 let tv = ctx.read(&accounts[to])?;
                                 if from != to {
@@ -147,7 +148,7 @@ mod tests {
             let hits = Arc::new(std::sync::atomic::AtomicUsize::new(0));
             for _ in 0..10 {
                 let hits2 = Arc::clone(&hits);
-                th.critical(&lock, move |ctx| {
+                th.tx(&lock).run(move |ctx| {
                     let hits3 = Arc::clone(&hits2);
                     ctx.defer(move || {
                         hits3.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
@@ -170,7 +171,7 @@ mod tests {
             let lock = ElidableMutex::new("io");
             let th = sys.register();
             let cell = TCell::new(0u64);
-            let out = th.critical(&lock, |ctx| {
+            let out = th.tx(&lock).run(|ctx| {
                 ctx.unsafe_op()?; // e.g. logging while locked
                 let v = ctx.read(&cell)?;
                 ctx.write(&cell, v + 1)?;
@@ -202,7 +203,7 @@ mod tests {
                 let value = Arc::clone(&value);
                 std::thread::spawn(move || {
                     let th = sys.register();
-                    th.critical(&lock, |ctx| {
+                    th.tx(&lock).run(|ctx| {
                         if ctx.read(&*flag)? == 0 {
                             return ctx.wait(&cv, None).map(|_| 0);
                         }
@@ -213,7 +214,7 @@ mod tests {
 
             std::thread::sleep(std::time::Duration::from_millis(30));
             let th = sys.register();
-            th.critical(&lock, |ctx| {
+            th.tx(&lock).run(|ctx| {
                 ctx.write(&*value, 55u64)?;
                 ctx.write(&*flag, 1u64)?;
                 ctx.signal(&cv)?;
@@ -242,7 +243,7 @@ mod tests {
             let lock = ElidableMutex::new("hinted");
             let cell = TCell::new(0u64);
             for _ in 0..500 {
-                th.critical_with(&lock, hints, |ctx| {
+                th.tx(&lock).hints(hints).run(|ctx| {
                     ctx.update(&cell, |v| v + 1)?;
                     Ok(())
                 });
@@ -278,7 +279,7 @@ mod tests {
                     std::thread::spawn(move || {
                         let th = sys.register();
                         for _ in 0..1_000 {
-                            th.critical(&lock, |ctx| {
+                            th.tx(&lock).run(|ctx| {
                                 ctx.update(&*cell, |v| v + 1)?;
                                 Ok(())
                             });
@@ -312,7 +313,7 @@ mod tests {
             let flag = Arc::clone(&flag);
             std::thread::spawn(move || {
                 let th = sys.register();
-                th.critical(&lock, |ctx| {
+                th.tx(&lock).run(|ctx| {
                     if !ctx.read(&*flag)? {
                         return ctx.wait(&cv, None);
                     }
@@ -322,7 +323,7 @@ mod tests {
         };
         std::thread::sleep(std::time::Duration::from_millis(20));
         let th = sys.register();
-        th.critical(&lock, |ctx| {
+        th.tx(&lock).run(|ctx| {
             ctx.write(&*flag, true)?;
             ctx.signal(&cv)?;
             Ok(())
@@ -343,7 +344,7 @@ mod tests {
                 std::thread::spawn(move || {
                     let th = sys.register();
                     for _ in 0..2_000 {
-                        th.critical(&lock, |ctx| {
+                        th.tx(&lock).run(|ctx| {
                             ctx.update(&*cell, |v| v + 1)?;
                             Ok(())
                         });
@@ -388,7 +389,7 @@ mod tests {
                 std::thread::spawn(move || {
                     let th = sys.register();
                     for _ in 0..3_000 {
-                        th.critical(&lock, |ctx| {
+                        th.tx(&lock).run(|ctx| {
                             let va = ctx.read(&*a)?;
                             let vb = ctx.read(&*b)?;
                             assert_eq!(va, vb, "torn state: elision raced the lock path");
@@ -426,7 +427,7 @@ mod tests {
         let th = sys.register();
         let lock = ElidableMutex::new("hopeless");
         let cell = TCell::new(0u64);
-        th.critical(&lock, |ctx| {
+        th.tx(&lock).run(|ctx| {
             ctx.update(&cell, |v| v + 1)?;
             Ok(())
         });
@@ -437,7 +438,7 @@ mod tests {
         );
         // The next sections go straight to the lock path (credits consumed).
         let before = lock.skip_credits();
-        th.critical(&lock, |ctx| {
+        th.tx(&lock).run(|ctx| {
             ctx.update(&cell, |v| v + 1)?;
             Ok(())
         });
@@ -457,7 +458,7 @@ mod tests {
             let flag = Arc::clone(&flag);
             std::thread::spawn(move || {
                 let th = sys.register();
-                th.critical(&lock, |ctx| {
+                th.tx(&lock).run(|ctx| {
                     if !ctx.read(&*flag)? {
                         return ctx.wait(&cv, None);
                     }
@@ -467,7 +468,7 @@ mod tests {
         };
         std::thread::sleep(std::time::Duration::from_millis(20));
         let th = sys.register();
-        th.critical(&lock, |ctx| {
+        th.tx(&lock).run(|ctx| {
             ctx.write(&*flag, true)?;
             ctx.signal(&cv)?;
             Ok(())
@@ -481,7 +482,7 @@ mod tests {
         let th = sys.register();
         let lock = ElidableMutex::new("io");
         let cell = TCell::new(0u64);
-        th.critical(&lock, |ctx| {
+        th.tx(&lock).run(|ctx| {
             ctx.unsafe_op()?;
             ctx.update(&cell, |v| v + 1)?;
             Ok(())
@@ -503,7 +504,7 @@ mod tests {
         let never = TCell::new(false);
         let mut wakes = 0u32;
         let t0 = std::time::Instant::now();
-        let r = th.critical(&lock, |ctx| {
+        let r = th.tx(&lock).run(|ctx| {
             if !ctx.read(&never)? {
                 wakes += 1;
                 if wakes > 2 {
@@ -521,7 +522,7 @@ mod tests {
         // lock; a subsequent signal round-trip must still work (no stale
         // live waiters to misdeliver to).
         let flag = Arc::new(TCell::new(false));
-        let ok = th.critical(&lock, |ctx| {
+        let ok = th.tx(&lock).run(|ctx| {
             ctx.write(&*flag, true)?;
             ctx.signal(&cv)?;
             Ok(true)

@@ -32,6 +32,7 @@ use crate::ctx::{CtxKind, PendingWait, TxCtx, TxError};
 use crate::domain::AdmissionStep;
 use crate::elide::ElidableMutex;
 use crate::system::{AlgoMode, ThreadHandle, TxHints};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 use tle_base::fault::{self, Hazard};
@@ -58,14 +59,14 @@ enum Outcome<R> {
 /// under the infallible [`run`] they instead force the serial path, which
 /// bounds retry time without inventing an error the caller cannot see.
 #[derive(Clone, Copy)]
-struct Budget {
-    deadline: Option<Instant>,
-    fallible: bool,
+pub(crate) struct Budget {
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) fallible: bool,
 }
 
 impl Budget {
     #[inline]
-    fn expired(&self) -> bool {
+    pub(crate) fn expired(&self) -> bool {
         self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 }
@@ -109,19 +110,7 @@ fn run_inner<'a, R, F>(
 where
     F: FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
 {
-    // Nested critical sections are the paper's §V problem in miniature: a
-    // transaction cannot subsume inner critical sections that communicate
-    // with other threads (and naive flattening would release the outer
-    // transaction's orecs at the inner commit). Fail loudly instead of
-    // corrupting; restructure with a ready flag (Listing 4) or merge the
-    // sections (Yoo-style coarsening).
-    assert!(
-        !th.in_critical.replace(true),
-        "nested critical sections are not supported under TLE \
-         (lock {:?}); restructure per paper §V (ready flag) or merge the sections",
-        lock.name()
-    );
-    let _reset = ResetOnDrop(&th.in_critical);
+    let _nest = NestGuard::enter(lock);
     // One critical section = one logical operation on the fault oracle's
     // lane clock (no-op load when injection is off).
     fault::tick();
@@ -303,6 +292,7 @@ where
             defers,
             pending_wait,
             deadline: _,
+            async_waits: _,
         } = ctx;
         let tx = match kind {
             CtxKind::Htm { tx } => tx,
@@ -431,6 +421,7 @@ where
         defers,
         pending_wait,
         deadline: _,
+        async_waits: _,
     } = ctx;
     // Commit event while the lock word is still held — the hold window is
     // the section's serialization interval (aborts panic below, unrecorded).
@@ -467,18 +458,52 @@ where
     }
 }
 
-/// Clears the nesting flag even if the critical section panics.
-struct ResetOnDrop<'a>(&'a std::cell::Cell<bool>);
+thread_local! {
+    /// Whether a critical-section body is executing on this OS thread.
+    /// Lives in a thread-local (not on [`ThreadHandle`], which is `Sync`
+    /// and may be shared across executor workers) because the hazard it
+    /// guards is *closure re-entry on one thread*.
+    static IN_CRITICAL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
 
-impl Drop for ResetOnDrop<'_> {
+/// Nested-section detection. Nested critical sections are the paper's §V
+/// problem in miniature: a transaction cannot subsume inner critical
+/// sections that communicate with other threads (and naive flattening would
+/// release the outer transaction's orecs at the inner commit). Fail loudly
+/// instead of corrupting; restructure with a ready flag (Listing 4) or
+/// merge the sections (Yoo-style coarsening).
+///
+/// The sync entry holds the guard across the whole dispatch; the async
+/// runner holds it only around each synchronous attempt (between attempts
+/// the task is suspended and other tasks legitimately run their own
+/// sections on this worker). Clears the flag even if the section panics.
+pub(crate) struct NestGuard {
+    _priv: (),
+}
+
+impl NestGuard {
+    pub(crate) fn enter(lock: &ElidableMutex) -> NestGuard {
+        IN_CRITICAL.with(|flag| {
+            assert!(
+                !flag.replace(true),
+                "nested critical sections are not supported under TLE \
+                 (lock {:?}); restructure per paper §V (ready flag) or merge the sections",
+                lock.name()
+            );
+        });
+        NestGuard { _priv: () }
+    }
+}
+
+impl Drop for NestGuard {
     fn drop(&mut self) {
-        self.0.set(false);
+        IN_CRITICAL.with(|flag| flag.set(false));
     }
 }
 
 /// Decrements the lock's queue-depth gauge on every exit path (commit,
 /// shed, deadline expiry, panic).
-struct QueueExitOnDrop<'a>(&'a ElidableMutex);
+pub(crate) struct QueueExitOnDrop<'a>(pub(crate) &'a ElidableMutex);
 
 impl Drop for QueueExitOnDrop<'_> {
     fn drop(&mut self) {
@@ -488,7 +513,7 @@ impl Drop for QueueExitOnDrop<'_> {
 
 /// Poisons the guarding lock if the critical section unwinds (see
 /// [`ElidableMutex::is_poisoned`]). A no-op on orderly exit.
-struct PoisonOnPanic<'a>(&'a ElidableMutex);
+pub(crate) struct PoisonOnPanic<'a>(pub(crate) &'a ElidableMutex);
 
 impl Drop for PoisonOnPanic<'_> {
     fn drop(&mut self) {
@@ -504,17 +529,22 @@ impl Drop for PoisonOnPanic<'_> {
 /// straight to the serial gate, consuming the accumulated count so the
 /// thread returns to concurrent attempts afterwards (the ladder grants a
 /// progress slot, it does not serialize the thread permanently).
-fn note_abort(th: &ThreadHandle) {
-    th.consec_aborts
-        .set(th.consec_aborts.get().saturating_add(1));
+pub(crate) fn note_abort(th: &ThreadHandle) {
+    // Saturating, not wrapping: an unbounded abort streak must keep the
+    // ladder armed rather than roll over to a clean slate.
+    let _ = th
+        .consec_aborts
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+            Some(n.saturating_add(1))
+        });
 }
 
-fn escalation_due(th: &ThreadHandle) -> bool {
-    let n = th.consec_aborts.get();
+pub(crate) fn escalation_due(th: &ThreadHandle) -> bool {
+    let n = th.consec_aborts.load(Ordering::Relaxed);
     if n < th.sys.policy().escalation_bound {
         return false;
     }
-    th.consec_aborts.set(0);
+    th.consec_aborts.store(0, Ordering::Relaxed);
     th.sys.stats.escalations.inc(th.stm_slot);
     trace::emit(TraceKind::Escalate, TxMode::Serial, None, n as u64);
     true
@@ -522,7 +552,7 @@ fn escalation_due(th: &ThreadHandle) -> bool {
 
 /// Fault oracle: should this section storm the serial gate instead of
 /// attempting to run concurrently?
-fn serial_storm_due() -> bool {
+pub(crate) fn serial_storm_due() -> bool {
     if fault::enabled() && fault::fire(Hazard::SerialStorm) {
         trace::emit(
             TraceKind::FaultInject,
@@ -569,6 +599,7 @@ where
             defers,
             pending_wait,
             deadline: _,
+            async_waits: _,
         } = ctx;
         let mut g = match kind {
             CtxKind::Locked { guard: Some(g) } => g,
@@ -689,6 +720,7 @@ where
             defers,
             pending_wait,
             deadline: _,
+            async_waits: _,
         } = ctx;
         let tx = match kind {
             CtxKind::Stm { tx, .. } => tx,
@@ -699,7 +731,7 @@ where
                 debug_assert!(pending_wait.is_none(), "wait() result must be propagated");
                 match tx.commit() {
                     Ok(info) => {
-                        th.consec_aborts.set(0);
+                        th.consec_aborts.store(0, Ordering::Relaxed);
                         lock.domain().window.record_commit(info.quiesce_wait_ns);
                         drop(token);
                         for d in defers {
@@ -716,7 +748,7 @@ where
                         backoff(
                             th.stm_slot,
                             attempts,
-                            th.consec_aborts.get(),
+                            th.consec_aborts.load(Ordering::Relaxed),
                             sys.policy().backoff_ceiling,
                         );
                     }
@@ -726,7 +758,7 @@ where
                 let pw = pending_wait.expect("Wait reported without a wait request");
                 match tx.commit() {
                     Ok(info) => {
-                        th.consec_aborts.set(0);
+                        th.consec_aborts.store(0, Ordering::Relaxed);
                         lock.domain().window.record_commit(info.quiesce_wait_ns);
                         drop(token);
                         for d in defers {
@@ -745,7 +777,7 @@ where
                         backoff(
                             th.stm_slot,
                             attempts,
-                            th.consec_aborts.get(),
+                            th.consec_aborts.load(Ordering::Relaxed),
                             sys.policy().backoff_ceiling,
                         );
                     }
@@ -779,7 +811,7 @@ where
                 backoff(
                     th.stm_slot,
                     attempts,
-                    th.consec_aborts.get(),
+                    th.consec_aborts.load(Ordering::Relaxed),
                     sys.policy().backoff_ceiling,
                 );
             }
@@ -853,6 +885,7 @@ where
             defers,
             pending_wait,
             deadline: _,
+            async_waits: _,
         } = ctx;
         let tx = match kind {
             CtxKind::Htm { tx } => tx,
@@ -863,7 +896,7 @@ where
                 debug_assert!(pending_wait.is_none(), "wait() result must be propagated");
                 match tx.commit() {
                     Ok(()) => {
-                        th.consec_aborts.set(0);
+                        th.consec_aborts.store(0, Ordering::Relaxed);
                         lock.domain().window.record_commit(0);
                         drop(token);
                         for d in defers {
@@ -880,7 +913,7 @@ where
                         backoff(
                             th.htm_slot,
                             attempts,
-                            th.consec_aborts.get(),
+                            th.consec_aborts.load(Ordering::Relaxed),
                             sys.policy().backoff_ceiling,
                         );
                     }
@@ -890,7 +923,7 @@ where
                 let pw = pending_wait.expect("Wait reported without a wait request");
                 match tx.commit() {
                     Ok(()) => {
-                        th.consec_aborts.set(0);
+                        th.consec_aborts.store(0, Ordering::Relaxed);
                         lock.domain().window.record_commit(0);
                         drop(token);
                         for d in defers {
@@ -909,7 +942,7 @@ where
                         backoff(
                             th.htm_slot,
                             attempts,
-                            th.consec_aborts.get(),
+                            th.consec_aborts.load(Ordering::Relaxed),
                             sys.policy().backoff_ceiling,
                         );
                     }
@@ -943,7 +976,7 @@ where
                 backoff(
                     th.htm_slot,
                     attempts,
-                    th.consec_aborts.get(),
+                    th.consec_aborts.load(Ordering::Relaxed),
                     sys.policy().backoff_ceiling,
                 );
             }
@@ -1002,6 +1035,7 @@ where
         defers,
         pending_wait,
         deadline: _,
+        async_waits: _,
     } = ctx;
     sys.stats.serial_fallbacks.inc(th.stm_slot);
     lock.domain().window.record_serial();
@@ -1201,7 +1235,7 @@ fn remove_waiter_excluded(
 
 /// Reclaim the queue-owned `Arc` reference of an enqueue whose transaction
 /// failed to commit (the ring write rolled back, so nothing points at it).
-fn reclaim_enqueue_ref(pw: &PendingWait<'_>) {
+pub(crate) fn reclaim_enqueue_ref(pw: &PendingWait<'_>) {
     if !pw.raw.is_null() {
         // SAFETY: see `cancel_wait`; the rolled-back enqueue published the
         // pointer nowhere.
@@ -1234,7 +1268,7 @@ fn reclaim_enqueue_ref(pw: &PendingWait<'_>) {
 ///   instead of re-sampling one fixed window, which both desynchronizes
 ///   repeat colliders faster and keeps a lucky short draw from snapping the
 ///   window back to zero. The exponential `bound` still caps the walk.
-fn backoff(salt: usize, attempts: u32, consec: u32, ceiling: u32) {
+pub(crate) fn backoff(salt: usize, attempts: u32, consec: u32, ceiling: u32) {
     use std::sync::atomic::{AtomicU64, Ordering};
     /// Decorrelates the initial states of threads spawned back-to-back.
     static THREAD_SEED: AtomicU64 = AtomicU64::new(0x9E37_79B9_7F4A_7C15);

@@ -1,0 +1,1318 @@
+//! Async mirror of the TLE execution engine (`runner`): the same
+//! attempt → retry → backoff → serialize ladder, with every blocking edge
+//! turned into a suspension point.
+//!
+//! ## Structure: synchronous attempts, asynchronous waits
+//!
+//! An atomic block never suspends mid-speculation: each *attempt* (begin →
+//! closure → commit) is a plain synchronous call that starts and finishes
+//! inside one `poll`, exactly as in the sync runner — suspending with orecs
+//! or line claims held would pin them across arbitrary scheduling delays
+//! (`tle-lint` rule R6 rejects `.await` inside atomic-block closures for
+//! the same reason). Only the edges where the sync runner would block an OS
+//! thread become `.await`s:
+//!
+//! - serial-gate entry (`Gate::enter_concurrent_async` /
+//!   `Gate::enter_serial_async`),
+//! - condvar blocks (`Waiter::poll_signaled` plus executor timers for
+//!   timed waits),
+//! - post-commit quiescence drains (`StmTx::commit_publish` splits the
+//!   commit; the returned ticket is polled one sweep per
+//!   `StmGlobal::quiesce_pass`),
+//! - inter-attempt backoff, lock-word spins, and HTM invalidation waits
+//!   (`HtmGlobal::try_invalidate` + executor yields).
+//!
+//! This split is also what makes the returned futures `Send` without extra
+//! locking: no transaction, context, or lock guard is ever live across an
+//! `.await`.
+//!
+//! ## Transient slot claims
+//!
+//! Async sections do **not** run on the handle's own STM/HTM slots: one
+//! [`ThreadHandle`] may serve thousands of concurrent logical sessions, and
+//! two simultaneous transactions publishing through one slot would corrupt
+//! the quiescence protocol (and the HTM slot state outright). Each attempt
+//! instead claims a fresh slot pair from the bounded registries
+//! ([`SlotClaim`]) and releases it as soon as the attempt — plus its
+//! quiescence drain, which scans by slot index — completes. Claims never
+//! span condvar waits, so parked sessions cannot starve runnable ones out
+//! of slots; registry exhaustion backpressures with a scheduler yield.
+//!
+//! ## Baseline mode
+//!
+//! The baseline path acquires the real mutex with `try_lock` + yield (an
+//! executor worker must never park in the OS — `tle_base::park` asserts
+//! this under the waker backend), and waits enqueue into the transactional
+//! ring under the held mutex instead of using the native condvar channel
+//! (see `TxCtx::wait`); signallers already service the ring in every mode.
+//!
+//! ## Cancellation caveat
+//!
+//! Dropping one of these futures between a committed wait registration and
+//! its wakeup abandons the ring entry, and a later signal may be consumed
+//! by the abandoned waiter. Poll async critical sections to completion (the
+//! KV session driver and all in-tree tests do); see DESIGN.md §16.
+
+use crate::condvar::{TxCondvar, Waiter};
+use crate::ctx::{CtxKind, PendingWait, TxCtx, TxError};
+use crate::domain::AdmissionStep;
+use crate::elide::ElidableMutex;
+use crate::runner::{self, Budget, NestGuard, PoisonOnPanic, QueueExitOnDrop};
+use crate::system::{AlgoMode, ThreadHandle, TmSystem, TxHints};
+use std::sync::Arc;
+use std::task::Poll;
+use std::time::{Duration, Instant};
+use tle_base::exec;
+use tle_base::fault;
+use tle_base::history;
+use tle_base::sched::{self, YieldPoint};
+use tle_base::trace::{self, TraceKind, TxMode};
+use tle_base::AbortCause;
+use tle_stm::QuiesceTicket;
+
+/// What a per-mode async runner produced (mirror of `runner::Outcome`).
+enum Outcome<R> {
+    Done(R),
+    Redispatch,
+    Expired(TxError),
+}
+
+/// Mirror of `runner::SerialOutcome`.
+enum SerialOutcome<R> {
+    Done(R),
+    Retry,
+    Redispatch,
+}
+
+/// Deferred post-commit actions carried out of a synchronous attempt.
+type Defers = Vec<Box<dyn FnOnce() + Send + 'static>>;
+
+/// A ring-entry pointer carried across `.await`s. The pointee is kept alive
+/// by the queue-owned `Arc` reference (see `TxCtx::wait`), and cancel-time
+/// ownership transfer happens inside synchronous blocks only.
+#[derive(Clone, Copy)]
+struct RawWaiter(*const Waiter);
+// SAFETY: the pointer is an `Arc`-derived reference to a `Waiter`
+// (`Send + Sync`); this wrapper only moves the *address* between workers,
+// never shares unsynchronized state.
+unsafe impl Send for RawWaiter {}
+unsafe impl Sync for RawWaiter {}
+
+/// A committed wait registration, in `Send` form (the async analogue of
+/// `PendingWait`).
+struct AsyncWait<'a> {
+    waiter: Option<Arc<Waiter>>,
+    raw: RawWaiter,
+    cv: &'a TxCondvar,
+    timeout: Option<Duration>,
+}
+
+impl<'a> AsyncWait<'a> {
+    fn from_pending(pw: PendingWait<'a>) -> Self {
+        AsyncWait {
+            waiter: pw.waiter,
+            raw: RawWaiter(pw.raw),
+            cv: pw.cv,
+            timeout: pw.timeout,
+        }
+    }
+}
+
+/// A transient STM + HTM slot pair claimed for one attempt; both slots are
+/// returned to the registries on drop.
+struct SlotClaim<'s> {
+    sys: &'s TmSystem,
+    stm: usize,
+    htm: usize,
+}
+
+impl Drop for SlotClaim<'_> {
+    fn drop(&mut self) {
+        self.sys.stm.slots.unregister_raw(self.stm);
+        self.sys.htm.slots.unregister_raw(self.htm);
+    }
+}
+
+/// Claim a slot pair, yielding to the executor while the registries are
+/// exhausted. Terminates: slots are held only across synchronous attempts
+/// and their drains, never across condvar waits, so holders always release
+/// in bounded time.
+async fn claim_slots(sys: &TmSystem) -> SlotClaim<'_> {
+    loop {
+        if let Some(stm) = sys.stm.slots.register_raw() {
+            match sys.htm.slots.register_raw() {
+                Some(htm) => return SlotClaim { sys, stm, htm },
+                None => sys.stm.slots.unregister_raw(stm),
+            }
+        }
+        exec::yield_now().await;
+    }
+}
+
+/// What one synchronous transactional attempt produced.
+enum TxStep<'a, R> {
+    /// Committed with a result; drain the ticket (if any), run defers, done.
+    Done(R, Option<QuiesceTicket>, Defers),
+    /// Committed a wait registration; drain, run defers, park, re-run.
+    Wait(AsyncWait<'a>, Option<QuiesceTicket>, Defers),
+    /// The attempt aborted; retry with backoff.
+    Abort(AbortCause),
+    /// Unsafe operation: serialize.
+    Unsafe,
+    /// The closure manufactured a runner-level error.
+    RunnerErr(TxError),
+}
+
+/// What one synchronous serial/locked body produced.
+enum SerialStep<'a, R> {
+    Done(R, Defers),
+    Wait(AsyncWait<'a>, Defers),
+}
+
+pub(crate) async fn run_async<'a, R, F>(
+    th: &'a ThreadHandle,
+    lock: &'a ElidableMutex,
+    hints: TxHints,
+    mut f: F,
+    fallible: bool,
+) -> Result<R, TxError>
+where
+    F: FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
+{
+    let f = &mut f;
+    fault::tick();
+    // Same unwind guards as the sync entry (`runner::run_inner`): poison
+    // the lock if the section panics, and keep the queue-depth gauge
+    // balanced on every exit path — including the future being dropped.
+    let _poison = PoisonOnPanic(lock);
+    lock.domain().enter_queue();
+    let _dequeue = QueueExitOnDrop(lock);
+    let budget = Budget {
+        deadline: hints.deadline.map(|d| Instant::now() + d),
+        fallible,
+    };
+    loop {
+        let epoch = lock.domain().epoch();
+        let mode = lock.resolved_mode(th.sys.mode());
+        // Admission ladder (see `runner::run_inner` for the rationale).
+        if mode.is_transactional() && mode != AlgoMode::AdaptiveHtm && th.sys.admission_enabled() {
+            let step = lock.domain().admission_step();
+            if step != AdmissionStep::Elide {
+                if fallible && step == AdmissionStep::Shed {
+                    let depth = lock.domain().queue_depth();
+                    th.sys.stats.sheds.inc(th.stm_slot);
+                    trace::emit(TraceKind::Shed, TxMode::Serial, None, depth);
+                    return Err(TxError::Overloaded);
+                }
+                trace::emit(TraceKind::Fallback, TxMode::Serial, None, 0);
+                match run_serial_async(th, lock, epoch, budget.deadline, f).await {
+                    SerialOutcome::Done(r) => return Ok(r),
+                    SerialOutcome::Retry | SerialOutcome::Redispatch => continue,
+                }
+            }
+        }
+        if budget.fallible && budget.expired() {
+            th.sys.stats.deadline_exceeded.inc(th.stm_slot);
+            trace::emit(TraceKind::DeadlineExceeded, TxMode::Serial, None, 0);
+            return Err(TxError::DeadlineExceeded);
+        }
+        let outcome = match mode {
+            AlgoMode::Baseline => run_locked_async(th, lock, epoch, budget.deadline, f).await,
+            AlgoMode::StmSpin => run_stm_async(th, lock, epoch, hints, budget, f, true).await,
+            AlgoMode::StmCondvar | AlgoMode::StmCondvarNoQuiesce => {
+                run_stm_async(th, lock, epoch, hints, budget, f, false).await
+            }
+            AlgoMode::HtmCondvar => run_htm_async(th, lock, epoch, hints, budget, f).await,
+            AlgoMode::AdaptiveHtm => run_adaptive_async(th, lock, epoch, hints, budget, f).await,
+        };
+        match outcome {
+            Outcome::Done(r) => return Ok(r),
+            Outcome::Redispatch => continue,
+            Outcome::Expired(e) => return Err(e),
+        }
+    }
+}
+
+/// Mirror of `runner::propagate_runner_error` for the async ladders.
+fn propagate_runner_error<R>(budget: Budget, e: TxError) -> Outcome<R> {
+    if budget.fallible {
+        Outcome::Expired(e)
+    } else {
+        panic!(
+            "{e:?} returned from a closure run via run_async(); \
+             use try_run_async to observe deadline/shed errors"
+        )
+    }
+}
+
+/// Drain a post-commit quiescence ticket, one slot sweep per poll; returns
+/// the measured drain wait in nanoseconds. The transaction is already
+/// published when this runs — the drain only delays *this caller* until
+/// concurrent readers of the pre-commit state are done (privatization
+/// safety), so suspending between sweeps is sound.
+async fn drain_ticket(sys: &TmSystem, mut t: QuiesceTicket) -> u64 {
+    loop {
+        if let Some(info) = sys.stm.quiesce_pass(&mut t) {
+            return info.quiesce_wait_ns;
+        }
+        exec::yield_now().await;
+    }
+}
+
+/// One synchronous STM attempt on a claimed slot (async twin of the heart
+/// of `runner::run_stm`). Nothing in here suspends.
+fn attempt_stm<'a, R, F>(
+    th: &'a ThreadHandle,
+    slot: usize,
+    lock: &'a ElidableMutex,
+    budget: Budget,
+    spin: bool,
+    f: &mut F,
+) -> TxStep<'a, R>
+where
+    F: FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
+{
+    let sys = &*th.sys;
+    let mut tx = sys.stm.begin_soft(slot);
+    if lock.is_no_quiesce() {
+        tx.no_quiesce();
+    }
+    tx.set_deadline(budget.deadline);
+    let mut ctx = TxCtx::new(CtxKind::Stm {
+        tx,
+        spin_waits: spin,
+    });
+    ctx.deadline = budget.deadline;
+    ctx.async_waits = true;
+    let res = {
+        let _nest = NestGuard::enter(lock);
+        f(&mut ctx)
+    };
+    let TxCtx {
+        kind,
+        defers,
+        pending_wait,
+        ..
+    } = ctx;
+    let tx = match kind {
+        CtxKind::Stm { tx, .. } => tx,
+        _ => unreachable!("context kind changed mid-transaction"),
+    };
+    match res {
+        Ok(r) => {
+            debug_assert!(pending_wait.is_none(), "wait() result must be propagated");
+            match tx.commit_publish() {
+                Ok((_info, ticket)) => TxStep::Done(r, ticket, defers),
+                Err(cause) => TxStep::Abort(cause),
+            }
+        }
+        Err(TxError::Wait) => {
+            let pw = pending_wait.expect("Wait reported without a wait request");
+            match tx.commit_publish() {
+                Ok((_info, ticket)) => TxStep::Wait(AsyncWait::from_pending(pw), ticket, defers),
+                Err(cause) => {
+                    runner::reclaim_enqueue_ref(&pw);
+                    TxStep::Abort(cause)
+                }
+            }
+        }
+        Err(TxError::Abort(AbortCause::Unsafe)) => {
+            tx.abort(AbortCause::Unsafe);
+            TxStep::Unsafe
+        }
+        Err(TxError::Abort(c)) => {
+            tx.abort(c);
+            if let Some(pw) = pending_wait {
+                runner::reclaim_enqueue_ref(&pw);
+            }
+            TxStep::Abort(c)
+        }
+        Err(e @ (TxError::DeadlineExceeded | TxError::Overloaded)) => {
+            tx.abort(AbortCause::Explicit);
+            if let Some(pw) = pending_wait {
+                runner::reclaim_enqueue_ref(&pw);
+            }
+            TxStep::RunnerErr(e)
+        }
+    }
+}
+
+/// One synchronous HTM attempt on a claimed slot (async twin of the heart
+/// of `runner::run_htm`).
+fn attempt_htm<'a, R, F>(
+    th: &'a ThreadHandle,
+    slot: usize,
+    lock: &'a ElidableMutex,
+    budget: Budget,
+    f: &mut F,
+) -> TxStep<'a, R>
+where
+    F: FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
+{
+    let sys = &*th.sys;
+    let tx = sys.htm.begin(slot);
+    let mut ctx = TxCtx::new(CtxKind::Htm { tx });
+    ctx.deadline = budget.deadline;
+    ctx.async_waits = true;
+    let res = {
+        let _nest = NestGuard::enter(lock);
+        f(&mut ctx)
+    };
+    let TxCtx {
+        kind,
+        defers,
+        pending_wait,
+        ..
+    } = ctx;
+    let tx = match kind {
+        CtxKind::Htm { tx } => tx,
+        _ => unreachable!("context kind changed mid-transaction"),
+    };
+    match res {
+        Ok(r) => {
+            debug_assert!(pending_wait.is_none(), "wait() result must be propagated");
+            match tx.commit() {
+                Ok(()) => TxStep::Done(r, None, defers),
+                Err(cause) => TxStep::Abort(cause),
+            }
+        }
+        Err(TxError::Wait) => {
+            let pw = pending_wait.expect("Wait reported without a wait request");
+            match tx.commit() {
+                Ok(()) => TxStep::Wait(AsyncWait::from_pending(pw), None, defers),
+                Err(cause) => {
+                    runner::reclaim_enqueue_ref(&pw);
+                    TxStep::Abort(cause)
+                }
+            }
+        }
+        Err(TxError::Abort(AbortCause::Unsafe)) => {
+            tx.abort(AbortCause::Unsafe);
+            TxStep::Unsafe
+        }
+        Err(TxError::Abort(c)) => {
+            tx.abort(c);
+            if let Some(pw) = pending_wait {
+                runner::reclaim_enqueue_ref(&pw);
+            }
+            TxStep::Abort(c)
+        }
+        Err(e @ (TxError::DeadlineExceeded | TxError::Overloaded)) => {
+            tx.abort(AbortCause::Explicit);
+            if let Some(pw) = pending_wait {
+                runner::reclaim_enqueue_ref(&pw);
+            }
+            TxStep::RunnerErr(e)
+        }
+    }
+}
+
+/// Backoff between async attempts: the sync bounded spin (short; stays
+/// inside one poll) followed by an executor yield so co-scheduled tasks —
+/// possibly including the conflicting one — get the worker.
+async fn backoff_async(salt: usize, attempts: u32, consec: u32, ceiling: u32) {
+    runner::backoff(salt, attempts, consec, ceiling);
+    exec::yield_now().await;
+}
+
+async fn run_stm_async<'a, R, F>(
+    th: &'a ThreadHandle,
+    lock: &'a ElidableMutex,
+    epoch: u64,
+    hints: TxHints,
+    budget: Budget,
+    f: &mut F,
+    spin: bool,
+) -> Outcome<R>
+where
+    F: FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
+{
+    let sys = &*th.sys;
+    let stm_retries = hints
+        .stm_retries
+        .unwrap_or_else(|| lock.domain().stm_retries(sys.policy().stm_retries));
+    let mut attempts: u32 = 0;
+    loop {
+        let deadline_up = budget.expired();
+        if deadline_up && budget.fallible {
+            sys.stats.deadline_exceeded.inc(th.stm_slot);
+            trace::emit(
+                TraceKind::DeadlineExceeded,
+                TxMode::Stm,
+                None,
+                attempts as u64,
+            );
+            return Outcome::Expired(TxError::DeadlineExceeded);
+        }
+        if attempts >= stm_retries
+            || deadline_up
+            || runner::escalation_due(th)
+            || runner::serial_storm_due()
+        {
+            trace::emit(TraceKind::Fallback, TxMode::Serial, None, attempts as u64);
+            match run_serial_async(th, lock, epoch, budget.deadline, f).await {
+                SerialOutcome::Done(r) => return Outcome::Done(r),
+                SerialOutcome::Retry => {
+                    attempts = 0;
+                    continue;
+                }
+                SerialOutcome::Redispatch => return Outcome::Redispatch,
+            }
+        }
+        let token = sys.gate.enter_concurrent_async().await;
+        if lock.domain().epoch() != epoch {
+            drop(token);
+            return Outcome::Redispatch;
+        }
+        let slots = claim_slots(sys).await;
+        let step = attempt_stm(th, slots.stm, lock, budget, spin, f);
+        match step {
+            TxStep::Done(r, ticket, defers) => {
+                let wait_ns = match ticket {
+                    Some(t) => drain_ticket(sys, t).await,
+                    None => 0,
+                };
+                th.consec_aborts
+                    .store(0, std::sync::atomic::Ordering::Relaxed);
+                lock.domain().window.record_commit(wait_ns);
+                drop(slots);
+                drop(token);
+                for d in defers {
+                    d();
+                }
+                return Outcome::Done(r);
+            }
+            TxStep::Wait(w, ticket, defers) => {
+                let wait_ns = match ticket {
+                    Some(t) => drain_ticket(sys, t).await,
+                    None => 0,
+                };
+                th.consec_aborts
+                    .store(0, std::sync::atomic::Ordering::Relaxed);
+                lock.domain().window.record_commit(wait_ns);
+                drop(slots);
+                drop(token);
+                for d in defers {
+                    d();
+                }
+                attempts = 0;
+                block_on_async(th, lock, w).await;
+            }
+            TxStep::Abort(cause) => {
+                drop(slots);
+                drop(token);
+                attempts += 1;
+                runner::note_abort(th);
+                lock.domain().window.record_abort(cause);
+                trace::emit(TraceKind::Retry, TxMode::Stm, Some(cause), attempts as u64);
+                backoff_async(
+                    th.stm_slot,
+                    attempts,
+                    th.consecutive_aborts(),
+                    sys.policy().backoff_ceiling,
+                )
+                .await;
+            }
+            TxStep::Unsafe => {
+                drop(slots);
+                drop(token);
+                trace::emit(
+                    TraceKind::Fallback,
+                    TxMode::Serial,
+                    Some(AbortCause::Unsafe),
+                    attempts as u64,
+                );
+                match run_serial_async(th, lock, epoch, budget.deadline, f).await {
+                    SerialOutcome::Done(r) => return Outcome::Done(r),
+                    SerialOutcome::Retry => attempts = 0,
+                    SerialOutcome::Redispatch => return Outcome::Redispatch,
+                }
+            }
+            TxStep::RunnerErr(e) => {
+                drop(slots);
+                drop(token);
+                return propagate_runner_error(budget, e);
+            }
+        }
+    }
+}
+
+async fn run_htm_async<'a, R, F>(
+    th: &'a ThreadHandle,
+    lock: &'a ElidableMutex,
+    epoch: u64,
+    hints: TxHints,
+    budget: Budget,
+    f: &mut F,
+) -> Outcome<R>
+where
+    F: FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
+{
+    let sys = &*th.sys;
+    let htm_retries = hints
+        .htm_retries
+        .unwrap_or_else(|| lock.domain().htm_retries(sys.policy().htm_retries));
+    let mut attempts: u32 = 0;
+    loop {
+        let deadline_up = budget.expired();
+        if deadline_up && budget.fallible {
+            sys.stats.deadline_exceeded.inc(th.stm_slot);
+            trace::emit(
+                TraceKind::DeadlineExceeded,
+                TxMode::Htm,
+                None,
+                attempts as u64,
+            );
+            return Outcome::Expired(TxError::DeadlineExceeded);
+        }
+        if attempts >= htm_retries
+            || deadline_up
+            || runner::escalation_due(th)
+            || runner::serial_storm_due()
+        {
+            trace::emit(TraceKind::Fallback, TxMode::Serial, None, attempts as u64);
+            match run_serial_async(th, lock, epoch, budget.deadline, f).await {
+                SerialOutcome::Done(r) => return Outcome::Done(r),
+                SerialOutcome::Retry => {
+                    attempts = 0;
+                    continue;
+                }
+                SerialOutcome::Redispatch => return Outcome::Redispatch,
+            }
+        }
+        let token = sys.gate.enter_concurrent_async().await;
+        if lock.domain().epoch() != epoch {
+            drop(token);
+            return Outcome::Redispatch;
+        }
+        let slots = claim_slots(sys).await;
+        let step = attempt_htm(th, slots.htm, lock, budget, f);
+        drop(slots);
+        match step {
+            TxStep::Done(r, _ticket, defers) => {
+                th.consec_aborts
+                    .store(0, std::sync::atomic::Ordering::Relaxed);
+                lock.domain().window.record_commit(0);
+                drop(token);
+                for d in defers {
+                    d();
+                }
+                return Outcome::Done(r);
+            }
+            TxStep::Wait(w, _ticket, defers) => {
+                th.consec_aborts
+                    .store(0, std::sync::atomic::Ordering::Relaxed);
+                lock.domain().window.record_commit(0);
+                drop(token);
+                for d in defers {
+                    d();
+                }
+                attempts = 0;
+                block_on_async(th, lock, w).await;
+            }
+            TxStep::Abort(cause) => {
+                drop(token);
+                attempts += 1;
+                runner::note_abort(th);
+                lock.domain().window.record_abort(cause);
+                trace::emit(TraceKind::Retry, TxMode::Htm, Some(cause), attempts as u64);
+                backoff_async(
+                    th.htm_slot,
+                    attempts,
+                    th.consecutive_aborts(),
+                    sys.policy().backoff_ceiling,
+                )
+                .await;
+            }
+            TxStep::Unsafe => {
+                drop(token);
+                trace::emit(
+                    TraceKind::Fallback,
+                    TxMode::Serial,
+                    Some(AbortCause::Unsafe),
+                    attempts as u64,
+                );
+                match run_serial_async(th, lock, epoch, budget.deadline, f).await {
+                    SerialOutcome::Done(r) => return Outcome::Done(r),
+                    SerialOutcome::Retry => attempts = 0,
+                    SerialOutcome::Redispatch => return Outcome::Redispatch,
+                }
+            }
+            TxStep::RunnerErr(e) => {
+                drop(token);
+                return propagate_runner_error(budget, e);
+            }
+        }
+    }
+}
+
+async fn run_serial_async<'a, R, F>(
+    th: &'a ThreadHandle,
+    lock: &'a ElidableMutex,
+    epoch: u64,
+    deadline: Option<Instant>,
+    f: &mut F,
+) -> SerialOutcome<R>
+where
+    F: FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
+{
+    let sys = &*th.sys;
+    // Unwind/cancel audit: the serial token releases the gate in its Drop
+    // impl, so both a panic inside `f` and this future being dropped while
+    // suspended reopen the gate.
+    let token = sys.gate.enter_serial_async().await;
+    if lock.domain().epoch() != epoch {
+        drop(token);
+        return SerialOutcome::Redispatch;
+    }
+    let step = {
+        history::begin(TxMode::Serial);
+        let mut ctx = TxCtx::new(CtxKind::Serial);
+        ctx.deadline = deadline;
+        ctx.async_waits = true;
+        let res = {
+            let _nest = NestGuard::enter(lock);
+            f(&mut ctx)
+        };
+        let TxCtx {
+            kind: _,
+            defers,
+            pending_wait,
+            ..
+        } = ctx;
+        sys.stats.serial_fallbacks.inc(th.stm_slot);
+        lock.domain().window.record_serial();
+        match res {
+            Ok(r) => {
+                debug_assert!(pending_wait.is_none(), "wait() result must be propagated");
+                sys.stats.commits.inc(th.stm_slot);
+                trace::emit(TraceKind::Commit, TxMode::Serial, None, 0);
+                history::commit();
+                SerialStep::Done(r, defers)
+            }
+            Err(TxError::Wait) => {
+                sys.stats.commits.inc(th.stm_slot);
+                trace::emit(TraceKind::Commit, TxMode::Serial, None, 0);
+                history::commit();
+                let pw = pending_wait.expect("Wait reported without a wait request");
+                SerialStep::Wait(AsyncWait::from_pending(pw), defers)
+            }
+            Err(TxError::Abort(c)) => {
+                panic!(
+                    "operation aborted ({c}) in serial-irrevocable mode: effects cannot be undone"
+                )
+            }
+            Err(e @ (TxError::DeadlineExceeded | TxError::Overloaded)) => {
+                panic!("{e:?} raised in serial-irrevocable mode: effects cannot be undone")
+            }
+        }
+    };
+    drop(token);
+    match step {
+        SerialStep::Done(r, defers) => {
+            for d in defers {
+                d();
+            }
+            SerialOutcome::Done(r)
+        }
+        SerialStep::Wait(w, defers) => {
+            for d in defers {
+                d();
+            }
+            block_on_async(th, lock, w).await;
+            SerialOutcome::Retry
+        }
+    }
+}
+
+/// What one baseline acquisition round produced.
+enum LockedStep<'a, R> {
+    WouldBlock,
+    Redispatch,
+    Done(R, Defers),
+    Wait(AsyncWait<'a>, Defers),
+}
+
+async fn run_locked_async<'a, R, F>(
+    th: &'a ThreadHandle,
+    lock: &'a ElidableMutex,
+    epoch: u64,
+    deadline: Option<Instant>,
+    f: &mut F,
+) -> Outcome<R>
+where
+    F: FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
+{
+    let _ = th;
+    sched::yield_point(YieldPoint::LockWord);
+    loop {
+        let step = {
+            // Acquire without parking the worker; the guard never crosses
+            // an await (everything under it is synchronous).
+            match lock.raw().try_lock() {
+                None => LockedStep::WouldBlock,
+                Some(guard) => {
+                    if lock.domain().epoch() != epoch {
+                        LockedStep::Redispatch
+                    } else {
+                        history::begin(TxMode::Locked);
+                        let mut ctx = TxCtx::new(CtxKind::Locked { guard: Some(guard) });
+                        ctx.deadline = deadline;
+                        ctx.async_waits = true;
+                        let res = {
+                            let _nest = NestGuard::enter(lock);
+                            f(&mut ctx)
+                        };
+                        let TxCtx {
+                            kind,
+                            defers,
+                            pending_wait,
+                            ..
+                        } = ctx;
+                        let g = match kind {
+                            CtxKind::Locked { guard: Some(g) } => g,
+                            _ => unreachable!("baseline context lost its guard"),
+                        };
+                        match res {
+                            Ok(r) => {
+                                debug_assert!(
+                                    pending_wait.is_none(),
+                                    "wait() result must be propagated"
+                                );
+                                lock.domain().window.record_serial();
+                                history::commit();
+                                drop(g);
+                                LockedStep::Done(r, defers)
+                            }
+                            Err(TxError::Wait) => {
+                                // The wait itself is the section's commit
+                                // point; the registration went into the
+                                // transactional ring under the held mutex
+                                // (async_waits), so release and await it.
+                                history::commit();
+                                let pw =
+                                    pending_wait.expect("Wait reported without a wait request");
+                                drop(g);
+                                LockedStep::Wait(AsyncWait::from_pending(pw), defers)
+                            }
+                            Err(TxError::Abort(c)) => {
+                                panic!("cannot abort ({c}) while holding the baseline lock")
+                            }
+                            Err(e @ (TxError::DeadlineExceeded | TxError::Overloaded)) => {
+                                panic!(
+                                    "{e:?} raised while holding the baseline lock: \
+                                     effects cannot be undone"
+                                )
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        match step {
+            LockedStep::WouldBlock => {
+                sched::spin_hint(YieldPoint::LockWord);
+                exec::yield_now().await;
+            }
+            LockedStep::Redispatch => return Outcome::Redispatch,
+            LockedStep::Done(r, defers) => {
+                for d in defers {
+                    d();
+                }
+                return Outcome::Done(r);
+            }
+            LockedStep::Wait(w, defers) => {
+                for d in defers {
+                    d();
+                }
+                block_on_async(th, lock, w).await;
+                // The mutex was released across the wait; a flip may have
+                // completed in between (mirrors the sync epoch re-check).
+                if lock.domain().epoch() != epoch {
+                    return Outcome::Redispatch;
+                }
+            }
+        }
+    }
+}
+
+async fn run_adaptive_async<'a, R, F>(
+    th: &'a ThreadHandle,
+    lock: &'a ElidableMutex,
+    epoch: u64,
+    hints: TxHints,
+    budget: Budget,
+    f: &mut F,
+) -> Outcome<R>
+where
+    F: FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
+{
+    /// glibc's skip_lock_internal_abort analogue (see `run_adaptive_htm`).
+    const SKIP_AFTER_FAILURE: u32 = 3;
+    let sys = &*th.sys;
+    let htm_retries = hints
+        .htm_retries
+        .unwrap_or_else(|| lock.domain().htm_retries(sys.policy().htm_retries));
+    let mut attempts: u32 = 0;
+    loop {
+        if lock.domain().epoch() != epoch {
+            return Outcome::Redispatch;
+        }
+        let deadline_up = budget.expired();
+        if deadline_up && budget.fallible {
+            sys.stats.deadline_exceeded.inc(th.stm_slot);
+            trace::emit(
+                TraceKind::DeadlineExceeded,
+                TxMode::Htm,
+                None,
+                attempts as u64,
+            );
+            return Outcome::Expired(TxError::DeadlineExceeded);
+        }
+        if lock.consume_skip() || attempts >= htm_retries || deadline_up {
+            if attempts >= htm_retries {
+                lock.set_skip(SKIP_AFTER_FAILURE);
+                sys.stats.serial_fallbacks.inc(th.stm_slot);
+            }
+            trace::emit(TraceKind::Fallback, TxMode::Locked, None, attempts as u64);
+            match adaptive_lock_path_async(th, lock, epoch, budget.deadline, f).await {
+                SerialOutcome::Done(r) => return Outcome::Done(r),
+                SerialOutcome::Retry => {
+                    attempts = 0;
+                    continue;
+                }
+                SerialOutcome::Redispatch => return Outcome::Redispatch,
+            }
+        }
+        // Don't start while the lock is held (immediate subscription abort
+        // is wasted work); yield the worker instead of spinning.
+        while lock.held_cell().load_direct() {
+            sched::spin_hint(YieldPoint::LockWord);
+            exec::yield_now().await;
+        }
+        let slots = claim_slots(sys).await;
+        let step = attempt_adaptive(th, slots.htm, lock, epoch, budget, f);
+        drop(slots);
+        match step {
+            AdaptiveStep::Done(r, defers) => {
+                lock.domain().window.record_commit(0);
+                for d in defers {
+                    d();
+                }
+                return Outcome::Done(r);
+            }
+            AdaptiveStep::Wait(w, defers) => {
+                lock.domain().window.record_commit(0);
+                for d in defers {
+                    d();
+                }
+                attempts = 0;
+                block_on_async(th, lock, w).await;
+            }
+            AdaptiveStep::SubscribedHeld => {
+                attempts += 1;
+                lock.domain().window.record_abort(AbortCause::Conflict);
+                trace::emit(
+                    TraceKind::Retry,
+                    TxMode::Htm,
+                    Some(AbortCause::Conflict),
+                    attempts as u64,
+                );
+            }
+            AdaptiveStep::Abort(cause) => {
+                attempts += 1;
+                lock.domain().window.record_abort(cause);
+                trace::emit(TraceKind::Retry, TxMode::Htm, Some(cause), attempts as u64);
+                backoff_async(th.htm_slot, attempts, 0, sys.policy().backoff_ceiling).await;
+            }
+            AdaptiveStep::Redispatch => return Outcome::Redispatch,
+            AdaptiveStep::Unsafe => {
+                sys.stats.serial_fallbacks.inc(th.stm_slot);
+                trace::emit(
+                    TraceKind::Fallback,
+                    TxMode::Locked,
+                    Some(AbortCause::Unsafe),
+                    attempts as u64,
+                );
+                match adaptive_lock_path_async(th, lock, epoch, budget.deadline, f).await {
+                    SerialOutcome::Done(r) => return Outcome::Done(r),
+                    SerialOutcome::Retry => attempts = 0,
+                    SerialOutcome::Redispatch => return Outcome::Redispatch,
+                }
+            }
+            AdaptiveStep::RunnerErr(e) => return propagate_runner_error(budget, e),
+        }
+    }
+}
+
+enum AdaptiveStep<'a, R> {
+    Done(R, Defers),
+    Wait(AsyncWait<'a>, Defers),
+    /// The lock-word subscription read `true`: retry without backoff.
+    SubscribedHeld,
+    Abort(AbortCause),
+    Redispatch,
+    Unsafe,
+    RunnerErr(TxError),
+}
+
+/// One synchronous adaptive-elision attempt on a claimed HTM slot.
+fn attempt_adaptive<'a, R, F>(
+    th: &'a ThreadHandle,
+    slot: usize,
+    lock: &'a ElidableMutex,
+    epoch: u64,
+    budget: Budget,
+    f: &mut F,
+) -> AdaptiveStep<'a, R>
+where
+    F: FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
+{
+    let sys = &*th.sys;
+    let mut tx = sys.htm.begin(slot);
+    match tx.read(lock.held_cell()) {
+        Ok(false) => {}
+        Ok(true) => {
+            tx.abort(AbortCause::Conflict);
+            return AdaptiveStep::SubscribedHeld;
+        }
+        Err(e) => {
+            tx.abort(e);
+            return AdaptiveStep::Abort(e);
+        }
+    }
+    if lock.domain().epoch() != epoch {
+        tx.abort(AbortCause::Explicit);
+        return AdaptiveStep::Redispatch;
+    }
+    let mut ctx = TxCtx::new(CtxKind::Htm { tx });
+    ctx.deadline = budget.deadline;
+    ctx.async_waits = true;
+    let res = {
+        let _nest = NestGuard::enter(lock);
+        f(&mut ctx)
+    };
+    let TxCtx {
+        kind,
+        defers,
+        pending_wait,
+        ..
+    } = ctx;
+    let tx = match kind {
+        CtxKind::Htm { tx } => tx,
+        _ => unreachable!("context kind changed mid-transaction"),
+    };
+    match res {
+        Ok(r) => {
+            debug_assert!(pending_wait.is_none(), "wait() result must be propagated");
+            match tx.commit() {
+                Ok(()) => AdaptiveStep::Done(r, defers),
+                Err(cause) => AdaptiveStep::Abort(cause),
+            }
+        }
+        Err(TxError::Wait) => {
+            let pw = pending_wait.expect("Wait reported without a wait request");
+            match tx.commit() {
+                Ok(()) => AdaptiveStep::Wait(AsyncWait::from_pending(pw), defers),
+                Err(cause) => {
+                    runner::reclaim_enqueue_ref(&pw);
+                    AdaptiveStep::Abort(cause)
+                }
+            }
+        }
+        Err(TxError::Abort(AbortCause::Unsafe)) => {
+            tx.abort(AbortCause::Unsafe);
+            AdaptiveStep::Unsafe
+        }
+        Err(TxError::Abort(c)) => {
+            tx.abort(c);
+            if let Some(pw) = pending_wait {
+                runner::reclaim_enqueue_ref(&pw);
+            }
+            AdaptiveStep::Abort(c)
+        }
+        Err(e @ (TxError::DeadlineExceeded | TxError::Overloaded)) => {
+            tx.abort(AbortCause::Explicit);
+            if let Some(pw) = pending_wait {
+                runner::reclaim_enqueue_ref(&pw);
+            }
+            AdaptiveStep::RunnerErr(e)
+        }
+    }
+}
+
+/// Acquire the adaptive lock word without monopolizing a worker: CAS with
+/// executor yields, then doom subscribed transactions via the non-blocking
+/// [`try_invalidate`](tle_htm::HtmGlobal::try_invalidate), yielding while a
+/// victim is mid-commit.
+async fn adaptive_acquire_async(sys: &TmSystem, lock: &ElidableMutex) {
+    sched::yield_point(YieldPoint::LockWord);
+    loop {
+        if !lock.held_cell().load_direct()
+            && lock
+                .held_cell()
+                .word()
+                .compare_exchange(
+                    0,
+                    1,
+                    std::sync::atomic::Ordering::SeqCst,
+                    std::sync::atomic::Ordering::SeqCst,
+                )
+                .is_ok()
+        {
+            break;
+        }
+        sched::spin_hint(YieldPoint::LockWord);
+        exec::yield_now().await;
+    }
+    while !sys.htm.try_invalidate(lock.held_cell()) {
+        sched::spin_hint(YieldPoint::LockWord);
+        exec::yield_now().await;
+    }
+}
+
+/// Async twin of `runner::run_adaptive_lock_path`.
+async fn adaptive_lock_path_async<'a, R, F>(
+    th: &'a ThreadHandle,
+    lock: &'a ElidableMutex,
+    epoch: u64,
+    deadline: Option<Instant>,
+    f: &mut F,
+) -> SerialOutcome<R>
+where
+    F: FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
+{
+    let sys = &*th.sys;
+    adaptive_acquire_async(sys, lock).await;
+    if lock.domain().epoch() != epoch {
+        lock.held_cell().store_direct(false);
+        return SerialOutcome::Redispatch;
+    }
+    let step = {
+        history::begin(TxMode::Locked);
+        let mut ctx = TxCtx::new(CtxKind::Serial);
+        ctx.deadline = deadline;
+        ctx.async_waits = true;
+        let res = {
+            let _nest = NestGuard::enter(lock);
+            f(&mut ctx)
+        };
+        let TxCtx {
+            kind: _,
+            defers,
+            pending_wait,
+            ..
+        } = ctx;
+        if matches!(res, Ok(_) | Err(TxError::Wait)) {
+            history::commit();
+        }
+        lock.held_cell().store_direct(false);
+        match res {
+            Ok(r) => {
+                debug_assert!(pending_wait.is_none(), "wait() result must be propagated");
+                lock.domain().window.record_serial();
+                SerialStep::Done(r, defers)
+            }
+            Err(TxError::Wait) => {
+                lock.domain().window.record_serial();
+                let pw = pending_wait.expect("Wait reported without a wait request");
+                SerialStep::Wait(AsyncWait::from_pending(pw), defers)
+            }
+            Err(TxError::Abort(c)) => {
+                panic!(
+                    "operation aborted ({c}) while holding the elided lock: \
+                     effects cannot be undone"
+                )
+            }
+            Err(e @ (TxError::DeadlineExceeded | TxError::Overloaded)) => {
+                panic!("{e:?} raised while holding the elided lock: effects cannot be undone")
+            }
+        }
+    };
+    match step {
+        SerialStep::Done(r, defers) => {
+            for d in defers {
+                d();
+            }
+            SerialOutcome::Done(r)
+        }
+        SerialStep::Wait(w, defers) => {
+            for d in defers {
+                d();
+            }
+            block_on_async(th, lock, w).await;
+            SerialOutcome::Retry
+        }
+    }
+}
+
+/// Suspend on a committed wait registration (or just yield under spin-mode
+/// polling). Async twin of `runner::block_on`.
+async fn block_on_async<'a>(th: &'a ThreadHandle, lock: &'a ElidableMutex, w: AsyncWait<'a>) {
+    match w.waiter {
+        None => {
+            // Spin/poll degradation: re-run the section after giving the
+            // worker away once.
+            sched::spin_hint(YieldPoint::Park);
+            exec::yield_now().await;
+        }
+        Some(waiter) => {
+            let signaled = wait_signaled(&waiter, w.timeout).await;
+            trace::emit(TraceKind::WaitPark, TxMode::Serial, None, !signaled as u64);
+            if !signaled {
+                cancel_wait_async(th, lock, w.cv, w.raw).await;
+            }
+        }
+    }
+}
+
+/// Await the waiter's signal, bounded by `timeout` via an executor timer.
+/// Returns whether the wait was signalled (`false` = timed out). On the
+/// timeout edge the signal flag disambiguates a race: a notify that landed
+/// before the timer fired counts as signalled.
+async fn wait_signaled(waiter: &Waiter, timeout: Option<Duration>) -> bool {
+    match timeout {
+        None => {
+            std::future::poll_fn(|cx| waiter.poll_signaled(cx)).await;
+            true
+        }
+        Some(t) => {
+            let deadline = Instant::now() + t;
+            let mut sleep = exec::sleep_until(deadline);
+            std::future::poll_fn(move |cx| {
+                if waiter.poll_signaled(cx).is_ready() {
+                    return Poll::Ready(true);
+                }
+                match std::pin::Pin::new(&mut sleep).poll(cx) {
+                    Poll::Ready(()) => Poll::Ready(waiter.is_signaled()),
+                    Poll::Pending => Poll::Pending,
+                }
+            })
+            .await
+        }
+    }
+}
+
+use std::future::Future as _;
+
+/// Timed-out waiter: remove our ring entry, as `runner::cancel_wait` does,
+/// but with async gate entry, transient slot claims, and an async-safe
+/// excluded path.
+async fn cancel_wait_async<'a>(
+    th: &'a ThreadHandle,
+    lock: &'a ElidableMutex,
+    cv: &'a TxCondvar,
+    raw: RawWaiter,
+) {
+    let sys = &*th.sys;
+    let mut attempts = 0u32;
+    let removed = loop {
+        if attempts >= sys.policy().stm_retries {
+            break remove_waiter_excluded_async(th, lock, cv, raw).await;
+        }
+        let token = sys.gate.enter_concurrent_async().await;
+        let mode = lock.resolved_mode(sys.mode());
+        if matches!(mode, AlgoMode::Baseline | AlgoMode::AdaptiveHtm) {
+            drop(token);
+            break remove_waiter_excluded_async(th, lock, cv, raw).await;
+        }
+        let slots = claim_slots(sys).await;
+        let outcome = if mode == AlgoMode::HtmCondvar {
+            let tx = sys.htm.begin(slots.htm);
+            let mut ctx = TxCtx::new(CtxKind::Htm { tx });
+            let r = cv.remove(&mut ctx, raw.0);
+            let tx = match ctx.kind {
+                CtxKind::Htm { tx } => tx,
+                _ => unreachable!(),
+            };
+            match r {
+                Ok(found) => tx.commit().map(|_| (found, None)),
+                Err(e) => {
+                    tx.abort(e);
+                    Err(e)
+                }
+            }
+        } else {
+            let tx = sys.stm.begin_soft(slots.stm);
+            let mut ctx = TxCtx::new(CtxKind::Stm {
+                tx,
+                spin_waits: false,
+            });
+            let r = cv.remove(&mut ctx, raw.0);
+            let tx = match ctx.kind {
+                CtxKind::Stm { tx, .. } => tx,
+                _ => unreachable!(),
+            };
+            match r {
+                Ok(found) => tx.commit_publish().map(|(_, t)| (found, t)),
+                Err(e) => {
+                    tx.abort(e);
+                    Err(e)
+                }
+            }
+        };
+        match outcome {
+            Ok((found, ticket)) => {
+                if let Some(t) = ticket {
+                    drain_ticket(sys, t).await;
+                }
+                drop(slots);
+                drop(token);
+                break found;
+            }
+            Err(_) => {
+                drop(slots);
+                drop(token);
+                attempts += 1;
+                backoff_async(th.stm_slot, attempts, 0, sys.policy().backoff_ceiling).await;
+            }
+        }
+    };
+    if removed {
+        // SAFETY: the queue entry held an `Arc` reference produced by
+        // `Arc::into_raw` in `TxCtx::wait`; removing the entry transfers
+        // that reference to us.
+        unsafe { drop(Arc::from_raw(raw.0)) };
+    }
+}
+
+/// Remove a waiter entry under total exclusion without ever parking the
+/// worker. Lock-order note: the sync `remove_waiter_excluded` takes
+/// serial gate → raw mutex → adaptive word; here the word is taken
+/// *before* the raw mutex because word acquisition may suspend (it dooms
+/// transactions via `try_invalidate`) while a mutex guard must stay inside
+/// one poll. The inversion is safe **under the serial token**: every other
+/// gate-supervised word+mutex claimant (mode flips, sync excluded removal)
+/// queues behind the gate first, and raw-mutex holders that bypass the gate
+/// (baseline sections) never take the word, so no cycle exists.
+async fn remove_waiter_excluded_async<'a>(
+    th: &'a ThreadHandle,
+    lock: &'a ElidableMutex,
+    cv: &'a TxCondvar,
+    raw: RawWaiter,
+) -> bool {
+    let sys = &*th.sys;
+    let token = sys.gate.enter_serial_async().await;
+    adaptive_acquire_async(sys, lock).await;
+    let removed = loop {
+        let r = {
+            match lock.raw().try_lock() {
+                None => None,
+                Some(_guard) => {
+                    let mut ctx = TxCtx::new(CtxKind::Serial);
+                    Some(
+                        cv.remove(&mut ctx, raw.0)
+                            .expect("direct access cannot abort"),
+                    )
+                }
+            }
+        };
+        match r {
+            Some(found) => break found,
+            None => exec::yield_now().await,
+        }
+    };
+    lock.held_cell().store_direct(false);
+    drop(token);
+    removed
+}

@@ -8,7 +8,7 @@ use crate::elide::{ElidableMutex, LockInner};
 use crate::runner;
 use crate::{TxCtx, TxError};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
 use tle_base::stats::{fmt_ns, LatencyHistSnapshot, TxStats, TxStatsSnapshot};
@@ -662,23 +662,32 @@ impl TmSystem {
     /// Register the calling thread, claiming STM and HTM slots. The handle
     /// is the capability through which critical sections run.
     pub fn register(self: &Arc<Self>) -> ThreadHandle {
-        let stm_slot = self
-            .stm
-            .slots
-            .register_raw()
-            .expect("out of STM thread slots");
-        let htm_slot = self
-            .htm
-            .slots
-            .register_raw()
-            .expect("out of HTM thread slots");
-        ThreadHandle {
+        match self.try_register() {
+            Some(th) => th,
+            None => panic!("out of STM/HTM thread slots"),
+        }
+    }
+
+    /// Fallible twin of [`register`](TmSystem::register): `None` when the
+    /// slot registries are exhausted instead of panicking. The async runner
+    /// uses this to claim *transient* slots per critical section (thousands
+    /// of logical sessions share a bounded slot pool), backing off with a
+    /// scheduler yield until a slot frees up.
+    pub fn try_register(self: &Arc<Self>) -> Option<ThreadHandle> {
+        let stm_slot = self.stm.slots.register_raw()?;
+        let htm_slot = match self.htm.slots.register_raw() {
+            Some(s) => s,
+            None => {
+                self.stm.slots.unregister_raw(stm_slot);
+                return None;
+            }
+        };
+        Some(ThreadHandle {
             sys: Arc::clone(self),
             stm_slot,
             htm_slot,
-            in_critical: std::cell::Cell::new(false),
-            consec_aborts: std::cell::Cell::new(0),
-        }
+            consec_aborts: AtomicU32::new(0),
+        })
     }
 
     /// Reset all statistics — any recorded trace events and the mode-switch
@@ -847,17 +856,22 @@ impl DomainStats {
 }
 
 /// A registered thread's capability to run elided critical sections.
+///
+/// `Sync` by construction (all interior state is atomic): the async entry
+/// points hold `&ThreadHandle` across `.await` points, so the futures they
+/// return must be `Send`. Nested-section detection lives in a thread-local
+/// inside the runner (see `runner::NestGuard`), not in the handle — it
+/// guards *closure re-entry on one OS thread*, which is exactly what a
+/// thread-local scoped to the synchronous closure call expresses, and it
+/// keeps working when one handle is shared across executor workers.
 pub struct ThreadHandle {
     pub(crate) sys: Arc<TmSystem>,
     pub(crate) stm_slot: usize,
     pub(crate) htm_slot: usize,
-    /// Guards against nested critical sections (see
-    /// [`ThreadHandle::critical`]).
-    pub(crate) in_critical: std::cell::Cell<bool>,
     /// Consecutive concurrent-attempt aborts, across critical sections;
     /// input to the starvation-escalation ladder
     /// ([`TlePolicy::escalation_bound`]).
-    pub(crate) consec_aborts: std::cell::Cell<u32>,
+    pub(crate) consec_aborts: AtomicU32,
 }
 
 impl ThreadHandle {
@@ -877,38 +891,49 @@ impl ThreadHandle {
     /// [`TlePolicy::escalation_bound`]).
     #[inline]
     pub fn consecutive_aborts(&self) -> u32 {
-        self.consec_aborts.get()
+        self.consec_aborts.load(Ordering::Relaxed)
+    }
+
+    /// Start building a critical-section request on `lock`.
+    ///
+    /// This is the unified entry point: configure with
+    /// [`hints`](TxRequest::hints) / [`deadline_us`](TxRequest::deadline_us),
+    /// then finish with one terminal — [`run`](TxRequest::run) (infallible),
+    /// [`try_run`](TxRequest::try_run) (deadline/shed surface as `Err`), or
+    /// their async twins [`run_async`](TxRequest::run_async) /
+    /// [`try_run_async`](TxRequest::try_run_async).
+    ///
+    /// ```
+    /// # use std::sync::Arc;
+    /// use tle_core::{AlgoMode, ElidableMutex, TmSystem};
+    /// let sys = Arc::new(TmSystem::new(AlgoMode::HtmCondvar));
+    /// let th = sys.register();
+    /// let lock = ElidableMutex::new("doc");
+    /// let r = th.tx(&lock).run(|_ctx| Ok(42));
+    /// assert_eq!(r, 42);
+    /// ```
+    #[inline]
+    pub fn tx<'a>(&'a self, lock: &'a ElidableMutex) -> TxRequest<'a> {
+        TxRequest {
+            th: self,
+            lock,
+            hints: TxHints::default(),
+        }
     }
 
     /// Run `body` as the critical section guarded by `lock`.
-    ///
-    /// Under [`AlgoMode::Baseline`] this acquires the real mutex; under the
-    /// TM modes it elides the lock and executes `body` transactionally,
-    /// retrying on conflicts and falling back to global serialization per
-    /// the [`TlePolicy`]. The algorithm is the lock's *resolved* mode: its
-    /// per-lock override when the adaptive controller (or
-    /// [`TmSystem::set_lock_mode`]) installed one, else the global mode.
-    /// `body` may run many times and must be free of non-transactional side
-    /// effects (use [`TxCtx::defer`] for I/O-style effects, or
-    /// [`TxCtx::unsafe_op`] to force irrevocability).
+    #[deprecated(since = "0.8.0", note = "use tx(lock).run(body)")]
     #[inline]
     pub fn critical<'a, R>(
         &'a self,
         lock: &'a ElidableMutex,
         body: impl FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
     ) -> R {
-        runner::run(self, lock, TxHints::default(), body)
+        self.tx(lock).run(body)
     }
 
-    /// Like [`ThreadHandle::critical`], with per-section policy hints
-    /// (anything [`Into<TxHints>`], e.g. a `TxHints` value or an
-    /// `(htm_retries, stm_retries)` pair).
-    ///
-    /// This implements the tuning interface the paper calls for in §VII-A
-    /// ("it would be beneficial for programmers to be able to suggest retry
-    /// policies on a transaction-by-transaction basis: for queues that are
-    /// expected to be un-contended, more retries before serialization might
-    /// be appropriate") — a capability the C++ TMTS does not offer.
+    /// Like `critical`, with per-section policy hints.
+    #[deprecated(since = "0.8.0", note = "use tx(lock).hints(h).run(body)")]
     #[inline]
     pub fn critical_with<'a, R>(
         &'a self,
@@ -916,44 +941,22 @@ impl ThreadHandle {
         hints: impl Into<TxHints>,
         body: impl FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
     ) -> R {
-        runner::run(self, lock, hints.into(), body)
+        self.tx(lock).hints(hints).run(body)
     }
 
-    /// Like [`ThreadHandle::critical`], but fallible: deadline expiry
-    /// ([`TxHints::with_deadline`]) surfaces as
-    /// [`TxError::DeadlineExceeded`] and an admission-controller shed as
-    /// [`TxError::Overloaded`], instead of forcing the serial path. The
-    /// section's own `Err` returns (other than [`TxError::Abort`] /
-    /// [`TxError::Wait`], which drive retry) are not passed through — this
-    /// is about *runner*-raised errors; on success the closure's `Ok` value
-    /// is returned unchanged.
-    ///
-    /// Failure is all-or-nothing: a deadline or shed rejection happens at a
-    /// retry-ladder decision point, never mid-attempt, so no section
-    /// effects have been published when `Err` comes back.
+    /// Like `critical`, but fallible (see [`TxRequest::try_run`]).
+    #[deprecated(since = "0.8.0", note = "use tx(lock).try_run(body)")]
     #[inline]
     pub fn try_critical<'a, R>(
         &'a self,
         lock: &'a ElidableMutex,
         body: impl FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
     ) -> Result<R, TxError> {
-        runner::try_run(self, lock, TxHints::default(), body)
+        self.tx(lock).try_run(body)
     }
 
-    /// Like [`ThreadHandle::try_critical`], with per-section policy hints —
-    /// the usual way to attach a deadline:
-    ///
-    /// ```
-    /// # use std::sync::Arc;
-    /// # use std::time::Duration;
-    /// use tle_core::{AlgoMode, ElidableMutex, TmSystem, TxHints};
-    /// let sys = Arc::new(TmSystem::new(AlgoMode::HtmCondvar));
-    /// let th = sys.register();
-    /// let lock = ElidableMutex::new("doc");
-    /// let hints = TxHints::new().with_deadline(Duration::from_millis(5));
-    /// let r = th.try_critical_with(&lock, hints, |_ctx| Ok(42));
-    /// assert_eq!(r.unwrap(), 42);
-    /// ```
+    /// Like `try_critical`, with per-section policy hints.
+    #[deprecated(since = "0.8.0", note = "use tx(lock).hints(h).try_run(body)")]
     #[inline]
     pub fn try_critical_with<'a, R>(
         &'a self,
@@ -961,18 +964,143 @@ impl ThreadHandle {
         hints: impl Into<TxHints>,
         body: impl FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
     ) -> Result<R, TxError> {
-        runner::try_run(self, lock, hints.into(), body)
+        self.tx(lock).hints(hints).try_run(body)
     }
 
-    /// Like [`ThreadHandle::critical`], with per-section policy hints.
-    #[deprecated(since = "0.4.0", note = "use critical_with")]
+    /// Like `critical`, with per-section policy hints.
+    #[deprecated(since = "0.4.0", note = "use tx(lock).hints(h).run(body)")]
     pub fn critical_hinted<'a, R>(
         &'a self,
         lock: &'a ElidableMutex,
         hints: TxHints,
         body: impl FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
     ) -> R {
-        runner::run(self, lock, hints, body)
+        self.tx(lock).hints(hints).run(body)
+    }
+}
+
+/// A critical-section request under construction: the lock, the policy
+/// hints, and (once a terminal is called) the body. Built by
+/// [`ThreadHandle::tx`]; consumed by one of the four terminals.
+///
+/// Under [`AlgoMode::Baseline`] the terminals acquire the real mutex; under
+/// the TM modes they elide the lock and execute the body transactionally,
+/// retrying on conflicts and falling back to global serialization per the
+/// [`TlePolicy`]. The algorithm is the lock's *resolved* mode: its per-lock
+/// override when the adaptive controller (or [`TmSystem::set_lock_mode`])
+/// installed one, else the global mode. The body may run many times and
+/// must be free of non-transactional side effects (use [`TxCtx::defer`]
+/// for I/O-style effects, or [`TxCtx::unsafe_op`] to force irrevocability).
+///
+/// The body closure is always **synchronous**, even under the async
+/// terminals: an atomic block never suspends mid-speculation (that would
+/// pin orecs/lines across arbitrary scheduling delays — see `tle-lint`
+/// rule R6). The async terminals suspend only *between* attempts: gate
+/// entry, condvar waits, quiescence drains, and backoff.
+#[must_use = "a TxRequest does nothing until a terminal (`run`, `try_run`, `run_async`, `try_run_async`) consumes it"]
+pub struct TxRequest<'a> {
+    pub(crate) th: &'a ThreadHandle,
+    pub(crate) lock: &'a ElidableMutex,
+    pub(crate) hints: TxHints,
+}
+
+impl<'a> TxRequest<'a> {
+    /// Attach per-section policy hints (anything [`Into<TxHints>`], e.g. a
+    /// `TxHints` value or an `(htm_retries, stm_retries)` pair).
+    ///
+    /// This implements the tuning interface the paper calls for in §VII-A
+    /// ("it would be beneficial for programmers to be able to suggest retry
+    /// policies on a transaction-by-transaction basis: for queues that are
+    /// expected to be un-contended, more retries before serialization might
+    /// be appropriate") — a capability the C++ TMTS does not offer.
+    #[inline]
+    pub fn hints(mut self, hints: impl Into<TxHints>) -> Self {
+        let h: TxHints = hints.into();
+        // Merge instead of replace so `.deadline_us(..).hints(..)` and the
+        // reverse order agree: explicit fields win, unset fields keep what
+        // the request already had.
+        self.hints = TxHints {
+            htm_retries: h.htm_retries.or(self.hints.htm_retries),
+            stm_retries: h.stm_retries.or(self.hints.stm_retries),
+            deadline: h.deadline.or(self.hints.deadline),
+        };
+        self
+    }
+
+    /// Give the section a time budget of `us` microseconds (shorthand for
+    /// `hints(TxHints::new().with_deadline(..))`). Under [`run`] an expired
+    /// budget forces the serial path; under [`try_run`] it surfaces as
+    /// [`TxError::DeadlineExceeded`]. The budget also clamps transactional
+    /// condvar waits.
+    ///
+    /// ```
+    /// # use std::sync::Arc;
+    /// use tle_core::{AlgoMode, ElidableMutex, TmSystem};
+    /// let sys = Arc::new(TmSystem::new(AlgoMode::HtmCondvar));
+    /// let th = sys.register();
+    /// let lock = ElidableMutex::new("doc");
+    /// let r = th.tx(&lock).deadline_us(5_000).try_run(|_ctx| Ok(42));
+    /// assert_eq!(r.unwrap(), 42);
+    /// ```
+    ///
+    /// [`run`]: TxRequest::run
+    /// [`try_run`]: TxRequest::try_run
+    #[inline]
+    pub fn deadline_us(mut self, us: u64) -> Self {
+        self.hints.deadline = Some(Duration::from_micros(us));
+        self
+    }
+
+    /// Run the section, infallibly: deadline expiry serializes instead of
+    /// erroring and an admission shed degrades to serialization, so the
+    /// caller always gets the body's `Ok` value.
+    #[inline]
+    pub fn run<R>(self, body: impl FnMut(&mut TxCtx<'a>) -> Result<R, TxError>) -> R {
+        runner::run(self.th, self.lock, self.hints, body)
+    }
+
+    /// Run the section, fallibly: deadline expiry
+    /// ([`TxHints::with_deadline`]) surfaces as
+    /// [`TxError::DeadlineExceeded`] and an admission-controller shed as
+    /// [`TxError::Overloaded`], instead of forcing the serial path. The
+    /// body's own `Err` returns (other than [`TxError::Abort`] /
+    /// [`TxError::Wait`], which drive retry) are not passed through — this
+    /// is about *runner*-raised errors; on success the body's `Ok` value is
+    /// returned unchanged.
+    ///
+    /// Failure is all-or-nothing: a deadline or shed rejection happens at a
+    /// retry-ladder decision point, never mid-attempt, so no section
+    /// effects have been published when `Err` comes back.
+    #[inline]
+    pub fn try_run<R>(
+        self,
+        body: impl FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
+    ) -> Result<R, TxError> {
+        runner::try_run(self.th, self.lock, self.hints, body)
+    }
+
+    /// Async twin of [`run`](TxRequest::run): resolves to the body's `Ok`
+    /// value. The body stays synchronous (see the type-level docs); waiting
+    /// — gate entry, condvar blocks, quiescence drains, backoff — suspends
+    /// the task instead of parking the OS thread, so thousands of logical
+    /// sessions can share a few executor workers.
+    pub async fn run_async<R>(self, body: impl FnMut(&mut TxCtx<'a>) -> Result<R, TxError>) -> R {
+        match crate::runner_async::run_async(self.th, self.lock, self.hints, body, false).await {
+            Ok(r) => r,
+            Err(e) => unreachable!("infallible run_async produced {e:?}"),
+        }
+    }
+
+    /// Async twin of [`try_run`](TxRequest::try_run): deadline expiry and
+    /// admission sheds surface as `Err`. [`deadline_us`] composes — the
+    /// budget clamps async condvar waits and quiescence drains too.
+    ///
+    /// [`deadline_us`]: TxRequest::deadline_us
+    pub async fn try_run_async<R>(
+        self,
+        body: impl FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
+    ) -> Result<R, TxError> {
+        crate::runner_async::run_async(self.th, self.lock, self.hints, body, true).await
     }
 }
 

@@ -236,7 +236,7 @@ fn counter_exact_under_continuous_flips() {
             std::thread::spawn(move || {
                 let th = sys.register();
                 for _ in 0..OPS {
-                    th.critical(&lock, |ctx| {
+                    th.tx(&lock).run(|ctx| {
                         let v = ctx.read(&*counter)?;
                         ctx.write(&*counter, v + 1)?;
                         Ok(())

@@ -58,7 +58,7 @@ fn legacy_and_builder_systems_run_identically() {
         let lock = ElidableMutex::new("equiv");
         let cell = tle_base::TCell::new(0u64);
         for _ in 0..100 {
-            th.critical(&lock, |ctx| {
+            th.tx(&lock).run(|ctx| {
                 let v = ctx.read(&cell)?;
                 ctx.write(&cell, v + 1)?;
                 Ok(())
@@ -86,9 +86,10 @@ fn critical_hinted_shim_delegates() {
     let a = th.critical_hinted(&lock, TxHints::new().with_htm_retries(4), |ctx| {
         ctx.read(&cell)
     });
-    let b = th.critical_with(&lock, TxHints::new().with_htm_retries(4), |ctx| {
-        ctx.read(&cell)
-    });
+    let b = th
+        .tx(&lock)
+        .hints(TxHints::new().with_htm_retries(4))
+        .run(|ctx| ctx.read(&cell));
     assert_eq!(a, b);
     assert_eq!(a, 5);
 }
@@ -118,8 +119,84 @@ fn tx_hints_fluent_and_conversions() {
     let sys = Arc::new(TmSystem::new(AlgoMode::HtmCondvar));
     let th = sys.register();
     let lock = ElidableMutex::new("into-hints");
-    let got = th.critical_with(&lock, (2u32, 2u32), |_ctx| Ok(42u64));
+    let got = th.tx(&lock).hints((2u32, 2u32)).run(|_ctx| Ok(42u64));
     assert_eq!(got, 42);
+}
+
+/// Every deprecated `critical*` entry point delegates to the `tx()`
+/// request builder and returns identical results.
+#[test]
+fn deprecated_critical_family_matches_builder() {
+    let sys = Arc::new(TmSystem::new(AlgoMode::HtmCondvar));
+    let th = sys.register();
+    let lock = ElidableMutex::new("shims");
+    let cell = tle_base::TCell::new(10u64);
+
+    #[allow(deprecated)]
+    let a = th.critical(&lock, |ctx| ctx.read(&cell));
+    let b = th.tx(&lock).run(|ctx| ctx.read(&cell));
+    assert_eq!((a, b), (10, 10));
+
+    #[allow(deprecated)]
+    let a = th.critical_with(&lock, (4u32, 4u32), |ctx| ctx.update(&cell, |v| v + 1));
+    let b = th
+        .tx(&lock)
+        .hints((4u32, 4u32))
+        .run(|ctx| ctx.update(&cell, |v| v + 1));
+    let _ = (a, b);
+    assert_eq!(cell.load_direct(), 12);
+
+    #[allow(deprecated)]
+    let a = th.try_critical(&lock, |ctx| ctx.read(&cell));
+    let b = th.tx(&lock).try_run(|ctx| ctx.read(&cell));
+    assert_eq!(a.unwrap(), 12);
+    assert_eq!(b.unwrap(), 12);
+
+    let hints = TxHints::new().with_stm_retries(6);
+    #[allow(deprecated)]
+    let a = th.try_critical_with(&lock, hints, |ctx| ctx.read(&cell));
+    let b = th.tx(&lock).hints(hints).try_run(|ctx| ctx.read(&cell));
+    assert_eq!(a.unwrap(), 12);
+    assert_eq!(b.unwrap(), 12);
+}
+
+/// `deadline_us` is sugar for a deadline hint, and the request's `hints()`
+/// merge keeps explicitly-set fields regardless of call order.
+#[test]
+fn tx_request_deadline_and_hint_merge_compose() {
+    let sys = Arc::new(TmSystem::new(AlgoMode::StmCondvar));
+    let th = sys.register();
+    let lock = ElidableMutex::new("merge");
+
+    // deadline_us(..) then hints(..) without a deadline: budget survives.
+    let r = th
+        .tx(&lock)
+        .deadline_us(60_000_000)
+        .hints(TxHints::new().with_stm_retries(5))
+        .try_run(|_ctx| Ok(1u64));
+    assert_eq!(r.unwrap(), 1);
+
+    // hints(..) then deadline_us(..): same result.
+    let r = th
+        .tx(&lock)
+        .hints(TxHints::new().with_stm_retries(5))
+        .deadline_us(60_000_000)
+        .try_run(|_ctx| Ok(1u64));
+    assert_eq!(r.unwrap(), 1);
+
+    // A hint-carried deadline wins over an earlier deadline_us: explicit
+    // fields in the later hints() call take precedence.
+    let early = std::time::Instant::now();
+    let r = th
+        .tx(&lock)
+        .deadline_us(60_000_000)
+        .hints(TxHints::new().with_deadline(std::time::Duration::ZERO))
+        .try_run(|_ctx| Ok(1u64));
+    assert!(
+        matches!(r, Err(tle_core::TxError::DeadlineExceeded)),
+        "zero deadline must shadow the earlier budget, got {r:?}"
+    );
+    assert!(early.elapsed() < std::time::Duration::from_secs(30));
 }
 
 /// `TryFrom<u8>` round-trips every real discriminant and errors (instead
@@ -185,6 +262,6 @@ fn lock_names_static_and_dynamic() {
     let sys = Arc::new(TmSystem::new(AlgoMode::StmCondvar));
     let th = sys.register();
     let cell = tle_base::TCell::new(0u64);
-    th.critical(&table[2], |ctx| ctx.write(&cell, 1));
+    th.tx(&table[2]).run(|ctx| ctx.write(&cell, 1));
     assert_eq!(cell.load_direct(), 1);
 }

@@ -33,7 +33,7 @@ fn assert_signal_round_trip(sys: &Arc<TmSystem>, lock: &Arc<ElidableMutex>, cv: 
         );
         std::thread::spawn(move || {
             let th = sys.register();
-            th.critical(&lock, |ctx| {
+            th.tx(&lock).run(|ctx| {
                 if ctx.read(&*flag)? {
                     Ok(())
                 } else {
@@ -45,7 +45,7 @@ fn assert_signal_round_trip(sys: &Arc<TmSystem>, lock: &Arc<ElidableMutex>, cv: 
     // Give the waiter a moment to park, then signal inside a transaction.
     std::thread::sleep(Duration::from_millis(20));
     let th = sys.register();
-    th.critical(lock, |ctx| {
+    th.tx(lock).run(|ctx| {
         ctx.write(&*flag, true)?;
         ctx.signal(cv)?;
         Ok(())
@@ -67,7 +67,7 @@ fn timed_wait_expiry(mode: AlgoMode) {
     let th = sys.register();
     let mut wakes = 0u32;
     let t0 = Instant::now();
-    th.critical(&lock, |ctx| {
+    th.tx(&lock).run(|ctx| {
         if !ctx.read(&*never)? {
             wakes += 1;
             if wakes > 2 {
@@ -123,7 +123,7 @@ fn signal_races_timeout(mode: AlgoMode) {
                 // Staggered timeouts line up differently with the signal
                 // cadence on each iteration, widening race coverage.
                 let timeout = Duration::from_micros(500 + 300 * i as u64);
-                th.critical(&lock, |ctx| {
+                th.tx(&lock).run(|ctx| {
                     if ctx.read(&*flag)? {
                         Ok(())
                     } else {
@@ -144,7 +144,7 @@ fn signal_races_timeout(mode: AlgoMode) {
         std::thread::spawn(move || {
             let th = sys.register();
             while !stop.load(Ordering::Relaxed) {
-                th.critical(&lock, |ctx| ctx.signal(&cv));
+                th.tx(&lock).run(|ctx| ctx.signal(&cv));
                 std::thread::sleep(Duration::from_micros(400));
             }
         })
@@ -153,7 +153,7 @@ fn signal_races_timeout(mode: AlgoMode) {
     // Let signals and timeouts collide for a while, then release everyone.
     std::thread::sleep(Duration::from_millis(100));
     let th = sys.register();
-    th.critical(&lock, |ctx| {
+    th.tx(&lock).run(|ctx| {
         ctx.write(&*flag, true)?;
         ctx.broadcast(&cv)?;
         Ok(())
@@ -223,7 +223,7 @@ fn failed_wait_registration_reclaims_queue_reference() {
                     // and is retried, reclaiming the queue reference each
                     // time — and then cancels.
                     let mut polls = 0u32;
-                    th.critical(&lock, |ctx| {
+                    th.tx(&lock).run(|ctx| {
                         polls += 1;
                         if polls > 1 {
                             return Ok(());
@@ -231,7 +231,7 @@ fn failed_wait_registration_reclaims_queue_reference() {
                         ctx.wait(&cv, Some(Duration::from_micros(200))).map(|_| ())
                     });
                     // Interleave signals so dequeues contend with enqueues.
-                    th.critical(&lock, |ctx| {
+                    th.tx(&lock).run(|ctx| {
                         let v = ctx.read(&*flag)?;
                         ctx.write(&*flag, v + 1)?;
                         ctx.signal(&cv)?;

@@ -34,11 +34,14 @@ fn zero_budget_refused(mode: AlgoMode) {
     let cell = TCell::new(0u64);
     let th = sys.register();
 
-    let res = th.try_critical_with(&lock, TxHints::new().with_deadline(Duration::ZERO), |ctx| {
-        let v = ctx.read(&cell)?;
-        ctx.write(&cell, v + 1)?;
-        Ok(())
-    });
+    let res = th
+        .tx(&lock)
+        .hints(TxHints::new().with_deadline(Duration::ZERO))
+        .try_run(|ctx| {
+            let v = ctx.read(&cell)?;
+            ctx.write(&cell, v + 1)?;
+            Ok(())
+        });
     assert!(
         matches!(res, Err(TxError::DeadlineExceeded)),
         "{mode:?}: zero budget produced {res:?}"
@@ -52,11 +55,13 @@ fn zero_budget_refused(mode: AlgoMode) {
 
     // The infallible API cannot surface the error; an expired budget must
     // instead bound retries by forcing the serial path — and still commit.
-    th.critical_with(&lock, TxHints::new().with_deadline(Duration::ZERO), |ctx| {
-        let v = ctx.read(&cell)?;
-        ctx.write(&cell, v + 1)?;
-        Ok(())
-    });
+    th.tx(&lock)
+        .hints(TxHints::new().with_deadline(Duration::ZERO))
+        .run(|ctx| {
+            let v = ctx.read(&cell)?;
+            ctx.write(&cell, v + 1)?;
+            Ok(())
+        });
     assert_eq!(cell.load_direct(), 1, "{mode:?}: infallible section lost");
     // The refusal count must not have moved: serialization is not expiry.
     assert_eq!(sys.stats.snapshot().deadline_exceeded, 1);
@@ -85,13 +90,16 @@ fn untimed_wait_clamped_to_deadline(mode: AlgoMode) {
 
     let budget = Duration::from_millis(20);
     let t0 = Instant::now();
-    let res = th.try_critical_with(&lock, TxHints::new().with_deadline(budget), |ctx| {
-        if ctx.read(&never)? {
-            Ok(())
-        } else {
-            ctx.wait(&cv, None).map(|_| ())
-        }
-    });
+    let res = th
+        .tx(&lock)
+        .hints(TxHints::new().with_deadline(budget))
+        .try_run(|ctx| {
+            if ctx.read(&never)? {
+                Ok(())
+            } else {
+                ctx.wait(&cv, None).map(|_| ())
+            }
+        });
     let elapsed = t0.elapsed();
     assert!(
         matches!(res, Err(TxError::DeadlineExceeded)),
@@ -147,13 +155,15 @@ fn signal_races_deadline(mode: AlgoMode) {
                 // Staggered budgets line up differently with the signal
                 // cadence on each run, widening race coverage.
                 let budget = Duration::from_micros(500 + 300 * i as u64);
-                th.try_critical_with(&lock, TxHints::new().with_deadline(budget), |ctx| {
-                    if ctx.read(&*flag)? {
-                        Ok(())
-                    } else {
-                        ctx.wait(&cv, None).map(|_| ())
-                    }
-                })
+                th.tx(&lock)
+                    .hints(TxHints::new().with_deadline(budget))
+                    .try_run(|ctx| {
+                        if ctx.read(&*flag)? {
+                            Ok(())
+                        } else {
+                            ctx.wait(&cv, None).map(|_| ())
+                        }
+                    })
             })
         })
         .collect();
@@ -168,7 +178,7 @@ fn signal_races_deadline(mode: AlgoMode) {
         std::thread::spawn(move || {
             let th = sys.register();
             while !stop.load(Ordering::Relaxed) {
-                th.critical(&lock, |ctx| ctx.signal(&cv));
+                th.tx(&lock).run(|ctx| ctx.signal(&cv));
                 std::thread::sleep(Duration::from_micros(400));
             }
         })
@@ -204,7 +214,7 @@ fn signal_races_deadline(mode: AlgoMode) {
         );
         std::thread::spawn(move || {
             let th = sys.register();
-            th.critical(&lock, |ctx| {
+            th.tx(&lock).run(|ctx| {
                 if ctx.read(&*released)? {
                     Ok(())
                 } else {
@@ -215,7 +225,7 @@ fn signal_races_deadline(mode: AlgoMode) {
     };
     std::thread::sleep(Duration::from_millis(20));
     let th = sys.register();
-    th.critical(&lock, |ctx| {
+    th.tx(&lock).run(|ctx| {
         ctx.write(&*released, true)?;
         ctx.signal(&cv)?;
         Ok(())
@@ -272,16 +282,16 @@ fn overload_shed_is_reachable_counted_and_recoverable() {
     // One dispatched section leaves a queue peak of 1 ≥ shed_queue_depth,
     // even though it commits cleanly — the peak gauge, not the
     // instantaneous depth, is what the controller samples.
-    th.critical(&lock, bump);
+    th.tx(&lock).run(bump);
     assert_eq!(sys.controller_step(), 1);
     assert_eq!(lock.admission_step(), AdmissionStep::Serialize);
     // A serialized section still completes (and still peaks the queue).
-    th.critical(&lock, bump);
+    th.tx(&lock).run(bump);
     assert_eq!(sys.controller_step(), 1);
     assert_eq!(lock.admission_step(), AdmissionStep::Shed);
 
     // Shed refuses fallible sections at dispatch, effect-free and counted.
-    let res = th.try_critical(&lock, bump);
+    let res = th.tx(&lock).try_run(bump);
     assert!(
         matches!(res, Err(TxError::Overloaded)),
         "shed step produced {res:?}"
@@ -289,7 +299,7 @@ fn overload_shed_is_reachable_counted_and_recoverable() {
     assert_eq!(cell.load_direct(), 2);
     assert_eq!(sys.stats.sheds.get(), 1);
     // Infallible sections cannot observe errors; Shed serializes them.
-    th.critical(&lock, bump);
+    th.tx(&lock).run(bump);
     assert_eq!(cell.load_direct(), 3);
 
     // Recovery: the refused + serialized sections above peaked the queue
@@ -300,7 +310,7 @@ fn overload_shed_is_reachable_counted_and_recoverable() {
     assert_eq!(lock.admission_step(), AdmissionStep::Serialize);
     assert_eq!(sys.controller_step(), 1);
     assert_eq!(lock.admission_step(), AdmissionStep::Elide);
-    assert!(th.try_critical(&lock, bump).is_ok());
+    assert!(th.tx(&lock).try_run(bump).is_ok());
     assert_eq!(cell.load_direct(), 4);
 
     // The ladder recovered, but the high-water mark records the excursion.
@@ -318,7 +328,7 @@ fn admission_off_never_sheds() {
     sys.adopt_lock(&lock); // no-op: neither controller configured
     let th = sys.register();
     for _ in 0..50 {
-        assert!(th.try_critical(&lock, |_| Ok(())).is_ok());
+        assert!(th.tx(&lock).try_run(|_| Ok(())).is_ok());
     }
     assert_eq!(sys.controller_step(), 0);
     assert_eq!(lock.admission_step(), AdmissionStep::Elide);

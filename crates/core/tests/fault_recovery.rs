@@ -40,7 +40,7 @@ fn escalation_ladder_grants_serial_slot_under_forced_abort_storm() {
     let th = sys.register();
     const SECTIONS: u64 = 3;
     for _ in 0..SECTIONS {
-        th.critical(&lock, |ctx| {
+        th.tx(&lock).run(|ctx| {
             let v = ctx.read(&cell)?;
             ctx.write(&cell, v + 1)?;
             Ok(())
@@ -60,7 +60,7 @@ fn escalation_ladder_grants_serial_slot_under_forced_abort_storm() {
         "escalation consumes the consecutive-abort count"
     );
     // With the plan cleared the same section commits concurrently again.
-    th.critical(&lock, |ctx| {
+    th.tx(&lock).run(|ctx| {
         let v = ctx.read(&cell)?;
         ctx.write(&cell, v + 1)?;
         Ok(())
@@ -81,7 +81,7 @@ fn quiesce_watchdog_trips_on_injected_stall_then_drains() {
         FaultPlan::new(0xD06).rule(FaultRule::new(Hazard::QuiesceDelay, 1).stall(50_000)),
     );
     let th = sys.register();
-    th.critical(&lock, |ctx| {
+    th.tx(&lock).run(|ctx| {
         let v = ctx.read(&cell)?;
         ctx.write(&cell, v + 1)?;
         Ok(())
@@ -96,7 +96,7 @@ fn quiesce_watchdog_trips_on_injected_stall_then_drains() {
     assert_eq!(cell.load_direct(), 1, "the drain completed after the stall");
     // Back to the silent fast path once injection is off.
     let before = sys.stm.stats.snapshot().watchdog_trips;
-    th.critical(&lock, |ctx| {
+    th.tx(&lock).run(|ctx| {
         let v = ctx.read(&cell)?;
         ctx.write(&cell, v + 1)?;
         Ok(())
@@ -117,7 +117,7 @@ fn panic_in_elided_section_poisons_lock_but_not_the_system() {
             let cell = Arc::clone(&cell);
             std::thread::spawn(move || {
                 let th = sys.register();
-                th.critical(&lock, |ctx| -> Result<(), TxError> {
+                th.tx(&lock).run(|ctx| -> Result<(), TxError> {
                     // Speculative write, then die mid-section: the undo
                     // log must roll this back while unwinding.
                     ctx.write(&cell, 99)?;
@@ -134,7 +134,7 @@ fn panic_in_elided_section_poisons_lock_but_not_the_system() {
         );
         // The runtime stays fully usable for other threads.
         let th = sys.register();
-        th.critical(&lock, |ctx| {
+        th.tx(&lock).run(|ctx| {
             let v = ctx.read(&*cell)?;
             ctx.write(&*cell, v + 1)?;
             Ok(())
@@ -157,9 +157,7 @@ fn serial_gate_reopens_after_panic() {
             let th = sys.register();
             // A zero retry budget goes straight to the serial gate; the
             // panic then unwinds while the gate token is live.
-            th.critical_with(
-                &lock,
-                TxHints::new().with_stm_retries(0),
+            th.tx(&lock).hints(TxHints::new().with_stm_retries(0)).run(
                 |_ctx| -> Result<(), TxError> {
                     panic!("injected panic in serial-irrevocable mode");
                 },
@@ -170,12 +168,14 @@ fn serial_gate_reopens_after_panic() {
     // If the token leaked the gate bit, both of these would deadlock.
     let cell = TCell::new(0u64);
     let th = sys.register();
-    th.critical_with(&lock, TxHints::new().with_stm_retries(0), |ctx| {
-        let v = ctx.read(&cell)?;
-        ctx.write(&cell, v + 1)?;
-        Ok(())
-    });
-    th.critical(&lock, |ctx| {
+    th.tx(&lock)
+        .hints(TxHints::new().with_stm_retries(0))
+        .run(|ctx| {
+            let v = ctx.read(&cell)?;
+            ctx.write(&cell, v + 1)?;
+            Ok(())
+        });
+    th.tx(&lock).run(|ctx| {
         let v = ctx.read(&cell)?;
         ctx.write(&cell, v + 1)?;
         Ok(())
@@ -205,7 +205,7 @@ fn condvar_hooks_absorb_signal_delay_and_spurious_wakes() {
         let ready = Arc::clone(&ready);
         std::thread::spawn(move || {
             let th = sys.register();
-            th.critical(&lock, |ctx| {
+            th.tx(&lock).run(|ctx| {
                 if !ctx.read(&*ready)? {
                     return ctx.wait(&cv, None);
                 }
@@ -215,7 +215,7 @@ fn condvar_hooks_absorb_signal_delay_and_spurious_wakes() {
     };
     std::thread::sleep(std::time::Duration::from_millis(20));
     let th = sys.register();
-    th.critical(&lock, |ctx| {
+    th.tx(&lock).run(|ctx| {
         ctx.write(&*ready, true)?;
         ctx.signal(&cv)?;
         Ok(())

@@ -209,6 +209,46 @@ impl HtmGlobal {
         }
     }
 
+    /// Non-blocking [`HtmGlobal::invalidate`]: dooms every transaction
+    /// holding `cell`'s line, but where the blocking form waits out a
+    /// transaction already past its commit point, this returns `false` and
+    /// the caller re-calls after yielding (re-dooming is idempotent — a
+    /// doomed or finished victim is skipped on the next round). `true`
+    /// means the line is clear, with the same ordering guarantee as the
+    /// blocking form. This is the async adaptive-lock path's primitive: an
+    /// executor worker must not spin on another slot's commit.
+    pub fn try_invalidate<T: tle_base::TxVal>(&self, cell: &tle_base::TCell<T>) -> bool {
+        let li = self.table.index_of(cell.addr());
+        let line = self.table.line(li);
+        let mut clear = true;
+        loop {
+            let w = line.writer();
+            if w == 0 {
+                break;
+            }
+            match self.doom(w as usize - 1) {
+                DoomOutcome::Committing => {
+                    clear = false;
+                    break;
+                }
+                DoomOutcome::Doomed | DoomOutcome::Gone => {
+                    let _ = line.cas_writer(w, 0);
+                }
+            }
+        }
+        let mut bits = line.readers();
+        while bits != 0 {
+            let victim = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if self.doom(victim) == DoomOutcome::Committing
+                && self.tx_state[victim].load(Ordering::SeqCst) == state::COMMITTED
+            {
+                clear = false;
+            }
+        }
+        clear
+    }
+
     /// Non-transactional store: invalidate the line, then write.
     pub fn nontx_store<T: tle_base::TxVal>(&self, cell: &tle_base::TCell<T>, v: T) {
         self.invalidate(cell);

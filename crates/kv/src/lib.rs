@@ -19,8 +19,9 @@
 //! [`TxHints::with_deadline`]: tle_core::TxHints::with_deadline
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+use tle_base::exec::{self, Exec};
 use tle_base::rng::XorShift64;
 use tle_base::stats::{LatencyHist, LatencyHistSnapshot};
 use tle_base::TCell;
@@ -208,19 +209,19 @@ impl ShardedKv {
     /// Infallible GET (retries/serializes until it commits).
     pub fn get(&self, th: &ThreadHandle, key: u64) -> Option<u64> {
         let (shard, k) = self.split(key);
-        th.critical(&shard.lock, |ctx| shard.get(ctx, k))
+        th.tx(&shard.lock).run(|ctx| shard.get(ctx, k))
     }
 
     /// Infallible PUT.
     pub fn put(&self, th: &ThreadHandle, key: u64, val: u64) -> Option<u64> {
         let (shard, k) = self.split(key);
-        th.critical(&shard.lock, |ctx| shard.put(ctx, k, val))
+        th.tx(&shard.lock).run(|ctx| shard.put(ctx, k, val))
     }
 
     /// Infallible DELETE.
     pub fn remove(&self, th: &ThreadHandle, key: u64) -> Option<u64> {
         let (shard, k) = self.split(key);
-        th.critical(&shard.lock, |ctx| shard.remove(ctx, k))
+        th.tx(&shard.lock).run(|ctx| shard.remove(ctx, k))
     }
 
     /// Deadline-budgeted GET: `Err(DeadlineExceeded)`/`Err(Overloaded)`
@@ -232,7 +233,9 @@ impl ShardedKv {
         key: u64,
     ) -> Result<Option<u64>, TxError> {
         let (shard, k) = self.split(key);
-        th.try_critical_with(&shard.lock, hints, |ctx| shard.get(ctx, k))
+        th.tx(&shard.lock)
+            .hints(hints)
+            .try_run(|ctx| shard.get(ctx, k))
     }
 
     /// Deadline-budgeted PUT.
@@ -244,7 +247,54 @@ impl ShardedKv {
         val: u64,
     ) -> Result<Option<u64>, TxError> {
         let (shard, k) = self.split(key);
-        th.try_critical_with(&shard.lock, hints, |ctx| shard.put(ctx, k, val))
+        th.tx(&shard.lock)
+            .hints(hints)
+            .try_run(|ctx| shard.put(ctx, k, val))
+    }
+
+    /// Infallible GET from an async task: attempts run inside one executor
+    /// poll, waits (gate entry, backoff, drains) suspend the task instead
+    /// of parking the worker.
+    pub async fn get_async(&self, th: &ThreadHandle, key: u64) -> Option<u64> {
+        let (shard, k) = self.split(key);
+        th.tx(&shard.lock).run_async(|ctx| shard.get(ctx, k)).await
+    }
+
+    /// Infallible async PUT.
+    pub async fn put_async(&self, th: &ThreadHandle, key: u64, val: u64) -> Option<u64> {
+        let (shard, k) = self.split(key);
+        th.tx(&shard.lock)
+            .run_async(|ctx| shard.put(ctx, k, val))
+            .await
+    }
+
+    /// Deadline-budgeted async GET.
+    pub async fn try_get_async(
+        &self,
+        th: &ThreadHandle,
+        hints: TxHints,
+        key: u64,
+    ) -> Result<Option<u64>, TxError> {
+        let (shard, k) = self.split(key);
+        th.tx(&shard.lock)
+            .hints(hints)
+            .try_run_async(|ctx| shard.get(ctx, k))
+            .await
+    }
+
+    /// Deadline-budgeted async PUT.
+    pub async fn try_put_async(
+        &self,
+        th: &ThreadHandle,
+        hints: TxHints,
+        key: u64,
+        val: u64,
+    ) -> Result<Option<u64>, TxError> {
+        let (shard, k) = self.split(key);
+        th.tx(&shard.lock)
+            .hints(hints)
+            .try_run_async(|ctx| shard.put(ctx, k, val))
+            .await
     }
 }
 
@@ -452,35 +502,65 @@ pub fn run_driver(cfg: &KvConfig) -> KvReport {
     run_driver_on(&build_system(cfg), cfg)
 }
 
-/// [`run_driver`] against a caller-built system (see [`build_system`]; the
-/// system's mode/admission configuration must match `cfg`).
-pub fn run_driver_on(sys: &Arc<TmSystem>, cfg: &KvConfig) -> KvReport {
-    assert!(cfg.threads > 0 && cfg.shards > 0 && cfg.requests > 0);
-    let sys = Arc::clone(sys);
+/// Build the store on `sys`, adopt its shard locks, preload the full key
+/// space (so GETs hit and PUTs are updates), and wrap the run-shared
+/// counters. Common front half of every driver flavor.
+fn prepare_shared(sys: &Arc<TmSystem>, cfg: &KvConfig) -> Arc<DriverShared> {
     let store = ShardedKv::new(cfg.shards, cfg.key_space);
     for shard in store.shards() {
         sys.adopt_lock(shard.lock());
     }
-    // Preload the full key space so GETs hit and PUTs are updates.
     {
         let th = sys.register();
         for k in 0..store.total_keys() {
             store.put(&th, k, k);
         }
     }
-    let ctrl = cfg
-        .admission
-        .then(|| sys.start_controller(Duration::from_micros(500)));
-
-    let shared = Arc::new(DriverShared {
-        sys: Arc::clone(&sys),
+    Arc::new(DriverShared {
+        sys: Arc::clone(sys),
         store,
         zipf: Zipf::new(cfg.shards as u64 * cfg.key_space, cfg.zipf_theta),
         hist: LatencyHist::new(),
         completed: AtomicU64::new(0),
         shed: AtomicU64::new(0),
         deadline_miss: AtomicU64::new(0),
-    });
+    })
+}
+
+/// Fold the run-shared counters into a report. Common back half.
+fn finish_report(shared: &DriverShared, offered: u64, secs: f64) -> KvReport {
+    let max_admission_step = shared
+        .store
+        .shards()
+        .iter()
+        .map(|s| s.lock().admission_high_water() as u8)
+        .max()
+        .unwrap_or(0);
+    let hist = shared.hist.snapshot();
+    let completed = shared.completed.load(Ordering::Relaxed);
+    KvReport {
+        offered,
+        completed,
+        shed: shared.shed.load(Ordering::Relaxed),
+        deadline_miss: shared.deadline_miss.load(Ordering::Relaxed),
+        secs,
+        goodput_per_sec: completed as f64 / secs,
+        p50_ns: hist.quantile_ns(0.50).unwrap_or(0),
+        p99_ns: hist.quantile_ns(0.99).unwrap_or(0),
+        p999_ns: hist.quantile_ns(0.999).unwrap_or(0),
+        hist,
+        max_admission_step,
+    }
+}
+
+/// [`run_driver`] against a caller-built system (see [`build_system`]; the
+/// system's mode/admission configuration must match `cfg`).
+pub fn run_driver_on(sys: &Arc<TmSystem>, cfg: &KvConfig) -> KvReport {
+    assert!(cfg.threads > 0 && cfg.shards > 0 && cfg.requests > 0);
+    let shared = prepare_shared(sys, cfg);
+    let ctrl = cfg
+        .admission
+        .then(|| sys.start_controller(Duration::from_micros(500)));
 
     let t0 = Instant::now();
     let workers: Vec<_> = (0..cfg.threads)
@@ -496,29 +576,7 @@ pub fn run_driver_on(sys: &Arc<TmSystem>, cfg: &KvConfig) -> KvReport {
     let secs = t0.elapsed().as_secs_f64();
     drop(ctrl);
 
-    let max_admission_step = shared
-        .store
-        .shards()
-        .iter()
-        .map(|s| s.lock().admission_high_water() as u8)
-        .max()
-        .unwrap_or(0);
-
-    let hist = shared.hist.snapshot();
-    let completed = shared.completed.load(Ordering::Relaxed);
-    KvReport {
-        offered: cfg.threads as u64 * cfg.requests,
-        completed,
-        shed: shared.shed.load(Ordering::Relaxed),
-        deadline_miss: shared.deadline_miss.load(Ordering::Relaxed),
-        secs,
-        goodput_per_sec: completed as f64 / secs,
-        p50_ns: hist.quantile_ns(0.50).unwrap_or(0),
-        p99_ns: hist.quantile_ns(0.99).unwrap_or(0),
-        p999_ns: hist.quantile_ns(0.999).unwrap_or(0),
-        hist,
-        max_admission_step,
-    }
+    finish_report(&shared, cfg.threads as u64 * cfg.requests, secs)
 }
 
 fn worker(shared: &DriverShared, cfg: &KvConfig, tid: usize, t0: Instant) {
@@ -635,12 +693,250 @@ fn storm_write(
         Ok(())
     };
     match hints {
-        Some(h) => th.try_critical_with(shard.lock(), h, body),
+        Some(h) => th.tx(shard.lock()).hints(h).try_run(body),
         None => {
-            th.critical(shard.lock(), body);
+            th.tx(shard.lock()).run(body);
             Ok(())
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Session mode: many paced logical sessions, few execution resources.
+// ---------------------------------------------------------------------------
+
+/// Handles the thread-per-session baseline may register at once. Every
+/// [`ThreadHandle`] pins an STM and an HTM slot for its lifetime and the
+/// slot tables cap out at [`tle_base::slots::MAX_SLOTS`] (64), so a
+/// thousand session threads cannot each own a handle — they check one out
+/// of a pool per request instead. The async driver has no such pool: its
+/// few worker-bound handles run attempts through transient slot claims.
+pub const SESSION_HANDLE_POOL: usize = 48;
+
+/// One session-mode run: `sessions` logical clients, each issuing
+/// `requests_per_session` zipf-keyed requests with `think_ns` of idle time
+/// before each one (a closed loop with think time). The async driver
+/// multiplexes every session onto `workers` executor threads; the
+/// thread-per-session baseline spawns one OS thread per session.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionConfig {
+    /// Store shape, mode, mix and plane knobs. `threads`, `requests`,
+    /// `burst`, `gap_ns` and `storm` are ignored in session mode.
+    pub base: KvConfig,
+    /// Logical session count.
+    pub sessions: usize,
+    /// Executor worker threads for the async driver (ignored by the
+    /// thread-per-session driver).
+    pub workers: usize,
+    /// Requests each session issues.
+    pub requests_per_session: u64,
+    /// Idle think time before every request, in nanoseconds.
+    pub think_ns: u64,
+}
+
+impl SessionConfig {
+    /// A small smoke-sized session run.
+    pub fn quick() -> Self {
+        SessionConfig {
+            base: KvConfig::quick(),
+            sessions: 64,
+            workers: 4,
+            requests_per_session: 20,
+            think_ns: 200_000,
+        }
+    }
+
+    fn offered(&self) -> u64 {
+        self.sessions as u64 * self.requests_per_session
+    }
+}
+
+/// One session's request loop, shared between the async and threaded
+/// drivers: sample a key, flip a write coin, dispatch, triage the outcome.
+/// Returns what the caller must do with the transactional part.
+struct SessionReq {
+    key: u64,
+    write: bool,
+}
+
+impl SessionReq {
+    fn draw(shared: &DriverShared, cfg: &SessionConfig, rng: &mut XorShift64) -> Self {
+        SessionReq {
+            key: shared.zipf.sample(rng),
+            write: rng.below(100) < cfg.base.write_pct as u64,
+        }
+    }
+}
+
+fn session_rng(cfg: &SessionConfig, sid: u64) -> XorShift64 {
+    XorShift64::new(cfg.base.seed ^ sid.wrapping_mul(0x9E37_79B9) ^ 0x5E55_10D5)
+}
+
+fn session_triage(shared: &DriverShared, issued: Instant, outcome: Result<(), TxError>) {
+    match outcome {
+        Ok(()) => {
+            shared.completed.fetch_add(1, Ordering::Relaxed);
+            shared.hist.record(issued.elapsed().as_nanos() as u64);
+        }
+        Err(TxError::Overloaded) => {
+            shared.shed.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(TxError::DeadlineExceeded) => {
+            shared.deadline_miss.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(e) => unreachable!("runner surfaced unexpected error {e:?}"),
+    }
+}
+
+async fn session_async(shared: &DriverShared, th: &ThreadHandle, cfg: &SessionConfig, sid: u64) {
+    let mut rng = session_rng(cfg, sid);
+    let hints = cfg.base.deadline.map(|d| TxHints::new().with_deadline(d));
+    for _ in 0..cfg.requests_per_session {
+        if cfg.think_ns > 0 {
+            exec::sleep(Duration::from_nanos(cfg.think_ns)).await;
+        }
+        let req = SessionReq::draw(shared, cfg, &mut rng);
+        let issued = Instant::now();
+        let outcome = match (hints, req.write) {
+            (Some(h), true) => shared
+                .store
+                .try_put_async(th, h, req.key, sid)
+                .await
+                .map(|_| ()),
+            (Some(h), false) => shared.store.try_get_async(th, h, req.key).await.map(|_| ()),
+            (None, true) => {
+                shared.store.put_async(th, req.key, sid).await;
+                Ok(())
+            }
+            (None, false) => {
+                shared.store.get_async(th, req.key).await;
+                Ok(())
+            }
+        };
+        session_triage(shared, issued, outcome);
+    }
+}
+
+fn session_thread(
+    shared: &DriverShared,
+    pool: &Mutex<Vec<ThreadHandle>>,
+    cfg: &SessionConfig,
+    sid: u64,
+) {
+    let mut rng = session_rng(cfg, sid);
+    let hints = cfg.base.deadline.map(|d| TxHints::new().with_deadline(d));
+    for _ in 0..cfg.requests_per_session {
+        if cfg.think_ns > 0 {
+            std::thread::sleep(Duration::from_nanos(cfg.think_ns));
+        }
+        let req = SessionReq::draw(shared, cfg, &mut rng);
+        let issued = Instant::now();
+        // Check a handle out for the duration of one request. Waiting for
+        // a free handle is part of the request's service time — that is
+        // the cost of pinning per-thread slots, and exactly what the
+        // async driver's transient claims avoid.
+        let th = loop {
+            if let Some(th) = pool.lock().expect("handle pool poisoned").pop() {
+                break th;
+            }
+            std::thread::yield_now();
+        };
+        let outcome = match (hints, req.write) {
+            (Some(h), true) => shared.store.try_put(&th, h, req.key, sid).map(|_| ()),
+            (Some(h), false) => shared.store.try_get(&th, h, req.key).map(|_| ()),
+            (None, true) => {
+                shared.store.put(&th, req.key, sid);
+                Ok(())
+            }
+            (None, false) => {
+                shared.store.get(&th, req.key);
+                Ok(())
+            }
+        };
+        pool.lock().expect("handle pool poisoned").push(th);
+        session_triage(shared, issued, outcome);
+    }
+}
+
+/// Run the async session driver: `cfg.sessions` logical sessions as
+/// executor tasks multiplexed onto `cfg.workers` OS threads. Each worker
+/// shares one registered [`ThreadHandle`] across all sessions scheduled on
+/// the executor — the async runner claims transient slot pairs per
+/// attempt, so concurrent sessions never fight over a handle.
+pub fn run_session_driver_async(cfg: &SessionConfig) -> KvReport {
+    run_session_driver_async_on(&build_system(&cfg.base), cfg)
+}
+
+/// [`run_session_driver_async`] against a caller-built system.
+pub fn run_session_driver_async_on(sys: &Arc<TmSystem>, cfg: &SessionConfig) -> KvReport {
+    assert!(cfg.sessions > 0 && cfg.workers > 0 && cfg.requests_per_session > 0);
+    let shared = prepare_shared(sys, &cfg.base);
+    let ctrl = cfg
+        .base
+        .admission
+        .then(|| sys.start_controller(Duration::from_micros(500)));
+
+    let exec = Exec::new(cfg.workers);
+    let handles: Vec<Arc<ThreadHandle>> =
+        (0..cfg.workers).map(|_| Arc::new(sys.register())).collect();
+
+    let t0 = Instant::now();
+    let joins: Vec<_> = (0..cfg.sessions)
+        .map(|sid| {
+            let shared = Arc::clone(&shared);
+            let th = Arc::clone(&handles[sid % handles.len()]);
+            let cfg = *cfg;
+            exec.spawn(async move { session_async(&shared, &th, &cfg, sid as u64).await })
+        })
+        .collect();
+    exec.block_on(async move {
+        for j in joins {
+            j.await;
+        }
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    drop(ctrl);
+
+    finish_report(&shared, cfg.offered(), secs)
+}
+
+/// Run the thread-per-session baseline: one OS thread per logical session,
+/// sharing [`SESSION_HANDLE_POOL`] registered handles through a checkout
+/// pool (the slot tables cannot seat a handle per session).
+pub fn run_session_driver_threads(cfg: &SessionConfig) -> KvReport {
+    run_session_driver_threads_on(&build_system(&cfg.base), cfg)
+}
+
+/// [`run_session_driver_threads`] against a caller-built system.
+pub fn run_session_driver_threads_on(sys: &Arc<TmSystem>, cfg: &SessionConfig) -> KvReport {
+    assert!(cfg.sessions > 0 && cfg.requests_per_session > 0);
+    let shared = prepare_shared(sys, &cfg.base);
+    let ctrl = cfg
+        .base
+        .admission
+        .then(|| sys.start_controller(Duration::from_micros(500)));
+
+    let pool_size = cfg.sessions.min(SESSION_HANDLE_POOL);
+    let pool = Arc::new(Mutex::new(
+        (0..pool_size).map(|_| sys.register()).collect::<Vec<_>>(),
+    ));
+
+    let t0 = Instant::now();
+    let threads: Vec<_> = (0..cfg.sessions)
+        .map(|sid| {
+            let shared = Arc::clone(&shared);
+            let pool = Arc::clone(&pool);
+            let cfg = *cfg;
+            std::thread::spawn(move || session_thread(&shared, &pool, &cfg, sid as u64))
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("session thread panicked");
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    drop(ctrl);
+
+    finish_report(&shared, cfg.offered(), secs)
 }
 
 #[cfg(test)]
@@ -682,7 +978,7 @@ mod tests {
                     let th = sys.register();
                     let (shard, k) = kv.split(0);
                     for _ in 0..1_000 {
-                        th.critical(shard.lock(), |ctx| {
+                        th.tx(shard.lock()).run(|ctx| {
                             let v = shard.get(ctx, k)?.expect("preloaded");
                             shard.put(ctx, k, v + 1)?;
                             Ok(())
@@ -738,6 +1034,70 @@ mod tests {
         assert_eq!(r.completed, 600);
         assert_eq!(r.shed + r.deadline_miss, 0);
         assert!(r.p50_ns > 0);
+    }
+
+    #[test]
+    fn async_session_driver_completes_everything() {
+        let cfg = SessionConfig {
+            sessions: 96,
+            workers: 3,
+            requests_per_session: 12,
+            think_ns: 20_000,
+            ..SessionConfig::quick()
+        };
+        let r = run_session_driver_async(&cfg);
+        assert_eq!(r.offered, 96 * 12);
+        assert_eq!(r.completed, r.offered);
+        assert_eq!(r.shed + r.deadline_miss, 0);
+        assert!(r.p50_ns > 0);
+    }
+
+    #[test]
+    fn thread_session_driver_pools_handles() {
+        // More sessions than the handle pool: checkout contention must not
+        // lose requests or leak handles.
+        let cfg = SessionConfig {
+            sessions: SESSION_HANDLE_POOL + 16,
+            requests_per_session: 8,
+            think_ns: 5_000,
+            ..SessionConfig::quick()
+        };
+        let r = run_session_driver_threads(&cfg);
+        assert_eq!(r.completed, r.offered);
+    }
+
+    #[test]
+    fn async_sessions_see_threaded_writes() {
+        // The two drivers target the same store semantics: a threaded run
+        // followed by an async run over one system keeps counts exact.
+        let cfg = SessionConfig {
+            sessions: 40,
+            workers: 2,
+            requests_per_session: 10,
+            think_ns: 0,
+            base: KvConfig {
+                write_pct: 100,
+                ..KvConfig::quick()
+            },
+            ..SessionConfig::quick()
+        };
+        let sys = build_system(&cfg.base);
+        let a = run_session_driver_threads_on(&sys, &cfg);
+        let b = run_session_driver_async_on(&sys, &cfg);
+        assert_eq!(a.completed + b.completed, 2 * cfg.offered());
+    }
+
+    #[test]
+    fn async_session_driver_with_plane_accounts_for_everything() {
+        let cfg = SessionConfig {
+            sessions: 48,
+            workers: 4,
+            requests_per_session: 10,
+            think_ns: 0,
+            base: KvConfig::quick().with_plane(Duration::from_millis(5)),
+        };
+        let r = run_session_driver_async(&cfg);
+        assert_eq!(r.completed + r.shed + r.deadline_miss, r.offered);
     }
 
     #[test]

@@ -1,19 +1,32 @@
 //! Locating atomic blocks: every `.critical(...)` / `.critical_with(...)`
-//! call site, with its closure body flattened for rule scanning.
+//! call site — and every `tx(..)` request-builder terminal
+//! (`.tx(..).run(|ctx| ..)`, `.tx(..).hints(..).try_run_async(|ctx| ..)`)
+//! — with its closure body flattened for rule scanning.
 //!
 //! Call sites are recognized by shape — a `.` followed by one of the
 //! critical-section method names followed by a parenthesized argument
 //! group. Definitions (`pub fn critical<'a, R>(...)`) never match because
-//! they are not preceded by `.`. The search descends into *every* group,
-//! so call sites inside `macro_rules!` bodies, nested modules, closures and
-//! test functions are all found; nested `critical` calls surface both as
+//! they are not preceded by `.`. Builder terminals only count when the
+//! method chain walks back through `hints`/`deadline_us` links to a
+//! `.tx(..)` origin, so an unrelated `.run(..)` (criterion, builders)
+//! never matches. The search descends into *every* group, so call sites
+//! inside `macro_rules!` bodies, nested modules, closures and test
+//! functions are all found; nested `critical`/`tx` calls surface both as
 //! their own site and as an R2 finding in the enclosing body.
 
 use crate::lexer::{Delim, Span, TokKind};
 use crate::tree::{Group, Tree};
 
-/// Method names that open an atomic block.
+/// Method names that open an atomic block (legacy direct surface).
 pub const CRITICAL_METHODS: [&str; 3] = ["critical", "critical_with", "critical_hinted"];
+
+/// Terminal methods of the `tx(..)` request builder; each consumes the
+/// request and takes the atomic-block closure as its argument.
+pub const TX_TERMINALS: [&str; 4] = ["run", "try_run", "run_async", "try_run_async"];
+
+/// Non-terminal links of the request-builder chain (`tx(..)` itself is the
+/// origin).
+const TX_CHAIN: [&str; 2] = ["hints", "deadline_us"];
 
 /// A flattened token inside a closure body. Group boundaries are kept as
 /// `Open`/`Close` entries so rules can reason about argument lists.
@@ -44,7 +57,8 @@ impl Flat {
 /// One located atomic block.
 #[derive(Debug)]
 pub struct Site {
-    /// `critical`, `critical_with` or `critical_hinted`.
+    /// `critical`, `critical_with`, `critical_hinted`, or a builder
+    /// terminal (`run`, `try_run`, `run_async`, `try_run_async`).
     pub method: String,
     /// Span of the method-name token.
     pub span: Span,
@@ -67,7 +81,9 @@ fn walk(kids: &[Tree], out: &mut Vec<Site>) {
         if let Tree::Group(g) = t {
             if g.delim == Delim::Paren && i >= 2 && kids[i - 2].is_punct('.') {
                 if let Some(m) = kids[i - 1].ident() {
-                    if CRITICAL_METHODS.contains(&m) {
+                    if CRITICAL_METHODS.contains(&m)
+                        || (TX_TERMINALS.contains(&m) && chains_to_tx(kids, i))
+                    {
                         out.push(extract_site(m, kids[i - 1].span(), g));
                     }
                 }
@@ -75,6 +91,26 @@ fn walk(kids: &[Tree], out: &mut Vec<Site>) {
             walk(&g.kids, out);
         }
     }
+}
+
+/// Does the method chain ending in the group at `idx` originate in a
+/// `.tx(..)` call? Walks back through `[.., '.', name, (args)]` links:
+/// `th.tx(&l).hints(h).run(..)` → `run`'s group at `idx`, preceding link
+/// group at `idx - 3` named `hints`, preceding link named `tx` — matched.
+fn chains_to_tx(kids: &[Tree], idx: usize) -> bool {
+    let mut group = idx.checked_sub(3);
+    while let Some(g) = group {
+        if !matches!(kids.get(g), Some(Tree::Group(gr)) if gr.delim == Delim::Paren) {
+            return false;
+        }
+        let named = g >= 2 && kids[g - 2].is_punct('.');
+        match kids.get(g.wrapping_sub(1)).and_then(|t| t.ident()) {
+            Some("tx") => return true,
+            Some(link) if named && TX_CHAIN.contains(&link) => group = g.checked_sub(3),
+            _ => return false,
+        }
+    }
+    false
 }
 
 /// Pull the trailing closure out of a critical call's argument group.
@@ -205,6 +241,34 @@ mod tests {
             .find(|f| f.ident() == Some("defer"))
             .expect("defer token present");
         assert!(!defer_tok.in_defer);
+    }
+
+    #[test]
+    fn builder_terminal_is_a_site() {
+        let s = sites("fn f() { th.tx(&lock).run(|ctx| { ctx.read(&c) }); }");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].method, "run");
+        assert_eq!(s[0].ctx.as_deref(), Some("ctx"));
+        assert!(s[0].body.iter().any(|f| f.ident() == Some("read")));
+    }
+
+    #[test]
+    fn builder_chain_links_are_followed() {
+        let s = sites(
+            "th.tx(&lock).hints((2, 8)).deadline_us(50).try_run_async(move |tx| { \
+             tx.write(&c, 1) });",
+        );
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].method, "try_run_async");
+        assert_eq!(s[0].ctx.as_deref(), Some("tx"));
+    }
+
+    #[test]
+    fn unrelated_run_calls_are_not_sites() {
+        let s = sites(
+            "group.run(|b| b.iter(|| 1)); builder.hints(h).run(f); c.bench(\"x\", |b| b.run());",
+        );
+        assert!(s.is_empty(), "{s:?}");
     }
 
     #[test]

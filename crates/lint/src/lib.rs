@@ -16,6 +16,7 @@
 //! | R3 | `escape-hazard` | direct atomics / raw pointers bypassing the ctx |
 //! | R4 | `noquiesce-privatization` | §IV-B: no-quiesce + privatizing body |
 //! | R5 | `condvar-misuse` | §III: OS condvar/park instead of `TxCondvar` |
+//! | R6 | `async-in-atomic` | `.await`/`block_on`/nested async entry inside an atomic block |
 //!
 //! Findings are suppressed with a reviewed, reasoned directive:
 //!

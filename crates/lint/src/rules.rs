@@ -8,6 +8,7 @@
 //! | R3 `escape-hazard` | mixed transactional/non-transactional access: direct atomics or `load_direct`/`store_direct` inside the closure bypass the TM read/write sets |
 //! | R4 `noquiesce-privatization` | §IV-B: `TM_NoQuiesce` asserted by a transaction that privatizes (frees/drops shared data) — readers may still hold speculative references |
 //! | R5 `condvar-misuse` | §III: OS condition variables or `park` inside a transaction deadlock or lose wakeups; waiting must go through `TxCondvar` (Wang's construction) |
+//! | R6 `async-in-atomic` | atomic blocks never suspend mid-speculation: `.await`, `block_on(..)` or a nested async section entry inside the closure would pin orecs/line claims across arbitrary scheduling delays |
 //!
 //! The scan is token-shape based and deliberately path-insensitive: a rule
 //! fires when a hazardous shape appears anywhere in the closure body. Two
@@ -20,7 +21,7 @@
 use crate::extract::{Flat, Site, CRITICAL_METHODS};
 use crate::lexer::{Delim, Span, TokKind};
 
-/// Everything the analyzer can report. `R1..R5` are the suppressible
+/// Everything the analyzer can report. `R1..R6` are the suppressible
 /// transaction-safety rules; the `A*`/`P*` rules are meta-diagnostics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Rule {
@@ -29,6 +30,7 @@ pub enum Rule {
     EscapeHazard,
     NoQuiescePrivatization,
     CondvarMisuse,
+    AsyncInAtomic,
     /// A `tle-lint:` directive that is malformed or missing its reason.
     BadAllow,
     /// A valid suppression whose rule no longer fires on its line.
@@ -37,17 +39,18 @@ pub enum Rule {
     ParseError,
 }
 
-/// The five transaction-safety rules, in id order.
-pub const LINT_RULES: [Rule; 5] = [
+/// The six transaction-safety rules, in id order.
+pub const LINT_RULES: [Rule; 6] = [
     Rule::IrrevocableEffect,
     Rule::NestedLock,
     Rule::EscapeHazard,
     Rule::NoQuiescePrivatization,
     Rule::CondvarMisuse,
+    Rule::AsyncInAtomic,
 ];
 
 impl Rule {
-    /// Short id (`R1`..`R5`, `A1`, `A2`, `P1`).
+    /// Short id (`R1`..`R6`, `A1`, `A2`, `P1`).
     pub fn id(self) -> &'static str {
         match self {
             Rule::IrrevocableEffect => "R1",
@@ -55,6 +58,7 @@ impl Rule {
             Rule::EscapeHazard => "R3",
             Rule::NoQuiescePrivatization => "R4",
             Rule::CondvarMisuse => "R5",
+            Rule::AsyncInAtomic => "R6",
             Rule::BadAllow => "A1",
             Rule::StaleAllow => "A2",
             Rule::ParseError => "P1",
@@ -69,6 +73,7 @@ impl Rule {
             Rule::EscapeHazard => "escape-hazard",
             Rule::NoQuiescePrivatization => "noquiesce-privatization",
             Rule::CondvarMisuse => "condvar-misuse",
+            Rule::AsyncInAtomic => "async-in-atomic",
             Rule::BadAllow => "bad-allow",
             Rule::StaleAllow => "stale-allow",
             Rule::ParseError => "parse-error",
@@ -100,6 +105,12 @@ impl Rule {
             Rule::CondvarMisuse => {
                 "OS blocking primitive inside an atomic block (paper \u{a7}III): waiting \
                  must commit the transaction first; use ctx.wait/ctx.signal on a TxCondvar"
+            }
+            Rule::AsyncInAtomic => {
+                "suspension point inside an atomic block: attempts must start and finish \
+                 inside one poll; an .await/block_on would hold speculative state (orecs, \
+                 line claims, the serial token) across arbitrary scheduling delays \u{2014} \
+                 commit first, then await (ctx.wait suspends safely between attempts)"
             }
             Rule::BadAllow => "malformed suppression: tle-lint: allow(<rule>, \"<reason>\")",
             Rule::StaleAllow => "suppression no longer matches any finding on its line",
@@ -162,6 +173,10 @@ const DIRECT_CELL: [&str; 2] = ["load_direct", "store_direct"];
 const PRIVATIZE: [&str; 3] = ["drop", "from_raw", "dealloc"];
 /// OS blocking primitives (R5).
 const PARK_CALLS: [&str; 2] = ["park", "park_timeout"];
+/// Async section entry points (R6): awaiting any of these inside an atomic
+/// block is a suspension hazard; `critical_async` is the free-function
+/// spelling some front-ends use.
+const ASYNC_ENTRIES: [&str; 3] = ["run_async", "try_run_async", "critical_async"];
 const CONDVAR_METHODS: [&str; 3] = ["notify_one", "notify_all", "wait_timeout"];
 
 /// Run every rule over one atomic block.
@@ -240,7 +255,16 @@ pub fn scan_site(site: &Site) -> Vec<Finding> {
         }
 
         // --- R2: nested locks --------------------------------------------
-        if prev_dot && CRITICAL_METHODS.contains(&name) && next_open {
+        if prev_dot && name == "tx" && next_open {
+            out.push(finding(
+                Rule::NestedLock,
+                f.span,
+                "re-entrant `.tx(..)` request inside an atomic block: TLE cannot subsume \
+                 inner critical sections (the x265 2PL bug); merge the sections or hand \
+                 off via a ready flag"
+                    .into(),
+            ));
+        } else if prev_dot && CRITICAL_METHODS.contains(&name) && next_open {
             out.push(finding(
                 Rule::NestedLock,
                 f.span,
@@ -340,6 +364,37 @@ pub fn scan_site(site: &Site) -> Vec<Finding> {
                 format!(
                     "`.{name}(..)` is the OS condvar protocol; transactional code signals \
                      via ctx.signal/ctx.broadcast so aborted signallers wake no one"
+                ),
+            ));
+        }
+
+        // --- R6: suspension points ---------------------------------------
+        if name == "await" && prev_dot {
+            out.push(finding(
+                Rule::AsyncInAtomic,
+                f.span,
+                "`.await` inside an atomic block: attempts must start and finish inside \
+                 one poll \u{2014} suspending would hold speculative state across arbitrary \
+                 scheduling delays; commit first, then await"
+                    .into(),
+            ));
+        } else if name == "block_on" && next_open {
+            out.push(finding(
+                Rule::AsyncInAtomic,
+                f.span,
+                "`block_on(..)` inside an atomic block drives a future to completion while \
+                 holding speculative state (and can deadlock the executor the section \
+                 itself runs on); restructure so the async work happens outside the section"
+                    .into(),
+            ));
+        } else if prev_dot && ASYNC_ENTRIES.contains(&name) && next_open {
+            out.push(finding(
+                Rule::AsyncInAtomic,
+                f.span,
+                format!(
+                    "nested async section entry `.{name}(..)` inside an atomic block: the \
+                     returned future cannot be awaited here (R6) and polling it inline \
+                     re-enters the runtime (R2); restructure per paper \u{a7}V"
                 ),
             ));
         }

@@ -117,7 +117,7 @@ fn parse_one(clause: &str, span: Span, target: Option<u32>) -> Result<Allow, Fin
         return Err(bad(
             span,
             &format!(
-                "unknown rule `{rule_txt}` in allow(..); expected R1-R5 or a rule slug \
+                "unknown rule `{rule_txt}` in allow(..); expected R1-R6 or a rule slug \
                  like irrevocable-effect"
             ),
         ));

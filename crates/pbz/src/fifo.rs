@@ -64,7 +64,7 @@ impl<T: Send> TleFifo<T> {
         let raw = Box::into_raw(item) as *mut ();
         let cap = self.slots.len() as u64;
         self.ops.fetch_add(1, Ordering::Relaxed);
-        let accepted = th.critical(&self.lock, |ctx| {
+        let accepted = th.tx(&self.lock).run(|ctx| {
             if ctx.read(&self.closed)? {
                 return Ok(false);
             }
@@ -96,7 +96,7 @@ impl<T: Send> TleFifo<T> {
     pub fn pop(&self, th: &ThreadHandle) -> Option<Box<T>> {
         let cap = self.slots.len() as u64;
         self.ops.fetch_add(1, Ordering::Relaxed);
-        let raw = th.critical(&self.lock, |ctx| {
+        let raw = th.tx(&self.lock).run(|ctx| {
             let h = ctx.read(&self.head)?;
             let t = ctx.read(&self.tail)?;
             if h == t {
@@ -131,7 +131,7 @@ impl<T: Send> TleFifo<T> {
 
     /// Close the queue: pushes fail, pops drain then return `None`.
     pub fn close(&self, th: &ThreadHandle) {
-        th.critical(&self.lock, |ctx| {
+        th.tx(&self.lock).run(|ctx| {
             ctx.write(&self.closed, true)?;
             ctx.broadcast(&self.not_empty)?;
             ctx.broadcast(&self.not_full)?;

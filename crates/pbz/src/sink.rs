@@ -40,7 +40,7 @@ impl OrderedSink {
     /// Submit chunk `id`; blocks until all earlier ids have been written.
     pub fn submit(&self, th: &ThreadHandle, id: u64, data: &[u8]) {
         // Wait for our turn.
-        th.critical(&self.lock, |ctx| {
+        th.tx(&self.lock).run(|ctx| {
             if ctx.read(&self.next)? != id {
                 // Reading only: nothing privatized.
                 ctx.no_quiesce();
@@ -57,7 +57,7 @@ impl OrderedSink {
             out.extend_from_slice(data);
         }
         // Pass the turn.
-        th.critical(&self.lock, |ctx| {
+        th.tx(&self.lock).run(|ctx| {
             ctx.write(&self.next, id + 1)?;
             ctx.broadcast(&self.turn_cv)?;
             ctx.no_quiesce();

@@ -34,7 +34,7 @@ mod soft;
 mod tx;
 
 pub use norec::NorecTx;
-pub use quiesce::{drain, drain_watched, QuiescePolicy, Watchdog};
+pub use quiesce::{drain, drain_watched, QuiescePolicy, QuiesceTicket, Watchdog};
 pub use sets::{
     buf_alloc_stats, buf_reuse_enabled, drain_buf_pool, reset_buf_alloc_stats, set_buf_reuse,
     BufAllocStats, SmallSet, INLINE_READS, INLINE_WRITES,
@@ -218,6 +218,29 @@ impl StmGlobal {
     /// (claimed via `self.slots.register_raw()`).
     pub fn begin(&self, slot_idx: usize) -> StmTx<'_> {
         StmTx::begin(self, slot_idx)
+    }
+
+    /// Run one non-blocking sweep of a pending post-commit drain
+    /// ([`StmTx::commit_publish`]). `Some(info)` once the drain completes —
+    /// quiescence statistics are recorded at that point — and `None` while
+    /// an older transaction is still inside the window (the async runner
+    /// yields its worker and polls again).
+    pub fn quiesce_pass(&self, t: &mut QuiesceTicket) -> Option<CommitInfo> {
+        let dog = Watchdog {
+            deadline_ns: self.quiesce_deadline_ns(),
+            stats: &self.stats,
+            shard: t.slot_idx,
+            tx_deadline: t.tx_deadline,
+        };
+        let wait_ns = t.pass(&self.slots, &dog)?;
+        self.stats.quiesces.inc(t.slot_idx);
+        self.stats.quiesce_wait_ns.add(t.slot_idx, wait_ns);
+        self.stats.quiesce_hist.record(wait_ns);
+        Some(CommitInfo {
+            end_time: t.end_time,
+            quiesced: true,
+            quiesce_wait_ns: wait_ns,
+        })
     }
 }
 

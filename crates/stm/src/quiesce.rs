@@ -207,6 +207,92 @@ pub fn drain_watched(
     ns
 }
 
+/// A post-commit drain split out of an async commit
+/// ([`StmTx::commit_publish`](crate::StmTx::commit_publish)).
+///
+/// The commit itself has already happened — clock advanced, orecs released,
+/// slot deactivated — and only the privatization drain remains. Instead of
+/// spinning, the async runner calls
+/// [`StmGlobal::quiesce_pass`](crate::StmGlobal::quiesce_pass) once per
+/// poll, yielding the executor worker between passes; each pass is a single
+/// non-blocking sweep of the slot registry. Termination mirrors the
+/// blocking drain's argument: atomic blocks never suspend mid-speculation
+/// (they are synchronous closures; lint rule R6 enforces it), so every
+/// straggler the sweep observes is running on some live thread or task and
+/// must commit, abort, or extend past `upto` in bounded steps.
+///
+/// Watchdog supervision carries over: a ticket that stays blocked past the
+/// domain's drain deadline trips once (report + counter), then keeps
+/// polling — abandoning the drain would break privatization safety.
+pub struct QuiesceTicket {
+    pub(crate) upto: u64,
+    pub(crate) end_time: u64,
+    pub(crate) slot_idx: usize,
+    pub(crate) tx_deadline: Option<Instant>,
+    started: Instant,
+    announced: bool,
+    tripped: bool,
+    budget_noted: bool,
+}
+
+impl QuiesceTicket {
+    pub(crate) fn new(
+        upto: u64,
+        end_time: u64,
+        slot_idx: usize,
+        tx_deadline: Option<Instant>,
+    ) -> Self {
+        QuiesceTicket {
+            upto,
+            end_time,
+            slot_idx,
+            tx_deadline,
+            started: Instant::now(),
+            announced: false,
+            tripped: false,
+            budget_noted: false,
+        }
+    }
+
+    /// Commit timestamp of the transaction that owes this drain.
+    pub fn end_time(&self) -> u64 {
+        self.end_time
+    }
+
+    /// One non-blocking sweep. `Some(waited_ns)` once every older slot has
+    /// drained (0 when the very first sweep was already clean); `None`
+    /// while a straggler is still inside the window.
+    pub(crate) fn pass(&mut self, slots: &SlotRegistry, dog: &Watchdog<'_>) -> Option<u64> {
+        sched::yield_point(YieldPoint::QuiesceScan);
+        let blocked = slots
+            .scan()
+            .any(|(idx, v)| idx != self.slot_idx && v < self.upto);
+        if !blocked {
+            if !self.announced {
+                return Some(0);
+            }
+            let ns = self.started.elapsed().as_nanos() as u64;
+            trace::emit(TraceKind::QuiesceEnd, TxMode::Stm, None, ns);
+            return Some(ns);
+        }
+        if !self.announced {
+            self.announced = true;
+            trace::emit(TraceKind::QuiesceStart, TxMode::Stm, None, self.upto);
+        }
+        sched::spin_hint(YieldPoint::QuiesceScan);
+        let ns = self.started.elapsed().as_nanos() as u64;
+        if !self.tripped && ns > dog.deadline_ns {
+            self.tripped = true;
+            dog.trip(ns, self.upto);
+        }
+        if !self.budget_noted && self.tx_deadline.is_some_and(|t| Instant::now() >= t) {
+            self.budget_noted = true;
+            trace::emit(TraceKind::DeadlineExceeded, TxMode::Stm, None, ns);
+        }
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,6 +367,65 @@ mod tests {
         slots.publish_raw(other, 150); // extension, still active
         let ns = waiter.join().unwrap();
         assert!(ns > 0);
+    }
+
+    #[test]
+    fn ticket_first_pass_clean_reports_zero_wait() {
+        let slots = SlotRegistry::new();
+        let me = slots.register_raw().unwrap();
+        let stats = tle_base::stats::TxStats::new();
+        let dog = Watchdog {
+            deadline_ns: u64::MAX,
+            stats: &stats,
+            shard: me,
+            tx_deadline: None,
+        };
+        let mut t = QuiesceTicket::new(100, 100, me, None);
+        assert_eq!(t.pass(&slots, &dog), Some(0));
+    }
+
+    #[test]
+    fn ticket_blocks_until_straggler_leaves_window() {
+        let slots = SlotRegistry::new();
+        let me = slots.register_raw().unwrap();
+        let other = slots.register_raw().unwrap();
+        slots.publish_raw(other, 50);
+        let stats = tle_base::stats::TxStats::new();
+        let dog = Watchdog {
+            deadline_ns: u64::MAX,
+            stats: &stats,
+            shard: me,
+            tx_deadline: None,
+        };
+        let mut t = QuiesceTicket::new(100, 100, me, None);
+        assert_eq!(t.pass(&slots, &dog), None);
+        assert_eq!(t.pass(&slots, &dog), None, "still blocked");
+        slots.publish_raw(other, INACTIVE);
+        let ns = t.pass(&slots, &dog).expect("drained");
+        assert!(ns > 0, "a blocked ticket reports its waiting time");
+    }
+
+    #[test]
+    fn ticket_trips_watchdog_once() {
+        let slots = SlotRegistry::new();
+        let me = slots.register_raw().unwrap();
+        let other = slots.register_raw().unwrap();
+        slots.publish_raw(other, 50);
+        let stats = tle_base::stats::TxStats::new();
+        let dog = Watchdog {
+            deadline_ns: 0, // any blocked pass is past the deadline
+            stats: &stats,
+            shard: me,
+            tx_deadline: None,
+        };
+        let mut t = QuiesceTicket::new(100, 100, me, None);
+        assert_eq!(t.pass(&slots, &dog), None);
+        assert_eq!(t.pass(&slots, &dog), None);
+        assert_eq!(
+            stats.watchdog_trips.get(),
+            1,
+            "the trip must fire exactly once per drain"
+        );
     }
 
     #[test]

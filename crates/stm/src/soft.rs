@@ -119,6 +119,17 @@ impl<'g> SoftTx<'g> {
         }
     }
 
+    /// The async commit split ([`StmTx::commit_publish`]): non-blocking
+    /// commit, pending drain returned as a ticket. NOrec commits abort on
+    /// sequence-lock contention rather than waiting and never drain, so its
+    /// ordinary commit already is non-blocking and the ticket is `None`.
+    pub fn commit_publish(self) -> Result<(CommitInfo, Option<crate::QuiesceTicket>), AbortCause> {
+        match self {
+            SoftTx::MlWt(tx) => tx.commit_publish(),
+            SoftTx::Norec(tx) => tx.commit().map(|info| (info, None)),
+        }
+    }
+
     /// Abort this attempt.
     pub fn abort(self, cause: AbortCause) {
         match self {

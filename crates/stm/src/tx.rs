@@ -2,7 +2,7 @@
 //! acquisition, timestamp extension, commit-time validation, and the
 //! post-commit quiescence drain.
 
-use crate::quiesce::{drain_watched, QuiescePolicy, Watchdog};
+use crate::quiesce::{drain_watched, QuiescePolicy, QuiesceTicket, Watchdog};
 use crate::sets::{self, BufLease};
 use crate::StmGlobal;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -406,6 +406,72 @@ impl<'g> StmTx<'g> {
         Ok(info)
     }
 
+    /// The async commit split: identical to [`StmTx::commit`] up to and
+    /// including publishing `INACTIVE`, but when a post-commit drain is
+    /// required it is *returned* as a pending [`QuiesceTicket`] instead of
+    /// being spun out inline. Everything executed here is non-blocking
+    /// (clock CAS, orec releases, slot store), so the async runner may call
+    /// it from an executor worker and poll the ticket via
+    /// [`StmGlobal::quiesce_pass`](crate::StmGlobal::quiesce_pass) with
+    /// yields in between. When the ticket is `None` the returned
+    /// [`CommitInfo`] is final.
+    pub fn commit_publish(mut self) -> Result<(CommitInfo, Option<QuiesceTicket>), AbortCause> {
+        debug_assert!(!self.finished);
+        let shard = self.slot_idx;
+        if self.bufs.locks.is_empty() {
+            self.finished = true;
+            history::commit();
+            self.g.slots.publish_raw(self.slot_idx, tle_base::INACTIVE);
+            if self.g.ro_commit_fast_path()
+                && !self.must_quiesce
+                && !(self.no_quiesce && self.g.audit_noquiesce_enabled())
+            {
+                // Same soundness argument as the sync read-only fast path.
+                self.g.stats.quiesce_skipped.inc(shard);
+                self.g.stats.commits.inc(shard);
+                trace::emit(TraceKind::Commit, TxMode::Stm, None, 0);
+                return Ok((
+                    CommitInfo {
+                        end_time: 0,
+                        quiesced: false,
+                        quiesce_wait_ns: 0,
+                    },
+                    None,
+                ));
+            }
+            let out = self.defer_quiesce(self.g.clock.now());
+            self.g.stats.commits.inc(shard);
+            trace::emit(TraceKind::Commit, TxMode::Stm, None, out.0.end_time);
+            return Ok(out);
+        }
+
+        sched::yield_point(YieldPoint::ClockAdvance);
+        let end = self.g.clock.advance();
+        if end > self.start + 1
+            && !mutant::armed(Mutant::SkipCommitValidation)
+            && self.validate().is_err()
+        {
+            let cause = AbortCause::CommitValidation;
+            self.rollback();
+            self.finished = true;
+            self.g.stats.count_abort(shard, cause);
+            trace::emit(TraceKind::Abort, TxMode::Stm, Some(cause), end);
+            history::abort();
+            return Err(cause);
+        }
+        history::commit();
+        sched::yield_point(YieldPoint::OrecRelease);
+        for &(oi, _) in self.bufs.locks.iter() {
+            self.g.orecs.release(oi as usize, end);
+        }
+        self.finished = true;
+        self.g.slots.publish_raw(self.slot_idx, tle_base::INACTIVE);
+        let out = self.defer_quiesce(end);
+        self.g.stats.commits.inc(shard);
+        trace::emit(TraceKind::Commit, TxMode::Stm, None, end);
+        Ok(out)
+    }
+
     /// Explicitly abort this attempt (conflict, explicit cancel, or a
     /// surrounding policy decision). Rolls back and releases all orecs.
     pub fn abort(mut self, cause: AbortCause) {
@@ -445,26 +511,62 @@ impl<'g> StmTx<'g> {
         self.bufs.reads.clear();
     }
 
-    fn maybe_quiesce(&self, upto: u64) -> CommitInfo {
-        let end_time = upto;
-        let needed = match self.g.policy() {
+    /// Whether the domain policy (plus this transaction's annotations)
+    /// requires a post-commit drain.
+    fn quiesce_needed(&self) -> bool {
+        (match self.g.policy() {
             QuiescePolicy::Always => true,
             QuiescePolicy::Never => self.must_quiesce,
             QuiescePolicy::Selective => self.must_quiesce || !self.no_quiesce,
-        } && !mutant::armed(Mutant::DropQuiesce);
-        if !needed {
-            self.g.stats.quiesce_skipped.inc(self.slot_idx);
-            if self.no_quiesce && self.g.audit_noquiesce_enabled() {
-                // §IV-C audit: would the skipped drain have waited?
-                let overlapped = self
-                    .g
-                    .slots
-                    .scan()
-                    .any(|(idx, v)| idx != self.slot_idx && v < upto);
-                if overlapped {
-                    self.g.noquiesce_overlaps.inc(self.slot_idx);
-                }
+        }) && !mutant::armed(Mutant::DropQuiesce)
+    }
+
+    /// Account for a skipped drain (counter + the §IV-C overlap audit).
+    fn note_quiesce_skip(&self, upto: u64) {
+        self.g.stats.quiesce_skipped.inc(self.slot_idx);
+        if self.no_quiesce && self.g.audit_noquiesce_enabled() {
+            // §IV-C audit: would the skipped drain have waited?
+            let overlapped = self
+                .g
+                .slots
+                .scan()
+                .any(|(idx, v)| idx != self.slot_idx && v < upto);
+            if overlapped {
+                self.g.noquiesce_overlaps.inc(self.slot_idx);
             }
+        }
+    }
+
+    /// The deferring counterpart of [`StmTx::maybe_quiesce`]: same policy
+    /// decision and skip accounting, but a required drain becomes a pending
+    /// [`QuiesceTicket`] for the caller to poll.
+    fn defer_quiesce(&self, upto: u64) -> (CommitInfo, Option<QuiesceTicket>) {
+        if !self.quiesce_needed() {
+            self.note_quiesce_skip(upto);
+            return (
+                CommitInfo {
+                    end_time: upto,
+                    quiesced: false,
+                    quiesce_wait_ns: 0,
+                },
+                None,
+            );
+        }
+        let ticket = QuiesceTicket::new(upto, upto, self.slot_idx, self.deadline);
+        (
+            CommitInfo {
+                end_time: upto,
+                quiesced: true,
+                quiesce_wait_ns: 0,
+            },
+            Some(ticket),
+        )
+    }
+
+    fn maybe_quiesce(&self, upto: u64) -> CommitInfo {
+        let end_time = upto;
+        if !self.quiesce_needed() {
+            self.note_quiesce_skip(upto);
             return CommitInfo {
                 end_time,
                 quiesced: false,

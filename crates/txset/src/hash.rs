@@ -89,7 +89,7 @@ impl Default for TxHashSet {
 impl TxSet for TxHashSet {
     fn insert(&self, th: &ThreadHandle, key: u64) -> bool {
         debug_assert!(key < KEY_SPACE);
-        th.critical(&self.lock, |ctx| {
+        th.tx(&self.lock).run(|ctx| {
             let (prev, cur) = self.locate(ctx, key)?;
             if cur != NIL && ctx.read(&self.nodes[cur as usize].key)? == key {
                 ctx.no_quiesce();
@@ -110,7 +110,7 @@ impl TxSet for TxHashSet {
 
     fn remove(&self, th: &ThreadHandle, key: u64) -> bool {
         debug_assert!(key < KEY_SPACE);
-        th.critical(&self.lock, |ctx| {
+        th.tx(&self.lock).run(|ctx| {
             let (prev, cur) = self.locate(ctx, key)?;
             if cur == NIL || ctx.read(&self.nodes[cur as usize].key)? != key {
                 ctx.no_quiesce();
@@ -130,7 +130,7 @@ impl TxSet for TxHashSet {
 
     fn contains(&self, th: &ThreadHandle, key: u64) -> bool {
         debug_assert!(key < KEY_SPACE);
-        th.critical(&self.lock, |ctx| {
+        th.tx(&self.lock).run(|ctx| {
             let (_, cur) = self.locate(ctx, key)?;
             ctx.no_quiesce();
             Ok(cur != NIL && ctx.read(&self.nodes[cur as usize].key)? == key)

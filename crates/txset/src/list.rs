@@ -83,7 +83,7 @@ impl Default for TxListSet {
 impl TxSet for TxListSet {
     fn insert(&self, th: &ThreadHandle, key: u64) -> bool {
         debug_assert!(key < KEY_SPACE);
-        th.critical(&self.lock, |ctx| {
+        th.tx(&self.lock).run(|ctx| {
             let (prev, cur) = self.locate(ctx, key)?;
             if cur != NIL && ctx.read(&self.nodes[cur as usize].key)? == key {
                 // Present: nothing privatized -> no quiescence needed.
@@ -107,7 +107,7 @@ impl TxSet for TxListSet {
 
     fn remove(&self, th: &ThreadHandle, key: u64) -> bool {
         debug_assert!(key < KEY_SPACE);
-        th.critical(&self.lock, |ctx| {
+        th.tx(&self.lock).run(|ctx| {
             let (prev, cur) = self.locate(ctx, key)?;
             if cur == NIL || ctx.read(&self.nodes[cur as usize].key)? != key {
                 ctx.no_quiesce();
@@ -129,7 +129,7 @@ impl TxSet for TxListSet {
 
     fn contains(&self, th: &ThreadHandle, key: u64) -> bool {
         debug_assert!(key < KEY_SPACE);
-        th.critical(&self.lock, |ctx| {
+        th.tx(&self.lock).run(|ctx| {
             let (_, cur) = self.locate(ctx, key)?;
             ctx.no_quiesce();
             Ok(cur != NIL && ctx.read(&self.nodes[cur as usize].key)? == key)

@@ -108,7 +108,7 @@ impl Default for TxTreeSet {
 impl TxSet for TxTreeSet {
     fn insert(&self, th: &ThreadHandle, key: u64) -> bool {
         debug_assert!(key < KEY_SPACE);
-        th.critical(&self.lock, |ctx| {
+        th.tx(&self.lock).run(|ctx| {
             let (parent, cur) = self.locate(ctx, key)?;
             if cur != NIL {
                 ctx.no_quiesce();
@@ -135,7 +135,7 @@ impl TxSet for TxTreeSet {
 
     fn remove(&self, th: &ThreadHandle, key: u64) -> bool {
         debug_assert!(key < KEY_SPACE);
-        th.critical(&self.lock, |ctx| {
+        th.tx(&self.lock).run(|ctx| {
             let (parent, cur) = self.locate(ctx, key)?;
             if cur == NIL {
                 ctx.no_quiesce();
@@ -178,7 +178,7 @@ impl TxSet for TxTreeSet {
 
     fn contains(&self, th: &ThreadHandle, key: u64) -> bool {
         debug_assert!(key < KEY_SPACE);
-        th.critical(&self.lock, |ctx| {
+        th.tx(&self.lock).run(|ctx| {
             let (_, cur) = self.locate(ctx, key)?;
             ctx.no_quiesce();
             Ok(cur != NIL)

@@ -342,7 +342,7 @@ fn start_frame(
         let rows_issued = Arc::clone(&rows_issued);
         pool.submit(th, move |wth| {
             // Claim a row (EncoderRow lock).
-            let r = wth.critical(&row_lock, |ctx| {
+            let r = wth.tx(&row_lock).run(|ctx| {
                 let r = ctx.read(&*rows_issued)?;
                 ctx.write(&*rows_issued, r + 1)?;
                 ctx.no_quiesce();
@@ -367,7 +367,7 @@ fn start_frame(
                 let pred = if local_r == 0 {
                     Mv::default()
                 } else {
-                    let w = wth.critical(&mv_lock, |ctx| {
+                    let w = wth.tx(&mv_lock).run(|ctx| {
                         let v = ctx.read(&mv_map[c as usize])?;
                         ctx.no_quiesce();
                         Ok(v)
@@ -389,14 +389,14 @@ fn start_frame(
                     crate::ctu::PredMode::Inter(mv) => mv,
                     crate::ctu::PredMode::IntraDc => Mv::default(),
                 };
-                wth.critical(&mv_lock, |ctx| {
+                wth.tx(&mv_lock).run(|ctx| {
                     ctx.write(&mv_map[c as usize], own_mv.pack())?;
                     ctx.no_quiesce();
                     Ok(())
                 });
                 // Accumulate bits (cost lock).
                 let bits = coded_ctu.cost_bits();
-                wth.critical(&cost_lock, |ctx| {
+                wth.tx(&cost_lock).run(|ctx| {
                     ctx.update(&*frame_bits, |b| b + bits)?;
                     ctx.no_quiesce();
                     Ok(())

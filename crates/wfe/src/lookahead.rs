@@ -77,7 +77,7 @@ impl<T: Send> ReadyQueue<T> {
     /// `None` if the queue is closed.
     pub fn reserve(&self, th: &ThreadHandle) -> Option<Reservation> {
         let cap = self.slots.len() as u64;
-        let id = th.critical(&self.lock, |ctx| {
+        let id = th.tx(&self.lock).run(|ctx| {
             if ctx.read(&self.closed)? {
                 return Ok(u64::MAX);
             }
@@ -105,7 +105,7 @@ impl<T: Send> ReadyQueue<T> {
         let cap = self.slots.len() as u64;
         let raw = Box::into_raw(item) as *mut ();
         let idx = (res.id % cap) as usize;
-        th.critical(&self.lock, |ctx| {
+        th.tx(&self.lock).run(|ctx| {
             ctx.write(&self.slots[idx], raw)?;
             ctx.write(&self.ready[idx], true)?;
             ctx.broadcast(&self.ready_cv)?;
@@ -119,7 +119,7 @@ impl<T: Send> ReadyQueue<T> {
     /// queue is closed and drained.
     pub fn pop_ready(&self, th: &ThreadHandle) -> Option<Box<T>> {
         let cap = self.slots.len() as u64;
-        let raw = th.critical(&self.lock, |ctx| {
+        let raw = th.tx(&self.lock).run(|ctx| {
             let h = ctx.read(&self.head)?;
             let t = ctx.read(&self.tail)?;
             if h == t {
@@ -153,7 +153,7 @@ impl<T: Send> ReadyQueue<T> {
 
     /// Close: producers get `None` from `reserve`, consumers drain.
     pub fn close(&self, th: &ThreadHandle) {
-        th.critical(&self.lock, |ctx| {
+        th.tx(&self.lock).run(|ctx| {
             ctx.write(&self.closed, true)?;
             ctx.broadcast(&self.ready_cv)?;
             ctx.broadcast(&self.space_cv)?;

@@ -105,7 +105,7 @@ impl BondedGroup {
 
     /// Mark one task finished.
     pub fn task_done(&self, th: &ThreadHandle) {
-        th.critical(&self.lock, |ctx| {
+        th.tx(&self.lock).run(|ctx| {
             let r = ctx.read(&self.remaining)?;
             debug_assert!(r > 0, "more completions than tasks");
             ctx.write(&self.remaining, r - 1)?;
@@ -119,7 +119,7 @@ impl BondedGroup {
 
     /// Block until every task has finished.
     pub fn wait_all(&self, th: &ThreadHandle) {
-        th.critical(&self.lock, |ctx| {
+        th.tx(&self.lock).run(|ctx| {
             if ctx.read(&self.remaining)? > 0 {
                 ctx.no_quiesce();
                 return ctx.wait(&self.done_cv, None);

@@ -56,7 +56,7 @@ impl Wavefront {
             return;
         }
         let need = (col + 2).min(self.cols);
-        th.critical(&self.rows_lock, |ctx| {
+        th.tx(&self.rows_lock).run(|ctx| {
             let done = ctx.read(&self.progress[row - 1])?;
             if done < need {
                 // Pure read: nothing privatized while we wait.
@@ -69,7 +69,7 @@ impl Wavefront {
 
     /// Record that CTU (`row`, `col`) has completed and wake dependents.
     pub fn mark_done(&self, th: &ThreadHandle, row: usize, col: u32) {
-        th.critical(&self.rows_lock, |ctx| {
+        th.tx(&self.rows_lock).run(|ctx| {
             debug_assert_eq!(ctx.read(&self.progress[row])?, col);
             ctx.write(&self.progress[row], col + 1)?;
             ctx.broadcast(&self.progress_cv)?;
@@ -236,7 +236,7 @@ impl RowProgress {
     /// Mark row `r` reconstructed; advances the watermark over any newly
     /// contiguous rows and wakes waiters.
     pub fn row_done(&self, th: &ThreadHandle, r: usize) {
-        th.critical(&self.lock, |ctx| {
+        th.tx(&self.lock).run(|ctx| {
             ctx.write(&self.done[r], true)?;
             let mut w = ctx.read(&self.watermark)?;
             let before = w;
@@ -256,7 +256,7 @@ impl RowProgress {
     /// frame height).
     pub fn wait_rows(&self, th: &ThreadHandle, n: u32) {
         let need = n.min(self.rows());
-        th.critical(&self.lock, |ctx| {
+        th.tx(&self.lock).run(|ctx| {
             if ctx.read(&self.watermark)? < need {
                 ctx.no_quiesce();
                 return ctx.wait(&self.cv, None);

@@ -97,7 +97,7 @@ fn main() {
                 let lock = ElidableMutex::new("long");
                 let cells: Vec<TCell<u64>> = (0..256).map(TCell::new).collect();
                 while !stop.load(std::sync::atomic::Ordering::Relaxed) {
-                    th.critical(&lock, |ctx| {
+                    th.tx(&lock).run(|ctx| {
                         let mut acc = 0u64;
                         for c in &cells {
                             acc = acc.wrapping_add(ctx.read(c)?);
@@ -120,7 +120,7 @@ fn main() {
         const OPS: u64 = 30_000;
         let t0 = Instant::now();
         for _ in 0..OPS {
-            th.critical(&lock, |ctx| {
+            th.tx(&lock).run(|ctx| {
                 ctx.update(&cell, |v| v + 1)?;
                 if annotate {
                     ctx.no_quiesce();

@@ -37,7 +37,7 @@ fn main() {
                         let from = rng.below(ACCOUNTS as u64) as usize;
                         let to = rng.below(ACCOUNTS as u64) as usize;
                         let amount = rng.below(50) as i64;
-                        th.critical(&lock, |ctx| {
+                        th.tx(&lock).run(|ctx| {
                             let f = ctx.read(&accounts[from])?;
                             if from != to && f >= amount {
                                 let t = ctx.read(&accounts[to])?;

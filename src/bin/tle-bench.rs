@@ -15,7 +15,10 @@ use std::time::Duration;
 use tle_bench::json::Json;
 use tle_bench::perf::{compare, emit_report, stable_view, validate, EmitConfig, TOLERANCE};
 use tle_bench::workloads::TrialStats;
-use tle_kv::{build_system, run_driver_on, KvConfig};
+use tle_kv::{
+    build_system, run_driver_on, run_session_driver_async, run_session_driver_threads, KvConfig,
+    SessionConfig,
+};
 
 const USAGE: &str = "\
 tle-bench: emit, validate, and compare BENCH_<n>.json perf trajectories
@@ -30,6 +33,16 @@ COMMANDS:
   compare <old> <new>     fail on >10% throughput loss on any recorded run
     --warn                report timing regressions without failing
     --stable              also require identical stable views (schema bytes)
+  kv-sessions             A/B one session-mode point: async multiplexing
+                          versus thread-per-session, printing the goodput
+                          ratio
+    --sessions <n>        logical sessions (default 256)
+    --workers <n>         async executor worker threads (default 8)
+    --requests <n>        requests per session (default 10)
+    --think-ns <n>        per-request think time (default 2000000)
+    --mode <m>            algorithm mode (default stm-condvar)
+    --seed <n>            session RNG seed (default 42)
+    --min-ratio <f>       fail when async/threads goodput < f (default 0)
   kv                      run the sharded KV serving-workload driver once
     --threads <n>         worker threads (default 4)
     --shards <n>          shard locks (default 8)
@@ -110,6 +123,70 @@ fn kv_cmd(rest: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// The `kv-sessions` subcommand: run one curve point both ways and print
+/// the async/threads goodput ratio (the PR-8 acceptance metric).
+fn kv_sessions_cmd(rest: &[String]) -> Result<ExitCode, String> {
+    fn num<T: std::str::FromStr>(flag: &str, v: Option<&String>) -> Result<T, String> {
+        let v = v.ok_or_else(|| format!("{flag} expects a value"))?;
+        v.parse()
+            .map_err(|_| format!("{flag}: `{v}` is not a valid value"))
+    }
+    let mut scfg = SessionConfig {
+        sessions: 256,
+        workers: 8,
+        requests_per_session: 10,
+        think_ns: 2_000_000,
+        ..SessionConfig::quick()
+    };
+    let mut min_ratio = 0.0f64;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--sessions" => scfg.sessions = num(a, it.next())?,
+            "--workers" => scfg.workers = num(a, it.next())?,
+            "--requests" => scfg.requests_per_session = num(a, it.next())?,
+            "--think-ns" => scfg.think_ns = num(a, it.next())?,
+            "--seed" => scfg.base.seed = num(a, it.next())?,
+            "--min-ratio" => min_ratio = num(a, it.next())?,
+            "--mode" => {
+                let v = it.next().ok_or("--mode expects a value")?;
+                scfg.base.mode = v.parse().map_err(|e| format!("{e}"))?;
+            }
+            other => return Err(format!("unknown kv-sessions option `{other}`")),
+        }
+    }
+    if scfg.sessions == 0 || scfg.workers == 0 || scfg.requests_per_session == 0 {
+        return Err("kv-sessions --sessions/--workers/--requests must be non-zero".into());
+    }
+    eprintln!(
+        "tle-bench: kv-sessions: mode={} sessions={} workers={} requests/session={} think={}ns",
+        scfg.base.mode.label(),
+        scfg.sessions,
+        scfg.workers,
+        scfg.requests_per_session,
+        scfg.think_ns,
+    );
+    let async_report = run_session_driver_async(&scfg);
+    println!(
+        "async   [{} workers]: {}",
+        scfg.workers,
+        async_report.summary()
+    );
+    let thread_report = run_session_driver_threads(&scfg);
+    println!(
+        "threads [{} threads]: {}",
+        scfg.sessions,
+        thread_report.summary()
+    );
+    let ratio = async_report.goodput_per_sec / thread_report.goodput_per_sec;
+    println!("async/threads goodput ratio: {ratio:.3}");
+    if ratio < min_ratio {
+        eprintln!("tle-bench: ratio {ratio:.3} below required minimum {min_ratio:.3}");
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn read_report(path: &str) -> Result<Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     Json::parse(&text).map_err(|e| format!("{path}: {e}"))
@@ -128,6 +205,7 @@ fn main() -> ExitCode {
         Some("validate") => "validate",
         Some("compare") => "compare",
         Some("kv") => "kv",
+        Some("kv-sessions") => "kv-sessions",
         Some("help") | Some("h") => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -197,6 +275,10 @@ fn main() -> ExitCode {
             }
         }
         "kv" => match kv_cmd(rest) {
+            Ok(code) => code,
+            Err(msg) => usage_error(&msg),
+        },
+        "kv-sessions" => match kv_sessions_cmd(rest) {
             Ok(code) => code,
             Err(msg) => usage_error(&msg),
         },

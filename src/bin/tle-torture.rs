@@ -26,6 +26,7 @@ fn main() {
     let repro = args.iter().any(|a| a == "--repro");
     let adaptive = args.iter().any(|a| a == "--adaptive");
     let deadline = args.iter().any(|a| a == "--deadline");
+    let async_exec = args.iter().any(|a| a == "--async");
     let modes: Vec<AlgoMode> = match opt(&args, "--mode").as_deref() {
         None | Some("all") => ALL_MODES.to_vec(),
         Some(spec) => match spec.parse::<AlgoMode>() {
@@ -49,6 +50,7 @@ fn main() {
                 ops_per_worker: ops,
                 adaptive,
                 deadline,
+                async_exec,
                 ..TortureConfig::repro(seed, mode)
             };
             let a = run_torture(&cfg);
@@ -68,6 +70,7 @@ fn main() {
                 ops_per_worker: ops,
                 adaptive,
                 deadline,
+                async_exec,
                 ..TortureConfig::quick(seed, mode)
             };
             let report = run_torture(&cfg);
@@ -94,10 +97,15 @@ fn usage() {
          \u{20} --deadline   also torture the deadline gate: a seeded subset of\n\
          \u{20}              requests carries a zero retry-time budget and must\n\
          \u{20}              be refused with DeadlineExceeded, effect-free\n\
+         \u{20} --async      also torture the async executor: tasks multiplex\n\
+         \u{20}              run_async attempts and condvar ping-pong through the\n\
+         \u{20}              waker path; exact counters + completed rounds are\n\
+         \u{20}              the oracles, the phase checksum joins the repro key\n\
          \u{20} --repro      single-worker deterministic run, executed twice;\n\
          \u{20}              fails unless both runs match per-cause abort counts\n\
          \u{20}              (and, with --adaptive, the mode-flip sequence;\n\
-         \u{20}              with --deadline, the expiry tally)"
+         \u{20}              with --deadline, the expiry tally; with --async,\n\
+         \u{20}              the async phase checksum)"
     );
 }
 
@@ -105,7 +113,7 @@ fn usage() {
 /// and exits 2 instead of being silently ignored.
 fn reject_unknown_flags(args: &[String]) {
     const VALUE_FLAGS: [&str; 4] = ["--seed", "--workers", "--ops", "--mode"];
-    const BOOL_FLAGS: [&str; 3] = ["--repro", "--adaptive", "--deadline"];
+    const BOOL_FLAGS: [&str; 4] = ["--repro", "--adaptive", "--deadline", "--async"];
     let mut i = 0;
     while i < args.len() {
         let a = args[i].as_str();

@@ -141,7 +141,7 @@ fn run(args: &[String], dump: bool) -> i32 {
                 let mut rng = tle_repro::base::rng::XorShift64::new(0x7ACE ^ t as u64);
                 for _ in 0..ops {
                     let i = rng.below(shared.len() as u64) as usize;
-                    th.critical(&lock, |ctx| {
+                    th.tx(&lock).run(|ctx| {
                         let v = ctx.read(&shared[i])?;
                         ctx.write(&shared[i], v + 1)?;
                         Ok(())

@@ -31,7 +31,7 @@
 //! let balance = TCell::new(100i64);
 //!
 //! // A critical section, written once, elided transparently.
-//! th.critical(&lock, |ctx| {
+//! th.tx(&lock).run(|ctx| {
 //!     let b = ctx.read(&balance)?;
 //!     ctx.write(&balance, b - 30)?;
 //!     Ok(())
@@ -69,7 +69,7 @@ mod tests {
         let th = sys.register();
         let lock = ElidableMutex::new("account");
         let balance = TCell::new(100i64);
-        th.critical(&lock, |ctx| {
+        th.tx(&lock).run(|ctx| {
             let b = ctx.read(&balance)?;
             ctx.write(&balance, b - 30)?;
             Ok(())

@@ -20,7 +20,7 @@ fn condvar_survives_timeout_storm() {
         for _ in 0..600 {
             // Each iteration: one wait that always times out.
             let mut fired = false;
-            th.critical(&lock, |ctx| {
+            th.tx(&lock).run(|ctx| {
                 if !ctx.read(&never)? && !fired {
                     fired = true;
                     return ctx.wait(&cv, Some(Duration::from_micros(50)));
@@ -39,7 +39,7 @@ fn condvar_survives_timeout_storm() {
             let cv2 = Arc::clone(&cv);
             let waiter = std::thread::spawn(move || {
                 let th = sys2.register();
-                th.critical(&lock2, |ctx| {
+                th.tx(&lock2).run(|ctx| {
                     if !ctx.read(&*flag2)? {
                         return ctx.wait(&cv2, None);
                     }
@@ -48,7 +48,7 @@ fn condvar_survives_timeout_storm() {
                 true
             });
             std::thread::sleep(Duration::from_millis(20));
-            th.critical(&lock, |ctx| {
+            th.tx(&lock).run(|ctx| {
                 ctx.write(&*flag, true)?;
                 ctx.signal(&cv)?;
                 Ok(())
@@ -193,7 +193,7 @@ fn chained_condvar_stages() {
                 let th = sys.register();
                 for round in 1..=ROUNDS {
                     // Wait for our stage's token to reach `round`.
-                    th.critical(&locks[s], |ctx| {
+                    th.tx(&locks[s]).run(|ctx| {
                         if ctx.read(&tokens[s])? < round {
                             ctx.no_quiesce();
                             return ctx.wait(&cvs[s], None);
@@ -202,7 +202,7 @@ fn chained_condvar_stages() {
                     });
                     // Pass the token downstream.
                     if s + 1 < STAGES {
-                        th.critical(&locks[s + 1], |ctx| {
+                        th.tx(&locks[s + 1]).run(|ctx| {
                             ctx.update(&tokens[s + 1], |v| v + 1)?;
                             ctx.broadcast(&cvs[s + 1])?;
                             Ok(())
@@ -216,7 +216,7 @@ fn chained_condvar_stages() {
     {
         let th = sys.register();
         for _ in 0..ROUNDS {
-            th.critical(&locks[0], |ctx| {
+            th.tx(&locks[0]).run(|ctx| {
                 ctx.update(&tokens[0], |v| v + 1)?;
                 ctx.broadcast(&cvs[0])?;
                 Ok(())

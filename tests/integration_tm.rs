@@ -26,7 +26,7 @@ fn privatization_pattern_is_safe_under_always() {
             // Readers keep transactionally incrementing the payload until
             // they see the detach.
             loop {
-                let saw_detached = th.critical(&lock, |ctx| {
+                let saw_detached = th.tx(&lock).run(|ctx| {
                     if ctx.read(&*detached)? {
                         return Ok(true);
                     }
@@ -44,7 +44,7 @@ fn privatization_pattern_is_safe_under_always() {
     std::thread::sleep(std::time::Duration::from_millis(10));
     // Privatize: after this commit (and its quiescence drain), no
     // transactional writer can still touch `payload`.
-    th.critical(&lock, |ctx| {
+    th.tx(&lock).run(|ctx| {
         ctx.write(&*detached, true)?;
         Ok(())
     });
@@ -80,7 +80,7 @@ fn lock_erasure_keeps_disjoint_locks_coherent() {
             std::thread::spawn(move || {
                 let th = sys.register();
                 for _ in 0..5_000 {
-                    th.critical(&lock, |ctx| {
+                    th.tx(&lock).run(|ctx| {
                         ctx.update(&*cell, |v| v + 1)?;
                         Ok(())
                     });
@@ -118,7 +118,7 @@ fn abort_storm_escapes_to_serial() {
     let lock = ElidableMutex::new("stormy");
     let cell = TCell::new(0u64);
     for _ in 0..200 {
-        th.critical(&lock, |ctx| {
+        th.tx(&lock).run(|ctx| {
             ctx.update(&cell, |v| v + 1)?;
             Ok(())
         });
@@ -146,7 +146,7 @@ fn quiesce_accounting_matches_policy() {
         let lock = ElidableMutex::new("q");
         let cell = TCell::new(0u64);
         for _ in 0..100 {
-            th.critical(&lock, |ctx| {
+            th.tx(&lock).run(|ctx| {
                 ctx.update(&cell, |v| v + 1)?;
                 ctx.no_quiesce();
                 Ok(())
@@ -173,7 +173,7 @@ fn timed_wait_expires_under_every_mode() {
         let never_set = TCell::new(false);
         let mut wakes = 0u32;
         let t0 = std::time::Instant::now();
-        let r = th.critical(&lock, |ctx| {
+        let r = th.tx(&lock).run(|ctx| {
             if !ctx.read(&never_set)? {
                 wakes += 1;
                 if wakes > 3 {
@@ -217,7 +217,7 @@ fn deferred_logging_is_exactly_once_under_contention() {
                     for _ in 0..1_000 {
                         let log2 = Arc::clone(&log);
                         let cell2 = Arc::clone(&cell);
-                        th.critical(&lock, move |ctx| {
+                        th.tx(&lock).run(move |ctx| {
                             let v = ctx.update(&*cell2, |v| v + 1)?;
                             let log3 = Arc::clone(&log2);
                             ctx.defer(move || log3.lock().push(v));
@@ -250,7 +250,7 @@ fn explicit_cancel_discards_effects() {
         let lock = ElidableMutex::new("c");
         let cell = TCell::new(5u64);
         let mut attempts = 0;
-        let out = th.critical(&lock, |ctx| {
+        let out = th.tx(&lock).run(|ctx| {
             attempts += 1;
             if attempts == 1 {
                 ctx.write(&cell, 99u64)?;
@@ -275,9 +275,9 @@ fn nested_critical_sections_panic() {
     let outer = ElidableMutex::new("outer");
     let inner = ElidableMutex::new("inner");
     let cell = TCell::new(0u64);
-    th.critical(&outer, |_| {
+    th.tx(&outer).run(|_| {
         // tle-lint: allow(R2, "deliberate x265-class nesting: this test pins the runtime's loud rejection of nested sections")
-        th.critical(&inner, |ctx| {
+        th.tx(&inner).run(|ctx| {
             ctx.update(&cell, |v| v + 1)?;
             Ok(())
         });
@@ -309,7 +309,7 @@ fn proxy_privatization_listing1() {
             let th = sys.register();
             for msg in 1..=MSGS {
                 loop {
-                    let published = th.critical(&lock, |ctx| {
+                    let published = th.tx(&lock).run(|ctx| {
                         for k in 0..slots.len() {
                             if ctx.read(&slots[k])? == 0 {
                                 ctx.write(&slots[k], msg)?;
@@ -338,7 +338,7 @@ fn proxy_privatization_listing1() {
             let th = sys.register();
             let mut got = 0u64;
             while got < MSGS {
-                let msg = th.critical(&lock, |ctx| {
+                let msg = th.tx(&lock).run(|ctx| {
                     for k in 0..slots.len() {
                         let m = ctx.read(&slots[k])?;
                         if m != 0 {

@@ -35,7 +35,7 @@ fn run_opacity(mode: AlgoMode, algo: StmAlgo) {
         handles.push(std::thread::spawn(move || {
             let th = sys.register();
             for _ in 0..OPS {
-                th.critical(&lock, |ctx| {
+                th.tx(&lock).run(|ctx| {
                     let first = ctx.read(&cells[0])?;
                     for c in cells.iter().skip(1) {
                         let v = ctx.read(c)?;
@@ -59,7 +59,7 @@ fn run_opacity(mode: AlgoMode, algo: StmAlgo) {
         handles.push(std::thread::spawn(move || {
             let th = sys.register();
             for _ in 0..OPS {
-                let (lo, hi) = th.critical(&lock, |ctx| {
+                let (lo, hi) = th.tx(&lock).run(|ctx| {
                     let mut lo = u64::MAX;
                     let mut hi = 0;
                     for c in cells.iter() {
@@ -143,7 +143,7 @@ fn commit_order_replay_matches_final_state() {
                     let mut log = Vec::new();
                     for _ in 0..ORDER_OPS {
                         let target = rng.below(4) as usize;
-                        let (tag, value) = th.critical(&lock, |ctx| {
+                        let (tag, value) = th.tx(&lock).run(|ctx| {
                             let tag = ctx.update(&*seq, |v| v + 1)?;
                             let value = tag * 31 + target as u64;
                             ctx.write(&slots[target], value)?;

@@ -39,7 +39,7 @@ fn snapshot_scenario(mode: AlgoMode, algo: StmAlgo, threads: usize, ops: u64) ->
         tvec.push(Box::new(move || {
             let th = sys.register();
             for _ in 0..ops {
-                th.critical(&lock, |ctx| {
+                th.tx(&lock).run(|ctx| {
                     let first = ctx.read(&cells[0])?;
                     for c in cells.iter().skip(1) {
                         let v = ctx.read(c)?;

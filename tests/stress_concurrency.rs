@@ -95,7 +95,7 @@ fn mixed_workload_all_modes() {
                         };
                         if changed {
                             local += 1;
-                            th.critical(&counter_lock, |ctx| {
+                            th.tx(&counter_lock).run(|ctx| {
                                 ctx.update(&*successes, |v| v + 1)?;
                                 ctx.no_quiesce();
                                 Ok(())
@@ -134,7 +134,7 @@ fn condvar_ping_pong_all_modes() {
             std::thread::spawn(move || {
                 let th = sys.register();
                 for _ in 0..ROUNDS {
-                    th.critical(&lock, |ctx| {
+                    th.tx(&lock).run(|ctx| {
                         let t = ctx.read(&*turn)?;
                         if t % 2 != who {
                             return ctx.wait(&cv, None);
@@ -173,7 +173,7 @@ fn thread_churn_during_activity() {
                 let th = sys.register();
                 let mut n = 0u64;
                 while !stop.load(std::sync::atomic::Ordering::Relaxed) {
-                    th.critical(&lock, |ctx| {
+                    th.tx(&lock).run(|ctx| {
                         ctx.update(&*cell, |v| v + 1)?;
                         Ok(())
                     });
@@ -194,7 +194,7 @@ fn thread_churn_during_activity() {
                 std::thread::spawn(move || {
                     let th = sys.register();
                     for _ in 0..20 {
-                        th.critical(&lock, |ctx| {
+                        th.tx(&lock).run(|ctx| {
                             ctx.update(&*cell, |v| v + 1)?;
                             Ok(())
                         });
