@@ -541,6 +541,15 @@ mod tests {
             h.join();
         }
         assert_eq!(total.load(Ordering::Relaxed), (0..200).sum());
+        // `join()` returns when the result publishes (inside the final
+        // poll); the worker decrements the diagnostic counter just after,
+        // so give the last decrement a moment to land.
+        for _ in 0..10_000 {
+            if ex.live_tasks() == 0 {
+                break;
+            }
+            std::thread::yield_now();
+        }
         assert_eq!(ex.live_tasks(), 0);
     }
 

@@ -40,16 +40,33 @@ pub enum Mutant {
     /// by a committing writer keeps reading and can observe a half-published
     /// redo log (zombie torn snapshot).
     SkipDoomCheck,
+    /// Lazy-subscription begin skips the held-lock refusal: an elided
+    /// section starts (and later commits) although the fallback lock was
+    /// held for its entire speculation window, racing the lock holder's
+    /// direct writes (Dice et al., naive lazy subscription hazard #1).
+    LazyCommitWithLockHeld,
+    /// Lazy-mode lock acquisition skips its doom-all sweep: transactions
+    /// already speculating when the lock is taken are never doomed and run
+    /// on as zombies over the holder's half-written state (hazard #2).
+    LazyZombieEscape,
+    /// The lazy subscription's window capture is reordered ahead of
+    /// transaction begin, so a lock acquired in between sweeps past an
+    /// idle slot and the zombie speculates outside the sandbox (the
+    /// compiler/hardware reordering hazard, #3).
+    LazySubscriptionReorder,
 }
 
 impl Mutant {
     /// All mutants, for matrix-style tests.
-    pub const ALL: [Mutant; 5] = [
+    pub const ALL: [Mutant; 8] = [
         Mutant::SkipCommitValidation,
         Mutant::DropQuiesce,
         Mutant::EarlyOrecRelease,
         Mutant::LostSignal,
         Mutant::SkipDoomCheck,
+        Mutant::LazyCommitWithLockHeld,
+        Mutant::LazyZombieEscape,
+        Mutant::LazySubscriptionReorder,
     ];
 }
 
@@ -61,6 +78,9 @@ impl fmt::Display for Mutant {
             Mutant::EarlyOrecRelease => "early-orec-release",
             Mutant::LostSignal => "lost-signal",
             Mutant::SkipDoomCheck => "skip-doom-check",
+            Mutant::LazyCommitWithLockHeld => "lazy-commit-with-lock-held",
+            Mutant::LazyZombieEscape => "lazy-zombie-escape",
+            Mutant::LazySubscriptionReorder => "lazy-subscription-reorder",
         };
         f.write_str(s)
     }

@@ -15,8 +15,8 @@
 
 use crate::json::Json;
 use crate::workloads::{
-    micro_trial_opts, pbzip_compress_trial, pbzip_decompress_trial, x265_trial, MicroOpts, Mix,
-    TrialStats, VideoSize,
+    lazy_subscription_trial, micro_trial_opts, pbzip_compress_trial, pbzip_decompress_trial,
+    x265_trial, MicroOpts, Mix, TrialStats, VideoSize,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -42,7 +42,7 @@ pub const SCHEMA_VERSION: u64 = 3;
 /// (`BENCH_6.json` and earlier) remain parseable and comparable.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
 /// The PR that committed this artifact generation.
-pub const PR: u64 = 8;
+pub const PR: u64 = 9;
 /// Throughput regressions beyond this fraction fail [`compare`].
 pub const TOLERANCE: f64 = 0.10;
 /// Executor workers for every `kv-sessions` async run (the acceptance bar
@@ -288,19 +288,20 @@ fn ab_side(config: &str, tput: f64, extra: Vec<(String, Json)>) -> Json {
 /// Identity of one optimization A/B (everything but the two sides).
 struct AbSpec {
     name: &'static str,
+    figure: &'static str,
     workload: &'static str,
-    mix: Mix,
-    policy: QuiescePolicy,
+    mix: &'static str,
+    policy: &'static str,
     threads: usize,
 }
 
 fn ab_entry(spec: &AbSpec, baseline: Json, optimized: Json, speedup: f64) -> Json {
     Json::Obj(vec![
         ("name".into(), Json::str(spec.name)),
-        ("figure".into(), Json::str("fig5")),
+        ("figure".into(), Json::str(spec.figure)),
         ("workload".into(), Json::str(spec.workload)),
-        ("mix".into(), Json::str(spec.mix.label())),
-        ("policy".into(), Json::str(spec.policy.label())),
+        ("mix".into(), Json::str(spec.mix)),
+        ("policy".into(), Json::str(spec.policy)),
         ("threads".into(), Json::u64(spec.threads as u64)),
         ("baseline".into(), baseline),
         ("optimized".into(), optimized),
@@ -320,7 +321,12 @@ pub fn emit_report(cfg: &EmitConfig) -> Json {
         // fig2: PBZip2 pipeline, bytes/sec.
         let block = 16 * 1024;
         let input = gen_text(42, cfg.pbzip_kib * 1024);
-        for mode in [AlgoMode::StmCondvar, AlgoMode::HtmCondvar] {
+        for mode in [
+            AlgoMode::StmCondvar,
+            AlgoMode::HtmCondvar,
+            AlgoMode::AdaptiveHtm,
+            AlgoMode::AdaptiveHtmLazy,
+        ] {
             let (secs, stats) = pbzip_compress_trial(mode, cfg.threads, block, &input);
             runs.push(run_json(
                 &RunSpec {
@@ -365,25 +371,33 @@ pub fn emit_report(cfg: &EmitConfig) -> Json {
             &stats,
         ));
 
-        // fig3: x265 encoder, frames/sec.
+        // fig3: x265 encoder, frames/sec — including the adaptive eager and
+        // safe-lazy modes so the lazy path stays measured on a real
+        // multi-lock application, not just the capacity-edge A/B.
         let frames = VideoSize::Small.params(false).2 as u64;
-        let (secs, stats) = x265_trial(AlgoMode::HtmCondvar, cfg.threads, VideoSize::Small, false);
-        runs.push(run_json(
-            &RunSpec {
-                figure: "fig3",
-                workload: "x265-small".into(),
-                mix: "-".into(),
-                mode: AlgoMode::HtmCondvar.label().into(),
-                policy: "-".into(),
-                threads: cfg.threads,
-                ops: frames,
-                warmup: 2,
-                unit: "frames/sec",
-            },
-            secs,
-            frames as f64 / secs,
-            &stats,
-        ));
+        for mode in [
+            AlgoMode::HtmCondvar,
+            AlgoMode::AdaptiveHtm,
+            AlgoMode::AdaptiveHtmLazy,
+        ] {
+            let (secs, stats) = x265_trial(mode, cfg.threads, VideoSize::Small, false);
+            runs.push(run_json(
+                &RunSpec {
+                    figure: "fig3",
+                    workload: "x265-small".into(),
+                    mix: "-".into(),
+                    mode: mode.label().into(),
+                    policy: "-".into(),
+                    threads: cfg.threads,
+                    ops: frames,
+                    warmup: 2,
+                    unit: "frames/sec",
+                },
+                secs,
+                frames as f64 / secs,
+                &stats,
+            ));
+        }
     }
 
     // fig5: set microbenchmarks, ops/sec.
@@ -517,9 +531,10 @@ pub fn emit_report(cfg: &EmitConfig) -> Json {
     optimizations.push(ab_entry(
         &AbSpec {
             name: "orec-padding",
+            figure: "fig5",
             workload: "hash",
-            mix: Mix::ReadMostly,
-            policy: QuiescePolicy::Selective,
+            mix: Mix::ReadMostly.label(),
+            policy: QuiescePolicy::Selective.label(),
             threads: cfg.threads,
         },
         ab_side("orec-layout=compact", compact_t, vec![]),
@@ -553,9 +568,10 @@ pub fn emit_report(cfg: &EmitConfig) -> Json {
     optimizations.push(ab_entry(
         &AbSpec {
             name: "ro-fast-path",
+            figure: "fig5",
             workload: "hash",
-            mix: Mix::ReadMostly,
-            policy: QuiescePolicy::Always,
+            mix: Mix::ReadMostly.label(),
+            policy: QuiescePolicy::Always.label(),
             threads: cfg.threads,
         },
         ab_side("ro-fast-path=off", slow_t, vec![]),
@@ -600,14 +616,57 @@ pub fn emit_report(cfg: &EmitConfig) -> Json {
     optimizations.push(ab_entry(
         &AbSpec {
             name: "txbuf-reuse",
+            figure: "fig5",
             workload: "hash",
-            mix: Mix::HalfLookup,
-            policy: QuiescePolicy::Selective,
+            mix: Mix::HalfLookup.label(),
+            policy: QuiescePolicy::Selective.label(),
             threads: cfg.threads,
         },
         ab_side("buf-reuse=off", churn_t, alloc_fields(churn_alloc)),
         ab_side("buf-reuse=on", reuse_t, alloc_fields(reuse_alloc)),
         reuse_t / churn_t,
+    ));
+
+    // Lazy lock-word subscription (PR 9): the capacity-edge scan, where the
+    // eager mode's subscription read is the straw that overflows the read
+    // cap. Both sides record the abort-by-cause split so the artifact
+    // captures *why* lazy wins here: the eager column's conflict aborts are
+    // the acquire-time dooms its own fallback cascade causes.
+    let cause_fields = |s: &TrialStats| {
+        vec![
+            (
+                "conflict_aborts".to_string(),
+                Json::u64(s.cause(AbortCause::Conflict)),
+            ),
+            (
+                "capacity_aborts".to_string(),
+                Json::u64(s.cause(AbortCause::Capacity)),
+            ),
+            (
+                "serial_fallbacks".to_string(),
+                Json::u64(s.serial_fallbacks),
+            ),
+            ("htm_commits".to_string(), Json::u64(s.htm_commits)),
+        ]
+    };
+    let lazy_lines = 8;
+    let lazy_ops = (cfg.micro_ops / 4).max(1_000);
+    let (eager_t, eager_s) =
+        lazy_subscription_trial(AlgoMode::AdaptiveHtm, cfg.threads, lazy_lines, lazy_ops);
+    let (lazy_t, lazy_s) =
+        lazy_subscription_trial(AlgoMode::AdaptiveHtmLazy, cfg.threads, lazy_lines, lazy_ops);
+    optimizations.push(ab_entry(
+        &AbSpec {
+            name: "lazy-subscription",
+            figure: "fig2",
+            workload: "capacity-edge-scan",
+            mix: "-",
+            policy: "-",
+            threads: cfg.threads,
+        },
+        ab_side("mode=adaptive-htm", eager_t, cause_fields(&eager_s)),
+        ab_side("mode=adaptive-htm-lazy", lazy_t, cause_fields(&lazy_s)),
+        lazy_t / eager_t,
     ));
 
     Json::Obj(vec![

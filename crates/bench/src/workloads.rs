@@ -2,8 +2,8 @@
 
 use std::sync::Arc;
 use tle_base::stats::TxStatsSnapshot;
-use tle_base::{AbortCause, OrecLayout};
-use tle_core::{AlgoMode, ThreadHandle, TmSystem};
+use tle_base::{AbortCause, OrecLayout, Padded, TCell};
+use tle_core::{AlgoMode, ElidableMutex, ThreadHandle, TmSystem};
 use tle_pbz::{compress_parallel, decompress_parallel, PipelineConfig};
 use tle_stm::QuiescePolicy;
 use tle_txset::{TxHashSet, TxListSet, TxSet, TxTreeSet};
@@ -209,6 +209,88 @@ pub fn x265_trial_cfg(
     let secs = t0.elapsed().as_secs_f64();
     assert_eq!(v.frames.len(), n);
     (secs, TrialStats::capture(&sys))
+}
+
+/// The lazy-subscription A/B workload: every transaction scans a row of
+/// padded cells sized *exactly* at the simulated HTM's read capacity
+/// (`lines` distinct cache lines: `lines - 1` shared read-only cells plus
+/// one private read-modify-write cell per thread). Eager subscription
+/// spends one extra read-set line on the lock word, pushing every attempt
+/// over the cap: capacity aborts exhaust the retry budget, the serial
+/// fallbacks acquire the lock, and each acquisition dooms every concurrent
+/// elision — the lock-word conflict-abort cascade the lazy modes exist to
+/// avoid. Lazy subscription never reads the lock word, so the identical
+/// workload fits the cap and elides cleanly.
+pub fn lazy_subscription_trial(
+    mode: AlgoMode,
+    threads: usize,
+    lines: usize,
+    ops_per_thread: u64,
+) -> (f64, TrialStats) {
+    assert!(
+        lines >= 2,
+        "need at least one shared line plus the private one"
+    );
+    let htm_cfg = tle_htm::HtmConfig {
+        read_cap_lines: lines,
+        event_prob: 0.0, // deterministic: capacity and conflict aborts only
+        ..tle_htm::HtmConfig::default()
+    };
+    let sys = Arc::new(TmSystem::builder().mode(mode).htm_config(htm_cfg).build());
+    let lock = Arc::new(ElidableMutex::new("lazy-ab"));
+    let shared: Arc<Vec<Padded<TCell<u64>>>> =
+        Arc::new((0..lines - 1).map(|_| Padded(TCell::new(1u64))).collect());
+    let privs: Arc<Vec<Padded<TCell<u64>>>> =
+        Arc::new((0..threads).map(|_| Padded(TCell::new(0u64))).collect());
+    let barrier = Arc::new(std::sync::Barrier::new(threads + 1));
+    let warmup_ops = ops_per_thread / 10;
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let sys = Arc::clone(&sys);
+            let lock = Arc::clone(&lock);
+            let shared = Arc::clone(&shared);
+            let privs = Arc::clone(&privs);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let th = sys.register();
+                let one_op = |th: &ThreadHandle| {
+                    th.tx(&lock).run(|ctx| {
+                        let mut acc = 0u64;
+                        for c in shared.iter() {
+                            acc = acc.wrapping_add(ctx.read(&**c)?);
+                        }
+                        let old = ctx.read(&*privs[t])?;
+                        ctx.write(&*privs[t], old.wrapping_add(acc))?;
+                        Ok(())
+                    });
+                };
+                barrier.wait(); // sync0: everyone registered
+                for _ in 0..warmup_ops {
+                    one_op(&th);
+                }
+                barrier.wait(); // sync1: warmup drained everywhere
+                barrier.wait(); // sync2: measured window opens
+                for _ in 0..ops_per_thread {
+                    one_op(&th);
+                }
+            })
+        })
+        .collect();
+    barrier.wait(); // sync0
+    barrier.wait(); // sync1
+    sys.reset_stats();
+    let t0 = std::time::Instant::now();
+    barrier.wait(); // sync2
+    for h in handles {
+        h.join().unwrap();
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let stats = TrialStats::capture(&sys);
+    for p in privs.iter() {
+        assert!(p.load_direct() > 0, "a worker's ops were lost");
+    }
+    let total_ops = threads as f64 * ops_per_thread as f64;
+    (total_ops / secs, stats)
 }
 
 /// The Figure 5 operation mixes.
@@ -813,6 +895,35 @@ mod tests {
         stats.htm.by_cause[AbortCause::ReadConflict.index()] = 1;
         assert_eq!(stats.abort_breakdown(), "read-conflict=3 capacity=1");
         assert_eq!(stats.cause(AbortCause::ReadConflict), 3);
+    }
+
+    /// The lazy-subscription A/B is non-vacuous in both directions: the
+    /// eager side's lock-word subscription overflows the read cap (capacity
+    /// aborts, serial fallbacks, and the acquire-time conflict dooms they
+    /// cause), and the lazy side elides the very same workload with a
+    /// fraction of the lock-word conflict aborts.
+    #[test]
+    fn lazy_subscription_trial_shows_the_capacity_cascade() {
+        let (eager_t, eager) = lazy_subscription_trial(AlgoMode::AdaptiveHtm, 3, 6, 2_000);
+        let (lazy_t, lazy) = lazy_subscription_trial(AlgoMode::AdaptiveHtmLazy, 3, 6, 2_000);
+        assert!(eager_t > 0.0 && lazy_t > 0.0);
+        assert!(
+            eager.cause(AbortCause::Capacity) > 0,
+            "eager subscription should overflow the read cap"
+        );
+        assert!(eager.serial_fallbacks > 0, "no fallback cascade to measure");
+        assert!(
+            lazy.cause(AbortCause::Capacity) == 0,
+            "lazy must fit the cap exactly: {}",
+            lazy.abort_breakdown()
+        );
+        assert!(
+            lazy.cause(AbortCause::Conflict) < eager.cause(AbortCause::Conflict).max(1),
+            "lazy should see fewer lock-word conflict aborts: lazy {} vs eager {}",
+            lazy.abort_breakdown(),
+            eager.abort_breakdown()
+        );
+        assert!(lazy.htm_commits > 0, "lazy side never elided");
     }
 
     #[test]

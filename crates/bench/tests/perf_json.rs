@@ -113,7 +113,15 @@ fn emitted_optimization_entries_carry_before_and_after_numbers() {
         .iter()
         .map(|o| o.get("name").and_then(Json::as_str).unwrap())
         .collect();
-    assert_eq!(names, ["orec-padding", "ro-fast-path", "txbuf-reuse"]);
+    assert_eq!(
+        names,
+        [
+            "orec-padding",
+            "ro-fast-path",
+            "txbuf-reuse",
+            "lazy-subscription"
+        ]
+    );
     for o in opts {
         for side in ["baseline", "optimized"] {
             let t = o

@@ -68,8 +68,10 @@ impl Cursor {
         Cursor::Random { state: seed }
     }
 
-    /// Decide the next rank given `arity` choices (arity ≥ 2).
-    pub(crate) fn choose(&mut self, arity: usize) -> usize {
+    /// Decide the next rank given `arity` choices (arity ≥ 2). Public so
+    /// downstream property tests can drive a parsed cursor through an
+    /// arity sequence and check the decisions against the documented spec.
+    pub fn choose(&mut self, arity: usize) -> usize {
         match self {
             Cursor::Dfs { path, pos, budget } => {
                 if *pos < path.len() {

@@ -217,6 +217,108 @@ fn htm_torn_pair_scenario() -> Scenario {
     }
 }
 
+/// Lazy-subscription lost update: T0 runs the glibc-style lock path
+/// (`unsafe_op` forces it) doing read A → write A+1; T1 elides the same
+/// increment. With the begin-refusal deleted, T1 may begin *during* T0's
+/// hold — and the commit-time window check cannot see it, because the
+/// holder bumps the seqlock only at acquire/release, so an entirely-inside
+/// window looks clean. T1 commits on the stale read and one increment is
+/// lost; the post-condition pins the sum.
+fn lazy_lost_update_scenario() -> Scenario {
+    let sys = Arc::new(TmSystem::new(AlgoMode::AdaptiveHtmLazy));
+    let lock = Arc::new(ElidableMutex::new("mut-lazyheld"));
+    let a = Arc::new(TCell::new(0u64));
+    let init = vec![(a.addr(), 0)];
+
+    let t0: Box<dyn FnOnce() + Send> = {
+        let (sys, lock) = (Arc::clone(&sys), Arc::clone(&lock));
+        let a = Arc::clone(&a);
+        Box::new(move || {
+            let th = sys.register();
+            th.tx(&lock).run(|ctx| {
+                ctx.unsafe_op()?;
+                let va = ctx.read(&*a)?;
+                ctx.write(&*a, va + 1)?;
+                Ok(())
+            });
+        })
+    };
+    let t1: Box<dyn FnOnce() + Send> = {
+        let (sys, lock) = (Arc::clone(&sys), Arc::clone(&lock));
+        let a = Arc::clone(&a);
+        Box::new(move || {
+            let th = sys.register();
+            th.tx(&lock).run(|ctx| {
+                let va = ctx.read(&*a)?;
+                ctx.write(&*a, va + 1)?;
+                Ok(())
+            });
+        })
+    };
+    let post_a = Arc::clone(&a);
+    Scenario {
+        threads: vec![t0, t1],
+        init,
+        post: Box::new(move |_| {
+            let v = post_a.load_direct();
+            if v != 2 {
+                return Err(format!(
+                    "lost update: counter = {v}, expected 2 \
+                     (lazy transaction committed inside the lock holder's window)"
+                ));
+            }
+            Ok(())
+        }),
+    }
+}
+
+/// Lazy-subscription torn snapshot, parameterized by mode. T1 runs the
+/// lock path (`unsafe_op`) writing the A/B pair; T0 speculates a read of
+/// both. Lazy transactions never subscribe the lock word, so the *only*
+/// thing that stops T0 from running on as a zombie across T1's serial
+/// stores is the acquire-side doom sweep (safe mode) — which the naive
+/// unsafe mode omits by design and `LazyZombieEscape` deletes from the
+/// safe mode. The in-closure assert panics the vthread on a torn pair.
+fn lazy_torn_pair_scenario(mode: AlgoMode) -> Scenario {
+    let sys = Arc::new(TmSystem::new(mode));
+    let lock = Arc::new(ElidableMutex::new("mut-lazytorn"));
+    let a = Arc::new(TCell::new(0u64));
+    let b = Arc::new(TCell::new(0u64));
+    let init = vec![(a.addr(), 0), (b.addr(), 0)];
+
+    let t0: Box<dyn FnOnce() + Send> = {
+        let (sys, lock) = (Arc::clone(&sys), Arc::clone(&lock));
+        let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+        Box::new(move || {
+            let th = sys.register();
+            th.tx(&lock).run(|ctx| {
+                let va = ctx.read(&*a)?;
+                let vb = ctx.read(&*b)?;
+                assert_eq!(va, vb, "torn snapshot: lazy zombie outlived the acquire");
+                Ok(())
+            });
+        })
+    };
+    let t1: Box<dyn FnOnce() + Send> = {
+        let (sys, lock) = (Arc::clone(&sys), Arc::clone(&lock));
+        let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+        Box::new(move || {
+            let th = sys.register();
+            th.tx(&lock).run(|ctx| {
+                ctx.unsafe_op()?;
+                ctx.write(&*a, 1u64)?;
+                ctx.write(&*b, 1u64)?;
+                Ok(())
+            });
+        })
+    };
+    Scenario {
+        threads: vec![t0, t1],
+        init,
+        post: Box::new(|_| Ok(())),
+    }
+}
+
 /// Detection scenario + exploration config per mutant. Exhaustive on
 /// purpose: a new `Mutant` variant fails to compile until it gets a
 /// scenario here.
@@ -236,6 +338,18 @@ fn scenario_for(m: Mutant) -> (fn() -> Scenario, Config) {
             )
         }
         Mutant::SkipDoomCheck => (htm_torn_pair_scenario, Config::dfs(2, 400)),
+        Mutant::LazyCommitWithLockHeld => (lazy_lost_update_scenario, Config::dfs(2, 800)),
+        Mutant::LazyZombieEscape => (
+            (|| lazy_torn_pair_scenario(AlgoMode::AdaptiveHtmLazy)) as fn() -> Scenario,
+            Config::dfs(2, 800),
+        ),
+        // The reorder hazard needs the same torn-pair witness: the hoisted
+        // window capture opens a begin-side gap the acquire's doom sweep
+        // cannot see, so the zombie read is what actually goes wrong.
+        Mutant::LazySubscriptionReorder => (
+            (|| lazy_torn_pair_scenario(AlgoMode::AdaptiveHtmLazy)) as fn() -> Scenario,
+            Config::dfs(2, 800),
+        ),
     }
 }
 
@@ -262,7 +376,13 @@ fn detects(m: Mutant) {
         (token, kind)
     }; // disarmed here, even if the asserts above panic
 
-    let clean = explore(&cfg, factory);
+    // Re-take the matrix lock for the disarmed run: arming is
+    // process-global, so under the default parallel test runner a sibling
+    // test's armed window must not leak into this clean exploration.
+    let clean = {
+        let _serial = MATRIX_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        explore(&cfg, factory)
+    };
     if let Some((clean_token, clean_kind)) = &clean.failure {
         panic!(
             "unmutated kernel failed {m}'s scenario at {clean_token}: {clean_kind} \
@@ -319,7 +439,12 @@ fn catches_lost_signal_async() {
         (token, kind)
     }; // disarmed here, even if the asserts above panic
 
-    let clean = explore(&cfg, factory);
+    // Same serialization as `detects`: the disarmed run must not overlap a
+    // sibling test's armed window.
+    let clean = {
+        let _serial = MATRIX_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        explore(&cfg, factory)
+    };
     if let Some((clean_token, clean_kind)) = &clean.failure {
         panic!(
             "unmutated async waker path failed at {clean_token}: {clean_kind} \
@@ -331,6 +456,49 @@ fn catches_lost_signal_async() {
 #[test]
 fn catches_skip_doom_check() {
     detects(Mutant::SkipDoomCheck);
+}
+
+#[test]
+fn catches_lazy_commit_with_lock_held() {
+    detects(Mutant::LazyCommitWithLockHeld);
+}
+
+#[test]
+fn catches_lazy_zombie_escape() {
+    detects(Mutant::LazyZombieEscape);
+}
+
+#[test]
+fn catches_lazy_subscription_reorder() {
+    detects(Mutant::LazySubscriptionReorder);
+}
+
+/// The naive lazy-subscription mode needs no mutant: its published hazard
+/// (zombies surviving a lock acquisition because nothing dooms them) is in
+/// the shipped code on purpose. The explorer finds it, the token replays
+/// it — and the *safe* lazy mode passes the identical scenario clean.
+#[test]
+fn lazy_unsafe_mode_exhibits_published_hazard() {
+    let _serial = MATRIX_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let cfg = Config::dfs(2, 800);
+
+    let factory = || lazy_torn_pair_scenario(AlgoMode::AdaptiveHtmLazyUnsafe);
+    let report = explore(&cfg, factory);
+    let (token, kind) = report.expect_failure();
+    println!(
+        "lazy-unsafe hazard: caught by schedule {token} after {} schedules: {kind}",
+        report.schedules
+    );
+    let replayed = replay(&token, factory(), cfg.stall_timeout);
+    assert!(
+        replayed.is_some(),
+        "lazy-unsafe hazard: schedule {token} did not reproduce on replay"
+    );
+
+    let safe = explore(&cfg, || lazy_torn_pair_scenario(AlgoMode::AdaptiveHtmLazy));
+    if let Some((safe_token, safe_kind)) = &safe.failure {
+        panic!("safe lazy mode failed the same scenario at {safe_token}: {safe_kind}");
+    }
 }
 
 /// Belt and braces for the matrix itself: every declared mutant resolves to

@@ -10,6 +10,7 @@ use crate::condvar::{TxCondvar, Waiter};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tle_base::history;
+use tle_base::sched::{self, YieldPoint};
 use tle_base::{AbortCause, TCell, TxVal};
 use tle_htm::HtmTx;
 use tle_stm::SoftTx;
@@ -126,6 +127,12 @@ impl<'a> TxCtx<'a> {
     pub(crate) fn mem_read<T: TxVal>(&mut self, c: &TCell<T>) -> Result<T, AbortCause> {
         match &mut self.kind {
             CtxKind::Locked { .. } | CtxKind::Serial => {
+                // Interleaving point: on real hardware a lock/serial
+                // section's plain loads race freely with everything a
+                // broken elision lets run concurrently, so the explorer
+                // must be able to split a serial section between accesses
+                // (the lazy-subscription hazards are invisible otherwise).
+                sched::yield_point(YieldPoint::MemStore);
                 let v = c.load_direct();
                 history::read(c.addr(), v.to_word());
                 Ok(v)
@@ -139,6 +146,8 @@ impl<'a> TxCtx<'a> {
     pub(crate) fn mem_write<T: TxVal>(&mut self, c: &TCell<T>, v: T) -> Result<(), AbortCause> {
         match &mut self.kind {
             CtxKind::Locked { .. } | CtxKind::Serial => {
+                // Interleaving point: see `mem_read`.
+                sched::yield_point(YieldPoint::MemStore);
                 c.store_direct(v);
                 history::write(c.addr(), v.to_word());
                 Ok(())

@@ -172,7 +172,9 @@ impl Default for AdaptiveConfig {
 /// observe capacity aborts, so promotion back to HTM is suppressed).
 ///
 /// Returns `Some((target, reason))` when the lock should switch, `None` to
-/// stay put. Never returns a `*NoQuiesce` or `AdaptiveHtm` target.
+/// stay put. Never returns a `*NoQuiesce` target or any member of the
+/// glibc-style elision family (`AdaptiveHtm` and the lazy-subscription
+/// modes, which are opt-in only).
 pub fn decide(
     mode: AlgoMode,
     window: &WindowSnapshot,
@@ -224,9 +226,13 @@ pub fn decide(
             }
             None
         }
-        // NoQuiesce is an application correctness contract; AdaptiveHtm
-        // carries its own (glibc-style) adaptation. Hands off both.
-        AlgoMode::StmCondvarNoQuiesce | AlgoMode::AdaptiveHtm => None,
+        // NoQuiesce is an application correctness contract; the glibc-style
+        // elision family (eager and lazy subscription alike) carries its
+        // own adaptation, and the lazy modes are opt-in only — the
+        // controller never enters or leaves any of them.
+        AlgoMode::StmCondvarNoQuiesce | AlgoMode::AdaptiveHtm | AlgoMode::AdaptiveHtmLazy => None,
+        #[cfg(any(test, debug_assertions, feature = "unsafe-modes"))]
+        AlgoMode::AdaptiveHtmLazyUnsafe => None,
     }
 }
 
@@ -730,6 +736,16 @@ mod tests {
             None,
             "glibc-style elision carries its own adaptation"
         );
+        assert_eq!(
+            decide(AlgoMode::AdaptiveHtmLazy, &storm, 100, None, &cfg()),
+            None,
+            "lazy subscription is opt-in only; the controller must not leave it"
+        );
+        assert_eq!(
+            decide(AlgoMode::AdaptiveHtmLazyUnsafe, &storm, 100, None, &cfg()),
+            None,
+            "the unsafe strawman is opt-in only; the controller must not leave it"
+        );
     }
 
     #[test]
@@ -747,6 +763,9 @@ mod tests {
                             AlgoMode::StmSpin,
                             AlgoMode::StmCondvar,
                             AlgoMode::HtmCondvar,
+                            AlgoMode::AdaptiveHtm,
+                            AlgoMode::AdaptiveHtmLazy,
+                            AlgoMode::AdaptiveHtmLazyUnsafe,
                         ] {
                             if let Some((to, _)) = decide(mode, &w, 100, None, &c) {
                                 assert!(

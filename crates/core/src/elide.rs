@@ -20,7 +20,7 @@ use crate::domain::{AdmissionStep, LockDomain};
 use crate::system::AlgoMode;
 use parking_lot::{Mutex, MutexGuard};
 use std::borrow::Cow;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use tle_base::{TCell, WindowSnapshot};
 
@@ -29,6 +29,13 @@ pub(crate) struct LockInner {
     raw: Mutex<()>,
     name: Cow<'static, str>,
     held: TCell<bool>,
+    /// Acquisition seqlock for the lazy-subscription modes: bumped on
+    /// every lock-path acquire **and** release, so even = free, odd =
+    /// held. A lazily subscribed transaction captures the value at begin
+    /// and re-checks it immediately before its commit point; an unchanged
+    /// even value proves the lock was free for the whole speculation
+    /// window. Eager modes never touch it.
+    seq: AtomicU64,
     skip: AtomicU32,
     poisoned: AtomicBool,
     domain: LockDomain,
@@ -53,6 +60,16 @@ impl LockInner {
     /// The diagnostic name.
     pub(crate) fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Current acquisition-seqlock value (lazy-subscription window proof).
+    pub(crate) fn elision_seq(&self) -> u64 {
+        self.seq.load(Ordering::SeqCst)
+    }
+
+    /// Bump the acquisition seqlock (lazy lock path, acquire and release).
+    pub(crate) fn seq_bump(&self) {
+        self.seq.fetch_add(1, Ordering::SeqCst);
     }
 }
 
@@ -83,6 +100,7 @@ impl ElidableMutex {
                 raw: Mutex::new(()),
                 name: name.into(),
                 held: TCell::new(false),
+                seq: AtomicU64::new(0),
                 skip: AtomicU32::new(0),
                 poisoned: AtomicBool::new(false),
                 domain: LockDomain::new(),
@@ -113,6 +131,17 @@ impl ElidableMutex {
     /// The per-lock policy domain.
     pub(crate) fn domain(&self) -> &LockDomain {
         &self.inner.domain
+    }
+
+    /// Current acquisition-seqlock value (lazy-subscription modes; even =
+    /// free, odd = held).
+    pub(crate) fn elision_seq(&self) -> u64 {
+        self.inner.elision_seq()
+    }
+
+    /// Bump the acquisition seqlock (lazy lock path only).
+    pub(crate) fn seq_bump(&self) {
+        self.inner.seq_bump()
     }
 
     /// The mode this lock runs under, given the system's global mode:

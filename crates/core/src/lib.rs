@@ -363,6 +363,159 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_htm_lazy_counter_is_exact() {
+        let sys = Arc::new(TmSystem::new(AlgoMode::AdaptiveHtmLazy));
+        let lock = Arc::new(ElidableMutex::new("lazy"));
+        let cell = Arc::new(TCell::new(0u64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let sys = Arc::clone(&sys);
+                let lock = Arc::clone(&lock);
+                let cell = Arc::clone(&cell);
+                std::thread::spawn(move || {
+                    let th = sys.register();
+                    for _ in 0..2_000 {
+                        th.tx(&lock).run(|ctx| {
+                            ctx.update(&*cell, |v| v + 1)?;
+                            Ok(())
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            cell.load_direct(),
+            8_000,
+            "lost updates under lazy-subscription elision"
+        );
+    }
+
+    #[test]
+    fn adaptive_htm_lazy_exclusion_invariant() {
+        use tle_htm::HtmConfig;
+        // Same two-cell torn-state invariant as the eager test, but under
+        // the commit-time subscription: the seqlock window check plus
+        // doom-on-acquire must exclude lock-path holders just as the eager
+        // lock-word subscription does.
+        let sys = Arc::new(
+            TmSystem::builder()
+                .mode(AlgoMode::AdaptiveHtmLazy)
+                .htm_config(HtmConfig {
+                    event_prob: 0.05,
+                    ..HtmConfig::default()
+                })
+                .build(),
+        );
+        let lock = Arc::new(ElidableMutex::new("lazy-excl"));
+        let a = Arc::new(TCell::new(0u64));
+        let b = Arc::new(TCell::new(0u64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let sys = Arc::clone(&sys);
+                let lock = Arc::clone(&lock);
+                let a = Arc::clone(&a);
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    let th = sys.register();
+                    for _ in 0..3_000 {
+                        th.tx(&lock).run(|ctx| {
+                            let va = ctx.read(&*a)?;
+                            let vb = ctx.read(&*b)?;
+                            assert_eq!(va, vb, "torn state: lazy elision raced the lock path");
+                            ctx.write(&*a, va + 1)?;
+                            ctx.write(&*b, vb + 1)?;
+                            Ok(())
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(a.load_direct(), 12_000);
+        assert_eq!(b.load_direct(), 12_000);
+        assert!(
+            sys.stats.serial_fallbacks.get() > 0,
+            "test wanted lock-path traffic but got none"
+        );
+    }
+
+    #[test]
+    fn adaptive_htm_lazy_condvar_works() {
+        let sys = Arc::new(TmSystem::new(AlgoMode::AdaptiveHtmLazy));
+        let lock = Arc::new(ElidableMutex::new("lazy-pc"));
+        let cv = Arc::new(TxCondvar::new());
+        let flag = Arc::new(TCell::new(false));
+        let consumer = {
+            let sys = Arc::clone(&sys);
+            let lock = Arc::clone(&lock);
+            let cv = Arc::clone(&cv);
+            let flag = Arc::clone(&flag);
+            std::thread::spawn(move || {
+                let th = sys.register();
+                th.tx(&lock).run(|ctx| {
+                    if !ctx.read(&*flag)? {
+                        return ctx.wait(&cv, None);
+                    }
+                    Ok(())
+                });
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let th = sys.register();
+        th.tx(&lock).run(|ctx| {
+            ctx.write(&*flag, true)?;
+            ctx.signal(&cv)?;
+            Ok(())
+        });
+        consumer.join().unwrap();
+    }
+
+    #[test]
+    fn adaptive_htm_lazy_unsafe_op_takes_the_lock() {
+        let sys = Arc::new(TmSystem::new(AlgoMode::AdaptiveHtmLazy));
+        let th = sys.register();
+        let lock = ElidableMutex::new("lazy-io");
+        let cell = TCell::new(0u64);
+        th.tx(&lock).run(|ctx| {
+            ctx.unsafe_op()?;
+            ctx.update(&cell, |v| v + 1)?;
+            Ok(())
+        });
+        assert_eq!(cell.load_direct(), 1);
+        assert!(sys.stats.serial_fallbacks.get() >= 1);
+        // Lock path acquired and released once each: seqlock back to even.
+        assert_eq!(lock.elision_seq() % 2, 0, "lazy seqlock parity corrupted");
+    }
+
+    #[test]
+    fn adaptive_htm_lazy_unsafe_variant_single_threaded() {
+        // The naive variant is still correct when nothing races it; its
+        // hazards need an adversarial interleaving (demonstrated by the
+        // checker, not here — stress would make this flaky by design).
+        let sys = Arc::new(TmSystem::new(AlgoMode::AdaptiveHtmLazyUnsafe));
+        let th = sys.register();
+        let lock = ElidableMutex::new("lazy-naive");
+        let cell = TCell::new(0u64);
+        for _ in 0..100 {
+            th.tx(&lock).run(|ctx| {
+                ctx.update(&cell, |v| v + 1)?;
+                Ok(())
+            });
+        }
+        th.tx(&lock).run(|ctx| {
+            ctx.unsafe_op()?;
+            ctx.update(&cell, |v| v + 1)?;
+            Ok(())
+        });
+        assert_eq!(cell.load_direct(), 101);
+    }
+
+    #[test]
     fn adaptive_htm_subscription_excludes_lock_path() {
         use tle_htm::HtmConfig;
         // Event-heavy hardware: many sections take the lock path, elided

@@ -37,6 +37,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use tle_base::fault::{self, Hazard};
 use tle_base::history;
+use tle_base::mutant::{self, Mutant};
 use tle_base::rng::splitmix64;
 use tle_base::sched::{self, YieldPoint};
 use tle_base::trace::{self, TraceKind, TxMode};
@@ -137,7 +138,7 @@ where
         // section straight to the serial gate — speculation is known-wasted
         // work; Shed refuses fallible sections outright and serializes
         // infallible ones (which cannot observe `Overloaded`).
-        if mode.is_transactional() && mode != AlgoMode::AdaptiveHtm && th.sys.admission_enabled() {
+        if mode.is_transactional() && !mode.is_glibc_family() && th.sys.admission_enabled() {
             let step = lock.domain().admission_step();
             if step != AdmissionStep::Elide {
                 if fallible && step == AdmissionStep::Shed {
@@ -167,7 +168,13 @@ where
                 run_stm(th, lock, epoch, hints, budget, f, false)
             }
             AlgoMode::HtmCondvar => run_htm(th, lock, epoch, hints, budget, f),
-            AlgoMode::AdaptiveHtm => run_adaptive_htm(th, lock, epoch, hints, budget, f),
+            AlgoMode::AdaptiveHtm | AlgoMode::AdaptiveHtmLazy => {
+                run_adaptive_htm(th, lock, epoch, hints, budget, f, mode)
+            }
+            #[cfg(any(test, debug_assertions, feature = "unsafe-modes"))]
+            AlgoMode::AdaptiveHtmLazyUnsafe => {
+                run_adaptive_htm(th, lock, epoch, hints, budget, f, mode)
+            }
         };
         match outcome {
             Outcome::Done(r) => return Ok(r),
@@ -177,12 +184,51 @@ where
     }
 }
 
+/// Commit-time lazy subscription: the ordered window check run immediately
+/// before the commit point (the doom-on-acquire sweep closes the race
+/// between this check and the commit CAS). Returns the abort cause when the
+/// speculation window overlapped a lock-path hold.
+///
+/// The naive (unsafe) variant does what the literature's strawman does: one
+/// racy read of the lock word and nothing else — no whole-window proof, so
+/// an acquire-and-release inside the window goes undetected.
+pub(crate) fn lazy_precommit_gate(
+    lock: &ElidableMutex,
+    mode: AlgoMode,
+    g0: u64,
+    lazy: bool,
+) -> Result<(), AbortCause> {
+    if !lazy {
+        return Ok(());
+    }
+    if mode.is_lazy_unsafe() {
+        if lock.held_cell().load_direct() {
+            return Err(AbortCause::Conflict);
+        }
+        return Ok(());
+    }
+    // Safe variant: an unchanged even seqlock proves the lock was free for
+    // the whole window (begin refused odd captures; any acquire since then
+    // bumped the counter).
+    if lock.elision_seq() != g0 {
+        return Err(AbortCause::Conflict);
+    }
+    Ok(())
+}
+
 /// glibc-style adaptive lock elision (extension; see
 /// [`AlgoMode::AdaptiveHtm`]). Differences from the TMTS-style `run_htm`:
 /// the transaction **subscribes to the lock word** as its first read, the
 /// fallback is **the lock itself** (global concurrency is unaffected), and
 /// repeated failures set a per-lock skip counter so hopeless locks stop
 /// being elided for a while.
+///
+/// The lazy modes ([`AlgoMode::AdaptiveHtmLazy`],
+/// [`AlgoMode::AdaptiveHtmLazyUnsafe`]) keep the lock word out of the read
+/// set entirely: subscription moves to [`lazy_precommit`], begin captures
+/// (and, in the safe variant, refuses an odd) acquisition seqlock, and the
+/// lock path dooms all active transactions instead of invalidating one
+/// line. See DESIGN.md §17 for the hazard catalog this ordering defeats.
 fn run_adaptive_htm<'a, R, F>(
     th: &'a ThreadHandle,
     lock: &'a ElidableMutex,
@@ -190,6 +236,7 @@ fn run_adaptive_htm<'a, R, F>(
     hints: TxHints,
     budget: Budget,
     f: &mut F,
+    mode: AlgoMode,
 ) -> Outcome<R>
 where
     F: FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
@@ -227,7 +274,7 @@ where
                 sys.stats.serial_fallbacks.inc(th.stm_slot);
             }
             trace::emit(TraceKind::Fallback, TxMode::Locked, None, attempts as u64);
-            match run_adaptive_lock_path(th, lock, epoch, budget.deadline, f) {
+            match run_adaptive_lock_path(th, lock, epoch, budget.deadline, f, mode) {
                 SerialOutcome::Done(r) => return Outcome::Done(r),
                 SerialOutcome::Retry => {
                     attempts = 0;
@@ -236,50 +283,96 @@ where
                 SerialOutcome::Redispatch => return Outcome::Redispatch,
             }
         }
-        // Don't even start while the lock is held (glibc spins outside the
-        // transaction for the same reason: an immediate subscription abort
-        // is wasted work).
-        let mut spins = 0u32;
-        while lock.held_cell().load_direct() {
-            spins += 1;
-            sched::spin_hint(YieldPoint::LockWord);
-            if spins < 32 {
-                std::hint::spin_loop();
-            } else {
-                std::thread::yield_now();
+        let lazy = mode.is_lazy();
+        if !lazy {
+            // Don't even start while the lock is held (glibc spins outside
+            // the transaction for the same reason: an immediate
+            // subscription abort is wasted work). The lazy modes skip this
+            // — not touching the lock word before commit is their point.
+            let mut spins = 0u32;
+            while lock.held_cell().load_direct() {
+                spins += 1;
+                sched::spin_hint(YieldPoint::LockWord);
+                if spins < 32 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
             }
         }
+        // Seeded bug (reorder hazard): the lazy window capture is hoisted
+        // above transaction begin, opening a gap where an acquisition's
+        // doom sweep passes this still-idle slot.
+        let hoisted_g0 = if lazy && mutant::armed(Mutant::LazySubscriptionReorder) {
+            let g = lock.elision_seq();
+            sched::yield_point(YieldPoint::LockWord);
+            Some(g)
+        } else {
+            None
+        };
         let mut tx = sys.htm.begin(th.htm_slot);
-        // Subscribe: a real acquisition of the lock invalidates this line
-        // and dooms us.
-        match tx.read(lock.held_cell()) {
-            Ok(false) => {}
-            Ok(true) => {
-                tx.abort(AbortCause::Conflict);
-                attempts += 1;
-                lock.domain().window.record_abort(AbortCause::Conflict);
-                trace::emit(
-                    TraceKind::Retry,
-                    TxMode::Htm,
-                    Some(AbortCause::Conflict),
-                    attempts as u64,
-                );
-                continue;
+        // Lazy window capture: ordered after begin so the doom-on-acquire
+        // sweep cannot miss this now-active slot (any acquire that bumped
+        // the seqlock before this load either shows up odd here, or swept
+        // and doomed us already).
+        let g0 = if lazy {
+            hoisted_g0.unwrap_or_else(|| lock.elision_seq())
+        } else {
+            0
+        };
+        if !lazy {
+            // Subscribe: a real acquisition of the lock invalidates this
+            // line and dooms us.
+            match tx.read(lock.held_cell()) {
+                Ok(false) => {}
+                Ok(true) => {
+                    tx.abort(AbortCause::Conflict);
+                    attempts += 1;
+                    lock.domain().window.record_abort(AbortCause::Conflict);
+                    trace::emit(
+                        TraceKind::Retry,
+                        TxMode::Htm,
+                        Some(AbortCause::Conflict),
+                        attempts as u64,
+                    );
+                    continue;
+                }
+                Err(e) => {
+                    tx.abort(e);
+                    attempts += 1;
+                    lock.domain().window.record_abort(e);
+                    trace::emit(TraceKind::Retry, TxMode::Htm, Some(e), attempts as u64);
+                    backoff(th.htm_slot, attempts, 0, sys.policy().backoff_ceiling);
+                    continue;
+                }
             }
-            Err(e) => {
-                tx.abort(e);
-                attempts += 1;
-                lock.domain().window.record_abort(e);
-                trace::emit(TraceKind::Retry, TxMode::Htm, Some(e), attempts as u64);
-                backoff(th.htm_slot, attempts, 0, sys.policy().backoff_ceiling);
-                continue;
-            }
+        } else if !mode.is_lazy_unsafe()
+            && g0 & 1 == 1
+            && !mutant::armed(Mutant::LazyCommitWithLockHeld)
+        {
+            // Safe lazy begin-refusal: an odd seqlock means the lock is
+            // held right now, and speculating would run as a zombie over
+            // the holder's direct writes (the mutant deletes exactly this
+            // guard). The naive variant has no such check — that is its
+            // documented hazard.
+            tx.abort(AbortCause::Conflict);
+            attempts += 1;
+            lock.domain().window.record_abort(AbortCause::Conflict);
+            trace::emit(
+                TraceKind::Retry,
+                TxMode::Htm,
+                Some(AbortCause::Conflict),
+                attempts as u64,
+            );
+            backoff(th.htm_slot, attempts, 0, sys.policy().backoff_ceiling);
+            continue;
         }
-        // The subscription is the exclusion foothold: a flip completed
-        // before it shows up as a bumped epoch (abort, re-resolve); a flip
-        // starting after it must acquire the lock word, which dooms this
-        // transaction via the invalidation — either way no commit under a
-        // stale mode.
+        // The exclusion foothold (eager: the lock-word subscription; lazy:
+        // begin refusal + the acquire path's doom-all sweep): a flip
+        // completed before it shows up as a bumped epoch (abort,
+        // re-resolve); a flip starting after it must acquire the lock
+        // word, which dooms this transaction — either way no commit under
+        // a stale mode.
         if lock.domain().epoch() != epoch {
             tx.abort(AbortCause::Explicit);
             return Outcome::Redispatch;
@@ -301,7 +394,17 @@ where
         match res {
             Ok(r) => {
                 debug_assert!(pending_wait.is_none(), "wait() result must be propagated");
-                match tx.commit() {
+                // Lazy subscription happens here, ordered immediately
+                // before the commit point; the acquire path's doom sweep
+                // closes the window between check and CAS.
+                let commit = match lazy_precommit_gate(lock, mode, g0, lazy) {
+                    Ok(()) => tx.commit(),
+                    Err(cause) => {
+                        tx.abort(cause);
+                        Err(cause)
+                    }
+                };
+                match commit {
                     Ok(()) => {
                         lock.domain().window.record_commit(0);
                         for d in defers {
@@ -319,7 +422,14 @@ where
             }
             Err(TxError::Wait) => {
                 let pw = pending_wait.expect("Wait reported without a wait request");
-                match tx.commit() {
+                let commit = match lazy_precommit_gate(lock, mode, g0, lazy) {
+                    Ok(()) => tx.commit(),
+                    Err(cause) => {
+                        tx.abort(cause);
+                        Err(cause)
+                    }
+                };
+                match commit {
                     Ok(()) => {
                         lock.domain().window.record_commit(0);
                         for d in defers {
@@ -348,7 +458,7 @@ where
                     Some(AbortCause::Unsafe),
                     attempts as u64,
                 );
-                match run_adaptive_lock_path(th, lock, epoch, budget.deadline, f) {
+                match run_adaptive_lock_path(th, lock, epoch, budget.deadline, f, mode) {
                     SerialOutcome::Done(r) => return Outcome::Done(r),
                     SerialOutcome::Retry => attempts = 0,
                     SerialOutcome::Redispatch => return Outcome::Redispatch,
@@ -400,15 +510,16 @@ fn run_adaptive_lock_path<'a, R, F>(
     epoch: u64,
     deadline: Option<Instant>,
     f: &mut F,
+    mode: AlgoMode,
 ) -> SerialOutcome<R>
 where
     F: FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
 {
-    adaptive_acquire(th, lock);
+    adaptive_acquire(th, lock, mode);
     // Holding the lock word blocks a flip's word acquisition, so the epoch
     // is stable from here until release.
     if lock.domain().epoch() != epoch {
-        lock.held_cell().store_direct(false);
+        adaptive_release(lock, mode);
         return SerialOutcome::Redispatch;
     }
 
@@ -428,7 +539,7 @@ where
     if matches!(res, Ok(_) | Err(TxError::Wait)) {
         history::commit();
     }
-    lock.held_cell().store_direct(false);
+    adaptive_release(lock, mode);
     match res {
         Ok(r) => {
             debug_assert!(pending_wait.is_none(), "wait() result must be propagated");
@@ -1074,10 +1185,15 @@ where
     }
 }
 
-/// Acquire the adaptive lock word: CAS it, then doom every hardware
-/// transaction that subscribed before the CAS (transactions beginning
-/// after it read `true` and abort themselves).
-fn adaptive_acquire(th: &ThreadHandle, lock: &ElidableMutex) {
+/// Acquire the adaptive lock word: CAS it, then make the acquisition
+/// visible to speculating transactions. Eager modes invalidate the lock
+/// word's line (dooming every subscriber); the lazy modes have no
+/// subscribers to reach that way, so the safe variant bumps the
+/// acquisition seqlock (new begins refuse) and dooms **every** active
+/// transaction (in-flight speculation cannot run on as zombies), while the
+/// naive variant deliberately does neither — that omission is the
+/// literature's hazard, preserved for the checker to demonstrate.
+fn adaptive_acquire(th: &ThreadHandle, lock: &ElidableMutex, mode: AlgoMode) {
     sched::yield_point(YieldPoint::LockWord);
     let mut spins = 0u32;
     loop {
@@ -1103,7 +1219,29 @@ fn adaptive_acquire(th: &ThreadHandle, lock: &ElidableMutex) {
             std::thread::yield_now();
         }
     }
-    th.sys.htm.invalidate(lock.held_cell());
+    if mode.is_lazy() {
+        // Odd seqlock: safe-lazy begins from here on refuse to speculate.
+        lock.seq_bump();
+        if mode.is_lazy_unsafe() {
+            // Naive lazy subscription: the line invalidation reaches
+            // nobody (no transaction subscribed the lock word).
+            th.sys.htm.invalidate(lock.held_cell());
+        } else if !mutant::armed(Mutant::LazyZombieEscape) {
+            // Doom-on-acquire: the seeded bug deletes exactly this sweep.
+            th.sys.htm.doom_all_active();
+        }
+    } else {
+        th.sys.htm.invalidate(lock.held_cell());
+    }
+}
+
+/// Release the adaptive lock word, restoring the lazy seqlock to even
+/// (speculation may resume).
+fn adaptive_release(lock: &ElidableMutex, mode: AlgoMode) {
+    lock.held_cell().store_direct(false);
+    if mode.is_lazy() {
+        lock.seq_bump();
+    }
 }
 
 /// Park the thread on its committed wait registration (or just yield the
@@ -1139,7 +1277,12 @@ fn block_on<'a>(th: &'a ThreadHandle, lock: &'a ElidableMutex, pw: PendingWait<'
 /// it). Modes whose ring users access the ring outside gate-supervised
 /// transactions (baseline's direct access under the raw mutex, adaptive
 /// elision's lock path) fall through to [`remove_waiter_excluded`].
-fn cancel_wait(th: &ThreadHandle, lock: &ElidableMutex, cv: &TxCondvar, raw: *const Waiter) {
+pub(crate) fn cancel_wait(
+    th: &ThreadHandle,
+    lock: &ElidableMutex,
+    cv: &TxCondvar,
+    raw: *const Waiter,
+) {
     let sys = &*th.sys;
     let mut attempts = 0u32;
     let removed = loop {
@@ -1149,7 +1292,7 @@ fn cancel_wait(th: &ThreadHandle, lock: &ElidableMutex, cv: &TxCondvar, raw: *co
         }
         let token = sys.gate.enter_concurrent();
         let outcome = match lock.resolved_mode(sys.mode()) {
-            AlgoMode::Baseline | AlgoMode::AdaptiveHtm => {
+            m if m == AlgoMode::Baseline || m.is_glibc_family() => {
                 drop(token);
                 break remove_waiter_excluded(th, lock, cv, raw);
             }
@@ -1222,12 +1365,15 @@ fn remove_waiter_excluded(
     sched::block_enter();
     let guard = lock.raw_lock();
     sched::block_exit();
-    adaptive_acquire(th, lock);
+    // Serial gate held: the resolved mode cannot flip under us, so the
+    // acquire/release pair keeps the lazy seqlock parity consistent.
+    let mode = lock.resolved_mode(sys.mode());
+    adaptive_acquire(th, lock, mode);
     let mut ctx = TxCtx::new(CtxKind::Serial);
     let removed = cv
         .remove(&mut ctx, raw)
         .expect("direct access cannot abort");
-    lock.held_cell().store_direct(false);
+    adaptive_release(lock, mode);
     drop(guard);
     drop(token);
     removed

@@ -46,12 +46,14 @@
 //! ring under the held mutex instead of using the native condvar channel
 //! (see `TxCtx::wait`); signallers already service the ring in every mode.
 //!
-//! ## Cancellation caveat
+//! ## Cancellation
 //!
 //! Dropping one of these futures between a committed wait registration and
-//! its wakeup abandons the ring entry, and a later signal may be consumed
-//! by the abandoned waiter. Poll async critical sections to completion (the
-//! KV session driver and all in-tree tests do); see DESIGN.md §16.
+//! its wakeup used to abandon the ring entry (a later signal could then be
+//! consumed by the ghost waiter). Ring entries now self-cancel:
+//! [`WaitEntryGuard`] removes the entry synchronously when the suspended
+//! wait is dropped, so a later signal always reaches a live waiter. See
+//! DESIGN.md §16.
 
 use crate::condvar::{TxCondvar, Waiter};
 use crate::ctx::{CtxKind, PendingWait, TxCtx, TxError};
@@ -65,6 +67,7 @@ use std::time::{Duration, Instant};
 use tle_base::exec;
 use tle_base::fault;
 use tle_base::history;
+use tle_base::mutant::{self, Mutant};
 use tle_base::sched::{self, YieldPoint};
 use tle_base::trace::{self, TraceKind, TxMode};
 use tle_base::AbortCause;
@@ -195,7 +198,7 @@ where
         let epoch = lock.domain().epoch();
         let mode = lock.resolved_mode(th.sys.mode());
         // Admission ladder (see `runner::run_inner` for the rationale).
-        if mode.is_transactional() && mode != AlgoMode::AdaptiveHtm && th.sys.admission_enabled() {
+        if mode.is_transactional() && !mode.is_glibc_family() && th.sys.admission_enabled() {
             let step = lock.domain().admission_step();
             if step != AdmissionStep::Elide {
                 if fallible && step == AdmissionStep::Shed {
@@ -223,7 +226,13 @@ where
                 run_stm_async(th, lock, epoch, hints, budget, f, false).await
             }
             AlgoMode::HtmCondvar => run_htm_async(th, lock, epoch, hints, budget, f).await,
-            AlgoMode::AdaptiveHtm => run_adaptive_async(th, lock, epoch, hints, budget, f).await,
+            AlgoMode::AdaptiveHtm | AlgoMode::AdaptiveHtmLazy => {
+                run_adaptive_async(th, lock, epoch, hints, budget, f, mode).await
+            }
+            #[cfg(any(test, debug_assertions, feature = "unsafe-modes"))]
+            AlgoMode::AdaptiveHtmLazyUnsafe => {
+                run_adaptive_async(th, lock, epoch, hints, budget, f, mode).await
+            }
         };
         match outcome {
             Outcome::Done(r) => return Ok(r),
@@ -843,6 +852,7 @@ async fn run_adaptive_async<'a, R, F>(
     hints: TxHints,
     budget: Budget,
     f: &mut F,
+    mode: AlgoMode,
 ) -> Outcome<R>
 where
     F: FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
@@ -875,7 +885,7 @@ where
                 sys.stats.serial_fallbacks.inc(th.stm_slot);
             }
             trace::emit(TraceKind::Fallback, TxMode::Locked, None, attempts as u64);
-            match adaptive_lock_path_async(th, lock, epoch, budget.deadline, f).await {
+            match adaptive_lock_path_async(th, lock, epoch, budget.deadline, f, mode).await {
                 SerialOutcome::Done(r) => return Outcome::Done(r),
                 SerialOutcome::Retry => {
                     attempts = 0;
@@ -884,14 +894,18 @@ where
                 SerialOutcome::Redispatch => return Outcome::Redispatch,
             }
         }
-        // Don't start while the lock is held (immediate subscription abort
-        // is wasted work); yield the worker instead of spinning.
-        while lock.held_cell().load_direct() {
-            sched::spin_hint(YieldPoint::LockWord);
-            exec::yield_now().await;
+        if !mode.is_lazy() {
+            // Don't start while the lock is held (immediate subscription
+            // abort is wasted work); yield the worker instead of spinning.
+            // Lazy modes skip this — not touching the lock word before
+            // commit is their point.
+            while lock.held_cell().load_direct() {
+                sched::spin_hint(YieldPoint::LockWord);
+                exec::yield_now().await;
+            }
         }
         let slots = claim_slots(sys).await;
-        let step = attempt_adaptive(th, slots.htm, lock, epoch, budget, f);
+        let step = attempt_adaptive(th, slots.htm, lock, epoch, budget, f, mode);
         drop(slots);
         match step {
             AdaptiveStep::Done(r, defers) => {
@@ -934,7 +948,7 @@ where
                     Some(AbortCause::Unsafe),
                     attempts as u64,
                 );
-                match adaptive_lock_path_async(th, lock, epoch, budget.deadline, f).await {
+                match adaptive_lock_path_async(th, lock, epoch, budget.deadline, f, mode).await {
                     SerialOutcome::Done(r) => return Outcome::Done(r),
                     SerialOutcome::Retry => attempts = 0,
                     SerialOutcome::Redispatch => return Outcome::Redispatch,
@@ -956,7 +970,10 @@ enum AdaptiveStep<'a, R> {
     RunnerErr(TxError),
 }
 
-/// One synchronous adaptive-elision attempt on a claimed HTM slot.
+/// One synchronous adaptive-elision attempt on a claimed HTM slot. `mode`
+/// selects the subscription discipline: eager (subscribe the lock word at
+/// begin) or lazy (seqlock window capture + commit-time check; see
+/// `runner::run_adaptive_htm` for the guard ordering).
 fn attempt_adaptive<'a, R, F>(
     th: &'a ThreadHandle,
     slot: usize,
@@ -964,22 +981,47 @@ fn attempt_adaptive<'a, R, F>(
     epoch: u64,
     budget: Budget,
     f: &mut F,
+    mode: AlgoMode,
 ) -> AdaptiveStep<'a, R>
 where
     F: FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
 {
     let sys = &*th.sys;
+    let lazy = mode.is_lazy();
+    // Seeded bug (reorder hazard): capture hoisted above begin; see the
+    // sync runner.
+    let hoisted_g0 = if lazy && mutant::armed(Mutant::LazySubscriptionReorder) {
+        let g = lock.elision_seq();
+        sched::yield_point(YieldPoint::LockWord);
+        Some(g)
+    } else {
+        None
+    };
     let mut tx = sys.htm.begin(slot);
-    match tx.read(lock.held_cell()) {
-        Ok(false) => {}
-        Ok(true) => {
-            tx.abort(AbortCause::Conflict);
-            return AdaptiveStep::SubscribedHeld;
+    let g0 = if lazy {
+        hoisted_g0.unwrap_or_else(|| lock.elision_seq())
+    } else {
+        0
+    };
+    if !lazy {
+        match tx.read(lock.held_cell()) {
+            Ok(false) => {}
+            Ok(true) => {
+                tx.abort(AbortCause::Conflict);
+                return AdaptiveStep::SubscribedHeld;
+            }
+            Err(e) => {
+                tx.abort(e);
+                return AdaptiveStep::Abort(e);
+            }
         }
-        Err(e) => {
-            tx.abort(e);
-            return AdaptiveStep::Abort(e);
-        }
+    } else if !mode.is_lazy_unsafe()
+        && g0 & 1 == 1
+        && !mutant::armed(Mutant::LazyCommitWithLockHeld)
+    {
+        // Begin-refusal: the window opened with the lock held.
+        tx.abort(AbortCause::Conflict);
+        return AdaptiveStep::SubscribedHeld;
     }
     if lock.domain().epoch() != epoch {
         tx.abort(AbortCause::Explicit);
@@ -1005,14 +1047,28 @@ where
     match res {
         Ok(r) => {
             debug_assert!(pending_wait.is_none(), "wait() result must be propagated");
-            match tx.commit() {
+            let commit = match runner::lazy_precommit_gate(lock, mode, g0, lazy) {
+                Ok(()) => tx.commit(),
+                Err(cause) => {
+                    tx.abort(cause);
+                    Err(cause)
+                }
+            };
+            match commit {
                 Ok(()) => AdaptiveStep::Done(r, defers),
                 Err(cause) => AdaptiveStep::Abort(cause),
             }
         }
         Err(TxError::Wait) => {
             let pw = pending_wait.expect("Wait reported without a wait request");
-            match tx.commit() {
+            let commit = match runner::lazy_precommit_gate(lock, mode, g0, lazy) {
+                Ok(()) => tx.commit(),
+                Err(cause) => {
+                    tx.abort(cause);
+                    Err(cause)
+                }
+            };
+            match commit {
                 Ok(()) => AdaptiveStep::Wait(AsyncWait::from_pending(pw), defers),
                 Err(cause) => {
                     runner::reclaim_enqueue_ref(&pw);
@@ -1042,10 +1098,14 @@ where
 }
 
 /// Acquire the adaptive lock word without monopolizing a worker: CAS with
-/// executor yields, then doom subscribed transactions via the non-blocking
+/// executor yields, then make the acquisition visible to speculators.
+/// Eager modes doom subscribed transactions via the non-blocking
 /// [`try_invalidate`](tle_htm::HtmGlobal::try_invalidate), yielding while a
-/// victim is mid-commit.
-async fn adaptive_acquire_async(sys: &TmSystem, lock: &ElidableMutex) {
+/// victim is mid-commit; safe-lazy bumps the acquisition seqlock and
+/// sweep-dooms every active transaction ([`try_doom_all_active`]
+/// (tle_htm::HtmGlobal::try_doom_all_active) + yields); naive-lazy
+/// deliberately does neither (see `runner::adaptive_acquire`).
+async fn adaptive_acquire_async(sys: &TmSystem, lock: &ElidableMutex, mode: AlgoMode) {
     sched::yield_point(YieldPoint::LockWord);
     loop {
         if !lock.held_cell().load_direct()
@@ -1065,9 +1125,32 @@ async fn adaptive_acquire_async(sys: &TmSystem, lock: &ElidableMutex) {
         sched::spin_hint(YieldPoint::LockWord);
         exec::yield_now().await;
     }
-    while !sys.htm.try_invalidate(lock.held_cell()) {
-        sched::spin_hint(YieldPoint::LockWord);
-        exec::yield_now().await;
+    if mode.is_lazy() {
+        lock.seq_bump();
+        if mode.is_lazy_unsafe() {
+            while !sys.htm.try_invalidate(lock.held_cell()) {
+                sched::spin_hint(YieldPoint::LockWord);
+                exec::yield_now().await;
+            }
+        } else if !mutant::armed(Mutant::LazyZombieEscape) {
+            while !sys.htm.try_doom_all_active() {
+                sched::spin_hint(YieldPoint::LockWord);
+                exec::yield_now().await;
+            }
+        }
+    } else {
+        while !sys.htm.try_invalidate(lock.held_cell()) {
+            sched::spin_hint(YieldPoint::LockWord);
+            exec::yield_now().await;
+        }
+    }
+}
+
+/// Release the adaptive lock word, restoring the lazy seqlock to even.
+fn adaptive_release(lock: &ElidableMutex, mode: AlgoMode) {
+    lock.held_cell().store_direct(false);
+    if mode.is_lazy() {
+        lock.seq_bump();
     }
 }
 
@@ -1078,14 +1161,15 @@ async fn adaptive_lock_path_async<'a, R, F>(
     epoch: u64,
     deadline: Option<Instant>,
     f: &mut F,
+    mode: AlgoMode,
 ) -> SerialOutcome<R>
 where
     F: FnMut(&mut TxCtx<'a>) -> Result<R, TxError>,
 {
     let sys = &*th.sys;
-    adaptive_acquire_async(sys, lock).await;
+    adaptive_acquire_async(sys, lock, mode).await;
     if lock.domain().epoch() != epoch {
-        lock.held_cell().store_direct(false);
+        adaptive_release(lock, mode);
         return SerialOutcome::Redispatch;
     }
     let step = {
@@ -1106,7 +1190,7 @@ where
         if matches!(res, Ok(_) | Err(TxError::Wait)) {
             history::commit();
         }
-        lock.held_cell().store_direct(false);
+        adaptive_release(lock, mode);
         match res {
             Ok(r) => {
                 debug_assert!(pending_wait.is_none(), "wait() result must be propagated");
@@ -1146,6 +1230,29 @@ where
     }
 }
 
+/// Removes an abandoned ring entry when a suspended async wait is dropped
+/// instead of polled to completion: without this, the entry would linger
+/// and a later signal could be consumed by the ghost waiter (the PR-8
+/// cancellation caveat, DESIGN.md §16). The removal runs synchronously in
+/// `Drop` via `runner::cancel_wait` — ring-entry ownership transfer never
+/// suspends, and the dropping thread is by definition outside any poll.
+/// Defused on every normal exit path (signal, timeout-cancel).
+struct WaitEntryGuard<'a> {
+    th: &'a ThreadHandle,
+    lock: &'a ElidableMutex,
+    cv: &'a TxCondvar,
+    raw: RawWaiter,
+    armed: bool,
+}
+
+impl Drop for WaitEntryGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            runner::cancel_wait(self.th, self.lock, self.cv, self.raw.0);
+        }
+    }
+}
+
 /// Suspend on a committed wait registration (or just yield under spin-mode
 /// polling). Async twin of `runner::block_on`.
 async fn block_on_async<'a>(th: &'a ThreadHandle, lock: &'a ElidableMutex, w: AsyncWait<'a>) {
@@ -1157,7 +1264,15 @@ async fn block_on_async<'a>(th: &'a ThreadHandle, lock: &'a ElidableMutex, w: As
             exec::yield_now().await;
         }
         Some(waiter) => {
+            let mut guard = WaitEntryGuard {
+                th,
+                lock,
+                cv: w.cv,
+                raw: w.raw,
+                armed: true,
+            };
             let signaled = wait_signaled(&waiter, w.timeout).await;
+            guard.armed = false;
             trace::emit(TraceKind::WaitPark, TxMode::Serial, None, !signaled as u64);
             if !signaled {
                 cancel_wait_async(th, lock, w.cv, w.raw).await;
@@ -1212,7 +1327,7 @@ async fn cancel_wait_async<'a>(
         }
         let token = sys.gate.enter_concurrent_async().await;
         let mode = lock.resolved_mode(sys.mode());
-        if matches!(mode, AlgoMode::Baseline | AlgoMode::AdaptiveHtm) {
+        if mode == AlgoMode::Baseline || mode.is_glibc_family() {
             drop(token);
             break remove_waiter_excluded_async(th, lock, cv, raw).await;
         }
@@ -1293,7 +1408,10 @@ async fn remove_waiter_excluded_async<'a>(
 ) -> bool {
     let sys = &*th.sys;
     let token = sys.gate.enter_serial_async().await;
-    adaptive_acquire_async(sys, lock).await;
+    // Serial token held: the resolved mode cannot flip under us, so the
+    // acquire/release pair keeps the lazy seqlock parity consistent.
+    let mode = lock.resolved_mode(sys.mode());
+    adaptive_acquire_async(sys, lock, mode).await;
     let removed = loop {
         let r = {
             match lock.raw().try_lock() {
@@ -1312,7 +1430,7 @@ async fn remove_waiter_excluded_async<'a>(
             None => exec::yield_now().await,
         }
     };
-    lock.held_cell().store_direct(false);
+    adaptive_release(lock, mode);
     drop(token);
     removed
 }

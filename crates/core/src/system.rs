@@ -37,6 +37,26 @@ pub enum AlgoMode {
     /// an adaptive skip counter disables elision on locks that keep
     /// aborting, exactly like glibc's `pthread_mutex_lock` elision.
     AdaptiveHtm = 5,
+    /// [`AdaptiveHtm`](Self::AdaptiveHtm) with **safe lazy subscription**
+    /// (Dice et al., "Hardware extensions to make lazy subscription
+    /// safe"): the fallback lock word is *not* read at transaction begin —
+    /// lock-path acquisitions therefore no longer abort every speculating
+    /// reader of that line. Safety is restored by three ordered guards:
+    /// begin refuses to speculate while the lock's acquisition seqlock is
+    /// odd (held), the lock path dooms every active transaction on acquire
+    /// (zombies cannot run on), and the seqlock is re-checked immediately
+    /// before the commit point, proving the lock was free for the whole
+    /// speculation window. Never a controller target — strictly opt-in.
+    AdaptiveHtmLazy = 6,
+    /// **Naive** lazy subscription — the literature's unsafe strawman: the
+    /// lock word is read only once, just before commit, with no
+    /// doom-on-acquire and no whole-window check. Exists so the model
+    /// checker can demonstrate the hazard catalog (DESIGN.md §17) on a
+    /// real mode. Compiled only into dev/check builds (`debug_assertions`,
+    /// tests, or the `unsafe-modes` feature); release binaries reject any
+    /// construction of it at compile time. Never a controller target.
+    #[cfg(any(test, debug_assertions, feature = "unsafe-modes"))]
+    AdaptiveHtmLazyUnsafe = 7,
 }
 
 /// Error returned when a byte is not a valid [`AlgoMode`] discriminant.
@@ -62,6 +82,9 @@ impl TryFrom<u8> for AlgoMode {
             3 => Ok(AlgoMode::StmCondvarNoQuiesce),
             4 => Ok(AlgoMode::HtmCondvar),
             5 => Ok(AlgoMode::AdaptiveHtm),
+            6 => Ok(AlgoMode::AdaptiveHtmLazy),
+            #[cfg(any(test, debug_assertions, feature = "unsafe-modes"))]
+            7 => Ok(AlgoMode::AdaptiveHtmLazyUnsafe),
             other => Err(InvalidAlgoMode(other)),
         }
     }
@@ -77,7 +100,8 @@ impl std::fmt::Display for ParseAlgoModeError {
         write!(
             f,
             "unknown algorithm mode {:?} (expected one of: baseline, stm-spin, \
-             stm-condvar, stm-noquiesce, htm, adaptive-htm)",
+             stm-condvar, stm-noquiesce, htm, adaptive-htm, adaptive-htm-lazy, \
+             adaptive-htm-lazy-unsafe [dev/check builds only])",
             self.0
         )
     }
@@ -100,6 +124,9 @@ impl std::str::FromStr for AlgoMode {
             }
             "htm" | "htm-condvar" => Ok(AlgoMode::HtmCondvar),
             "adaptive-htm" | "adaptive" | "glibc" => Ok(AlgoMode::AdaptiveHtm),
+            "adaptive-htm-lazy" | "lazy" => Ok(AlgoMode::AdaptiveHtmLazy),
+            #[cfg(any(test, debug_assertions, feature = "unsafe-modes"))]
+            "adaptive-htm-lazy-unsafe" | "lazy-unsafe" => Ok(AlgoMode::AdaptiveHtmLazyUnsafe),
             other => Err(ParseAlgoModeError(other.to_string())),
         }
     }
@@ -115,6 +142,9 @@ impl AlgoMode {
             AlgoMode::StmCondvarNoQuiesce => "STM+CondVar+NoQuiesce",
             AlgoMode::HtmCondvar => "HTM+CondVar",
             AlgoMode::AdaptiveHtm => "AdaptiveHTM(glibc)",
+            AlgoMode::AdaptiveHtmLazy => "AdaptiveHTM(lazy)",
+            #[cfg(any(test, debug_assertions, feature = "unsafe-modes"))]
+            AlgoMode::AdaptiveHtmLazyUnsafe => "AdaptiveHTM(lazy-unsafe)",
         }
     }
 
@@ -129,6 +159,41 @@ impl AlgoMode {
     /// Whether this mode runs critical sections as transactions.
     pub fn is_transactional(self) -> bool {
         !matches!(self, AlgoMode::Baseline)
+    }
+
+    /// Whether this mode is glibc-family adaptive elision: hardware
+    /// transactions fall back to **the lock itself** rather than the
+    /// global serial gate ([`AdaptiveHtm`](Self::AdaptiveHtm) and the two
+    /// lazy-subscription variants).
+    pub fn is_glibc_family(self) -> bool {
+        match self {
+            AlgoMode::AdaptiveHtm | AlgoMode::AdaptiveHtmLazy => true,
+            #[cfg(any(test, debug_assertions, feature = "unsafe-modes"))]
+            AlgoMode::AdaptiveHtmLazyUnsafe => true,
+            _ => false,
+        }
+    }
+
+    /// Whether this mode defers its fallback-lock subscription to commit
+    /// time instead of reading the lock word at transaction begin.
+    pub fn is_lazy(self) -> bool {
+        match self {
+            AlgoMode::AdaptiveHtmLazy => true,
+            #[cfg(any(test, debug_assertions, feature = "unsafe-modes"))]
+            AlgoMode::AdaptiveHtmLazyUnsafe => true,
+            _ => false,
+        }
+    }
+
+    /// Whether this is the naive lazy variant, which omits every safety
+    /// guard (dev/check builds only; always `false` in release builds,
+    /// where the variant does not exist).
+    pub fn is_lazy_unsafe(self) -> bool {
+        match self {
+            #[cfg(any(test, debug_assertions, feature = "unsafe-modes"))]
+            AlgoMode::AdaptiveHtmLazyUnsafe => true,
+            _ => false,
+        }
     }
 }
 
@@ -539,6 +604,13 @@ impl TmSystem {
             }
         }
         self.htm.invalidate(inner.held_cell());
+        // Lazy modes never subscribe the word's line, so the invalidation
+        // above cannot reach them: bump the acquisition seqlock (new lazy
+        // begins refuse) and sweep-doom every active transaction. Flips are
+        // rare, so doing this unconditionally (rather than only when the
+        // old or new resolved mode is lazy) costs nothing.
+        inner.seq_bump();
+        self.htm.doom_all_active();
 
         let domain = inner.domain();
         let from = domain.resolved(self.mode());
@@ -573,6 +645,8 @@ impl TmSystem {
         }
 
         inner.held_cell().store_direct(false);
+        // Restore even parity: lazy speculation may resume.
+        inner.seq_bump();
         drop(guard);
         drop(serial);
     }
@@ -1125,6 +1199,11 @@ mod tests {
             "STM+CondVar+NoQuiesce"
         );
         assert_eq!(AlgoMode::HtmCondvar.label(), "HTM+CondVar");
+        assert_eq!(AlgoMode::AdaptiveHtmLazy.label(), "AdaptiveHTM(lazy)");
+        assert_eq!(
+            AlgoMode::AdaptiveHtmLazyUnsafe.label(),
+            "AdaptiveHTM(lazy-unsafe)"
+        );
     }
 
     #[test]
@@ -1133,15 +1212,37 @@ mod tests {
             assert_eq!(AlgoMode::try_from(m as u8), Ok(m));
         }
         assert_eq!(AlgoMode::try_from(5), Ok(AlgoMode::AdaptiveHtm));
+        assert_eq!(AlgoMode::try_from(6), Ok(AlgoMode::AdaptiveHtmLazy));
+        assert_eq!(AlgoMode::try_from(7), Ok(AlgoMode::AdaptiveHtmLazyUnsafe));
     }
 
     #[test]
     fn invalid_mode_bytes_are_rejected() {
-        for v in [6u8, 7, 100, u8::MAX] {
+        for v in [8u8, 100, u8::MAX] {
             assert_eq!(AlgoMode::try_from(v), Err(InvalidAlgoMode(v)));
         }
         let msg = InvalidAlgoMode(9).to_string();
         assert!(msg.contains('9'));
+    }
+
+    #[test]
+    fn mode_family_helpers_are_consistent() {
+        for v in 0..=7u8 {
+            let m = AlgoMode::try_from(v).unwrap();
+            if m.is_lazy() {
+                assert!(m.is_glibc_family(), "{m:?}: lazy implies glibc-family");
+            }
+            if m.is_lazy_unsafe() {
+                assert!(m.is_lazy(), "{m:?}: unsafe implies lazy");
+            }
+            if m.is_glibc_family() {
+                assert!(m.is_transactional());
+            }
+        }
+        assert!(!AlgoMode::AdaptiveHtm.is_lazy());
+        assert!(AlgoMode::AdaptiveHtmLazy.is_lazy());
+        assert!(!AlgoMode::AdaptiveHtmLazy.is_lazy_unsafe());
+        assert!(AlgoMode::AdaptiveHtmLazyUnsafe.is_lazy_unsafe());
     }
 
     #[test]
@@ -1157,6 +1258,10 @@ mod tests {
             ("htm-condvar", AlgoMode::HtmCondvar),
             ("adaptive-htm", AlgoMode::AdaptiveHtm),
             ("adaptive", AlgoMode::AdaptiveHtm),
+            ("adaptive-htm-lazy", AlgoMode::AdaptiveHtmLazy),
+            ("lazy", AlgoMode::AdaptiveHtmLazy),
+            ("adaptive-htm-lazy-unsafe", AlgoMode::AdaptiveHtmLazyUnsafe),
+            ("lazy-unsafe", AlgoMode::AdaptiveHtmLazyUnsafe),
         ] {
             assert_eq!(s.parse::<AlgoMode>(), Ok(m), "{s}");
         }

@@ -12,7 +12,7 @@ fn all_six() -> Vec<AlgoMode> {
     ALL_MODES
         .iter()
         .copied()
-        .chain([AlgoMode::AdaptiveHtm])
+        .chain([AlgoMode::AdaptiveHtm, AlgoMode::AdaptiveHtmLazy])
         .collect()
 }
 
@@ -424,5 +424,133 @@ fn async_unsafe_op_serializes_and_completes() {
             1,
             "unsafe path lost the write under {mode:?}"
         );
+    }
+}
+
+/// PR-8's cancellation caveat, now fixed: dropping an async critical
+/// section while it is suspended on a committed condvar wait must remove
+/// its ring entry (`WaitEntryGuard`), so (a) the ring compacts clean and
+/// (b) a later signal is delivered to a live waiter instead of being
+/// consumed by the ghost entry.
+#[test]
+fn async_dropped_wait_future_self_cancels_ring_entry() {
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::{Condvar as OsCondvar, Mutex as OsMutex};
+    use std::task::{Context, Poll, Wake, Waker};
+
+    struct FlagSignal {
+        woken: OsMutex<bool>,
+        cv: OsCondvar,
+    }
+    impl Wake for FlagSignal {
+        fn wake(self: Arc<Self>) {
+            self.wake_by_ref();
+        }
+        fn wake_by_ref(self: &Arc<Self>) {
+            let mut woken = self.woken.lock().unwrap_or_else(|e| e.into_inner());
+            *woken = true;
+            self.cv.notify_one();
+        }
+    }
+
+    /// Poll until the future truly suspends on an armed waker (registered
+    /// wait), panicking if it completes first.
+    fn poll_to_suspension<F: Future>(fut: &mut Pin<&mut F>, signal: &Arc<FlagSignal>) {
+        let waker = Waker::from(Arc::clone(signal));
+        let mut cx = Context::from_waker(&waker);
+        for _ in 0..10_000 {
+            if fut.as_mut().poll(&mut cx).is_ready() {
+                panic!("future completed before suspending on the wait");
+            }
+            let mut woken = signal.woken.lock().unwrap_or_else(|e| e.into_inner());
+            if *woken {
+                *woken = false; // hot re-poll (yield_now backoff etc.)
+            } else {
+                return; // truly parked on the waiter
+            }
+        }
+        panic!("future never suspended");
+    }
+
+    fn poll_to_ready<F: Future>(fut: &mut Pin<&mut F>, signal: &Arc<FlagSignal>) -> F::Output {
+        let waker = Waker::from(Arc::clone(signal));
+        let mut cx = Context::from_waker(&waker);
+        loop {
+            if let Poll::Ready(v) = fut.as_mut().poll(&mut cx) {
+                return v;
+            }
+            let mut woken = signal.woken.lock().unwrap_or_else(|e| e.into_inner());
+            while !*woken {
+                woken = signal.cv.wait(woken).unwrap_or_else(|e| e.into_inner());
+            }
+            *woken = false;
+        }
+    }
+
+    for mode in [
+        AlgoMode::StmCondvar,
+        AlgoMode::HtmCondvar,
+        AlgoMode::AdaptiveHtm,
+        AlgoMode::AdaptiveHtmLazy,
+    ] {
+        let sys = Arc::new(TmSystem::new(mode));
+        let lock = Arc::new(ElidableMutex::new("dropwait"));
+        let cv = Arc::new(TxCondvar::new());
+        let flag = Arc::new(TCell::new(0u64));
+        let th = Arc::new(sys.register());
+        let signal = Arc::new(FlagSignal {
+            woken: OsMutex::new(false),
+            cv: OsCondvar::new(),
+        });
+
+        // Suspend a wait, then drop it mid-wait.
+        {
+            let fut = th.tx(&lock).run_async(|ctx| {
+                if ctx.read(&*flag)? == 0 {
+                    return ctx.wait(&cv, None);
+                }
+                Ok(())
+            });
+            let mut fut = std::pin::pin!(fut);
+            poll_to_suspension(&mut fut, &signal);
+            assert_eq!(cv.approx_len(), 1, "wait not registered under {mode:?}");
+        } // <- dropped here; the guard must remove the ring entry
+
+        // A fresh waiter registers; enqueue-side compaction walks the head
+        // past the cancelled slot, so the ring holds exactly one live
+        // entry. A ghost entry would leave two.
+        let fut2 = th.tx(&lock).run_async(|ctx| {
+            if ctx.read(&*flag)? == 0 {
+                return ctx.wait(&cv, None);
+            }
+            Ok(())
+        });
+        let mut fut2 = std::pin::pin!(fut2);
+        poll_to_suspension(&mut fut2, &signal);
+        assert_eq!(
+            cv.approx_len(),
+            1,
+            "ghost ring entry survived the dropped wait under {mode:?}"
+        );
+
+        // One signal must reach the live waiter (a ghost would consume it).
+        let producer = {
+            let sys = Arc::clone(&sys);
+            let lock = Arc::clone(&lock);
+            let cv = Arc::clone(&cv);
+            let flag = Arc::clone(&flag);
+            std::thread::spawn(move || {
+                let th = sys.register();
+                th.tx(&lock).run(|ctx| {
+                    ctx.write(&*flag, 1u64)?;
+                    ctx.signal(&cv)?;
+                    Ok(())
+                });
+            })
+        };
+        producer.join().unwrap();
+        poll_to_ready(&mut fut2, &signal);
+        assert_eq!(cv.approx_len(), 0, "ring not drained under {mode:?}");
     }
 }

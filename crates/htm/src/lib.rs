@@ -255,6 +255,43 @@ impl HtmGlobal {
         cell.store_direct(v);
     }
 
+    /// Doom **every** active transaction in the domain, and wait out any
+    /// transaction already past its commit point (its redo log finishes
+    /// publishing before this returns).
+    ///
+    /// This is the lazy-subscription lock path's primitive: a lazily
+    /// subscribed transaction never puts the fallback lock word in its read
+    /// set, so [`invalidate`](Self::invalidate)-ing the lock word cannot
+    /// reach it — the acquisition must sweep the slot table instead (the
+    /// "doom on acquire" half of making lazy subscription safe, after Dice
+    /// et al.).
+    pub fn doom_all_active(&self) {
+        tle_base::sched::yield_point(tle_base::sched::YieldPoint::TxState);
+        for slot in 0..tle_base::slots::MAX_SLOTS {
+            if self.doom(slot) == DoomOutcome::Committing {
+                self.wait_not_committed(slot);
+            }
+        }
+    }
+
+    /// Non-blocking [`doom_all_active`](Self::doom_all_active): dooms every
+    /// active transaction but returns `false` instead of spinning when a
+    /// slot is mid-commit; the caller yields and re-calls (re-dooming is
+    /// idempotent). The async lazy lock path's primitive, mirroring
+    /// [`try_invalidate`](Self::try_invalidate).
+    pub fn try_doom_all_active(&self) -> bool {
+        tle_base::sched::yield_point(tle_base::sched::YieldPoint::TxState);
+        let mut clear = true;
+        for slot in 0..tle_base::slots::MAX_SLOTS {
+            if self.doom(slot) == DoomOutcome::Committing
+                && self.tx_state[slot].load(Ordering::SeqCst) == state::COMMITTED
+            {
+                clear = false;
+            }
+        }
+        clear
+    }
+
     fn wait_not_committed(&self, slot: usize) {
         let mut spins = 0u32;
         while self.tx_state[slot].load(Ordering::SeqCst) == state::COMMITTED {

@@ -1,0 +1,135 @@
+//! Pins the compile-time gate on the naive lazy-subscription mode
+//! (DESIGN.md §17): `AlgoMode::AdaptiveHtmLazyUnsafe` exists only in
+//! dev/check builds, so release binaries reject any construction of it at
+//! compile time — the variant is simply absent. A `compile_fail` doctest
+//! cannot prove that (doctests build with `debug_assertions`, where the
+//! variant exists), so this scan pins the mechanism instead: every mention
+//! of the identifier in non-test source must sit directly under the exact
+//! gating attribute, and the scan must actually find the known use sites.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The one attribute that gates the variant everywhere. Spelled once, so a
+/// drive-by edit (dropping `debug_assertions`, widening to all builds)
+/// shows up as a scan violation rather than a silent policy change.
+const GATE: &str = r#"#[cfg(any(test, debug_assertions, feature = "unsafe-modes"))]"#;
+const IDENT: &str = "AdaptiveHtmLazyUnsafe";
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint sits two levels under the workspace root")
+        .to_path_buf()
+}
+
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Files compiled only under `cfg(test)`: integration-test targets (any
+/// `tests/` directory) are built with `--test`, so the `test` arm of the
+/// gate already covers them.
+fn is_test_target(path: &Path) -> bool {
+    path.components()
+        .any(|c| c.as_os_str() == "tests" || c.as_os_str() == "fixtures")
+}
+
+/// Line index where the file's trailing `#[cfg(test)] mod …` region starts
+/// (everything after it is unit-test code, gated by `test`).
+fn test_mod_start(lines: &[&str]) -> usize {
+    lines
+        .windows(2)
+        .position(|w| w[0].trim() == "#[cfg(test)]" && w[1].trim_start().starts_with("mod "))
+        .unwrap_or(lines.len())
+}
+
+#[test]
+fn naive_lazy_variant_is_compile_gated_everywhere() {
+    let ws = workspace_root();
+    let mut files = Vec::new();
+    for dir in ["crates", "examples", "src"] {
+        rust_files(&ws.join(dir), &mut files);
+    }
+
+    let mut gated = 0usize;
+    let mut violations = String::new();
+    for path in &files {
+        if is_test_target(path) {
+            continue;
+        }
+        let text = fs::read_to_string(path).unwrap_or_default();
+        if !text.contains(IDENT) {
+            continue;
+        }
+        let lines: Vec<&str> = text.lines().collect();
+        let test_start = test_mod_start(&lines);
+        for (i, line) in lines.iter().enumerate() {
+            if !line.contains(IDENT) || i >= test_start {
+                continue;
+            }
+            if line.trim_start().starts_with("//") {
+                continue; // doc comments may name the variant freely
+            }
+            // Walk back over the item's attributes and doc comments; the
+            // gate must be among them.
+            let has_gate = lines[..i]
+                .iter()
+                .rev()
+                .take_while(|l| {
+                    let s = l.trim_start();
+                    s.starts_with('#') || s.starts_with("//")
+                })
+                .any(|l| l.trim() == GATE);
+            if has_gate {
+                gated += 1;
+            } else {
+                violations.push_str(&format!(
+                    "\n  {}:{}: {}",
+                    path.display(),
+                    i + 1,
+                    line.trim()
+                ));
+            }
+        }
+    }
+
+    assert!(
+        violations.is_empty(),
+        "every non-test use of {IDENT} must sit under {GATE}:{violations}"
+    );
+    // The scan saw the real seams, not an empty set: the enum declaration,
+    // TryFrom<u8>, FromStr, the AlgoMode predicate arms, and the sync/async
+    // runner + controller match arms — 11 sites at the time of writing.
+    assert!(
+        gated >= 8,
+        "suspiciously few gated {IDENT} sites found: {gated}"
+    );
+}
+
+#[test]
+fn declaration_site_carries_the_exact_gate() {
+    let system = workspace_root().join("crates/core/src/system.rs");
+    let text = fs::read_to_string(&system).expect("crates/core/src/system.rs readable");
+    let lines: Vec<&str> = text.lines().collect();
+    let decl = lines
+        .iter()
+        .position(|l| l.trim() == "AdaptiveHtmLazyUnsafe = 7,")
+        .expect("AdaptiveHtmLazyUnsafe variant declaration present");
+    assert_eq!(
+        lines[decl - 1].trim(),
+        GATE,
+        "the variant declaration must be gated by the exact attribute"
+    );
+}

@@ -88,7 +88,9 @@ fn usage() {
          options:\n\
          \u{20} --seed N     fault-schedule and workload seed (default 1)\n\
          \u{20} --mode M     all|baseline|stm-spin|stm-condvar|stm-noquiesce|htm|\n\
-         \u{20}              adaptive-htm (default all)\n\
+         \u{20}              adaptive-htm|adaptive-htm-lazy (default all; the lazy\n\
+         \u{20}              mode is opt-in and not part of `all`; dev/check\n\
+         \u{20}              builds also accept adaptive-htm-lazy-unsafe)\n\
          \u{20} --workers N  txset/pipeline worker threads (default 3)\n\
          \u{20} --ops N      set operations per worker (default 1500)\n\
          \u{20} --adaptive   also torture per-lock mode flips: a counter runs\n\
