@@ -47,6 +47,7 @@ pub mod exec;
 pub mod fault;
 pub mod gate;
 pub mod history;
+pub mod json;
 pub mod mutant;
 pub mod orec;
 pub mod park;

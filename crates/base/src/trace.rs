@@ -286,6 +286,7 @@ mod imp {
         #[inline]
         fn push(&self, kind: TraceKind, mode: TxMode, cause: Option<AbortCause>, detail: u64) {
             let ts = LOGICAL_CLOCK.fetch_add(1, Ordering::Relaxed);
+            // tle-lint: allow(R8, "single-writer ring: this load reads the owning thread's own prior store; the Release below is what orders the payload for snapshot readers")
             let h = self.head.load(Ordering::Relaxed);
             let slot = &self.slots[(h as usize) & (RING_CAP - 1)];
             let cause_code = cause.map(|c| c.index() as u64 + 1).unwrap_or(0);

@@ -23,9 +23,13 @@ use std::sync::Arc;
 use std::time::Instant;
 use tle_core::{AlgoMode, TmSystem};
 
-pub mod json;
+// The JSON tree moved to `tle-base` (the lint crate's SARIF emitter builds
+// on it too); the `tle_bench::json` path keeps working via this re-export.
+pub use tle_base::json;
+
 pub mod perf;
 pub mod torture;
+pub mod trajectory;
 pub mod workloads;
 
 /// Whether the full paper-scale sweep was requested.

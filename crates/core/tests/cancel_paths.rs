@@ -143,7 +143,7 @@ fn signal_races_timeout(mode: AlgoMode) {
         );
         std::thread::spawn(move || {
             let th = sys.register();
-            while !stop.load(Ordering::Relaxed) {
+            while !stop.load(Ordering::Acquire) {
                 th.tx(&lock).run(|ctx| ctx.signal(&cv));
                 std::thread::sleep(Duration::from_micros(400));
             }
@@ -162,7 +162,7 @@ fn signal_races_timeout(mode: AlgoMode) {
         w.join()
             .expect("waiter lost both the signal and the timeout");
     }
-    stop.store(true, Ordering::Relaxed);
+    stop.store(true, Ordering::Release);
     signaller.join().unwrap();
 
     // Cancelled residue compacts on the next enqueue; a full round-trip

@@ -177,7 +177,7 @@ fn signal_races_deadline(mode: AlgoMode) {
         );
         std::thread::spawn(move || {
             let th = sys.register();
-            while !stop.load(Ordering::Relaxed) {
+            while !stop.load(Ordering::Acquire) {
                 th.tx(&lock).run(|ctx| ctx.signal(&cv));
                 std::thread::sleep(Duration::from_micros(400));
             }
@@ -194,7 +194,7 @@ fn signal_races_deadline(mode: AlgoMode) {
             "{mode:?}: racing waiter produced {res:?}"
         );
     }
-    stop.store(true, Ordering::Relaxed);
+    stop.store(true, Ordering::Release);
     signaller.join().unwrap();
     assert_eq!(
         sys.stats.snapshot().deadline_exceeded,

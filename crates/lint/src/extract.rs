@@ -52,6 +52,18 @@ impl Flat {
     pub fn is_punct(&self, c: char) -> bool {
         self.kind == TokKind::Punct(c)
     }
+
+    /// The payload of a plain `"..."` string literal (same contract as
+    /// [`crate::lexer::Tok::str_payload`]).
+    pub fn str_payload(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Literal(raw) => raw
+                .strip_prefix('"')
+                .and_then(|r| r.strip_suffix('"'))
+                .filter(|r| !r.contains('\\')),
+            _ => None,
+        }
+    }
 }
 
 /// One located atomic block.
@@ -67,6 +79,10 @@ pub struct Site {
     pub ctx: Option<String>,
     /// The closure body, flattened.
     pub body: Vec<Flat>,
+    /// The lock-argument expression, flattened: the first argument of
+    /// `critical(..)` / the argument of the `.tx(..)` origin. The
+    /// lock-order analysis resolves this to an `ElidableMutex` name key.
+    pub lock: Vec<Flat>,
 }
 
 /// Find every critical-section call site in the forest.
@@ -81,10 +97,12 @@ fn walk(kids: &[Tree], out: &mut Vec<Site>) {
         if let Tree::Group(g) = t {
             if g.delim == Delim::Paren && i >= 2 && kids[i - 2].is_punct('.') {
                 if let Some(m) = kids[i - 1].ident() {
-                    if CRITICAL_METHODS.contains(&m)
-                        || (TX_TERMINALS.contains(&m) && chains_to_tx(kids, i))
-                    {
-                        out.push(extract_site(m, kids[i - 1].span(), g));
+                    if CRITICAL_METHODS.contains(&m) {
+                        out.push(extract_site(m, kids[i - 1].span(), g, Some(g)));
+                    } else if TX_TERMINALS.contains(&m) {
+                        if let Some(origin) = tx_origin(kids, i) {
+                            out.push(extract_site(m, kids[i - 1].span(), g, Some(origin)));
+                        }
                     }
                 }
             }
@@ -96,26 +114,45 @@ fn walk(kids: &[Tree], out: &mut Vec<Site>) {
 /// Does the method chain ending in the group at `idx` originate in a
 /// `.tx(..)` call? Walks back through `[.., '.', name, (args)]` links:
 /// `th.tx(&l).hints(h).run(..)` → `run`'s group at `idx`, preceding link
-/// group at `idx - 3` named `hints`, preceding link named `tx` — matched.
-fn chains_to_tx(kids: &[Tree], idx: usize) -> bool {
+/// group at `idx - 3` named `hints`, preceding link named `tx` — matched,
+/// returning the `tx` argument group (which names the lock).
+fn tx_origin(kids: &[Tree], idx: usize) -> Option<&Group> {
     let mut group = idx.checked_sub(3);
     while let Some(g) = group {
-        if !matches!(kids.get(g), Some(Tree::Group(gr)) if gr.delim == Delim::Paren) {
-            return false;
+        let Some(Tree::Group(gr)) = kids.get(g) else {
+            return None;
+        };
+        if gr.delim != Delim::Paren {
+            return None;
         }
         let named = g >= 2 && kids[g - 2].is_punct('.');
         match kids.get(g.wrapping_sub(1)).and_then(|t| t.ident()) {
-            Some("tx") => return true,
+            Some("tx") => return Some(gr),
             Some(link) if named && TX_CHAIN.contains(&link) => group = g.checked_sub(3),
-            _ => return false,
+            _ => return None,
         }
     }
-    false
+    None
 }
 
 /// Pull the trailing closure out of a critical call's argument group.
-fn extract_site(method: &str, span: Span, args: &Group) -> Site {
+/// `lock_group` is the group whose first argument names the lock (the call
+/// group itself for `critical*`, the `.tx(..)` origin for builder
+/// terminals).
+fn extract_site(method: &str, span: Span, args: &Group, lock_group: Option<&Group>) -> Site {
     let kids = &args.kids;
+    // The lock argument: everything in the lock group before its first
+    // top-level comma (for `critical(&lock, ..)`) or the whole group (for
+    // `.tx(&lock)`).
+    let mut lock = Vec::new();
+    if let Some(lg) = lock_group {
+        let first_arg_end = lg
+            .kids
+            .iter()
+            .position(|t| t.is_punct(','))
+            .unwrap_or(lg.kids.len());
+        flatten(&lg.kids[..first_arg_end], false, &mut lock);
+    }
     // First top-level `|` opens the closure parameter list (the preceding
     // arguments — lock reference, hints — never contain a bare `|`).
     let Some(p0) = kids.iter().position(|t| t.is_punct('|')) else {
@@ -126,6 +163,7 @@ fn extract_site(method: &str, span: Span, args: &Group) -> Site {
             span,
             ctx: None,
             body: Vec::new(),
+            lock,
         };
     };
     let (ctx, body_start) = if kids.get(p0 + 1).is_some_and(|t| t.is_punct('|')) {
@@ -153,7 +191,17 @@ fn extract_site(method: &str, span: Span, args: &Group) -> Site {
         span,
         ctx,
         body,
+        lock,
     }
+}
+
+/// Flatten arbitrary trees (e.g. a `fn` item body) into the linear scan
+/// form the rules and the call-graph layer consume, with `.defer(...)`
+/// argument ranges marked exactly as in atomic-block bodies.
+pub fn flatten_trees(kids: &[Tree]) -> Vec<Flat> {
+    let mut out = Vec::new();
+    flatten(kids, false, &mut out);
+    out
 }
 
 /// Flatten trees into the linear scan form, marking `.defer(...)` argument
@@ -269,6 +317,16 @@ mod tests {
             "group.run(|b| b.iter(|| 1)); builder.hints(h).run(f); c.bench(\"x\", |b| b.run());",
         );
         assert!(s.is_empty(), "{s:?}");
+    }
+
+    #[test]
+    fn sites_record_their_lock_argument() {
+        let s = sites("th.critical(&self.shard[i], |ctx| { Ok(()) });");
+        let idents: Vec<_> = s[0].lock.iter().filter_map(|f| f.ident()).collect();
+        assert_eq!(idents, vec!["self", "shard", "i"]);
+        let s = sites("th.tx(&queue_lock).hints(h).run(|ctx| { Ok(()) });");
+        let idents: Vec<_> = s[0].lock.iter().filter_map(|f| f.ident()).collect();
+        assert_eq!(idents, vec!["queue_lock"]);
     }
 
     #[test]

@@ -46,7 +46,10 @@ pub enum TokKind {
     /// `'a`, `'static`, ...
     Lifetime,
     /// Any literal: numbers, strings, raw strings, chars, byte variants.
-    Literal,
+    /// Carries the raw source text (quotes included for strings) — the
+    /// lock-order analysis reads `ElidableMutex::new("name")` keys out of
+    /// it; rule matching still treats literals as opaque.
+    Literal(String),
     /// A single punctuation character.
     Punct(char),
     Open(Delim),
@@ -71,6 +74,19 @@ impl Tok {
 
     pub fn is_punct(&self, c: char) -> bool {
         self.kind == TokKind::Punct(c)
+    }
+
+    /// The inner text of a plain `"..."` string literal (no raw/byte
+    /// forms, no escape processing — good enough for lock-name keys,
+    /// which the builder API keeps simple).
+    pub fn str_payload(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Literal(raw) => raw
+                .strip_prefix('"')
+                .and_then(|r| r.strip_suffix('"'))
+                .filter(|r| !r.contains('\\')),
+            _ => None,
+        }
     }
 }
 
@@ -119,6 +135,11 @@ impl Cursor {
             line: self.line,
             col: self.col,
         }
+    }
+
+    /// The source text consumed since `start` (an earlier `self.i`).
+    fn text_since(&self, start: usize) -> String {
+        self.chars[start..self.i].iter().collect()
     }
 
     fn bump(&mut self) -> Option<char> {
@@ -233,9 +254,10 @@ pub fn lex(src: &str) -> Result<(Vec<Tok>, Vec<Comment>), LexError> {
             // Raw strings / raw identifiers / byte strings share prefixes
             // with plain identifiers; disambiguate before the ident arm.
             'r' | 'b' if starts_raw_or_byte(&cur) => {
+                let start = cur.i;
                 let kind = match lex_raw_or_byte(&mut cur, span)? {
                     Some(raw_ident) => TokKind::Ident(raw_ident),
-                    None => TokKind::Literal,
+                    None => TokKind::Literal(cur.text_since(start)),
                 };
                 toks.push(Tok { kind, span });
                 last_tok_line = span.line;
@@ -256,23 +278,26 @@ pub fn lex(src: &str) -> Result<(Vec<Tok>, Vec<Comment>), LexError> {
                 last_tok_line = span.line;
             }
             _ if c.is_ascii_digit() => {
+                let start = cur.i;
                 lex_number(&mut cur);
                 toks.push(Tok {
-                    kind: TokKind::Literal,
+                    kind: TokKind::Literal(cur.text_since(start)),
                     span,
                 });
                 last_tok_line = span.line;
             }
             '"' => {
+                let start = cur.i;
                 lex_string(&mut cur, span)?;
                 toks.push(Tok {
-                    kind: TokKind::Literal,
+                    kind: TokKind::Literal(cur.text_since(start)),
                     span,
                 });
                 last_tok_line = span.line;
             }
             '\'' => {
-                let kind = lex_quote(&mut cur, span)?;
+                let start = cur.i;
+                let kind = lex_quote(&mut cur, span, start)?;
                 toks.push(Tok { kind, span });
                 last_tok_line = span.line;
             }
@@ -411,18 +436,18 @@ fn lex_string_body(cur: &mut Cursor, span: Span) -> Result<(), LexError> {
 }
 
 /// Past the opening `'`: either a char literal or a lifetime.
-fn lex_quote(cur: &mut Cursor, span: Span) -> Result<TokKind, LexError> {
+fn lex_quote(cur: &mut Cursor, span: Span, start: usize) -> Result<TokKind, LexError> {
     cur.bump(); // the '\''
     match (cur.peek(0), cur.peek(1)) {
         (Some('\\'), _) => {
             lex_char_body(cur, span)?;
-            Ok(TokKind::Literal)
+            Ok(TokKind::Literal(cur.text_since(start)))
         }
         (Some(c0), Some('\'')) if c0 != '\'' => {
             // 'x' — single-char literal.
             cur.bump();
             cur.bump();
-            Ok(TokKind::Literal)
+            Ok(TokKind::Literal(cur.text_since(start)))
         }
         (Some(c0), _) if is_ident_start(c0) => {
             // 'lifetime (no closing quote).
@@ -433,7 +458,7 @@ fn lex_quote(cur: &mut Cursor, span: Span) -> Result<TokKind, LexError> {
         }
         (Some(_), _) => {
             lex_char_body(cur, span)?;
-            Ok(TokKind::Literal)
+            Ok(TokKind::Literal(cur.text_since(start)))
         }
         (None, _) => Err(LexError {
             span,
@@ -499,7 +524,10 @@ mod tests {
     fn lifetimes_vs_chars() {
         let (toks, _) = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }").unwrap();
         let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
-        let lits = toks.iter().filter(|t| t.kind == TokKind::Literal).count();
+        let lits = toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Literal(_)))
+            .count();
         assert_eq!(lifetimes, 2);
         assert_eq!(lits, 2);
     }
@@ -546,5 +574,28 @@ mod tests {
     #[test]
     fn unterminated_string_is_an_error() {
         assert!(lex("let s = \"oops").is_err());
+    }
+
+    #[test]
+    fn literals_carry_their_raw_text() {
+        let (toks, _) = lex(r#"m("list-set", 42, 'x')"#).unwrap();
+        let lits: Vec<&str> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Literal(raw) => Some(raw.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lits, vec!["\"list-set\"", "42", "'x'"]);
+        let payloads: Vec<_> = toks.iter().filter_map(|t| t.str_payload()).collect();
+        assert_eq!(payloads, vec!["list-set"]);
+    }
+
+    #[test]
+    fn str_payload_skips_escaped_and_non_plain_strings() {
+        let (toks, _) = lex(r#"a("with \"escape\"") b(r"raw")"#).unwrap();
+        // The escaped string and the raw string both decline to offer a
+        // payload — lock names never need either form.
+        assert!(toks.iter().all(|t| t.str_payload().is_none()));
     }
 }

@@ -17,6 +17,18 @@
 //! | R4 | `noquiesce-privatization` | §IV-B: no-quiesce + privatizing body |
 //! | R5 | `condvar-misuse` | §III: OS condvar/park instead of `TxCondvar` |
 //! | R6 | `async-in-atomic` | `.await`/`block_on`/nested async entry inside an atomic block |
+//! | R7 | `lock-order` | §V: cycle in the static lock-acquisition graph (workspace-level) |
+//! | R8 | `ordering-audit` | §IV-B: `Relaxed` access on a published atomic (workspace-level) |
+//!
+//! Since PR 10 the engine is workspace-scoped, not per-file: a symbol
+//! table ([`symbols`]) indexes every `fn`, the call graph ([`callgraph`])
+//! re-runs R1/R2/R5/R6 *transitively* through resolvable calls out of
+//! atomic blocks, R7 ([`lockorder`]) detects acquisition-order cycles
+//! across files, and R8 ([`ordering`]) audits relaxed atomics against the
+//! publication pairs the rest of the crate establishes. Findings carry
+//! `related` spans (the far end of a call chain, the opposite edge of a
+//! cycle), and [`sarif`] renders the whole report as SARIF 2.1.0 with a
+//! `--baseline` mode for incremental adoption.
 //!
 //! Findings are suppressed with a reviewed, reasoned directive:
 //!
@@ -29,14 +41,22 @@
 //! `--deny-stale`). The `tle-lint` binary (`src/bin/tle-lint.rs` at the
 //! workspace root) wires this into CI with `--deny --format json`.
 
+pub mod callgraph;
 pub mod extract;
 pub mod lexer;
+pub mod lockorder;
+pub mod ordering;
 pub mod report;
 pub mod rules;
+pub mod sarif;
 pub mod scan;
 pub mod suppress;
+pub mod symbols;
 pub mod tree;
 
 pub use report::{render_human, render_json};
-pub use rules::{Finding, Rule, LINT_RULES};
-pub use scan::{collect_rs_files, lint_paths, lint_source, FileReport, Report};
+pub use rules::{Finding, Related, Rule, LINT_RULES};
+pub use sarif::{check_baseline, render_baseline, render_sarif};
+pub use scan::{
+    collect_rs_files, lint_paths, lint_source, lint_sources, FileReport, Report, WorkspaceStats,
+};

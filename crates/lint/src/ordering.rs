@@ -1,0 +1,304 @@
+//! R8 `ordering-audit`: `Relaxed` accesses to atomics that elsewhere
+//! carry an Acquire/Release publication protocol.
+//!
+//! The paper's §IV-B publication/privatization discussion is about
+//! exactly this shape: a flag is stored with `Release` to publish data
+//! written before it, and readers must `Acquire`-load the flag to see
+//! that data. A `Relaxed` load of the same flag on some third path
+//! compiles, runs, and passes tests on x86 — and reads garbage on ARM.
+//! Per-file rules can't see it because the hazard *is* the disagreement
+//! between files.
+//!
+//! The audit is deliberately narrow to stay quiet on honest code:
+//!
+//! - An "atomic access" is a method call in the atomic vocabulary
+//!   (`load`, `store`, `swap`, `compare_exchange*`, `fetch_*`) whose
+//!   argument list names a memory ordering (`Relaxed`, `Acquire`,
+//!   `Release`, `AcqRel`, `SeqCst`). Without an ordering token it is not
+//!   counted — `HashMap::load` shadows never enter the pool.
+//! - Accesses group by **(crate, receiver identifier)** — the field or
+//!   binding name before the dot. Same-named fields in different crates
+//!   are different atomics; same-named fields in one crate may collide,
+//!   which can only add a finding on a *relaxed* access the author can
+//!   suppress with a reason — the failure mode is a question, not a miss.
+//! - A key is a *publication pair* when the crate has both a release-side
+//!   write (`store`/RMW with `Release`/`AcqRel`/`SeqCst`) and an
+//!   acquire-side read (`load`/RMW with `Acquire`/`AcqRel`/`SeqCst`).
+//! - Only plain `load(Relaxed)` / `store(_, Relaxed)` on such a key are
+//!   flagged. Relaxed `fetch_add` on a stats counter that someone also
+//!   Acquire-loads is idiomatic (counters are self-contained values, not
+//!   publication flags) and stays silent.
+
+use crate::extract::Flat;
+use crate::lexer::{Span, TokKind};
+use crate::rules::{Finding, Related, Rule};
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Atomic method vocabulary. `load` is the only pure read; everything
+/// else writes (RMWs count on both sides of the pair).
+const ATOMIC_METHODS: [&str; 14] = [
+    "load",
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "compare_and_swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+];
+
+const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// One recognized atomic access.
+#[derive(Debug, Clone)]
+pub struct Access {
+    /// Receiver identifier (field or binding name before the dot).
+    pub key: String,
+    pub method: String,
+    /// Ordering idents named in the argument list, in source order.
+    pub orderings: Vec<String>,
+    pub file: usize,
+    pub span: Span,
+}
+
+impl Access {
+    fn names_any(&self, set: &[&str]) -> bool {
+        self.orderings.iter().any(|o| set.contains(&o.as_str()))
+    }
+
+    /// Release-side write: publishes data written before it.
+    fn is_release_write(&self) -> bool {
+        self.method != "load" && self.names_any(&["Release", "AcqRel", "SeqCst"])
+    }
+
+    /// Acquire-side read: consumes a publication.
+    fn is_acquire_read(&self) -> bool {
+        self.method != "store" && self.names_any(&["Acquire", "AcqRel", "SeqCst"])
+    }
+
+    /// The narrow flagged shape: a plain load/store whose only ordering
+    /// is `Relaxed`.
+    fn is_relaxed_plain(&self) -> bool {
+        matches!(self.method.as_str(), "load" | "store")
+            && self.orderings.iter().all(|o| o == "Relaxed")
+            && !self.orderings.is_empty()
+    }
+}
+
+/// Every atomic access in a flattened file.
+pub fn collect(flat: &[Flat], file: usize) -> Vec<Access> {
+    let mut out = Vec::new();
+    for (i, f) in flat.iter().enumerate() {
+        let Some(m) = f.ident() else { continue };
+        if !ATOMIC_METHODS.contains(&m) {
+            continue;
+        }
+        let prev_dot = i > 0 && flat[i - 1].is_punct('.');
+        let next_open = matches!(
+            flat.get(i + 1).map(|n| &n.kind),
+            Some(TokKind::Open(crate::lexer::Delim::Paren))
+        );
+        if !prev_dot || !next_open {
+            continue;
+        }
+        let Some(key) = i.checked_sub(2).and_then(|r| flat[r].ident()) else {
+            continue;
+        };
+        if key == "self" {
+            continue;
+        }
+        // Orderings named inside the argument group.
+        let mut depth = 0usize;
+        let mut orderings = Vec::new();
+        for t in &flat[i + 2..] {
+            match &t.kind {
+                TokKind::Open(_) => depth += 1,
+                TokKind::Close(_) if depth == 0 => break,
+                TokKind::Close(_) => depth -= 1,
+                TokKind::Ident(id) if ORDERINGS.contains(&id.as_str()) => {
+                    orderings.push(id.clone());
+                }
+                _ => {}
+            }
+        }
+        if orderings.is_empty() {
+            continue;
+        }
+        out.push(Access {
+            key: key.to_owned(),
+            method: m.to_owned(),
+            orderings,
+            file,
+            span: f.span,
+        });
+    }
+    out
+}
+
+/// Audit the workspace's accesses. `accesses` pairs each access with its
+/// crate key (derived from the file path by the caller). Returns findings
+/// routed to the flagged access's file.
+pub fn audit(accesses: &[(String, Access)], paths: &[PathBuf]) -> Vec<(usize, Finding)> {
+    let mut groups: HashMap<(&str, &str), Vec<&Access>> = HashMap::new();
+    for (crate_key, a) in accesses {
+        groups
+            .entry((crate_key.as_str(), a.key.as_str()))
+            .or_default()
+            .push(a);
+    }
+    let mut out = Vec::new();
+    for ((_, key), group) in &groups {
+        let release = group.iter().find(|a| a.is_release_write());
+        let acquire = group.iter().find(|a| a.is_acquire_read());
+        let (Some(release), Some(acquire)) = (release, acquire) else {
+            continue;
+        };
+        for a in group {
+            if !a.is_relaxed_plain() {
+                continue;
+            }
+            let verb = if a.method == "load" {
+                "load of"
+            } else {
+                "store to"
+            };
+            let mut f = Finding::new(
+                Rule::OrderingAudit,
+                a.span,
+                format!(
+                    "`Relaxed` {verb} `{key}`, but `{key}` participates in an \
+                     Acquire/Release publication pair elsewhere in this crate — a relaxed \
+                     access can observe the flag without the data it publishes (invisible \
+                     on x86 TSO, real on ARM/POWER)",
+                ),
+            );
+            f.related.push(Related {
+                path: paths[release.file].clone(),
+                span: release.span,
+                note: format!(
+                    "release-side `{}({})` publishes here",
+                    release.method,
+                    release.orderings.join(", ")
+                ),
+            });
+            f.related.push(Related {
+                path: paths[acquire.file].clone(),
+                span: acquire.span,
+                note: format!(
+                    "acquire-side `{}({})` consumes here",
+                    acquire.method,
+                    acquire.orderings.join(", ")
+                ),
+            });
+            out.push((a.file, f));
+        }
+    }
+    // Deterministic order for reports and baselines.
+    out.sort_by_key(|(file, f)| (*file, f.span.line, f.span.col));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::flatten_trees;
+    use crate::lexer::lex;
+    use crate::tree::parse;
+
+    fn run(files: &[(&str, &str)]) -> Vec<(usize, Finding)> {
+        let mut accesses = Vec::new();
+        let mut paths = Vec::new();
+        for (i, (crate_key, src)) in files.iter().enumerate() {
+            paths.push(PathBuf::from(format!("{crate_key}/f{i}.rs")));
+            let flat = flatten_trees(&parse(lex(src).unwrap().0).unwrap());
+            for a in collect(&flat, i) {
+                accesses.push(((*crate_key).to_owned(), a));
+            }
+        }
+        audit(&accesses, &paths)
+    }
+
+    #[test]
+    fn relaxed_load_of_published_flag_is_flagged_with_both_ends() {
+        let found = run(&[(
+            "core",
+            "fn publish(s: &S) { s.ready.store(true, Ordering::Release); }\n\
+             fn consume(s: &S) -> bool { s.ready.load(Ordering::Acquire) }\n\
+             fn peek(s: &S) -> bool { s.ready.load(Ordering::Relaxed) }",
+        )]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        let f = &found[0].1;
+        assert_eq!(f.rule, Rule::OrderingAudit);
+        assert_eq!(f.span.line, 3);
+        assert_eq!(f.related.len(), 2);
+        assert!(f.related[0].note.contains("release-side"));
+    }
+
+    #[test]
+    fn pure_relaxed_counters_and_disciplined_pairs_are_clean() {
+        let found = run(&[(
+            "core",
+            "fn a(s: &S) { s.hits.fetch_add(1, Ordering::Relaxed); }\n\
+             fn b(s: &S) -> u64 { s.hits.load(Ordering::Relaxed) }\n\
+             fn c(s: &S) { s.ready.store(true, Ordering::Release); }\n\
+             fn d(s: &S) -> bool { s.ready.load(Ordering::Acquire) }",
+        )]);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn relaxed_fetch_add_on_published_key_is_not_flagged() {
+        let found = run(&[(
+            "core",
+            "fn a(s: &S) { s.seq.store(n, Ordering::Release); }\n\
+             fn b(s: &S) -> u64 { s.seq.load(Ordering::Acquire) }\n\
+             fn c(s: &S) { s.seq.fetch_add(1, Ordering::Relaxed); }",
+        )]);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn crates_do_not_cross_pollinate() {
+        let found = run(&[
+            (
+                "alpha",
+                "fn a(s: &S) { s.flag.store(true, Ordering::Release); }\n\
+                       fn b(s: &S) -> bool { s.flag.load(Ordering::Acquire) }",
+            ),
+            (
+                "beta",
+                "fn c(s: &S) -> bool { s.flag.load(Ordering::Relaxed) }",
+            ),
+        ]);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn accesses_without_ordering_tokens_are_invisible() {
+        let found = run(&[(
+            "core",
+            "fn a(m: &M) { m.cache.store(k, v); m.cache.load(k); }\n\
+             fn b(s: &S) { s.cache.store(true, Ordering::Release); }\n\
+             fn c(s: &S) -> bool { s.cache.load(Ordering::Acquire) }",
+        )]);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn compare_exchange_success_orderings_count_as_release_side() {
+        let found = run(&[(
+            "core",
+            "fn a(s: &S) { s.state.compare_exchange(0, 1, Ordering::AcqRel, \
+             Ordering::Acquire); }\n\
+             fn b(s: &S) -> u32 { s.state.load(Ordering::Relaxed) }",
+        )]);
+        assert_eq!(found.len(), 1, "{found:?}");
+    }
+}

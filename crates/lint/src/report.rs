@@ -37,6 +37,13 @@ pub fn render_human(report: &Report, show_stale: bool) -> String {
             String::new()
         }
     );
+    let s = &report.stats;
+    let _ = writeln!(
+        out,
+        "tle-lint: workspace: {} fn(s) indexed, {} call(s) resolved from atomic blocks, \
+         {} lock name(s), {} lock-order edge(s), {} atomic access(es) audited",
+        s.fns_indexed, s.calls_resolved, s.lock_names, s.lock_edges, s.atomic_accesses
+    );
     out
 }
 
@@ -50,6 +57,9 @@ fn line(out: &mut String, path: &Path, f: &Finding) {
         f.rule.slug(),
         f.message
     );
+    for r in &f.related {
+        let _ = writeln!(out, "    -> {}:{}: {}", r.path.display(), r.span, r.note);
+    }
 }
 
 /// Render the JSON report (single line per top-level key group, stable key
@@ -60,13 +70,20 @@ pub fn render_json(report: &Report) -> String {
     let mut first = true;
     for file in &report.files {
         for f in &file.findings {
-            json_finding(&mut out, &mut first, &file.path, f, "active");
+            json_finding(&mut out, &mut first, &file.path, f, "active", None);
         }
-        for f in &file.suppressed {
-            json_finding(&mut out, &mut first, &file.path, f, "suppressed");
+        for (f, reason) in &file.suppressed {
+            json_finding(
+                &mut out,
+                &mut first,
+                &file.path,
+                f,
+                "suppressed",
+                Some(reason),
+            );
         }
         for f in &file.stale {
-            json_finding(&mut out, &mut first, &file.path, f, "stale");
+            json_finding(&mut out, &mut first, &file.path, f, "stale", None);
         }
     }
     if !first {
@@ -77,12 +94,26 @@ pub fn render_json(report: &Report) -> String {
     let _ = writeln!(out, "  \"sites\": {},", report.total_sites());
     let _ = writeln!(out, "  \"active\": {},", report.total_findings());
     let _ = writeln!(out, "  \"suppressed\": {},", report.total_suppressed());
-    let _ = writeln!(out, "  \"stale\": {}", report.total_stale());
+    let _ = writeln!(out, "  \"stale\": {},", report.total_stale());
+    let s = &report.stats;
+    let _ = writeln!(
+        out,
+        "  \"workspace\": {{\"fns_indexed\": {}, \"calls_resolved\": {}, \
+         \"lock_names\": {}, \"lock_edges\": {}, \"atomic_accesses\": {}}}",
+        s.fns_indexed, s.calls_resolved, s.lock_names, s.lock_edges, s.atomic_accesses
+    );
     out.push('}');
     out
 }
 
-fn json_finding(out: &mut String, first: &mut bool, path: &Path, f: &Finding, status: &str) {
+fn json_finding(
+    out: &mut String,
+    first: &mut bool,
+    path: &Path,
+    f: &Finding,
+    status: &str,
+    reason: Option<&str>,
+) {
     if !*first {
         out.push(',');
     }
@@ -90,7 +121,7 @@ fn json_finding(out: &mut String, first: &mut bool, path: &Path, f: &Finding, st
     let _ = write!(
         out,
         "\n    {{\"rule\": \"{}\", \"slug\": \"{}\", \"file\": {}, \"line\": {}, \
-         \"col\": {}, \"status\": \"{}\", \"message\": {}}}",
+         \"col\": {}, \"status\": \"{}\", \"message\": {}",
         f.rule.id(),
         f.rule.slug(),
         json_str(&path.display().to_string()),
@@ -99,6 +130,27 @@ fn json_finding(out: &mut String, first: &mut bool, path: &Path, f: &Finding, st
         status,
         json_str(&f.message)
     );
+    if let Some(reason) = reason {
+        let _ = write!(out, ", \"reason\": {}", json_str(reason));
+    }
+    if !f.related.is_empty() {
+        out.push_str(", \"related\": [");
+        for (i, r) in f.related.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"file\": {}, \"line\": {}, \"col\": {}, \"note\": {}}}",
+                json_str(&r.path.display().to_string()),
+                r.span.line,
+                r.span.col,
+                json_str(&r.note)
+            );
+        }
+        out.push(']');
+    }
+    out.push('}');
 }
 
 /// Escape a string per RFC 8259.
@@ -141,6 +193,7 @@ mod tests {
         let report = Report {
             files: vec![fr],
             files_scanned: 1,
+            ..Report::default()
         };
         let js = render_json(&report);
         assert!(js.contains("\"rule\": \"R1\""));

@@ -20,9 +20,10 @@
 
 use crate::extract::{Flat, Site, CRITICAL_METHODS};
 use crate::lexer::{Delim, Span, TokKind};
+use std::path::PathBuf;
 
-/// Everything the analyzer can report. `R1..R6` are the suppressible
-/// transaction-safety rules; the `A*`/`P*` rules are meta-diagnostics.
+/// Everything the analyzer can report. `R1..R8` are the suppressible
+/// rules; the `A*`/`P*` rules are meta-diagnostics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Rule {
     IrrevocableEffect,
@@ -31,6 +32,11 @@ pub enum Rule {
     NoQuiescePrivatization,
     CondvarMisuse,
     AsyncInAtomic,
+    /// A cycle in the static lock-order graph (workspace-level).
+    LockOrder,
+    /// A `Relaxed` access on an atomic that elsewhere carries an
+    /// Acquire/Release publication pair (workspace-level).
+    OrderingAudit,
     /// A `tle-lint:` directive that is malformed or missing its reason.
     BadAllow,
     /// A valid suppression whose rule no longer fires on its line.
@@ -39,14 +45,16 @@ pub enum Rule {
     ParseError,
 }
 
-/// The six transaction-safety rules, in id order.
-pub const LINT_RULES: [Rule; 6] = [
+/// The eight suppressible rules, in id order.
+pub const LINT_RULES: [Rule; 8] = [
     Rule::IrrevocableEffect,
     Rule::NestedLock,
     Rule::EscapeHazard,
     Rule::NoQuiescePrivatization,
     Rule::CondvarMisuse,
     Rule::AsyncInAtomic,
+    Rule::LockOrder,
+    Rule::OrderingAudit,
 ];
 
 impl Rule {
@@ -59,6 +67,8 @@ impl Rule {
             Rule::NoQuiescePrivatization => "R4",
             Rule::CondvarMisuse => "R5",
             Rule::AsyncInAtomic => "R6",
+            Rule::LockOrder => "R7",
+            Rule::OrderingAudit => "R8",
             Rule::BadAllow => "A1",
             Rule::StaleAllow => "A2",
             Rule::ParseError => "P1",
@@ -74,6 +84,8 @@ impl Rule {
             Rule::NoQuiescePrivatization => "noquiesce-privatization",
             Rule::CondvarMisuse => "condvar-misuse",
             Rule::AsyncInAtomic => "async-in-atomic",
+            Rule::LockOrder => "lock-order",
+            Rule::OrderingAudit => "ordering-audit",
             Rule::BadAllow => "bad-allow",
             Rule::StaleAllow => "stale-allow",
             Rule::ParseError => "parse-error",
@@ -112,6 +124,16 @@ impl Rule {
                  line claims, the serial token) across arbitrary scheduling delays \u{2014} \
                  commit first, then await (ctx.wait suspends safely between attempts)"
             }
+            Rule::LockOrder => {
+                "cycle in the static lock-order graph (paper \u{a7}V): two sections acquire \
+                 the same locks in opposite orders, so the serial fallback can deadlock \
+                 even though elided runs never do; impose one global acquisition order"
+            }
+            Rule::OrderingAudit => {
+                "Relaxed access on an atomic that elsewhere forms an Acquire/Release \
+                 publication pair: the relaxed side can observe the flag without the \
+                 published data; upgrade the ordering or justify the site in-line"
+            }
             Rule::BadAllow => "malformed suppression: tle-lint: allow(<rule>, \"<reason>\")",
             Rule::StaleAllow => "suppression no longer matches any finding on its line",
             Rule::ParseError => "file could not be tokenized",
@@ -127,12 +149,36 @@ impl Rule {
     }
 }
 
+/// A secondary location attached to a finding — the far end of a call
+/// chain, the other edge of a lock-order cycle, the publication pair a
+/// relaxed access races.
+#[derive(Debug, Clone)]
+pub struct Related {
+    pub path: PathBuf,
+    pub span: Span,
+    pub note: String,
+}
+
 /// One reported violation.
 #[derive(Debug, Clone)]
 pub struct Finding {
     pub rule: Rule,
     pub span: Span,
     pub message: String,
+    /// Secondary spans (possibly in other files). Empty for purely local
+    /// findings.
+    pub related: Vec<Related>,
+}
+
+impl Finding {
+    pub fn new(rule: Rule, span: Span, message: impl Into<String>) -> Finding {
+        Finding {
+            rule,
+            span,
+            message: message.into(),
+            related: Vec::new(),
+        }
+    }
 }
 
 /// I/O-flavoured macros (R1): `name!(..)`.
@@ -478,11 +524,87 @@ fn privatization_marker(flat: &[Flat]) -> Option<(String, Span)> {
 }
 
 fn finding(rule: Rule, span: Span, message: String) -> Finding {
-    Finding {
-        rule,
-        span,
-        message,
+    Finding::new(rule, span, message)
+}
+
+/// The hazards worth chasing *through a call* — the reduced rule set the
+/// call-graph layer runs over every function body reachable from an atomic
+/// block. R1/R5/R6 keep their local shapes; R2 keeps only the
+/// unambiguous acquisition shapes (`.lock()`-family, re-entrant
+/// `critical*`/chained `.run(..)`, `.tx(..)`) because the zero-argument
+/// `.read()`/`.write()` guard heuristic is too weak a signal outside the
+/// closure it was written for. R3/R4 stay local by design: the kernel
+/// crates legitimately use raw atomics, and privatization is a property of
+/// the section, not of a helper.
+pub fn scan_reachable_hazards(flat: &[Flat]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let first_unsafe_op = flat.iter().enumerate().position(|(i, f)| {
+        f.ident() == Some("unsafe_op") && i > 0 && flat[i - 1].is_punct('.') && !f.in_defer
+    });
+    for (i, f) in flat.iter().enumerate() {
+        if f.in_defer {
+            continue;
+        }
+        let Some(name) = f.ident() else { continue };
+        let prev_dot = i > 0 && flat[i - 1].is_punct('.');
+        let next_bang = flat.get(i + 1).is_some_and(|n| n.is_punct('!'));
+        let next_open = matches!(
+            flat.get(i + 1).map(|n| &n.kind),
+            Some(TokKind::Open(Delim::Paren))
+        );
+        let next_colon = flat.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && flat.get(i + 2).is_some_and(|n| n.is_punct(':'));
+        let serialized = first_unsafe_op.is_some_and(|u| i > u);
+
+        // R1 — same irrevocable-effect shapes as the local rule.
+        if !serialized
+            && ((IO_MACROS.contains(&name) && next_bang)
+                || (IO_CALLS.contains(&name) && next_open)
+                || (IO_PATH_HEADS.contains(&name) && next_colon))
+        {
+            out.push(finding(
+                Rule::IrrevocableEffect,
+                f.span,
+                format!("irrevocable effect `{name}`"),
+            ));
+        }
+        // R2 — unambiguous acquisitions only.
+        if prev_dot && next_open {
+            if LOCK_METHODS.contains(&name) {
+                out.push(finding(
+                    Rule::NestedLock,
+                    f.span,
+                    format!("lock acquisition `.{name}(..)`"),
+                ));
+            } else if CRITICAL_METHODS.contains(&name) || name == "tx" {
+                out.push(finding(
+                    Rule::NestedLock,
+                    f.span,
+                    format!("atomic-section entry `.{name}(..)`"),
+                ));
+            }
+        }
+        // R5 — OS blocking primitives.
+        if name == "Condvar"
+            || (PARK_CALLS.contains(&name) && next_open)
+            || (prev_dot && CONDVAR_METHODS.contains(&name) && next_open)
+        {
+            out.push(finding(
+                Rule::CondvarMisuse,
+                f.span,
+                format!("OS blocking primitive `{name}`"),
+            ));
+        }
+        // R6 — suspension points.
+        if (name == "await" && prev_dot) || (name == "block_on" && next_open) {
+            out.push(finding(
+                Rule::AsyncInAtomic,
+                f.span,
+                format!("suspension point `{name}`"),
+            ));
+        }
     }
+    out
 }
 
 /// Does the argument group opening at `open_idx` contain one of `names` at

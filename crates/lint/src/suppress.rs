@@ -117,7 +117,7 @@ fn parse_one(clause: &str, span: Span, target: Option<u32>) -> Result<Allow, Fin
         return Err(bad(
             span,
             &format!(
-                "unknown rule `{rule_txt}` in allow(..); expected R1-R6 or a rule slug \
+                "unknown rule `{rule_txt}` in allow(..); expected R1-R8 or a rule slug \
                  like irrevocable-effect"
             ),
         ));
@@ -146,18 +146,17 @@ fn parse_one(clause: &str, span: Span, target: Option<u32>) -> Result<Allow, Fin
 }
 
 fn bad(span: Span, msg: &str) -> Finding {
-    Finding {
-        rule: Rule::BadAllow,
-        span,
-        message: msg.to_owned(),
-    }
+    Finding::new(Rule::BadAllow, span, msg)
 }
 
-/// Split `findings` into (active, suppressed) and report stale allows.
+/// Split `findings` into (active, suppressed-with-reason) and report stale
+/// allows. The reason rides along so reports (and the SARIF
+/// `suppressions[].justification` field) can show *why* a finding was
+/// waved through.
 pub fn apply(
     findings: Vec<Finding>,
     allows: &[Allow],
-) -> (Vec<Finding>, Vec<Finding>, Vec<Finding>) {
+) -> (Vec<Finding>, Vec<(Finding, String)>, Vec<Finding>) {
     let mut used = vec![false; allows.len()];
     let mut active = Vec::new();
     let mut suppressed = Vec::new();
@@ -167,9 +166,9 @@ pub fn apply(
             .enumerate()
             .find(|(_, a)| a.rule == f.rule && a.target == Some(f.span.line));
         match slot {
-            Some((i, _)) => {
+            Some((i, a)) => {
                 used[i] = true;
-                suppressed.push(f);
+                suppressed.push((f, a.reason.clone()));
             }
             None => active.push(f),
         }
@@ -178,15 +177,17 @@ pub fn apply(
         .iter()
         .zip(&used)
         .filter(|(_, &u)| !u)
-        .map(|(a, _)| Finding {
-            rule: Rule::StaleAllow,
-            span: a.span,
-            message: format!(
-                "stale suppression: allow({}, \"{}\") matches no finding on line {}",
-                a.rule.id(),
-                a.reason,
-                a.target.map_or_else(|| "<eof>".into(), |l| l.to_string()),
-            ),
+        .map(|(a, _)| {
+            Finding::new(
+                Rule::StaleAllow,
+                a.span,
+                format!(
+                    "stale suppression: allow({}, \"{}\") matches no finding on line {}",
+                    a.rule.id(),
+                    a.reason,
+                    a.target.map_or_else(|| "<eof>".into(), |l| l.to_string()),
+                ),
+            )
         })
         .collect();
     (active, suppressed, stale)

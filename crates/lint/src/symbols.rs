@@ -1,0 +1,171 @@
+//! The workspace symbol table: every `fn` item in every scanned file,
+//! indexed by name.
+//!
+//! The table is deliberately simple — the analyzer has no type system, so
+//! a "symbol" is a function name plus its flattened body tokens. That is
+//! enough for the call-graph layer ([`crate::callgraph`]) to resolve the
+//! three call shapes the workspace actually uses (direct name, `self::`/
+//! crate-path tails, and method calls with workspace-unique names) and to
+//! re-run the transitive rules over reachable bodies.
+//!
+//! Recognition is shape-based: an `fn` keyword, the following identifier,
+//! then the first brace group at the same nesting level before any `;`
+//! (trait *declarations* end in `;` and are skipped). Nested functions,
+//! methods in `impl`/`trait` blocks, and functions inside `mod` or macro
+//! bodies are all found because the walk descends into every group.
+
+use crate::extract::{flatten_trees, Flat};
+use crate::lexer::{Delim, Span};
+use crate::tree::{Group, Tree};
+use std::collections::HashMap;
+
+/// One indexed function item.
+#[derive(Debug)]
+pub struct FnDef {
+    /// The function's name.
+    pub name: String,
+    /// Index of the defining file in the workspace file list.
+    pub file: usize,
+    /// Span of the name token.
+    pub span: Span,
+    /// The flattened body (with `.defer(..)` ranges marked).
+    pub body: Vec<Flat>,
+}
+
+/// All function items across the workspace, with a name index.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    pub fns: Vec<FnDef>,
+    by_name: HashMap<String, Vec<usize>>,
+}
+
+impl SymbolTable {
+    /// Index every `fn` item in `forest` (file `file_idx`), appending to
+    /// the table.
+    pub fn index_file(&mut self, file_idx: usize, forest: &[Tree]) {
+        self.walk(file_idx, forest);
+    }
+
+    fn walk(&mut self, file_idx: usize, kids: &[Tree]) {
+        for (i, t) in kids.iter().enumerate() {
+            if t.ident() == Some("fn") {
+                if let Some(name_tree) = kids.get(i + 1) {
+                    if let Some(name) = name_tree.ident() {
+                        if let Some(body) = fn_body(&kids[i + 2..]) {
+                            let idx = self.fns.len();
+                            self.fns.push(FnDef {
+                                name: name.to_owned(),
+                                file: file_idx,
+                                span: name_tree.span(),
+                                body: flatten_trees(&body.kids),
+                            });
+                            self.by_name.entry(name.to_owned()).or_default().push(idx);
+                        }
+                    }
+                }
+            }
+            if let Tree::Group(g) = t {
+                self.walk(file_idx, &g.kids);
+            }
+        }
+    }
+
+    /// All definitions of `name`, in file order.
+    pub fn lookup(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Resolve a call to `name` seen in `from_file`: a same-file
+    /// definition wins when it is the *only* one in that file; otherwise
+    /// the definition must be unique across the workspace (ambiguous
+    /// names stay unresolved — a documented limit, not an error).
+    pub fn resolve(&self, name: &str, from_file: usize) -> Option<usize> {
+        let candidates = self.lookup(name);
+        let mut local = candidates
+            .iter()
+            .filter(|&&i| self.fns[i].file == from_file);
+        if let Some(&first) = local.next() {
+            return local.next().is_none().then_some(first);
+        }
+        match candidates {
+            [only] => Some(*only),
+            _ => None,
+        }
+    }
+}
+
+/// The body group of a `fn` item whose tokens follow `rest` (cursor just
+/// past the name): the first brace group at this level, unless a `;` comes
+/// first (a trait/extern declaration).
+fn fn_body(rest: &[Tree]) -> Option<&Group> {
+    for t in rest {
+        match t {
+            Tree::Group(g) if g.delim == Delim::Brace => return Some(g),
+            Tree::Leaf(tok) if tok.is_punct(';') => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::tree::parse;
+
+    fn table(src: &str) -> SymbolTable {
+        let mut t = SymbolTable::default();
+        t.index_file(0, &parse(lex(src).unwrap().0).unwrap());
+        t
+    }
+
+    #[test]
+    fn indexes_free_fns_methods_and_nested_fns() {
+        let t = table(
+            "fn top() { fn inner() {} }\n\
+             impl Widget { pub fn method(&self) -> u32 { 1 } }\n\
+             trait T { fn declared(&self); fn defaulted(&self) {} }\n\
+             mod m { fn in_mod() {} }",
+        );
+        let names: Vec<&str> = t.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["top", "inner", "method", "defaulted", "in_mod"]);
+        // `declared` has no body and is not indexed.
+        assert!(t.lookup("declared").is_empty());
+    }
+
+    #[test]
+    fn bodies_are_flattened_with_defer_marks() {
+        let t = table("fn f(ctx: &C) { ctx.defer(move || println!(\"x\")); other(); }");
+        let body = &t.fns[t.lookup("f")[0]].body;
+        let println_tok = body.iter().find(|f| f.ident() == Some("println")).unwrap();
+        assert!(println_tok.in_defer);
+        let other = body.iter().find(|f| f.ident() == Some("other")).unwrap();
+        assert!(!other.in_defer);
+    }
+
+    #[test]
+    fn resolve_prefers_same_file_then_unique() {
+        let mut t = SymbolTable::default();
+        t.index_file(
+            0,
+            &parse(lex("fn helper() {} fn only_here() {}").unwrap().0).unwrap(),
+        );
+        t.index_file(1, &parse(lex("fn helper() {}").unwrap().0).unwrap());
+        // Same-file wins.
+        assert_eq!(t.resolve("helper", 0), Some(0));
+        assert_eq!(t.resolve("helper", 1), Some(2));
+        // Unique across workspace resolves from anywhere.
+        assert_eq!(t.resolve("only_here", 1), Some(1));
+        // Ambiguous from a third file stays unresolved.
+        assert_eq!(t.resolve("helper", 2), None);
+        assert_eq!(t.resolve("nope", 0), None);
+    }
+
+    #[test]
+    fn generics_and_return_types_do_not_confuse_body_detection() {
+        let t = table("fn g<T: Fn() -> [u8; 4]>(x: T) -> impl Iterator<Item = u8> { x() }");
+        assert_eq!(t.fns.len(), 1);
+        assert!(t.fns[0].body.iter().any(|f| f.ident() == Some("x")));
+    }
+}

@@ -5,12 +5,18 @@
 //! Expectation grammar, in the fixture sources themselves:
 //!
 //! ```text
-//! println!("x"); //~ R1          finding of rule R1 on this line
-//! $side.lock();  //~ R2 @31      ... and its column is exactly 31
+//! println!("x"); //~ R1             finding of rule R1 on this line
+//! $side.lock();  //~ R2 @31         ... and its column is exactly 31
+//! inner_take();  //~ R2,R7          two rules fire on this line
+//! flag.load(Relaxed); //~ R8 suppressed   finding exists but is silenced
+//!                                         by a reasoned allow directive
 //! ```
 //!
 //! Files without any `//~` marker are negative fixtures and must produce
-//! zero findings.
+//! zero findings. A file named `r<n>_neg_*` counts as rule R<n>'s negative
+//! when it carries no R<n> markers — it may still be a positive for
+//! *other* rules (R7 demonstrations necessarily contain R2-shaped nested
+//! acquisitions, for example).
 
 use std::path::PathBuf;
 use tle_lint::{lint_source, Rule, LINT_RULES};
@@ -19,6 +25,7 @@ struct Marker {
     rule: &'static str,
     line: u32,
     col: Option<u32>,
+    suppressed: bool,
 }
 
 fn parse_markers(src: &str) -> Vec<Marker> {
@@ -28,22 +35,31 @@ fn parse_markers(src: &str) -> Vec<Marker> {
             continue;
         };
         let mut words = text[pos + 3..].split_whitespace();
-        let id = words.next().expect("//~ marker names a rule");
-        let rule = LINT_RULES
-            .iter()
-            .map(|r| r.id())
-            .find(|r| *r == id)
-            .unwrap_or_else(|| panic!("unknown rule `{id}` in marker on line {}", i + 1));
-        let col = words.next().map(|w| {
-            w.strip_prefix('@')
-                .and_then(|c| c.parse().ok())
-                .unwrap_or_else(|| panic!("bad column marker `{w}` on line {}", i + 1))
-        });
-        out.push(Marker {
-            rule,
-            line: i as u32 + 1,
-            col,
-        });
+        let ids = words.next().expect("//~ marker names a rule");
+        let mut col = None;
+        let mut suppressed = false;
+        for w in words {
+            if w == "suppressed" {
+                suppressed = true;
+            } else if let Some(c) = w.strip_prefix('@').and_then(|c| c.parse().ok()) {
+                col = Some(c);
+            } else {
+                panic!("bad marker word `{w}` on line {}", i + 1);
+            }
+        }
+        for id in ids.split(',') {
+            let rule = LINT_RULES
+                .iter()
+                .map(|r| r.id())
+                .find(|r| *r == id)
+                .unwrap_or_else(|| panic!("unknown rule `{id}` in marker on line {}", i + 1));
+            out.push(Marker {
+                rule,
+                line: i as u32 + 1,
+                col,
+                suppressed,
+            });
+        }
     }
     out
 }
@@ -62,7 +78,8 @@ fn fixture_files() -> Vec<PathBuf> {
 
 /// Positives: every finding matches a marker (same rule, same line) and
 /// every marker is hit; where a marker pins a column, some finding of that
-/// rule sits exactly there. Negatives (no markers): zero findings.
+/// rule sits exactly there. `suppressed` markers must land in the
+/// suppressed list instead. Negatives (no markers): zero findings.
 #[test]
 fn corpus_findings_match_expectations_exactly() {
     for path in fixture_files() {
@@ -70,16 +87,18 @@ fn corpus_findings_match_expectations_exactly() {
         let markers = parse_markers(&src);
         let report = lint_source(&path, &src);
         assert!(
-            report.suppressed.is_empty() && report.stale.is_empty(),
-            "{}: fixtures must not carry suppressions",
-            path.display()
+            report.stale.is_empty(),
+            "{}: fixtures must not carry stale suppressions: {:?}",
+            path.display(),
+            report.stale
         );
         if markers.is_empty() {
             assert!(
-                report.findings.is_empty(),
-                "{}: negative fixture produced findings: {:?}",
+                report.findings.is_empty() && report.suppressed.is_empty(),
+                "{}: negative fixture produced findings: {:?} {:?}",
                 path.display(),
-                report.findings
+                report.findings,
+                report.suppressed
             );
             continue;
         }
@@ -87,7 +106,7 @@ fn corpus_findings_match_expectations_exactly() {
             assert!(
                 markers
                     .iter()
-                    .any(|m| m.rule == f.rule.id() && m.line == f.span.line),
+                    .any(|m| !m.suppressed && m.rule == f.rule.id() && m.line == f.span.line),
                 "{}: unexpected finding {} {} at {}",
                 path.display(),
                 f.rule.id(),
@@ -95,12 +114,32 @@ fn corpus_findings_match_expectations_exactly() {
                 f.span
             );
         }
+        for (f, reason) in &report.suppressed {
+            assert!(
+                markers
+                    .iter()
+                    .any(|m| m.suppressed && m.rule == f.rule.id() && m.line == f.span.line),
+                "{}: unmarked suppression {} at {} (reason: {reason})",
+                path.display(),
+                f.rule.id(),
+                f.span
+            );
+        }
         for m in &markers {
-            let hits: Vec<_> = report
-                .findings
-                .iter()
-                .filter(|f| f.rule.id() == m.rule && f.span.line == m.line)
-                .collect();
+            let hits: Vec<_> = if m.suppressed {
+                report
+                    .suppressed
+                    .iter()
+                    .map(|(f, _)| f)
+                    .filter(|f| f.rule.id() == m.rule && f.span.line == m.line)
+                    .collect()
+            } else {
+                report
+                    .findings
+                    .iter()
+                    .filter(|f| f.rule.id() == m.rule && f.span.line == m.line)
+                    .collect()
+            };
             assert!(
                 !hits.is_empty(),
                 "{}: marker {} on line {} was not caught",
@@ -133,11 +172,12 @@ fn corpus_covers_every_rule() {
         let markers = parse_markers(&src);
         let name = path.file_name().unwrap().to_string_lossy().into_owned();
         for (i, rule) in LINT_RULES.iter().enumerate() {
-            if markers.iter().any(|m| m.rule == rule.id()) {
+            let has_rule = markers.iter().any(|m| m.rule == rule.id());
+            if has_rule {
                 positives[i] += 1;
             }
             let prefix = format!("r{}_neg", i + 1);
-            if name.starts_with(&prefix) && markers.is_empty() {
+            if name.starts_with(&prefix) && !has_rule {
                 negatives[i] += 1;
             }
         }
@@ -177,6 +217,30 @@ fn span_fixtures_pin_columns() {
         pinned += markers.len();
     }
     assert!(pinned >= 3, "expected at least 3 column-pinned markers");
+}
+
+/// Transitive findings must explain themselves: any finding whose message
+/// mentions a call chain carries at least one related span pointing at the
+/// hazard's true location.
+#[test]
+fn transitive_findings_carry_related_spans() {
+    let mut chained = 0;
+    for path in fixture_files() {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let report = lint_source(&path, &src);
+        for f in &report.findings {
+            if f.message.contains("call chain") {
+                assert!(
+                    !f.related.is_empty(),
+                    "{}: chained finding without related spans: {}",
+                    path.display(),
+                    f.message
+                );
+                chained += 1;
+            }
+        }
+    }
+    assert!(chained >= 3, "expected >= 3 chained findings in the corpus");
 }
 
 /// A file the lexer rejects surfaces as a P1 parse-error finding, not a

@@ -1,0 +1,27 @@
+//! R8 negative: honest concurrent code the audit must stay quiet on.
+//! `hits` is a pure relaxed counter (no publication pair exists), and
+//! `ready` is a disciplined Release/Acquire pair with no relaxed access.
+//! The relaxed `fetch_add` on `seq` is idiomatic even though `seq` is
+//! published — RMWs are not the flagged plain-load/store shape.
+
+fn hit(s: &Stats) {
+    s.hits.fetch_add(1, Ordering::Relaxed);
+}
+
+fn read_hits(s: &Stats) -> u64 {
+    s.hits.load(Ordering::Relaxed)
+}
+
+fn publish(s: &Stats) {
+    s.ready.store(true, Ordering::Release);
+}
+
+fn wait_ready(s: &Stats) -> bool {
+    s.ready.load(Ordering::Acquire)
+}
+
+fn bump_seq(s: &Stats) {
+    s.seq.store(1, Ordering::Release);
+    s.seq.load(Ordering::Acquire);
+    s.seq.fetch_add(1, Ordering::Relaxed);
+}

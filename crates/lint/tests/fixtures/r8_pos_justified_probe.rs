@@ -1,0 +1,17 @@
+//! R8 with a reasoned suppression: the relaxed load is deliberate — a
+//! monitoring probe that tolerates staleness — and the author says so.
+//! The finding is produced, then lands in the suppressed list with the
+//! reason attached (it feeds SARIF `suppressions[]`, not the verdict).
+
+fn publish(s: &Shared) {
+    s.ready.store(true, Ordering::Release);
+}
+
+fn consume(s: &Shared) -> bool {
+    s.ready.load(Ordering::Acquire)
+}
+
+fn probe_for_dashboard(s: &Shared) -> bool {
+    // tle-lint: allow(R8, "monitoring probe: value is advisory, staleness is fine")
+    s.ready.load(Ordering::Relaxed) //~ R8 suppressed
+}

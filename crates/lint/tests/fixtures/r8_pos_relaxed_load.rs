@@ -1,0 +1,17 @@
+//! R8 positive: `ready` is a publication flag — stored with `Release`,
+//! consumed with `Acquire` — but a third path peeks at it with `Relaxed`.
+//! On x86 TSO the peek works by accident; on ARM/POWER it can observe the
+//! flag without the payload it publishes (paper §IV-B).
+
+fn publish(s: &Shared) {
+    s.payload = 42;
+    s.ready.store(true, Ordering::Release);
+}
+
+fn consume(s: &Shared) -> bool {
+    s.ready.load(Ordering::Acquire)
+}
+
+fn peek(s: &Shared) -> bool {
+    s.ready.load(Ordering::Relaxed) //~ R8 @13
+}

@@ -1,0 +1,14 @@
+//! R8 positive, store side: `state` is advanced with an AcqRel CAS (which
+//! is both the release write and the acquire read of the protocol), but
+//! the reset path stores with `Relaxed` — readers synchronizing on the
+//! CAS can miss writes ordered before the reset.
+
+fn reset(s: &Shared) {
+    s.state.store(0, Ordering::Relaxed); //~ R8 @13
+}
+
+fn advance(s: &Shared) -> bool {
+    s.state
+        .compare_exchange(1, 2, Ordering::AcqRel, Ordering::Acquire)
+        .is_ok()
+}

@@ -22,7 +22,7 @@ fn reasoned_allow_suppresses_next_line() {
         r.findings
     );
     assert_eq!(r.suppressed.len(), 1);
-    assert_eq!(r.suppressed[0].rule, Rule::IrrevocableEffect);
+    assert_eq!(r.suppressed[0].0.rule, Rule::IrrevocableEffect);
     assert!(r.stale.is_empty());
 }
 

@@ -217,6 +217,7 @@ impl<'g> StmTx<'g> {
                 OrecValue::Locked(owner) if owner == self.slot_idx => {
                     self.bufs
                         .undo
+                        // tle-lint: allow(R8, "undo capture under the owned orec: the CAS that locked the orec ordered this word; no concurrent writer exists")
                         .push((w as *const AtomicU64, w.load(Ordering::Relaxed)));
                     w.store(val, Ordering::Release);
                     history::write(addr, val);
@@ -262,6 +263,7 @@ impl<'g> StmTx<'g> {
                         }
                         self.bufs
                             .undo
+                            // tle-lint: allow(R8, "undo capture under the orec lock just acquired by try_lock; the acquiring CAS provides the ordering")
                             .push((w as *const AtomicU64, w.load(Ordering::Relaxed)));
                         w.store(val, Ordering::Release);
                         trace::emit(TraceKind::Write, TxMode::Stm, None, oi as u64);

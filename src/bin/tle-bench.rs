@@ -14,6 +14,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 use tle_bench::json::Json;
 use tle_bench::perf::{compare, emit_report, stable_view, validate, EmitConfig, TOLERANCE};
+use tle_bench::trajectory;
 use tle_bench::workloads::TrialStats;
 use tle_kv::{
     build_system, run_driver_on, run_session_driver_async, run_session_driver_threads, KvConfig,
@@ -33,6 +34,9 @@ COMMANDS:
   compare <old> <new>     fail on >10% throughput loss on any recorded run
     --warn                report timing regressions without failing
     --stable              also require identical stable views (schema bytes)
+  trajectory [files...]   print the per-figure ops/sec history across every
+                          committed BENCH_<n>.json (default: discover them
+                          in the working directory)
   kv-sessions             A/B one session-mode point: async multiplexing
                           versus thread-per-session, printing the goodput
                           ratio
@@ -204,6 +208,7 @@ fn main() -> ExitCode {
         Some("emit") => "emit",
         Some("validate") => "validate",
         Some("compare") => "compare",
+        Some("trajectory") => "trajectory",
         Some("kv") => "kv",
         Some("kv-sessions") => "kv-sessions",
         Some("help") | Some("h") => {
@@ -270,6 +275,40 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("tle-bench: {path}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "trajectory" => {
+            // Explicit files, or every committed BENCH_<n>.json in the
+            // working directory.
+            let paths: Vec<std::path::PathBuf> = if rest.is_empty() {
+                match trajectory::discover(std::path::Path::new(".")) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        eprintln!("tle-bench: cannot scan for BENCH_<n>.json: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                rest.iter().map(std::path::PathBuf::from).collect()
+            };
+            if paths.is_empty() {
+                return usage_error("trajectory: no BENCH_<n>.json artifacts found");
+            }
+            match trajectory::load(&paths) {
+                Ok(t) => {
+                    println!(
+                        "tle-bench trajectory: {} artifact(s), PRs {:?}, {} run row(s)",
+                        paths.len(),
+                        t.prs,
+                        t.rows.len()
+                    );
+                    print!("{}", trajectory::render(&t));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("tle-bench: {e}");
                     ExitCode::FAILURE
                 }
             }

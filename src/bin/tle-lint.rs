@@ -2,15 +2,22 @@
 //!
 //! ```text
 //! cargo run --bin tle-lint -- --deny --format json
+//! cargo run --bin tle-lint -- --deny --deny-stale --format sarif
+//! cargo run --bin tle-lint -- --baseline write lint-baseline.json
+//! cargo run --bin tle-lint -- --deny --baseline check lint-baseline.json
 //! cargo run --bin tle-lint -- crates/pbz examples
 //! ```
 //!
 //! Exit codes: 0 clean, 1 findings under `--deny` (or stale suppressions
-//! under `--deny-stale`), 2 usage error.
+//! under `--deny-stale`, or new-vs-baseline findings under
+//! `--baseline check`), 2 usage error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use tle_lint::{lint_paths, render_human, render_json, LINT_RULES};
+use tle_lint::{
+    check_baseline, lint_paths, render_baseline, render_human, render_json, render_sarif,
+    LINT_RULES,
+};
 
 const USAGE: &str = "\
 tle-lint: transaction-safety static analysis for TLE atomic blocks
@@ -20,17 +27,31 @@ USAGE: tle-lint [OPTIONS] [PATHS...]
 PATHS default to: crates examples src tests
 
 OPTIONS:
-  --format <human|json>  output format (default human)
-  --deny                 exit 1 when any finding is active
-  --deny-stale           also exit 1 on stale suppressions (A2)
-  --list-rules           print the rule table and exit
-  -h, --help             this help
+  --format <human|json|sarif>     output format (default human)
+  --baseline <write|check> <file> record active findings, or fail only on
+                                  findings not present in the recorded set
+  --deny                          exit 1 when any finding is active
+  --deny-stale                    also exit 1 on stale suppressions (A2)
+  --list-rules                    print the rule table and exit
+  -h, --help                      this help
 ";
+
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
+
+enum BaselineMode {
+    Write(PathBuf),
+    Check(PathBuf),
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths: Vec<PathBuf> = Vec::new();
-    let mut format_json = false;
+    let mut format = Format::Human;
+    let mut baseline: Option<BaselineMode> = None;
     let mut deny = false;
     let mut deny_stale = false;
 
@@ -38,16 +59,33 @@ fn main() -> ExitCode {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--format" => match it.next().map(String::as_str) {
-                Some("human") => format_json = false,
-                Some("json") => format_json = true,
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
                 other => {
                     eprintln!(
-                        "tle-lint: --format expects `human` or `json`, got `{}`",
+                        "tle-lint: --format expects `human`, `json` or `sarif`, got `{}`",
                         other.unwrap_or("<nothing>")
                     );
                     return ExitCode::from(2);
                 }
             },
+            "--baseline" => {
+                let mode = it.next().map(String::as_str);
+                let file = it.next().map(PathBuf::from);
+                baseline = match (mode, file) {
+                    (Some("write"), Some(f)) => Some(BaselineMode::Write(f)),
+                    (Some("check"), Some(f)) => Some(BaselineMode::Check(f)),
+                    (mode, _) => {
+                        eprintln!(
+                            "tle-lint: --baseline expects `write <file>` or `check <file>`, \
+                             got `{}`",
+                            mode.unwrap_or("<nothing>")
+                        );
+                        return ExitCode::from(2);
+                    }
+                };
+            }
             "--deny" => deny = true,
             "--deny-stale" => deny_stale = true,
             "--list-rules" => {
@@ -90,14 +128,55 @@ fn main() -> ExitCode {
         }
     };
 
-    if format_json {
-        println!("{}", render_json(&report));
-    } else {
-        print!("{}", render_human(&report, deny_stale));
+    match format {
+        Format::Human => print!("{}", render_human(&report, deny_stale)),
+        Format::Json => println!("{}", render_json(&report)),
+        Format::Sarif => print!("{}", render_sarif(&report)),
     }
 
-    let failed = (deny && report.total_findings() > 0)
-        || (deny_stale && (report.total_findings() > 0 || report.total_stale() > 0));
+    // Baseline handling: `write` records and never fails; `check` replaces
+    // the plain `--deny` verdict with "new findings only".
+    let baseline_is_check = matches!(&baseline, Some(BaselineMode::Check(_)));
+    let mut baseline_failed = false;
+    match baseline {
+        Some(BaselineMode::Write(file)) => {
+            if let Err(e) = std::fs::write(&file, render_baseline(&report)) {
+                eprintln!("tle-lint: cannot write baseline `{}`: {e}", file.display());
+                return ExitCode::from(2);
+            }
+        }
+        Some(BaselineMode::Check(file)) => {
+            let src = match std::fs::read_to_string(&file) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("tle-lint: cannot read baseline `{}`: {e}", file.display());
+                    return ExitCode::from(2);
+                }
+            };
+            match check_baseline(&report, &src) {
+                Ok(fresh) if fresh.is_empty() => {}
+                Ok(fresh) => {
+                    for fp in &fresh {
+                        eprintln!("tle-lint: new finding not in baseline: {fp}");
+                    }
+                    baseline_failed = true;
+                }
+                Err(e) => {
+                    eprintln!("tle-lint: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => {}
+    }
+
+    let findings_fail = if baseline_is_check {
+        baseline_failed
+    } else {
+        report.total_findings() > 0
+    };
+    let failed =
+        ((deny || deny_stale) && findings_fail) || (deny_stale && report.total_stale() > 0);
     if failed {
         ExitCode::FAILURE
     } else {
